@@ -1,0 +1,66 @@
+// Command dragprof is phase 1 of the heap-profiling tool: it runs a
+// MiniJava program on the instrumented virtual machine (deep GC every
+// interval of allocation, per-object trailers) and writes the drag log.
+//
+// Usage:
+//
+//	dragprof [-o drag.log] [-interval bytes] [-heap bytes] file.mj...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dragprof"
+)
+
+func main() {
+	out := flag.String("o", "drag.log", "drag log output path")
+	interval := flag.Int64("interval", 100<<10, "deep-GC interval in allocated bytes (the paper's 100 KB)")
+	heap := flag.Int64("heap", 48<<20, "heap capacity in bytes")
+	collector := flag.String("gc", "mark-sweep", "collector: mark-sweep, mark-compact or generational")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: dragprof [flags] file.mj...")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	var sources []dragprof.Source
+	for _, name := range flag.Args() {
+		text, err := os.ReadFile(name)
+		if err != nil {
+			fatal(err)
+		}
+		sources = append(sources, dragprof.Source{Name: name, Text: string(text)})
+	}
+	prog, err := dragprof.Compile(sources...)
+	if err != nil {
+		fatal(err)
+	}
+	prof, err := prog.ProfileRun(dragprof.RunOptions{
+		HeapBytes:       *heap,
+		Collector:       *collector,
+		GCIntervalBytes: *interval,
+		Out:             os.Stdout,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if err := prof.WriteLog(f); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "dragprof: %d objects, %.2f MB allocated, log written to %s\n",
+		prof.NumObjects(), float64(prof.TotalAllocationBytes())/(1<<20), *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dragprof:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,72 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section against the reproduction's benchmark suite.
+//
+// Usage:
+//
+//	experiments [-table N] [-figure N] [-csv] [-bench name]
+//
+// Without flags it runs everything: Tables 1-5 and Figure 2.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dragprof/internal/bench"
+)
+
+func main() {
+	table := flag.Int("table", 0, "regenerate only table N (1-5)")
+	figure := flag.Int("figure", 0, "regenerate only figure N (2)")
+	csv := flag.Bool("csv", false, "emit figure data as CSV instead of ASCII charts")
+	only := flag.String("bench", "", "restrict Figure 2 to one benchmark")
+	flag.Parse()
+
+	e := bench.NewExperiments()
+	all := *table == 0 && *figure == 0
+
+	runTable := func(n int, f func() error) {
+		if all || *table == n {
+			if err := f(); err != nil {
+				fatal(err)
+			}
+		}
+	}
+	runTable(1, func() error { return printTable(e.Table1) })
+	runTable(2, func() error { return printTable(e.Table2) })
+	runTable(3, func() error { return printTable(e.Table3) })
+	runTable(4, func() error { return printTable(e.Table4) })
+	runTable(5, func() error { return printTable(e.Table5) })
+
+	if all || *figure == 2 {
+		panels, err := e.Figure2Panels(512)
+		if err != nil {
+			fatal(err)
+		}
+		for _, p := range panels {
+			if *only != "" && p.Benchmark != *only {
+				continue
+			}
+			if *csv {
+				fmt.Printf("# figure 2: %s\n%s\n", p.Benchmark, bench.Figure2CSV(p))
+			} else {
+				fmt.Println(bench.Figure2Chart(p))
+			}
+		}
+	}
+}
+
+func printTable[T interface{ String() string }](f func() (T, error)) error {
+	t, err := f()
+	if err != nil {
+		return err
+	}
+	fmt.Println(t.String())
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,63 @@
+// Command mjrun compiles and runs a MiniJava program on the dragprof
+// virtual machine without instrumentation.
+//
+// Usage:
+//
+//	mjrun [-heap bytes] [-gc collector] [-disasm] file.mj...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dragprof"
+)
+
+func main() {
+	heap := flag.Int64("heap", 48<<20, "heap capacity in bytes")
+	collector := flag.String("gc", "mark-sweep", "collector: mark-sweep, mark-compact or generational")
+	disasm := flag.Bool("disasm", false, "print disassembly instead of running")
+	cost := flag.Bool("cost", false, "print the cost report after the run")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: mjrun [flags] file.mj...")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	var sources []dragprof.Source
+	for _, name := range flag.Args() {
+		text, err := os.ReadFile(name)
+		if err != nil {
+			fatal(err)
+		}
+		sources = append(sources, dragprof.Source{Name: name, Text: string(text)})
+	}
+	prog, err := dragprof.Compile(sources...)
+	if err != nil {
+		fatal(err)
+	}
+	if *disasm {
+		fmt.Print(prog.Disassemble())
+		return
+	}
+	exec, err := prog.Run(dragprof.RunOptions{
+		HeapBytes: *heap,
+		Collector: *collector,
+		Out:       os.Stdout,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if *cost {
+		fmt.Fprintf(os.Stderr, "instructions=%d allocations=%d allocBytes=%d collections=%d runtimeUnits=%d\n",
+			exec.Cost.Instructions, exec.Cost.Allocations, exec.Cost.AllocBytes,
+			exec.Cost.Collections, exec.Cost.RuntimeUnits)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mjrun:", err)
+	os.Exit(1)
+}

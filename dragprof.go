@@ -1,0 +1,394 @@
+// Package dragprof is a heap-profiling toolkit for space-efficient
+// programs, reproducing "Heap Profiling for Space-Efficient Java" (Shaham,
+// Kolodner, Sagiv — PLDI 2001) on a self-contained managed runtime.
+//
+// The toolkit compiles MiniJava programs to bytecode, executes them on a
+// virtual machine with a handle-based, garbage-collected heap, and measures
+// each object's drag: the interval between its last use and the moment it
+// becomes unreachable, weighted by its size. Aggregated by allocation site,
+// drag pinpoints where simple rewrites — assigning null to dead references,
+// removing dead allocations, or allocating lazily — reclaim space.
+//
+// The typical workflow is:
+//
+//	prog, err := dragprof.Compile(dragprof.Source{Name: "app.mj", Text: src})
+//	prof, err := prog.ProfileRun(dragprof.RunOptions{})
+//	report := prof.Analyze(dragprof.AnalysisOptions{})
+//	for _, site := range report.TopSites(10) { ... }
+package dragprof
+
+import (
+	"fmt"
+	"io"
+
+	"dragprof/internal/bytecode"
+	"dragprof/internal/drag"
+	"dragprof/internal/mj"
+	"dragprof/internal/profile"
+	"dragprof/internal/vm"
+)
+
+// Source is one MiniJava source file.
+type Source struct {
+	// Name labels the file in diagnostics.
+	Name string
+	// Text is the MiniJava source.
+	Text string
+}
+
+// Program is a compiled MiniJava program ready to execute or profile.
+type Program struct {
+	bc      *bytecode.Program
+	checked *mj.Checked
+}
+
+// Compile parses, checks and compiles the sources together with the
+// MiniJava runtime library (Object, String, the Throwable hierarchy).
+// Sources compile in argument order, which fixes static-initializer order.
+func Compile(sources ...Source) (*Program, error) {
+	names := make([]string, len(sources))
+	texts := make(map[string]string, len(sources))
+	for i, s := range sources {
+		names[i] = s.Name
+		texts[s.Name] = s.Text
+	}
+	bc, ck, err := mj.CompileWithStdlib(names, texts)
+	if err != nil {
+		return nil, err
+	}
+	return &Program{bc: bc, checked: ck}, nil
+}
+
+// Disassemble renders the compiled bytecode as text.
+func (p *Program) Disassemble() string {
+	return bytecode.DisassembleProgram(p.bc)
+}
+
+// RunOptions configure an execution.
+type RunOptions struct {
+	// HeapBytes is the heap capacity (default 48 MB, the paper's
+	// maximum SPECjvm98 heap).
+	HeapBytes int64
+	// Collector is "mark-sweep" (default), "mark-compact" or
+	// "generational".
+	Collector string
+	// GCIntervalBytes triggers a deep GC every N allocated bytes while
+	// profiling (default 100 KB, the paper's trigger). Ignored by Run.
+	GCIntervalBytes int64
+	// MaxSteps bounds execution (default 4e9 instructions).
+	MaxSteps int64
+	// Seed seeds the deterministic random() builtin.
+	Seed uint64
+	// Out receives program output; nil captures it in the result.
+	Out io.Writer
+}
+
+func (o RunOptions) vmConfig() vm.Config {
+	return vm.Config{
+		HeapCapacity: o.HeapBytes,
+		Collector:    vm.CollectorKind(o.Collector),
+		MaxSteps:     o.MaxSteps,
+		Seed:         o.Seed,
+		Out:          o.Out,
+	}
+}
+
+// CostSummary is the deterministic work accounting of an execution.
+type CostSummary struct {
+	// Instructions executed.
+	Instructions int64
+	// Allocations and AllocBytes performed.
+	Allocations int64
+	AllocBytes  int64
+	// Collections run (major cycles included).
+	Collections int64
+	// RuntimeUnits folds everything into one comparable scalar.
+	RuntimeUnits int64
+}
+
+// Execution is the outcome of an unprofiled run.
+type Execution struct {
+	// Output is the program's captured output (when RunOptions.Out was
+	// nil).
+	Output string
+	// Cost is the deterministic work accounting.
+	Cost CostSummary
+}
+
+// Run executes the program without instrumentation.
+func (p *Program) Run(opts RunOptions) (*Execution, error) {
+	m, err := vm.New(p.bc, opts.vmConfig())
+	if err != nil {
+		return nil, err
+	}
+	if err := m.Run(); err != nil {
+		return nil, err
+	}
+	return &Execution{Output: m.Output(), Cost: costSummary(m.CostReport())}, nil
+}
+
+func costSummary(c vm.Cost) CostSummary {
+	return CostSummary{
+		Instructions: c.Instructions,
+		Allocations:  c.Allocations,
+		AllocBytes:   c.AllocBytes,
+		Collections:  c.GC.Collections,
+		RuntimeUnits: c.RuntimeUnits(),
+	}
+}
+
+// Profile is the phase-1 output: per-object trailers plus the site and
+// call-chain tables needed to render reports.
+type Profile struct {
+	p *profile.Profile
+	// Output is the program's captured output during the profiled run
+	// (empty for profiles read back from a log).
+	Output string
+	// Cost is the profiled run's work accounting (zero for profiles read
+	// from a log).
+	Cost CostSummary
+}
+
+// ProfileRun executes the program under full drag instrumentation: every
+// object carries a trailer (creation time, last-use time, size, nested
+// allocation and last-use sites), a deep GC runs every GCIntervalBytes of
+// allocation, and trailers are logged at reclamation or exit.
+func (p *Program) ProfileRun(opts RunOptions) (*Profile, error) {
+	prof, m, err := profile.Run(p.bc, "program", vm.Config{
+		HeapCapacity: opts.HeapBytes,
+		Collector:    vm.CollectorKind(opts.Collector),
+		GCInterval:   opts.GCIntervalBytes,
+		MaxSteps:     opts.MaxSteps,
+		Seed:         opts.Seed,
+		Out:          opts.Out,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Profile{p: prof, Output: m.Output(), Cost: costSummary(m.CostReport())}, nil
+}
+
+// TotalAllocationBytes is the allocation clock at exit — the paper's
+// measure of time.
+func (pr *Profile) TotalAllocationBytes() int64 { return pr.p.FinalClock }
+
+// NumObjects is the number of logged object trailers.
+func (pr *Profile) NumObjects() int { return len(pr.p.Records) }
+
+// WriteLog serializes the profile in the tool's versioned log format (the
+// file interface between phase 1 and phase 2).
+func (pr *Profile) WriteLog(w io.Writer) error { return profile.WriteLog(w, pr.p) }
+
+// ReadLog parses a profile log written by WriteLog.
+func ReadLog(r io.Reader) (*Profile, error) {
+	p, err := profile.ReadLog(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Profile{p: p}, nil
+}
+
+// AnalysisOptions tune the phase-2 analysis.
+type AnalysisOptions struct {
+	// NestDepth limits nested allocation sites to the innermost N call
+	// sites (default 4).
+	NestDepth int
+	// NeverUsedWindowBytes treats objects used only within this window
+	// of their creation as never used (default: the profiling GC
+	// interval; covers constructor-only uses).
+	NeverUsedWindowBytes int64
+}
+
+// Analyze runs the phase-2 drag analysis.
+func (pr *Profile) Analyze(opts AnalysisOptions) *Report {
+	r := drag.Analyze(pr.p, drag.Options{
+		NestDepth:       opts.NestDepth,
+		NeverUsedWindow: opts.NeverUsedWindowBytes,
+	})
+	return &Report{r: r, p: pr.p}
+}
+
+// Report is the phase-2 analysis result: allocation sites sorted by their
+// aggregate drag.
+type Report struct {
+	r *drag.Report
+	p *profile.Profile
+}
+
+// ReachableIntegral is Σ size × (collect − create) in byte² — the area
+// under the reachable curve.
+func (r *Report) ReachableIntegral() int64 { return r.r.ReachableIntegral }
+
+// InUseIntegral is Σ size × (lastUse − create) in byte².
+func (r *Report) InUseIntegral() int64 { return r.r.InUseIntegral }
+
+// TotalDrag is Σ size × dragTime in byte².
+func (r *Report) TotalDrag() int64 { return r.r.TotalDrag }
+
+// TotalAllocationBytes is the profiled run's final allocation clock.
+func (r *Report) TotalAllocationBytes() int64 { return r.r.FinalClock }
+
+// SiteSummary describes one allocation site's drag, its classified
+// lifetime pattern and the rewrite the pattern suggests.
+type SiteSummary struct {
+	// Site renders the nested allocation site (call chain).
+	Site string
+	// Objects allocated at the site, and how many were never used.
+	Objects   int
+	NeverUsed int
+	// Bytes allocated at the site.
+	Bytes int64
+	// Drag is the site's aggregate drag space-time product (byte²).
+	Drag int64
+	// DragShare is the site's fraction of the program's total drag.
+	DragShare float64
+	// Pattern classifies the site's lifetime behaviour (paper §3.4).
+	Pattern string
+	// Suggestion is the rewriting strategy the pattern suggests.
+	Suggestion string
+	// LastUseSites lists the top last-use sites with their drag.
+	LastUseSites []string
+}
+
+// TopSites returns the n nested allocation sites with the largest drag,
+// the tool's primary output.
+func (r *Report) TopSites(n int) []SiteSummary {
+	groups := r.r.ByNestedSite
+	if n > len(groups) {
+		n = len(groups)
+	}
+	out := make([]SiteSummary, 0, n)
+	for _, g := range groups[:n] {
+		s := SiteSummary{
+			Site:       g.Desc,
+			Objects:    g.Count,
+			NeverUsed:  g.NeverUsed,
+			Bytes:      g.Bytes,
+			Drag:       g.Drag,
+			Pattern:    g.Pattern.String(),
+			Suggestion: suggestion(g.Pattern),
+		}
+		if r.r.TotalDrag > 0 {
+			s.DragShare = float64(g.Drag) / float64(r.r.TotalDrag)
+		}
+		for _, pg := range g.LastUse {
+			s.LastUseSites = append(s.LastUseSites,
+				fmt.Sprintf("%s (%d objects, drag %d)", pg.LastUseDesc, pg.Count, pg.Drag))
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+func suggestion(p drag.Pattern) string {
+	switch p {
+	case drag.PatternDeadCode:
+		return "remove the allocation (dead code)"
+	case drag.PatternLazyAlloc:
+		return "allocate lazily behind a null test"
+	case drag.PatternAssignNull:
+		return "assign null to the dead reference after its last use"
+	case drag.PatternHighVariance:
+		return "no transformation likely to help (unpredictable uses)"
+	default:
+		return "inspect manually"
+	}
+}
+
+// AnchorSummary describes an anchor allocation site: the innermost
+// application-code frame of a nested allocation site (library-interior
+// allocations are attributed to the application line that triggered them,
+// paper Section 3.4), with lifetime histograms.
+type AnchorSummary struct {
+	// Site renders the anchor program point.
+	Site string
+	// Objects, NeverUsed, Bytes, Drag, DragShare as in SiteSummary.
+	Objects   int
+	NeverUsed int
+	Bytes     int64
+	Drag      int64
+	DragShare float64
+	// Pattern and Suggestion classify the anchor group.
+	Pattern    string
+	Suggestion string
+	// DragHistogram and InUseHistogram partition the group's objects by
+	// drag/in-use time in power-of-two multiples of the never-used
+	// window (counts, innermost bucket first).
+	DragHistogram  string
+	InUseHistogram string
+}
+
+// AnchorSites returns the n anchor allocation sites with the largest drag.
+func (r *Report) AnchorSites(n int) []AnchorSummary {
+	groups := drag.AnchorGroups(r.p, drag.Options{
+		NestDepth:       r.r.Options.NestDepth,
+		NeverUsedWindow: r.r.Options.NeverUsedWindow,
+	})
+	if n > len(groups) {
+		n = len(groups)
+	}
+	out := make([]AnchorSummary, 0, n)
+	for _, g := range groups[:n] {
+		a := AnchorSummary{
+			Site:           g.Desc,
+			Objects:        g.Count,
+			NeverUsed:      g.NeverUsed,
+			Bytes:          g.Bytes,
+			Drag:           g.Drag,
+			Pattern:        g.Pattern.String(),
+			Suggestion:     suggestion(g.Pattern),
+			DragHistogram:  g.DragHist.String(),
+			InUseHistogram: g.InUseHist.String(),
+		}
+		if r.r.TotalDrag > 0 {
+			a.DragShare = float64(g.Drag) / float64(r.r.TotalDrag)
+		}
+		out = append(out, a)
+	}
+	return out
+}
+
+// Savings quantifies the improvement of a revised program over the
+// original, the derivation behind the paper's Tables 2 and 3.
+type Savings struct {
+	// DragSavingPct is (origReach − revReach) / (origReach − origInUse)
+	// × 100; can exceed 100 when the revised reachable integral falls
+	// below the original in-use integral.
+	DragSavingPct float64
+	// SpaceSavingPct is (1 − revReach/origReach) × 100, the average
+	// space saved.
+	SpaceSavingPct float64
+	// OriginalReachableMB2 and RevisedReachableMB2 are the integrals in
+	// MByte².
+	OriginalReachableMB2 float64
+	RevisedReachableMB2  float64
+}
+
+// Compare derives the savings of a revised program's report over the
+// original's.
+func Compare(original, revised *Report) Savings {
+	c := drag.Compare(original.r, revised.r)
+	return Savings{
+		DragSavingPct:        c.DragSavingPct,
+		SpaceSavingPct:       c.SpaceSavingPct,
+		OriginalReachableMB2: c.OriginalReachable,
+		RevisedReachableMB2:  c.ReducedReachable,
+	}
+}
+
+// Curve is a reachable/in-use heap-size series over allocation time — one
+// panel of the paper's Figure 2.
+type Curve struct {
+	// TimesBytes is the allocation clock per sample.
+	TimesBytes []int64
+	// ReachableBytes and InUseBytes are the heap sizes per sample.
+	ReachableBytes []int64
+	InUseBytes     []int64
+}
+
+// Curve reconstructs the heap-size series from the profile's trailers.
+// maxSamples caps the series length.
+func (pr *Profile) Curve(maxSamples int) Curve {
+	c := drag.BuildCurve(pr.p, maxSamples)
+	return Curve{TimesBytes: c.Times, ReachableBytes: c.Reachable, InUseBytes: c.InUse}
+}

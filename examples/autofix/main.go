@@ -1,0 +1,91 @@
+// Autofix: run the profile-guided automatic optimizer (the paper's
+// projected "future optimizing compiler", Section 5) on a benchmark:
+// profile the original, let the static analyses validate and apply the
+// rewrites at the hottest drag sites, then re-profile and compare with the
+// paper-style manual rewrite.
+//
+// Run with: go run ./examples/autofix [benchmark]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"dragprof/internal/bench"
+	"dragprof/internal/drag"
+	"dragprof/internal/profile"
+	"dragprof/internal/transform"
+	"dragprof/internal/vm"
+)
+
+func main() {
+	name := "raytrace"
+	if len(os.Args) > 1 {
+		name = os.Args[1]
+	}
+	b, err := bench.ByName(name)
+	if err != nil {
+		log.Fatalf("autofix: %v (known: %v)", err, bench.Names())
+	}
+
+	// Profile the original program.
+	orig, err := bench.Run(b, bench.Original, bench.OriginalInput, bench.RunConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("original:  reachable %.4f MB², in-use %.4f MB²\n",
+		drag.MB2(orig.Report.ReachableIntegral), drag.MB2(orig.Report.InUseIntegral))
+
+	// Apply the automatic transformations to a fresh compile.
+	cp, err := b.Compile(bench.Original, bench.OriginalInput)
+	if err != nil {
+		log.Fatal(err)
+	}
+	actions, err := transform.AutoTransform(cp.Program, orig.Report, 40)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, a := range actions {
+		status := "applied"
+		if !a.Applied {
+			status = "rejected: " + a.Reason
+		}
+		fmt.Printf("  [%s] %s at %s (%s)\n", a.Strategy, status, a.SiteDesc, note(a))
+	}
+
+	// Re-profile the transformed program.
+	prof, _, err := profile.Run(cp.Program, b.Name+"/auto", vm.Config{
+		GCInterval: bench.DefaultGCInterval,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	auto := drag.Analyze(prof, drag.Options{})
+	autoCmp := drag.Compare(orig.Report, auto)
+	fmt.Printf("automatic: reachable %.4f MB²  -> space saving %.2f%%, drag saving %.2f%%\n",
+		drag.MB2(auto.ReachableIntegral), autoCmp.SpaceSavingPct, autoCmp.DragSavingPct)
+
+	// Compare with the manual (paper-style) rewrite.
+	rev, err := bench.Run(b, bench.Revised, bench.OriginalInput, bench.RunConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	revCmp := drag.Compare(orig.Report, rev.Report)
+	fmt.Printf("manual:    reachable %.4f MB²  -> space saving %.2f%%, drag saving %.2f%%\n",
+		drag.MB2(rev.Report.ReachableIntegral), revCmp.SpaceSavingPct, revCmp.DragSavingPct)
+	if revCmp.SpaceSavingPct > 0 {
+		fmt.Printf("automatic rewriting recovered %.0f%% of the manual space saving\n",
+			autoCmp.SpaceSavingPct/revCmp.SpaceSavingPct*100)
+	}
+}
+
+func note(a transform.Action) string {
+	if a.Applied && a.Reason != "" {
+		return a.Reason
+	}
+	if a.Applied {
+		return "ok"
+	}
+	return "unchanged"
+}

@@ -1,0 +1,43 @@
+// Heapcurves: regenerate one panel of the paper's Figure 2 — the reachable
+// and in-use heap-size curves of a benchmark before and after rewriting —
+// as an ASCII chart plus CSV for external plotting.
+//
+// Run with: go run ./examples/heapcurves [benchmark]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"dragprof/internal/bench"
+	"dragprof/internal/drag"
+)
+
+func main() {
+	name := "euler"
+	if len(os.Args) > 1 {
+		name = os.Args[1]
+	}
+	b, err := bench.ByName(name)
+	if err != nil {
+		log.Fatalf("heapcurves: %v (known: %v)", err, bench.Names())
+	}
+
+	orig, err := bench.Run(b, bench.Original, bench.OriginalInput, bench.RunConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rev, err := bench.Run(b, bench.Revised, bench.OriginalInput, bench.RunConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	p := bench.Figure2Panel{
+		Benchmark: b.Name,
+		Original:  drag.BuildCurve(orig.Profile, 512),
+		Revised:   drag.BuildCurve(rev.Profile, 512),
+	}
+	fmt.Println(bench.Figure2Chart(p))
+	fmt.Println("CSV data:")
+	fmt.Println(bench.Figure2CSV(p))
+}

@@ -1,0 +1,95 @@
+// Quickstart: profile a small leaky program and print the allocation sites
+// with the largest drag, each with its classified lifetime pattern and the
+// rewrite it suggests.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dragprof"
+)
+
+// The program keeps a parsed configuration reachable through a static
+// field long after its last use — the classic dragged object.
+const app = `
+class Config {
+    char[] raw;       // raw config text: used only while parsing
+    int[] values;     // parsed values: used throughout
+
+    Config() {
+        raw = new char[40960];
+        raw[0] = 'k';
+        values = new int[64];
+        for (int i = 0; i < values.length; i = i + 1) {
+            values[i] = raw[(i * 7) % raw.length] + i;
+        }
+    }
+
+    int value(int i) { return values[i % values.length]; }
+
+    // One late re-parse keeps raw alive past startup; after it, raw is
+    // dead but still reachable through the static config.
+    int rawProbe() { return raw[0]; }
+}
+
+class App {
+    static Config config;
+
+    static void work(int rounds) {
+        int acc = 0;
+        for (int r = 0; r < rounds; r = r + 1) {
+            int[] request = new int[256];
+            request[0] = App.config.value(r);
+            if (r == 200) {
+                acc = acc + App.config.rawProbe();
+            }
+            acc = acc + request[0];
+        }
+        printInt(acc);
+    }
+
+    static void main() {
+        App.config = new Config();
+        work(4000);
+    }
+}
+`
+
+func main() {
+	prog, err := dragprof.Compile(dragprof.Source{Name: "app.mj", Text: app})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Phase 1: run under instrumentation (deep GC every 100 KB of
+	// allocation, trailers on every object).
+	prof, err := prog.ProfileRun(dragprof.RunOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("program output: %s", prof.Output)
+	fmt.Printf("allocated %.2f MB across %d objects\n\n",
+		float64(prof.TotalAllocationBytes())/(1<<20), prof.NumObjects())
+
+	// Phase 2: analyze and print the sites with the largest drag.
+	rep := prof.Analyze(dragprof.AnalysisOptions{})
+	fmt.Printf("reachable integral %.4f MB², in-use %.4f MB², drag %.4f MB²\n\n",
+		mb2(rep.ReachableIntegral()), mb2(rep.InUseIntegral()), mb2(rep.TotalDrag()))
+
+	for i, site := range rep.TopSites(5) {
+		fmt.Printf("#%d %s\n", i+1, site.Site)
+		fmt.Printf("   drag %.1f%% of total (%d objects, %d never used)\n",
+			site.DragShare*100, site.Objects, site.NeverUsed)
+		fmt.Printf("   pattern:    %s\n", site.Pattern)
+		fmt.Printf("   suggestion: %s\n\n", site.Suggestion)
+	}
+
+	// The raw config text is the expected top finding: 80 KB of char[]
+	// last used early in the run, reachable until exit — the assign-null
+	// pattern.
+}
+
+func mb2(v int64) float64 { return float64(v) / (1 << 40) }

@@ -1,0 +1,3 @@
+module dragprof
+
+go 1.22

@@ -1,0 +1,410 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"dragprof/internal/analysis"
+	"dragprof/internal/bytecode"
+	"dragprof/internal/mj"
+)
+
+func compile(t *testing.T, src string) *bytecode.Program {
+	t.Helper()
+	prog, _, err := mj.CompileWithStdlib([]string{"t.mj"}, map[string]string{"t.mj": src})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return prog
+}
+
+func methodID(t *testing.T, p *bytecode.Program, class, name string) int32 {
+	t.Helper()
+	m := p.MethodByName(class, name)
+	if m == nil {
+		t.Fatalf("method %s.%s not found", class, name)
+	}
+	return m.ID
+}
+
+func TestCFGShape(t *testing.T) {
+	p := compile(t, `
+class Main {
+    static int pick(int n) {
+        int r = 0;
+        if (n > 0) {
+            r = 1;
+        } else {
+            r = 2;
+        }
+        while (n > 0) {
+            n = n - 1;
+        }
+        return r;
+    }
+    static void main() { printInt(pick(3)); }
+}`)
+	m := p.Methods[methodID(t, p, "Main", "pick")]
+	cfg := analysis.BuildCFG(m)
+	if len(cfg.Blocks) < 5 {
+		t.Fatalf("expected >=5 blocks for if/else+loop, got %d", len(cfg.Blocks))
+	}
+	// Every non-terminal block must have successors; entry must exist.
+	for _, b := range cfg.Blocks {
+		last := m.Code[b.End-1]
+		switch last.Op {
+		case bytecode.Return, bytecode.ReturnValue, bytecode.Throw:
+			if len(b.Succs) != 0 {
+				t.Errorf("terminal block %d has successors %v", b.ID, b.Succs)
+			}
+		default:
+			if len(b.Succs) == 0 {
+				t.Errorf("block %d (%s) has no successors", b.ID, last.Op)
+			}
+		}
+	}
+	// Preds/Succs must be symmetric.
+	for _, b := range cfg.Blocks {
+		for _, s := range b.Succs {
+			found := false
+			for _, pr := range cfg.Blocks[s].Preds {
+				if pr == b.ID {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("edge %d->%d missing in preds", b.ID, s)
+			}
+		}
+	}
+}
+
+func TestLivenessLastUse(t *testing.T) {
+	p := compile(t, `
+class Main {
+    static int work(int n) {
+        int[] buf = new int[100];
+        buf[0] = n;
+        int x = buf[0];
+        int y = 0;
+        for (int i = 0; i < n; i = i + 1) {
+            y = y + i;
+        }
+        return x + y;
+    }
+    static void main() { printInt(work(5)); }
+}`)
+	m := p.Methods[methodID(t, p, "Main", "work")]
+	cfg := analysis.BuildCFG(m)
+	lv := analysis.ComputeLiveness(cfg)
+	// Slot 1 is buf (slot 0 = n, static method). Find its last load.
+	var bufSlot int32 = 1
+	lastUses := lv.LastUses(bufSlot)
+	if len(lastUses) == 0 {
+		t.Fatal("no last use found for buf")
+	}
+	// After its last use, buf must be dead; at its first use, live.
+	for _, pc := range lastUses {
+		if lv.LiveAfter(pc, bufSlot) {
+			t.Errorf("buf live after its last use at pc %d", pc)
+		}
+	}
+}
+
+func TestDeadStores(t *testing.T) {
+	p := compile(t, `
+class Main {
+    static void main() {
+        int dead = 42;
+        int live = 1;
+        printInt(live);
+    }
+}`)
+	m := p.Methods[p.Main]
+	lv := analysis.ComputeLiveness(analysis.BuildCFG(m))
+	dead := lv.DeadStores()
+	if len(dead) != 1 {
+		t.Fatalf("expected exactly 1 dead store, got %d (%v)", len(dead), dead)
+	}
+	if m.Code[dead[0]].Op != bytecode.StoreLocal {
+		t.Fatalf("dead store pc %d is %s", dead[0], m.Code[dead[0]].Op)
+	}
+}
+
+const rtaSrc = `
+class Shape {
+    int area() { return 0; }
+    int perimeter() { return 0; }
+}
+class Square extends Shape {
+    int side;
+    Square(int s) { side = s; }
+    int area() { return side * side; }
+    int perimeter() { return 4 * side; }
+}
+class Circle extends Shape {
+    int r;
+    Circle(int rr) { r = rr; }
+    int area() { return 3 * r * r; }
+    int perimeter() { return 6 * r; }
+}
+class Unused {
+    int never() { return 99; }
+}
+class Main {
+    static void main() {
+        Shape s = new Square(3);
+        printInt(s.area());
+    }
+}`
+
+func TestCallGraphRTA(t *testing.T) {
+	p := compile(t, rtaSrc)
+	cg := analysis.BuildCallGraph(p)
+
+	// Square is instantiated; Circle and Unused are not.
+	if !cg.Instantiated[p.ClassByName("Square").ID] {
+		t.Error("Square should be instantiated")
+	}
+	if cg.Instantiated[p.ClassByName("Circle").ID] {
+		t.Error("Circle should not be instantiated")
+	}
+
+	// Square.area is reachable through the virtual call; Circle.area is
+	// not (RTA precision); Unused.never is unreachable.
+	if !cg.MethodReachable(methodID(t, p, "Square", "area")) {
+		t.Error("Square.area should be reachable")
+	}
+	if cg.MethodReachable(methodID(t, p, "Circle", "area")) {
+		t.Error("Circle.area should be unreachable under RTA")
+	}
+	if cg.MethodReachable(methodID(t, p, "Unused", "never")) {
+		t.Error("Unused.never should be unreachable")
+	}
+	// perimeter is never called on any receiver.
+	if cg.MethodReachable(methodID(t, p, "Square", "perimeter")) {
+		t.Error("Square.perimeter should be unreachable")
+	}
+}
+
+func TestFlowNeverUsedSites(t *testing.T) {
+	p := compile(t, `
+class Cache {
+    int[] data;
+    Cache(int n) {
+        data = new int[n];
+        data[0] = n;
+    }
+    int[] contents() { return data; }
+}
+class Holder {
+    static Object[] keep;
+}
+class Main {
+    static void main() {
+        Holder.keep = new Object[10];
+        // Stored but never used beyond its (pure) constructor.
+        Holder.keep[0] = new Cache(64);
+        // Genuinely used object.
+        int[] used = new int[8];
+        used[0] = 1;
+        printInt(used[0]);
+    }
+}`)
+	cg := analysis.BuildCallGraph(p)
+	fl := analysis.RunFlow(p, cg)
+
+	// Locate the Cache allocation site and the used int[8] site.
+	var cacheSite, usedSite int32 = -1, -1
+	main := p.Methods[p.Main]
+	for _, in := range main.Code {
+		if in.Op == bytecode.NewObject && p.Classes[in.A].Name == "Cache" {
+			cacheSite = in.B
+		}
+	}
+	for _, in := range main.Code {
+		if in.Op == bytecode.NewArray && in.Line == 18 {
+			usedSite = in.B
+		}
+	}
+	if cacheSite < 0 {
+		t.Fatal("Cache allocation site not found")
+	}
+	if fl.SiteUsed(cacheSite) {
+		t.Error("Cache object is only used in its pure constructor; should be never-used")
+	}
+	if usedSite >= 0 && !fl.SiteUsed(usedSite) {
+		t.Error("the int[8] array is read and printed; should be used")
+	}
+}
+
+func TestFlowCtorLeakMarksUsed(t *testing.T) {
+	p := compile(t, `
+class Registry {
+    static Object last;
+}
+class Leaky {
+    Leaky() {
+        Registry.last = this; // escapes: ctor is impure
+    }
+}
+class Main {
+    static void main() {
+        Leaky l = new Leaky();
+        printInt(1);
+    }
+}`)
+	cg := analysis.BuildCallGraph(p)
+	fl := analysis.RunFlow(p, cg)
+	var site int32 = -1
+	for _, in := range p.Methods[p.Main].Code {
+		if in.Op == bytecode.NewObject && p.Classes[in.A].Name == "Leaky" {
+			site = in.B
+		}
+	}
+	if site < 0 {
+		t.Fatal("Leaky site not found")
+	}
+	if !fl.SiteUsed(site) {
+		t.Error("objects of an impure (leaking) ctor must be conservatively used")
+	}
+}
+
+func TestPurity(t *testing.T) {
+	p := compile(t, `
+class Pure {
+    int[] data;
+    Pure(int n) { data = new int[n]; data[0] = n; }
+}
+class WritesStatic {
+    static int count;
+    WritesStatic() { WritesStatic.count = WritesStatic.count + 1; }
+}
+class ReadsStatic {
+    int v;
+    static int seed;
+    ReadsStatic() { v = ReadsStatic.seed; }
+}
+class Main {
+    static void main() {
+        Pure a = new Pure(3);
+        WritesStatic b = new WritesStatic();
+        ReadsStatic c = new ReadsStatic();
+        printInt(a.data[0] + c.v);
+    }
+}`)
+	pu := analysis.ComputePurity(p)
+	pureCtor := p.MethodByName("Pure", "<init>")
+	if !pu.CtorPure(pureCtor.ID) {
+		t.Errorf("Pure ctor should be pure: %+v", pu.Facts(pureCtor.ID))
+	}
+	if !pu.Facts(pureCtor.ID).StateIndependent() {
+		t.Errorf("Pure ctor should be state-independent")
+	}
+	ws := p.MethodByName("WritesStatic", "<init>")
+	if pu.CtorPure(ws.ID) {
+		t.Error("WritesStatic ctor must be impure")
+	}
+	rs := p.MethodByName("ReadsStatic", "<init>")
+	if !pu.CtorPure(rs.ID) {
+		t.Error("ReadsStatic ctor is side-effect free (pure for removal)")
+	}
+	if pu.Facts(rs.ID).StateIndependent() {
+		t.Error("ReadsStatic ctor reads state; not lazy-allocatable")
+	}
+}
+
+func TestExceptions(t *testing.T) {
+	p := compile(t, `
+class Main {
+    static int divide(int a, int b) {
+        return a / b;
+    }
+    static int safeDivide(int a, int b) {
+        try {
+            return a / b;
+        } catch (ArithmeticException e) {
+            return 0;
+        }
+    }
+    static void boom() {
+        throw new RuntimeException("boom");
+    }
+    static void main() {
+        printInt(divide(6, 3));
+        printInt(safeDivide(6, 0));
+        try {
+            boom();
+        } catch (RuntimeException e) {
+            printInt(0);
+        }
+    }
+}`)
+	cg := analysis.BuildCallGraph(p)
+	ex := analysis.ComputeExceptions(p, cg)
+
+	arith := p.RuntimeClasses["ArithmeticException"]
+	if !ex.CanEscape(methodID(t, p, "Main", "divide"), arith) {
+		t.Error("ArithmeticException must escape divide")
+	}
+	if ex.CanEscape(methodID(t, p, "Main", "safeDivide"), arith) {
+		t.Error("safeDivide catches ArithmeticException; must not escape")
+	}
+	rte, _ := p.ClassIndex["RuntimeException"]
+	if !ex.CanEscape(methodID(t, p, "Main", "boom"), rte) {
+		t.Error("RuntimeException must escape boom")
+	}
+	// main catches both.
+	if ex.CanEscape(p.Main, rte) {
+		t.Error("main catches RuntimeException; must not escape")
+	}
+	// Handler existence query: there IS a handler for ArithmeticException.
+	if !ex.HandlerExistsFor(arith) {
+		t.Error("program has a handler for ArithmeticException")
+	}
+}
+
+func TestUsageAnalysis(t *testing.T) {
+	p := compile(t, `
+class Locale {
+    static int[] us = new int[64];
+    static int[] fr = new int[64];
+}
+class Thing {
+    int[] unreadField;
+    int[] readField;
+    Thing() {
+        unreadField = new int[16];
+        readField = new int[16];
+    }
+}
+class Main {
+    static void main() {
+        Thing t = new Thing();
+        printInt(t.readField.length);
+        printInt(Locale.us.length);
+    }
+}`)
+	cg := analysis.BuildCallGraph(p)
+	rep := analysis.AnalyzeUsage(p, cg)
+
+	found := map[string]bool{}
+	for _, f := range rep.UnreadStatics {
+		found[p.Classes[f.Class].Name+"."+f.Name] = true
+	}
+	if !found["Locale.fr"] {
+		t.Errorf("Locale.fr is written but never read; report: %v", found)
+	}
+	if found["Locale.us"] {
+		t.Error("Locale.us is read; must not be reported")
+	}
+	ifound := map[string]bool{}
+	for _, f := range rep.UnreadFields {
+		ifound[p.Classes[f.Class].Name+"."+f.Name] = true
+	}
+	if !ifound["Thing.unreadField"] {
+		t.Errorf("Thing.unreadField never read; report: %v", ifound)
+	}
+	if ifound["Thing.readField"] {
+		t.Error("Thing.readField is read; must not be reported")
+	}
+}

@@ -1,0 +1,160 @@
+package analysis
+
+import (
+	"dragprof/internal/bytecode"
+)
+
+// Array liveness (paper Section 5.2): an element of an array implementing
+// a vector-like data type is dead once the logical size shrinks past it.
+// "In jess a dynamic vector-like array of references is maintained. After
+// removing the logically last element from this array, that element has no
+// future use ... Array liveness analysis can detect this case."
+//
+// VectorLeak is one detected instance: a method that decrements a count
+// field and reads the element at the vacated slot without clearing it.
+type VectorLeak struct {
+	// Class and Method locate the leaky removal method.
+	Class  int32
+	Method int32
+	// ArraySlot and CountSlot are the instance slots of the backing
+	// reference array and the logical size.
+	ArraySlot int32
+	CountSlot int32
+	// LoadPC is the ArrayLoad of the vacated element.
+	LoadPC int
+}
+
+// FindVectorLeaks scans every reachable method for the remove-last pattern:
+//
+//  1. the logical-size field is decremented (count = count - 1),
+//  2. a reference element is loaded at the decremented index from an
+//     array field of the same object, and
+//  3. the method never stores null back into that array.
+//
+// The match is syntactic over the compiler's statement shapes, which is
+// what a peephole array-liveness checker would key on; the general
+// dataflow formulation is future work in the paper too.
+func FindVectorLeaks(p *bytecode.Program, cg *CallGraph) []VectorLeak {
+	var leaks []VectorLeak
+	for _, m := range p.Methods {
+		if cg != nil && !cg.Reachable[m.ID] {
+			continue
+		}
+		if m.Class < 0 {
+			continue
+		}
+		leaks = append(leaks, scanMethodForVectorLeak(p, m)...)
+	}
+	return leaks
+}
+
+func scanMethodForVectorLeak(p *bytecode.Program, m *bytecode.Method) []VectorLeak {
+	code := m.Code
+
+	// Step 1: find decremented int fields of this:
+	//   LoadLocal 0; LoadLocal 0; GetField c; ConstInt 1; Sub; PutField c
+	decremented := map[int32]bool{}
+	for pc := 0; pc+5 < len(code); pc++ {
+		if code[pc].Op == bytecode.LoadLocal && code[pc].A == 0 &&
+			code[pc+1].Op == bytecode.LoadLocal && code[pc+1].A == 0 &&
+			code[pc+2].Op == bytecode.GetField &&
+			code[pc+3].Op == bytecode.ConstInt && code[pc+3].A == 1 &&
+			code[pc+4].Op == bytecode.Sub &&
+			code[pc+5].Op == bytecode.PutField && code[pc+5].A == code[pc+2].A {
+			decremented[code[pc+2].A] = true
+		}
+	}
+	if len(decremented) == 0 {
+		return nil
+	}
+
+	// Step 2: find reference-array element loads indexed by a
+	// decremented count:
+	//   LoadLocal 0; GetField arr; LoadLocal 0; GetField count; ArrayLoad(ref)
+	type access struct {
+		arraySlot, countSlot int32
+		pc                   int
+	}
+	var loads []access
+	nulledArrays := map[int32]bool{}
+	for pc := 0; pc+4 < len(code); pc++ {
+		if code[pc].Op == bytecode.LoadLocal && code[pc].A == 0 &&
+			code[pc+1].Op == bytecode.GetField &&
+			code[pc+2].Op == bytecode.LoadLocal && code[pc+2].A == 0 &&
+			code[pc+3].Op == bytecode.GetField &&
+			decremented[code[pc+3].A] &&
+			code[pc+4].Op == bytecode.ArrayLoad &&
+			bytecode.ElemKind(code[pc+4].A) == bytecode.ElemRef {
+			loads = append(loads, access{arraySlot: code[pc+1].A, countSlot: code[pc+3].A, pc: pc + 4})
+		}
+	}
+
+	// Step 3: find null stores into array fields of this:
+	//   LoadLocal 0; GetField arr; <index expr>; ConstNull; ArrayStore.
+	// The array is the GetField after which exactly one further value
+	// (the index) is produced before the ConstNull.
+	for pc := 0; pc+1 < len(code); pc++ {
+		if code[pc].Op != bytecode.LoadLocal || code[pc].A != 0 ||
+			pc+1 >= len(code) || code[pc+1].Op != bytecode.GetField {
+			continue
+		}
+		arrSlot := code[pc+1].A
+		net := 0
+		for q := pc + 2; q < len(code) && q < pc+16; q++ {
+			ins := code[q]
+			if ins.Op == bytecode.ConstNull && net == 1 &&
+				q+1 < len(code) && code[q+1].Op == bytecode.ArrayStore &&
+				bytecode.ElemKind(code[q+1].A) == bytecode.ElemRef {
+				nulledArrays[arrSlot] = true
+				break
+			}
+			if isControl(ins.Op) {
+				break
+			}
+			pops, pushes := instrEffect(p, ins)
+			net += pushes - pops
+			if net < 0 {
+				break
+			}
+		}
+	}
+
+	var leaks []VectorLeak
+	for _, l := range loads {
+		if nulledArrays[l.arraySlot] {
+			continue
+		}
+		leaks = append(leaks, VectorLeak{
+			Class:     m.Class,
+			Method:    m.ID,
+			ArraySlot: l.arraySlot,
+			CountSlot: l.countSlot,
+			LoadPC:    l.pc,
+		})
+	}
+	return leaks
+}
+
+// isControl reports control-transfer opcodes (scan terminators).
+func isControl(op bytecode.Op) bool {
+	switch op {
+	case bytecode.Jump, bytecode.JumpIfFalse, bytecode.JumpIfTrue,
+		bytecode.JumpIfNull, bytecode.JumpIfNonNull, bytecode.Return,
+		bytecode.ReturnValue, bytecode.Throw:
+		return true
+	}
+	return false
+}
+
+// instrEffect wraps StackEffect with the cases it leaves to callers.
+func instrEffect(p *bytecode.Program, in bytecode.Instr) (pops, pushes int) {
+	switch in.Op {
+	case bytecode.Dup:
+		return 1, 2
+	case bytecode.Swap:
+		return 2, 2
+	case bytecode.NewObject:
+		return 0, 1
+	}
+	return StackEffect(p, in)
+}

@@ -1,0 +1,142 @@
+package analysis
+
+import (
+	"dragprof/internal/bytecode"
+)
+
+// CallGraph is a rapid-type-analysis call graph: virtual calls resolve only
+// to overrides in classes the reachable program actually instantiates.
+// Table 5 marks analyses that need it with "(R)" — e.g. raytrace's proof
+// that a cache getter is never invoked.
+type CallGraph struct {
+	prog *bytecode.Program
+	// Reachable marks method ids reachable from main, the static
+	// initializers, and the finalizers of instantiated classes.
+	Reachable map[int32]bool
+	// Instantiated marks class ids with a reachable allocation.
+	Instantiated map[int32]bool
+	// Callees maps a method to its possible direct and dispatched
+	// callees.
+	Callees map[int32][]int32
+	// Callers is the inverse of Callees.
+	Callers map[int32][]int32
+}
+
+// BuildCallGraph runs RTA over the program.
+func BuildCallGraph(p *bytecode.Program) *CallGraph {
+	cg := &CallGraph{
+		prog:         p,
+		Reachable:    make(map[int32]bool),
+		Instantiated: make(map[int32]bool),
+		Callees:      make(map[int32][]int32),
+		Callers:      make(map[int32][]int32),
+	}
+
+	type vsite struct {
+		caller  int32
+		vindex  int32
+		declCls int32
+	}
+	var pendingVirtual []vsite
+	var work []int32
+
+	addMethod := func(id int32) {
+		if id < 0 || cg.Reachable[id] {
+			return
+		}
+		cg.Reachable[id] = true
+		work = append(work, id)
+	}
+	addEdge := func(from, to int32) {
+		for _, c := range cg.Callees[from] {
+			if c == to {
+				return
+			}
+		}
+		cg.Callees[from] = append(cg.Callees[from], to)
+		cg.Callers[to] = append(cg.Callers[to], from)
+	}
+	resolveVirtual := func(s vsite, class int32) {
+		// A call through declCls dispatches to class's implementation
+		// when class is a subtype of declCls.
+		if !p.IsSubclass(class, s.declCls) {
+			return
+		}
+		c := p.Classes[class]
+		if int(s.vindex) >= len(c.VTable) {
+			return
+		}
+		target := c.VTable[s.vindex]
+		addEdge(s.caller, target)
+		addMethod(target)
+	}
+	instantiate := func(class int32) {
+		if class < 0 || cg.Instantiated[class] {
+			return
+		}
+		cg.Instantiated[class] = true
+		// Finalizers of instantiated classes run from the collector.
+		c := p.Classes[class]
+		for vi, name := range c.VTableNames {
+			if name == "finalize" {
+				addMethod(c.VTable[vi])
+			}
+		}
+		for _, s := range pendingVirtual {
+			resolveVirtual(s, class)
+		}
+	}
+
+	// The VM itself instantiates String (+char[]) for literals and the
+	// runtime exception classes.
+	if p.StringClass >= 0 {
+		instantiate(p.StringClass)
+	}
+	for _, id := range p.RuntimeClasses {
+		instantiate(id)
+	}
+
+	for _, mid := range p.StaticInits {
+		addMethod(mid)
+	}
+	addMethod(p.Main)
+
+	for len(work) > 0 {
+		mid := work[len(work)-1]
+		work = work[:len(work)-1]
+		m := p.Methods[mid]
+		for _, in := range m.Code {
+			switch in.Op {
+			case bytecode.NewObject:
+				instantiate(in.A)
+				// The constructor is invoked explicitly via
+				// InvokeSpecial; nothing extra here.
+			case bytecode.InvokeStatic, bytecode.InvokeSpecial:
+				addEdge(mid, in.A)
+				addMethod(in.A)
+			case bytecode.InvokeVirtual:
+				s := vsite{caller: mid, vindex: in.A, declCls: in.B}
+				pendingVirtual = append(pendingVirtual, s)
+				for class := range cg.Instantiated {
+					resolveVirtual(s, class)
+				}
+			}
+		}
+	}
+	return cg
+}
+
+// UnreachableMethods lists method ids never called (excluding synthetic
+// static initializers) — dead code the paper's call-graph checks exploit.
+func (cg *CallGraph) UnreachableMethods() []int32 {
+	var out []int32
+	for _, m := range cg.prog.Methods {
+		if !cg.Reachable[m.ID] {
+			out = append(out, m.ID)
+		}
+	}
+	return out
+}
+
+// MethodReachable reports whether the method can run.
+func (cg *CallGraph) MethodReachable(id int32) bool { return cg.Reachable[id] }

@@ -1,0 +1,251 @@
+// Package analysis implements the static analyses Section 5 of the paper
+// identifies as the path to automating its space-saving rewrites: control
+// flow graphs and liveness for reference locals, usage and indirect-usage
+// analysis, an RTA call graph (the paper's call-graph dependence, marked
+// "(R)" in Table 5), and exception analysis for Java's precise exception
+// model.
+package analysis
+
+import (
+	"dragprof/internal/bytecode"
+)
+
+// Block is a basic block: the half-open pc range [Start, End).
+type Block struct {
+	ID    int
+	Start int32
+	End   int32
+	Succs []int
+	Preds []int
+	// Handler marks exception-handler entry blocks.
+	Handler bool
+}
+
+// CFG is a method's control flow graph. Exception edges (from every block
+// inside a protected range to its handler) are included so dataflow over
+// the CFG is sound for Java's precise exceptions.
+type CFG struct {
+	Method  *bytecode.Method
+	Blocks  []*Block
+	BlockOf []int // pc -> block id
+}
+
+// BuildCFG constructs the control flow graph of a method.
+func BuildCFG(m *bytecode.Method) *CFG {
+	n := int32(len(m.Code))
+	leader := make([]bool, n)
+	if n > 0 {
+		leader[0] = true
+	}
+	markLeader := func(pc int32) {
+		if pc >= 0 && pc < n {
+			leader[pc] = true
+		}
+	}
+	for pc, in := range m.Code {
+		switch in.Op {
+		case bytecode.Jump:
+			markLeader(in.A)
+			markLeader(int32(pc) + 1)
+		case bytecode.JumpIfFalse, bytecode.JumpIfTrue, bytecode.JumpIfNull, bytecode.JumpIfNonNull:
+			markLeader(in.A)
+			markLeader(int32(pc) + 1)
+		case bytecode.Return, bytecode.ReturnValue, bytecode.Throw:
+			markLeader(int32(pc) + 1)
+		}
+	}
+	handlerAt := make(map[int32]bool)
+	for _, ex := range m.Exceptions {
+		markLeader(ex.Handler)
+		handlerAt[ex.Handler] = true
+		// Protected-range boundaries also start blocks so exception
+		// edges attach at block granularity.
+		markLeader(ex.From)
+		markLeader(ex.To)
+	}
+
+	cfg := &CFG{Method: m, BlockOf: make([]int, n)}
+	var cur *Block
+	for pc := int32(0); pc < n; pc++ {
+		if leader[pc] {
+			cur = &Block{ID: len(cfg.Blocks), Start: pc, Handler: handlerAt[pc]}
+			cfg.Blocks = append(cfg.Blocks, cur)
+		}
+		cur.End = pc + 1
+		cfg.BlockOf[pc] = cur.ID
+	}
+
+	addEdge := func(from, to int) {
+		for _, s := range cfg.Blocks[from].Succs {
+			if s == to {
+				return
+			}
+		}
+		cfg.Blocks[from].Succs = append(cfg.Blocks[from].Succs, to)
+		cfg.Blocks[to].Preds = append(cfg.Blocks[to].Preds, from)
+	}
+
+	for _, b := range cfg.Blocks {
+		last := m.Code[b.End-1]
+		switch last.Op {
+		case bytecode.Jump:
+			addEdge(b.ID, cfg.BlockOf[last.A])
+		case bytecode.JumpIfFalse, bytecode.JumpIfTrue, bytecode.JumpIfNull, bytecode.JumpIfNonNull:
+			addEdge(b.ID, cfg.BlockOf[last.A])
+			if b.End < n {
+				addEdge(b.ID, cfg.BlockOf[b.End])
+			}
+		case bytecode.Return, bytecode.ReturnValue, bytecode.Throw:
+			// no successors
+		default:
+			if b.End < n {
+				addEdge(b.ID, cfg.BlockOf[b.End])
+			}
+		}
+		// Exception edges.
+		for _, ex := range m.Exceptions {
+			if b.Start < ex.To && b.End > ex.From {
+				addEdge(b.ID, cfg.BlockOf[ex.Handler])
+			}
+		}
+	}
+	return cfg
+}
+
+// bitset is a fixed-width bit vector over local slots.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) set(i int32)      { b[i/64] |= 1 << (uint(i) % 64) }
+func (b bitset) clear(i int32)    { b[i/64] &^= 1 << (uint(i) % 64) }
+func (b bitset) has(i int32) bool { return b[i/64]&(1<<(uint(i)%64)) != 0 }
+func (b bitset) orInto(o bitset) bool {
+	changed := false
+	for i := range b {
+		n := b[i] | o[i]
+		if n != b[i] {
+			b[i] = n
+			changed = true
+		}
+	}
+	return changed
+}
+func (b bitset) copyFrom(o bitset) {
+	copy(b, o)
+}
+
+// Liveness is a backward may-analysis over local slots: a slot is live at a
+// point when some path from it loads the slot before storing it. This is
+// the information Agesen et al. feed to GC and the paper's "assign null to
+// a dead local" validation.
+type Liveness struct {
+	cfg *CFG
+	// in and out are per-block live sets.
+	in, out []bitset
+	nslots  int
+}
+
+// ComputeLiveness runs the fixpoint.
+func ComputeLiveness(cfg *CFG) *Liveness {
+	nslots := cfg.Method.MaxLocals
+	lv := &Liveness{cfg: cfg, nslots: nslots}
+	nb := len(cfg.Blocks)
+	lv.in = make([]bitset, nb)
+	lv.out = make([]bitset, nb)
+	for i := 0; i < nb; i++ {
+		lv.in[i] = newBitset(nslots)
+		lv.out[i] = newBitset(nslots)
+	}
+	changed := true
+	for changed {
+		changed = false
+		for i := nb - 1; i >= 0; i-- {
+			b := cfg.Blocks[i]
+			out := newBitset(nslots)
+			for _, s := range b.Succs {
+				out.orInto(lv.in[s])
+			}
+			in := lv.transferBlock(b, out)
+			lv.out[i].copyFrom(out)
+			if lv.in[i].orInto(in) {
+				changed = true
+			}
+		}
+	}
+	return lv
+}
+
+// transferBlock applies the block's instructions backwards to out.
+func (lv *Liveness) transferBlock(b *Block, out bitset) bitset {
+	live := newBitset(lv.nslots)
+	live.copyFrom(out)
+	code := lv.cfg.Method.Code
+	for pc := b.End - 1; pc >= b.Start; pc-- {
+		applyLiveTransfer(code[pc], live)
+	}
+	return live
+}
+
+func applyLiveTransfer(in bytecode.Instr, live bitset) {
+	switch in.Op {
+	case bytecode.StoreLocal:
+		live.clear(in.A)
+	case bytecode.LoadLocal:
+		live.set(in.A)
+	}
+}
+
+// LiveAfter reports whether slot is live immediately after the instruction
+// at pc (i.e. whether any later load may observe the current value).
+func (lv *Liveness) LiveAfter(pc int, slot int32) bool {
+	b := lv.cfg.Blocks[lv.cfg.BlockOf[pc]]
+	live := newBitset(lv.nslots)
+	live.copyFrom(lv.out[b.ID])
+	code := lv.cfg.Method.Code
+	for p := b.End - 1; p > int32(pc); p-- {
+		applyLiveTransfer(code[p], live)
+	}
+	return live.has(slot)
+}
+
+// LiveBefore reports whether slot is live immediately before pc.
+func (lv *Liveness) LiveBefore(pc int, slot int32) bool {
+	live := lv.liveAtEntryOf(pc)
+	return live.has(slot)
+}
+
+func (lv *Liveness) liveAtEntryOf(pc int) bitset {
+	b := lv.cfg.Blocks[lv.cfg.BlockOf[pc]]
+	live := newBitset(lv.nslots)
+	live.copyFrom(lv.out[b.ID])
+	code := lv.cfg.Method.Code
+	for p := b.End - 1; p >= int32(pc); p-- {
+		applyLiveTransfer(code[p], live)
+	}
+	return live
+}
+
+// LastUses returns the pcs of LoadLocal instructions of slot after which
+// the slot is dead — the insertion points for "assign null after last use".
+func (lv *Liveness) LastUses(slot int32) []int {
+	var out []int
+	for pc, in := range lv.cfg.Method.Code {
+		if in.Op == bytecode.LoadLocal && in.A == slot && !lv.LiveAfter(pc, slot) {
+			out = append(out, pc)
+		}
+	}
+	return out
+}
+
+// DeadStores returns pcs of StoreLocal instructions whose stored value is
+// never loaded afterwards — the paper's usage analysis on locals.
+func (lv *Liveness) DeadStores() []int {
+	var out []int
+	for pc, in := range lv.cfg.Method.Code {
+		if in.Op == bytecode.StoreLocal && !lv.LiveAfter(pc, in.A) {
+			out = append(out, pc)
+		}
+	}
+	return out
+}

@@ -1,0 +1,371 @@
+package analysis
+
+import (
+	"dragprof/internal/bytecode"
+)
+
+// AnyThrowable is the abstract class id for exceptions of unknown type.
+const AnyThrowable int32 = -1
+
+// Exceptions computes, per method, the exception classes that can escape
+// it — the analysis Java's precise exception model forces on any code
+// removal or motion (paper Section 5.5). Implicit runtime exceptions
+// (NullPointerException, bounds, arithmetic, casts, allocation failures)
+// are modelled at the instructions that raise them; explicitly thrown
+// exceptions are typed by a local abstract interpretation of the operand
+// stack; calls propagate their callees' escaping sets through the call
+// graph to a fixpoint.
+type Exceptions struct {
+	prog *bytecode.Program
+	cg   *CallGraph
+	// escaping maps method id to the set of escaping exception classes;
+	// AnyThrowable subsumes everything.
+	escaping map[int32]map[int32]bool
+}
+
+// ComputeExceptions runs the interprocedural fixpoint.
+func ComputeExceptions(p *bytecode.Program, cg *CallGraph) *Exceptions {
+	ex := &Exceptions{
+		prog:     p,
+		cg:       cg,
+		escaping: make(map[int32]map[int32]bool),
+	}
+	changed := true
+	for changed {
+		changed = false
+		for mid := range cg.Reachable {
+			if ex.analyze(mid) {
+				changed = true
+			}
+		}
+	}
+	return ex
+}
+
+// Escaping returns the classes escaping the method (AnyThrowable possible).
+func (ex *Exceptions) Escaping(mid int32) []int32 {
+	set := ex.escaping[mid]
+	out := make([]int32, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	sortInt32(out)
+	return out
+}
+
+// CanEscape reports whether class (or an unknown exception) can escape mid.
+func (ex *Exceptions) CanEscape(mid int32, class int32) bool {
+	set := ex.escaping[mid]
+	if set[AnyThrowable] {
+		return true
+	}
+	for id := range set {
+		if id == class {
+			return true
+		}
+	}
+	return false
+}
+
+// HandlerExistsFor reports whether any reachable method declares a handler
+// that could catch the class. Compiler-generated catch-all handlers
+// (synchronized-block cleanup, which rethrows) are ignored; source-level
+// catch clauses always name a class.
+func (ex *Exceptions) HandlerExistsFor(class int32) bool {
+	for _, m := range ex.prog.Methods {
+		if !ex.cg.Reachable[m.ID] {
+			continue
+		}
+		for _, h := range m.Exceptions {
+			if h.CatchClass < 0 {
+				continue // synthetic rethrow handler
+			}
+			if ex.prog.IsSubclass(class, h.CatchClass) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// analyze recomputes one method's escaping set; reports growth.
+func (ex *Exceptions) analyze(mid int32) bool {
+	m := ex.prog.Methods[mid]
+	set := ex.escaping[mid]
+	if set == nil {
+		set = make(map[int32]bool)
+		ex.escaping[mid] = set
+	}
+	grew := false
+	raise := func(pc int32, class int32) {
+		if ex.caughtLocally(m, pc, class) {
+			return
+		}
+		if !set[class] {
+			set[class] = true
+			grew = true
+		}
+	}
+	raiseName := func(pc int32, name string) {
+		if id, ok := ex.prog.RuntimeClasses[name]; ok {
+			raise(pc, id)
+		}
+	}
+
+	throwTypes := ex.throwOperandTypes(m)
+	for pc, in := range m.Code {
+		p := int32(pc)
+		switch in.Op {
+		case bytecode.GetField, bytecode.PutField, bytecode.InvokeVirtual,
+			bytecode.InvokeSpecial, bytecode.MonitorEnter, bytecode.MonitorExit,
+			bytecode.ArrayLen:
+			raiseName(p, "NullPointerException")
+		case bytecode.ArrayLoad, bytecode.ArrayStore:
+			raiseName(p, "NullPointerException")
+			raiseName(p, "IndexOutOfBoundsException")
+		case bytecode.Div, bytecode.Rem:
+			raiseName(p, "ArithmeticException")
+		case bytecode.NewArray:
+			raiseName(p, "NegativeArraySizeException")
+			raiseName(p, "OutOfMemoryError")
+		case bytecode.NewObject, bytecode.ConstStr:
+			raiseName(p, "OutOfMemoryError")
+		case bytecode.CheckCast:
+			raiseName(p, "ClassCastException")
+		case bytecode.Throw:
+			classes, ok := throwTypes[pc]
+			if !ok {
+				raise(p, AnyThrowable)
+				continue
+			}
+			for _, c := range classes {
+				raise(p, c)
+			}
+		case bytecode.CallBuiltin:
+			switch bytecode.Builtin(in.A) {
+			case bytecode.BuiltinPrint, bytecode.BuiltinPrintln,
+				bytecode.BuiltinStringEquals, bytecode.BuiltinHash:
+				raiseName(p, "NullPointerException")
+			case bytecode.BuiltinArrayCopy:
+				raiseName(p, "NullPointerException")
+				raiseName(p, "IndexOutOfBoundsException")
+			}
+		}
+		// Callee propagation.
+		switch in.Op {
+		case bytecode.InvokeStatic, bytecode.InvokeSpecial:
+			for c := range ex.escaping[in.A] {
+				raise(p, c)
+			}
+		case bytecode.InvokeVirtual:
+			for class := range ex.cg.Instantiated {
+				if !ex.prog.IsSubclass(class, in.B) {
+					continue
+				}
+				cc := ex.prog.Classes[class]
+				if int(in.A) >= len(cc.VTable) {
+					continue
+				}
+				for c := range ex.escaping[cc.VTable[in.A]] {
+					raise(p, c)
+				}
+			}
+		}
+	}
+	return grew
+}
+
+// caughtLocally reports whether an exception of the class raised at pc is
+// definitely caught by one of the method's own handlers.
+func (ex *Exceptions) caughtLocally(m *bytecode.Method, pc int32, class int32) bool {
+	for _, h := range m.Exceptions {
+		if pc < h.From || pc >= h.To {
+			continue
+		}
+		if h.CatchClass < 0 {
+			// Catch-all (synchronized cleanup) rethrows; it does not
+			// absorb the exception.
+			continue
+		}
+		if class == AnyThrowable {
+			continue // unknown class: cannot prove it is caught
+		}
+		if ex.prog.IsSubclass(class, h.CatchClass) {
+			return true
+		}
+	}
+	return false
+}
+
+// throwOperandTypes types the operand of every Throw instruction by a
+// small forward stack simulation over allocation classes: a stack value is
+// either a set of class ids (from NewObject) or unknown.
+func (ex *Exceptions) throwOperandTypes(m *bytecode.Method) map[int][]int32 {
+	out := make(map[int][]int32)
+	cfg := BuildCFG(m)
+
+	type absVal struct {
+		classes map[int32]bool // nil means unknown
+	}
+	unknown := absVal{}
+	type state struct{ stack []absVal }
+
+	in := make([]*state, len(cfg.Blocks))
+	in[0] = &state{}
+	work := []int{0}
+	visited := 0
+	for len(work) > 0 && visited < 10000 {
+		visited++
+		bid := work[len(work)-1]
+		work = work[:len(work)-1]
+		st := &state{stack: append([]absVal(nil), in[bid].stack...)}
+		pop := func() absVal {
+			if len(st.stack) == 0 {
+				return unknown
+			}
+			v := st.stack[len(st.stack)-1]
+			st.stack = st.stack[:len(st.stack)-1]
+			return v
+		}
+		push := func(v absVal) { st.stack = append(st.stack, v) }
+
+		b := cfg.Blocks[bid]
+		for pc := b.Start; pc < b.End; pc++ {
+			ins := m.Code[pc]
+			switch ins.Op {
+			case bytecode.NewObject:
+				push(absVal{classes: map[int32]bool{ins.A: true}})
+			case bytecode.Throw:
+				v := pop()
+				if v.classes == nil {
+					delete(out, int(pc))
+					// Record explicitly as unknown by omission.
+				} else {
+					var cs []int32
+					for c := range v.classes {
+						cs = append(cs, c)
+					}
+					sortInt32(cs)
+					// Merge with prior visits.
+					merged := map[int32]bool{}
+					for _, c := range out[int(pc)] {
+						merged[c] = true
+					}
+					for _, c := range cs {
+						merged[c] = true
+					}
+					var all []int32
+					for c := range merged {
+						all = append(all, c)
+					}
+					sortInt32(all)
+					out[int(pc)] = all
+				}
+			case bytecode.Dup:
+				if len(st.stack) > 0 {
+					push(st.stack[len(st.stack)-1])
+				} else {
+					push(unknown)
+				}
+			case bytecode.Swap:
+				if n := len(st.stack); n >= 2 {
+					st.stack[n-1], st.stack[n-2] = st.stack[n-2], st.stack[n-1]
+				}
+			default:
+				pops, pushes := StackEffect(ex.prog, ins)
+				for i := 0; i < pops; i++ {
+					pop()
+				}
+				for i := 0; i < pushes; i++ {
+					push(unknown)
+				}
+			}
+		}
+		for _, succ := range cfg.Blocks[bid].Succs {
+			next := &state{stack: append([]absVal(nil), st.stack...)}
+			if cfg.Blocks[succ].Handler {
+				next = &state{stack: []absVal{unknown}}
+			}
+			if in[succ] == nil {
+				in[succ] = next
+				work = append(work, succ)
+				continue
+			}
+			// Merge: degrade mismatched or differing values to unknown.
+			changed := false
+			for i := range in[succ].stack {
+				if i >= len(next.stack) {
+					break
+				}
+				a, b := in[succ].stack[i], next.stack[i]
+				if a.classes == nil {
+					continue
+				}
+				if b.classes == nil {
+					in[succ].stack[i] = unknown
+					changed = true
+					continue
+				}
+				for c := range b.classes {
+					if !a.classes[c] {
+						a.classes[c] = true
+						changed = true
+					}
+				}
+			}
+			if changed {
+				work = append(work, succ)
+			}
+		}
+	}
+	return out
+}
+
+// StackEffect returns the operand-stack pop/push counts of an instruction.
+func StackEffect(p *bytecode.Program, in bytecode.Instr) (pops, pushes int) {
+	switch in.Op {
+	case bytecode.ConstInt, bytecode.ConstBool, bytecode.ConstChar,
+		bytecode.ConstNull, bytecode.ConstStr, bytecode.GetStatic, bytecode.LoadLocal:
+		return 0, 1
+	case bytecode.StoreLocal, bytecode.PutStatic, bytecode.Pop,
+		bytecode.JumpIfFalse, bytecode.JumpIfTrue, bytecode.JumpIfNull,
+		bytecode.JumpIfNonNull, bytecode.ReturnValue:
+		return 1, 0
+	case bytecode.GetField, bytecode.ArrayLen, bytecode.Neg, bytecode.Not,
+		bytecode.NewArray:
+		return 1, 1
+	case bytecode.PutField:
+		return 2, 0
+	case bytecode.ArrayLoad, bytecode.Add, bytecode.Sub, bytecode.Mul,
+		bytecode.Div, bytecode.Rem, bytecode.CmpEQ, bytecode.CmpNE,
+		bytecode.CmpLT, bytecode.CmpLE, bytecode.CmpGT, bytecode.CmpGE,
+		bytecode.RefEQ, bytecode.RefNE:
+		return 2, 1
+	case bytecode.ArrayStore:
+		return 3, 0
+	case bytecode.MonitorEnter, bytecode.MonitorExit, bytecode.Throw:
+		return 1, 0
+	case bytecode.CheckCast:
+		return 0, 0
+	case bytecode.InvokeStatic, bytecode.InvokeSpecial:
+		m := p.Methods[in.A]
+		return m.NumParams, returnCount(m)
+	case bytecode.InvokeVirtual:
+		decl := p.Classes[in.B]
+		m := p.Methods[decl.VTable[in.A]]
+		return m.NumParams, returnCount(m)
+	case bytecode.CallBuiltin:
+		pops, pushes, _ := builtinEffect(bytecode.Builtin(in.A))
+		return pops, pushes
+	}
+	return 0, 0
+}
+
+func returnCount(m *bytecode.Method) int {
+	for _, in := range m.Code {
+		if in.Op == bytecode.ReturnValue {
+			return 1
+		}
+	}
+	return 0
+}

@@ -1,0 +1,684 @@
+package analysis
+
+import (
+	"dragprof/internal/bytecode"
+)
+
+// UnknownSite is the abstract origin of values the flow analysis cannot
+// attribute to an allocation site (parameters of main, VM-created objects).
+const UnknownSite int32 = -1
+
+// siteSet is a set of allocation-site origins.
+type siteSet map[int32]struct{}
+
+func (s siteSet) add(id int32) bool {
+	if _, ok := s[id]; ok {
+		return false
+	}
+	s[id] = struct{}{}
+	return true
+}
+
+func (s siteSet) addAll(o siteSet) bool {
+	changed := false
+	for id := range o {
+		if s.add(id) {
+			changed = true
+		}
+	}
+	return changed
+}
+
+func (s siteSet) clone() siteSet {
+	out := make(siteSet, len(s))
+	for id := range s {
+		out[id] = struct{}{}
+	}
+	return out
+}
+
+func singleton(id int32) siteSet { return siteSet{id: {}} }
+
+var unknownSet = singleton(UnknownSite)
+
+type fieldKey struct {
+	class int32
+	slot  int32
+}
+
+// Flow is a whole-program value-flow analysis over allocation sites — the
+// machinery behind the paper's indirect-usage analysis (Section 5.1): an
+// object is never used if none of its references is ever dereferenced. The
+// analysis tracks which allocation sites can reach each local, operand,
+// field, static and (coarsely) array element, and records which sites'
+// objects appear as the receiver of a use operation.
+//
+// Constructor uses are excluded, following the paper's pattern 1: the
+// receiver does not flow into pure constructors, so initialization does not
+// count as a use; impure constructors (those that leak this) mark the site
+// used conservatively.
+type Flow struct {
+	prog *bytecode.Program
+	cg   *CallGraph
+	pure *Purity
+
+	// used marks sites whose objects are ever used; usedOutside marks
+	// sites used outside their own class's constructor (the paper's
+	// pattern-1 distinction: constructor-only uses do not count).
+	used        map[int32]bool
+	usedOutside map[int32]bool
+	// siteClass maps an allocation site to the allocated class (or -1
+	// for arrays).
+	siteClass map[int32]int32
+
+	params  map[int32][]siteSet // per method: incoming per-param sets
+	returns map[int32]siteSet   // per method: returned sets
+	fields  map[fieldKey]siteSet
+	statics map[fieldKey]siteSet
+	// arrayBuckets holds reference-array element sets keyed by the
+	// array's own allocation site (Section 5.2 explains why arrays are
+	// harder; per-array-site buckets keep sound precision). The
+	// UnknownSite bucket absorbs stores through untracked arrays and is
+	// included in every load.
+	arrayBuckets map[int32]siteSet
+
+	dirty map[int32]bool
+	queue []int32
+}
+
+// RunFlow computes the whole-program flow fixpoint.
+func RunFlow(p *bytecode.Program, cg *CallGraph) *Flow {
+	fl := &Flow{
+		prog:         p,
+		cg:           cg,
+		pure:         ComputePurity(p),
+		used:         make(map[int32]bool),
+		usedOutside:  make(map[int32]bool),
+		siteClass:    make(map[int32]int32),
+		params:       make(map[int32][]siteSet),
+		returns:      make(map[int32]siteSet),
+		fields:       make(map[fieldKey]siteSet),
+		statics:      make(map[fieldKey]siteSet),
+		arrayBuckets: make(map[int32]siteSet),
+		dirty:        make(map[int32]bool),
+	}
+	for _, m := range p.Methods {
+		for _, in := range m.Code {
+			if in.Op == bytecode.NewObject {
+				fl.siteClass[in.B] = in.A
+			} else if in.Op == bytecode.NewArray {
+				fl.siteClass[in.B] = -1
+			}
+		}
+	}
+	for mid := range cg.Reachable {
+		fl.enqueue(mid)
+	}
+	// Entry points receive unknown parameters.
+	fl.mergeParams(p.Main, nil)
+	for len(fl.queue) > 0 {
+		mid := fl.queue[len(fl.queue)-1]
+		fl.queue = fl.queue[:len(fl.queue)-1]
+		fl.dirty[mid] = false
+		fl.analyzeMethod(mid)
+	}
+	return fl
+}
+
+func (fl *Flow) enqueue(mid int32) {
+	if mid < 0 || fl.dirty[mid] || !fl.cg.Reachable[mid] {
+		return
+	}
+	fl.dirty[mid] = true
+	fl.queue = append(fl.queue, mid)
+}
+
+func (fl *Flow) enqueueCallers(mid int32) {
+	for _, c := range fl.cg.Callers[mid] {
+		fl.enqueue(c)
+	}
+}
+
+// mergeParams merges argument sets into a callee's parameter summary.
+func (fl *Flow) mergeParams(mid int32, args []siteSet) {
+	m := fl.prog.Methods[mid]
+	ps, ok := fl.params[mid]
+	if !ok {
+		ps = make([]siteSet, m.NumParams)
+		for i := range ps {
+			ps[i] = make(siteSet)
+		}
+		fl.params[mid] = ps
+	}
+	changed := false
+	for i := range ps {
+		if args == nil {
+			if ps[i].add(UnknownSite) {
+				changed = true
+			}
+		} else if i < len(args) && ps[i].addAll(args[i]) {
+			changed = true
+		}
+	}
+	if changed {
+		fl.enqueue(mid)
+	}
+}
+
+// markUsed records a use of every site in s occurring in method m. A use
+// inside the constructor of the site's own class counts as a
+// construction-only use (pattern 1); everything else is an outside use.
+func (fl *Flow) markUsed(s siteSet, m *bytecode.Method) {
+	insideOwnCtor := func(site int32) bool {
+		if m == nil || m.Flags&bytecode.FlagCtor == 0 {
+			return false
+		}
+		return fl.siteClass[site] == m.Class
+	}
+	for id := range s {
+		if id < 0 {
+			continue
+		}
+		fl.used[id] = true
+		if !insideOwnCtor(id) {
+			fl.usedOutside[id] = true
+		}
+	}
+}
+
+// state is the per-block abstract machine state.
+type flowState struct {
+	locals []siteSet
+	stack  []siteSet
+}
+
+func (st *flowState) clone() *flowState {
+	out := &flowState{
+		locals: make([]siteSet, len(st.locals)),
+		stack:  make([]siteSet, len(st.stack)),
+	}
+	for i, l := range st.locals {
+		out.locals[i] = l.clone()
+	}
+	for i, s := range st.stack {
+		out.stack[i] = s.clone()
+	}
+	return out
+}
+
+// mergeInto merges st into dst (same shapes), reporting changes.
+func (st *flowState) mergeInto(dst *flowState) bool {
+	changed := false
+	for i := range st.locals {
+		if dst.locals[i].addAll(st.locals[i]) {
+			changed = true
+		}
+	}
+	for i := range st.stack {
+		if i < len(dst.stack) && dst.stack[i].addAll(st.stack[i]) {
+			changed = true
+		}
+	}
+	return changed
+}
+
+func (st *flowState) push(s siteSet) { st.stack = append(st.stack, s) }
+
+func (st *flowState) pop() siteSet {
+	if len(st.stack) == 0 {
+		return unknownSet.clone()
+	}
+	s := st.stack[len(st.stack)-1]
+	st.stack = st.stack[:len(st.stack)-1]
+	return s
+}
+
+func (fl *Flow) analyzeMethod(mid int32) {
+	m := fl.prog.Methods[mid]
+	cfg := BuildCFG(m)
+
+	entry := &flowState{locals: make([]siteSet, m.MaxLocals)}
+	for i := range entry.locals {
+		entry.locals[i] = make(siteSet)
+	}
+	for i, ps := range fl.params[mid] {
+		if i < len(entry.locals) {
+			entry.locals[i].addAll(ps)
+		}
+	}
+
+	in := make([]*flowState, len(cfg.Blocks))
+	in[0] = entry
+	work := []int{0}
+	seen := map[int]bool{0: true}
+	for len(work) > 0 {
+		bid := work[len(work)-1]
+		work = work[:len(work)-1]
+		seen[bid] = false
+		st := in[bid].clone()
+		fl.simulateBlock(m, cfg.Blocks[bid], st)
+		for _, succ := range cfg.Blocks[bid].Succs {
+			succState := st
+			if cfg.Blocks[succ].Handler {
+				// Exception edge: operand stack is replaced by
+				// the thrown exception (unknown origin).
+				succState = &flowState{locals: st.locals, stack: []siteSet{unknownSet.clone()}}
+			}
+			if in[succ] == nil {
+				in[succ] = succState.clone()
+				if !seen[succ] {
+					seen[succ] = true
+					work = append(work, succ)
+				}
+				continue
+			}
+			// Align stack shapes conservatively.
+			for len(in[succ].stack) < len(succState.stack) {
+				in[succ].stack = append(in[succ].stack, make(siteSet))
+			}
+			if succState.mergeInto(in[succ]) && !seen[succ] {
+				seen[succ] = true
+				work = append(work, succ)
+			}
+		}
+	}
+}
+
+// simulateBlock abstractly executes a basic block, updating global
+// summaries and the used-site set.
+func (fl *Flow) simulateBlock(m *bytecode.Method, b *Block, st *flowState) {
+	for pc := b.Start; pc < b.End; pc++ {
+		in := m.Code[pc]
+		switch in.Op {
+		case bytecode.ConstInt, bytecode.ConstBool, bytecode.ConstChar:
+			st.push(make(siteSet))
+		case bytecode.ConstNull:
+			st.push(make(siteSet))
+		case bytecode.ConstStr:
+			st.push(unknownSet.clone())
+		case bytecode.LoadLocal:
+			st.push(st.locals[in.A].clone())
+		case bytecode.StoreLocal:
+			st.locals[in.A] = st.pop()
+		case bytecode.GetField:
+			recv := st.pop()
+			fl.markUsed(recv, m)
+			st.push(fl.fieldSet(recv, in.A))
+		case bytecode.PutField:
+			val := st.pop()
+			recv := st.pop()
+			fl.markUsed(recv, m)
+			fl.storeField(recv, in.A, val)
+		case bytecode.GetStatic:
+			st.push(fl.staticSet(fieldKey{in.B, in.A}))
+		case bytecode.PutStatic:
+			val := st.pop()
+			fl.storeStatic(fieldKey{in.B, in.A}, val)
+		case bytecode.NewObject:
+			st.push(singleton(in.B))
+		case bytecode.NewArray:
+			st.pop()
+			st.push(singleton(in.B))
+		case bytecode.ArrayLoad:
+			st.pop()
+			arr := st.pop()
+			fl.markUsed(arr, m)
+			if bytecode.ElemKind(in.A) == bytecode.ElemRef {
+				st.push(fl.loadArray(arr))
+			} else {
+				st.push(make(siteSet))
+			}
+		case bytecode.ArrayStore:
+			val := st.pop()
+			st.pop()
+			arr := st.pop()
+			fl.markUsed(arr, m)
+			if bytecode.ElemKind(in.A) == bytecode.ElemRef {
+				fl.storeArray(arr, val)
+			}
+		case bytecode.ArrayLen:
+			arr := st.pop()
+			fl.markUsed(arr, m)
+			st.push(make(siteSet))
+		case bytecode.InvokeStatic:
+			fl.call(st, in.A, false, m)
+		case bytecode.InvokeSpecial:
+			fl.call(st, in.A, true, m)
+		case bytecode.InvokeVirtual:
+			fl.callVirtual(st, in, m)
+		case bytecode.CallBuiltin:
+			fl.builtin(st, bytecode.Builtin(in.A), m)
+		case bytecode.Return:
+		case bytecode.ReturnValue:
+			v := st.pop()
+			fl.recordReturn(m.ID, v)
+		case bytecode.Jump, bytecode.Nop:
+		case bytecode.JumpIfFalse, bytecode.JumpIfTrue, bytecode.JumpIfNull, bytecode.JumpIfNonNull:
+			st.pop()
+		case bytecode.Add, bytecode.Sub, bytecode.Mul, bytecode.Div, bytecode.Rem,
+			bytecode.CmpEQ, bytecode.CmpNE, bytecode.CmpLT, bytecode.CmpLE,
+			bytecode.CmpGT, bytecode.CmpGE:
+			st.pop()
+			st.pop()
+			st.push(make(siteSet))
+		case bytecode.RefEQ, bytecode.RefNE:
+			st.pop()
+			st.pop()
+			st.push(make(siteSet))
+		case bytecode.Neg, bytecode.Not:
+			st.pop()
+			st.push(make(siteSet))
+		case bytecode.Dup:
+			top := st.stack[len(st.stack)-1]
+			st.push(top.clone())
+		case bytecode.Pop:
+			st.pop()
+		case bytecode.Swap:
+			n := len(st.stack)
+			st.stack[n-1], st.stack[n-2] = st.stack[n-2], st.stack[n-1]
+		case bytecode.CheckCast:
+			// Pass-through; a cast does not use the object.
+		case bytecode.Throw:
+			v := st.pop()
+			// The VM reads the exception for dispatch.
+			fl.markUsed(v, m)
+		case bytecode.MonitorEnter, bytecode.MonitorExit:
+			v := st.pop()
+			fl.markUsed(v, m)
+		}
+	}
+}
+
+// fieldSet joins the field summaries of every class the receiver may be.
+func (fl *Flow) fieldSet(recv siteSet, slot int32) siteSet {
+	out := make(siteSet)
+	for id := range recv {
+		class := UnknownSite
+		if id >= 0 {
+			class = fl.siteClass[id]
+		}
+		if class < 0 {
+			// Unknown receiver: join every class's summary for the
+			// slot (coarse but sound).
+			for k, s := range fl.fields {
+				if k.slot == slot {
+					out.addAll(s)
+				}
+			}
+			out.add(UnknownSite)
+			continue
+		}
+		out.addAll(fl.fieldSetOf(fieldKey{class, slot}))
+	}
+	return out
+}
+
+func (fl *Flow) fieldSetOf(k fieldKey) siteSet {
+	s, ok := fl.fields[k]
+	if !ok {
+		s = make(siteSet)
+		fl.fields[k] = s
+	}
+	return s
+}
+
+func (fl *Flow) storeField(recv siteSet, slot int32, val siteSet) {
+	changed := false
+	for id := range recv {
+		class := UnknownSite
+		if id >= 0 {
+			class = fl.siteClass[id]
+		}
+		if class < 0 {
+			// Unknown receiver: the value may land in any class's
+			// slot; fold into the unknown bucket to stay sound
+			// without exploding every summary.
+			if fl.bucket(UnknownSite).addAll(val) {
+				changed = true
+			}
+			continue
+		}
+		if fl.fieldSetOf(fieldKey{class, slot}).addAll(val) {
+			changed = true
+		}
+	}
+	if changed {
+		fl.invalidateAll()
+	}
+}
+
+func (fl *Flow) staticSet(k fieldKey) siteSet {
+	s, ok := fl.statics[k]
+	if !ok {
+		s = make(siteSet)
+		fl.statics[k] = s
+	}
+	return s.clone()
+}
+
+func (fl *Flow) storeStatic(k fieldKey, val siteSet) {
+	s, ok := fl.statics[k]
+	if !ok {
+		s = make(siteSet)
+		fl.statics[k] = s
+	}
+	if s.addAll(val) {
+		fl.invalidateAll()
+	}
+}
+
+// bucket returns (creating if needed) the element set of an array site.
+func (fl *Flow) bucket(site int32) siteSet {
+	b, ok := fl.arrayBuckets[site]
+	if !ok {
+		b = make(siteSet)
+		fl.arrayBuckets[site] = b
+	}
+	return b
+}
+
+// loadArray joins the element buckets of every array the value may be; the
+// unknown bucket is always included, and an unknown array includes every
+// bucket.
+func (fl *Flow) loadArray(arr siteSet) siteSet {
+	out := make(siteSet)
+	out.addAll(fl.bucket(UnknownSite))
+	for id := range arr {
+		if id == UnknownSite {
+			for _, b := range fl.arrayBuckets {
+				out.addAll(b)
+			}
+			out.add(UnknownSite)
+			continue
+		}
+		out.addAll(fl.bucket(id))
+	}
+	return out
+}
+
+// storeArray adds the value to the buckets of every array the target may
+// be.
+func (fl *Flow) storeArray(arr siteSet, val siteSet) {
+	changed := false
+	for id := range arr {
+		if fl.bucket(id).addAll(val) {
+			changed = true
+		}
+	}
+	if len(arr) == 0 && fl.bucket(UnknownSite).addAll(val) {
+		changed = true
+	}
+	if changed {
+		fl.invalidateAll()
+	}
+}
+
+// invalidateAll re-queues every reachable method after a global summary
+// grew. Coarse but convergent: summaries only grow.
+func (fl *Flow) invalidateAll() {
+	for mid := range fl.cg.Reachable {
+		fl.enqueue(mid)
+	}
+}
+
+func (fl *Flow) recordReturn(mid int32, v siteSet) {
+	s, ok := fl.returns[mid]
+	if !ok {
+		s = make(siteSet)
+		fl.returns[mid] = s
+	}
+	if s.addAll(v) {
+		fl.enqueueCallers(mid)
+	}
+}
+
+func (fl *Flow) call(st *flowState, target int32, isSpecial bool, caller *bytecode.Method) {
+	callee := fl.prog.Methods[target]
+	args := make([]siteSet, callee.NumParams)
+	for i := callee.NumParams - 1; i >= 0; i-- {
+		args[i] = st.pop()
+	}
+	if isSpecial && callee.Flags&bytecode.FlagCtor != 0 {
+		// The constructor invocation at the allocation: only an impure
+		// constructor (which may leak this) makes it an outside use;
+		// uses inside the constructor body classify themselves via
+		// markUsed's own-ctor rule.
+		if !fl.pure.CtorPure(target) {
+			fl.markUsed(args[0], nil)
+		}
+	} else if !callee.IsStatic() {
+		fl.markUsed(args[0], caller)
+	}
+	fl.mergeParams(target, args)
+	fl.pushReturn(st, target)
+}
+
+func (fl *Flow) callVirtual(st *flowState, in bytecode.Instr, caller *bytecode.Method) {
+	decl := fl.prog.Classes[in.B]
+	declared := fl.prog.Methods[decl.VTable[in.A]]
+	args := make([]siteSet, declared.NumParams)
+	for i := declared.NumParams - 1; i >= 0; i-- {
+		args[i] = st.pop()
+	}
+	fl.markUsed(args[0], caller)
+	pushed := false
+	for class := range fl.cg.Instantiated {
+		if !fl.prog.IsSubclass(class, in.B) {
+			continue
+		}
+		c := fl.prog.Classes[class]
+		if int(in.A) >= len(c.VTable) {
+			continue
+		}
+		target := c.VTable[in.A]
+		fl.mergeParams(target, args)
+		if !pushed {
+			fl.pushReturn(st, target)
+			pushed = true
+		} else if fl.returnsValue(target) {
+			// Join further targets' returns into the pushed slot.
+			top := st.stack[len(st.stack)-1]
+			if s, ok := fl.returns[target]; ok {
+				top.addAll(s)
+			}
+		}
+	}
+	if !pushed && fl.returnsValue(declared.ID) {
+		st.push(unknownSet.clone())
+	}
+}
+
+// returnsValue inspects the method body for ReturnValue.
+func (fl *Flow) returnsValue(mid int32) bool {
+	for _, in := range fl.prog.Methods[mid].Code {
+		if in.Op == bytecode.ReturnValue {
+			return true
+		}
+	}
+	return false
+}
+
+func (fl *Flow) pushReturn(st *flowState, target int32) {
+	if !fl.returnsValue(target) {
+		return
+	}
+	if s, ok := fl.returns[target]; ok {
+		st.push(s.clone())
+	} else {
+		st.push(make(siteSet))
+	}
+}
+
+func (fl *Flow) builtin(st *flowState, b bytecode.Builtin, caller *bytecode.Method) {
+	pops, pushes, refArgs := builtinEffect(b)
+	args := make([]siteSet, pops)
+	for i := pops - 1; i >= 0; i-- {
+		args[i] = st.pop()
+	}
+	for _, i := range refArgs {
+		fl.markUsed(args[i], caller)
+		// Native code also dereferences the String's char array.
+		if fl.prog.StringClass >= 0 && fl.prog.StringChars >= 0 {
+			fl.markUsed(fl.fieldSetOf(fieldKey{fl.prog.StringClass, fl.prog.StringChars}), nil)
+		}
+	}
+	for i := 0; i < pushes; i++ {
+		st.push(make(siteSet))
+	}
+}
+
+// builtinEffect returns argument count, result count and which argument
+// indices hold dereferenced references.
+func builtinEffect(b bytecode.Builtin) (pops, pushes int, refArgs []int) {
+	switch b {
+	case bytecode.BuiltinPrint, bytecode.BuiltinPrintln, bytecode.BuiltinAbort:
+		return 1, 0, []int{0}
+	case bytecode.BuiltinPrintInt, bytecode.BuiltinSeedRandom:
+		return 1, 0, nil
+	case bytecode.BuiltinRandom, bytecode.BuiltinHash:
+		if b == bytecode.BuiltinHash {
+			return 1, 1, []int{0}
+		}
+		return 1, 1, nil
+	case bytecode.BuiltinArrayCopy:
+		return 5, 0, []int{0, 2}
+	case bytecode.BuiltinStringEquals:
+		return 2, 1, []int{0, 1}
+	case bytecode.BuiltinTicks:
+		return 0, 1, nil
+	case bytecode.BuiltinGC:
+		return 0, 0, nil
+	}
+	return 0, 0, nil
+}
+
+// SiteUsed reports whether any object allocated at the site is used
+// outside its own class's construction.
+func (fl *Flow) SiteUsed(site int32) bool { return fl.usedOutside[site] }
+
+// SiteUsedAnywhere reports whether the site's objects are used at all,
+// including inside their own constructor.
+func (fl *Flow) SiteUsedAnywhere(site int32) bool { return fl.used[site] }
+
+// NeverUsedSites lists reachable allocation sites whose objects are never
+// used outside their (pure) constructors — the static counterpart of the
+// profiler's never-used partition, and the soundness check for dead-code
+// removal.
+func (fl *Flow) NeverUsedSites() []int32 {
+	var out []int32
+	for _, m := range fl.prog.Methods {
+		if !fl.cg.Reachable[m.ID] {
+			continue
+		}
+		for _, in := range m.Code {
+			if in.Op != bytecode.NewObject && in.Op != bytecode.NewArray {
+				continue
+			}
+			site := in.B
+			if !fl.usedOutside[site] {
+				out = append(out, site)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,377 @@
+package analysis
+
+import (
+	"dragprof/internal/bytecode"
+)
+
+// Value tags for the constructor-purity simulation.
+const (
+	tagThis  uint8 = 1 << iota // the constructor's receiver
+	tagFresh                   // allocated inside the constructor
+	tagOther                   // anything else
+)
+
+// CtorFacts captures what a constructor may do, the facts the paper's
+// dead-code-removal and lazy-allocation legality checks need (Sections
+// 3.3.2, 3.3.3).
+type CtorFacts struct {
+	// LeaksThis: the receiver may be stored outside itself or passed on.
+	LeaksThis bool
+	// WritesGlobal: a static field or foreign object may be written.
+	WritesGlobal bool
+	// CallsOpaque: calls something the analysis cannot prove harmless.
+	CallsOpaque bool
+	// ReadsState: reads statics or foreign fields (forbidden for lazy
+	// allocation, whose delayed constructor must see identical state).
+	ReadsState bool
+	// MayThrow lists exception class ids the body may raise (runtime
+	// exceptions included); OutOfMemoryError is implicit everywhere an
+	// allocation exists and is reported too.
+	MayThrow []int32
+}
+
+// Pure reports whether removal of a `new` whose result is unused preserves
+// behaviour, up to exceptions (which the caller must check against the
+// program's handlers via HandlerExistsFor).
+func (f CtorFacts) Pure() bool {
+	return !f.LeaksThis && !f.WritesGlobal && !f.CallsOpaque
+}
+
+// StateIndependent additionally requires the constructor not to read
+// mutable program state, the lazy-allocation requirement.
+func (f CtorFacts) StateIndependent() bool {
+	return f.Pure() && !f.ReadsState
+}
+
+// Purity holds constructor facts for every constructor in a program.
+type Purity struct {
+	prog  *bytecode.Program
+	facts map[int32]CtorFacts
+}
+
+// ComputePurity analyzes every constructor (non-constructors are treated
+// as opaque).
+func ComputePurity(p *bytecode.Program) *Purity {
+	pu := &Purity{prog: p, facts: make(map[int32]CtorFacts)}
+	// Iterate to a fixpoint so constructors calling constructors
+	// resolve; facts only gain badness, so two rounds suffice for the
+	// single level of ctor-in-ctor nesting, but iterate until stable for
+	// safety.
+	for {
+		changed := false
+		for _, m := range p.Methods {
+			if m.Flags&bytecode.FlagCtor == 0 {
+				continue
+			}
+			f := pu.analyzeCtor(m)
+			if old, ok := pu.facts[m.ID]; !ok || !sameFacts(old, f) {
+				pu.facts[m.ID] = f
+				changed = true
+			}
+		}
+		if !changed {
+			return pu
+		}
+	}
+}
+
+// sameFacts compares two fact records field by field.
+func sameFacts(a, b CtorFacts) bool {
+	if a.LeaksThis != b.LeaksThis || a.WritesGlobal != b.WritesGlobal ||
+		a.CallsOpaque != b.CallsOpaque || a.ReadsState != b.ReadsState ||
+		len(a.MayThrow) != len(b.MayThrow) {
+		return false
+	}
+	for i := range a.MayThrow {
+		if a.MayThrow[i] != b.MayThrow[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Facts returns the constructor's facts; opaque facts for non-ctors.
+func (pu *Purity) Facts(mid int32) CtorFacts {
+	if f, ok := pu.facts[mid]; ok {
+		return f
+	}
+	return CtorFacts{LeaksThis: true, WritesGlobal: true, CallsOpaque: true, ReadsState: true}
+}
+
+// CtorPure reports the dead-code-removal purity of a constructor.
+func (pu *Purity) CtorPure(mid int32) bool { return pu.Facts(mid).Pure() }
+
+// analyzeCtor abstractly executes the constructor with the {this, fresh,
+// other} tag domain. Reads of this's (or a fresh object's) own fields
+// return the union of everything the constructor stored into own fields
+// (ownStores), so `data = new int[n]; data[0] = n;` keeps its fresh tag;
+// the union is iterated to a fixpoint (the tag domain has 3 bits).
+func (pu *Purity) analyzeCtor(m *bytecode.Method) CtorFacts {
+	var ownStores uint8
+	for {
+		f, newOwn := pu.analyzeCtorOnce(m, ownStores)
+		if newOwn == ownStores {
+			return f
+		}
+		ownStores = newOwn
+	}
+}
+
+func (pu *Purity) analyzeCtorOnce(m *bytecode.Method, ownStores uint8) (CtorFacts, uint8) {
+	var f CtorFacts
+	throwSet := map[int32]bool{}
+	addThrow := func(name string) {
+		if id, ok := pu.prog.RuntimeClasses[name]; ok {
+			throwSet[id] = true
+		}
+	}
+
+	cfg := BuildCFG(m)
+	type state struct {
+		locals []uint8
+		stack  []uint8
+	}
+	entry := &state{locals: make([]uint8, m.MaxLocals)}
+	if m.MaxLocals > 0 {
+		entry.locals[0] = tagThis
+	}
+	for i := 1; i < m.NumParams; i++ {
+		entry.locals[i] = tagOther
+	}
+
+	in := make([]*state, len(cfg.Blocks))
+	in[0] = entry
+	work := []int{0}
+	for len(work) > 0 {
+		bid := work[len(work)-1]
+		work = work[:len(work)-1]
+		st := &state{
+			locals: append([]uint8(nil), in[bid].locals...),
+			stack:  append([]uint8(nil), in[bid].stack...),
+		}
+		pop := func() uint8 {
+			if len(st.stack) == 0 {
+				return tagOther
+			}
+			v := st.stack[len(st.stack)-1]
+			st.stack = st.stack[:len(st.stack)-1]
+			return v
+		}
+		push := func(v uint8) { st.stack = append(st.stack, v) }
+
+		b := cfg.Blocks[bid]
+		for pc := b.Start; pc < b.End; pc++ {
+			in := m.Code[pc]
+			switch in.Op {
+			case bytecode.ConstInt, bytecode.ConstBool, bytecode.ConstChar, bytecode.ConstNull:
+				push(tagOther)
+			case bytecode.ConstStr:
+				push(tagOther)
+				addThrow("OutOfMemoryError")
+			case bytecode.LoadLocal:
+				push(st.locals[in.A])
+			case bytecode.StoreLocal:
+				st.locals[in.A] = pop()
+			case bytecode.GetField:
+				recv := pop()
+				if recv&(tagThis|tagFresh) == 0 || recv&tagOther != 0 {
+					f.ReadsState = true
+					addThrow("NullPointerException")
+					push(tagOther)
+				} else {
+					// Own field: holds only what this ctor stored.
+					push(ownStores)
+				}
+			case bytecode.PutField:
+				val := pop()
+				recv := pop()
+				if recv&tagOther != 0 {
+					f.WritesGlobal = true
+					addThrow("NullPointerException")
+				}
+				if recv&(tagThis|tagFresh) != 0 {
+					ownStores |= val
+				}
+				if val&tagThis != 0 {
+					f.LeaksThis = true
+				}
+			case bytecode.GetStatic:
+				f.ReadsState = true
+				push(tagOther)
+			case bytecode.PutStatic:
+				pop()
+				f.WritesGlobal = true
+			case bytecode.NewObject, bytecode.NewArray:
+				if in.Op == bytecode.NewArray {
+					pop()
+					addThrow("NegativeArraySizeException")
+				}
+				addThrow("OutOfMemoryError")
+				push(tagFresh)
+			case bytecode.ArrayLoad:
+				pop()
+				recv := pop()
+				if recv&tagFresh == 0 {
+					f.ReadsState = true
+				}
+				addThrow("IndexOutOfBoundsException")
+				if recv&tagOther != 0 {
+					addThrow("NullPointerException")
+				}
+				push(tagOther)
+			case bytecode.ArrayStore:
+				val := pop()
+				pop()
+				recv := pop()
+				if recv&tagFresh == 0 && recv&tagThis == 0 {
+					f.WritesGlobal = true
+				}
+				if val&tagThis != 0 {
+					f.LeaksThis = true
+				}
+				addThrow("IndexOutOfBoundsException")
+				if recv&tagOther != 0 {
+					addThrow("NullPointerException")
+				}
+			case bytecode.ArrayLen:
+				pop()
+				push(tagOther)
+			case bytecode.InvokeSpecial:
+				callee := pu.prog.Methods[in.A]
+				args := make([]uint8, callee.NumParams)
+				for i := callee.NumParams - 1; i >= 0; i-- {
+					args[i] = pop()
+				}
+				calleeFacts, known := pu.facts[in.A]
+				recvFresh := args[0]&tagFresh != 0 && args[0]&(tagThis|tagOther) == 0
+				argLeak := false
+				for _, a := range args[1:] {
+					if a&tagThis != 0 {
+						argLeak = true
+					}
+				}
+				if callee.Flags&bytecode.FlagCtor != 0 && known && calleeFacts.Pure() && recvFresh && !argLeak {
+					// Nested construction of a fresh object with a
+					// pure constructor: harmless.
+					f.ReadsState = f.ReadsState || calleeFacts.ReadsState
+					for _, t := range calleeFacts.MayThrow {
+						throwSet[t] = true
+					}
+				} else {
+					f.CallsOpaque = true
+					if argLeak || args[0]&tagThis != 0 && callee.Flags&bytecode.FlagCtor == 0 {
+						f.LeaksThis = true
+					}
+				}
+			case bytecode.InvokeStatic, bytecode.InvokeVirtual, bytecode.CallBuiltin:
+				f.CallsOpaque = true
+				// Pop what we can and assume leakage of this if it
+				// may be among the arguments.
+				n := 0
+				switch in.Op {
+				case bytecode.InvokeStatic:
+					n = pu.prog.Methods[in.A].NumParams
+				case bytecode.InvokeVirtual:
+					decl := pu.prog.Classes[in.B]
+					n = pu.prog.Methods[decl.VTable[in.A]].NumParams
+				case bytecode.CallBuiltin:
+					n, _, _ = builtinEffect(bytecode.Builtin(in.A))
+				}
+				for i := 0; i < n; i++ {
+					if pop()&tagThis != 0 {
+						f.LeaksThis = true
+					}
+				}
+				push(tagOther) // conservative result slot
+			case bytecode.Return:
+			case bytecode.ReturnValue:
+				pop()
+			case bytecode.Jump, bytecode.Nop:
+			case bytecode.JumpIfFalse, bytecode.JumpIfTrue, bytecode.JumpIfNull, bytecode.JumpIfNonNull:
+				pop()
+			case bytecode.Add, bytecode.Sub, bytecode.Mul:
+				pop()
+				pop()
+				push(tagOther)
+			case bytecode.Div, bytecode.Rem:
+				pop()
+				pop()
+				push(tagOther)
+				addThrow("ArithmeticException")
+			case bytecode.CmpEQ, bytecode.CmpNE, bytecode.CmpLT, bytecode.CmpLE,
+				bytecode.CmpGT, bytecode.CmpGE, bytecode.RefEQ, bytecode.RefNE:
+				pop()
+				pop()
+				push(tagOther)
+			case bytecode.Neg, bytecode.Not:
+				pop()
+				push(tagOther)
+			case bytecode.Dup:
+				v := pop()
+				push(v)
+				push(v)
+			case bytecode.Pop:
+				pop()
+			case bytecode.Swap:
+				a, b := pop(), pop()
+				push(a)
+				push(b)
+			case bytecode.CheckCast:
+				addThrow("ClassCastException")
+			case bytecode.Throw:
+				pop()
+				f.CallsOpaque = true // explicit throws make removal unsafe
+			case bytecode.MonitorEnter, bytecode.MonitorExit:
+				recv := pop()
+				if recv&tagOther != 0 {
+					addThrow("NullPointerException")
+				}
+			}
+		}
+
+		for _, succ := range cfg.Blocks[bid].Succs {
+			succState := st
+			if cfg.Blocks[succ].Handler {
+				succState = &state{locals: st.locals, stack: []uint8{tagOther}}
+			}
+			if in[succ] == nil {
+				in[succ] = &state{
+					locals: append([]uint8(nil), succState.locals...),
+					stack:  append([]uint8(nil), succState.stack...),
+				}
+				work = append(work, succ)
+				continue
+			}
+			changed := false
+			for i := range succState.locals {
+				if in[succ].locals[i]|succState.locals[i] != in[succ].locals[i] {
+					in[succ].locals[i] |= succState.locals[i]
+					changed = true
+				}
+			}
+			for i := range succState.stack {
+				if i < len(in[succ].stack) && in[succ].stack[i]|succState.stack[i] != in[succ].stack[i] {
+					in[succ].stack[i] |= succState.stack[i]
+					changed = true
+				}
+			}
+			if changed {
+				work = append(work, succ)
+			}
+		}
+	}
+
+	for id := range throwSet {
+		f.MayThrow = append(f.MayThrow, id)
+	}
+	sortInt32(f.MayThrow)
+	return f, ownStores
+}
+
+func sortInt32(xs []int32) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

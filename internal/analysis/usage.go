@@ -1,0 +1,98 @@
+package analysis
+
+import (
+	"dragprof/internal/bytecode"
+)
+
+// FieldRef names a field for usage reports.
+type FieldRef struct {
+	Class  int32
+	Slot   int32
+	Static bool
+	Name   string
+	Vis    bytecode.Visibility
+}
+
+// UsageReport is the result of the paper's usage analysis (Section 5.1):
+// variables that are written with side-effect-free expressions but never
+// read, whose assignments — and, transitively, the allocations feeding
+// them — can be removed. The Locale example of the paper is an unread
+// public static field initialized with a fresh allocation.
+type UsageReport struct {
+	// UnreadStatics are static fields written but never read in any
+	// reachable method.
+	UnreadStatics []FieldRef
+	// UnreadFields are instance fields written but never read.
+	UnreadFields []FieldRef
+	// DeadLocalStores maps method id to pcs of StoreLocal instructions
+	// whose value is never loaded.
+	DeadLocalStores map[int32][]int
+}
+
+// AnalyzeUsage scans every reachable method for field reads/writes and dead
+// local stores.
+func AnalyzeUsage(p *bytecode.Program, cg *CallGraph) *UsageReport {
+	type key = fieldKey
+	readStatic := make(map[key]bool)
+	writeStatic := make(map[key]bool)
+	readField := make(map[key]bool)
+	writeField := make(map[key]bool)
+
+	rep := &UsageReport{DeadLocalStores: make(map[int32][]int)}
+	for _, m := range p.Methods {
+		if !cg.Reachable[m.ID] {
+			continue
+		}
+		for _, in := range m.Code {
+			switch in.Op {
+			case bytecode.GetStatic:
+				readStatic[key{in.B, in.A}] = true
+			case bytecode.PutStatic:
+				writeStatic[key{in.B, in.A}] = true
+			case bytecode.GetField:
+				// The declaring class is recorded in B, but a
+				// subclass object may be accessed through an
+				// inherited slot; key on slot + declaring class.
+				readField[key{in.B, in.A}] = true
+			case bytecode.PutField:
+				writeField[key{in.B, in.A}] = true
+			}
+		}
+		cfg := BuildCFG(m)
+		lv := ComputeLiveness(cfg)
+		if dead := lv.DeadStores(); len(dead) > 0 {
+			rep.DeadLocalStores[m.ID] = dead
+		}
+	}
+
+	// Instance field slots are inherited: a read via a subclass's
+	// declaring id still reaches the same slot. Fold reads upward and
+	// downward across the hierarchy by slot.
+	slotRead := make(map[int32]bool) // instance slot read anywhere
+	for k := range readField {
+		slotRead[k.slot] = true
+	}
+
+	for _, c := range p.Classes {
+		for _, fd := range c.Fields {
+			ref := FieldRef{Class: c.ID, Slot: fd.Slot, Static: fd.Static, Name: fd.Name, Vis: fd.Vis}
+			if fd.Static {
+				k := key{c.ID, fd.Slot}
+				if writeStatic[k] && !readStatic[k] {
+					rep.UnreadStatics = append(rep.UnreadStatics, ref)
+				}
+			} else {
+				written := false
+				for k := range writeField {
+					if k.slot == fd.Slot && p.IsSubclass(k.class, c.ID) || k == (key{c.ID, fd.Slot}) {
+						written = true
+					}
+				}
+				if written && !slotRead[fd.Slot] {
+					rep.UnreadFields = append(rep.UnreadFields, ref)
+				}
+			}
+		}
+	}
+	return rep
+}

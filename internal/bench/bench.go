@@ -1,0 +1,236 @@
+// Package bench contains the nine benchmark workloads of the paper's
+// evaluation (five SPECjvm98 programs, two Java Grande programs and two
+// IBM-internal tools), reproduced as MiniJava programs engineered to
+// exhibit the same lifetime pathologies, in original and revised (manually
+// rewritten) versions — plus the harness that regenerates every table and
+// figure of the evaluation section.
+package bench
+
+import (
+	"embed"
+	"fmt"
+	"sort"
+	"strings"
+
+	"dragprof/internal/bytecode"
+	"dragprof/internal/drag"
+	"dragprof/internal/mj"
+	"dragprof/internal/profile"
+	"dragprof/internal/vm"
+)
+
+//go:embed programs/*.mj
+var programs embed.FS
+
+// Version selects the original or the manually rewritten program.
+type Version string
+
+// Program versions.
+const (
+	// Original is the unmodified workload.
+	Original Version = "original"
+	// Revised applies the paper's rewrites.
+	Revised Version = "revised"
+)
+
+// InputKind selects the profiling input.
+type InputKind string
+
+// Inputs.
+const (
+	// OriginalInput is the input the tool was applied to.
+	OriginalInput InputKind = "original"
+	// AlternateInput is the second input of Table 3.
+	AlternateInput InputKind = "alternate"
+)
+
+// Params is the benchmark's workload parameterization, compiled into a
+// static Params class.
+type Params map[string]int
+
+// Rewriting is one Table 5 row: the strategy applied, the kind of
+// reference it touches, and the static analysis that could automate it.
+type Rewriting struct {
+	Strategy string
+	RefKind  string
+	Analysis string
+}
+
+// Benchmark describes one workload.
+type Benchmark struct {
+	// Name is the paper's benchmark name.
+	Name string
+	// Description is the Table 1 short description.
+	Description string
+	// Suite names the origin (SPECjvm98, Java Grande, IBM).
+	Suite string
+	// OrigFile and RevFile are the program sources; identical names mean
+	// the paper found no profitable rewrite (db).
+	OrigFile, RevFile string
+	// FixedCollections compiles the revised version against the
+	// rewritten collections library (the paper's JDK rewrite).
+	FixedCollections bool
+	// OrigParams and AltParams are the two profiling inputs.
+	OrigParams, AltParams Params
+	// Rewritings lists the Table 5 rows.
+	Rewritings []Rewriting
+	// PaperDragSavingPct and PaperSpaceSavingPct are the paper's Table 2
+	// results, kept for shape comparison in EXPERIMENTS.md.
+	PaperDragSavingPct  float64
+	PaperSpaceSavingPct float64
+	// PaperAltSpaceSavingPct is the paper's Table 3 result.
+	PaperAltSpaceSavingPct float64
+	// PaperRuntimeSavingPct is the paper's Table 4 result.
+	PaperRuntimeSavingPct float64
+}
+
+// HasRewrite reports whether a revised version exists (db has none).
+func (b *Benchmark) HasRewrite() bool { return b.RevFile != b.OrigFile }
+
+// paramsSource renders the Params class for an input.
+func paramsSource(p Params) string {
+	keys := make([]string, 0, len(p))
+	for k := range p {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	sb.WriteString("class Params {\n")
+	for _, k := range keys {
+		fmt.Fprintf(&sb, "    static int %s = %d;\n", k, p[k])
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// Sources returns the ordered file names and contents to compile for a
+// given version and input.
+func (b *Benchmark) Sources(version Version, input InputKind) ([]string, map[string]string, error) {
+	lib := "programs/collections.mj"
+	file := b.OrigFile
+	if version == Revised && b.HasRewrite() {
+		file = b.RevFile
+		if b.FixedCollections {
+			lib = "programs/collections_fixed.mj"
+		}
+	}
+	params := b.OrigParams
+	if input == AlternateInput {
+		params = b.AltParams
+	}
+	libSrc, err := programs.ReadFile(lib)
+	if err != nil {
+		return nil, nil, fmt.Errorf("bench: %w", err)
+	}
+	appSrc, err := programs.ReadFile("programs/" + file)
+	if err != nil {
+		return nil, nil, fmt.Errorf("bench: %w", err)
+	}
+	names := []string{"<params>", lib, "programs/" + file}
+	return names, map[string]string{
+		"<params>":         paramsSource(params),
+		lib:                string(libSrc),
+		"programs/" + file: string(appSrc),
+	}, nil
+}
+
+// Compile builds the bytecode for a version/input pair.
+func (b *Benchmark) Compile(version Version, input InputKind) (*CompiledProgram, error) {
+	names, sources, err := b.Sources(version, input)
+	if err != nil {
+		return nil, err
+	}
+	prog, ck, err := mj.CompileWithStdlib(names, sources)
+	if err != nil {
+		return nil, fmt.Errorf("bench %s/%s/%s: %w", b.Name, version, input, err)
+	}
+	return &CompiledProgram{Bench: b, Version: version, Input: input, Program: prog, Checked: ck}, nil
+}
+
+// CompiledProgram pairs compiled bytecode with its provenance.
+type CompiledProgram struct {
+	Bench   *Benchmark
+	Version Version
+	Input   InputKind
+	Program *bytecode.Program
+	Checked *mj.Checked
+}
+
+// RunResult is one profiled benchmark execution.
+type RunResult struct {
+	Benchmark *Benchmark
+	Version   Version
+	Input     InputKind
+	Profile   *profile.Profile
+	Report    *drag.Report
+	Cost      vm.Cost
+	Output    string
+}
+
+// RunConfig tunes a benchmark execution.
+type RunConfig struct {
+	// HeapCapacity defaults to the paper's 48 MB.
+	HeapCapacity int64
+	// GCInterval is the profiling deep-GC trigger (default 100 KB).
+	GCInterval int64
+	// Collector defaults to mark-sweep (the profiled classic JVM).
+	Collector vm.CollectorKind
+	// Analysis options for the drag report.
+	Analysis drag.Options
+}
+
+// DefaultGCInterval is the deep-GC trigger used for the benchmark
+// experiments. The paper uses 100 KB against workloads allocating hundreds
+// of megabytes; the reproduction's workloads allocate tens of megabytes, so
+// the trigger is scaled to keep the interval-to-footprint ratio (and hence
+// the unreachability-detection error) comparable.
+const DefaultGCInterval = 8 << 10
+
+// Run profiles one benchmark version/input and analyzes the result.
+func Run(b *Benchmark, version Version, input InputKind, cfg RunConfig) (*RunResult, error) {
+	cp, err := b.Compile(version, input)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.GCInterval == 0 {
+		cfg.GCInterval = DefaultGCInterval
+	}
+	name := fmt.Sprintf("%s/%s/%s", b.Name, version, input)
+	p, m, err := profile.Run(cp.Program, name, vm.Config{
+		HeapCapacity: cfg.HeapCapacity,
+		GCInterval:   cfg.GCInterval,
+		Collector:    cfg.Collector,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("bench %s: %w", name, err)
+	}
+	return &RunResult{
+		Benchmark: b,
+		Version:   version,
+		Input:     input,
+		Profile:   p,
+		Report:    drag.Analyze(p, cfg.Analysis),
+		Cost:      m.CostReport(),
+		Output:    m.Output(),
+	}, nil
+}
+
+// RunUnprofiled executes without instrumentation (for Table 4 runtime
+// measurements) under the given collector.
+func RunUnprofiled(b *Benchmark, version Version, input InputKind, collector vm.CollectorKind, heapCapacity int64) (vm.Cost, error) {
+	cp, err := b.Compile(version, input)
+	if err != nil {
+		return vm.Cost{}, err
+	}
+	m, err := vm.New(cp.Program, vm.Config{
+		HeapCapacity: heapCapacity,
+		Collector:    collector,
+	})
+	if err != nil {
+		return vm.Cost{}, err
+	}
+	if err := m.Run(); err != nil {
+		return vm.Cost{}, fmt.Errorf("bench %s/%s: %w", b.Name, version, err)
+	}
+	return m.CostReport(), nil
+}

@@ -1,0 +1,64 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+
+	"dragprof/internal/drag"
+)
+
+// TestCalibrationReport prints measured vs paper ratios for every
+// benchmark; run with -v to inspect. The assertions here are loose shape
+// checks (who saves, roughly how much); tighter per-benchmark assertions
+// live in bench_test.go.
+func TestCalibrationReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration runs every benchmark")
+	}
+	for _, b := range All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			orig, err := Run(b, Original, OriginalInput, RunConfig{})
+			if err != nil {
+				t.Fatalf("original: %v", err)
+			}
+			rev, err := Run(b, Revised, OriginalInput, RunConfig{})
+			if err != nil {
+				t.Fatalf("revised: %v", err)
+			}
+			cmp := drag.Compare(orig.Report, rev.Report)
+			or := orig.Report
+			inUseFrac := float64(or.InUseIntegral) / float64(or.ReachableIntegral)
+			t.Logf("%-9s alloc=%6.2fMB  inuse/reach=%.3f (paper %s)  drag%%=%6.2f (paper %6.2f)  space%%=%6.2f (paper %6.2f)",
+				b.Name, float64(or.FinalClock)/(1<<20), inUseFrac,
+				paperInUseFrac(b.Name), cmp.DragSavingPct, b.PaperDragSavingPct,
+				cmp.SpaceSavingPct, b.PaperSpaceSavingPct)
+
+			if !b.HasRewrite() {
+				if cmp.SpaceSavingPct != 0 {
+					t.Errorf("db-style benchmark should have zero savings, got %.2f%%", cmp.SpaceSavingPct)
+				}
+				return
+			}
+			if cmp.SpaceSavingPct <= 0 {
+				t.Errorf("space saving %.2f%% must be positive", cmp.SpaceSavingPct)
+			}
+			if cmp.DragSavingPct <= 0 {
+				t.Errorf("drag saving %.2f%% must be positive", cmp.DragSavingPct)
+			}
+		})
+	}
+}
+
+// paperInUseFrac documents the original in-use/reachable ratios derived
+// from Table 2 for calibration.
+func paperInUseFrac(name string) string {
+	v := map[string]float64{
+		"javac": 0.646, "jack": 0.402, "raytrace": 0.404, "jess": 0.282,
+		"euler": 0.905, "mc": 0.963, "juru": 0.675, "analyzer": 0.406,
+	}
+	if f, ok := v[name]; ok {
+		return fmt.Sprintf("%.3f", f)
+	}
+	return "n/a"
+}

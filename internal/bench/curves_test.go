@@ -1,0 +1,148 @@
+package bench
+
+import (
+	"testing"
+
+	"dragprof/internal/drag"
+)
+
+// curvePair profiles a benchmark's original and revised versions and
+// returns both curves.
+func curvePair(t *testing.T, name string) (orig, rev drag.Curve) {
+	t.Helper()
+	b, err := ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := Run(b, Original, OriginalInput, RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Run(b, Revised, OriginalInput, RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return drag.BuildCurve(o.Profile, 256), drag.BuildCurve(r.Profile, 256)
+}
+
+func avg(xs []int64, from, to int) float64 {
+	if to > len(xs) {
+		to = len(xs)
+	}
+	if from >= to {
+		return 0
+	}
+	var s int64
+	for _, v := range xs[from:to] {
+		s += v
+	}
+	return float64(s) / float64(to-from)
+}
+
+// TestCurveShapeMC: the paper's most striking panel — the revised
+// reachable curve runs below the ORIGINAL in-use curve.
+func TestCurveShapeMC(t *testing.T) {
+	if testing.Short() {
+		t.Skip("profiles mc twice")
+	}
+	b, err := ByName("mc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := Run(b, Original, OriginalInput, RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Run(b, Revised, OriginalInput, RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's Table 2 statement: "the size of the reduced reachable
+	// heap is even below the size of the original in-use objects" — the
+	// revised reachable integral undercuts the original in-use integral
+	// (drag saving > 100%).
+	if r.Report.ReachableIntegral >= o.Report.InUseIntegral {
+		t.Errorf("mc revised reachable integral %d should fall below original in-use %d",
+			r.Report.ReachableIntegral, o.Report.InUseIntegral)
+	}
+	cmp := drag.Compare(o.Report, r.Report)
+	if cmp.DragSavingPct <= 100 {
+		t.Errorf("mc drag saving = %.2f%%, want > 100%%", cmp.DragSavingPct)
+	}
+}
+
+// TestCurveShapeAnalyzer: the reachable reduction starts only at the phase
+// boundary (the paper's "only after allocating the first 78MB").
+func TestCurveShapeAnalyzer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("profiles analyzer twice")
+	}
+	orig, rev := curvePair(t, "analyzer")
+	n := min(len(orig.Reachable), len(rev.Reachable))
+	// Early in the run (phase one), the curves coincide within noise.
+	early := avg(orig.Reachable, n/8, n/4) - avg(rev.Reachable, n/8, n/4)
+	late := avg(orig.Reachable, 3*n/4, n) - avg(rev.Reachable, 3*n/4, n)
+	if late <= 0 {
+		t.Fatalf("no late-run reduction: %.0f", late)
+	}
+	if early > late/4 {
+		t.Errorf("reduction appears too early: early gap %.0f vs late gap %.0f", early, late)
+	}
+}
+
+// TestCurveShapeJuru: the reduction is roughly constant per cycle, and the
+// original reachable curve shows the cyclic buffer being freed and
+// reallocated (a sawtooth with range >= one buffer).
+func TestCurveShapeJuru(t *testing.T) {
+	if testing.Short() {
+		t.Skip("profiles juru twice")
+	}
+	orig, rev := curvePair(t, "juru")
+	n := min(len(orig.Reachable), len(rev.Reachable))
+	mid := avg(orig.Reachable, n/4, 3*n/4) - avg(rev.Reachable, n/4, 3*n/4)
+	if mid <= 0 {
+		t.Fatal("no mid-run reduction for juru")
+	}
+	// Sawtooth: the original curve's local variation in the cyclic phase
+	// exceeds half a document buffer (the buffer is freed each cycle).
+	var maxV, minV int64 = 0, 1 << 60
+	for _, v := range orig.Reachable[n/2 : 3*n/4] {
+		if v > maxV {
+			maxV = v
+		}
+		if v < minV {
+			minV = v
+		}
+	}
+	if maxV-minV < 20<<10 {
+		t.Errorf("juru original curve is flat (range %d); expected a cyclic sawtooth", maxV-minV)
+	}
+}
+
+// TestCurveShapeJavac: eliminated allocations shift the revised run
+// "earlier" on the allocation-time axis — its final clock is smaller.
+func TestCurveShapeJavac(t *testing.T) {
+	if testing.Short() {
+		t.Skip("profiles javac twice")
+	}
+	b, _ := ByName("javac")
+	o, err := Run(b, Original, OriginalInput, RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Run(b, Revised, OriginalInput, RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Report.FinalClock >= o.Report.FinalClock {
+		t.Errorf("revised javac allocates %d bytes, original %d — removal should shrink the axis",
+			r.Report.FinalClock, o.Report.FinalClock)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

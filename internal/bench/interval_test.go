@@ -1,0 +1,30 @@
+package bench
+
+import "testing"
+
+// TestGCIntervalPrecisionMonotone asserts the paper's Section 2.1.1 claim
+// quantitatively: growing the deep-GC interval can only delay
+// unreachability detection, so the measured reachable integral (and hence
+// drag) is non-decreasing in the interval.
+func TestGCIntervalPrecisionMonotone(t *testing.T) {
+	if testing.Short() {
+		t.Skip("profiles juru three times")
+	}
+	b, err := ByName("juru")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev int64 = -1
+	for _, interval := range []int64{4 << 10, 32 << 10, 256 << 10} {
+		r, err := Run(b, Original, OriginalInput, RunConfig{GCInterval: interval})
+		if err != nil {
+			t.Fatal(err)
+		}
+		reach := r.Report.ReachableIntegral
+		if prev >= 0 && reach < prev {
+			t.Errorf("interval %d: reachable integral %d below previous %d — precision should only degrade",
+				interval, reach, prev)
+		}
+		prev = reach
+	}
+}

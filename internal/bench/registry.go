@@ -1,0 +1,220 @@
+package bench
+
+import "fmt"
+
+// All returns the nine benchmarks in the paper's Table 1 order.
+func All() []*Benchmark { return registry }
+
+// ByName returns a benchmark by its paper name.
+func ByName(name string) (*Benchmark, error) {
+	for _, b := range registry {
+		if b.Name == name {
+			return b, nil
+		}
+	}
+	return nil, fmt.Errorf("bench: unknown benchmark %q", name)
+}
+
+// Names lists the benchmark names in order.
+func Names() []string {
+	out := make([]string, len(registry))
+	for i, b := range registry {
+		out[i] = b.Name
+	}
+	return out
+}
+
+// The workload parameters were calibrated so the measured drag and space
+// savings land near the paper's Table 2/3 ratios; see EXPERIMENTS.md for
+// the paper-vs-measured comparison.
+var registry = []*Benchmark{
+	{
+		Name:        "javac",
+		Description: "java compiler",
+		Suite:       "SPECjvm98",
+		OrigFile:    "javac_orig.mj",
+		RevFile:     "javac_rev.mj",
+		OrigParams: Params{
+			"UNITS": 60, "NODES": 260, "SYMS": 26,
+			"TOKBUF": 10240, "SIGLEN": 6, "SEED": 7,
+		},
+		AltParams: Params{
+			"UNITS": 45, "NODES": 420, "SYMS": 10,
+			"TOKBUF": 12288, "SIGLEN": 6, "SEED": 31,
+		},
+		Rewritings: []Rewriting{
+			{Strategy: "code removal", RefKind: "protected", Analysis: "indirect-usage"},
+		},
+		PaperDragSavingPct: 21.8, PaperSpaceSavingPct: 7.71,
+		PaperAltSpaceSavingPct: 3.5, PaperRuntimeSavingPct: -0.12,
+	},
+	{
+		Name:        "db",
+		Description: "database simulation",
+		Suite:       "SPECjvm98",
+		OrigFile:    "db.mj",
+		RevFile:     "db.mj", // no profitable rewrite (pattern 4)
+		OrigParams: Params{
+			"RECORDS": 4000, "FIELDS": 32, "QUERIES": 3000,
+			"TOUCH": 8, "SEED": 19,
+		},
+		AltParams: Params{
+			"RECORDS": 2500, "FIELDS": 48, "QUERIES": 2200,
+			"TOUCH": 6, "SEED": 43,
+		},
+		PaperDragSavingPct: 0, PaperSpaceSavingPct: 0,
+		PaperAltSpaceSavingPct: 0, PaperRuntimeSavingPct: 0,
+	},
+	{
+		Name:        "jack",
+		Description: "parser generator",
+		Suite:       "SPECjvm98",
+		OrigFile:    "jack_orig.mj",
+		RevFile:     "jack_rev.mj",
+		OrigParams: Params{
+			"GRAMMARS": 12, "PRODS": 600, "ACTEVERY": 50,
+			"RHS": 24, "CODEBUF": 48, "SYMTAB": 14000, "OUTBUF": 26000, "SEED": 11,
+		},
+		AltParams: Params{
+			"GRAMMARS": 9, "PRODS": 420, "ACTEVERY": 12,
+			"RHS": 28, "CODEBUF": 72, "SYMTAB": 16000, "OUTBUF": 30000, "SEED": 37,
+		},
+		Rewritings: []Rewriting{
+			{Strategy: "lazy allocation", RefKind: "package", Analysis: "min. code insertion"},
+		},
+		PaperDragSavingPct: 70.34, PaperSpaceSavingPct: 42.06,
+		PaperAltSpaceSavingPct: 21.94, PaperRuntimeSavingPct: 0.99,
+	},
+	{
+		Name:        "raytrace",
+		Description: "raytracer of a picture",
+		Suite:       "SPECjvm98",
+		OrigFile:    "raytrace_orig.mj",
+		RevFile:     "raytrace_rev.mj",
+		OrigParams: Params{
+			"SPHERES": 60, "CACHE": 14, "RAYS": 1500,
+			"FRAMES": 40, "NORMS": 12000, "TEX": 220, "IMAGE": 30000,
+			"BUILDTMP": 24, "BUILDW": 1100, "SEED": 3,
+		},
+		AltParams: Params{
+			"SPHERES": 45, "CACHE": 14, "RAYS": 1200,
+			"FRAMES": 32, "NORMS": 10000, "TEX": 200, "IMAGE": 26000,
+			"BUILDTMP": 20, "BUILDW": 1000, "SEED": 29,
+		},
+		Rewritings: []Rewriting{
+			{Strategy: "code removal", RefKind: "private array", Analysis: "array liveness (R)"},
+			{Strategy: "assigning null", RefKind: "private", Analysis: "liveness (R)"},
+		},
+		PaperDragSavingPct: 51.28, PaperSpaceSavingPct: 30.55,
+		PaperAltSpaceSavingPct: 28.43, PaperRuntimeSavingPct: 2.32,
+	},
+	{
+		Name:        "jess",
+		Description: "expert system shell",
+		Suite:       "SPECjvm98",
+		OrigFile:    "jess_orig.mj",
+		RevFile:     "jess_rev.mj",
+		// The jess rewrite includes the library fix (the paper's JDK
+		// rewrite): the revised version compiles against the rewritten
+		// collections.
+		FixedCollections: true,
+		OrigParams: Params{
+			"RULES": 1500, "FACTS": 3500, "SLOTS": 24,
+			"TEMPS": 4, "CACHEINTS": 9000, "SEED": 5,
+		},
+		AltParams: Params{
+			"RULES": 1100, "FACTS": 4200, "SLOTS": 28,
+			"TEMPS": 2, "CACHEINTS": 3600, "SEED": 41,
+		},
+		Rewritings: []Rewriting{
+			{Strategy: "assigning null", RefKind: "private array", Analysis: "array liveness"},
+			{Strategy: "code removal (JDK rewrite)", RefKind: "public static final", Analysis: "usage"},
+			{Strategy: "code removal", RefKind: "private static", Analysis: "usage (R)"},
+		},
+		PaperDragSavingPct: 15.47, PaperSpaceSavingPct: 11.2,
+		PaperAltSpaceSavingPct: 4.98, PaperRuntimeSavingPct: 2.05,
+	},
+	{
+		Name:        "mc",
+		Description: "financial simulation",
+		Suite:       "IBM",
+		OrigFile:    "mc_orig.mj",
+		RevFile:     "mc_rev.mj",
+		OrigParams: Params{
+			"TABLES": 6, "RATES": 40000, "BATCHES": 10, "PATHS": 600,
+			"SAMPLES": 4, "WORK": 280, "SEED": 17,
+		},
+		AltParams: Params{
+			"TABLES": 5, "RATES": 36000, "BATCHES": 8, "PATHS": 520,
+			"SAMPLES": 4, "WORK": 180, "SEED": 53,
+		},
+		Rewritings: []Rewriting{
+			{Strategy: "code removal", RefKind: "local variable + private", Analysis: "indirect-usage (R)"},
+			{Strategy: "assigning null", RefKind: "private array", Analysis: "array liveness"},
+		},
+		PaperDragSavingPct: 168.82, PaperSpaceSavingPct: 6.27,
+		PaperAltSpaceSavingPct: 6.27, PaperRuntimeSavingPct: 2.09,
+	},
+	{
+		Name:        "euler",
+		Description: "Euler equations solver",
+		Suite:       "Java Grande",
+		OrigFile:    "euler_orig.mj",
+		RevFile:     "euler_rev.mj",
+		OrigParams: Params{
+			"STATES": 6, "GRIDW": 30000, "SCRATCH": 4, "SCRATCHW": 8000,
+			"BOUNDW": 11000, "SETUP": 40, "ITERS": 400, "FLUX": 512, "SEED": 13,
+		},
+		AltParams: Params{
+			"STATES": 8, "GRIDW": 24000, "SCRATCH": 3, "SCRATCHW": 8000,
+			"BOUNDW": 9000, "SETUP": 120, "ITERS": 380, "FLUX": 640, "SEED": 47,
+		},
+		Rewritings: []Rewriting{
+			{Strategy: "assigning null", RefKind: "package array", Analysis: "array liveness"},
+		},
+		PaperDragSavingPct: 76.46, PaperSpaceSavingPct: 7.28,
+		PaperAltSpaceSavingPct: 5.25, PaperRuntimeSavingPct: 1.91,
+	},
+	{
+		Name:        "juru",
+		Description: "web indexing",
+		Suite:       "IBM",
+		OrigFile:    "juru_orig.mj",
+		RevFile:     "juru_rev.mj",
+		OrigParams: Params{
+			"CYCLES": 14, "DOCBUF": 23040, "POSTINGS": 1100,
+			"MERGEBUFS": 40, "MERGEW": 256, "SEGW": 2200,
+			"QUERYKEEP": 2, "SEED": 23,
+		},
+		AltParams: Params{
+			"CYCLES": 11, "DOCBUF": 20480, "POSTINGS": 1250,
+			"MERGEBUFS": 36, "MERGEW": 288, "SEGW": 2600,
+			"QUERYKEEP": 2, "SEED": 59,
+		},
+		Rewritings: []Rewriting{
+			{Strategy: "assigning null", RefKind: "local variable", Analysis: "liveness"},
+		},
+		PaperDragSavingPct: 33.68, PaperSpaceSavingPct: 10.95,
+		PaperAltSpaceSavingPct: 10.48, PaperRuntimeSavingPct: 0.76,
+	},
+	{
+		Name:        "analyzer",
+		Description: "mutability analyzer",
+		Suite:       "IBM",
+		OrigFile:    "analyzer_orig.mj",
+		RevFile:     "analyzer_rev.mj",
+		OrigParams: Params{
+			"CLASSES": 1500, "METHODS": 24, "DEPS": 6, "PASSES": 18,
+			"PASSLOG": 5000, "QUERIES": 1900, "QWORK": 256, "SEED": 2,
+		},
+		AltParams: Params{
+			"CLASSES": 1900, "METHODS": 20, "DEPS": 5, "PASSES": 14,
+			"PASSLOG": 4000, "QUERIES": 2200, "QWORK": 224, "SEED": 61,
+		},
+		Rewritings: []Rewriting{
+			{Strategy: "assigning null", RefKind: "local variable + private static", Analysis: "liveness"},
+		},
+		PaperDragSavingPct: 25.34, PaperSpaceSavingPct: 15.05,
+		PaperAltSpaceSavingPct: 18.23, PaperRuntimeSavingPct: -0.38,
+	},
+}

@@ -1,0 +1,63 @@
+package bench
+
+import (
+	"testing"
+)
+
+// TestTable2RegressionBands pins the calibrated reproduction: each
+// benchmark's measured drag and space savings must stay within a few
+// points of the values recorded in EXPERIMENTS.md (runs are deterministic,
+// so drift indicates a behavioural change in the profiler, the VM, or the
+// workloads — recalibrate and update EXPERIMENTS.md deliberately).
+func TestTable2RegressionBands(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every benchmark twice")
+	}
+	want := map[string]struct{ drag, space float64 }{
+		"javac":    {23.05, 9.05},
+		"db":       {0, 0},
+		"jack":     {66.68, 48.48},
+		"raytrace": {57.16, 33.93},
+		"jess":     {16.79, 9.20},
+		"mc":       {165.56, 8.92},
+		"euler":    {78.78, 8.61},
+		"juru":     {36.54, 10.80},
+		"analyzer": {25.58, 16.22},
+	}
+	const band = 3.0 // percentage points
+
+	e := NewExperiments()
+	rows, err := e.Table2Rows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		w, ok := want[r.Benchmark]
+		if !ok {
+			t.Errorf("unexpected benchmark %s", r.Benchmark)
+			continue
+		}
+		if d := r.DragSavingPct - w.drag; d > band || d < -band {
+			t.Errorf("%s: drag saving %.2f%% drifted from recorded %.2f%%",
+				r.Benchmark, r.DragSavingPct, w.drag)
+		}
+		if d := r.SpaceSavingPct - w.space; d > band || d < -band {
+			t.Errorf("%s: space saving %.2f%% drifted from recorded %.2f%%",
+				r.Benchmark, r.SpaceSavingPct, w.space)
+		}
+	}
+
+	// The paper's headline averages must stay in band too.
+	var sumDrag, sumSpace float64
+	for _, r := range rows {
+		sumDrag += r.DragSavingPct
+		sumSpace += r.SpaceSavingPct
+	}
+	n := float64(len(rows))
+	if avg := sumDrag / n; avg < 45 || avg > 60 {
+		t.Errorf("average drag saving %.2f%% left the paper's band (51%%)", avg)
+	}
+	if avg := sumSpace / n; avg < 12 || avg > 20 {
+		t.Errorf("average space saving %.2f%% left the paper's band (14-18%%)", avg)
+	}
+}

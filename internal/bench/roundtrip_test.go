@@ -1,0 +1,37 @@
+package bench
+
+import (
+	"testing"
+
+	"dragprof/internal/mj"
+)
+
+// TestWorkloadSourcesRoundTrip parses every benchmark workload, prints it
+// with the mj printer, re-parses, and recompiles — exercising the front
+// end on ~2k lines of real MiniJava.
+func TestWorkloadSourcesRoundTrip(t *testing.T) {
+	for _, b := range All() {
+		for _, v := range []Version{Original, Revised} {
+			names, srcs, err := b.Sources(v, OriginalInput)
+			if err != nil {
+				t.Fatalf("%s: %v", b.Name, err)
+			}
+			printedSrcs := make(map[string]string, len(srcs))
+			for _, name := range names {
+				f, errs := mj.Parse(name, srcs[name])
+				if len(errs) > 0 {
+					t.Fatalf("%s %s: parse: %v", b.Name, name, errs[0])
+				}
+				printed := mj.Print(f)
+				if _, errs := mj.Parse(name, printed); len(errs) > 0 {
+					t.Fatalf("%s %s: printed source does not re-parse: %v", b.Name, name, errs[0])
+				}
+				printedSrcs[name] = printed
+			}
+			// The printed program must compile identically.
+			if _, _, err := mj.CompileWithStdlib(names, printedSrcs); err != nil {
+				t.Errorf("%s/%s: printed sources fail to compile: %v", b.Name, v, err)
+			}
+		}
+	}
+}

@@ -1,0 +1,341 @@
+package bench
+
+import (
+	"fmt"
+
+	"dragprof/internal/drag"
+	"dragprof/internal/mj"
+	"dragprof/internal/report"
+	"dragprof/internal/vm"
+)
+
+// Experiments runs and caches benchmark executions to regenerate the
+// paper's tables and figures without re-profiling per table.
+type Experiments struct {
+	Config RunConfig
+	cache  map[string]*RunResult
+}
+
+// NewExperiments returns an experiment runner with the default config.
+func NewExperiments() *Experiments {
+	return &Experiments{cache: make(map[string]*RunResult)}
+}
+
+// result returns the cached profiled run for a benchmark/version/input.
+func (e *Experiments) result(b *Benchmark, v Version, in InputKind) (*RunResult, error) {
+	key := b.Name + "/" + string(v) + "/" + string(in)
+	if r, ok := e.cache[key]; ok {
+		return r, nil
+	}
+	r, err := Run(b, v, in, e.Config)
+	if err != nil {
+		return nil, err
+	}
+	e.cache[key] = r
+	return r, nil
+}
+
+// Table1 reproduces the paper's Table 1: the benchmark programs with their
+// application class and statement counts (runtime-library classes are
+// excluded, as the paper excludes JDK and shared SPEC classes).
+func (e *Experiments) Table1() (*report.Table, error) {
+	t := &report.Table{
+		Title:   "Table 1: The benchmark programs",
+		Columns: []string{"Benchmark", "Suite", "Classes", "Stmts", "Description"},
+	}
+	for _, b := range All() {
+		classes, stmts, err := countAppSource(b)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(b.Name, b.Suite, classes, stmts, b.Description)
+	}
+	return t, nil
+}
+
+// countAppSource parses the benchmark's application file (original
+// version) and counts classes and statements.
+func countAppSource(b *Benchmark) (classes, stmts int, err error) {
+	src, err := programs.ReadFile("programs/" + b.OrigFile)
+	if err != nil {
+		return 0, 0, err
+	}
+	f, perrs := mj.Parse(b.OrigFile, string(src))
+	if len(perrs) > 0 {
+		return 0, 0, fmt.Errorf("bench: parsing %s: %v", b.OrigFile, perrs[0])
+	}
+	for _, c := range f.Classes {
+		classes++
+		stmts += mj.CountStatements(c)
+	}
+	return classes, stmts, nil
+}
+
+// Table2Row is one benchmark's Table 2 measurement.
+type Table2Row struct {
+	Benchmark string
+	drag.Comparison
+	PaperDragSavingPct  float64
+	PaperSpaceSavingPct float64
+}
+
+// Table2Rows computes the drag and space savings on the original inputs.
+func (e *Experiments) Table2Rows() ([]Table2Row, error) {
+	var rows []Table2Row
+	for _, b := range All() {
+		orig, err := e.result(b, Original, OriginalInput)
+		if err != nil {
+			return nil, err
+		}
+		rev, err := e.result(b, Revised, OriginalInput)
+		if err != nil {
+			return nil, err
+		}
+		cmp := drag.Compare(orig.Report, rev.Report)
+		rows = append(rows, Table2Row{
+			Benchmark:           b.Name,
+			Comparison:          cmp,
+			PaperDragSavingPct:  b.PaperDragSavingPct,
+			PaperSpaceSavingPct: b.PaperSpaceSavingPct,
+		})
+	}
+	return rows, nil
+}
+
+// Table2 reproduces the paper's Table 2: reachable/in-use integrals and
+// drag/space saving ratios on the original inputs, next to the paper's
+// numbers.
+func (e *Experiments) Table2() (*report.Table, error) {
+	rows, err := e.Table2Rows()
+	if err != nil {
+		return nil, err
+	}
+	t := &report.Table{
+		Title: "Table 2: Drag and space savings for original inputs",
+		Columns: []string{"Benchmark", "RedInUse(MB2)", "RedReach(MB2)",
+			"OrigInUse(MB2)", "OrigReach(MB2)", "Drag%", "Drag%(paper)",
+			"Space%", "Space%(paper)"},
+	}
+	var sumSpace, sumDrag float64
+	for _, r := range rows {
+		t.AddRow(r.Benchmark,
+			fmt.Sprintf("%.4f", r.ReducedInUse), fmt.Sprintf("%.4f", r.ReducedReachable),
+			fmt.Sprintf("%.4f", r.OriginalInUse), fmt.Sprintf("%.4f", r.OriginalReachable),
+			r.DragSavingPct, r.PaperDragSavingPct,
+			r.SpaceSavingPct, r.PaperSpaceSavingPct)
+		sumSpace += r.SpaceSavingPct
+		sumDrag += r.DragSavingPct
+	}
+	n := float64(len(rows))
+	t.AddRow("average", "", "", "", "", sumDrag/n, 51.0, sumSpace/n, 14.0)
+	return t, nil
+}
+
+// Table3Row is one benchmark's Table 3 measurement.
+type Table3Row struct {
+	Benchmark           string
+	OriginalReachable   float64
+	ReducedReachable    float64
+	SpaceSavingPct      float64
+	PaperSpaceSavingPct float64
+}
+
+// Table3Rows computes the space savings on the alternate inputs.
+func (e *Experiments) Table3Rows() ([]Table3Row, error) {
+	var rows []Table3Row
+	for _, b := range All() {
+		orig, err := e.result(b, Original, AlternateInput)
+		if err != nil {
+			return nil, err
+		}
+		rev, err := e.result(b, Revised, AlternateInput)
+		if err != nil {
+			return nil, err
+		}
+		cmp := drag.Compare(orig.Report, rev.Report)
+		rows = append(rows, Table3Row{
+			Benchmark:           b.Name,
+			OriginalReachable:   cmp.OriginalReachable,
+			ReducedReachable:    cmp.ReducedReachable,
+			SpaceSavingPct:      cmp.SpaceSavingPct,
+			PaperSpaceSavingPct: b.PaperAltSpaceSavingPct,
+		})
+	}
+	return rows, nil
+}
+
+// Table3 reproduces the paper's Table 3: space savings on alternate
+// inputs, demonstrating the transformations generalize across inputs.
+func (e *Experiments) Table3() (*report.Table, error) {
+	rows, err := e.Table3Rows()
+	if err != nil {
+		return nil, err
+	}
+	t := &report.Table{
+		Title: "Table 3: Drag and space savings for alternate inputs",
+		Columns: []string{"Benchmark", "RedReach(MB2)", "OrigReach(MB2)",
+			"Space%", "Space%(paper)"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.Benchmark,
+			fmt.Sprintf("%.4f", r.ReducedReachable),
+			fmt.Sprintf("%.4f", r.OriginalReachable),
+			r.SpaceSavingPct, r.PaperSpaceSavingPct)
+	}
+	return t, nil
+}
+
+// Table4Row is one benchmark's runtime comparison under the generational
+// collector.
+type Table4Row struct {
+	Benchmark             string
+	OriginalUnits         int64
+	RevisedUnits          int64
+	RuntimeSavingPct      float64
+	PaperRuntimeSavingPct float64
+}
+
+// Table4Rows measures the deterministic cost-model runtime of original vs
+// revised versions under the generational collector (the paper measures
+// wall-clock on HotSpot Client 1.3, whose generational GC is modelled by
+// vm.Generational). No profiling instrumentation is attached.
+func (e *Experiments) Table4Rows() ([]Table4Row, error) {
+	heap := int64(vm.DefaultHeapCapacity)
+	var rows []Table4Row
+	for _, b := range All() {
+		origCost, err := RunUnprofiled(b, Original, OriginalInput, vm.Generational, heap)
+		if err != nil {
+			return nil, err
+		}
+		revCost, err := RunUnprofiled(b, Revised, OriginalInput, vm.Generational, heap)
+		if err != nil {
+			return nil, err
+		}
+		ou, ru := origCost.RuntimeUnits(), revCost.RuntimeUnits()
+		saving := 0.0
+		if ou > 0 {
+			saving = float64(ou-ru) / float64(ou) * 100
+		}
+		rows = append(rows, Table4Row{
+			Benchmark:             b.Name,
+			OriginalUnits:         ou,
+			RevisedUnits:          ru,
+			RuntimeSavingPct:      saving,
+			PaperRuntimeSavingPct: b.PaperRuntimeSavingPct,
+		})
+	}
+	return rows, nil
+}
+
+// Table4 reproduces the paper's Table 4: runtime savings of the revised
+// versions under a generational collector.
+func (e *Experiments) Table4() (*report.Table, error) {
+	rows, err := e.Table4Rows()
+	if err != nil {
+		return nil, err
+	}
+	t := &report.Table{
+		Title: "Table 4: Runtime savings (generational collector, cost-model units)",
+		Columns: []string{"Benchmark", "RevisedUnits", "OriginalUnits",
+			"Saving%", "Saving%(paper)"},
+	}
+	var sum float64
+	for _, r := range rows {
+		t.AddRow(r.Benchmark, r.RevisedUnits, r.OriginalUnits,
+			r.RuntimeSavingPct, r.PaperRuntimeSavingPct)
+		sum += r.RuntimeSavingPct
+	}
+	t.AddRow("average", "", "", sum/float64(len(rows)), 1.07)
+	return t, nil
+}
+
+// Table5 reproduces the paper's Table 5: the rewriting strategies applied
+// per benchmark, the reference kinds they touch, the measured total drag
+// saving, and the static analysis expected to automate each rewrite.
+func (e *Experiments) Table5() (*report.Table, error) {
+	rows, err := e.Table2Rows()
+	if err != nil {
+		return nil, err
+	}
+	dragByName := make(map[string]float64, len(rows))
+	for _, r := range rows {
+		dragByName[r.Benchmark] = r.DragSavingPct
+	}
+	t := &report.Table{
+		Title: "Table 5: Summary of rewritings",
+		Columns: []string{"Benchmark", "Rewriting strategy", "Reference kinds",
+			"Drag saving% (benchmark)", "Expected analysis"},
+	}
+	for _, b := range All() {
+		for _, rw := range b.Rewritings {
+			t.AddRow(b.Name, rw.Strategy, rw.RefKind,
+				dragByName[b.Name], rw.Analysis)
+		}
+	}
+	return t, nil
+}
+
+// Figure2Panel is one benchmark's Figure 2 panel: the reachable and in-use
+// curves of the original and revised runs over allocation time.
+type Figure2Panel struct {
+	Benchmark string
+	Original  drag.Curve
+	Revised   drag.Curve
+}
+
+// Figure2Panels builds every benchmark's curves on the original input.
+func (e *Experiments) Figure2Panels(samples int) ([]Figure2Panel, error) {
+	var panels []Figure2Panel
+	for _, b := range All() {
+		orig, err := e.result(b, Original, OriginalInput)
+		if err != nil {
+			return nil, err
+		}
+		rev, err := e.result(b, Revised, OriginalInput)
+		if err != nil {
+			return nil, err
+		}
+		panels = append(panels, Figure2Panel{
+			Benchmark: b.Name,
+			Original:  drag.BuildCurve(orig.Profile, samples),
+			Revised:   drag.BuildCurve(rev.Profile, samples),
+		})
+	}
+	return panels, nil
+}
+
+// Figure2Chart renders one panel as an ASCII chart in the style of the
+// paper's Figure 2 (original reachable/in-use vs revised reachable/in-use).
+func Figure2Chart(p Figure2Panel) string {
+	toMB := func(xs []int64) []float64 {
+		out := make([]float64, len(xs))
+		for i, v := range xs {
+			out[i] = float64(v) / (1 << 20)
+		}
+		return out
+	}
+	series := []report.Series{
+		{Name: "orig reachable", Values: toMB(p.Original.Reachable), Rune: '#'},
+		{Name: "rev reachable", Values: toMB(p.Revised.Reachable), Rune: 'o'},
+		{Name: "orig in-use", Values: toMB(p.Original.InUse), Rune: '.'},
+		{Name: "rev in-use", Values: toMB(p.Revised.InUse), Rune: ','},
+	}
+	return report.Chart(
+		fmt.Sprintf("Figure 2 (%s): reachable/in-use heap size", p.Benchmark),
+		"allocation time", "MB", series, 72, 16)
+}
+
+// Figure2CSV renders a panel's series as CSV for external plotting.
+func Figure2CSV(p Figure2Panel) string {
+	t := &report.Table{Columns: []string{
+		"alloc_bytes", "orig_reachable", "orig_inuse", "rev_reachable", "rev_inuse"}}
+	n := len(p.Original.Times)
+	if len(p.Revised.Times) < n {
+		n = len(p.Revised.Times)
+	}
+	for i := 0; i < n; i++ {
+		t.AddRow(p.Original.Times[i], p.Original.Reachable[i], p.Original.InUse[i],
+			p.Revised.Reachable[i], p.Revised.InUse[i])
+	}
+	return t.CSV()
+}

@@ -1,0 +1,167 @@
+package bytecode
+
+import (
+	"strings"
+	"testing"
+)
+
+// tinyProgram builds a minimal valid program by hand.
+func tinyProgram() *Program {
+	main := &Method{
+		ID: 0, Class: 0, Name: "main", Flags: FlagStatic,
+		MaxLocals: 2,
+		Code: []Instr{
+			{Op: ConstInt, A: 5},
+			{Op: StoreLocal, A: 0},
+			{Op: LoadLocal, A: 0},
+			{Op: JumpIfFalse, A: 5},
+			{Op: Jump, A: 0},
+			{Op: Return},
+		},
+	}
+	cls := &Class{
+		ID: 0, Name: "Main", Super: -1,
+		RefSlots: []bool{},
+	}
+	return &Program{
+		Classes:    []*Class{cls},
+		Methods:    []*Method{main},
+		Main:       0,
+		ClassIndex: map[string]int32{"Main": 0},
+	}
+}
+
+func TestVerifyAcceptsValid(t *testing.T) {
+	if err := Verify(tinyProgram()); err != nil {
+		t.Fatalf("valid program rejected: %v", err)
+	}
+}
+
+func TestVerifyRejections(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Program)
+		want   string
+	}{
+		{"bad main", func(p *Program) { p.Main = 7 }, "main method id"},
+		{"jump target", func(p *Program) { p.Methods[0].Code[4].A = 100 }, "jump target"},
+		{"negative jump", func(p *Program) { p.Methods[0].Code[4].A = -1 }, "jump target"},
+		{"local slot", func(p *Program) { p.Methods[0].Code[1].A = 5 }, "local slot"},
+		{"fall off end", func(p *Program) {
+			p.Methods[0].Code[len(p.Methods[0].Code)-1] = Instr{Op: Pop}
+		}, "fall off the end"},
+		{"empty body", func(p *Program) { p.Methods[0].Code = nil }, "empty body"},
+		{"params exceed locals", func(p *Program) { p.Methods[0].NumParams = 9 }, "params"},
+		{"bad builtin", func(p *Program) {
+			p.Methods[0].Code[0] = Instr{Op: CallBuiltin, A: 999}
+		}, "builtin id"},
+		{"bad string pool", func(p *Program) {
+			p.Methods[0].Code[0] = Instr{Op: ConstStr, A: 3}
+		}, "string pool"},
+		{"bad checkcast", func(p *Program) {
+			p.Methods[0].Code[0] = Instr{Op: CheckCast, A: 4}
+		}, "class id"},
+		{"bad exception range", func(p *Program) {
+			p.Methods[0].Exceptions = []ExRange{{From: 4, To: 2, Handler: 0, CatchClass: -1}}
+		}, "exception range"},
+		{"bad handler", func(p *Program) {
+			p.Methods[0].Exceptions = []ExRange{{From: 0, To: 2, Handler: 99, CatchClass: -1}}
+		}, "handler"},
+	}
+	for _, c := range cases {
+		p := tinyProgram()
+		c.mutate(p)
+		err := Verify(p)
+		if err == nil {
+			t.Errorf("%s: not rejected", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestOpStrings(t *testing.T) {
+	for op := Nop; op < opCount; op++ {
+		s := op.String()
+		if s == "" || strings.HasPrefix(s, "op(") {
+			t.Errorf("opcode %d has no mnemonic", op)
+		}
+	}
+	if Op(200).String() != "op(200)" {
+		t.Errorf("unknown op rendering: %s", Op(200))
+	}
+}
+
+func TestElemKind(t *testing.T) {
+	if ElemBool.ElemBytes() != 1 || ElemChar.ElemBytes() != 2 ||
+		ElemInt.ElemBytes() != 4 || ElemRef.ElemBytes() != 4 {
+		t.Error("element byte sizes wrong")
+	}
+	for _, k := range []ElemKind{ElemInt, ElemBool, ElemChar, ElemRef} {
+		if strings.Contains(k.String(), "elem(") {
+			t.Errorf("kind %d unnamed", k)
+		}
+	}
+}
+
+func TestBuiltinByName(t *testing.T) {
+	for b := Builtin(0); int(b) < NumBuiltins(); b++ {
+		got, ok := BuiltinByName(b.String())
+		if !ok || got != b {
+			t.Errorf("builtin %s does not round-trip", b)
+		}
+	}
+	if _, ok := BuiltinByName("nope"); ok {
+		t.Error("unknown builtin resolved")
+	}
+}
+
+func TestIsSubclass(t *testing.T) {
+	p := &Program{Classes: []*Class{
+		{ID: 0, Name: "A", Super: -1},
+		{ID: 1, Name: "B", Super: 0},
+		{ID: 2, Name: "C", Super: 1},
+		{ID: 3, Name: "D", Super: -1},
+	}}
+	cases := []struct {
+		sub, super int32
+		want       bool
+	}{
+		{2, 0, true}, {2, 1, true}, {2, 2, true},
+		{0, 2, false}, {3, 0, false}, {1, 3, false},
+	}
+	for _, c := range cases {
+		if got := p.IsSubclass(c.sub, c.super); got != c.want {
+			t.Errorf("IsSubclass(%d, %d) = %v", c.sub, c.super, got)
+		}
+	}
+}
+
+func TestDisassembleAnnotations(t *testing.T) {
+	p := tinyProgram()
+	p.Methods[0].Exceptions = []ExRange{{From: 0, To: 2, Handler: 5, CatchClass: -1}}
+	text := Disassemble(p, p.Methods[0])
+	if !strings.Contains(text, "method main") {
+		t.Errorf("missing header:\n%s", text)
+	}
+	// Jump targets are marked with L.
+	if !strings.Contains(text, "L ") {
+		t.Errorf("no jump-target markers:\n%s", text)
+	}
+	if !strings.Contains(text, "catch [0,2) -> 5") {
+		t.Errorf("no exception table:\n%s", text)
+	}
+}
+
+func TestSiteDesc(t *testing.T) {
+	p := tinyProgram()
+	p.Sites = []Site{{ID: 0, Desc: "Main.main:3 (new X)"}}
+	if p.SiteDesc(0) != "Main.main:3 (new X)" {
+		t.Error("site desc lookup")
+	}
+	if p.SiteDesc(-1) != "<none>" || p.SiteDesc(9) != "<none>" {
+		t.Error("out-of-range site desc")
+	}
+}

@@ -1,0 +1,225 @@
+package bytecode
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Disassemble renders a method body as printable text, one instruction per
+// line, prefixed by the pc. Jump targets are annotated.
+func Disassemble(p *Program, m *Method) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "method %s (id=%d, class=%s, params=%d, locals=%d)\n",
+		m.Name, m.ID, className(p, m.Class), m.NumParams, m.MaxLocals)
+	targets := map[int32]bool{}
+	for _, in := range m.Code {
+		switch in.Op {
+		case Jump, JumpIfFalse, JumpIfTrue, JumpIfNull, JumpIfNonNull:
+			targets[in.A] = true
+		}
+	}
+	for _, ex := range m.Exceptions {
+		targets[ex.Handler] = true
+	}
+	for pc, in := range m.Code {
+		mark := "  "
+		if targets[int32(pc)] {
+			mark = "L "
+		}
+		fmt.Fprintf(&b, "%s%4d: %s", mark, pc, instrText(p, m, in))
+		if in.Line > 0 {
+			fmt.Fprintf(&b, "  ; line %d", in.Line)
+		}
+		b.WriteByte('\n')
+	}
+	for _, ex := range m.Exceptions {
+		fmt.Fprintf(&b, "  catch [%d,%d) -> %d class=%s\n",
+			ex.From, ex.To, ex.Handler, className(p, ex.CatchClass))
+	}
+	return b.String()
+}
+
+// DisassembleProgram renders every method of the program, grouped by class.
+func DisassembleProgram(p *Program) string {
+	var b strings.Builder
+	ms := make([]*Method, len(p.Methods))
+	copy(ms, p.Methods)
+	sort.Slice(ms, func(i, j int) bool {
+		if ms[i].Class != ms[j].Class {
+			return ms[i].Class < ms[j].Class
+		}
+		return ms[i].ID < ms[j].ID
+	})
+	for _, m := range ms {
+		b.WriteString(Disassemble(p, m))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func className(p *Program, id int32) string {
+	if id < 0 || int(id) >= len(p.Classes) {
+		return "<any>"
+	}
+	return p.Classes[id].Name
+}
+
+func instrText(p *Program, m *Method, in Instr) string {
+	switch in.Op {
+	case GetField, PutField:
+		return fmt.Sprintf("%s slot=%d of %s", in.Op, in.A, className(p, in.B))
+	case GetStatic, PutStatic:
+		return fmt.Sprintf("%s %s.slot%d", in.Op, className(p, in.B), in.A)
+	case NewObject:
+		return fmt.Sprintf("%s %s site=%d", in.Op, className(p, in.A), in.B)
+	case InvokeStatic, InvokeSpecial:
+		return fmt.Sprintf("%s %s", in.Op, methodDesc(p, in.A))
+	case InvokeVirtual:
+		c := className(p, in.B)
+		name := fmt.Sprintf("vtable[%d]", in.A)
+		if in.B >= 0 && int(in.B) < len(p.Classes) {
+			cl := p.Classes[in.B]
+			if int(in.A) < len(cl.VTableNames) {
+				name = cl.VTableNames[in.A]
+			}
+		}
+		return fmt.Sprintf("%s %s.%s", in.Op, c, name)
+	case CheckCast:
+		return fmt.Sprintf("%s %s", in.Op, className(p, in.A))
+	case ConstStr:
+		if int(in.A) < len(p.Strings) {
+			return fmt.Sprintf("%s %q", in.Op, p.Strings[in.A])
+		}
+		return fmt.Sprintf("%s #%d", in.Op, in.A)
+	default:
+		return in.String()
+	}
+}
+
+func methodDesc(p *Program, id int32) string {
+	if id < 0 || int(id) >= len(p.Methods) {
+		return fmt.Sprintf("method#%d", id)
+	}
+	m := p.Methods[id]
+	return fmt.Sprintf("%s.%s", className(p, m.Class), m.Name)
+}
+
+// Verify performs structural checks over a program: jump targets in range,
+// local slots within MaxLocals, method/class/site ids resolvable, exception
+// ranges well-formed. It returns the first problem found, or nil. The VM
+// assumes verified code and omits per-instruction bound checks for these
+// properties.
+func Verify(p *Program) error {
+	if p.Main < 0 || int(p.Main) >= len(p.Methods) {
+		return fmt.Errorf("bytecode: main method id %d out of range", p.Main)
+	}
+	for _, c := range p.Classes {
+		if c.Super >= int32(len(p.Classes)) {
+			return fmt.Errorf("bytecode: class %s super id %d out of range", c.Name, c.Super)
+		}
+		if int32(len(c.RefSlots)) != c.NumFieldSlots {
+			return fmt.Errorf("bytecode: class %s RefSlots length %d != NumFieldSlots %d",
+				c.Name, len(c.RefSlots), c.NumFieldSlots)
+		}
+		for i, mid := range c.VTable {
+			if mid < 0 || int(mid) >= len(p.Methods) {
+				return fmt.Errorf("bytecode: class %s vtable[%d] id %d out of range", c.Name, i, mid)
+			}
+		}
+	}
+	for _, m := range p.Methods {
+		if err := verifyMethod(p, m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func verifyMethod(p *Program, m *Method) error {
+	n := int32(len(m.Code))
+	fail := func(pc int, format string, args ...any) error {
+		return fmt.Errorf("bytecode: %s pc=%d: %s", methodDesc(p, m.ID), pc, fmt.Sprintf(format, args...))
+	}
+	if m.NumParams > m.MaxLocals {
+		return fmt.Errorf("bytecode: %s has %d params but %d locals", methodDesc(p, m.ID), m.NumParams, m.MaxLocals)
+	}
+	for pc, in := range m.Code {
+		switch in.Op {
+		case Jump, JumpIfFalse, JumpIfTrue, JumpIfNull, JumpIfNonNull:
+			if in.A < 0 || in.A >= n {
+				return fail(pc, "jump target %d out of range [0,%d)", in.A, n)
+			}
+		case LoadLocal, StoreLocal:
+			if in.A < 0 || int(in.A) >= m.MaxLocals {
+				return fail(pc, "local slot %d out of range [0,%d)", in.A, m.MaxLocals)
+			}
+		case NewObject:
+			if in.A < 0 || int(in.A) >= len(p.Classes) {
+				return fail(pc, "class id %d out of range", in.A)
+			}
+			if in.B < 0 || int(in.B) >= len(p.Sites) {
+				return fail(pc, "site id %d out of range", in.B)
+			}
+		case NewArray:
+			if ElemKind(in.A) < ElemInt || ElemKind(in.A) > ElemRef {
+				return fail(pc, "bad element kind %d", in.A)
+			}
+			if in.B < 0 || int(in.B) >= len(p.Sites) {
+				return fail(pc, "site id %d out of range", in.B)
+			}
+		case InvokeStatic, InvokeSpecial:
+			if in.A < 0 || int(in.A) >= len(p.Methods) {
+				return fail(pc, "method id %d out of range", in.A)
+			}
+		case InvokeVirtual:
+			if in.B < 0 || int(in.B) >= len(p.Classes) {
+				return fail(pc, "class id %d out of range", in.B)
+			}
+			if in.A < 0 || int(in.A) >= len(p.Classes[in.B].VTable) {
+				return fail(pc, "vtable index %d out of range for class %s", in.A, p.Classes[in.B].Name)
+			}
+		case CallBuiltin:
+			if in.A < 0 || int(in.A) >= NumBuiltins() {
+				return fail(pc, "builtin id %d out of range", in.A)
+			}
+		case ConstStr:
+			if in.A < 0 || int(in.A) >= len(p.Strings) {
+				return fail(pc, "string pool index %d out of range", in.A)
+			}
+		case CheckCast:
+			if in.A < 0 || int(in.A) >= len(p.Classes) {
+				return fail(pc, "class id %d out of range", in.A)
+			}
+		case GetStatic, PutStatic:
+			if in.B < 0 || int(in.B) >= len(p.Classes) {
+				return fail(pc, "class id %d out of range", in.B)
+			}
+			if in.A < 0 || in.A >= p.Classes[in.B].NumStaticSlots {
+				return fail(pc, "static slot %d out of range for class %s", in.A, p.Classes[in.B].Name)
+			}
+		}
+		if in.Op >= opCount {
+			return fail(pc, "unknown opcode %d", in.Op)
+		}
+	}
+	for i, ex := range m.Exceptions {
+		if ex.From < 0 || ex.To > n || ex.From >= ex.To {
+			return fmt.Errorf("bytecode: %s exception range %d malformed [%d,%d)", methodDesc(p, m.ID), i, ex.From, ex.To)
+		}
+		if ex.Handler < 0 || ex.Handler >= n {
+			return fmt.Errorf("bytecode: %s exception handler %d out of range", methodDesc(p, m.ID), ex.Handler)
+		}
+		if ex.CatchClass >= int32(len(p.Classes)) {
+			return fmt.Errorf("bytecode: %s exception catch class %d out of range", methodDesc(p, m.ID), ex.CatchClass)
+		}
+	}
+	if n == 0 {
+		return fmt.Errorf("bytecode: %s has empty body", methodDesc(p, m.ID))
+	}
+	last := m.Code[n-1].Op
+	if last != Return && last != ReturnValue && last != Jump && last != Throw {
+		return fmt.Errorf("bytecode: %s can fall off the end (last op %s)", methodDesc(p, m.ID), last)
+	}
+	return nil
+}

@@ -1,0 +1,115 @@
+package drag_test
+
+import (
+	"strings"
+	"testing"
+
+	"dragprof/internal/bench"
+	"dragprof/internal/drag"
+)
+
+// TestAnchorSiteResolution reproduces the paper's Section 3.4 walkthrough:
+// the drag-hot allocation sits inside library code (the Object[] inside
+// Vector's constructor, the analogue of the char[] inside
+// java.util.String), and the anchor-site report must attribute it to the
+// application frame that called into the library — jack's Production
+// constructor.
+func TestAnchorSiteResolution(t *testing.T) {
+	b, err := bench.ByName("jack")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := bench.Run(b, bench.Original, bench.OriginalInput, bench.RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := r.Profile
+
+	// Find a record whose allocation site is inside the collections
+	// library (Vector's backing array).
+	var found bool
+	for _, rec := range p.Reported() {
+		desc := p.SiteDesc(rec.Site)
+		if !strings.Contains(desc, "Vector.<init>") {
+			continue
+		}
+		found = true
+		m, _, ok := drag.AnchorNode(p, rec.Chain, nil)
+		if !ok {
+			t.Fatal("no anchor for a library allocation")
+		}
+		file := p.MethodFile(m)
+		if drag.IsLibraryFile(file) {
+			t.Fatalf("anchor still in library code: method file %q", file)
+		}
+		if !strings.Contains(p.MethodNames[m], "Production") {
+			t.Errorf("anchor method = %s, want Production.<init>", p.MethodNames[m])
+		}
+		break
+	}
+	if !found {
+		t.Fatal("no Vector-internal allocation records found")
+	}
+
+	// The anchor grouping merges the library-interior allocations into
+	// application-level groups; the Production constructor must appear.
+	groups := drag.AnchorGroups(p, drag.Options{})
+	if len(groups) == 0 {
+		t.Fatal("no anchor groups")
+	}
+	// Anchors are per source line of Production.<init>: the lines that
+	// allocate the (never-used) Vector and HashTables form never-used
+	// groups, while the rhs-array line is a used group. At least one
+	// mostly-never-used Production anchor must exist and carry real drag.
+	var prod *drag.Group
+	for _, g := range groups {
+		if strings.Contains(g.Desc, "Production.<init>") && g.NeverUsedFraction() > 0.9 {
+			prod = g
+			break
+		}
+	}
+	if prod == nil {
+		t.Fatal("no mostly-never-used anchor group at Production.<init>")
+	}
+	if prod.Drag == 0 {
+		t.Error("never-used anchor group carries no drag")
+	}
+	if prod.DragHist.Total() != prod.Count {
+		t.Errorf("drag histogram covers %d of %d objects", prod.DragHist.Total(), prod.Count)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	var h drag.Histogram
+	w := int64(100)
+	h.Add(0, w)     // bucket 0: [0, 100)
+	h.Add(99, w)    // bucket 0
+	h.Add(100, w)   // bucket 1: [100, 200)
+	h.Add(399, w)   // bucket 2: [200, 400)
+	h.Add(1<<40, w) // last bucket (open-ended)
+	if h[0] != 2 || h[1] != 1 || h[2] != 1 || h[7] != 1 {
+		t.Errorf("histogram = %v", h)
+	}
+	if h.Total() != 5 {
+		t.Errorf("total = %d", h.Total())
+	}
+	if !strings.HasPrefix(h.String(), "[2 1 1 ") {
+		t.Errorf("render = %s", h.String())
+	}
+}
+
+func TestIsLibraryFile(t *testing.T) {
+	cases := map[string]bool{
+		"<stdlib>":                      true,
+		"programs/collections.mj":       true,
+		"programs/collections_fixed.mj": true,
+		"":                              true,
+		"programs/jack_orig.mj":         false,
+		"app.mj":                        false,
+	}
+	for file, want := range cases {
+		if got := drag.IsLibraryFile(file); got != want {
+			t.Errorf("IsLibraryFile(%q) = %v", file, got)
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package drag
+
+import (
+	"sort"
+
+	"dragprof/internal/profile"
+)
+
+// Curve is a Figure-2 series: reachable and in-use heap size over
+// allocation time. Each sample i covers time Times[i] (bytes allocated).
+type Curve struct {
+	Times     []int64
+	Reachable []int64
+	InUse     []int64
+}
+
+// PeakReachable returns the maximum of the reachable series.
+func (c Curve) PeakReachable() int64 {
+	var peak int64
+	for _, v := range c.Reachable {
+		if v > peak {
+			peak = v
+		}
+	}
+	return peak
+}
+
+// BuildCurve reconstructs the reachable and in-use heap-size series from
+// trailers. An object is reachable in [create, collect) and in use in
+// [create, lastUse). maxSamples caps the series length (the sampling step
+// is then a multiple of the deep-GC interval).
+func BuildCurve(p *profile.Profile, maxSamples int) Curve {
+	if maxSamples <= 1 {
+		maxSamples = 512
+	}
+	recs := p.Reported()
+	step := p.GCInterval
+	if step <= 0 {
+		step = profile.DefaultGCInterval
+	}
+	for p.FinalClock/step+1 > int64(maxSamples) {
+		step *= 2
+	}
+	n := int(p.FinalClock/step) + 1
+
+	type event struct {
+		time  int64
+		reach int64
+		inUse int64
+	}
+	events := make([]event, 0, len(recs)*2)
+	for _, r := range recs {
+		ev := event{time: r.Create, reach: r.Size}
+		if r.Used() {
+			ev.inUse = r.Size
+		}
+		events = append(events, ev)
+		if r.Used() && r.LastUse < r.Collect {
+			events = append(events, event{time: r.LastUse, inUse: -r.Size})
+			events = append(events, event{time: r.Collect, reach: -r.Size})
+		} else {
+			// Collected at (or before) last use: both series drop
+			// together.
+			events = append(events, event{time: r.Collect, reach: -r.Size, inUse: -boolInt(r.Used()) * r.Size})
+		}
+	}
+	sort.Slice(events, func(i, j int) bool { return events[i].time < events[j].time })
+
+	c := Curve{
+		Times:     make([]int64, n),
+		Reachable: make([]int64, n),
+		InUse:     make([]int64, n),
+	}
+	var reach, inUse int64
+	ei := 0
+	for i := 0; i < n; i++ {
+		t := int64(i) * step
+		for ei < len(events) && events[ei].time <= t {
+			reach += events[ei].reach
+			inUse += events[ei].inUse
+			ei++
+		}
+		c.Times[i] = t
+		c.Reachable[i] = reach
+		c.InUse[i] = inUse
+	}
+	return c
+}
+
+func boolInt(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Comparison quantifies the savings between an original and a revised run,
+// the derivation behind the paper's Tables 2 and 3.
+type Comparison struct {
+	Benchmark string
+	// Integrals in MByte² (the paper's unit).
+	ReducedReachable  float64
+	ReducedInUse      float64
+	OriginalReachable float64
+	OriginalInUse     float64
+	// DragSavingPct = (origReach − revReach) / (origReach − origInUse).
+	// Can exceed 100% when the revised reachable integral falls below
+	// the original in-use integral (the paper's mc benchmark).
+	DragSavingPct float64
+	// SpaceSavingPct = 1 − revReach/origReach.
+	SpaceSavingPct float64
+}
+
+// Compare derives the savings of revised over original.
+func Compare(original, revised *Report) Comparison {
+	c := Comparison{
+		Benchmark:         original.Name,
+		ReducedReachable:  MB2(revised.ReachableIntegral),
+		ReducedInUse:      MB2(revised.InUseIntegral),
+		OriginalReachable: MB2(original.ReachableIntegral),
+		OriginalInUse:     MB2(original.InUseIntegral),
+	}
+	origDrag := c.OriginalReachable - c.OriginalInUse
+	reduction := c.OriginalReachable - c.ReducedReachable
+	if origDrag > 0 {
+		c.DragSavingPct = reduction / origDrag * 100
+	}
+	if c.OriginalReachable > 0 {
+		c.SpaceSavingPct = reduction / c.OriginalReachable * 100
+	}
+	return c
+}

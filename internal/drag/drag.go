@@ -1,0 +1,353 @@
+// Package drag implements phase 2 of the paper's tool: the offline analyzer
+// that reads the trailer log, computes each object's drag (size × the time
+// it is reachable but not in use), partitions dragged objects by nested
+// allocation site and by last-use site, isolates never-used objects, and
+// classifies each site against the lifetime patterns of Section 3.4 to
+// suggest a rewriting strategy.
+package drag
+
+import (
+	"math"
+	"sort"
+
+	"dragprof/internal/profile"
+)
+
+// Options tune the analysis.
+type Options struct {
+	// NestDepth limits nested-allocation-site chains to the innermost N
+	// call sites (the paper's "level of nesting" knob). Default 4.
+	NestDepth int
+	// NeverUsedWindow treats objects whose in-use time is at most this
+	// many bytes as never used ("the only use of an object may be in its
+	// constructor and its in-use time is very short; we also consider
+	// these as objects that were never used", Section 3.4). Defaults to
+	// the profile's GC interval.
+	NeverUsedWindow int64
+	// MostlyThreshold is the never-used fraction above which a site is
+	// classified as the lazy-allocation pattern (default 0.9; the
+	// paper's jack sites are ">97%").
+	MostlyThreshold float64
+	// LargeDragFactor: a dragged object has "large drag" when its drag
+	// time exceeds LargeDragFactor × NeverUsedWindow (default 2).
+	LargeDragFactor int64
+	// TopLastUse keeps the top-N last-use-site partitions per group
+	// (default 3).
+	TopLastUse int
+}
+
+func (o Options) withDefaults(p *profile.Profile) Options {
+	if o.NestDepth == 0 {
+		o.NestDepth = 4
+	}
+	if o.NeverUsedWindow == 0 {
+		o.NeverUsedWindow = p.GCInterval
+		if o.NeverUsedWindow == 0 {
+			o.NeverUsedWindow = profile.DefaultGCInterval
+		}
+	}
+	if o.MostlyThreshold == 0 {
+		o.MostlyThreshold = 0.9
+	}
+	if o.LargeDragFactor == 0 {
+		o.LargeDragFactor = 2
+	}
+	if o.TopLastUse == 0 {
+		o.TopLastUse = 3
+	}
+	return o
+}
+
+// Pattern is a lifetime pattern from Section 3.4, each suggesting a
+// rewriting strategy.
+type Pattern int
+
+// Lifetime patterns.
+const (
+	// PatternNone: no dominant pattern; no clear transformation.
+	PatternNone Pattern = iota
+	// PatternDeadCode: all objects at the site are never used; dead code
+	// removal applies.
+	PatternDeadCode
+	// PatternLazyAlloc: most objects are never used; lazy allocation
+	// applies.
+	PatternLazyAlloc
+	// PatternAssignNull: most dragged objects have a large drag;
+	// assigning null to the dead reference applies.
+	PatternAssignNull
+	// PatternHighVariance: drag variance is high; likely no
+	// transformation helps (e.g. the db repository).
+	PatternHighVariance
+)
+
+// String names the pattern.
+func (p Pattern) String() string {
+	switch p {
+	case PatternDeadCode:
+		return "all-never-used (dead code removal)"
+	case PatternLazyAlloc:
+		return "mostly-never-used (lazy allocation)"
+	case PatternAssignNull:
+		return "large-drag (assign null)"
+	case PatternHighVariance:
+		return "high-variance (no transformation)"
+	default:
+		return "none"
+	}
+}
+
+// PairGroup is a (group, last-use site) partition.
+type PairGroup struct {
+	// LastUseDesc renders the nested last-use site ("<never used>" for
+	// the never-used partition).
+	LastUseDesc string
+	Count       int
+	Drag        int64
+}
+
+// Group aggregates the dragged objects of one allocation site (coarse) or
+// one nested allocation site (fine).
+type Group struct {
+	// Key is the canonical grouping key.
+	Key string
+	// SiteID is the allocation site for coarse (per-site) groups; -1 for
+	// nested-site groups.
+	SiteID int32
+	// Desc is the printable site description.
+	Desc string
+	// Count is the number of objects allocated at the site.
+	Count int
+	// NeverUsed counts objects with no (or constructor-only) uses.
+	NeverUsed int
+	// Bytes is the total bytes allocated at the site.
+	Bytes int64
+	// Drag is the summed drag space-time product (byte²).
+	Drag int64
+	// NeverUsedDrag is the drag contributed by never-used objects.
+	NeverUsedDrag int64
+	// InUse is the summed in-use space-time product (byte²).
+	InUse int64
+	// MeanDragTime and StdDragTime describe the drag-time distribution.
+	MeanDragTime float64
+	StdDragTime  float64
+	// Pattern is the classified lifetime pattern.
+	Pattern Pattern
+	// DragHist and InUseHist partition the group's objects by drag time
+	// and in-use time in power-of-two multiples of the never-used window
+	// (the Section 3.4 anchor-site breakdown).
+	DragHist  Histogram
+	InUseHist Histogram
+	// LastUse is the top last-use-site partition for the group.
+	LastUse []PairGroup
+}
+
+// NeverUsedFraction is the fraction of the site's objects never used.
+func (g *Group) NeverUsedFraction() float64 {
+	if g.Count == 0 {
+		return 0
+	}
+	return float64(g.NeverUsed) / float64(g.Count)
+}
+
+// Report is the analyzer's output.
+type Report struct {
+	// Name labels the profiled program.
+	Name string
+	// FinalClock is total allocation in bytes.
+	FinalClock int64
+	// TotalObjects and TotalBytes cover reported (non-interned) objects.
+	TotalObjects int
+	TotalBytes   int64
+	// ReachableIntegral is Σ size × (collect − create) in byte².
+	ReachableIntegral int64
+	// InUseIntegral is Σ size × (lastUse − create) in byte².
+	InUseIntegral int64
+	// TotalDrag is Σ size × dragTime = Reachable − InUse (up to the
+	// never-used convention) in byte².
+	TotalDrag int64
+	// NeverUsedObjects counts never-used objects program-wide.
+	NeverUsedObjects int
+	// NeverUsedDrag is their contribution to TotalDrag.
+	NeverUsedDrag int64
+	// BySite groups by coarse allocation site, sorted by drag.
+	BySite []*Group
+	// ByNestedSite groups by nested allocation site at Options.NestDepth,
+	// sorted by drag.
+	ByNestedSite []*Group
+	// Options echoes the effective analysis options.
+	Options Options
+}
+
+// MB2 converts a byte² integral to MByte² (the paper's Table 2 unit).
+func MB2(v int64) float64 { return float64(v) / (1 << 40) }
+
+// Analyze runs the phase-2 analysis over a profile.
+func Analyze(p *profile.Profile, opts Options) *Report {
+	opts = opts.withDefaults(p)
+	recs := p.Reported()
+	rep := &Report{
+		Name:       p.Name,
+		FinalClock: p.FinalClock,
+		Options:    opts,
+	}
+
+	neverUsed := func(r *profile.Record) bool {
+		return !r.Used() || r.InUseTime() <= opts.NeverUsedWindow
+	}
+
+	coarse := make(map[string]*groupAcc)
+	fine := make(map[string]*groupAcc)
+	for _, r := range recs {
+		rep.TotalObjects++
+		rep.TotalBytes += r.Size
+		rep.ReachableIntegral += r.Size * r.LifeTime()
+		rep.InUseIntegral += r.Size * r.InUseTime()
+		rep.TotalDrag += r.Drag()
+		nu := neverUsed(r)
+		if nu {
+			rep.NeverUsedObjects++
+			rep.NeverUsedDrag += r.Drag()
+		}
+
+		ck := "site:" + itoa(r.Site)
+		accumulate(coarse, ck, p.SiteDesc(r.Site), r.Site, r, nu, p, opts)
+		fk := "chain:" + p.ChainSuffixKey(r.Chain, opts.NestDepth)
+		accumulate(fine, fk, p.ChainDesc(r.Chain, opts.NestDepth), -1, r, nu, p, opts)
+	}
+
+	rep.BySite = finalize(coarse, opts)
+	rep.ByNestedSite = finalize(fine, opts)
+	return rep
+}
+
+type groupAcc struct {
+	g         Group
+	dragTimes []float64
+	lastUse   map[string]*PairGroup
+}
+
+func accumulate(m map[string]*groupAcc, key, desc string, siteID int32, r *profile.Record, neverUsed bool, p *profile.Profile, opts Options) {
+	acc, ok := m[key]
+	if !ok {
+		acc = &groupAcc{
+			g:       Group{Key: key, SiteID: siteID, Desc: desc},
+			lastUse: make(map[string]*PairGroup),
+		}
+		m[key] = acc
+	}
+	g := &acc.g
+	g.Count++
+	g.Bytes += r.Size
+	g.Drag += r.Drag()
+	g.InUse += r.Size * r.InUseTime()
+	if neverUsed {
+		g.NeverUsed++
+		g.NeverUsedDrag += r.Drag()
+	}
+	if r.DragTime() > 0 {
+		acc.dragTimes = append(acc.dragTimes, float64(r.DragTime()))
+	}
+	g.DragHist.Add(r.DragTime(), opts.NeverUsedWindow)
+	g.InUseHist.Add(r.InUseTime(), opts.NeverUsedWindow)
+
+	luKey := "<never used>"
+	luDesc := "<never used>"
+	if r.Used() {
+		luKey = p.ChainSuffixKey(r.LastUseChain, opts.NestDepth)
+		luDesc = p.ChainDesc(r.LastUseChain, opts.NestDepth)
+	}
+	pg, ok := acc.lastUse[luKey]
+	if !ok {
+		pg = &PairGroup{LastUseDesc: luDesc}
+		acc.lastUse[luKey] = pg
+	}
+	pg.Count++
+	pg.Drag += r.Drag()
+}
+
+func finalize(m map[string]*groupAcc, opts Options) []*Group {
+	out := make([]*Group, 0, len(m))
+	for _, acc := range m {
+		g := &acc.g
+		g.MeanDragTime, g.StdDragTime = meanStd(acc.dragTimes)
+		g.Pattern = classify(g, opts)
+		pairs := make([]PairGroup, 0, len(acc.lastUse))
+		for _, pg := range acc.lastUse {
+			pairs = append(pairs, *pg)
+		}
+		sort.Slice(pairs, func(i, j int) bool {
+			if pairs[i].Drag != pairs[j].Drag {
+				return pairs[i].Drag > pairs[j].Drag
+			}
+			return pairs[i].LastUseDesc < pairs[j].LastUseDesc
+		})
+		if len(pairs) > opts.TopLastUse {
+			pairs = pairs[:opts.TopLastUse]
+		}
+		g.LastUse = pairs
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Drag != out[j].Drag {
+			return out[i].Drag > out[j].Drag
+		}
+		return out[i].Desc < out[j].Desc
+	})
+	return out
+}
+
+// classify applies the Section 3.4 decision rules.
+func classify(g *Group, opts Options) Pattern {
+	if g.Count == 0 || g.Drag == 0 {
+		return PatternNone
+	}
+	frac := g.NeverUsedFraction()
+	switch {
+	case frac == 1:
+		return PatternDeadCode
+	case frac >= opts.MostlyThreshold:
+		return PatternLazyAlloc
+	}
+	// Coefficient of variation of drag time distinguishes "most objects
+	// drag long" from "a few outliers drag".
+	if g.MeanDragTime > 0 {
+		cv := g.StdDragTime / g.MeanDragTime
+		if cv > 1.0 {
+			return PatternHighVariance
+		}
+		if g.MeanDragTime >= float64(opts.LargeDragFactor*opts.NeverUsedWindow) {
+			return PatternAssignNull
+		}
+	}
+	return PatternNone
+}
+
+func meanStd(xs []float64) (mean, std float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	if len(xs) == 1 {
+		return mean, 0
+	}
+	var ss float64
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	return mean, math.Sqrt(ss / float64(len(xs)))
+}
+
+func itoa(v int32) string {
+	// Minimal local formatting to avoid fmt on a hot path.
+	if v < 0 {
+		return "-" + itoa(-v)
+	}
+	if v < 10 {
+		return string([]byte{byte('0' + v)})
+	}
+	return itoa(v/10) + string([]byte{byte('0' + v%10)})
+}

@@ -1,0 +1,417 @@
+package mj
+
+import "dragprof/internal/bytecode"
+
+// TypeExpr is a syntactic type: a base name ("int", "bool", "char", "void"
+// or a class name) plus array dimensions.
+type TypeExpr struct {
+	Pos  Pos
+	Base string
+	Dims int
+}
+
+// IsVoid reports whether the type is void.
+func (t TypeExpr) IsVoid() bool { return t.Base == "void" && t.Dims == 0 }
+
+// String renders the type as source text.
+func (t TypeExpr) String() string {
+	s := t.Base
+	for i := 0; i < t.Dims; i++ {
+		s += "[]"
+	}
+	return s
+}
+
+// Modifiers are the access and static modifiers of a member.
+type Modifiers struct {
+	Static bool
+	Vis    bytecode.Visibility
+}
+
+// Node is any AST node.
+type Node interface{ Position() Pos }
+
+// Expr is an expression node.
+type Expr interface {
+	Node
+	exprNode()
+}
+
+// Stmt is a statement node.
+type Stmt interface {
+	Node
+	stmtNode()
+}
+
+// File is one parsed source file.
+type File struct {
+	Name    string
+	Classes []*ClassDecl
+}
+
+// Program is a set of parsed files compiled together.
+type Program struct {
+	Files []*File
+}
+
+// Classes returns all class declarations across files in order.
+func (p *Program) Classes() []*ClassDecl {
+	var out []*ClassDecl
+	for _, f := range p.Files {
+		out = append(out, f.Classes...)
+	}
+	return out
+}
+
+// ClassDecl is a class declaration.
+type ClassDecl struct {
+	Pos     Pos
+	Name    string
+	Extends string // empty for root classes
+	Fields  []*FieldDecl
+	Methods []*MethodDecl
+	File    string
+}
+
+// Position implements Node.
+func (c *ClassDecl) Position() Pos { return c.Pos }
+
+// FieldDecl is a field declaration; static fields may carry an initializer
+// which runs before main in declaration order.
+type FieldDecl struct {
+	Pos  Pos
+	Mods Modifiers
+	Type TypeExpr
+	Name string
+	Init Expr // may be nil
+}
+
+// Position implements Node.
+func (f *FieldDecl) Position() Pos { return f.Pos }
+
+// Param is a method parameter.
+type Param struct {
+	Pos  Pos
+	Type TypeExpr
+	Name string
+}
+
+// MethodDecl is a method or constructor declaration.
+type MethodDecl struct {
+	Pos    Pos
+	Mods   Modifiers
+	Return TypeExpr // void for constructors
+	Name   string
+	Params []Param
+	Body   *Block
+	IsCtor bool
+}
+
+// Position implements Node.
+func (m *MethodDecl) Position() Pos { return m.Pos }
+
+// Statements.
+
+// Block is a brace-delimited statement list with its own scope.
+type Block struct {
+	Pos   Pos
+	Stmts []Stmt
+}
+
+// VarDecl declares a local variable, optionally initialized.
+type VarDecl struct {
+	Pos  Pos
+	Type TypeExpr
+	Name string
+	Init Expr // may be nil
+}
+
+// If is a conditional statement.
+type If struct {
+	Pos  Pos
+	Cond Expr
+	Then Stmt
+	Else Stmt // may be nil
+}
+
+// While is a while loop.
+type While struct {
+	Pos  Pos
+	Cond Expr
+	Body Stmt
+}
+
+// For is a C-style for loop; Init and Post may be nil, Cond defaults true.
+type For struct {
+	Pos  Pos
+	Init Stmt // VarDecl, Assign or ExprStmt; may be nil
+	Cond Expr // may be nil
+	Post Stmt // Assign or ExprStmt; may be nil
+	Body Stmt
+}
+
+// Return returns from the enclosing method; Value may be nil.
+type Return struct {
+	Pos   Pos
+	Value Expr
+}
+
+// Throw raises an exception.
+type Throw struct {
+	Pos   Pos
+	Value Expr
+}
+
+// Try is a try/catch statement with a single catch clause.
+type Try struct {
+	Pos       Pos
+	Body      *Block
+	CatchType string
+	CatchVar  string
+	Catch     *Block
+
+	// catchKey is the lazily created synthetic VarDecl under which the
+	// checker records the catch variable's LocalSym (see tryCatchKey).
+	catchKey *VarDecl
+}
+
+// Sync is a synchronized block: monitorenter/monitorexit around Body.
+type Sync struct {
+	Pos  Pos
+	Obj  Expr
+	Body *Block
+}
+
+// Break exits the innermost loop.
+type Break struct{ Pos Pos }
+
+// Continue re-tests the innermost loop.
+type Continue struct{ Pos Pos }
+
+// ExprStmt evaluates an expression (a call) for its effects.
+type ExprStmt struct {
+	Pos Pos
+	E   Expr
+}
+
+// Assign stores RHS into an lvalue (Ident, FieldAccess or Index).
+type Assign struct {
+	Pos Pos
+	LHS Expr
+	RHS Expr
+}
+
+// Position implementations.
+func (s *Block) Position() Pos    { return s.Pos }
+func (s *VarDecl) Position() Pos  { return s.Pos }
+func (s *If) Position() Pos       { return s.Pos }
+func (s *While) Position() Pos    { return s.Pos }
+func (s *For) Position() Pos      { return s.Pos }
+func (s *Return) Position() Pos   { return s.Pos }
+func (s *Throw) Position() Pos    { return s.Pos }
+func (s *Try) Position() Pos      { return s.Pos }
+func (s *Sync) Position() Pos     { return s.Pos }
+func (s *Break) Position() Pos    { return s.Pos }
+func (s *Continue) Position() Pos { return s.Pos }
+func (s *ExprStmt) Position() Pos { return s.Pos }
+func (s *Assign) Position() Pos   { return s.Pos }
+
+func (*Block) stmtNode()    {}
+func (*VarDecl) stmtNode()  {}
+func (*If) stmtNode()       {}
+func (*While) stmtNode()    {}
+func (*For) stmtNode()      {}
+func (*Return) stmtNode()   {}
+func (*Throw) stmtNode()    {}
+func (*Try) stmtNode()      {}
+func (*Sync) stmtNode()     {}
+func (*Break) stmtNode()    {}
+func (*Continue) stmtNode() {}
+func (*ExprStmt) stmtNode() {}
+func (*Assign) stmtNode()   {}
+
+// Expressions.
+
+// IntLit is an integer literal.
+type IntLit struct {
+	Pos Pos
+	V   int64
+}
+
+// CharLit is a character literal.
+type CharLit struct {
+	Pos Pos
+	V   int64
+}
+
+// BoolLit is true or false.
+type BoolLit struct {
+	Pos Pos
+	V   bool
+}
+
+// StringLit is a string literal; the compiler materializes it as a String
+// object over a char array.
+type StringLit struct {
+	Pos Pos
+	V   string
+}
+
+// NullLit is the null literal.
+type NullLit struct{ Pos Pos }
+
+// This is the receiver reference.
+type This struct{ Pos Pos }
+
+// Ident names a local, parameter, field (implicit this), static field of
+// the enclosing class, or — in qualifier position — a class.
+type Ident struct {
+	Pos  Pos
+	Name string
+}
+
+// FieldAccess is expr.Name; when expr denotes a class it is a static field
+// access, and ".length" on arrays is the length operator.
+type FieldAccess struct {
+	Pos  Pos
+	Obj  Expr
+	Name string
+}
+
+// Index is arr[idx].
+type Index struct {
+	Pos Pos
+	Arr Expr
+	Idx Expr
+}
+
+// Call invokes a method: Recv.Name(Args), or with Recv nil, a method of the
+// enclosing class or a builtin.
+type Call struct {
+	Pos  Pos
+	Recv Expr // nil for bare calls
+	Name string
+	Args []Expr
+}
+
+// New allocates an instance: new Class(Args).
+type New struct {
+	Pos   Pos
+	Class string
+	Args  []Expr
+}
+
+// NewArray allocates an array: new Elem[Length] with optional extra
+// dimensions left null (new T[n][] has Elem dims 1).
+type NewArray struct {
+	Pos    Pos
+	Elem   TypeExpr // element type of the created array
+	Length Expr
+}
+
+// Cast is a reference downcast: (Class) expr. Only class targets are
+// supported (no primitive or array casts).
+type Cast struct {
+	Pos   Pos
+	Class string
+	E     Expr
+}
+
+// Binary is a binary operation.
+type Binary struct {
+	Pos  Pos
+	Op   TokenKind
+	L, R Expr
+}
+
+// Unary is -x or !x.
+type Unary struct {
+	Pos Pos
+	Op  TokenKind
+	E   Expr
+}
+
+// Position implementations.
+func (e *IntLit) Position() Pos      { return e.Pos }
+func (e *CharLit) Position() Pos     { return e.Pos }
+func (e *BoolLit) Position() Pos     { return e.Pos }
+func (e *StringLit) Position() Pos   { return e.Pos }
+func (e *NullLit) Position() Pos     { return e.Pos }
+func (e *This) Position() Pos        { return e.Pos }
+func (e *Ident) Position() Pos       { return e.Pos }
+func (e *FieldAccess) Position() Pos { return e.Pos }
+func (e *Index) Position() Pos       { return e.Pos }
+func (e *Call) Position() Pos        { return e.Pos }
+func (e *New) Position() Pos         { return e.Pos }
+func (e *NewArray) Position() Pos    { return e.Pos }
+func (e *Cast) Position() Pos        { return e.Pos }
+func (e *Binary) Position() Pos      { return e.Pos }
+func (e *Unary) Position() Pos       { return e.Pos }
+
+func (*IntLit) exprNode()      {}
+func (*CharLit) exprNode()     {}
+func (*BoolLit) exprNode()     {}
+func (*StringLit) exprNode()   {}
+func (*NullLit) exprNode()     {}
+func (*This) exprNode()        {}
+func (*Ident) exprNode()       {}
+func (*FieldAccess) exprNode() {}
+func (*Index) exprNode()       {}
+func (*Call) exprNode()        {}
+func (*New) exprNode()         {}
+func (*NewArray) exprNode()    {}
+func (*Cast) exprNode()        {}
+func (*Binary) exprNode()      {}
+func (*Unary) exprNode()       {}
+
+// CountStatements counts executable statements in a class, the metric the
+// paper's Table 1 reports per benchmark.
+func CountStatements(c *ClassDecl) int {
+	n := 0
+	for _, f := range c.Fields {
+		if f.Init != nil {
+			n++
+		}
+	}
+	for _, m := range c.Methods {
+		n += countBlock(m.Body)
+	}
+	return n
+}
+
+func countBlock(b *Block) int {
+	if b == nil {
+		return 0
+	}
+	n := 0
+	for _, s := range b.Stmts {
+		n += countStmt(s)
+	}
+	return n
+}
+
+func countStmt(s Stmt) int {
+	switch s := s.(type) {
+	case *Block:
+		return countBlock(s)
+	case *If:
+		n := 1 + countStmt(s.Then)
+		if s.Else != nil {
+			n += countStmt(s.Else)
+		}
+		return n
+	case *While:
+		return 1 + countStmt(s.Body)
+	case *For:
+		n := 1 + countStmt(s.Body)
+		return n
+	case *Try:
+		return 1 + countBlock(s.Body) + countBlock(s.Catch)
+	case *Sync:
+		return 1 + countBlock(s.Body)
+	case nil:
+		return 0
+	default:
+		return 1
+	}
+}

@@ -1,0 +1,759 @@
+package mj
+
+import (
+	"errors"
+	"fmt"
+
+	"dragprof/internal/bytecode"
+)
+
+// Compile lowers a checked program to bytecode. The returned program
+// verifies cleanly (a failure to do so is a compiler bug reported as an
+// error).
+func Compile(ck *Checked) (*bytecode.Program, error) {
+	c := &compiler{
+		ck:        ck,
+		stringIdx: make(map[string]int32),
+	}
+	prog, err := c.compile()
+	if err != nil {
+		return nil, err
+	}
+	if err := bytecode.Verify(prog); err != nil {
+		return nil, fmt.Errorf("mj: internal error, generated code fails verification: %w", err)
+	}
+	return prog, nil
+}
+
+// CompileSources parses, checks and compiles the named sources in order.
+// It returns the compiled program and the semantic annotations.
+func CompileSources(names []string, sources map[string]string) (*bytecode.Program, *Checked, error) {
+	ast, perrs := ParseProgram(names, sources)
+	if len(perrs) > 0 {
+		return nil, nil, errors.Join(perrs...)
+	}
+	ck, serrs := Check(ast)
+	if len(serrs) > 0 {
+		return nil, nil, errors.Join(serrs...)
+	}
+	prog, err := Compile(ck)
+	if err != nil {
+		return nil, nil, err
+	}
+	return prog, ck, nil
+}
+
+// runtimeExceptionNames are the exception classes the VM raises itself.
+var runtimeExceptionNames = []string{
+	"NullPointerException",
+	"ClassCastException",
+	"IndexOutOfBoundsException",
+	"ArithmeticException",
+	"NegativeArraySizeException",
+	"OutOfMemoryError",
+}
+
+type compiler struct {
+	ck        *Checked
+	prog      *bytecode.Program
+	stringIdx map[string]int32
+}
+
+func (c *compiler) compile() (*bytecode.Program, error) {
+	ck := c.ck
+	c.prog = &bytecode.Program{
+		Main:           -1,
+		StringClass:    -1,
+		StringChars:    -1,
+		ClassIndex:     make(map[string]int32),
+		RuntimeClasses: make(map[string]int32),
+		RuntimeSites:   make(map[string]int32),
+	}
+
+	for _, sym := range ck.Classes {
+		c.prog.Classes = append(c.prog.Classes, c.lowerClass(sym))
+		c.prog.ClassIndex[sym.Name] = sym.ID
+	}
+
+	// Reserve method table entries so call instructions can reference
+	// methods not yet compiled.
+	c.prog.Methods = make([]*bytecode.Method, len(ck.Methods))
+	for _, ms := range ck.Methods {
+		c.prog.Methods[ms.ID] = c.methodShell(ms)
+	}
+	for _, ms := range ck.Methods {
+		c.compileMethod(ms)
+	}
+
+	// Static initializers: one synthetic <clinit> per class that needs one.
+	for _, sym := range ck.Classes {
+		if m := c.compileClinit(sym); m != nil {
+			c.prog.StaticInits = append(c.prog.StaticInits, m.ID)
+			c.prog.Classes[sym.ID].HasInit = m.ID
+		} else {
+			c.prog.Classes[sym.ID].HasInit = -1
+		}
+	}
+
+	// Locate main: a unique static main() with no parameters.
+	for _, ms := range ck.Methods {
+		if ms.Name == "main" && ms.Static && len(ms.Params) == 0 {
+			if c.prog.Main >= 0 {
+				return nil, fmt.Errorf("mj: multiple static main() methods (%s and %s)",
+					methodName(c.prog, c.prog.Main), ms.QualifiedName())
+			}
+			c.prog.Main = ms.ID
+		}
+	}
+	if c.prog.Main < 0 {
+		return nil, errors.New("mj: no static main() method found")
+	}
+
+	// Well-known String plumbing for literals.
+	if sSym, ok := ck.ByName["String"]; ok {
+		c.prog.StringClass = sSym.ID
+		if f := sSym.LookupField("chars"); f != nil && !f.Static {
+			c.prog.StringChars = f.Slot
+		}
+	}
+
+	// Runtime exception classes and synthetic allocation sites.
+	for _, name := range runtimeExceptionNames {
+		if sym, ok := ck.ByName[name]; ok {
+			c.prog.RuntimeClasses[name] = sym.ID
+			id := int32(len(c.prog.Sites))
+			c.prog.Sites = append(c.prog.Sites, bytecode.Site{
+				ID: id, Method: -1, Line: 0,
+				Desc: "vm:<runtime> (new " + name + ")",
+				What: name,
+			})
+			c.prog.RuntimeSites[name] = id
+		}
+	}
+	return c.prog, nil
+}
+
+func methodName(p *bytecode.Program, id int32) string {
+	m := p.Methods[id]
+	if m.Class >= 0 {
+		return p.Classes[m.Class].Name + "." + m.Name
+	}
+	return m.Name
+}
+
+func (c *compiler) lowerClass(sym *ClassSym) *bytecode.Class {
+	bc := &bytecode.Class{
+		ID:             sym.ID,
+		Name:           sym.Name,
+		Super:          -1,
+		NumFieldSlots:  sym.NumSlots,
+		NumStaticSlots: sym.NumStatic,
+		Finalizable:    sym.Finalizable,
+		RefSlots:       make([]bool, sym.NumSlots),
+		StaticRefSlots: make([]bool, sym.NumStatic),
+		SourceFile:     sym.Decl.File,
+	}
+	if sym.Super != nil {
+		bc.Super = sym.Super.ID
+	}
+	for _, fs := range sym.FieldOrder {
+		bc.Fields = append(bc.Fields, bytecode.FieldDef{
+			Name:   fs.Name,
+			Slot:   fs.Slot,
+			Static: fs.Static,
+			Ref:    IsRefType(fs.Type),
+			Vis:    fs.Vis,
+		})
+	}
+	// Reference maps include inherited slots.
+	for cur := sym; cur != nil; cur = cur.Super {
+		for _, fs := range cur.FieldOrder {
+			if fs.Static {
+				if cur == sym && IsRefType(fs.Type) {
+					bc.StaticRefSlots[fs.Slot] = true
+				}
+			} else if IsRefType(fs.Type) {
+				bc.RefSlots[fs.Slot] = true
+			}
+		}
+	}
+	// VTable: most-derived method per index, walking root-to-leaf.
+	vcount := int32(0)
+	var chain []*ClassSym
+	for cur := sym; cur != nil; cur = cur.Super {
+		chain = append(chain, cur)
+	}
+	for _, cur := range chain {
+		for _, ms := range cur.MethodOrder {
+			if ms.VIndex+1 > vcount {
+				vcount = ms.VIndex + 1
+			}
+		}
+	}
+	bc.VTable = make([]int32, vcount)
+	bc.VTableNames = make([]string, vcount)
+	for i := len(chain) - 1; i >= 0; i-- { // root first, leaf overrides
+		for _, ms := range chain[i].MethodOrder {
+			if ms.VIndex >= 0 {
+				bc.VTable[ms.VIndex] = ms.ID
+				bc.VTableNames[ms.VIndex] = ms.Name
+			}
+		}
+	}
+	return bc
+}
+
+func (c *compiler) methodShell(ms *MethodSym) *bytecode.Method {
+	m := &bytecode.Method{
+		ID:    ms.ID,
+		Class: ms.Owner.ID,
+		Name:  ms.Name,
+	}
+	m.NumParams = len(ms.Params)
+	if !ms.Static {
+		m.NumParams++
+	}
+	if ms.Static {
+		m.Flags |= bytecode.FlagStatic
+	}
+	if ms.IsCtor {
+		m.Flags |= bytecode.FlagCtor
+	}
+	if ms.Finalizer {
+		m.Flags |= bytecode.FlagFinalizer
+	}
+	return m
+}
+
+// internString returns the string pool index for s.
+func (c *compiler) internString(s string) int32 {
+	if i, ok := c.stringIdx[s]; ok {
+		return i
+	}
+	i := int32(len(c.prog.Strings))
+	c.prog.Strings = append(c.prog.Strings, s)
+	c.stringIdx[s] = i
+	return i
+}
+
+// newSite records an allocation site and returns its id.
+func (c *compiler) newSite(method int32, line int32, what string) int32 {
+	id := int32(len(c.prog.Sites))
+	desc := fmt.Sprintf("%s:%d (new %s)", methodName(c.prog, method), line, what)
+	c.prog.Sites = append(c.prog.Sites, bytecode.Site{
+		ID: id, Method: method, Line: line, Desc: desc, What: what,
+	})
+	return id
+}
+
+// fnCompiler compiles one method body.
+type fnCompiler struct {
+	c     *compiler
+	ms    *MethodSym
+	m     *bytecode.Method
+	code  []bytecode.Instr
+	ex    []bytecode.ExRange
+	line  int32
+	temps int32 // extra slots beyond the checker's MaxLocals
+	loops []*loopCtx
+}
+
+type loopCtx struct {
+	breaks    []int // pcs of Jump instructions to patch to loop end
+	continues []int // pcs of Jump instructions to patch to loop post/cond
+}
+
+func (c *compiler) compileMethod(ms *MethodSym) {
+	f := &fnCompiler{c: c, ms: ms, m: c.prog.Methods[ms.ID]}
+	if ms.Decl == nil {
+		// Synthesized default constructor: empty body.
+		f.m.MaxLocals = 1 // this
+		f.emit(bytecode.Return, 0, 0)
+		f.finish()
+		return
+	}
+	f.compileBlock(ms.Decl.Body)
+	if sameType(ms.Return, PrimType(TypeVoid)) {
+		f.emit(bytecode.Return, 0, 0)
+	} else {
+		// Unreachable (the checker proved all paths return), but the
+		// verifier requires a terminating instruction.
+		f.emit(bytecode.ConstInt, 0, 0)
+		f.emit(bytecode.ReturnValue, 0, 0)
+	}
+	f.m.MaxLocals = c.ck.MaxLocals[ms.Decl] + int(f.temps)
+	f.finish()
+}
+
+// compileClinit builds the static initializer for sym, or returns nil when
+// the class declares no static field initializers.
+func (c *compiler) compileClinit(sym *ClassSym) *bytecode.Method {
+	var inits []*FieldDecl
+	for _, fd := range sym.Decl.Fields {
+		if fd.Mods.Static && fd.Init != nil {
+			inits = append(inits, fd)
+		}
+	}
+	if len(inits) == 0 {
+		return nil
+	}
+	m := &bytecode.Method{
+		ID:    int32(len(c.prog.Methods)),
+		Class: sym.ID,
+		Name:  "<clinit>",
+		Flags: bytecode.FlagStatic,
+	}
+	// Reserve the table entry before compiling the body: allocation sites
+	// inside the initializer reference the method by id.
+	c.prog.Methods = append(c.prog.Methods, m)
+	f := &fnCompiler{c: c, ms: &MethodSym{Name: "<clinit>", Static: true, Owner: sym, ID: m.ID}, m: m}
+	for _, fd := range inits {
+		f.line = int32(fd.Pos.Line)
+		f.compileExpr(fd.Init)
+		fs := sym.Fields[fd.Name]
+		f.emit(bytecode.PutStatic, fs.Slot, sym.ID)
+	}
+	f.emit(bytecode.Return, 0, 0)
+	f.m.MaxLocals = int(f.temps)
+	f.finish()
+	return m
+}
+
+func (f *fnCompiler) finish() {
+	f.m.Code = f.code
+	f.m.Exceptions = f.ex
+}
+
+func (f *fnCompiler) emit(op bytecode.Op, a, b int32) int {
+	pc := len(f.code)
+	f.code = append(f.code, bytecode.Instr{Op: op, A: a, B: b, Line: f.line})
+	return pc
+}
+
+func (f *fnCompiler) patch(pc int, target int) { f.code[pc].A = int32(target) }
+
+func (f *fnCompiler) here() int { return len(f.code) }
+
+// allocTemp reserves a compiler temp slot beyond the source-level locals.
+func (f *fnCompiler) allocTemp() int32 {
+	base := int32(f.c.ck.MaxLocals[f.ms.Decl])
+	s := base + f.temps
+	f.temps++
+	return s
+}
+
+// Statements.
+
+func (f *fnCompiler) compileBlock(b *Block) {
+	for _, s := range b.Stmts {
+		f.compileStmt(s)
+	}
+}
+
+func (f *fnCompiler) compileStmt(s Stmt) {
+	f.line = int32(s.Position().Line)
+	switch s := s.(type) {
+	case *Block:
+		f.compileBlock(s)
+	case *VarDecl:
+		ls := f.c.ck.Locals[s]
+		if s.Init != nil {
+			f.compileExpr(s.Init)
+			f.emit(bytecode.StoreLocal, ls.Slot, 0)
+		}
+	case *If:
+		f.compileExpr(s.Cond)
+		jf := f.emit(bytecode.JumpIfFalse, 0, 0)
+		f.compileStmt(s.Then)
+		if s.Else != nil {
+			jend := f.emit(bytecode.Jump, 0, 0)
+			f.patch(jf, f.here())
+			f.compileStmt(s.Else)
+			f.patch(jend, f.here())
+		} else {
+			f.patch(jf, f.here())
+		}
+	case *While:
+		top := f.here()
+		f.compileExpr(s.Cond)
+		jf := f.emit(bytecode.JumpIfFalse, 0, 0)
+		lc := &loopCtx{}
+		f.loops = append(f.loops, lc)
+		f.compileStmt(s.Body)
+		f.loops = f.loops[:len(f.loops)-1]
+		f.emit(bytecode.Jump, int32(top), 0)
+		end := f.here()
+		f.patch(jf, end)
+		for _, pc := range lc.breaks {
+			f.patch(pc, end)
+		}
+		for _, pc := range lc.continues {
+			f.patch(pc, top)
+		}
+	case *For:
+		if s.Init != nil {
+			f.compileStmt(s.Init)
+		}
+		top := f.here()
+		var jf int = -1
+		if s.Cond != nil {
+			f.compileExpr(s.Cond)
+			jf = f.emit(bytecode.JumpIfFalse, 0, 0)
+		}
+		lc := &loopCtx{}
+		f.loops = append(f.loops, lc)
+		f.compileStmt(s.Body)
+		f.loops = f.loops[:len(f.loops)-1]
+		post := f.here()
+		if s.Post != nil {
+			f.compileStmt(s.Post)
+		}
+		f.emit(bytecode.Jump, int32(top), 0)
+		end := f.here()
+		if jf >= 0 {
+			f.patch(jf, end)
+		}
+		for _, pc := range lc.breaks {
+			f.patch(pc, end)
+		}
+		for _, pc := range lc.continues {
+			f.patch(pc, post)
+		}
+	case *Return:
+		if s.Value != nil {
+			f.compileExpr(s.Value)
+			f.emit(bytecode.ReturnValue, 0, 0)
+		} else {
+			f.emit(bytecode.Return, 0, 0)
+		}
+	case *Throw:
+		f.compileExpr(s.Value)
+		f.emit(bytecode.Throw, 0, 0)
+	case *Try:
+		from := f.here()
+		f.compileBlock(s.Body)
+		to := f.here()
+		jend := f.emit(bytecode.Jump, 0, 0)
+		handler := f.here()
+		ls := f.c.ck.Locals[tryCatchKey(s)]
+		catchClass := int32(-1)
+		if sym, ok := f.c.ck.ByName[s.CatchType]; ok {
+			catchClass = sym.ID
+		}
+		if ls != nil {
+			f.emit(bytecode.StoreLocal, ls.Slot, 0)
+		} else {
+			f.emit(bytecode.Pop, 0, 0)
+		}
+		f.compileBlock(s.Catch)
+		f.patch(jend, f.here())
+		if to > from { // empty try bodies need no range
+			f.ex = append(f.ex, bytecode.ExRange{
+				From: int32(from), To: int32(to), Handler: int32(handler), CatchClass: catchClass,
+			})
+		}
+	case *Sync:
+		f.compileSync(s)
+	case *Break:
+		pc := f.emit(bytecode.Jump, 0, 0)
+		lc := f.loops[len(f.loops)-1]
+		lc.breaks = append(lc.breaks, pc)
+	case *Continue:
+		pc := f.emit(bytecode.Jump, 0, 0)
+		lc := f.loops[len(f.loops)-1]
+		lc.continues = append(lc.continues, pc)
+	case *ExprStmt:
+		call, ok := s.E.(*Call)
+		if !ok {
+			return // only reachable on erroneous programs
+		}
+		f.compileExpr(call)
+		if !f.callReturnsVoid(call) {
+			f.emit(bytecode.Pop, 0, 0)
+		}
+	case *Assign:
+		f.compileAssign(s)
+	}
+}
+
+func (f *fnCompiler) callReturnsVoid(call *Call) bool {
+	info := f.c.ck.Calls[call]
+	if info == nil {
+		return true
+	}
+	if info.Kind == CallBuiltin {
+		switch info.Builtin {
+		case bytecode.BuiltinPrint, bytecode.BuiltinPrintln, bytecode.BuiltinPrintInt,
+			bytecode.BuiltinSeedRandom, bytecode.BuiltinArrayCopy, bytecode.BuiltinGC,
+			bytecode.BuiltinAbort:
+			return true
+		}
+		return false
+	}
+	return sameType(info.Method.Return, PrimType(TypeVoid))
+}
+
+func (f *fnCompiler) compileSync(s *Sync) {
+	objTmp := f.allocTemp()
+	excTmp := f.allocTemp()
+	f.compileExpr(s.Obj)
+	f.emit(bytecode.Dup, 0, 0)
+	f.emit(bytecode.StoreLocal, objTmp, 0)
+	f.emit(bytecode.MonitorEnter, 0, 0)
+	from := f.here()
+	f.compileBlock(s.Body)
+	to := f.here()
+	f.emit(bytecode.LoadLocal, objTmp, 0)
+	f.emit(bytecode.MonitorExit, 0, 0)
+	jend := f.emit(bytecode.Jump, 0, 0)
+	handler := f.here()
+	f.emit(bytecode.StoreLocal, excTmp, 0)
+	f.emit(bytecode.LoadLocal, objTmp, 0)
+	f.emit(bytecode.MonitorExit, 0, 0)
+	f.emit(bytecode.LoadLocal, excTmp, 0)
+	f.emit(bytecode.Throw, 0, 0)
+	f.patch(jend, f.here())
+	if to > from {
+		f.ex = append(f.ex, bytecode.ExRange{
+			From: int32(from), To: int32(to), Handler: int32(handler), CatchClass: -1,
+		})
+	}
+}
+
+func (f *fnCompiler) compileAssign(s *Assign) {
+	switch lhs := s.LHS.(type) {
+	case *Ident:
+		info := f.c.ck.Idents[lhs]
+		switch info.Kind {
+		case RefLocal:
+			f.compileExpr(s.RHS)
+			f.emit(bytecode.StoreLocal, info.Local.Slot, 0)
+		case RefField:
+			f.emit(bytecode.LoadLocal, 0, 0) // this
+			f.compileExpr(s.RHS)
+			f.emit(bytecode.PutField, info.Field.Slot, info.Field.Owner.ID)
+		case RefStatic:
+			f.compileExpr(s.RHS)
+			f.emit(bytecode.PutStatic, info.Field.Slot, info.Field.Owner.ID)
+		}
+	case *FieldAccess:
+		fi := f.c.ck.FieldAccs[lhs]
+		if fi.Field.Static {
+			f.compileExpr(s.RHS)
+			f.emit(bytecode.PutStatic, fi.Field.Slot, fi.Field.Owner.ID)
+			return
+		}
+		f.compileExpr(lhs.Obj)
+		f.compileExpr(s.RHS)
+		f.emit(bytecode.PutField, fi.Field.Slot, fi.Field.Owner.ID)
+	case *Index:
+		f.compileExpr(lhs.Arr)
+		f.compileExpr(lhs.Idx)
+		f.compileExpr(s.RHS)
+		elem := f.elemKindOfArray(lhs.Arr)
+		f.emit(bytecode.ArrayStore, int32(elem), 0)
+	}
+}
+
+func (f *fnCompiler) elemKindOfArray(arrExpr Expr) bytecode.ElemKind {
+	at, ok := f.c.ck.TypeOf(arrExpr).(*ArrayType)
+	if !ok {
+		return bytecode.ElemRef
+	}
+	return ElemKindOf(at.Elem)
+}
+
+// Expressions.
+
+func (f *fnCompiler) compileExpr(e Expr) {
+	f.line = int32(e.Position().Line)
+	switch e := e.(type) {
+	case *IntLit:
+		f.emit(bytecode.ConstInt, int32(e.V), 0)
+	case *CharLit:
+		f.emit(bytecode.ConstChar, int32(e.V), 0)
+	case *BoolLit:
+		v := int32(0)
+		if e.V {
+			v = 1
+		}
+		f.emit(bytecode.ConstBool, v, 0)
+	case *StringLit:
+		f.emit(bytecode.ConstStr, f.c.internString(e.V), 0)
+	case *NullLit:
+		f.emit(bytecode.ConstNull, 0, 0)
+	case *This:
+		f.emit(bytecode.LoadLocal, 0, 0)
+	case *Ident:
+		info := f.c.ck.Idents[e]
+		switch info.Kind {
+		case RefLocal:
+			f.emit(bytecode.LoadLocal, info.Local.Slot, 0)
+		case RefField:
+			f.emit(bytecode.LoadLocal, 0, 0)
+			f.emit(bytecode.GetField, info.Field.Slot, info.Field.Owner.ID)
+		case RefStatic:
+			f.emit(bytecode.GetStatic, info.Field.Slot, info.Field.Owner.ID)
+		case RefClass:
+			// Only reachable on erroneous programs; keep the stack shape.
+			f.emit(bytecode.ConstNull, 0, 0)
+		}
+	case *FieldAccess:
+		fi := f.c.ck.FieldAccs[e]
+		if fi == nil {
+			f.emit(bytecode.ConstInt, 0, 0)
+			return
+		}
+		if fi.ArrayLen {
+			f.compileExpr(e.Obj)
+			f.emit(bytecode.ArrayLen, 0, 0)
+			return
+		}
+		if fi.Field.Static {
+			f.emit(bytecode.GetStatic, fi.Field.Slot, fi.Field.Owner.ID)
+			return
+		}
+		f.compileExpr(e.Obj)
+		f.emit(bytecode.GetField, fi.Field.Slot, fi.Field.Owner.ID)
+	case *Index:
+		f.compileExpr(e.Arr)
+		f.compileExpr(e.Idx)
+		f.emit(bytecode.ArrayLoad, int32(f.elemKindOfArray(e.Arr)), 0)
+	case *Call:
+		f.compileCall(e)
+	case *New:
+		f.compileNew(e)
+	case *NewArray:
+		f.compileExpr(e.Length)
+		elem := ElemKindOf(f.c.ck.ResolveTypeExpr(e.Elem))
+		site := f.c.newSite(f.ms.ID, f.line, e.Elem.String()+"[]")
+		f.emit(bytecode.NewArray, int32(elem), site)
+	case *Cast:
+		f.compileExpr(e.E)
+		if sym, ok := f.c.ck.ByName[e.Class]; ok {
+			f.emit(bytecode.CheckCast, sym.ID, 0)
+		}
+	case *Binary:
+		f.compileBinary(e)
+	case *Unary:
+		f.compileExpr(e.E)
+		if e.Op == TokMinus {
+			f.emit(bytecode.Neg, 0, 0)
+		} else {
+			f.emit(bytecode.Not, 0, 0)
+		}
+	}
+}
+
+func (f *fnCompiler) compileCall(e *Call) {
+	info := f.c.ck.Calls[e]
+	if info == nil {
+		for range e.Args {
+			f.emit(bytecode.Pop, 0, 0)
+		}
+		f.emit(bytecode.ConstInt, 0, 0)
+		return
+	}
+	line := f.line
+	switch info.Kind {
+	case CallStatic:
+		for _, a := range e.Args {
+			f.compileExpr(a)
+		}
+		f.line = line
+		f.emit(bytecode.InvokeStatic, info.Method.ID, 0)
+	case CallVirtual:
+		if info.ImplicitThis {
+			f.emit(bytecode.LoadLocal, 0, 0)
+		} else {
+			f.compileExpr(e.Recv)
+		}
+		for _, a := range e.Args {
+			f.compileExpr(a)
+		}
+		f.line = line
+		f.emit(bytecode.InvokeVirtual, info.Method.VIndex, info.RecvClass.ID)
+	case CallBuiltin:
+		for _, a := range e.Args {
+			f.compileExpr(a)
+		}
+		f.line = line
+		f.emit(bytecode.CallBuiltin, int32(info.Builtin), 0)
+	}
+}
+
+func (f *fnCompiler) compileNew(e *New) {
+	sym := f.c.ck.NewClasses[e]
+	if sym == nil {
+		f.emit(bytecode.ConstNull, 0, 0)
+		return
+	}
+	line := f.line
+	site := f.c.newSite(f.ms.ID, line, sym.Name)
+	f.emit(bytecode.NewObject, sym.ID, site)
+	ctor := f.c.ck.NewCtors[e]
+	f.emit(bytecode.Dup, 0, 0)
+	for _, a := range e.Args {
+		f.compileExpr(a)
+	}
+	f.line = line
+	f.emit(bytecode.InvokeSpecial, ctor.ID, 0)
+}
+
+func (f *fnCompiler) compileBinary(e *Binary) {
+	switch e.Op {
+	case TokAndAnd:
+		f.compileExpr(e.L)
+		jf := f.emit(bytecode.JumpIfFalse, 0, 0)
+		f.compileExpr(e.R)
+		jend := f.emit(bytecode.Jump, 0, 0)
+		f.patch(jf, f.here())
+		f.emit(bytecode.ConstBool, 0, 0)
+		f.patch(jend, f.here())
+		return
+	case TokOrOr:
+		f.compileExpr(e.L)
+		jt := f.emit(bytecode.JumpIfTrue, 0, 0)
+		f.compileExpr(e.R)
+		jend := f.emit(bytecode.Jump, 0, 0)
+		f.patch(jt, f.here())
+		f.emit(bytecode.ConstBool, 1, 0)
+		f.patch(jend, f.here())
+		return
+	}
+	f.compileExpr(e.L)
+	f.compileExpr(e.R)
+	refCmp := IsRefType(f.c.ck.TypeOf(e.L)) || IsRefType(f.c.ck.TypeOf(e.R))
+	switch e.Op {
+	case TokPlus:
+		f.emit(bytecode.Add, 0, 0)
+	case TokMinus:
+		f.emit(bytecode.Sub, 0, 0)
+	case TokStar:
+		f.emit(bytecode.Mul, 0, 0)
+	case TokSlash:
+		f.emit(bytecode.Div, 0, 0)
+	case TokPercent:
+		f.emit(bytecode.Rem, 0, 0)
+	case TokLt:
+		f.emit(bytecode.CmpLT, 0, 0)
+	case TokLe:
+		f.emit(bytecode.CmpLE, 0, 0)
+	case TokGt:
+		f.emit(bytecode.CmpGT, 0, 0)
+	case TokGe:
+		f.emit(bytecode.CmpGE, 0, 0)
+	case TokEq:
+		if refCmp {
+			f.emit(bytecode.RefEQ, 0, 0)
+		} else {
+			f.emit(bytecode.CmpEQ, 0, 0)
+		}
+	case TokNe:
+		if refCmp {
+			f.emit(bytecode.RefNE, 0, 0)
+		} else {
+			f.emit(bytecode.CmpNE, 0, 0)
+		}
+	}
+}

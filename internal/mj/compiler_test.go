@@ -1,0 +1,209 @@
+package mj
+
+import (
+	"strings"
+	"testing"
+
+	"dragprof/internal/bytecode"
+)
+
+func compileSrc(t *testing.T, src string) *bytecode.Program {
+	t.Helper()
+	p, _, err := CompileWithStdlib([]string{"t.mj"}, map[string]string{"t.mj": src})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return p
+}
+
+func TestCompileVerifies(t *testing.T) {
+	p := compileSrc(t, `
+class Node {
+    Node next;
+    int v;
+    Node(int x) { v = x; }
+    void finalize() { v = 0; }
+}
+class M {
+    static Node build(int n) {
+        Node head = null;
+        for (int i = 0; i < n; i = i + 1) {
+            Node fresh = new Node(i);
+            fresh.next = head;
+            head = fresh;
+        }
+        return head;
+    }
+    static void main() {
+        Node h = build(10);
+        int sum = 0;
+        while (h != null) {
+            sum = sum + h.v;
+            h = h.next;
+        }
+        try {
+            synchronized (build(1)) {
+                sum = sum / (sum - 55);
+            }
+        } catch (ArithmeticException e) {
+            sum = -1;
+        }
+        printInt(sum);
+    }
+}`)
+	if err := bytecode.Verify(p); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	if p.Main < 0 {
+		t.Fatal("no main")
+	}
+	node := p.ClassByName("Node")
+	if node == nil || !node.Finalizable {
+		t.Error("Node should be finalizable")
+	}
+	m := p.MethodByName("Node", "finalize")
+	if m == nil || m.Flags&bytecode.FlagFinalizer == 0 {
+		t.Error("finalize not flagged")
+	}
+}
+
+func TestCompileSiteTable(t *testing.T) {
+	p := compileSrc(t, `
+class M {
+    static void main() {
+        int[] a = new int[5];
+        Object o = new Object();
+        a[0] = 1;
+    }
+}`)
+	// Sites: the two allocations in main, stdlib sites, and the VM's
+	// runtime exception sites.
+	var mainSites []bytecode.Site
+	for _, s := range p.Sites {
+		if s.Method >= 0 && p.Methods[s.Method].Name == "main" {
+			mainSites = append(mainSites, s)
+		}
+	}
+	if len(mainSites) != 2 {
+		t.Fatalf("main sites = %d, want 2", len(mainSites))
+	}
+	if !strings.Contains(mainSites[0].Desc, "M.main") {
+		t.Errorf("site desc = %q", mainSites[0].Desc)
+	}
+	// Runtime sites exist for the VM's exceptions.
+	for _, name := range []string{"NullPointerException", "OutOfMemoryError", "ClassCastException"} {
+		if _, ok := p.RuntimeClasses[name]; !ok {
+			t.Errorf("runtime class %s missing", name)
+		}
+		if _, ok := p.RuntimeSites[name]; !ok {
+			t.Errorf("runtime site %s missing", name)
+		}
+	}
+}
+
+func TestCompileShortCircuit(t *testing.T) {
+	p := compileSrc(t, `
+class M {
+    static bool sideEffect() { printInt(1); return true; }
+    static void main() {
+        if (false && sideEffect()) { printInt(2); }
+        if (true || sideEffect()) { printInt(3); }
+    }
+}`)
+	// The disassembly of main must include conditional jumps for the
+	// short-circuit forms.
+	m := p.Methods[p.Main]
+	text := bytecode.Disassemble(p, m)
+	if !strings.Contains(text, "jumpfalse") || !strings.Contains(text, "jumptrue") {
+		t.Errorf("short-circuit jumps missing:\n%s", text)
+	}
+}
+
+func TestCompileStringLiteralsInterned(t *testing.T) {
+	p := compileSrc(t, `
+class M {
+    static void main() {
+        println("dup");
+        println("dup");
+        println("other");
+    }
+}`)
+	count := map[string]int{}
+	for _, s := range p.Strings {
+		count[s]++
+	}
+	if count["dup"] != 1 {
+		t.Errorf("string pool has %d copies of \"dup\"", count["dup"])
+	}
+}
+
+func TestCompileErrorsSurface(t *testing.T) {
+	_, _, err := CompileWithStdlib([]string{"t.mj"}, map[string]string{"t.mj": `
+class M {
+    static void main() {
+        int x = "not an int";
+    }
+}`})
+	if err == nil || !strings.Contains(err.Error(), "cannot initialize") {
+		t.Fatalf("err = %v", err)
+	}
+
+	_, _, err = CompileWithStdlib([]string{"t.mj"}, map[string]string{"t.mj": `
+class M { void notMain() { } }`})
+	if err == nil || !strings.Contains(err.Error(), "no static main") {
+		t.Fatalf("err = %v", err)
+	}
+
+	_, _, err = CompileWithStdlib([]string{"t.mj"}, map[string]string{"t.mj": `
+class A { static void main() { } }
+class B { static void main() { } }`})
+	if err == nil || !strings.Contains(err.Error(), "multiple static main") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDisassembleProgramStable(t *testing.T) {
+	src := `
+class M {
+    static void main() {
+        printInt(1 + 2);
+    }
+}`
+	a := bytecode.DisassembleProgram(compileSrc(t, src))
+	b := bytecode.DisassembleProgram(compileSrc(t, src))
+	if a != b {
+		t.Error("disassembly differs across identical compiles")
+	}
+	if !strings.Contains(a, "method main") {
+		t.Errorf("missing main in disassembly")
+	}
+}
+
+func TestVerifyCatchesCorruption(t *testing.T) {
+	p := compileSrc(t, `class M { static void main() { printInt(1); } }`)
+	m := p.Methods[p.Main]
+
+	// Jump out of range.
+	saved := m.Code
+	m.Code = append(append([]bytecode.Instr(nil), saved...), bytecode.Instr{Op: bytecode.Jump, A: 9999})
+	if err := bytecode.Verify(p); err == nil {
+		t.Error("out-of-range jump not caught")
+	}
+	m.Code = saved
+
+	// Bad local slot.
+	m.Code = append([]bytecode.Instr{{Op: bytecode.StoreLocal, A: 99}}, saved...)
+	if err := bytecode.Verify(p); err == nil {
+		t.Error("bad local slot not caught")
+	}
+	m.Code = saved
+
+	// Fall off the end.
+	m.Code = saved[:len(saved)-1]
+	if len(m.Code) > 0 && m.Code[len(m.Code)-1].Op != bytecode.Return {
+		if err := bytecode.Verify(p); err == nil {
+			t.Error("fall-off-end not caught")
+		}
+	}
+	m.Code = saved
+}

@@ -1,0 +1,273 @@
+package mj
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Lexer converts MiniJava source text into tokens. It supports // line and
+// /* block */ comments and Java-style character escapes.
+type Lexer struct {
+	src  string
+	file string
+	off  int
+	line int
+	col  int
+	errs []error
+}
+
+// NewLexer returns a lexer over src; file names the source in diagnostics.
+func NewLexer(file, src string) *Lexer {
+	return &Lexer{src: src, file: file, line: 1, col: 1}
+}
+
+// Errors returns the diagnostics accumulated during scanning.
+func (lx *Lexer) Errors() []error { return lx.errs }
+
+func (lx *Lexer) pos() Pos { return Pos{File: lx.file, Line: lx.line, Col: lx.col} }
+
+func (lx *Lexer) peek() byte {
+	if lx.off >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off]
+}
+
+func (lx *Lexer) peek2() byte {
+	if lx.off+1 >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off+1]
+}
+
+func (lx *Lexer) advance() byte {
+	c := lx.src[lx.off]
+	lx.off++
+	if c == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return c
+}
+
+func (lx *Lexer) errorf(pos Pos, format string, args ...any) {
+	lx.errs = append(lx.errs, errf(pos, format, args...))
+}
+
+func (lx *Lexer) skipSpaceAndComments() {
+	for lx.off < len(lx.src) {
+		c := lx.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			lx.advance()
+		case c == '/' && lx.peek2() == '/':
+			for lx.off < len(lx.src) && lx.peek() != '\n' {
+				lx.advance()
+			}
+		case c == '/' && lx.peek2() == '*':
+			start := lx.pos()
+			lx.advance()
+			lx.advance()
+			closed := false
+			for lx.off < len(lx.src) {
+				if lx.peek() == '*' && lx.peek2() == '/' {
+					lx.advance()
+					lx.advance()
+					closed = true
+					break
+				}
+				lx.advance()
+			}
+			if !closed {
+				lx.errorf(start, "unterminated block comment")
+			}
+		default:
+			return
+		}
+	}
+}
+
+// Next scans and returns the next token.
+func (lx *Lexer) Next() Token {
+	lx.skipSpaceAndComments()
+	pos := lx.pos()
+	if lx.off >= len(lx.src) {
+		return Token{Kind: TokEOF, Pos: pos}
+	}
+	c := lx.advance()
+	switch {
+	case isIdentStart(c):
+		start := lx.off - 1
+		for lx.off < len(lx.src) && isIdentPart(lx.peek()) {
+			lx.advance()
+		}
+		text := lx.src[start:lx.off]
+		if kw, ok := keywords[text]; ok {
+			return Token{Kind: kw, Text: text, Pos: pos}
+		}
+		return Token{Kind: TokIdent, Text: text, Pos: pos}
+	case c >= '0' && c <= '9':
+		start := lx.off - 1
+		for lx.off < len(lx.src) && lx.peek() >= '0' && lx.peek() <= '9' {
+			lx.advance()
+		}
+		text := lx.src[start:lx.off]
+		v, err := strconv.ParseInt(text, 10, 64)
+		if err != nil {
+			lx.errorf(pos, "integer literal %s out of range", text)
+		}
+		return Token{Kind: TokIntLit, Text: text, Int: v, Pos: pos}
+	case c == '\'':
+		return lx.charLit(pos)
+	case c == '"':
+		return lx.stringLit(pos)
+	}
+
+	two := func(next byte, yes, no TokenKind) Token {
+		if lx.peek() == next {
+			lx.advance()
+			return Token{Kind: yes, Pos: pos}
+		}
+		return Token{Kind: no, Pos: pos}
+	}
+	switch c {
+	case '+':
+		return Token{Kind: TokPlus, Pos: pos}
+	case '-':
+		return Token{Kind: TokMinus, Pos: pos}
+	case '*':
+		return Token{Kind: TokStar, Pos: pos}
+	case '/':
+		return Token{Kind: TokSlash, Pos: pos}
+	case '%':
+		return Token{Kind: TokPercent, Pos: pos}
+	case '!':
+		return two('=', TokNe, TokBang)
+	case '=':
+		return two('=', TokEq, TokAssign)
+	case '<':
+		return two('=', TokLe, TokLt)
+	case '>':
+		return two('=', TokGe, TokGt)
+	case '&':
+		if lx.peek() == '&' {
+			lx.advance()
+			return Token{Kind: TokAndAnd, Pos: pos}
+		}
+		lx.errorf(pos, "unexpected character '&' (did you mean '&&'?)")
+		return lx.Next()
+	case '|':
+		if lx.peek() == '|' {
+			lx.advance()
+			return Token{Kind: TokOrOr, Pos: pos}
+		}
+		lx.errorf(pos, "unexpected character '|' (did you mean '||'?)")
+		return lx.Next()
+	case '(':
+		return Token{Kind: TokLParen, Pos: pos}
+	case ')':
+		return Token{Kind: TokRParen, Pos: pos}
+	case '{':
+		return Token{Kind: TokLBrace, Pos: pos}
+	case '}':
+		return Token{Kind: TokRBrace, Pos: pos}
+	case '[':
+		return Token{Kind: TokLBracket, Pos: pos}
+	case ']':
+		return Token{Kind: TokRBracket, Pos: pos}
+	case ';':
+		return Token{Kind: TokSemi, Pos: pos}
+	case ',':
+		return Token{Kind: TokComma, Pos: pos}
+	case '.':
+		return Token{Kind: TokDot, Pos: pos}
+	}
+	lx.errorf(pos, "unexpected character %q", string(c))
+	return lx.Next()
+}
+
+func (lx *Lexer) charLit(pos Pos) Token {
+	if lx.off >= len(lx.src) {
+		lx.errorf(pos, "unterminated char literal")
+		return Token{Kind: TokCharLit, Pos: pos}
+	}
+	var v int64
+	c := lx.advance()
+	if c == '\\' {
+		v = int64(lx.escape(pos))
+	} else {
+		v = int64(c)
+	}
+	if lx.peek() != '\'' {
+		lx.errorf(pos, "unterminated char literal")
+	} else {
+		lx.advance()
+	}
+	return Token{Kind: TokCharLit, Int: v, Text: string(rune(v)), Pos: pos}
+}
+
+func (lx *Lexer) stringLit(pos Pos) Token {
+	var b strings.Builder
+	for lx.off < len(lx.src) {
+		c := lx.advance()
+		switch c {
+		case '"':
+			return Token{Kind: TokStringLit, Text: b.String(), Pos: pos}
+		case '\\':
+			b.WriteByte(lx.escape(pos))
+		case '\n':
+			lx.errorf(pos, "newline in string literal")
+			return Token{Kind: TokStringLit, Text: b.String(), Pos: pos}
+		default:
+			b.WriteByte(c)
+		}
+	}
+	lx.errorf(pos, "unterminated string literal")
+	return Token{Kind: TokStringLit, Text: b.String(), Pos: pos}
+}
+
+func (lx *Lexer) escape(pos Pos) byte {
+	if lx.off >= len(lx.src) {
+		lx.errorf(pos, "unterminated escape sequence")
+		return 0
+	}
+	c := lx.advance()
+	switch c {
+	case 'n':
+		return '\n'
+	case 't':
+		return '\t'
+	case 'r':
+		return '\r'
+	case '0':
+		return 0
+	case '\\', '\'', '"':
+		return c
+	}
+	lx.errorf(pos, "unknown escape sequence '\\%c'", c)
+	return c
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}
+
+// LexAll scans the entire source and returns all tokens including the
+// trailing EOF token. It is a convenience for the parser and tests.
+func LexAll(file, src string) ([]Token, []error) {
+	lx := NewLexer(file, src)
+	var toks []Token
+	for {
+		t := lx.Next()
+		toks = append(toks, t)
+		if t.Kind == TokEOF {
+			return toks, lx.Errors()
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package mj
+
+import "testing"
+
+func TestLexerBasics(t *testing.T) {
+	toks, errs := LexAll("t.mj", `class Foo { int x = 42; }`)
+	if len(errs) > 0 {
+		t.Fatalf("errors: %v", errs)
+	}
+	want := []TokenKind{TokClass, TokIdent, TokLBrace, TokInt, TokIdent,
+		TokAssign, TokIntLit, TokSemi, TokRBrace, TokEOF}
+	if len(toks) != len(want) {
+		t.Fatalf("got %d tokens, want %d", len(toks), len(want))
+	}
+	for i, k := range want {
+		if toks[i].Kind != k {
+			t.Errorf("token %d = %v, want %v", i, toks[i].Kind, k)
+		}
+	}
+	if toks[6].Int != 42 {
+		t.Errorf("int literal = %d, want 42", toks[6].Int)
+	}
+}
+
+func TestLexerOperators(t *testing.T) {
+	toks, errs := LexAll("t.mj", `== != <= >= < > = && || ! + - * / %`)
+	if len(errs) > 0 {
+		t.Fatalf("errors: %v", errs)
+	}
+	want := []TokenKind{TokEq, TokNe, TokLe, TokGe, TokLt, TokGt, TokAssign,
+		TokAndAnd, TokOrOr, TokBang, TokPlus, TokMinus, TokStar, TokSlash,
+		TokPercent, TokEOF}
+	for i, k := range want {
+		if toks[i].Kind != k {
+			t.Errorf("token %d = %v, want %v", i, toks[i].Kind, k)
+		}
+	}
+}
+
+func TestLexerStringsAndChars(t *testing.T) {
+	toks, errs := LexAll("t.mj", `"hello\nworld" 'a' '\n' '\\' '\0'`)
+	if len(errs) > 0 {
+		t.Fatalf("errors: %v", errs)
+	}
+	if toks[0].Kind != TokStringLit || toks[0].Text != "hello\nworld" {
+		t.Errorf("string = %q", toks[0].Text)
+	}
+	wantInts := []int64{'a', '\n', '\\', 0}
+	for i, w := range wantInts {
+		tok := toks[1+i]
+		if tok.Kind != TokCharLit || tok.Int != w {
+			t.Errorf("char %d = %v %d, want %d", i, tok.Kind, tok.Int, w)
+		}
+	}
+}
+
+func TestLexerComments(t *testing.T) {
+	toks, errs := LexAll("t.mj", `
+// a line comment
+class /* block
+spanning lines */ Foo { }`)
+	if len(errs) > 0 {
+		t.Fatalf("errors: %v", errs)
+	}
+	if toks[0].Kind != TokClass || toks[1].Text != "Foo" {
+		t.Errorf("comments not skipped: %v %q", toks[0].Kind, toks[1].Text)
+	}
+}
+
+func TestLexerPositions(t *testing.T) {
+	toks, _ := LexAll("t.mj", "class\n  Foo")
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Errorf("class at %v", toks[0].Pos)
+	}
+	if toks[1].Pos.Line != 2 || toks[1].Pos.Col != 3 {
+		t.Errorf("Foo at %v, want 2:3", toks[1].Pos)
+	}
+}
+
+func TestLexerErrors(t *testing.T) {
+	cases := []string{
+		`"unterminated`,
+		`'a`,
+		`@`,
+		`/* unterminated`,
+		`& x`,
+	}
+	for _, src := range cases {
+		_, errs := LexAll("t.mj", src)
+		if len(errs) == 0 {
+			t.Errorf("no error for %q", src)
+		}
+	}
+}
+
+func TestLexerKeywordVsIdent(t *testing.T) {
+	toks, _ := LexAll("t.mj", "classy class boolean bool")
+	want := []TokenKind{TokIdent, TokClass, TokBool, TokBool}
+	for i, k := range want {
+		if toks[i].Kind != k {
+			t.Errorf("token %d = %v, want %v", i, toks[i].Kind, k)
+		}
+	}
+}

@@ -1,0 +1,626 @@
+package mj
+
+import (
+	"fmt"
+
+	"dragprof/internal/bytecode"
+)
+
+// Parser is a recursive-descent parser for MiniJava.
+type Parser struct {
+	toks []Token
+	pos  int
+	errs []error
+	file string
+}
+
+// Parse parses one source file. It returns the file and any diagnostics;
+// the file is non-nil whenever any classes parsed, even with errors.
+func Parse(file, src string) (*File, []error) {
+	toks, lexErrs := LexAll(file, src)
+	p := &Parser{toks: toks, file: file, errs: lexErrs}
+	f := p.parseFile()
+	return f, p.errs
+}
+
+// ParseProgram parses several named sources into one program. sources maps
+// file name to source text; order fixes static-initializer ordering, so
+// callers pass an ordered slice of names.
+func ParseProgram(names []string, sources map[string]string) (*Program, []error) {
+	prog := &Program{}
+	var errs []error
+	for _, name := range names {
+		f, ferrs := Parse(name, sources[name])
+		errs = append(errs, ferrs...)
+		if f != nil {
+			prog.Files = append(prog.Files, f)
+		}
+	}
+	return prog, errs
+}
+
+func (p *Parser) cur() Token { return p.toks[p.pos] }
+func (p *Parser) next() Token {
+	t := p.toks[p.pos]
+	if t.Kind != TokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *Parser) peekKind(ahead int) TokenKind {
+	i := p.pos + ahead
+	if i >= len(p.toks) {
+		return TokEOF
+	}
+	return p.toks[i].Kind
+}
+
+func (p *Parser) at(k TokenKind) bool { return p.cur().Kind == k }
+
+func (p *Parser) accept(k TokenKind) bool {
+	if p.at(k) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expect(k TokenKind) Token {
+	if p.at(k) {
+		return p.next()
+	}
+	p.errorf("expected %s, found %s", k, p.describeCur())
+	return Token{Kind: k, Pos: p.cur().Pos}
+}
+
+func (p *Parser) describeCur() string {
+	t := p.cur()
+	if t.Kind == TokIdent {
+		return fmt.Sprintf("identifier %q", t.Text)
+	}
+	return t.Kind.String()
+}
+
+func (p *Parser) errorf(format string, args ...any) {
+	p.errs = append(p.errs, errf(p.cur().Pos, format, args...))
+}
+
+// syncTo skips tokens until one of the kinds (or EOF) is current.
+func (p *Parser) syncTo(kinds ...TokenKind) {
+	for !p.at(TokEOF) {
+		for _, k := range kinds {
+			if p.at(k) {
+				return
+			}
+		}
+		p.next()
+	}
+}
+
+func (p *Parser) parseFile() *File {
+	f := &File{Name: p.file}
+	for !p.at(TokEOF) {
+		if p.at(TokClass) {
+			if c := p.parseClass(); c != nil {
+				f.Classes = append(f.Classes, c)
+			}
+		} else {
+			p.errorf("expected 'class', found %s", p.describeCur())
+			p.syncTo(TokClass)
+		}
+	}
+	return f
+}
+
+func (p *Parser) parseClass() *ClassDecl {
+	start := p.expect(TokClass)
+	name := p.expect(TokIdent)
+	c := &ClassDecl{Pos: start.Pos, Name: name.Text, File: p.file}
+	if p.accept(TokExtends) {
+		c.Extends = p.expect(TokIdent).Text
+	}
+	p.expect(TokLBrace)
+	for !p.at(TokRBrace) && !p.at(TokEOF) {
+		p.parseMember(c)
+	}
+	p.expect(TokRBrace)
+	return c
+}
+
+func (p *Parser) parseModifiers() Modifiers {
+	var m Modifiers
+	for {
+		switch p.cur().Kind {
+		case TokStatic:
+			p.next()
+			m.Static = true
+		case TokPublic:
+			p.next()
+			m.Vis = bytecode.VisPublic
+		case TokPrivate:
+			p.next()
+			m.Vis = bytecode.VisPrivate
+		case TokProtected:
+			p.next()
+			m.Vis = bytecode.VisProtected
+		default:
+			return m
+		}
+	}
+}
+
+func (p *Parser) parseMember(c *ClassDecl) {
+	startPos := p.pos
+	defer func() {
+		// Guarantee progress on malformed members: skip to the next
+		// plausible member boundary.
+		if p.pos == startPos {
+			p.syncTo(TokSemi, TokRBrace, TokClass)
+			p.accept(TokSemi)
+		}
+	}()
+	mods := p.parseModifiers()
+
+	// Constructor: ID '(' with ID == class name.
+	if p.at(TokIdent) && p.cur().Text == c.Name && p.peekKind(1) == TokLParen {
+		name := p.next()
+		m := &MethodDecl{
+			Pos:    name.Pos,
+			Mods:   mods,
+			Return: TypeExpr{Pos: name.Pos, Base: "void"},
+			Name:   "<init>",
+			IsCtor: true,
+		}
+		m.Params = p.parseParams()
+		m.Body = p.parseBlock()
+		c.Methods = append(c.Methods, m)
+		return
+	}
+
+	typ := p.parseType()
+	name := p.expect(TokIdent)
+	if p.at(TokLParen) {
+		m := &MethodDecl{Pos: name.Pos, Mods: mods, Return: typ, Name: name.Text}
+		m.Params = p.parseParams()
+		m.Body = p.parseBlock()
+		c.Methods = append(c.Methods, m)
+		return
+	}
+	fd := &FieldDecl{Pos: name.Pos, Mods: mods, Type: typ, Name: name.Text}
+	if p.accept(TokAssign) {
+		fd.Init = p.parseExpr()
+	}
+	p.expect(TokSemi)
+	c.Fields = append(c.Fields, fd)
+}
+
+func (p *Parser) parseParams() []Param {
+	p.expect(TokLParen)
+	var params []Param
+	for !p.at(TokRParen) && !p.at(TokEOF) {
+		if len(params) > 0 {
+			p.expect(TokComma)
+		}
+		before := p.pos
+		typ := p.parseType()
+		name := p.expect(TokIdent)
+		params = append(params, Param{Pos: name.Pos, Type: typ, Name: name.Text})
+		if p.pos == before {
+			// Malformed parameter list: bail to the closing paren.
+			p.syncTo(TokRParen, TokLBrace)
+			break
+		}
+	}
+	p.expect(TokRParen)
+	return params
+}
+
+func (p *Parser) parseType() TypeExpr {
+	t := p.cur()
+	var base string
+	switch t.Kind {
+	case TokInt:
+		base = "int"
+	case TokBool:
+		base = "bool"
+	case TokChar:
+		base = "char"
+	case TokVoid:
+		base = "void"
+	case TokIdent:
+		base = t.Text
+	default:
+		p.errorf("expected a type, found %s", p.describeCur())
+		// Consume the offending token so error recovery always makes
+		// progress.
+		if !p.at(TokEOF) {
+			p.next()
+		}
+		return TypeExpr{Pos: t.Pos, Base: "int"}
+	}
+	p.next()
+	typ := TypeExpr{Pos: t.Pos, Base: base}
+	for p.at(TokLBracket) && p.peekKind(1) == TokRBracket {
+		p.next()
+		p.next()
+		typ.Dims++
+	}
+	return typ
+}
+
+func (p *Parser) parseBlock() *Block {
+	start := p.expect(TokLBrace)
+	b := &Block{Pos: start.Pos}
+	for !p.at(TokRBrace) && !p.at(TokEOF) {
+		before := p.pos
+		if s := p.parseStmt(); s != nil {
+			b.Stmts = append(b.Stmts, s)
+		}
+		if p.pos == before {
+			p.next() // malformed statement: force progress
+		}
+	}
+	p.expect(TokRBrace)
+	return b
+}
+
+// startsLocalDecl reports whether the current tokens begin a local variable
+// declaration rather than an expression statement.
+func (p *Parser) startsLocalDecl() bool {
+	switch p.cur().Kind {
+	case TokInt, TokBool, TokChar:
+		return true
+	case TokIdent:
+		// "T x" or "T[] x" (or "T[][] x" ...).
+		if p.peekKind(1) == TokIdent {
+			return true
+		}
+		i := 1
+		for p.peekKind(i) == TokLBracket && p.peekKind(i+1) == TokRBracket {
+			i += 2
+		}
+		return i > 1 && p.peekKind(i) == TokIdent
+	}
+	return false
+}
+
+func (p *Parser) parseStmt() Stmt {
+	switch p.cur().Kind {
+	case TokLBrace:
+		return p.parseBlock()
+	case TokIf:
+		start := p.next()
+		p.expect(TokLParen)
+		cond := p.parseExpr()
+		p.expect(TokRParen)
+		then := p.parseStmt()
+		var els Stmt
+		if p.accept(TokElse) {
+			els = p.parseStmt()
+		}
+		return &If{Pos: start.Pos, Cond: cond, Then: then, Else: els}
+	case TokWhile:
+		start := p.next()
+		p.expect(TokLParen)
+		cond := p.parseExpr()
+		p.expect(TokRParen)
+		return &While{Pos: start.Pos, Cond: cond, Body: p.parseStmt()}
+	case TokFor:
+		return p.parseFor()
+	case TokReturn:
+		start := p.next()
+		r := &Return{Pos: start.Pos}
+		if !p.at(TokSemi) {
+			r.Value = p.parseExpr()
+		}
+		p.expect(TokSemi)
+		return r
+	case TokThrow:
+		start := p.next()
+		v := p.parseExpr()
+		p.expect(TokSemi)
+		return &Throw{Pos: start.Pos, Value: v}
+	case TokTry:
+		start := p.next()
+		body := p.parseBlock()
+		p.expect(TokCatch)
+		p.expect(TokLParen)
+		ctype := p.expect(TokIdent).Text
+		cvar := p.expect(TokIdent).Text
+		p.expect(TokRParen)
+		catch := p.parseBlock()
+		return &Try{Pos: start.Pos, Body: body, CatchType: ctype, CatchVar: cvar, Catch: catch}
+	case TokSynchronized:
+		start := p.next()
+		p.expect(TokLParen)
+		obj := p.parseExpr()
+		p.expect(TokRParen)
+		return &Sync{Pos: start.Pos, Obj: obj, Body: p.parseBlock()}
+	case TokBreak:
+		start := p.next()
+		p.expect(TokSemi)
+		return &Break{Pos: start.Pos}
+	case TokContinue:
+		start := p.next()
+		p.expect(TokSemi)
+		return &Continue{Pos: start.Pos}
+	case TokSemi:
+		p.next()
+		return nil
+	}
+	if p.startsLocalDecl() {
+		d := p.parseVarDecl()
+		p.expect(TokSemi)
+		return d
+	}
+	s := p.parseSimpleStmt()
+	p.expect(TokSemi)
+	return s
+}
+
+func (p *Parser) parseVarDecl() *VarDecl {
+	typ := p.parseType()
+	name := p.expect(TokIdent)
+	d := &VarDecl{Pos: name.Pos, Type: typ, Name: name.Text}
+	if p.accept(TokAssign) {
+		d.Init = p.parseExpr()
+	}
+	return d
+}
+
+// parseSimpleStmt parses an assignment or expression statement (no
+// trailing semicolon).
+func (p *Parser) parseSimpleStmt() Stmt {
+	start := p.cur().Pos
+	e := p.parseExpr()
+	if p.accept(TokAssign) {
+		rhs := p.parseExpr()
+		switch e.(type) {
+		case *Ident, *FieldAccess, *Index:
+		default:
+			p.errs = append(p.errs, errf(start, "invalid assignment target"))
+		}
+		return &Assign{Pos: start, LHS: e, RHS: rhs}
+	}
+	return &ExprStmt{Pos: start, E: e}
+}
+
+func (p *Parser) parseFor() Stmt {
+	start := p.next()
+	p.expect(TokLParen)
+	f := &For{Pos: start.Pos}
+	if !p.at(TokSemi) {
+		if p.startsLocalDecl() {
+			f.Init = p.parseVarDecl()
+		} else {
+			f.Init = p.parseSimpleStmt()
+		}
+	}
+	p.expect(TokSemi)
+	if !p.at(TokSemi) {
+		f.Cond = p.parseExpr()
+	}
+	p.expect(TokSemi)
+	if !p.at(TokRParen) {
+		f.Post = p.parseSimpleStmt()
+	}
+	p.expect(TokRParen)
+	f.Body = p.parseStmt()
+	return f
+}
+
+// Expression parsing, precedence climbing.
+
+func (p *Parser) parseExpr() Expr { return p.parseOr() }
+
+func (p *Parser) parseOr() Expr {
+	e := p.parseAnd()
+	for p.at(TokOrOr) {
+		op := p.next()
+		e = &Binary{Pos: op.Pos, Op: TokOrOr, L: e, R: p.parseAnd()}
+	}
+	return e
+}
+
+func (p *Parser) parseAnd() Expr {
+	e := p.parseEquality()
+	for p.at(TokAndAnd) {
+		op := p.next()
+		e = &Binary{Pos: op.Pos, Op: TokAndAnd, L: e, R: p.parseEquality()}
+	}
+	return e
+}
+
+func (p *Parser) parseEquality() Expr {
+	e := p.parseRelational()
+	for p.at(TokEq) || p.at(TokNe) {
+		op := p.next()
+		e = &Binary{Pos: op.Pos, Op: op.Kind, L: e, R: p.parseRelational()}
+	}
+	return e
+}
+
+func (p *Parser) parseRelational() Expr {
+	e := p.parseAdditive()
+	for p.at(TokLt) || p.at(TokLe) || p.at(TokGt) || p.at(TokGe) {
+		op := p.next()
+		e = &Binary{Pos: op.Pos, Op: op.Kind, L: e, R: p.parseAdditive()}
+	}
+	return e
+}
+
+func (p *Parser) parseAdditive() Expr {
+	e := p.parseMultiplicative()
+	for p.at(TokPlus) || p.at(TokMinus) {
+		op := p.next()
+		e = &Binary{Pos: op.Pos, Op: op.Kind, L: e, R: p.parseMultiplicative()}
+	}
+	return e
+}
+
+func (p *Parser) parseMultiplicative() Expr {
+	e := p.parseUnary()
+	for p.at(TokStar) || p.at(TokSlash) || p.at(TokPercent) {
+		op := p.next()
+		e = &Binary{Pos: op.Pos, Op: op.Kind, L: e, R: p.parseUnary()}
+	}
+	return e
+}
+
+func (p *Parser) parseUnary() Expr {
+	switch p.cur().Kind {
+	case TokMinus:
+		op := p.next()
+		return &Unary{Pos: op.Pos, Op: TokMinus, E: p.parseUnary()}
+	case TokBang:
+		op := p.next()
+		return &Unary{Pos: op.Pos, Op: TokBang, E: p.parseUnary()}
+	}
+	return p.parsePostfix()
+}
+
+func (p *Parser) parsePostfix() Expr {
+	e := p.parsePrimary()
+	for {
+		switch p.cur().Kind {
+		case TokDot:
+			p.next()
+			name := p.expect(TokIdent)
+			if p.at(TokLParen) {
+				args := p.parseArgs()
+				e = &Call{Pos: name.Pos, Recv: e, Name: name.Text, Args: args}
+			} else {
+				e = &FieldAccess{Pos: name.Pos, Obj: e, Name: name.Text}
+			}
+		case TokLBracket:
+			lb := p.next()
+			idx := p.parseExpr()
+			p.expect(TokRBracket)
+			e = &Index{Pos: lb.Pos, Arr: e, Idx: idx}
+		default:
+			return e
+		}
+	}
+}
+
+func (p *Parser) parseArgs() []Expr {
+	p.expect(TokLParen)
+	var args []Expr
+	for !p.at(TokRParen) && !p.at(TokEOF) {
+		if len(args) > 0 {
+			p.expect(TokComma)
+		}
+		before := p.pos
+		args = append(args, p.parseExpr())
+		if p.pos == before {
+			p.syncTo(TokRParen, TokSemi)
+			break
+		}
+	}
+	p.expect(TokRParen)
+	return args
+}
+
+func (p *Parser) parsePrimary() Expr {
+	t := p.cur()
+	switch t.Kind {
+	case TokIntLit:
+		p.next()
+		return &IntLit{Pos: t.Pos, V: t.Int}
+	case TokCharLit:
+		p.next()
+		return &CharLit{Pos: t.Pos, V: t.Int}
+	case TokStringLit:
+		p.next()
+		return &StringLit{Pos: t.Pos, V: t.Text}
+	case TokTrue:
+		p.next()
+		return &BoolLit{Pos: t.Pos, V: true}
+	case TokFalse:
+		p.next()
+		return &BoolLit{Pos: t.Pos, V: false}
+	case TokNull:
+		p.next()
+		return &NullLit{Pos: t.Pos}
+	case TokThis:
+		p.next()
+		return &This{Pos: t.Pos}
+	case TokNew:
+		return p.parseNew()
+	case TokLParen:
+		if cls, width := p.castPrefix(); cls != "" {
+			for i := 0; i < width; i++ {
+				p.next()
+			}
+			return &Cast{Pos: t.Pos, Class: cls, E: p.parseUnary()}
+		}
+		p.next()
+		e := p.parseExpr()
+		p.expect(TokRParen)
+		return e
+	case TokIdent:
+		p.next()
+		if p.at(TokLParen) {
+			args := p.parseArgs()
+			return &Call{Pos: t.Pos, Name: t.Text, Args: args}
+		}
+		return &Ident{Pos: t.Pos, Name: t.Text}
+	}
+	p.errorf("expected an expression, found %s", p.describeCur())
+	p.next()
+	return &IntLit{Pos: t.Pos}
+}
+
+// castPrefix recognizes "(ClassName)" followed by an expression starter as
+// a cast, returning the class name and the token width to consume (the
+// parenthesized name including both parens). The follow-token restriction
+// keeps "(x) + y" a parenthesized expression.
+func (p *Parser) castPrefix() (string, int) {
+	if p.cur().Kind != TokLParen || p.peekKind(1) != TokIdent || p.peekKind(2) != TokRParen {
+		return "", 0
+	}
+	switch p.peekKind(3) {
+	case TokIdent, TokIntLit, TokCharLit, TokStringLit, TokTrue, TokFalse,
+		TokNull, TokThis, TokNew, TokLParen:
+		return p.toks[p.pos+1].Text, 3
+	}
+	return "", 0
+}
+
+func (p *Parser) parseNew() Expr {
+	start := p.expect(TokNew)
+	t := p.cur()
+	var base string
+	switch t.Kind {
+	case TokInt:
+		base = "int"
+	case TokBool:
+		base = "bool"
+	case TokChar:
+		base = "char"
+	case TokIdent:
+		base = t.Text
+	default:
+		p.errorf("expected a type after 'new', found %s", p.describeCur())
+		return &IntLit{Pos: start.Pos}
+	}
+	p.next()
+	if p.at(TokLParen) {
+		if t.Kind != TokIdent {
+			p.errorf("cannot construct primitive type %s", base)
+		}
+		args := p.parseArgs()
+		return &New{Pos: start.Pos, Class: base, Args: args}
+	}
+	p.expect(TokLBracket)
+	length := p.parseExpr()
+	p.expect(TokRBracket)
+	elem := TypeExpr{Pos: t.Pos, Base: base}
+	for p.at(TokLBracket) && p.peekKind(1) == TokRBracket {
+		p.next()
+		p.next()
+		elem.Dims++
+	}
+	return &NewArray{Pos: start.Pos, Elem: elem, Length: length}
+}

@@ -1,0 +1,224 @@
+package mj
+
+import (
+	"strings"
+	"testing"
+)
+
+func parseOK(t *testing.T, src string) *File {
+	t.Helper()
+	f, errs := Parse("t.mj", src)
+	if len(errs) > 0 {
+		t.Fatalf("parse errors: %v", errs)
+	}
+	return f
+}
+
+func TestParseClassStructure(t *testing.T) {
+	f := parseOK(t, `
+class Animal {
+    protected int legs;
+    static int population;
+
+    Animal(int l) { legs = l; }
+
+    int getLegs() { return legs; }
+}
+
+class Dog extends Animal {
+    Dog() { legs = 4; }
+}`)
+	if len(f.Classes) != 2 {
+		t.Fatalf("classes = %d", len(f.Classes))
+	}
+	animal := f.Classes[0]
+	if animal.Name != "Animal" || animal.Extends != "" {
+		t.Errorf("animal = %q extends %q", animal.Name, animal.Extends)
+	}
+	if len(animal.Fields) != 2 || len(animal.Methods) != 2 {
+		t.Errorf("animal members: %d fields, %d methods", len(animal.Fields), len(animal.Methods))
+	}
+	if !animal.Methods[0].IsCtor {
+		t.Error("first method should be the constructor")
+	}
+	if f.Classes[1].Extends != "Animal" {
+		t.Errorf("dog extends %q", f.Classes[1].Extends)
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	f := parseOK(t, `
+class M {
+    static int f() { return 1 + 2 * 3 - 4 / 2; }
+}`)
+	ret := f.Classes[0].Methods[0].Body.Stmts[0].(*Return)
+	// ((1 + (2*3)) - (4/2))
+	sub, ok := ret.Value.(*Binary)
+	if !ok || sub.Op != TokMinus {
+		t.Fatalf("top op = %#v", ret.Value)
+	}
+	add, ok := sub.L.(*Binary)
+	if !ok || add.Op != TokPlus {
+		t.Fatalf("left op = %#v", sub.L)
+	}
+	if mul, ok := add.R.(*Binary); !ok || mul.Op != TokStar {
+		t.Fatalf("mul = %#v", add.R)
+	}
+	if div, ok := sub.R.(*Binary); !ok || div.Op != TokSlash {
+		t.Fatalf("div = %#v", sub.R)
+	}
+}
+
+func TestParseDeclVsExprDisambiguation(t *testing.T) {
+	f := parseOK(t, `
+class Foo { int v; }
+class M {
+    static void go() {
+        Foo a;
+        Foo[] b;
+        Foo[][] c;
+        int d = 1;
+        d = d + 1;
+        helper(d);
+    }
+    static void helper(int x) { }
+}`)
+	stmts := f.Classes[1].Methods[0].Body.Stmts
+	kinds := []string{"*mj.VarDecl", "*mj.VarDecl", "*mj.VarDecl", "*mj.VarDecl", "*mj.Assign", "*mj.ExprStmt"}
+	if len(stmts) != len(kinds) {
+		t.Fatalf("stmts = %d, want %d", len(stmts), len(kinds))
+	}
+	for i, s := range stmts {
+		got := typeName(s)
+		if got != kinds[i] {
+			t.Errorf("stmt %d = %s, want %s", i, got, kinds[i])
+		}
+	}
+}
+
+func typeName(v any) string {
+	switch v.(type) {
+	case *VarDecl:
+		return "*mj.VarDecl"
+	case *Assign:
+		return "*mj.Assign"
+	case *ExprStmt:
+		return "*mj.ExprStmt"
+	default:
+		return "?"
+	}
+}
+
+func TestParseCastVsParen(t *testing.T) {
+	f := parseOK(t, `
+class Foo { int v; }
+class M {
+    static int go(Object o, int a, int b) {
+        Foo f = (Foo) o;
+        int x = (a) + b;
+        int y = (a + b) * 2;
+        return f.v + x + y;
+    }
+}`)
+	stmts := f.Classes[1].Methods[0].Body.Stmts
+	if _, ok := stmts[0].(*VarDecl).Init.(*Cast); !ok {
+		t.Errorf("expected cast, got %#v", stmts[0].(*VarDecl).Init)
+	}
+	if _, ok := stmts[1].(*VarDecl).Init.(*Binary); !ok {
+		t.Errorf("(a) + b must parse as binary, got %#v", stmts[1].(*VarDecl).Init)
+	}
+}
+
+func TestParseNewForms(t *testing.T) {
+	f := parseOK(t, `
+class Foo { Foo(int a) { } }
+class M {
+    static void go() {
+        Foo f = new Foo(1);
+        int[] a = new int[10];
+        int[][] b = new int[5][];
+        Foo[] c = new Foo[3];
+    }
+}`)
+	stmts := f.Classes[1].Methods[0].Body.Stmts
+	if n, ok := stmts[0].(*VarDecl).Init.(*New); !ok || n.Class != "Foo" {
+		t.Errorf("new Foo: %#v", stmts[0].(*VarDecl).Init)
+	}
+	na := stmts[2].(*VarDecl).Init.(*NewArray)
+	if na.Elem.Base != "int" || na.Elem.Dims != 1 {
+		t.Errorf("new int[5][] elem = %v", na.Elem)
+	}
+}
+
+func TestParseControlFlow(t *testing.T) {
+	parseOK(t, `
+class M {
+    static void go(int n) {
+        if (n > 0) { go(n - 1); } else { }
+        while (n < 10) { n = n + 1; }
+        for (int i = 0; i < n; i = i + 1) {
+            if (i == 5) { continue; }
+            if (i == 8) { break; }
+        }
+        try {
+            throw new Object();
+        } catch (Object e) {
+            go(0);
+        }
+        synchronized (new Object()) {
+            n = 0;
+        }
+    }
+}`)
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		src, want string
+	}{
+		{`class { }`, "expected identifier"},
+		{`class A extends { }`, "expected identifier"},
+		{`class A { int f( { }`, "expected a type"},
+		{`class A { void m() { 1 + ; } }`, "expected an expression"},
+		{`class A { void m() { if x { } } }`, "expected '('"},
+		{`class A { void m() { x = ; } }`, "expected an expression"},
+	}
+	for _, c := range cases {
+		_, errs := Parse("t.mj", c.src)
+		if len(errs) == 0 {
+			t.Errorf("no error for %q", c.src)
+			continue
+		}
+		found := false
+		for _, e := range errs {
+			if strings.Contains(e.Error(), c.want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("source %q: errors %v do not mention %q", c.src, errs, c.want)
+		}
+	}
+}
+
+func TestCountStatements(t *testing.T) {
+	f := parseOK(t, `
+class M {
+    static int x = 5;
+    static void go(int n) {
+        int a = 1;
+        if (n > 0) {
+            a = 2;
+        } else {
+            a = 3;
+        }
+        while (n > 0) { n = n - 1; }
+        printInt(a);
+    }
+}`)
+	// x init (1) + decl (1) + if (1) + two assigns (2) + while (1) +
+	// body assign (1) + call (1) = 8
+	if n := CountStatements(f.Classes[0]); n != 8 {
+		t.Errorf("statements = %d, want 8", n)
+	}
+}

@@ -1,0 +1,295 @@
+package mj
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Print renders a parsed file back to MiniJava source. The output
+// re-parses to a structurally identical AST (modulo positions), which the
+// round-trip tests verify; it is also what the CLI tools use to show
+// rewritten programs.
+func Print(f *File) string {
+	p := &printer{}
+	for i, c := range f.Classes {
+		if i > 0 {
+			p.nl()
+		}
+		p.class(c)
+	}
+	return p.b.String()
+}
+
+type printer struct {
+	b      strings.Builder
+	indent int
+}
+
+func (p *printer) line(format string, args ...any) {
+	p.b.WriteString(strings.Repeat("    ", p.indent))
+	fmt.Fprintf(&p.b, format, args...)
+	p.b.WriteByte('\n')
+}
+
+func (p *printer) nl() { p.b.WriteByte('\n') }
+
+func (p *printer) class(c *ClassDecl) {
+	ext := ""
+	if c.Extends != "" {
+		ext = " extends " + c.Extends
+	}
+	p.line("class %s%s {", c.Name, ext)
+	p.indent++
+	for _, fd := range c.Fields {
+		init := ""
+		if fd.Init != nil {
+			init = " = " + exprString(fd.Init)
+		}
+		p.line("%s%s %s%s;", mods(fd.Mods), fd.Type, fd.Name, init)
+	}
+	for i, m := range c.Methods {
+		if i > 0 || len(c.Fields) > 0 {
+			p.nl()
+		}
+		p.method(c, m)
+	}
+	p.indent--
+	p.line("}")
+}
+
+func mods(m Modifiers) string {
+	s := ""
+	switch m.Vis.String() {
+	case "private":
+		s = "private "
+	case "protected":
+		s = "protected "
+	case "public":
+		s = "public "
+	}
+	if m.Static {
+		s += "static "
+	}
+	return s
+}
+
+func (p *printer) method(c *ClassDecl, m *MethodDecl) {
+	var params []string
+	for _, pr := range m.Params {
+		params = append(params, pr.Type.String()+" "+pr.Name)
+	}
+	sig := strings.Join(params, ", ")
+	if m.IsCtor {
+		p.line("%s%s(%s) {", mods(m.Mods), c.Name, sig)
+	} else {
+		p.line("%s%s %s(%s) {", mods(m.Mods), m.Return, m.Name, sig)
+	}
+	p.indent++
+	p.stmts(m.Body.Stmts)
+	p.indent--
+	p.line("}")
+}
+
+func (p *printer) stmts(ss []Stmt) {
+	for _, s := range ss {
+		p.stmt(s)
+	}
+}
+
+func (p *printer) stmt(s Stmt) {
+	switch s := s.(type) {
+	case *Block:
+		p.line("{")
+		p.indent++
+		p.stmts(s.Stmts)
+		p.indent--
+		p.line("}")
+	case *VarDecl:
+		init := ""
+		if s.Init != nil {
+			init = " = " + exprString(s.Init)
+		}
+		p.line("%s %s%s;", s.Type, s.Name, init)
+	case *If:
+		p.line("if (%s) {", exprString(s.Cond))
+		p.indent++
+		p.inline(s.Then)
+		p.indent--
+		if s.Else != nil {
+			p.line("} else {")
+			p.indent++
+			p.inline(s.Else)
+			p.indent--
+		}
+		p.line("}")
+	case *While:
+		p.line("while (%s) {", exprString(s.Cond))
+		p.indent++
+		p.inline(s.Body)
+		p.indent--
+		p.line("}")
+	case *For:
+		init, post := "", ""
+		if s.Init != nil {
+			init = simpleString(s.Init)
+		}
+		cond := ""
+		if s.Cond != nil {
+			cond = exprString(s.Cond)
+		}
+		if s.Post != nil {
+			post = simpleString(s.Post)
+		}
+		p.line("for (%s; %s; %s) {", init, cond, post)
+		p.indent++
+		p.inline(s.Body)
+		p.indent--
+		p.line("}")
+	case *Return:
+		if s.Value != nil {
+			p.line("return %s;", exprString(s.Value))
+		} else {
+			p.line("return;")
+		}
+	case *Throw:
+		p.line("throw %s;", exprString(s.Value))
+	case *Try:
+		p.line("try {")
+		p.indent++
+		p.stmts(s.Body.Stmts)
+		p.indent--
+		p.line("} catch (%s %s) {", s.CatchType, s.CatchVar)
+		p.indent++
+		p.stmts(s.Catch.Stmts)
+		p.indent--
+		p.line("}")
+	case *Sync:
+		p.line("synchronized (%s) {", exprString(s.Obj))
+		p.indent++
+		p.stmts(s.Body.Stmts)
+		p.indent--
+		p.line("}")
+	case *Break:
+		p.line("break;")
+	case *Continue:
+		p.line("continue;")
+	case *ExprStmt:
+		p.line("%s;", exprString(s.E))
+	case *Assign:
+		p.line("%s = %s;", exprString(s.LHS), exprString(s.RHS))
+	}
+}
+
+// inline prints a statement that is the body of a control structure; a
+// Block's braces are already supplied by the caller.
+func (p *printer) inline(s Stmt) {
+	if b, ok := s.(*Block); ok {
+		p.stmts(b.Stmts)
+		return
+	}
+	p.stmt(s)
+}
+
+// simpleString renders an init/post statement of a for header.
+func simpleString(s Stmt) string {
+	switch s := s.(type) {
+	case *VarDecl:
+		init := ""
+		if s.Init != nil {
+			init = " = " + exprString(s.Init)
+		}
+		return fmt.Sprintf("%s %s%s", s.Type, s.Name, init)
+	case *Assign:
+		return fmt.Sprintf("%s = %s", exprString(s.LHS), exprString(s.RHS))
+	case *ExprStmt:
+		return exprString(s.E)
+	}
+	return ""
+}
+
+var opText = map[TokenKind]string{
+	TokPlus: "+", TokMinus: "-", TokStar: "*", TokSlash: "/", TokPercent: "%",
+	TokEq: "==", TokNe: "!=", TokLt: "<", TokLe: "<=", TokGt: ">", TokGe: ">=",
+	TokAndAnd: "&&", TokOrOr: "||",
+}
+
+// exprString renders an expression with explicit parentheses around every
+// binary operation, which keeps precedence round-trip-safe.
+func exprString(e Expr) string {
+	switch e := e.(type) {
+	case *IntLit:
+		return strconv.FormatInt(e.V, 10)
+	case *CharLit:
+		return charQuote(e.V)
+	case *BoolLit:
+		if e.V {
+			return "true"
+		}
+		return "false"
+	case *StringLit:
+		return strconv.Quote(e.V)
+	case *NullLit:
+		return "null"
+	case *This:
+		return "this"
+	case *Ident:
+		return e.Name
+	case *FieldAccess:
+		return exprString(e.Obj) + "." + e.Name
+	case *Index:
+		return exprString(e.Arr) + "[" + exprString(e.Idx) + "]"
+	case *Call:
+		var args []string
+		for _, a := range e.Args {
+			args = append(args, exprString(a))
+		}
+		call := e.Name + "(" + strings.Join(args, ", ") + ")"
+		if e.Recv != nil {
+			return exprString(e.Recv) + "." + call
+		}
+		return call
+	case *New:
+		var args []string
+		for _, a := range e.Args {
+			args = append(args, exprString(a))
+		}
+		return "new " + e.Class + "(" + strings.Join(args, ", ") + ")"
+	case *NewArray:
+		suffix := strings.Repeat("[]", e.Elem.Dims)
+		return "new " + e.Elem.Base + "[" + exprString(e.Length) + "]" + suffix
+	case *Cast:
+		return "(" + e.Class + ") " + exprString(e.E)
+	case *Binary:
+		return "(" + exprString(e.L) + " " + opText[e.Op] + " " + exprString(e.R) + ")"
+	case *Unary:
+		op := "-"
+		if e.Op == TokBang {
+			op = "!"
+		}
+		return op + exprString(e.E)
+	}
+	return "?"
+}
+
+func charQuote(v int64) string {
+	switch v {
+	case '\n':
+		return `'\n'`
+	case '\t':
+		return `'\t'`
+	case '\r':
+		return `'\r'`
+	case 0:
+		return `'\0'`
+	case '\\':
+		return `'\\'`
+	case '\'':
+		return `'\''`
+	}
+	if v >= 32 && v < 127 {
+		return "'" + string(rune(v)) + "'"
+	}
+	// Non-printable: fall back to the numeric value via int relaxation.
+	return strconv.FormatInt(v, 10)
+}

@@ -1,0 +1,172 @@
+package mj
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// stripPositions zeroes every Pos in an AST via reflection so structural
+// comparison ignores layout.
+func stripPositions(v reflect.Value) {
+	switch v.Kind() {
+	case reflect.Ptr, reflect.Interface:
+		if !v.IsNil() {
+			stripPositions(v.Elem())
+		}
+	case reflect.Struct:
+		if v.Type() == reflect.TypeOf(Pos{}) {
+			if v.CanSet() {
+				v.Set(reflect.Zero(v.Type()))
+			}
+			return
+		}
+		for i := 0; i < v.NumField(); i++ {
+			if v.Field(i).CanSet() || v.Field(i).Kind() == reflect.Ptr ||
+				v.Field(i).Kind() == reflect.Interface || v.Field(i).Kind() == reflect.Slice ||
+				v.Field(i).Kind() == reflect.Struct {
+				stripPositions(v.Field(i))
+			}
+		}
+	case reflect.Slice:
+		for i := 0; i < v.Len(); i++ {
+			stripPositions(v.Index(i))
+		}
+	}
+}
+
+func normalize(t *testing.T, f *File) *File {
+	t.Helper()
+	f.Name = ""
+	for _, c := range f.Classes {
+		c.File = ""
+	}
+	stripPositions(reflect.ValueOf(f))
+	return f
+}
+
+// roundTrip asserts parse(print(parse(src))) == parse(src) structurally.
+func roundTrip(t *testing.T, src string) {
+	t.Helper()
+	f1, errs := Parse("a.mj", src)
+	if len(errs) > 0 {
+		t.Fatalf("parse 1: %v", errs)
+	}
+	printed := Print(f1)
+	f2, errs := Parse("b.mj", printed)
+	if len(errs) > 0 {
+		t.Fatalf("parse 2: %v\nprinted source:\n%s", errs, printed)
+	}
+	a, b := normalize(t, f1), normalize(t, f2)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("round trip diverged.\noriginal AST: %#v\nreparsed AST: %#v\nprinted:\n%s", a, b, printed)
+	}
+}
+
+func TestPrinterRoundTripBasics(t *testing.T) {
+	roundTrip(t, `
+class Point {
+    private int x;
+    protected int y;
+    public static int count = 0;
+
+    Point(int a, int b) {
+        x = a;
+        y = b;
+    }
+
+    int dist() {
+        return x * x + y * y;
+    }
+}`)
+}
+
+func TestPrinterRoundTripControlFlow(t *testing.T) {
+	roundTrip(t, `
+class M {
+    static void main() {
+        int n = 10;
+        if (n > 3 && n < 100 || n == 0) {
+            n = -n;
+        } else {
+            n = n + 1;
+        }
+        while (n > 0) {
+            n = n - 1;
+            if (n == 5) { continue; }
+            if (n == 2) { break; }
+        }
+        for (int i = 0; i < 10; i = i + 1) {
+            printInt(i % 3);
+        }
+        try {
+            throw new RuntimeException("x");
+        } catch (RuntimeException e) {
+            println(e.getMessage());
+        }
+        synchronized (new Object()) {
+            n = 0;
+        }
+    }
+}
+class RuntimeException {
+    String message;
+    RuntimeException(String m) { message = m; }
+    String getMessage() { return message; }
+}
+class Object { }
+class String { char[] chars; }`)
+}
+
+func TestPrinterRoundTripExpressions(t *testing.T) {
+	roundTrip(t, `
+class Box { int v; Box(int x) { v = x; } }
+class M {
+    static void main() {
+        Box b = new Box(3);
+        Object o = b;
+        Box back = (Box) o;
+        int[] a = new int[5];
+        int[][] grid = new int[4][];
+        char c = 'q';
+        char nl = '\n';
+        bool flag = !(c == 'q');
+        a[b.v] = a[0] + back.v;
+        String s = "hi\n\"quoted\"";
+    }
+}
+class Object { }
+class String { char[] chars; }`)
+}
+
+// TestPrinterRoundTripAllPrograms round-trips every benchmark workload and
+// the runtime libraries — ~2k lines of real MiniJava.
+func TestPrinterRoundTripAllPrograms(t *testing.T) {
+	roundTrip(t, Stdlib)
+}
+
+func TestPrinterOutputCompiles(t *testing.T) {
+	src := `
+class Acc {
+    int total;
+    void add(int v) { total = total + v; }
+}
+class M {
+    static void main() {
+        Acc a = new Acc();
+        for (int i = 0; i < 5; i = i + 1) { a.add(i); }
+        printInt(a.total);
+    }
+}`
+	f, errs := Parse("t.mj", src)
+	if len(errs) > 0 {
+		t.Fatal(errs)
+	}
+	printed := Print(f)
+	if _, _, err := CompileWithStdlib([]string{"p.mj"}, map[string]string{"p.mj": printed}); err != nil {
+		t.Fatalf("printed source does not compile: %v\n%s", err, printed)
+	}
+	if !strings.Contains(printed, "class Acc {") {
+		t.Errorf("printed:\n%s", printed)
+	}
+}

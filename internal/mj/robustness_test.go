@@ -1,0 +1,99 @@
+package mj
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestParserRobustnessRandomBytes feeds noise to the parser: it must
+// neither panic nor fail to terminate (the error-recovery paths guarantee
+// token progress).
+func TestParserRobustnessRandomBytes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	alphabet := []byte("class extends if else while for return new null this " +
+		"int bool char void static public private { } ( ) [ ] ; , . + - * / % " +
+		"== != <= >= && || ! = \"str\" 'c' 123 ident Foo try catch throw synchronized")
+	for i := 0; i < 500; i++ {
+		n := rng.Intn(200)
+		var b strings.Builder
+		for j := 0; j < n; j++ {
+			b.WriteByte(alphabet[rng.Intn(len(alphabet))])
+		}
+		// Must terminate; errors are expected and fine.
+		Parse("fuzz.mj", b.String())
+	}
+}
+
+// TestParserRobustnessMutations deletes, duplicates and swaps tokens of a
+// real program and re-parses: no panics, no hangs.
+func TestParserRobustnessMutations(t *testing.T) {
+	base := `
+class Node {
+    Node next;
+    int v;
+    Node(int x) { v = x; }
+    int sum() {
+        if (next == null) { return v; }
+        return v + next.sum();
+    }
+}
+class Main {
+    static void main() {
+        Node n = new Node(1);
+        n.next = new Node(2);
+        try {
+            printInt(n.sum());
+        } catch (Throwable e) {
+            println("oops");
+        }
+    }
+}`
+	toks, _ := LexAll("m.mj", base)
+	words := make([]string, 0, len(toks))
+	for _, tok := range toks {
+		if tok.Kind == TokEOF {
+			break
+		}
+		words = append(words, tokenSpelling(tok))
+	}
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 300; i++ {
+		mutated := append([]string(nil), words...)
+		switch rng.Intn(3) {
+		case 0: // delete
+			if len(mutated) > 1 {
+				k := rng.Intn(len(mutated))
+				mutated = append(mutated[:k], mutated[k+1:]...)
+			}
+		case 1: // duplicate
+			k := rng.Intn(len(mutated))
+			mutated = append(mutated[:k+1], mutated[k:]...)
+		case 2: // swap
+			a, b := rng.Intn(len(mutated)), rng.Intn(len(mutated))
+			mutated[a], mutated[b] = mutated[b], mutated[a]
+		}
+		src := strings.Join(mutated, " ")
+		f, _ := Parse("mut.mj", src)
+		if f != nil {
+			// Whatever parsed must also survive checking.
+			Check(&Program{Files: []*File{f}})
+		}
+	}
+}
+
+func tokenSpelling(t Token) string {
+	switch t.Kind {
+	case TokIdent:
+		return t.Text
+	case TokIntLit:
+		return t.Text
+	case TokCharLit:
+		return "'x'"
+	case TokStringLit:
+		return `"s"`
+	default:
+		s := t.Kind.String()
+		return strings.Trim(s, "'")
+	}
+}

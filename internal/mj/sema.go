@@ -1,0 +1,974 @@
+package mj
+
+import (
+	"dragprof/internal/bytecode"
+)
+
+// Check runs semantic analysis over a parsed program: it builds the class
+// table, lays out field slots and vtables, resolves every name, and type
+// checks every method body. It returns the annotations the compiler and the
+// static analyses consume, plus all diagnostics found.
+func Check(prog *Program) (*Checked, []error) {
+	ck := &checker{
+		out: &Checked{
+			Prog:       prog,
+			ByName:     make(map[string]*ClassSym),
+			ExprTypes:  make(map[Expr]Type),
+			Idents:     make(map[*Ident]*IdentInfo),
+			Calls:      make(map[*Call]*CallInfo),
+			FieldAccs:  make(map[*FieldAccess]*FieldInfo),
+			NewCtors:   make(map[*New]*MethodSym),
+			NewClasses: make(map[*New]*ClassSym),
+			Locals:     make(map[*VarDecl]*LocalSym),
+			ParamSyms:  make(map[*MethodDecl][]*LocalSym),
+			MaxLocals:  make(map[*MethodDecl]int),
+		},
+	}
+	ck.declareClasses(prog)
+	ck.resolveSupers()
+	ck.declareMembers()
+	ck.layout()
+	ck.checkBodies()
+	return ck.out, ck.errs
+}
+
+type checker struct {
+	out  *Checked
+	errs []error
+
+	// Current method context during body checking.
+	curClass  *ClassSym
+	curMethod *MethodSym
+	scopes    []map[string]*LocalSym
+	nextSlot  int32
+	maxSlot   int32
+	loopDepth int
+}
+
+func (ck *checker) errorf(pos Pos, format string, args ...any) {
+	ck.errs = append(ck.errs, errf(pos, format, args...))
+}
+
+// declareClasses creates a symbol per class declaration.
+func (ck *checker) declareClasses(prog *Program) {
+	for _, c := range prog.Classes() {
+		if _, dup := ck.out.ByName[c.Name]; dup {
+			ck.errorf(c.Pos, "duplicate class %s", c.Name)
+			continue
+		}
+		sym := &ClassSym{
+			Name:    c.Name,
+			Decl:    c,
+			ID:      int32(len(ck.out.Classes)),
+			Fields:  make(map[string]*FieldSym),
+			Methods: make(map[string]*MethodSym),
+		}
+		sym.Type = &ClassType{Sym: sym}
+		ck.out.ByName[c.Name] = sym
+		ck.out.Classes = append(ck.out.Classes, sym)
+	}
+}
+
+func (ck *checker) resolveSupers() {
+	for _, sym := range ck.out.Classes {
+		ext := sym.Decl.Extends
+		if ext == "" {
+			// Classes without an extends clause implicitly extend
+			// Object when the program declares one (the runtime
+			// library does), giving collections a universal element
+			// type as in Java.
+			if root, ok := ck.out.ByName["Object"]; ok && root != sym {
+				sym.Super = root
+			}
+			continue
+		}
+		super, ok := ck.out.ByName[ext]
+		if !ok {
+			ck.errorf(sym.Decl.Pos, "class %s extends unknown class %s", sym.Name, ext)
+			continue
+		}
+		sym.Super = super
+	}
+	// Detect inheritance cycles; break them to keep later phases safe.
+	for _, sym := range ck.out.Classes {
+		slow, fast := sym, sym
+		for fast != nil && fast.Super != nil {
+			slow, fast = slow.Super, fast.Super.Super
+			if slow == fast {
+				ck.errorf(sym.Decl.Pos, "inheritance cycle involving class %s", sym.Name)
+				sym.Super = nil
+				break
+			}
+		}
+	}
+}
+
+func (ck *checker) resolveType(t TypeExpr) Type {
+	if typ := ck.out.ResolveTypeExpr(t); typ != nil {
+		return typ
+	}
+	ck.errorf(t.Pos, "unknown type %s", t.Base)
+	return TypeInt
+}
+
+func (ck *checker) declareMembers() {
+	for _, sym := range ck.out.Classes {
+		for _, fd := range sym.Decl.Fields {
+			if _, dup := sym.Fields[fd.Name]; dup {
+				ck.errorf(fd.Pos, "duplicate field %s in class %s", fd.Name, sym.Name)
+				continue
+			}
+			fs := &FieldSym{
+				Name:   fd.Name,
+				Type:   ck.resolveType(fd.Type),
+				Static: fd.Mods.Static,
+				Vis:    fd.Mods.Vis,
+				Owner:  sym,
+				Decl:   fd,
+			}
+			sym.Fields[fd.Name] = fs
+			sym.FieldOrder = append(sym.FieldOrder, fs)
+		}
+		for _, md := range sym.Decl.Methods {
+			name := md.Name
+			if _, dup := sym.Methods[name]; dup {
+				ck.errorf(md.Pos, "duplicate method %s in class %s (MiniJava has no overloading)", name, sym.Name)
+				continue
+			}
+			ms := &MethodSym{
+				Name:   name,
+				Return: ck.resolveType(md.Return),
+				Static: md.Mods.Static,
+				IsCtor: md.IsCtor,
+				Vis:    md.Mods.Vis,
+				Owner:  sym,
+				Decl:   md,
+				VIndex: -1,
+			}
+			for _, p := range md.Params {
+				ms.Params = append(ms.Params, ck.resolveType(p.Type))
+			}
+			if !ms.Static && !ms.IsCtor && name == "finalize" && len(ms.Params) == 0 && sameType(ms.Return, PrimType(TypeVoid)) {
+				ms.Finalizer = true
+			}
+			if ms.IsCtor && ms.Static {
+				ck.errorf(md.Pos, "constructor of %s cannot be static", sym.Name)
+				ms.Static = false
+			}
+			sym.Methods[name] = ms
+			sym.MethodOrder = append(sym.MethodOrder, ms)
+		}
+		// Synthesize a default constructor when none is declared.
+		if _, has := sym.Methods["<init>"]; !has {
+			ms := &MethodSym{
+				Name:   "<init>",
+				Return: PrimType(TypeVoid),
+				IsCtor: true,
+				Owner:  sym,
+				VIndex: -1,
+			}
+			sym.Methods["<init>"] = ms
+			sym.MethodOrder = append(sym.MethodOrder, ms)
+		}
+	}
+	// Assign global method ids in class-declaration order.
+	for _, sym := range ck.out.Classes {
+		for _, ms := range sym.MethodOrder {
+			ms.ID = int32(len(ck.out.Methods))
+			ck.out.Methods = append(ck.out.Methods, ms)
+		}
+	}
+}
+
+// layout assigns instance field slots, static slots, vtable indices and
+// finalizability, processing superclasses before subclasses.
+func (ck *checker) layout() {
+	done := make(map[*ClassSym]bool)
+	var lay func(sym *ClassSym)
+	lay = func(sym *ClassSym) {
+		if done[sym] {
+			return
+		}
+		done[sym] = true
+		var base int32
+		var vbase int32
+		vtable := map[string]int32{}
+		if sym.Super != nil {
+			lay(sym.Super)
+			base = sym.Super.NumSlots
+			sym.Finalizable = sym.Super.Finalizable
+			// Inherit the super vtable layout.
+			for cur := sym.Super; cur != nil; cur = cur.Super {
+				for _, ms := range cur.MethodOrder {
+					if ms.VIndex >= 0 {
+						if _, seen := vtable[ms.Name]; !seen {
+							vtable[ms.Name] = ms.VIndex
+							if ms.VIndex+1 > vbase {
+								vbase = ms.VIndex + 1
+							}
+						}
+					}
+				}
+			}
+		}
+		var static int32
+		for _, fs := range sym.FieldOrder {
+			if fs.Static {
+				fs.Slot = static
+				static++
+			} else {
+				fs.Slot = base
+				base++
+			}
+		}
+		sym.NumSlots = base
+		sym.NumStatic = static
+		for _, ms := range sym.MethodOrder {
+			if ms.Static || ms.IsCtor {
+				continue
+			}
+			if idx, ok := vtable[ms.Name]; ok {
+				ms.VIndex = idx // override
+			} else {
+				ms.VIndex = vbase
+				vtable[ms.Name] = vbase
+				vbase++
+			}
+			if ms.Finalizer {
+				sym.Finalizable = true
+			}
+		}
+	}
+	for _, sym := range ck.out.Classes {
+		lay(sym)
+	}
+}
+
+// Body checking.
+
+func (ck *checker) checkBodies() {
+	for _, sym := range ck.out.Classes {
+		ck.curClass = sym
+		for _, fd := range sym.Decl.Fields {
+			if fd.Init == nil {
+				continue
+			}
+			if !fd.Mods.Static {
+				ck.errorf(fd.Pos, "only static fields may have initializers (field %s)", fd.Name)
+				continue
+			}
+			// Static initializers run in a synthetic static context.
+			ck.curMethod = &MethodSym{Name: "<clinit>", Static: true, Owner: sym, Return: PrimType(TypeVoid)}
+			ck.pushScope()
+			t := ck.checkExpr(fd.Init)
+			fs := sym.Fields[fd.Name]
+			if fs != nil && !ck.assignable(fs.Type, t) {
+				ck.errorf(fd.Pos, "cannot initialize %s field %s with %s", fs.Type, fd.Name, t)
+			}
+			ck.popScope()
+		}
+		for _, ms := range sym.MethodOrder {
+			if ms.Decl == nil {
+				continue // synthesized default ctor
+			}
+			ck.checkMethod(sym, ms)
+		}
+	}
+}
+
+func (ck *checker) checkMethod(sym *ClassSym, ms *MethodSym) {
+	ck.curMethod = ms
+	ck.nextSlot = 0
+	ck.maxSlot = 0
+	ck.scopes = nil
+	ck.pushScope()
+
+	var params []*LocalSym
+	if !ms.Static {
+		this := &LocalSym{Name: "this", Type: sym.Type, Slot: ck.allocSlot(), IsParam: true, Pos: ms.Decl.Pos}
+		ck.declare(this)
+		params = append(params, this)
+	}
+	for i, p := range ms.Decl.Params {
+		ls := &LocalSym{Name: p.Name, Type: ms.Params[i], Slot: ck.allocSlot(), IsParam: true, Pos: p.Pos}
+		if !ck.declare(ls) {
+			ck.errorf(p.Pos, "duplicate parameter %s", p.Name)
+		}
+		params = append(params, ls)
+	}
+	ck.out.ParamSyms[ms.Decl] = params
+
+	ck.checkBlock(ms.Decl.Body)
+	ck.popScope()
+	ck.out.MaxLocals[ms.Decl] = int(ck.maxSlot)
+
+	if !sameType(ms.Return, PrimType(TypeVoid)) && !blockReturns(ms.Decl.Body) {
+		ck.errorf(ms.Decl.Pos, "method %s: missing return statement on some path", ms.QualifiedName())
+	}
+}
+
+func (ck *checker) allocSlot() int32 {
+	s := ck.nextSlot
+	ck.nextSlot++
+	if ck.nextSlot > ck.maxSlot {
+		ck.maxSlot = ck.nextSlot
+	}
+	return s
+}
+
+func (ck *checker) pushScope() { ck.scopes = append(ck.scopes, map[string]*LocalSym{}) }
+func (ck *checker) popScope()  { ck.scopes = ck.scopes[:len(ck.scopes)-1] }
+
+func (ck *checker) declare(ls *LocalSym) bool {
+	top := ck.scopes[len(ck.scopes)-1]
+	if _, dup := top[ls.Name]; dup {
+		return false
+	}
+	top[ls.Name] = ls
+	return true
+}
+
+func (ck *checker) lookupLocal(name string) *LocalSym {
+	for i := len(ck.scopes) - 1; i >= 0; i-- {
+		if ls, ok := ck.scopes[i][name]; ok {
+			return ls
+		}
+	}
+	return nil
+}
+
+// Statements.
+
+func (ck *checker) checkBlock(b *Block) {
+	ck.pushScope()
+	for _, s := range b.Stmts {
+		ck.checkStmt(s)
+	}
+	ck.popScope()
+}
+
+func (ck *checker) checkStmt(s Stmt) {
+	switch s := s.(type) {
+	case *Block:
+		ck.checkBlock(s)
+	case *VarDecl:
+		ck.checkVarDecl(s)
+	case *If:
+		ck.checkCond(s.Cond)
+		ck.checkStmt(s.Then)
+		if s.Else != nil {
+			ck.checkStmt(s.Else)
+		}
+	case *While:
+		ck.checkCond(s.Cond)
+		ck.loopDepth++
+		ck.checkStmt(s.Body)
+		ck.loopDepth--
+	case *For:
+		ck.pushScope()
+		if s.Init != nil {
+			ck.checkStmt(s.Init)
+		}
+		if s.Cond != nil {
+			ck.checkCond(s.Cond)
+		}
+		if s.Post != nil {
+			ck.checkStmt(s.Post)
+		}
+		ck.loopDepth++
+		ck.checkStmt(s.Body)
+		ck.loopDepth--
+		ck.popScope()
+	case *Return:
+		ret := ck.curMethod.Return
+		if s.Value == nil {
+			if !sameType(ret, PrimType(TypeVoid)) {
+				ck.errorf(s.Pos, "method %s must return %s", ck.curMethod.QualifiedName(), ret)
+			}
+			return
+		}
+		t := ck.checkExpr(s.Value)
+		if sameType(ret, PrimType(TypeVoid)) {
+			ck.errorf(s.Pos, "void method %s cannot return a value", ck.curMethod.QualifiedName())
+		} else if !ck.assignable(ret, t) {
+			ck.errorf(s.Pos, "cannot return %s from method returning %s", t, ret)
+		}
+	case *Throw:
+		t := ck.checkExpr(s.Value)
+		ck.requireThrowable(s.Pos, t)
+	case *Try:
+		ck.checkBlock(s.Body)
+		csym, ok := ck.out.ByName[s.CatchType]
+		if !ok {
+			ck.errorf(s.Pos, "unknown exception class %s", s.CatchType)
+		} else {
+			ck.requireThrowable(s.Pos, csym.Type)
+		}
+		ck.pushScope()
+		if ok {
+			ls := &LocalSym{Name: s.CatchVar, Type: csym.Type, Slot: ck.allocSlot(), Pos: s.Pos}
+			ck.declare(ls)
+			// The compiler finds the catch variable through Locals
+			// keyed by a synthetic VarDecl; stash it under the Try.
+			ck.out.Locals[tryCatchKey(s)] = ls
+		}
+		ck.checkBlock(s.Catch)
+		ck.popScope()
+	case *Sync:
+		t := ck.checkExpr(s.Obj)
+		if !IsRefType(t) {
+			ck.errorf(s.Pos, "synchronized requires an object, found %s", t)
+		}
+		ck.checkBlock(s.Body)
+	case *Break:
+		if ck.loopDepth == 0 {
+			ck.errorf(s.Pos, "break outside a loop")
+		}
+	case *Continue:
+		if ck.loopDepth == 0 {
+			ck.errorf(s.Pos, "continue outside a loop")
+		}
+	case *ExprStmt:
+		if _, ok := s.E.(*Call); !ok {
+			ck.errorf(s.Pos, "expression statement must be a call")
+		}
+		ck.checkExpr(s.E)
+	case *Assign:
+		ck.checkAssign(s)
+	}
+}
+
+// tryCatchKey returns a stable synthetic VarDecl used to key the catch
+// variable's LocalSym in Checked.Locals.
+func tryCatchKey(t *Try) *VarDecl {
+	if t.catchKey == nil {
+		t.catchKey = &VarDecl{Pos: t.Pos, Name: t.CatchVar}
+	}
+	return t.catchKey
+}
+
+func (ck *checker) checkVarDecl(d *VarDecl) {
+	t := ck.resolveType(d.Type)
+	ls := &LocalSym{Name: d.Name, Type: t, Slot: ck.allocSlot(), Pos: d.Pos}
+	if !ck.declare(ls) {
+		ck.errorf(d.Pos, "duplicate local variable %s", d.Name)
+	}
+	ck.out.Locals[d] = ls
+	if d.Init != nil {
+		it := ck.checkExpr(d.Init)
+		if !ck.assignable(t, it) {
+			ck.errorf(d.Pos, "cannot initialize %s %s with %s", t, d.Name, it)
+		}
+	}
+}
+
+func (ck *checker) checkCond(e Expr) {
+	t := ck.checkExpr(e)
+	if !sameType(t, PrimType(TypeBool)) {
+		ck.errorf(e.Position(), "condition must be bool, found %s", t)
+	}
+}
+
+func (ck *checker) checkAssign(s *Assign) {
+	lt := ck.checkLValue(s.LHS)
+	rt := ck.checkExpr(s.RHS)
+	if !ck.assignable(lt, rt) {
+		ck.errorf(s.Pos, "cannot assign %s to %s", rt, lt)
+	}
+}
+
+func (ck *checker) checkLValue(e Expr) Type {
+	switch e := e.(type) {
+	case *Ident:
+		t := ck.checkExpr(e)
+		info := ck.out.Idents[e]
+		if info != nil && info.Kind == RefClass {
+			ck.errorf(e.Pos, "cannot assign to class %s", e.Name)
+		}
+		return t
+	case *FieldAccess:
+		t := ck.checkExpr(e)
+		if fi := ck.out.FieldAccs[e]; fi != nil && fi.ArrayLen {
+			ck.errorf(e.Pos, "cannot assign to array length")
+		}
+		return t
+	case *Index:
+		return ck.checkExpr(e)
+	default:
+		ck.errorf(e.Position(), "invalid assignment target")
+		return ck.checkExpr(e)
+	}
+}
+
+func (ck *checker) requireThrowable(pos Pos, t Type) {
+	ct, ok := t.(*ClassType)
+	if !ok {
+		ck.errorf(pos, "throw requires an object, found %s", t)
+		return
+	}
+	if root, has := ck.out.ByName["Throwable"]; has && !ct.Sym.IsSubclassOf(root) {
+		ck.errorf(pos, "%s is not a subclass of Throwable", ct.Sym.Name)
+	}
+}
+
+// assignable reports whether src can be stored into dst.
+func (ck *checker) assignable(dst, src Type) bool {
+	if sameType(dst, src) {
+		return true
+	}
+	if IsRefType(dst) && sameType(src, PrimType(TypeNull)) {
+		return true
+	}
+	// int <-> char widen/narrow implicitly (documented relaxation).
+	if isNumeric(dst) && isNumeric(src) {
+		return true
+	}
+	dc, ok1 := dst.(*ClassType)
+	sc, ok2 := src.(*ClassType)
+	if ok1 && ok2 {
+		return sc.Sym.IsSubclassOf(dc.Sym)
+	}
+	return false
+}
+
+// Expressions.
+
+func (ck *checker) checkExpr(e Expr) Type {
+	t := ck.exprType(e)
+	ck.out.ExprTypes[e] = t
+	return t
+}
+
+func (ck *checker) exprType(e Expr) Type {
+	switch e := e.(type) {
+	case *IntLit:
+		return PrimType(TypeInt)
+	case *CharLit:
+		return PrimType(TypeChar)
+	case *BoolLit:
+		return PrimType(TypeBool)
+	case *StringLit:
+		if sym, ok := ck.out.ByName["String"]; ok {
+			return sym.Type
+		}
+		ck.errorf(e.Pos, "string literals require a String class (include the runtime library)")
+		return PrimType(TypeNull)
+	case *NullLit:
+		return PrimType(TypeNull)
+	case *This:
+		if ck.curMethod != nil && ck.curMethod.Static {
+			ck.errorf(e.Pos, "this cannot appear in a static context")
+		}
+		return ck.curClass.Type
+	case *Ident:
+		return ck.checkIdent(e)
+	case *FieldAccess:
+		return ck.checkFieldAccess(e)
+	case *Index:
+		at := ck.checkExpr(e.Arr)
+		it := ck.checkExpr(e.Idx)
+		if !isNumeric(it) {
+			ck.errorf(e.Pos, "array index must be int, found %s", it)
+		}
+		arr, ok := at.(*ArrayType)
+		if !ok {
+			ck.errorf(e.Pos, "cannot index %s", at)
+			return PrimType(TypeInt)
+		}
+		return arr.Elem
+	case *Call:
+		return ck.checkCall(e)
+	case *New:
+		return ck.checkNew(e)
+	case *NewArray:
+		lt := ck.checkExpr(e.Length)
+		if !isNumeric(lt) {
+			ck.errorf(e.Pos, "array length must be int, found %s", lt)
+		}
+		elem := ck.resolveType(e.Elem)
+		return &ArrayType{Elem: elem}
+	case *Cast:
+		et := ck.checkExpr(e.E)
+		sym, ok := ck.out.ByName[e.Class]
+		if !ok {
+			ck.errorf(e.Pos, "cast to unknown class %s", e.Class)
+			return PrimType(TypeNull)
+		}
+		if !IsRefType(et) {
+			ck.errorf(e.Pos, "cannot cast %s to %s", et, e.Class)
+		}
+		return sym.Type
+	case *Binary:
+		return ck.checkBinary(e)
+	case *Unary:
+		t := ck.checkExpr(e.E)
+		switch e.Op {
+		case TokMinus:
+			if !isNumeric(t) {
+				ck.errorf(e.Pos, "operator - requires int, found %s", t)
+			}
+			return PrimType(TypeInt)
+		case TokBang:
+			if !sameType(t, PrimType(TypeBool)) {
+				ck.errorf(e.Pos, "operator ! requires bool, found %s", t)
+			}
+			return PrimType(TypeBool)
+		}
+	}
+	ck.errorf(e.Position(), "internal: unhandled expression %T", e)
+	return PrimType(TypeInt)
+}
+
+func (ck *checker) checkIdent(e *Ident) Type {
+	if ls := ck.lookupLocal(e.Name); ls != nil {
+		ck.out.Idents[e] = &IdentInfo{Kind: RefLocal, Local: ls}
+		return ls.Type
+	}
+	if fs := ck.curClass.LookupField(e.Name); fs != nil {
+		ck.checkVisible(e.Pos, fs.Vis, fs.Owner, fs.Name)
+		if fs.Static {
+			ck.out.Idents[e] = &IdentInfo{Kind: RefStatic, Field: fs}
+			return fs.Type
+		}
+		if ck.curMethod != nil && ck.curMethod.Static {
+			ck.errorf(e.Pos, "instance field %s cannot be used in a static context", e.Name)
+		}
+		ck.out.Idents[e] = &IdentInfo{Kind: RefField, Field: fs}
+		return fs.Type
+	}
+	if sym, ok := ck.out.ByName[e.Name]; ok {
+		ck.out.Idents[e] = &IdentInfo{Kind: RefClass, Class: sym}
+		return sym.Type // only meaningful as a qualifier
+	}
+	ck.errorf(e.Pos, "undefined name %s", e.Name)
+	ck.out.Idents[e] = &IdentInfo{Kind: RefLocal, Local: &LocalSym{Name: e.Name, Type: PrimType(TypeInt)}}
+	return PrimType(TypeInt)
+}
+
+func (ck *checker) checkVisible(pos Pos, vis bytecode.Visibility, owner *ClassSym, name string) {
+	if vis == bytecode.VisPrivate && owner != ck.curClass {
+		ck.errorf(pos, "%s.%s is private", owner.Name, name)
+	}
+}
+
+func (ck *checker) checkFieldAccess(e *FieldAccess) Type {
+	// Static access through a class name?
+	if id, ok := e.Obj.(*Ident); ok {
+		if ck.lookupLocal(id.Name) == nil && ck.curClass.LookupField(id.Name) == nil {
+			if sym, isClass := ck.out.ByName[id.Name]; isClass {
+				ck.out.Idents[id] = &IdentInfo{Kind: RefClass, Class: sym}
+				ck.out.ExprTypes[id] = sym.Type
+				fs := sym.LookupField(e.Name)
+				if fs == nil || !fs.Static {
+					ck.errorf(e.Pos, "class %s has no static field %s", sym.Name, e.Name)
+					return PrimType(TypeInt)
+				}
+				ck.checkVisible(e.Pos, fs.Vis, fs.Owner, fs.Name)
+				ck.out.FieldAccs[e] = &FieldInfo{Field: fs}
+				return fs.Type
+			}
+		}
+	}
+	ot := ck.checkExpr(e.Obj)
+	if _, isArr := ot.(*ArrayType); isArr && e.Name == "length" {
+		ck.out.FieldAccs[e] = &FieldInfo{ArrayLen: true}
+		return PrimType(TypeInt)
+	}
+	ct, ok := ot.(*ClassType)
+	if !ok {
+		ck.errorf(e.Pos, "cannot access field %s of %s", e.Name, ot)
+		return PrimType(TypeInt)
+	}
+	fs := ct.Sym.LookupField(e.Name)
+	if fs == nil {
+		ck.errorf(e.Pos, "class %s has no field %s", ct.Sym.Name, e.Name)
+		return PrimType(TypeInt)
+	}
+	if fs.Static {
+		ck.errorf(e.Pos, "static field %s must be accessed through class %s", e.Name, fs.Owner.Name)
+	}
+	ck.checkVisible(e.Pos, fs.Vis, fs.Owner, fs.Name)
+	ck.out.FieldAccs[e] = &FieldInfo{Field: fs}
+	return fs.Type
+}
+
+func (ck *checker) checkCall(e *Call) Type {
+	var argTypes []Type
+	checkArgs := func() {
+		for _, a := range e.Args {
+			argTypes = append(argTypes, ck.checkExpr(a))
+		}
+	}
+
+	if e.Recv == nil {
+		// Bare call: method of the enclosing class, else a builtin.
+		if ms := ck.curClass.LookupMethod(e.Name); ms != nil && !ms.IsCtor {
+			checkArgs()
+			ck.matchParams(e.Pos, ms, argTypes)
+			info := &CallInfo{Method: ms}
+			if ms.Static {
+				info.Kind = CallStatic
+			} else {
+				info.Kind = CallVirtual
+				info.RecvClass = ck.curClass
+				info.ImplicitThis = true
+				if ck.curMethod != nil && ck.curMethod.Static {
+					ck.errorf(e.Pos, "instance method %s cannot be called from a static context", e.Name)
+				}
+			}
+			ck.out.Calls[e] = info
+			return ms.Return
+		}
+		if b, ok := bytecode.BuiltinByName(e.Name); ok {
+			checkArgs()
+			ret := ck.checkBuiltin(e, b, argTypes)
+			ck.out.Calls[e] = &CallInfo{Kind: CallBuiltin, Builtin: b}
+			return ret
+		}
+		ck.errorf(e.Pos, "undefined method %s", e.Name)
+		checkArgs()
+		return PrimType(TypeInt)
+	}
+
+	// Static call through a class name?
+	if id, ok := e.Recv.(*Ident); ok {
+		if ck.lookupLocal(id.Name) == nil && ck.curClass.LookupField(id.Name) == nil {
+			if sym, isClass := ck.out.ByName[id.Name]; isClass {
+				ck.out.Idents[id] = &IdentInfo{Kind: RefClass, Class: sym}
+				ck.out.ExprTypes[id] = sym.Type
+				ms := sym.LookupMethod(e.Name)
+				if ms == nil || !ms.Static {
+					ck.errorf(e.Pos, "class %s has no static method %s", sym.Name, e.Name)
+					checkArgs()
+					return PrimType(TypeInt)
+				}
+				ck.checkVisible(e.Pos, ms.Vis, ms.Owner, ms.Name)
+				checkArgs()
+				ck.matchParams(e.Pos, ms, argTypes)
+				ck.out.Calls[e] = &CallInfo{Kind: CallStatic, Method: ms}
+				return ms.Return
+			}
+		}
+	}
+
+	rt := ck.checkExpr(e.Recv)
+	ct, ok := rt.(*ClassType)
+	if !ok {
+		ck.errorf(e.Pos, "cannot call method %s on %s", e.Name, rt)
+		checkArgs()
+		return PrimType(TypeInt)
+	}
+	ms := ct.Sym.LookupMethod(e.Name)
+	if ms == nil || ms.IsCtor {
+		ck.errorf(e.Pos, "class %s has no method %s", ct.Sym.Name, e.Name)
+		checkArgs()
+		return PrimType(TypeInt)
+	}
+	if ms.Static {
+		ck.errorf(e.Pos, "static method %s must be called through class %s", e.Name, ms.Owner.Name)
+	}
+	ck.checkVisible(e.Pos, ms.Vis, ms.Owner, ms.Name)
+	checkArgs()
+	ck.matchParams(e.Pos, ms, argTypes)
+	ck.out.Calls[e] = &CallInfo{Kind: CallVirtual, Method: ms, RecvClass: ct.Sym}
+	return ms.Return
+}
+
+func (ck *checker) matchParams(pos Pos, ms *MethodSym, args []Type) {
+	if len(args) != len(ms.Params) {
+		ck.errorf(pos, "method %s expects %d arguments, got %d", ms.QualifiedName(), len(ms.Params), len(args))
+		return
+	}
+	for i, pt := range ms.Params {
+		if !ck.assignable(pt, args[i]) {
+			ck.errorf(pos, "argument %d of %s: cannot pass %s as %s", i+1, ms.QualifiedName(), args[i], pt)
+		}
+	}
+}
+
+func (ck *checker) checkBuiltin(e *Call, b bytecode.Builtin, args []Type) Type {
+	stringType := func() Type {
+		if sym, ok := ck.out.ByName["String"]; ok {
+			return sym.Type
+		}
+		return PrimType(TypeNull)
+	}
+	expect := func(want ...Type) {
+		if len(args) != len(want) {
+			ck.errorf(e.Pos, "builtin %s expects %d arguments, got %d", b, len(want), len(args))
+			return
+		}
+		for i, w := range want {
+			if w == nil {
+				continue // any array
+			}
+			if !ck.assignable(w, args[i]) {
+				ck.errorf(e.Pos, "builtin %s argument %d: cannot pass %s as %s", b, i+1, args[i], w)
+			}
+		}
+	}
+	intT := PrimType(TypeInt)
+	switch b {
+	case bytecode.BuiltinPrint, bytecode.BuiltinPrintln, bytecode.BuiltinAbort:
+		expect(stringType())
+		return PrimType(TypeVoid)
+	case bytecode.BuiltinPrintInt, bytecode.BuiltinSeedRandom:
+		expect(intT)
+		return PrimType(TypeVoid)
+	case bytecode.BuiltinRandom:
+		expect(intT)
+		return intT
+	case bytecode.BuiltinHash:
+		expect(stringType())
+		return intT
+	case bytecode.BuiltinStringEquals:
+		expect(stringType(), stringType())
+		return PrimType(TypeBool)
+	case bytecode.BuiltinTicks:
+		expect()
+		return intT
+	case bytecode.BuiltinGC:
+		expect()
+		return PrimType(TypeVoid)
+	case bytecode.BuiltinArrayCopy:
+		if len(args) != 5 {
+			ck.errorf(e.Pos, "arraycopy expects (src, srcPos, dst, dstPos, len)")
+			return PrimType(TypeVoid)
+		}
+		sa, ok1 := args[0].(*ArrayType)
+		da, ok2 := args[2].(*ArrayType)
+		if !ok1 || !ok2 {
+			ck.errorf(e.Pos, "arraycopy requires array arguments")
+		} else if !sameType(sa, da) {
+			ck.errorf(e.Pos, "arraycopy element types differ: %s vs %s", sa, da)
+		}
+		for _, i := range []int{1, 3, 4} {
+			if !isNumeric(args[i]) {
+				ck.errorf(e.Pos, "arraycopy argument %d must be int", i+1)
+			}
+		}
+		return PrimType(TypeVoid)
+	}
+	ck.errorf(e.Pos, "internal: unchecked builtin %s", b)
+	return PrimType(TypeVoid)
+}
+
+func (ck *checker) checkNew(e *New) Type {
+	sym, ok := ck.out.ByName[e.Class]
+	if !ok {
+		ck.errorf(e.Pos, "unknown class %s", e.Class)
+		for _, a := range e.Args {
+			ck.checkExpr(a)
+		}
+		return PrimType(TypeNull)
+	}
+	ck.out.NewClasses[e] = sym
+	ctor := sym.Methods["<init>"]
+	var argTypes []Type
+	for _, a := range e.Args {
+		argTypes = append(argTypes, ck.checkExpr(a))
+	}
+	if ctor.Decl == nil && len(argTypes) > 0 {
+		ck.errorf(e.Pos, "class %s has no constructor taking %d arguments", sym.Name, len(argTypes))
+	} else if ctor.Decl != nil {
+		ck.checkVisible(e.Pos, ctor.Vis, ctor.Owner, "<init>")
+		ck.matchParams(e.Pos, ctor, argTypes)
+	}
+	ck.out.NewCtors[e] = ctor
+	return sym.Type
+}
+
+func (ck *checker) checkBinary(e *Binary) Type {
+	lt := ck.checkExpr(e.L)
+	rt := ck.checkExpr(e.R)
+	boolT := PrimType(TypeBool)
+	intT := PrimType(TypeInt)
+	switch e.Op {
+	case TokAndAnd, TokOrOr:
+		if !sameType(lt, boolT) || !sameType(rt, boolT) {
+			ck.errorf(e.Pos, "logical operator requires bool operands, found %s and %s", lt, rt)
+		}
+		return boolT
+	case TokPlus, TokMinus, TokStar, TokSlash, TokPercent:
+		if !isNumeric(lt) || !isNumeric(rt) {
+			ck.errorf(e.Pos, "arithmetic requires int operands, found %s and %s", lt, rt)
+		}
+		return intT
+	case TokLt, TokLe, TokGt, TokGe:
+		if !isNumeric(lt) || !isNumeric(rt) {
+			ck.errorf(e.Pos, "comparison requires int operands, found %s and %s", lt, rt)
+		}
+		return boolT
+	case TokEq, TokNe:
+		switch {
+		case isNumeric(lt) && isNumeric(rt):
+		case sameType(lt, boolT) && sameType(rt, boolT):
+		case IsRefType(lt) && IsRefType(rt):
+			if !ck.assignable(lt, rt) && !ck.assignable(rt, lt) {
+				ck.errorf(e.Pos, "incompatible reference comparison: %s and %s", lt, rt)
+			}
+		default:
+			ck.errorf(e.Pos, "cannot compare %s and %s", lt, rt)
+		}
+		return boolT
+	}
+	ck.errorf(e.Pos, "internal: unhandled binary operator %s", e.Op)
+	return intT
+}
+
+// blockReturns reports whether every path through b ends in return/throw.
+func blockReturns(b *Block) bool {
+	for _, s := range b.Stmts {
+		if stmtReturns(s) {
+			return true
+		}
+	}
+	return false
+}
+
+func stmtReturns(s Stmt) bool {
+	switch s := s.(type) {
+	case *Return, *Throw:
+		return true
+	case *Block:
+		return blockReturns(s)
+	case *If:
+		return s.Else != nil && stmtReturns(s.Then) && stmtReturns(s.Else)
+	case *Try:
+		return blockReturns(s.Body) && blockReturns(s.Catch)
+	case *Sync:
+		return blockReturns(s.Body)
+	case *While:
+		// `while (true)` with no break never falls through.
+		if lit, ok := s.Cond.(*BoolLit); ok && lit.V {
+			return !containsBreak(s.Body)
+		}
+	}
+	return false
+}
+
+func containsBreak(s Stmt) bool {
+	switch s := s.(type) {
+	case *Break:
+		return true
+	case *Block:
+		for _, inner := range s.Stmts {
+			if containsBreak(inner) {
+				return true
+			}
+		}
+	case *If:
+		if containsBreak(s.Then) {
+			return true
+		}
+		if s.Else != nil && containsBreak(s.Else) {
+			return true
+		}
+	case *Try:
+		return containsBreak(s.Body) || containsBreak(s.Catch)
+	case *Sync:
+		return containsBreak(s.Body)
+	}
+	// Nested loops consume their own breaks.
+	return false
+}

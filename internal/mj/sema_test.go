@@ -1,0 +1,186 @@
+package mj
+
+import (
+	"strings"
+	"testing"
+)
+
+// checkSrc parses and checks a source compiled with the stdlib.
+func checkSrc(t *testing.T, src string) (*Checked, []error) {
+	t.Helper()
+	ast, perrs := ParseProgram(
+		[]string{StdlibFileName, "t.mj"},
+		map[string]string{StdlibFileName: Stdlib, "t.mj": src})
+	if len(perrs) > 0 {
+		t.Fatalf("parse: %v", perrs)
+	}
+	return Check(ast)
+}
+
+func mustCheck(t *testing.T, src string) *Checked {
+	t.Helper()
+	ck, errs := checkSrc(t, src)
+	if len(errs) > 0 {
+		t.Fatalf("check errors: %v", errs)
+	}
+	return ck
+}
+
+func wantError(t *testing.T, src, fragment string) {
+	t.Helper()
+	_, errs := checkSrc(t, src)
+	for _, e := range errs {
+		if strings.Contains(e.Error(), fragment) {
+			return
+		}
+	}
+	t.Errorf("no error containing %q; got %v", fragment, errs)
+}
+
+func TestSemaTypeErrors(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{`class M { static void main() { int x = true; } }`, "cannot initialize"},
+		{`class M { static void main() { bool b = 3; } }`, "cannot initialize"},
+		{`class M { static void main() { if (1) { } } }`, "condition must be bool"},
+		{`class M { static void main() { undefined(); } }`, "undefined method"},
+		{`class M { static void main() { int y = nope; } }`, "undefined name"},
+		{`class M { static int f() { } static void main() { } }`, "missing return"},
+		{`class M { static void main() { return 5; } }`, "cannot return a value"},
+		{`class M { static int f() { return; } static void main() { } }`, "must return"},
+		{`class A { } class M { static void main() { A a = new A(); int x = a + 1; } }`, "arithmetic requires int"},
+		{`class M { static void main() { throw new Object(); } }`, "not a subclass of Throwable"},
+		{`class M { static void main() { break; } }`, "break outside a loop"},
+		{`class M { static void main() { int x; int x; } }`, "duplicate local"},
+		{`class M { int f; int f; static void main() { } }`, "duplicate field"},
+		{`class M { void f() { } int f() { return 1; } static void main() { } }`, "duplicate method"},
+		{`class A extends B { } class B extends A { } class M { static void main() { } }`, "inheritance cycle"},
+		{`class A extends Nope { } class M { static void main() { } }`, "unknown class"},
+		{`class M { static void main() { this.go(); } void go() { } }`, "this cannot appear in a static context"},
+		{`class A { private int p; } class M { static void main() { A a = new A(); printInt(a.p); } }`, "is private"},
+		{`class M { static void main() { int[] a = new int[3]; a.length = 5; } }`, "cannot assign to array length"},
+	}
+	for _, c := range cases {
+		wantError(t, c.src, c.want)
+	}
+}
+
+func TestSemaResolution(t *testing.T) {
+	ck := mustCheck(t, `
+class Base {
+    int shared;
+    int get() { return shared; }
+}
+class Derived extends Base {
+    int extra;
+    int get() { return shared + extra; }
+    int sum() { return get(); }
+}
+class M { static void main() { printInt(new Derived().sum()); } }`)
+	base := ck.ByName["Base"]
+	derived := ck.ByName["Derived"]
+	if derived.Super != base {
+		t.Fatal("Derived.Super != Base")
+	}
+	// Field slot layout: shared at 0, extra after inherited slots.
+	if base.Fields["shared"].Slot != 0 {
+		t.Errorf("shared slot = %d", base.Fields["shared"].Slot)
+	}
+	if derived.Fields["extra"].Slot != 1 {
+		t.Errorf("extra slot = %d", derived.Fields["extra"].Slot)
+	}
+	// Override shares the vtable index.
+	if base.Methods["get"].VIndex != derived.Methods["get"].VIndex {
+		t.Errorf("override vindex: %d vs %d",
+			base.Methods["get"].VIndex, derived.Methods["get"].VIndex)
+	}
+	if derived.Methods["sum"].VIndex == derived.Methods["get"].VIndex {
+		t.Error("distinct methods share a vtable index")
+	}
+}
+
+func TestSemaImplicitObjectRoot(t *testing.T) {
+	ck := mustCheck(t, `
+class Standalone { int x; }
+class M { static void main() { Object o = new Standalone(); } }`)
+	sa := ck.ByName["Standalone"]
+	if sa.Super == nil || sa.Super.Name != "Object" {
+		t.Fatalf("Standalone super = %v, want Object", sa.Super)
+	}
+}
+
+func TestSemaFinalizerDetection(t *testing.T) {
+	ck := mustCheck(t, `
+class Watched {
+    void finalize() { }
+}
+class Child extends Watched { }
+class Plain { }
+class M { static void main() { } }`)
+	if !ck.ByName["Watched"].Finalizable {
+		t.Error("Watched should be finalizable")
+	}
+	if !ck.ByName["Child"].Finalizable {
+		t.Error("Child inherits the finalizer")
+	}
+	if ck.ByName["Plain"].Finalizable {
+		t.Error("Plain should not be finalizable")
+	}
+}
+
+func TestSemaVisibilityRecorded(t *testing.T) {
+	ck := mustCheck(t, `
+class A {
+    private int p;
+    protected int q;
+    public int r;
+    int s;
+    static void main() { }
+}`)
+	a := ck.ByName["A"]
+	if a.Fields["p"].Vis.String() != "private" ||
+		a.Fields["q"].Vis.String() != "protected" ||
+		a.Fields["r"].Vis.String() != "public" ||
+		a.Fields["s"].Vis.String() != "package" {
+		t.Errorf("visibility: p=%v q=%v r=%v s=%v",
+			a.Fields["p"].Vis, a.Fields["q"].Vis, a.Fields["r"].Vis, a.Fields["s"].Vis)
+	}
+}
+
+func TestSemaCharIntRelaxation(t *testing.T) {
+	mustCheck(t, `
+class M {
+    static void main() {
+        char c = 'a';
+        int i = c;
+        c = i + 1;
+        char[] buf = new char[4];
+        buf[0] = 65;
+        int x = buf[0] + c;
+        printInt(x);
+    }
+}`)
+}
+
+func TestSemaWhileTrueReturns(t *testing.T) {
+	// while(true) without break satisfies definite return.
+	mustCheck(t, `
+class M {
+    static int spin(int n) {
+        while (true) {
+            if (n > 3) { return n; }
+            n = n + 1;
+        }
+    }
+    static void main() { printInt(spin(0)); }
+}`)
+	// while(true) WITH break falls through: must error.
+	wantError(t, `
+class M {
+    static int spin(int n) {
+        while (true) {
+            break;
+        }
+    }
+    static void main() { }
+}`, "missing return")
+}

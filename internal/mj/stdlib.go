@@ -1,0 +1,100 @@
+package mj
+
+import "dragprof/internal/bytecode"
+
+// Stdlib is the MiniJava core runtime library: the implicit Object root,
+// String (a char-array wrapper, as in the JDK the paper profiles, where
+// java.util.String's character array shows up as a top drag site), and the
+// Throwable hierarchy including the exception classes the VM raises itself.
+//
+// Programs compiled with CompileWithStdlib get these classes prepended.
+// Collection classes (Vector, HashTable) live with the benchmarks, which
+// profile and rewrite them the way the paper rewrites JDK code.
+const Stdlib = `
+class Object {
+    Object() { }
+}
+
+class String {
+    char[] chars;
+
+    String() { }
+
+    int length() {
+        if (chars == null) { return 0; }
+        return chars.length;
+    }
+
+    char charAt(int i) {
+        return chars[i];
+    }
+
+    bool equals(String other) {
+        return stringEquals(this, other);
+    }
+
+    int hashCode() {
+        return hash(this);
+    }
+}
+
+class Throwable {
+    String message;
+
+    Throwable(String m) { message = m; }
+
+    String getMessage() { return message; }
+}
+
+class Exception extends Throwable {
+    Exception(String m) { message = m; }
+}
+
+class RuntimeException extends Exception {
+    RuntimeException(String m) { message = m; }
+}
+
+class NullPointerException extends RuntimeException {
+    NullPointerException(String m) { message = m; }
+}
+
+class IndexOutOfBoundsException extends RuntimeException {
+    IndexOutOfBoundsException(String m) { message = m; }
+}
+
+class ArithmeticException extends RuntimeException {
+    ArithmeticException(String m) { message = m; }
+}
+
+class NegativeArraySizeException extends RuntimeException {
+    NegativeArraySizeException(String m) { message = m; }
+}
+
+class ClassCastException extends RuntimeException {
+    ClassCastException(String m) { message = m; }
+}
+
+class Error extends Throwable {
+    Error(String m) { message = m; }
+}
+
+class OutOfMemoryError extends Error {
+    OutOfMemoryError(String m) { message = m; }
+}
+`
+
+// StdlibFileName names the synthetic stdlib source in diagnostics.
+const StdlibFileName = "<stdlib>"
+
+// CompileWithStdlib compiles the named sources with the core runtime
+// library prepended. Sources are compiled in the given order after the
+// stdlib, which fixes static-initializer ordering.
+func CompileWithStdlib(names []string, sources map[string]string) (*bytecode.Program, *Checked, error) {
+	allNames := append([]string{StdlibFileName}, names...)
+	all := make(map[string]string, len(sources)+1)
+	for k, v := range sources {
+		all[k] = v
+	}
+	all[StdlibFileName] = Stdlib
+	return CompileSources(allNames, all)
+}

@@ -1,0 +1,153 @@
+// Package mj implements the MiniJava front end: lexer, parser, semantic
+// analysis and a compiler to dragprof bytecode.
+//
+// MiniJava is the Java subset the reproduction's benchmarks are written in.
+// It has classes with single inheritance and virtual dispatch, instance and
+// static fields with access modifiers, arrays, char/int/bool primitives,
+// String objects backed by char arrays (as in the JDK the paper profiles),
+// exceptions with try/catch, synchronized blocks (monitorenter/monitorexit),
+// and finalizers — every feature the paper's instrumentation treats as an
+// object use or that its rewrites manipulate.
+package mj
+
+import "fmt"
+
+// TokenKind classifies lexical tokens.
+type TokenKind int
+
+// Token kinds.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokIntLit
+	TokCharLit
+	TokStringLit
+
+	// Keywords.
+	TokClass
+	TokExtends
+	TokIf
+	TokElse
+	TokWhile
+	TokFor
+	TokReturn
+	TokNew
+	TokNull
+	TokThis
+	TokTrue
+	TokFalse
+	TokInt
+	TokBool
+	TokChar
+	TokVoid
+	TokStatic
+	TokPublic
+	TokPrivate
+	TokProtected
+	TokThrow
+	TokTry
+	TokCatch
+	TokSynchronized
+	TokBreak
+	TokContinue
+
+	// Punctuation and operators.
+	TokPlus
+	TokMinus
+	TokStar
+	TokSlash
+	TokPercent
+	TokBang
+	TokAndAnd
+	TokOrOr
+	TokEq
+	TokNe
+	TokLt
+	TokLe
+	TokGt
+	TokGe
+	TokAssign
+	TokLParen
+	TokRParen
+	TokLBrace
+	TokRBrace
+	TokLBracket
+	TokRBracket
+	TokSemi
+	TokComma
+	TokDot
+)
+
+var tokenNames = map[TokenKind]string{
+	TokEOF: "end of file", TokIdent: "identifier", TokIntLit: "integer literal",
+	TokCharLit: "char literal", TokStringLit: "string literal",
+	TokClass: "'class'", TokExtends: "'extends'", TokIf: "'if'", TokElse: "'else'",
+	TokWhile: "'while'", TokFor: "'for'", TokReturn: "'return'", TokNew: "'new'",
+	TokNull: "'null'", TokThis: "'this'", TokTrue: "'true'", TokFalse: "'false'",
+	TokInt: "'int'", TokBool: "'bool'", TokChar: "'char'", TokVoid: "'void'",
+	TokStatic: "'static'", TokPublic: "'public'", TokPrivate: "'private'",
+	TokProtected: "'protected'", TokThrow: "'throw'", TokTry: "'try'",
+	TokCatch: "'catch'", TokSynchronized: "'synchronized'",
+	TokBreak: "'break'", TokContinue: "'continue'",
+	TokPlus: "'+'", TokMinus: "'-'", TokStar: "'*'", TokSlash: "'/'",
+	TokPercent: "'%'", TokBang: "'!'", TokAndAnd: "'&&'", TokOrOr: "'||'",
+	TokEq: "'=='", TokNe: "'!='", TokLt: "'<'", TokLe: "'<='", TokGt: "'>'",
+	TokGe: "'>='", TokAssign: "'='", TokLParen: "'('", TokRParen: "')'",
+	TokLBrace: "'{'", TokRBrace: "'}'", TokLBracket: "'['", TokRBracket: "']'",
+	TokSemi: "';'", TokComma: "','", TokDot: "'.'",
+}
+
+// String returns a human-readable token kind name.
+func (k TokenKind) String() string {
+	if s, ok := tokenNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("token(%d)", int(k))
+}
+
+var keywords = map[string]TokenKind{
+	"class": TokClass, "extends": TokExtends, "if": TokIf, "else": TokElse,
+	"while": TokWhile, "for": TokFor, "return": TokReturn, "new": TokNew,
+	"null": TokNull, "this": TokThis, "true": TokTrue, "false": TokFalse,
+	"int": TokInt, "bool": TokBool, "boolean": TokBool, "char": TokChar,
+	"void": TokVoid, "static": TokStatic, "public": TokPublic,
+	"private": TokPrivate, "protected": TokProtected, "throw": TokThrow,
+	"try": TokTry, "catch": TokCatch, "synchronized": TokSynchronized,
+	"break": TokBreak, "continue": TokContinue,
+}
+
+// Pos is a source position.
+type Pos struct {
+	File string
+	Line int
+	Col  int
+}
+
+// String renders the position as file:line:col.
+func (p Pos) String() string {
+	if p.File == "" {
+		return fmt.Sprintf("%d:%d", p.Line, p.Col)
+	}
+	return fmt.Sprintf("%s:%d:%d", p.File, p.Line, p.Col)
+}
+
+// Token is one lexical token.
+type Token struct {
+	Kind TokenKind
+	Text string // identifier spelling or literal text (decoded for strings/chars)
+	Int  int64  // value for TokIntLit and TokCharLit
+	Pos  Pos
+}
+
+// Error is a front-end diagnostic with a source position.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+func errf(pos Pos, format string, args ...any) *Error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

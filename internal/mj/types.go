@@ -1,0 +1,314 @@
+package mj
+
+import (
+	"dragprof/internal/bytecode"
+)
+
+// Type is a MiniJava semantic type.
+type Type interface {
+	String() string
+	isType()
+}
+
+// PrimType is a primitive type.
+type PrimType int
+
+// Primitive types. TypeNull is the type of the null literal, assignable to
+// any reference type.
+const (
+	TypeInt PrimType = iota
+	TypeBool
+	TypeChar
+	TypeVoid
+	TypeNull
+)
+
+func (PrimType) isType() {}
+
+// String implements Type.
+func (t PrimType) String() string {
+	switch t {
+	case TypeInt:
+		return "int"
+	case TypeBool:
+		return "bool"
+	case TypeChar:
+		return "char"
+	case TypeVoid:
+		return "void"
+	case TypeNull:
+		return "null"
+	}
+	return "?"
+}
+
+// ClassType is a reference to a class instance.
+type ClassType struct{ Sym *ClassSym }
+
+func (*ClassType) isType() {}
+
+// String implements Type.
+func (t *ClassType) String() string { return t.Sym.Name }
+
+// ArrayType is an array of Elem.
+type ArrayType struct{ Elem Type }
+
+func (*ArrayType) isType() {}
+
+// String implements Type.
+func (t *ArrayType) String() string { return t.Elem.String() + "[]" }
+
+// IsRefType reports whether values of t are heap references.
+func IsRefType(t Type) bool {
+	switch t := t.(type) {
+	case *ClassType, *ArrayType:
+		return true
+	case PrimType:
+		return t == TypeNull
+	}
+	return false
+}
+
+// isNumeric reports whether t participates in arithmetic (int or char; char
+// values widen implicitly, a documented MiniJava relaxation of Java's cast
+// requirement).
+func isNumeric(t Type) bool {
+	p, ok := t.(PrimType)
+	return ok && (p == TypeInt || p == TypeChar)
+}
+
+// ElemKindOf maps a semantic type to the array element kind that stores it.
+func ElemKindOf(t Type) bytecode.ElemKind {
+	switch t := t.(type) {
+	case PrimType:
+		switch t {
+		case TypeBool:
+			return bytecode.ElemBool
+		case TypeChar:
+			return bytecode.ElemChar
+		default:
+			return bytecode.ElemInt
+		}
+	default:
+		_ = t
+		return bytecode.ElemRef
+	}
+}
+
+// sameType reports structural type equality.
+func sameType(a, b Type) bool {
+	switch a := a.(type) {
+	case PrimType:
+		b, ok := b.(PrimType)
+		return ok && a == b
+	case *ClassType:
+		b, ok := b.(*ClassType)
+		return ok && a.Sym == b.Sym
+	case *ArrayType:
+		b, ok := b.(*ArrayType)
+		return ok && sameType(a.Elem, b.Elem)
+	}
+	return false
+}
+
+// ClassSym is the semantic symbol for a class.
+type ClassSym struct {
+	Name  string
+	Decl  *ClassDecl
+	Super *ClassSym
+	// ID is the class id in declaration order; the compiler reuses it.
+	ID int32
+	// Fields and Methods hold declared members only; lookup walks Super.
+	Fields  map[string]*FieldSym
+	Methods map[string]*MethodSym
+	// FieldOrder and MethodOrder preserve declaration order.
+	FieldOrder  []*FieldSym
+	MethodOrder []*MethodSym
+	// NumSlots counts instance slots including inherited ones.
+	NumSlots int32
+	// NumStatic counts static slots declared by this class.
+	NumStatic int32
+	// Finalizable is true when the class or an ancestor declares
+	// finalize().
+	Finalizable bool
+	// Type is the canonical ClassType for this symbol.
+	Type *ClassType
+}
+
+// IsSubclassOf reports whether c is sym or a subclass of sym.
+func (c *ClassSym) IsSubclassOf(sym *ClassSym) bool {
+	for cur := c; cur != nil; cur = cur.Super {
+		if cur == sym {
+			return true
+		}
+	}
+	return false
+}
+
+// LookupField resolves a field name, walking superclasses.
+func (c *ClassSym) LookupField(name string) *FieldSym {
+	for cur := c; cur != nil; cur = cur.Super {
+		if f, ok := cur.Fields[name]; ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// LookupMethod resolves a method name, walking superclasses.
+func (c *ClassSym) LookupMethod(name string) *MethodSym {
+	for cur := c; cur != nil; cur = cur.Super {
+		if m, ok := cur.Methods[name]; ok {
+			return m
+		}
+	}
+	return nil
+}
+
+// FieldSym is the semantic symbol for a field.
+type FieldSym struct {
+	Name   string
+	Type   Type
+	Static bool
+	Vis    bytecode.Visibility
+	// Slot is the instance slot (including inherited offset) or the
+	// static slot within the owner class.
+	Slot  int32
+	Owner *ClassSym
+	Decl  *FieldDecl
+}
+
+// MethodSym is the semantic symbol for a method or constructor.
+type MethodSym struct {
+	Name   string
+	Params []Type
+	Return Type
+	Static bool
+	IsCtor bool
+	Vis    bytecode.Visibility
+	Owner  *ClassSym
+	Decl   *MethodDecl // nil for the synthesized default constructor
+	// ID is the global method id; the compiler reuses it.
+	ID int32
+	// VIndex is the vtable index for instance methods, -1 otherwise.
+	VIndex int32
+	// Finalizer is true for void finalize() with no parameters.
+	Finalizer bool
+}
+
+// QualifiedName returns Class.method for diagnostics.
+func (m *MethodSym) QualifiedName() string { return m.Owner.Name + "." + m.Name }
+
+// LocalSym is a local variable or parameter.
+type LocalSym struct {
+	Name string
+	Type Type
+	// Slot is the frame slot, assigned during checking.
+	Slot int32
+	// IsParam marks parameters (including the receiver).
+	IsParam bool
+	Pos     Pos
+}
+
+// RefKind classifies what an identifier denotes.
+type RefKind int
+
+// Identifier reference kinds.
+const (
+	// RefLocal is a local variable or parameter.
+	RefLocal RefKind = iota
+	// RefField is an instance field accessed through the implicit this.
+	RefField
+	// RefStatic is a static field.
+	RefStatic
+	// RefClass is a class name used as a qualifier.
+	RefClass
+)
+
+// IdentInfo is the resolution of an Ident.
+type IdentInfo struct {
+	Kind  RefKind
+	Local *LocalSym
+	Field *FieldSym
+	Class *ClassSym
+}
+
+// CallKind classifies a resolved call.
+type CallKind int
+
+// Call kinds.
+const (
+	// CallVirtual dispatches through the receiver's vtable.
+	CallVirtual CallKind = iota
+	// CallStatic invokes a static method directly.
+	CallStatic
+	// CallBuiltin invokes a VM builtin.
+	CallBuiltin
+)
+
+// CallInfo is the resolution of a Call.
+type CallInfo struct {
+	Kind    CallKind
+	Method  *MethodSym
+	Builtin bytecode.Builtin
+	// RecvClass is the static receiver class for virtual calls.
+	RecvClass *ClassSym
+	// ImplicitThis marks bare instance-method calls (foo() meaning
+	// this.foo()).
+	ImplicitThis bool
+}
+
+// FieldInfo is the resolution of a FieldAccess.
+type FieldInfo struct {
+	Field *FieldSym
+	// ArrayLen marks ".length" on arrays.
+	ArrayLen bool
+}
+
+// Checked is the result of semantic analysis: the symbol tables plus
+// side-table annotations the compiler and static analyses consume.
+type Checked struct {
+	Prog    *Program
+	Classes []*ClassSym // in id order
+	ByName  map[string]*ClassSym
+	Methods []*MethodSym // in id order
+
+	ExprTypes  map[Expr]Type
+	Idents     map[*Ident]*IdentInfo
+	Calls      map[*Call]*CallInfo
+	FieldAccs  map[*FieldAccess]*FieldInfo
+	NewCtors   map[*New]*MethodSym // nil entry when using the default ctor
+	NewClasses map[*New]*ClassSym
+	Locals     map[*VarDecl]*LocalSym
+	ParamSyms  map[*MethodDecl][]*LocalSym // parallel to Params; instance methods have `this` first
+	MaxLocals  map[*MethodDecl]int
+}
+
+// TypeOf returns the checked type of an expression.
+func (c *Checked) TypeOf(e Expr) Type { return c.ExprTypes[e] }
+
+// ResolveTypeExpr converts a syntactic type to a semantic one; it returns
+// nil for unknown class names.
+func (c *Checked) ResolveTypeExpr(t TypeExpr) Type {
+	var base Type
+	switch t.Base {
+	case "int":
+		base = TypeInt
+	case "bool":
+		base = TypeBool
+	case "char":
+		base = TypeChar
+	case "void":
+		base = TypeVoid
+	default:
+		sym, ok := c.ByName[t.Base]
+		if !ok {
+			return nil
+		}
+		base = sym.Type
+	}
+	for i := 0; i < t.Dims; i++ {
+		base = &ArrayType{Elem: base}
+	}
+	return base
+}

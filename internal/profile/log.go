@@ -1,0 +1,322 @@
+package profile
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"dragprof/internal/bytecode"
+	"dragprof/internal/vm"
+)
+
+// The log format is the file interface between the tool's two phases: the
+// instrumented VM writes it as objects are reclaimed; the offline analyzer
+// reads it back. It is a line-oriented, versioned text format:
+//
+//	dragprof-log 2
+//	name <quoted>
+//	finalclock <n>
+//	gcinterval <n>
+//	classes <n>            followed by: <name-quoted>
+//	methods <n>            followed by: <qualified-name-quoted>
+//	files <n>              followed by: <method-source-file-quoted>
+//	sites <n>              followed by: <method> <line> <what-quoted> <desc-quoted>
+//	chains <n>             followed by: <parent> <method> <line>
+//	records <n>            followed by one line per trailer
+//
+// Each record line holds the trailer fields in a fixed order (see
+// writeRecord); flags is a bitmask: 1 array, 2 atexit, 4 interned.
+
+const logVersion = 2
+
+// WriteLog serializes the profile.
+func WriteLog(w io.Writer, p *Profile) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "dragprof-log %d\n", logVersion)
+	fmt.Fprintf(bw, "name %q\n", p.Name)
+	fmt.Fprintf(bw, "finalclock %d\n", p.FinalClock)
+	fmt.Fprintf(bw, "gcinterval %d\n", p.GCInterval)
+	fmt.Fprintf(bw, "classes %d\n", len(p.ClassNames))
+	for _, n := range p.ClassNames {
+		fmt.Fprintf(bw, "%q\n", n)
+	}
+	fmt.Fprintf(bw, "methods %d\n", len(p.MethodNames))
+	for _, n := range p.MethodNames {
+		fmt.Fprintf(bw, "%q\n", n)
+	}
+	fmt.Fprintf(bw, "files %d\n", len(p.MethodFiles))
+	for _, n := range p.MethodFiles {
+		fmt.Fprintf(bw, "%q\n", n)
+	}
+	fmt.Fprintf(bw, "sites %d\n", len(p.Sites))
+	for _, s := range p.Sites {
+		fmt.Fprintf(bw, "%d %d %q %q\n", s.Method, s.Line, s.What, s.Desc)
+	}
+	fmt.Fprintf(bw, "chains %d\n", len(p.ChainNodes))
+	for _, c := range p.ChainNodes {
+		fmt.Fprintf(bw, "%d %d %d\n", c.Parent, c.Method, c.Line)
+	}
+	fmt.Fprintf(bw, "records %d\n", len(p.Records))
+	for _, r := range p.Records {
+		writeRecord(bw, r)
+	}
+	return bw.Flush()
+}
+
+func writeRecord(w io.Writer, r *Record) {
+	flags := 0
+	if r.Array {
+		flags |= 1
+	}
+	if r.AtExit {
+		flags |= 2
+	}
+	if r.Interned {
+		flags |= 4
+	}
+	fmt.Fprintf(w, "%d %d %d %d %d %d %d %d %d %d %d %d %d\n",
+		r.AllocID, r.Class, int32(r.Elem), r.Size, r.Site, r.Chain,
+		r.Create, r.LastUse, r.LastUseChain, int(r.LastUseKind),
+		r.Uses, r.Collect, flags)
+}
+
+// ReadLog parses a profile previously written with WriteLog.
+func ReadLog(r io.Reader) (*Profile, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	rd := &logReader{sc: sc}
+
+	var version int
+	if err := rd.header("dragprof-log", &version); err != nil {
+		return nil, err
+	}
+	if version != logVersion {
+		return nil, fmt.Errorf("profile: unsupported log version %d", version)
+	}
+	p := &Profile{}
+	var err error
+	if p.Name, err = rd.quotedField("name"); err != nil {
+		return nil, err
+	}
+	if p.FinalClock, err = rd.intField("finalclock"); err != nil {
+		return nil, err
+	}
+	if p.GCInterval, err = rd.intField("gcinterval"); err != nil {
+		return nil, err
+	}
+
+	n, err := rd.countField("classes")
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		s, err := rd.quotedLine()
+		if err != nil {
+			return nil, err
+		}
+		p.ClassNames = append(p.ClassNames, s)
+	}
+	n, err = rd.countField("methods")
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		s, err := rd.quotedLine()
+		if err != nil {
+			return nil, err
+		}
+		p.MethodNames = append(p.MethodNames, s)
+	}
+	n, err = rd.countField("files")
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		s, err := rd.quotedLine()
+		if err != nil {
+			return nil, err
+		}
+		p.MethodFiles = append(p.MethodFiles, s)
+	}
+	n, err = rd.countField("sites")
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		line, err := rd.line()
+		if err != nil {
+			return nil, err
+		}
+		var s bytecode.Site
+		s.ID = int32(i)
+		rest := line
+		if _, err := fmt.Sscanf(rest, "%d %d", &s.Method, &s.Line); err != nil {
+			return nil, fmt.Errorf("profile: bad site line %q: %w", line, err)
+		}
+		// The two quoted fields follow the two ints.
+		idx := strings.Index(rest, `"`)
+		if idx < 0 {
+			return nil, fmt.Errorf("profile: bad site line %q", line)
+		}
+		what, n2, err := unquotePrefix(rest[idx:])
+		if err != nil {
+			return nil, fmt.Errorf("profile: bad site line %q: %w", line, err)
+		}
+		s.What = what
+		rest = strings.TrimSpace(rest[idx+n2:])
+		desc, _, err := unquotePrefix(rest)
+		if err != nil {
+			return nil, fmt.Errorf("profile: bad site line %q: %w", line, err)
+		}
+		s.Desc = desc
+		p.Sites = append(p.Sites, s)
+	}
+	n, err = rd.countField("chains")
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		line, err := rd.line()
+		if err != nil {
+			return nil, err
+		}
+		var c vm.ChainNode
+		if _, err := fmt.Sscanf(line, "%d %d %d", &c.Parent, &c.Method, &c.Line); err != nil {
+			return nil, fmt.Errorf("profile: bad chain line %q: %w", line, err)
+		}
+		p.ChainNodes = append(p.ChainNodes, c)
+	}
+	n, err = rd.countField("records")
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		line, err := rd.line()
+		if err != nil {
+			return nil, err
+		}
+		rec, err := parseRecord(line)
+		if err != nil {
+			return nil, err
+		}
+		p.Records = append(p.Records, rec)
+	}
+	return p, nil
+}
+
+func parseRecord(line string) (*Record, error) {
+	fields := strings.Fields(line)
+	if len(fields) != 13 {
+		return nil, fmt.Errorf("profile: bad record line %q (want 13 fields, got %d)", line, len(fields))
+	}
+	vals := make([]int64, 13)
+	for i, f := range fields {
+		v, err := strconv.ParseInt(f, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("profile: bad record field %q: %w", f, err)
+		}
+		vals[i] = v
+	}
+	flags := vals[12]
+	return &Record{
+		AllocID:      uint64(vals[0]),
+		Class:        int32(vals[1]),
+		Elem:         bytecode.ElemKind(vals[2]),
+		Size:         vals[3],
+		Site:         int32(vals[4]),
+		Chain:        int32(vals[5]),
+		Create:       vals[6],
+		LastUse:      vals[7],
+		LastUseChain: int32(vals[8]),
+		LastUseKind:  vm.UseKind(vals[9]),
+		Uses:         vals[10],
+		Collect:      vals[11],
+		Array:        flags&1 != 0,
+		AtExit:       flags&2 != 0,
+		Interned:     flags&4 != 0,
+	}, nil
+}
+
+// unquotePrefix unquotes a leading Go-quoted string and returns it with the
+// number of input bytes consumed.
+func unquotePrefix(s string) (string, int, error) {
+	if len(s) == 0 || s[0] != '"' {
+		return "", 0, fmt.Errorf("missing quoted string in %q", s)
+	}
+	// Scan for the closing quote, honouring backslash escapes.
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+		case '"':
+			out, err := strconv.Unquote(s[:i+1])
+			return out, i + 1, err
+		}
+	}
+	return "", 0, fmt.Errorf("unterminated quoted string in %q", s)
+}
+
+type logReader struct {
+	sc *bufio.Scanner
+}
+
+func (r *logReader) line() (string, error) {
+	if !r.sc.Scan() {
+		if err := r.sc.Err(); err != nil {
+			return "", err
+		}
+		return "", io.ErrUnexpectedEOF
+	}
+	return r.sc.Text(), nil
+}
+
+func (r *logReader) header(key string, out *int) error {
+	line, err := r.line()
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Sscanf(line, key+" %d", out); err != nil {
+		return fmt.Errorf("profile: not a dragprof log (header %q)", line)
+	}
+	return nil
+}
+
+func (r *logReader) intField(key string) (int64, error) {
+	line, err := r.line()
+	if err != nil {
+		return 0, err
+	}
+	var v int64
+	if _, err := fmt.Sscanf(line, key+" %d", &v); err != nil {
+		return 0, fmt.Errorf("profile: expected %q field, got %q", key, line)
+	}
+	return v, nil
+}
+
+func (r *logReader) countField(key string) (int, error) {
+	v, err := r.intField(key)
+	return int(v), err
+}
+
+func (r *logReader) quotedField(key string) (string, error) {
+	line, err := r.line()
+	if err != nil {
+		return "", err
+	}
+	if !strings.HasPrefix(line, key+" ") {
+		return "", fmt.Errorf("profile: expected %q field, got %q", key, line)
+	}
+	out, _, err := unquotePrefix(line[len(key)+1:])
+	return out, err
+}
+
+func (r *logReader) quotedLine() (string, error) {
+	line, err := r.line()
+	if err != nil {
+		return "", err
+	}
+	out, _, err := unquotePrefix(line)
+	return out, err
+}

@@ -1,0 +1,156 @@
+package profile
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"dragprof/internal/bytecode"
+	"dragprof/internal/vm"
+)
+
+func sampleProfile() *Profile {
+	return &Profile{
+		Name:       "sample/original/x",
+		FinalClock: 123456,
+		GCInterval: DefaultGCInterval,
+		ClassNames: []string{"Object", "String with \"quotes\""},
+		MethodNames: []string{
+			"Main.main", "Weird.\"name\"\nnewline",
+		},
+		Sites: []bytecode.Site{
+			{ID: 0, Method: 0, Line: 12, What: "int[]", Desc: `Main.main:12 (new int[])`},
+			{ID: 1, Method: -1, Line: 0, What: "NPE", Desc: "vm:<runtime>"},
+		},
+		ChainNodes: []vm.ChainNode{
+			{Parent: -1, Method: 0, Line: 12},
+			{Parent: 0, Method: 1, Line: 3},
+		},
+		Records: []*Record{
+			{AllocID: 1, Class: -1, Array: true, Elem: bytecode.ElemInt,
+				Size: 48, Site: 0, Chain: 1, Create: 100, LastUse: 200,
+				LastUseChain: 0, LastUseKind: vm.UseArray, Uses: 3, Collect: 900},
+			{AllocID: 2, Class: 1, Size: 16, Site: 1, Chain: -1,
+				Create: 150, Collect: 123456, AtExit: true, Interned: true,
+				LastUseChain: -1},
+		},
+	}
+}
+
+func TestLogRoundTripExact(t *testing.T) {
+	p := sampleProfile()
+	var buf strings.Builder
+	if err := WriteLog(&buf, p); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	q, err := ReadLog(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if q.Name != p.Name || q.FinalClock != p.FinalClock || q.GCInterval != p.GCInterval {
+		t.Errorf("header mismatch: %+v", q)
+	}
+	if len(q.ClassNames) != 2 || q.ClassNames[1] != p.ClassNames[1] {
+		t.Errorf("classes: %q", q.ClassNames)
+	}
+	if len(q.MethodNames) != 2 || q.MethodNames[1] != p.MethodNames[1] {
+		t.Errorf("methods: %q", q.MethodNames)
+	}
+	if len(q.Sites) != 2 || q.Sites[0].Desc != p.Sites[0].Desc || q.Sites[0].Line != 12 {
+		t.Errorf("sites: %+v", q.Sites)
+	}
+	if len(q.ChainNodes) != 2 || q.ChainNodes[1] != p.ChainNodes[1] {
+		t.Errorf("chains: %+v", q.ChainNodes)
+	}
+	if len(q.Records) != 2 {
+		t.Fatalf("records: %d", len(q.Records))
+	}
+	if *q.Records[0] != *p.Records[0] || *q.Records[1] != *p.Records[1] {
+		t.Errorf("records differ:\n%+v\n%+v", *q.Records[0], *p.Records[0])
+	}
+}
+
+func TestLogRecordRoundTripProperty(t *testing.T) {
+	f := func(id uint32, class int16, size uint16, create, lastUse uint32, flags uint8) bool {
+		r := &Record{
+			AllocID:      uint64(id),
+			Class:        int32(class),
+			Size:         int64(size),
+			Site:         0,
+			Chain:        -1,
+			Create:       int64(create),
+			LastUse:      int64(lastUse),
+			LastUseChain: -1,
+			Collect:      int64(create) + int64(lastUse),
+			Array:        flags&1 != 0,
+			AtExit:       flags&2 != 0,
+			Interned:     flags&4 != 0,
+		}
+		p := &Profile{Name: "q", Records: []*Record{r},
+			Sites: []bytecode.Site{{ID: 0, Desc: "d", What: "w"}}}
+		var buf strings.Builder
+		if err := WriteLog(&buf, p); err != nil {
+			return false
+		}
+		q, err := ReadLog(strings.NewReader(buf.String()))
+		if err != nil || len(q.Records) != 1 {
+			return false
+		}
+		return *q.Records[0] == *r
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadLogRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",
+		"not a log\n",
+		"dragprof-log 99\n",
+		"dragprof-log 1\nname \"x\"\nfinalclock notanumber\n",
+	}
+	for _, src := range cases {
+		if _, err := ReadLog(strings.NewReader(src)); err == nil {
+			t.Errorf("no error for %q", src)
+		}
+	}
+}
+
+func TestRecordIntervalIdentities(t *testing.T) {
+	// Figure 1's invariant: in-use + drag = lifetime, with never-used
+	// objects dragging for their entire lifetime.
+	used := &Record{Create: 100, LastUse: 300, Collect: 700, Size: 8}
+	if used.InUseTime() != 200 || used.DragTime() != 400 || used.LifeTime() != 600 {
+		t.Errorf("used: inuse=%d drag=%d life=%d", used.InUseTime(), used.DragTime(), used.LifeTime())
+	}
+	if used.Drag() != 8*400 {
+		t.Errorf("drag product = %d", used.Drag())
+	}
+	never := &Record{Create: 100, Collect: 700, Size: 8, LastUseChain: -1}
+	if never.Used() || never.InUseTime() != 0 || never.DragTime() != 600 {
+		t.Errorf("never: used=%v inuse=%d drag=%d", never.Used(), never.InUseTime(), never.DragTime())
+	}
+}
+
+func TestReportedExcludesInterned(t *testing.T) {
+	p := sampleProfile()
+	reported := p.Reported()
+	if len(reported) != 1 || reported[0].AllocID != 1 {
+		t.Errorf("reported = %+v", reported)
+	}
+}
+
+func TestChainDesc(t *testing.T) {
+	p := sampleProfile()
+	full := p.ChainDesc(1, 0)
+	if full != "Main.main:12 > Weird.\"name\"\nnewline:3" {
+		t.Errorf("full chain = %q", full)
+	}
+	if got := p.ChainDesc(1, 1); !strings.Contains(got, ":3") || strings.Contains(got, "Main.main") {
+		t.Errorf("depth-1 chain = %q", got)
+	}
+	if p.ChainDesc(-1, 0) != "<top>" {
+		t.Errorf("empty chain = %q", p.ChainDesc(-1, 0))
+	}
+}

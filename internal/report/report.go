@@ -1,0 +1,204 @@
+// Package report renders text tables, CSV and ASCII charts for the
+// experiment harness and CLI tools.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a titled grid of cells.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// AddRow appends a row, formatting each cell with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+		b.WriteString(strings.Repeat("=", len(t.Title)))
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			if i < len(widths) {
+				b.WriteString(pad(cell, widths[i]))
+			} else {
+				b.WriteString(cell)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// CSV renders the table as comma-separated values (quoted where needed).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(cell, ",\"\n") {
+				b.WriteString(fmt.Sprintf("%q", cell))
+			} else {
+				b.WriteString(cell)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Series is one named line of a chart.
+type Series struct {
+	Name   string
+	Values []float64
+	// Rune draws the series' points.
+	Rune rune
+}
+
+// Chart renders an ASCII line chart of the series over a shared x axis
+// (values are y samples at uniform x). Width and height are the plot-area
+// dimensions in characters.
+func Chart(title string, xLabel, yLabel string, series []Series, width, height int) string {
+	if width <= 0 {
+		width = 72
+	}
+	if height <= 0 {
+		height = 16
+	}
+	var maxY float64
+	maxN := 0
+	for _, s := range series {
+		for _, v := range s.Values {
+			if v > maxY {
+				maxY = v
+			}
+		}
+		if len(s.Values) > maxN {
+			maxN = len(s.Values)
+		}
+	}
+	if maxY == 0 {
+		maxY = 1
+	}
+	if maxN < 2 {
+		maxN = 2
+	}
+
+	grid := make([][]rune, height)
+	for i := range grid {
+		grid[i] = make([]rune, width)
+		for j := range grid[i] {
+			grid[i][j] = ' '
+		}
+	}
+	for _, s := range series {
+		if len(s.Values) == 0 {
+			continue
+		}
+		for x := 0; x < width; x++ {
+			// Sample the series at this column.
+			pos := float64(x) / float64(width-1) * float64(len(s.Values)-1)
+			i := int(pos)
+			v := s.Values[i]
+			if i+1 < len(s.Values) {
+				frac := pos - float64(i)
+				v = v*(1-frac) + s.Values[i+1]*frac
+			}
+			y := int((v / maxY) * float64(height-1))
+			if y < 0 {
+				y = 0
+			}
+			if y >= height {
+				y = height - 1
+			}
+			row := height - 1 - y
+			if grid[row][x] == ' ' {
+				grid[row][x] = s.Rune
+			}
+		}
+	}
+
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	fmt.Fprintf(&b, "%-10s\n", yLabel)
+	for i, row := range grid {
+		label := "        "
+		if i == 0 {
+			label = fmt.Sprintf("%7.2f ", maxY)
+		} else if i == height-1 {
+			label = fmt.Sprintf("%7.2f ", 0.0)
+		}
+		b.WriteString(label)
+		b.WriteString("|")
+		b.WriteString(string(row))
+		b.WriteByte('\n')
+	}
+	b.WriteString("        +")
+	b.WriteString(strings.Repeat("-", width))
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "         %s\n", xLabel)
+	legend := make([]string, 0, len(series))
+	for _, s := range series {
+		legend = append(legend, fmt.Sprintf("%c %s", s.Rune, s.Name))
+	}
+	fmt.Fprintf(&b, "         legend: %s\n", strings.Join(legend, "   "))
+	return b.String()
+}

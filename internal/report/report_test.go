@@ -1,0 +1,73 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tbl := &Table{
+		Title:   "Demo",
+		Columns: []string{"Name", "Value"},
+	}
+	tbl.AddRow("short", 1)
+	tbl.AddRow("a-much-longer-name", 123456)
+	tbl.AddRow("pi", 3.14159)
+	out := tbl.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Title, underline, header, separator, 3 rows.
+	if len(lines) != 7 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "Demo") {
+		t.Errorf("title line = %q", lines[0])
+	}
+	// Column positions align: "Value" column starts at the same offset
+	// in header and rows.
+	off := strings.Index(lines[2], "Value")
+	if off < 0 {
+		t.Fatal("no Value header")
+	}
+	if !strings.HasPrefix(lines[4][off:], "1") {
+		t.Errorf("row misaligned: %q", lines[4])
+	}
+	if !strings.Contains(out, "3.14") {
+		t.Errorf("float formatting: %s", out)
+	}
+}
+
+func TestCSVQuoting(t *testing.T) {
+	tbl := &Table{Columns: []string{"a", "b"}}
+	tbl.AddRow(`with,comma`, `with "quote"`)
+	tbl.AddRow("plain", 7)
+	csv := tbl.CSV()
+	if !strings.Contains(csv, `"with,comma"`) {
+		t.Errorf("comma not quoted: %s", csv)
+	}
+	if !strings.Contains(csv, `plain,7`) {
+		t.Errorf("plain row mangled: %s", csv)
+	}
+}
+
+func TestChartRendersAllSeries(t *testing.T) {
+	out := Chart("demo", "time", "MB", []Series{
+		{Name: "up", Values: []float64{0, 1, 2, 3, 4}, Rune: '#'},
+		{Name: "down", Values: []float64{4, 3, 2, 1, 0}, Rune: 'o'},
+	}, 40, 10)
+	if !strings.Contains(out, "#") || !strings.Contains(out, "o") {
+		t.Errorf("series marks missing:\n%s", out)
+	}
+	if !strings.Contains(out, "legend: # up   o down") {
+		t.Errorf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "4.00") || !strings.Contains(out, "0.00") {
+		t.Errorf("axis labels missing:\n%s", out)
+	}
+}
+
+func TestChartEmptySeries(t *testing.T) {
+	out := Chart("empty", "x", "y", []Series{{Name: "none", Rune: '.'}}, 20, 5)
+	if out == "" {
+		t.Fatal("empty chart output")
+	}
+}

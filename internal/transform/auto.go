@@ -1,0 +1,128 @@
+package transform
+
+import (
+	"fmt"
+
+	"dragprof/internal/bytecode"
+	"dragprof/internal/drag"
+)
+
+// Action records one transformation the driver applied or rejected.
+type Action struct {
+	// Site is the allocation site targeted.
+	Site int32
+	// SiteDesc is its printable description.
+	SiteDesc string
+	// Strategy is "dead-code removal", "lazy allocation" or "assign null".
+	Strategy string
+	// Applied is false when a validation rejected the rewrite; Reason
+	// then explains why.
+	Applied bool
+	Reason  string
+}
+
+// AutoTransform is the profile-guided optimizer the paper projects: it
+// walks the drag report's allocation sites in decreasing-drag order,
+// matches each site's lifetime pattern to a rewrite, validates the rewrite
+// with the static analyses, and applies it to the bytecode. maxSites bounds
+// how many sites are attempted (the "drag-hot" guidance of Section 1.2
+// that keeps whole-program analysis affordable).
+//
+// The program is modified in place; it re-verifies after transformation.
+func AutoTransform(p *bytecode.Program, report *drag.Report, maxSites int) ([]Action, error) {
+	v := NewValidator(p)
+	var actions []Action
+
+	sites := report.BySite
+	if maxSites > 0 && len(sites) > maxSites {
+		sites = sites[:maxSites]
+	}
+	for _, g := range sites {
+		if g.SiteID < 0 || g.Drag == 0 {
+			continue
+		}
+		act := Action{Site: g.SiteID, SiteDesc: g.Desc}
+		// Static analysis overrides the profile pattern when it can
+		// prove the objects unused: the paper calls never-used drag "a
+		// sure bet" for removal. (A profile may misclassify a site as
+		// large-drag when allocation inside the constructor stretches
+		// the in-use window.)
+		if g.Pattern != drag.PatternLazyAlloc && !v.Flow.SiteUsed(g.SiteID) {
+			act.Strategy = "dead-code removal"
+			if err := RemoveDeadAllocation(v, g.SiteID); err != nil {
+				act.Reason = err.Error()
+			} else {
+				act.Applied = true
+			}
+			actions = append(actions, act)
+			continue
+		}
+		switch g.Pattern {
+		case drag.PatternDeadCode:
+			act.Strategy = "dead-code removal"
+			if err := RemoveDeadAllocation(v, g.SiteID); err != nil {
+				act.Reason = err.Error()
+			} else {
+				act.Applied = true
+			}
+		case drag.PatternLazyAlloc:
+			act.Strategy = "lazy allocation"
+			owner, slot, err := fieldInitializedBySite(p, g.SiteID)
+			if err != nil {
+				act.Reason = err.Error()
+				break
+			}
+			if _, err := LazyAllocateField(v, owner, slot, g.SiteID); err != nil {
+				act.Reason = err.Error()
+			} else {
+				act.Applied = true
+			}
+		case drag.PatternAssignNull:
+			act.Strategy = "assign null"
+			n := nullifyAroundSite(p, g.SiteID)
+			if n > 0 {
+				act.Applied = true
+				act.Reason = fmt.Sprintf("%d null assignments inserted", n)
+			} else {
+				act.Reason = "no dead local holding the object found"
+			}
+		default:
+			continue
+		}
+		actions = append(actions, act)
+	}
+	if err := bytecode.Verify(p); err != nil {
+		return actions, fmt.Errorf("transform: program fails verification after rewriting: %w", err)
+	}
+	return actions, nil
+}
+
+// fieldInitializedBySite resolves the instance field a constructor-resident
+// allocation site initializes.
+func fieldInitializedBySite(p *bytecode.Program, site int32) (ownerClass, slot int32, err error) {
+	a, err := findAllocation(p, site)
+	if err != nil {
+		return 0, 0, err
+	}
+	cons := a.method.Code[a.consumer]
+	if cons.Op != bytecode.PutField {
+		return 0, 0, fmt.Errorf("transform: site %d does not initialize a field", site)
+	}
+	return cons.B, cons.A, nil
+}
+
+// nullifyAroundSite inserts null assignments after the last uses of every
+// local slot that holds the site's objects in the allocating method —
+// the automatic form of the paper's assigning-null rewrite for locals.
+func nullifyAroundSite(p *bytecode.Program, site int32) int {
+	a, err := findAllocation(p, site)
+	if err != nil {
+		return 0
+	}
+	m := a.method
+	cons := m.Code[a.consumer]
+	if cons.Op != bytecode.StoreLocal {
+		return 0
+	}
+	return InsertNullAfterLastUses(m, cons.A)
+}

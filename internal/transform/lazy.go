@@ -1,0 +1,182 @@
+package transform
+
+import (
+	"fmt"
+
+	"dragprof/internal/analysis"
+	"dragprof/internal/bytecode"
+)
+
+// LazyAllocateField applies the paper's lazy-allocation rewrite to an
+// instance field initialized in a constructor: the eager allocation is
+// removed from the constructor and a guarded accessor is synthesized; every
+// possible first use (each GetField of the slot) goes through the accessor,
+// which allocates behind a null test. This is the mechanized form of the
+// paper's jack rewrite (Section 3.4.3) with guard placement at every load —
+// the minimal-code-insertion scheme of Section 5.1.
+//
+// Validation:
+//   - the initializing constructor call must be state-independent (no
+//     parameters beyond constants, no reads of program state), so delaying
+//     it cannot change its result;
+//   - it must not throw an exception any reachable handler catches
+//     (OutOfMemoryError with no handler is acceptable, as in the paper);
+//   - the allocation must sit in the statement form `this.f = new C(...)`.
+//
+// It returns the number of field loads rerouted through the accessor.
+func LazyAllocateField(v *Validator, ownerClass int32, slot int32, site int32) (int, error) {
+	p := v.Prog
+	a, err := findAllocation(p, site)
+	if err != nil {
+		return 0, err
+	}
+	m := a.method
+	if m.Flags&bytecode.FlagCtor == 0 {
+		return 0, stmtError(m, a.allocPC, "lazy allocation requires a constructor site")
+	}
+	cons := m.Code[a.consumer]
+	if cons.Op != bytecode.PutField || cons.A != slot || cons.B != ownerClass {
+		return 0, stmtError(m, a.consumer, "site does not initialize %s.slot%d",
+			p.Classes[ownerClass].Name, slot)
+	}
+	// The lhs prefix must be exactly `this`.
+	if a.allocPC-a.lhsStart != 1 || m.Code[a.lhsStart].Op != bytecode.LoadLocal || m.Code[a.lhsStart].A != 0 {
+		return 0, stmtError(m, a.lhsStart, "receiver is not this")
+	}
+	if a.ctorPC < 0 {
+		return 0, stmtError(m, a.allocPC, "array fields are not lazily allocatable here")
+	}
+	ctor := m.Code[a.ctorPC].A
+	facts := v.Purity.Facts(ctor)
+	if !facts.StateIndependent() {
+		return 0, stmtError(m, a.allocPC, "constructor depends on program state: %+v", facts)
+	}
+	for _, exc := range facts.MayThrow {
+		if oom, ok := p.RuntimeClasses["OutOfMemoryError"]; ok && exc == oom {
+			if v.Exc.HandlerExistsFor(exc) {
+				return 0, stmtError(m, a.allocPC, "program handles OutOfMemoryError")
+			}
+			continue
+		}
+		if v.Exc.HandlerExistsFor(exc) {
+			return 0, stmtError(m, a.allocPC, "a handler exists for exception class %d", exc)
+		}
+	}
+	// Constructor arguments must be constants so the accessor can replay
+	// them.
+	for pc := a.argSpan[0]; pc < a.argSpan[1]; pc++ {
+		switch m.Code[pc].Op {
+		case bytecode.ConstInt, bytecode.ConstBool, bytecode.ConstChar, bytecode.ConstNull:
+		default:
+			return 0, stmtError(m, pc, "non-constant constructor argument %s", m.Code[pc].Op)
+		}
+	}
+	if HasJumpInto(m, a.lhsStart-1, a.consumer) {
+		return 0, stmtError(m, a.lhsStart, "jump into the initializing statement")
+	}
+
+	args := append([]bytecode.Instr(nil), m.Code[a.argSpan[0]:a.argSpan[1]]...)
+	allocInstr := m.Code[a.allocPC]
+
+	// Remove the eager initialization.
+	ed := NewEditor(m)
+	ed.NopOut(a.lhsStart, a.consumer)
+	ed.Apply()
+
+	accessor := synthesizeAccessor(p, ownerClass, slot, allocInstr, args)
+
+	// Reroute every GetField of the slot (outside the accessor) through
+	// the accessor.
+	rerouted := 0
+	for _, meth := range p.Methods {
+		if meth.ID == accessor.ID {
+			continue
+		}
+		for pc := range meth.Code {
+			in := &meth.Code[pc]
+			if in.Op == bytecode.GetField && in.A == slot && in.B == ownerClass {
+				*in = bytecode.Instr{Op: bytecode.InvokeStatic, A: accessor.ID, Line: in.Line}
+				rerouted++
+			}
+		}
+	}
+	return rerouted, nil
+}
+
+// synthesizeAccessor builds:
+//
+//	static C2 lazy$Owner$slot(Owner obj) {
+//	    if (obj.f == null) { obj.f = new C2(<constant args>); }
+//	    return obj.f;
+//	}
+func synthesizeAccessor(p *bytecode.Program, ownerClass, slot int32, alloc bytecode.Instr, args []bytecode.Instr) *bytecode.Method {
+	owner := p.Classes[ownerClass]
+	ctorClass := p.Classes[alloc.A]
+	site := int32(len(p.Sites))
+	p.Sites = append(p.Sites, bytecode.Site{
+		ID:     site,
+		Method: int32(len(p.Methods)),
+		Line:   0,
+		Desc:   fmt.Sprintf("%s.lazy$%d:0 (new %s)", owner.Name, slot, ctorClass.Name),
+		What:   ctorClass.Name,
+	})
+
+	var ctorID int32 = -1
+	for _, ms := range p.Methods {
+		if ms.Class == alloc.A && ms.Flags&bytecode.FlagCtor != 0 {
+			ctorID = ms.ID
+			break
+		}
+	}
+
+	var code []bytecode.Instr
+	emit := func(op bytecode.Op, a, b int32) {
+		code = append(code, bytecode.Instr{Op: op, A: a, B: b})
+	}
+	emit(bytecode.LoadLocal, 0, 0)
+	emit(bytecode.GetField, slot, ownerClass)
+	guard := len(code)
+	emit(bytecode.JumpIfNonNull, 0, 0) // patched below
+	emit(bytecode.LoadLocal, 0, 0)
+	emit(bytecode.NewObject, alloc.A, site)
+	emit(bytecode.Dup, 0, 0)
+	code = append(code, args...)
+	emit(bytecode.InvokeSpecial, ctorID, 0)
+	emit(bytecode.PutField, slot, ownerClass)
+	end := len(code)
+	code[guard].A = int32(end)
+	emit(bytecode.LoadLocal, 0, 0)
+	emit(bytecode.GetField, slot, ownerClass)
+	emit(bytecode.ReturnValue, 0, 0)
+
+	m := &bytecode.Method{
+		ID:        int32(len(p.Methods)),
+		Class:     ownerClass,
+		Name:      fmt.Sprintf("lazy$%d", slot),
+		NumParams: 1,
+		MaxLocals: 1,
+		Flags:     bytecode.FlagStatic,
+		Code:      code,
+	}
+	p.Methods = append(p.Methods, m)
+	return m
+}
+
+// LiveSlotFilter builds a per-(method, pc) liveness oracle suitable for
+// vm.Config.LiveSlotFilter: the collector then ignores dead local slots as
+// roots, the Agesen-style GC integration the paper cites as the automatic
+// alternative to source-level null assignment (Section 5.1).
+func LiveSlotFilter(p *bytecode.Program) func(method int32, pc int, slot int32) bool {
+	cache := make(map[int32]*analysis.Liveness)
+	return func(method int32, pc int, slot int32) bool {
+		if method < 0 || int(method) >= len(p.Methods) {
+			return true
+		}
+		lv, ok := cache[method]
+		if !ok {
+			lv = analysis.ComputeLiveness(analysis.BuildCFG(p.Methods[method]))
+			cache[method] = lv
+		}
+		return lv.LiveBefore(pc, slot)
+	}
+}

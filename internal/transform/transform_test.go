@@ -1,0 +1,297 @@
+package transform_test
+
+import (
+	"strings"
+	"testing"
+
+	"dragprof/internal/bytecode"
+	"dragprof/internal/drag"
+	"dragprof/internal/mj"
+	"dragprof/internal/profile"
+	"dragprof/internal/transform"
+	"dragprof/internal/vm"
+)
+
+func compile(t *testing.T, src string) *bytecode.Program {
+	t.Helper()
+	p, _, err := mj.CompileWithStdlib([]string{"t.mj"}, map[string]string{"t.mj": src})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return p
+}
+
+func runProg(t *testing.T, p *bytecode.Program) string {
+	t.Helper()
+	m, err := vm.New(p, vm.Config{})
+	if err != nil {
+		t.Fatalf("vm.New: %v", err)
+	}
+	if err := m.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return m.Output()
+}
+
+func profileProg(t *testing.T, p *bytecode.Program) *drag.Report {
+	t.Helper()
+	prof, _, err := profile.Run(p, "t", vm.Config{GCInterval: 8 << 10})
+	if err != nil {
+		t.Fatalf("profile: %v", err)
+	}
+	return drag.Analyze(prof, drag.Options{})
+}
+
+const leakySrc = `
+class Main {
+    static int churn(int rounds, int acc) {
+        for (int r = 0; r < rounds; r = r + 1) {
+            int[] g = new int[256];
+            g[0] = acc;
+            acc = acc + g[0];
+        }
+        return acc;
+    }
+    static void main() {
+        int[] big = new int[30000];
+        big[0] = 7;
+        int x = big[0];
+        printInt(churn(2000, x));
+    }
+}`
+
+func TestInsertNullAfterLastUses(t *testing.T) {
+	p := compile(t, leakySrc)
+	orig := runProg(t, p)
+
+	p2 := compile(t, leakySrc)
+	m := p2.MethodByName("Main", "main")
+	// Slot 0 is big (static main has no this).
+	n := transform.InsertNullAfterLastUses(m, 0)
+	if n == 0 {
+		t.Fatal("no null assignments inserted")
+	}
+	if err := bytecode.Verify(p2); err != nil {
+		t.Fatalf("verify after insert: %v", err)
+	}
+	if out := runProg(t, p2); out != orig {
+		t.Fatalf("output changed: %q vs %q", out, orig)
+	}
+
+	// Drag must shrink: the 120 KB array dies before the churn.
+	before := profileProg(t, compile(t, leakySrc))
+	after := profileProg(t, p2)
+	if after.ReachableIntegral >= before.ReachableIntegral {
+		t.Errorf("reachable integral did not shrink: %d -> %d",
+			before.ReachableIntegral, after.ReachableIntegral)
+	}
+	saved := drag.Compare(before, after)
+	if saved.SpaceSavingPct < 20 {
+		t.Errorf("space saving %.2f%%, want >= 20%%", saved.SpaceSavingPct)
+	}
+}
+
+const deadAllocSrc = `
+class Cache {
+    int[] data;
+    Cache(int n) {
+        data = new int[n];
+        data[0] = n;
+    }
+}
+class Holder {
+    static Object[] keep;
+}
+class Main {
+    static void main() {
+        Holder.keep = new Object[4];
+        Holder.keep[0] = new Cache(20000);
+        int acc = 0;
+        for (int r = 0; r < 1500; r = r + 1) {
+            int[] g = new int[128];
+            g[0] = r;
+            acc = acc + g[0];
+        }
+        printInt(acc);
+    }
+}`
+
+func TestRemoveDeadAllocation(t *testing.T) {
+	p := compile(t, deadAllocSrc)
+	orig := runProg(t, p)
+
+	p2 := compile(t, deadAllocSrc)
+	v := transform.NewValidator(p2)
+	var site int32 = -1
+	for _, in := range p2.MethodByName("Main", "main").Code {
+		if in.Op == bytecode.NewObject && p2.Classes[in.A].Name == "Cache" {
+			site = in.B
+		}
+	}
+	if site < 0 {
+		t.Fatal("Cache site not found")
+	}
+	if err := transform.RemoveDeadAllocation(v, site); err != nil {
+		t.Fatalf("remove: %v", err)
+	}
+	if err := bytecode.Verify(p2); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	if out := runProg(t, p2); out != orig {
+		t.Fatalf("output changed: %q vs %q", out, orig)
+	}
+	// The Cache allocation must be gone.
+	for _, in := range p2.MethodByName("Main", "main").Code {
+		if in.Op == bytecode.NewObject && p2.Classes[in.A].Name == "Cache" {
+			t.Fatal("Cache allocation still present")
+		}
+	}
+}
+
+func TestRemoveDeadAllocationRejectsUsed(t *testing.T) {
+	src := `
+class Box {
+    int v;
+    Box(int n) { v = n; }
+}
+class Main {
+    static void main() {
+        Box b = new Box(5);
+        printInt(b.v);
+    }
+}`
+	p := compile(t, src)
+	v := transform.NewValidator(p)
+	var site int32 = -1
+	for _, in := range p.MethodByName("Main", "main").Code {
+		if in.Op == bytecode.NewObject && p.Classes[in.A].Name == "Box" {
+			site = in.B
+		}
+	}
+	if err := transform.RemoveDeadAllocation(v, site); err == nil {
+		t.Fatal("removal of a used object must be rejected")
+	}
+}
+
+const lazySrc = `
+class Table {
+    int[] data;
+    Table(int n) { data = new int[n]; }
+    int size() { if (data == null) { return 0; } return data.length; }
+}
+class Widget {
+    int id;
+    Table extras;
+    Widget(int i) {
+        id = i;
+        extras = new Table(64);
+    }
+}
+class Main {
+    static void main() {
+        int total = 0;
+        Widget[] ws = new Widget[200];
+        for (int i = 0; i < 200; i = i + 1) {
+            ws[i] = new Widget(i);
+            total = total + ws[i].id;
+        }
+        // Only one widget ever touches its extras.
+        total = total + ws[7].extras.size();
+        printInt(total);
+    }
+}`
+
+func TestLazyAllocateField(t *testing.T) {
+	p := compile(t, lazySrc)
+	orig := runProg(t, p)
+
+	p2 := compile(t, lazySrc)
+	v := transform.NewValidator(p2)
+	widget := p2.ClassByName("Widget")
+	var slot int32 = -1
+	for _, fd := range widget.Fields {
+		if fd.Name == "extras" {
+			slot = fd.Slot
+		}
+	}
+	var site int32 = -1
+	ctor := p2.MethodByName("Widget", "<init>")
+	for _, in := range ctor.Code {
+		if in.Op == bytecode.NewObject && p2.Classes[in.A].Name == "Table" {
+			site = in.B
+		}
+	}
+	if slot < 0 || site < 0 {
+		t.Fatal("field or site not found")
+	}
+	rerouted, err := transform.LazyAllocateField(v, widget.ID, slot, site)
+	if err != nil {
+		t.Fatalf("lazy: %v", err)
+	}
+	if rerouted == 0 {
+		t.Fatal("no field loads rerouted")
+	}
+	if err := bytecode.Verify(p2); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	if out := runProg(t, p2); out != orig {
+		t.Fatalf("output changed: %q vs %q", out, orig)
+	}
+
+	// Count Table allocations executed: only widgets whose extras are
+	// touched should allocate now.
+	m2, _ := vm.New(p2, vm.Config{})
+	_ = m2.Run()
+	if allocs := m2.CostReport().Allocations; allocs >= 500 {
+		t.Errorf("lazy version still allocates eagerly: %d allocations", allocs)
+	}
+}
+
+func TestAutoTransformOnProfile(t *testing.T) {
+	p := compile(t, deadAllocSrc)
+	prof, _, err := profile.Run(p, "t", vm.Config{GCInterval: 8 << 10})
+	if err != nil {
+		t.Fatalf("profile: %v", err)
+	}
+	rep := drag.Analyze(prof, drag.Options{})
+
+	p2 := compile(t, deadAllocSrc)
+	actions, err := transform.AutoTransform(p2, rep, 5)
+	if err != nil {
+		t.Fatalf("auto: %v", err)
+	}
+	applied := 0
+	for _, a := range actions {
+		if a.Applied && a.Strategy == "dead-code removal" &&
+			strings.Contains(a.SiteDesc, "Cache") {
+			applied++
+		}
+	}
+	if applied == 0 {
+		t.Fatalf("expected the Cache removal to apply; actions: %+v", actions)
+	}
+	orig := runProg(t, compile(t, deadAllocSrc))
+	if out := runProg(t, p2); out != orig {
+		t.Fatalf("output changed: %q vs %q", out, orig)
+	}
+}
+
+func TestLiveSlotFilterReducesReachable(t *testing.T) {
+	// With the Agesen-style liveness filter, the dead `big` local stops
+	// being a root without any code rewrite.
+	p := compile(t, leakySrc)
+	filter := transform.LiveSlotFilter(p)
+
+	runWith := func(f func(int32, int, int32) bool) int64 {
+		prof, _, err := profile.Run(p, "t", vm.Config{GCInterval: 8 << 10, LiveSlotFilter: f})
+		if err != nil {
+			t.Fatalf("profile: %v", err)
+		}
+		return drag.Analyze(prof, drag.Options{}).ReachableIntegral
+	}
+	plain := runWith(nil)
+	filtered := runWith(filter)
+	if filtered >= plain {
+		t.Errorf("liveness-filtered roots should shrink reachable integral: %d -> %d", plain, filtered)
+	}
+}

@@ -1,0 +1,339 @@
+package transform
+
+import (
+	"fmt"
+
+	"dragprof/internal/analysis"
+	"dragprof/internal/bytecode"
+)
+
+// InsertNullAfterLastUses inserts `null -> slot` after every load of the
+// slot past which the slot is dead (the paper's assigning-null rewrite,
+// validated by liveness analysis). The insertion is stack-neutral
+// (ConstNull; StoreLocal) and sits on the fall-through edge, so paths on
+// which the slot is still live are unaffected. It returns the number of
+// insertions.
+func InsertNullAfterLastUses(m *bytecode.Method, slot int32) int {
+	lv := analysis.ComputeLiveness(analysis.BuildCFG(m))
+	lastUses := lv.LastUses(slot)
+	if len(lastUses) == 0 {
+		return 0
+	}
+	ed := NewEditor(m)
+	for _, pc := range lastUses {
+		line := m.Code[pc].Line
+		ed.InsertAfter(pc,
+			bytecode.Instr{Op: bytecode.ConstNull, Line: line},
+			bytecode.Instr{Op: bytecode.StoreLocal, A: slot, Line: line},
+		)
+	}
+	ed.Apply()
+	return len(lastUses)
+}
+
+// NullifyDeadReferenceLocals applies InsertNullAfterLastUses to every
+// non-parameter slot of the method that ever holds a reference (detected
+// syntactically from the stores feeding it). It returns total insertions.
+func NullifyDeadReferenceLocals(p *bytecode.Program, m *bytecode.Method) int {
+	refSlots := referenceSlots(p, m)
+	total := 0
+	for _, slot := range refSlots {
+		if int(slot) < m.NumParams {
+			continue // parameters belong to the caller's protocol
+		}
+		total += InsertNullAfterLastUses(m, slot)
+	}
+	return total
+}
+
+// referenceSlots finds slots that may hold references: targets of
+// StoreLocal whose stored value is syntactically a reference producer.
+func referenceSlots(p *bytecode.Program, m *bytecode.Method) []int32 {
+	isRef := make(map[int32]bool)
+	for pc, in := range m.Code {
+		if in.Op != bytecode.StoreLocal || pc == 0 {
+			continue
+		}
+		prev := m.Code[pc-1]
+		switch prev.Op {
+		case bytecode.NewObject, bytecode.NewArray, bytecode.ConstNull,
+			bytecode.ConstStr, bytecode.CheckCast:
+			isRef[in.A] = true
+		case bytecode.GetField, bytecode.GetStatic, bytecode.ArrayLoad,
+			bytecode.InvokeStatic, bytecode.InvokeVirtual, bytecode.LoadLocal:
+			// May be a reference; include conservatively — a null
+			// store into an int slot is harmless in this VM but
+			// pointless, so only include when some other evidence
+			// exists: the slot is later used as a receiver.
+			if slotUsedAsReceiver(m, in.A) {
+				isRef[in.A] = true
+			}
+		}
+	}
+	var out []int32
+	for s := range isRef {
+		out = append(out, s)
+	}
+	sortInt32s(out)
+	return out
+}
+
+// slotUsedAsReceiver reports whether a load of the slot directly feeds an
+// object operation.
+func slotUsedAsReceiver(m *bytecode.Method, slot int32) bool {
+	for pc, in := range m.Code {
+		if in.Op != bytecode.LoadLocal || in.A != slot || pc+1 >= len(m.Code) {
+			continue
+		}
+		switch m.Code[pc+1].Op {
+		case bytecode.GetField, bytecode.PutField, bytecode.ArrayLen,
+			bytecode.InvokeVirtual, bytecode.MonitorEnter, bytecode.MonitorExit:
+			return true
+		}
+	}
+	return false
+}
+
+func sortInt32s(xs []int32) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// Validator bundles the whole-program analyses the removal and lazy
+// transformations consult.
+type Validator struct {
+	Prog   *bytecode.Program
+	CG     *analysis.CallGraph
+	Flow   *analysis.Flow
+	Purity *analysis.Purity
+	Exc    *analysis.Exceptions
+}
+
+// NewValidator builds every analysis once.
+func NewValidator(p *bytecode.Program) *Validator {
+	cg := analysis.BuildCallGraph(p)
+	return &Validator{
+		Prog:   p,
+		CG:     cg,
+		Flow:   analysis.RunFlow(p, cg),
+		Purity: analysis.ComputePurity(p),
+		Exc:    analysis.ComputeExceptions(p, cg),
+	}
+}
+
+// allocation describes a matched allocation statement:
+//
+//	[lhs prep] NewObject/NewArray (Dup args InvokeSpecial)? consumer
+type allocation struct {
+	method   *bytecode.Method
+	lhsStart int // first pc of the statement (lhs prep or the alloc)
+	allocPC  int
+	ctorPC   int // -1 for arrays or synthesized default ctors
+	consumer int // pc of StoreLocal / PutField / ArrayStore / PutStatic
+	argSpan  [2]int
+}
+
+// findAllocation locates the allocation statement for a site id.
+func findAllocation(p *bytecode.Program, site int32) (*allocation, error) {
+	for _, m := range p.Methods {
+		for pc, in := range m.Code {
+			if (in.Op == bytecode.NewObject || in.Op == bytecode.NewArray) && in.B == site {
+				return matchAllocation(p, m, pc)
+			}
+		}
+	}
+	return nil, fmt.Errorf("transform: allocation site %d not found", site)
+}
+
+// matchAllocation matches the compiler's statement shapes around an
+// allocation instruction.
+func matchAllocation(p *bytecode.Program, m *bytecode.Method, allocPC int) (*allocation, error) {
+	a := &allocation{method: m, allocPC: allocPC, ctorPC: -1}
+	in := m.Code[allocPC]
+	after := allocPC + 1
+
+	if in.Op == bytecode.NewObject {
+		// NewObject; Dup; args...; InvokeSpecial
+		if after >= len(m.Code) || m.Code[after].Op != bytecode.Dup {
+			return nil, stmtError(m, allocPC, "unrecognized allocation shape (no Dup)")
+		}
+		depth := 2 // obj, obj
+		pc := after + 1
+		a.argSpan = [2]int{pc, pc}
+		for pc < len(m.Code) {
+			ins := m.Code[pc]
+			if ins.Op == bytecode.InvokeSpecial {
+				target := p.Methods[ins.A]
+				if target.Flags&bytecode.FlagCtor != 0 && depth == 1+target.NumParams {
+					a.ctorPC = pc
+					a.argSpan[1] = pc
+					break
+				}
+			}
+			pops, pushes := instrStackEffect(p, ins)
+			if isControl(ins.Op) {
+				return nil, stmtError(m, pc, "control flow inside constructor arguments")
+			}
+			depth += pushes - pops
+			pc++
+		}
+		if a.ctorPC < 0 {
+			return nil, stmtError(m, allocPC, "constructor call not found")
+		}
+		after = a.ctorPC + 1
+	} else {
+		// NewArray pops its length; the length expression precedes the
+		// allocation. The statement removal path handles it via the
+		// backward scan below.
+	}
+
+	if after >= len(m.Code) {
+		return nil, stmtError(m, allocPC, "allocation at end of method")
+	}
+	cons := m.Code[after]
+	switch cons.Op {
+	case bytecode.StoreLocal, bytecode.PutField, bytecode.ArrayStore, bytecode.PutStatic:
+		a.consumer = after
+	default:
+		return nil, stmtError(m, after, "unsupported consumer %s", cons.Op)
+	}
+
+	// Backward scan: find the start of the statement (the instructions
+	// computing the lhs receiver/index and, for arrays, the length).
+	need := 0
+	switch cons.Op {
+	case bytecode.StoreLocal:
+		need = 0
+	case bytecode.PutField, bytecode.PutStatic:
+		if cons.Op == bytecode.PutField {
+			need = 1
+		}
+	case bytecode.ArrayStore:
+		need = 2
+	}
+	if in.Op == bytecode.NewArray {
+		need++ // the length operand
+	}
+	start := allocPC
+	for need > 0 {
+		start--
+		if start < 0 {
+			return nil, stmtError(m, allocPC, "statement start not found")
+		}
+		ins := m.Code[start]
+		if isControl(ins.Op) {
+			return nil, stmtError(m, start, "control flow inside statement prefix")
+		}
+		pops, pushes := instrStackEffect(p, ins)
+		need += pops - pushes
+	}
+	a.lhsStart = start
+	return a, nil
+}
+
+func isControl(op bytecode.Op) bool {
+	switch op {
+	case bytecode.Jump, bytecode.JumpIfFalse, bytecode.JumpIfTrue,
+		bytecode.JumpIfNull, bytecode.JumpIfNonNull, bytecode.Return,
+		bytecode.ReturnValue, bytecode.Throw:
+		return true
+	}
+	return false
+}
+
+// instrStackEffect wraps the shared per-instruction stack arithmetic.
+func instrStackEffect(p *bytecode.Program, in bytecode.Instr) (pops, pushes int) {
+	switch in.Op {
+	case bytecode.Dup:
+		return 1, 2
+	case bytecode.Swap:
+		return 2, 2
+	case bytecode.NewObject:
+		return 0, 1
+	}
+	return analysis.StackEffect(p, in)
+}
+
+// pureRange verifies the instructions in [from, to) cannot observably
+// affect (or throw into) the rest of the program when removed together
+// with the allocation: constants, local loads, static reads, arithmetic
+// without division, and field reads off the receiver (`this`).
+func pureRange(m *bytecode.Method, from, to int) error {
+	for pc := from; pc < to; pc++ {
+		in := m.Code[pc]
+		switch in.Op {
+		case bytecode.ConstInt, bytecode.ConstBool, bytecode.ConstChar,
+			bytecode.ConstNull, bytecode.LoadLocal, bytecode.GetStatic,
+			bytecode.Add, bytecode.Sub, bytecode.Mul, bytecode.Neg,
+			bytecode.Not, bytecode.Dup, bytecode.Pop, bytecode.Swap,
+			bytecode.Nop,
+			bytecode.CmpEQ, bytecode.CmpNE, bytecode.CmpLT, bytecode.CmpLE,
+			bytecode.CmpGT, bytecode.CmpGE, bytecode.ArrayLen:
+		case bytecode.GetField:
+			// Safe only off the known-non-null receiver `this`.
+			if pc == 0 || m.Code[pc-1].Op != bytecode.LoadLocal || m.Code[pc-1].A != 0 || m.IsStatic() {
+				return stmtError(m, pc, "field read off a possibly-null receiver")
+			}
+		default:
+			return stmtError(m, pc, "impure or throwing instruction %s in removable statement", in.Op)
+		}
+	}
+	return nil
+}
+
+// RemoveDeadAllocation removes the allocation statement at the site: the
+// paper's dead-code-removal rewrite. Validation (Sections 3.3.2, 5):
+//
+//   - the site's objects are never used outside construction (indirect
+//     usage via the whole-program flow analysis);
+//   - the constructor is pure (writes only its own object, no statics, no
+//     opaque calls, does not leak this);
+//   - neither the constructor nor the statement can throw an exception any
+//     reachable handler could catch (precise-exception analysis);
+//   - no jump targets the removed range;
+//   - a StoreLocal consumer's slot is never loaded (the store dies too).
+func RemoveDeadAllocation(v *Validator, site int32) error {
+	a, err := findAllocation(v.Prog, site)
+	if err != nil {
+		return err
+	}
+	m := a.method
+	if v.Flow.SiteUsed(site) {
+		return stmtError(m, a.allocPC, "objects from site %d are used", site)
+	}
+	if a.ctorPC >= 0 {
+		ctor := m.Code[a.ctorPC].A
+		facts := v.Purity.Facts(ctor)
+		if !facts.Pure() {
+			return stmtError(m, a.allocPC, "constructor %d impure: %+v", ctor, facts)
+		}
+		for _, exc := range facts.MayThrow {
+			if v.Exc.HandlerExistsFor(exc) {
+				return stmtError(m, a.allocPC, "a handler exists for exception class %d the constructor may throw", exc)
+			}
+		}
+		if err := pureRange(m, a.argSpan[0], a.argSpan[1]); err != nil {
+			return err
+		}
+	}
+	if err := pureRange(m, a.lhsStart, a.allocPC); err != nil {
+		return err
+	}
+	if cons := m.Code[a.consumer]; cons.Op == bytecode.StoreLocal {
+		for _, in := range m.Code {
+			if in.Op == bytecode.LoadLocal && in.A == cons.A {
+				return stmtError(m, a.consumer, "stored local %d is loaded later", cons.A)
+			}
+		}
+	}
+	if HasJumpInto(m, a.lhsStart-1, a.consumer) {
+		return stmtError(m, a.lhsStart, "jump into the removable statement")
+	}
+	ed := NewEditor(m)
+	ed.NopOut(a.lhsStart, a.consumer)
+	ed.Apply()
+	return nil
+}

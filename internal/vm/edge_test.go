@@ -1,0 +1,240 @@
+package vm_test
+
+import (
+	"strings"
+	"testing"
+
+	"dragprof/internal/mj"
+	"dragprof/internal/vm"
+)
+
+func TestCastSuccessAndFailure(t *testing.T) {
+	out := run(t, `
+class Animal { int noise() { return 1; } }
+class Dog extends Animal { int noise() { return 2; } }
+class Cat extends Animal { int noise() { return 3; } }
+class Main {
+    static void main() {
+        Animal a = new Dog();
+        Dog d = (Dog) a;          // succeeds
+        printInt(d.noise());
+        Animal nullA = null;
+        Dog dn = (Dog) nullA;     // null passes any cast
+        if (dn == null) { println("null ok"); }
+        try {
+            Cat c = (Cat) a;      // Dog is not a Cat
+            printInt(c.noise());
+        } catch (ClassCastException e) {
+            println("caught cast");
+        }
+    }
+}`)
+	want := "2\nnull ok\ncaught cast\n"
+	if out != want {
+		t.Errorf("output = %q, want %q", out, want)
+	}
+}
+
+func TestThrowNullBecomesNPE(t *testing.T) {
+	out := run(t, `
+class Main {
+    static void main() {
+        try {
+            RuntimeException e = null;
+            throw e;
+        } catch (NullPointerException npe) {
+            println("npe");
+        }
+    }
+}`)
+	if out != "npe\n" {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestExceptionAcrossFrames(t *testing.T) {
+	out := run(t, `
+class Main {
+    static int depth3() { throw new RuntimeException("deep"); }
+    static int depth2() { return depth3() + 1; }
+    static int depth1() { return depth2() + 1; }
+    static void main() {
+        try {
+            printInt(depth1());
+        } catch (RuntimeException e) {
+            println(e.getMessage());
+        }
+        println("after");
+    }
+}`)
+	if out != "deep\nafter\n" {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestFinalizerResurrectionSemantics(t *testing.T) {
+	// A finalizer that stores this into a static resurrects the object;
+	// finalize must not run twice.
+	out := run(t, `
+class Phoenix {
+    static Phoenix saved;
+    static int finalizations;
+    void finalize() {
+        Phoenix.finalizations = Phoenix.finalizations + 1;
+        Phoenix.saved = this;
+    }
+}
+class Main {
+    static void birth() {
+        Phoenix p = new Phoenix();
+    }
+    static void main() {
+        birth();
+        gc();
+        if (Phoenix.saved != null) { println("resurrected"); }
+        Phoenix.saved = null;
+        gc();
+        gc();
+        printInt(Phoenix.finalizations);
+    }
+}`)
+	want := "resurrected\n1\n"
+	if out != want {
+		t.Errorf("output = %q, want %q", out, want)
+	}
+}
+
+func TestFinalizerThrowIsSwallowed(t *testing.T) {
+	out := run(t, `
+class Grumpy {
+    void finalize() { throw new RuntimeException("ignored"); }
+}
+class Main {
+    static void spawn() { Grumpy g = new Grumpy(); }
+    static void main() {
+        spawn();
+        gc();
+        gc();
+        println("survived finalizer throw");
+    }
+}`)
+	if out != "survived finalizer throw\n" {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestOOMPreallocatedReuse(t *testing.T) {
+	// Two separate OOM throws reuse the preallocated error instance.
+	out := run(t, `
+class Main {
+    static int fill(int[][] keep) {
+        int i = 0;
+        try {
+            while (true) {
+                keep[i % keep.length] = new int[100000];
+                i = i + 1;
+            }
+        } catch (OutOfMemoryError e) {
+            return i;
+        }
+    }
+    static void main() {
+        int[][] keep = new int[200][];
+        int a = fill(keep);
+        if (a > 0) { println("first oom"); }
+        int b = fill(keep);
+        if (b >= 0) { println("second oom"); }
+    }
+}`)
+	want := "first oom\nsecond oom\n"
+	if out != want {
+		t.Errorf("output = %q, want %q", out, want)
+	}
+}
+
+func TestStringCharAtAndBounds(t *testing.T) {
+	out := run(t, `
+class Main {
+    static void main() {
+        String s = "abc";
+        try {
+            printInt(s.charAt(10));
+        } catch (IndexOutOfBoundsException e) {
+            println("bounds");
+        }
+    }
+}`)
+	if out != "bounds\n" {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestLiveSlotFilterSoundness(t *testing.T) {
+	// An adversarial filter claiming everything dead must not crash the
+	// VM when the program only reaches objects through static fields and
+	// the operand stack (which the filter cannot suppress).
+	prog, _, err := mj.CompileWithStdlib([]string{"t.mj"}, map[string]string{"t.mj": `
+class G { static int[] keep; }
+class Main {
+    static void main() {
+        G.keep = new int[1000];
+        for (int i = 0; i < 20000; i = i + 1) {
+            int[] t = new int[64];
+            t[0] = i;
+        }
+        printInt(G.keep.length);
+    }
+}`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := vm.New(prog, vm.Config{
+		HeapCapacity: 2 << 20,
+		LiveSlotFilter: func(method int32, pc int, slot int32) bool {
+			return false // every local "dead"
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(m.Output(), "1000") {
+		t.Errorf("output = %q", m.Output())
+	}
+}
+
+func TestRecursionDepth(t *testing.T) {
+	out := run(t, `
+class Main {
+    static int down(int n) {
+        if (n == 0) { return 0; }
+        return 1 + down(n - 1);
+    }
+    static void main() {
+        printInt(down(20000));
+    }
+}`)
+	if out != "20000\n" {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestNegativeArraySize(t *testing.T) {
+	out := run(t, `
+class Main {
+    static void main() {
+        try {
+            int n = 0 - 5;
+            int[] a = new int[n];
+            printInt(a.length);
+        } catch (NegativeArraySizeException e) {
+            println("negative");
+        }
+    }
+}`)
+	if out != "negative\n" {
+		t.Errorf("output = %q", out)
+	}
+}

@@ -1,0 +1,667 @@
+package vm
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+
+	"dragprof/internal/bytecode"
+	"dragprof/internal/gc"
+	"dragprof/internal/heap"
+)
+
+// CollectorKind selects the garbage collector.
+type CollectorKind string
+
+// Collector kinds.
+const (
+	// MarkSweep is the default full-heap collector (classic JVM).
+	MarkSweep CollectorKind = "mark-sweep"
+	// MarkCompact adds a sliding compaction pass after each sweep.
+	MarkCompact CollectorKind = "mark-compact"
+	// Generational is the two-generation collector (HotSpot-style).
+	Generational CollectorKind = "generational"
+)
+
+// Config configures a VM instance.
+type Config struct {
+	// HeapCapacity is the heap size in bytes (default 48 MB, the paper's
+	// maximum heap for the SPECjvm98 runs).
+	HeapCapacity int64
+	// Collector selects the GC (default MarkSweep).
+	Collector CollectorKind
+	// NurserySize is the generational nursery budget (default 4 MB).
+	NurserySize int64
+	// GCInterval triggers a deep GC every GCInterval allocated bytes
+	// (the paper's 100 KB profiling trigger); 0 disables it.
+	GCInterval int64
+	// Out receives program output; nil captures it internally.
+	Out io.Writer
+	// Listener observes allocation and use events; nil disables events.
+	Listener Listener
+	// MaxSteps aborts runaway programs (default 4e9 instructions).
+	MaxSteps int64
+	// Seed seeds the deterministic pseudo-random builtin.
+	Seed uint64
+	// LiveSlotFilter, when non-nil, lets collectors skip dead local
+	// slots as roots: a slot is treated as a root only when the filter
+	// reports it live at the frame's current pc. This is the
+	// Agesen-style liveness/GC integration the paper cites as the
+	// automatic alternative to source-level null assignment.
+	LiveSlotFilter func(method int32, pc int, slot int32) bool
+}
+
+// DefaultHeapCapacity matches the paper's 48 MB maximum heap.
+const DefaultHeapCapacity = 48 << 20
+
+// Cost is the VM's deterministic work accounting, the basis of the
+// reproduction's Table 4 runtime comparison.
+type Cost struct {
+	// Instructions counts executed bytecode instructions.
+	Instructions int64
+	// Allocations counts objects allocated.
+	Allocations int64
+	// AllocBytes counts bytes allocated.
+	AllocBytes int64
+	// Builtins counts builtin invocations.
+	Builtins int64
+	// GC is the collector's accumulated statistics.
+	GC gc.Stats
+}
+
+// RuntimeUnits folds the cost into a single scalar: one unit per
+// instruction, ten per allocation (header setup, zeroing amortized), one
+// per eight allocated bytes, plus collector work.
+func (c Cost) RuntimeUnits() int64 {
+	return c.Instructions + 10*c.Allocations + c.AllocBytes/8 + c.GC.Work()
+}
+
+type frame struct {
+	m      *bytecode.Method
+	pc     int
+	lastpc int
+	locals []heap.Value
+	stack  []heap.Value
+	chain  int32
+}
+
+func (f *frame) push(v heap.Value) { f.stack = append(f.stack, v) }
+
+func (f *frame) pop() heap.Value {
+	v := f.stack[len(f.stack)-1]
+	f.stack = f.stack[:len(f.stack)-1]
+	return v
+}
+
+// VM interprets a compiled program over the managed heap.
+type VM struct {
+	prog *bytecode.Program
+	hp   *heap.Heap
+	col  gc.Collector
+	bar  gc.Barrier
+
+	frames  []*frame
+	statics [][]heap.Value
+
+	chains   *ChainTable
+	listener Listener
+
+	out    io.Writer
+	outBuf *bytes.Buffer
+
+	interned      map[int32]heap.Handle
+	tempRoots     []heap.Handle
+	finalizeRoots []heap.Handle
+	preallocOOM   heap.Handle
+
+	// finalizeVIndex caches the vtable index of finalize() per class
+	// (-1 when absent).
+	finalizeVIndex []int32
+
+	liveFilter func(method int32, pc int, slot int32) bool
+
+	rng        uint64
+	cost       Cost
+	maxSteps   int64
+	steps      int64
+	gcInterval int64
+	lastDeep   int64
+
+	pendingMinor bool
+	inGC         bool
+	barriers     []int
+	halted       bool
+	haltErr      error
+	lastResult   heap.Value
+	hasResult    bool
+}
+
+// New creates a VM for the program. The program must verify.
+func New(prog *bytecode.Program, cfg Config) (*VM, error) {
+	if cfg.HeapCapacity <= 0 {
+		cfg.HeapCapacity = DefaultHeapCapacity
+	}
+	if cfg.NurserySize <= 0 {
+		cfg.NurserySize = 4 << 20
+	}
+	if cfg.MaxSteps <= 0 {
+		cfg.MaxSteps = 4_000_000_000
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 0x9E3779B97F4A7C15
+	}
+	vm := &VM{
+		prog:       prog,
+		hp:         heap.New(cfg.HeapCapacity),
+		chains:     NewChainTable(),
+		listener:   cfg.Listener,
+		interned:   make(map[int32]heap.Handle),
+		rng:        cfg.Seed,
+		maxSteps:   cfg.MaxSteps,
+		gcInterval: cfg.GCInterval,
+		liveFilter: cfg.LiveSlotFilter,
+	}
+	switch cfg.Collector {
+	case "", MarkSweep:
+		vm.col = gc.NewMarkSweep(vm.hp, vm)
+	case MarkCompact:
+		ms := gc.NewMarkSweep(vm.hp, vm)
+		ms.Compact = true
+		vm.col = ms
+	case Generational:
+		g := gc.NewGenerational(vm.hp, vm, cfg.NurserySize)
+		vm.col = g
+		vm.bar = g
+	default:
+		return nil, fmt.Errorf("vm: unknown collector %q", cfg.Collector)
+	}
+	if cfg.Out != nil {
+		vm.out = cfg.Out
+	} else {
+		vm.outBuf = &bytes.Buffer{}
+		vm.out = vm.outBuf
+	}
+	vm.statics = make([][]heap.Value, len(prog.Classes))
+	vm.finalizeVIndex = make([]int32, len(prog.Classes))
+	for i, c := range prog.Classes {
+		slots := make([]heap.Value, c.NumStaticSlots)
+		for s, isRef := range c.StaticRefSlots {
+			if isRef {
+				slots[s] = heap.Null
+			}
+		}
+		vm.statics[i] = slots
+		vm.finalizeVIndex[i] = -1
+		for vi, name := range c.VTableNames {
+			if name == "finalize" {
+				vm.finalizeVIndex[i] = int32(vi)
+			}
+		}
+	}
+	return vm, nil
+}
+
+// Output returns the program output captured so far (only when Config.Out
+// was nil).
+func (vm *VM) Output() string {
+	if vm.outBuf == nil {
+		return ""
+	}
+	return vm.outBuf.String()
+}
+
+// CostReport returns the accumulated deterministic cost, including GC work.
+func (vm *VM) CostReport() Cost {
+	c := vm.cost
+	c.GC = vm.col.TotalStats()
+	return c
+}
+
+// Heap exposes the VM's heap (read-mostly; the profiler samples its clock).
+func (vm *VM) Heap() *heap.Heap { return vm.hp }
+
+// Collector exposes the VM's collector.
+func (vm *VM) Collector() gc.Collector { return vm.col }
+
+// Chains exposes the interned call-chain table for report rendering.
+func (vm *VM) Chains() *ChainTable { return vm.chains }
+
+// Program returns the program being executed.
+func (vm *VM) Program() *bytecode.Program { return vm.prog }
+
+// VisitRoots implements gc.Roots: frame locals and operand stacks, static
+// fields, interned strings, VM temporaries and pending finalizer handles.
+func (vm *VM) VisitRoots(visit func(heap.Handle)) {
+	for _, f := range vm.frames {
+		for i, v := range f.locals {
+			if !v.IsRef {
+				continue
+			}
+			if vm.liveFilter != nil && f.pc < len(f.m.Code) &&
+				!vm.liveFilter(f.m.ID, f.pc, int32(i)) {
+				continue
+			}
+			visit(v.H)
+		}
+		for _, v := range f.stack {
+			if v.IsRef {
+				visit(v.H)
+			}
+		}
+	}
+	for _, slots := range vm.statics {
+		for _, v := range slots {
+			if v.IsRef {
+				visit(v.H)
+			}
+		}
+	}
+	for _, h := range vm.interned {
+		visit(h)
+	}
+	for _, h := range vm.tempRoots {
+		visit(h)
+	}
+	for _, h := range vm.finalizeRoots {
+		visit(h)
+	}
+	if !vm.preallocOOM.IsNull() {
+		visit(vm.preallocOOM)
+	}
+}
+
+// Run executes the program: the preallocated OutOfMemoryError, every static
+// initializer in declaration order, then main. It returns an error for
+// uncaught exceptions, VM faults, or step-budget exhaustion. On normal
+// termination, when a GCInterval is configured a final deep GC runs so the
+// profiler sees end-of-run reclamation (Section 2.1.1).
+func (vm *VM) Run() error {
+	if oomClass, ok := vm.prog.RuntimeClasses["OutOfMemoryError"]; ok {
+		h, err := vm.allocObject(oomClass, vm.prog.RuntimeSites["OutOfMemoryError"], true)
+		if err != nil {
+			return fmt.Errorf("vm: preallocating OutOfMemoryError: %w", err)
+		}
+		vm.preallocOOM = h
+	}
+	for _, mid := range vm.prog.StaticInits {
+		if _, err := vm.callSync(vm.prog.Methods[mid], nil, -1); err != nil {
+			return err
+		}
+	}
+	_, err := vm.callSync(vm.prog.Methods[vm.prog.Main], nil, -1)
+	if err == nil && vm.gcInterval > 0 {
+		vm.DeepGC()
+	}
+	return err
+}
+
+// callSync pushes a frame for m with the given arguments and interprets
+// until it returns, yielding the returned value (if any).
+func (vm *VM) callSync(m *bytecode.Method, args []heap.Value, chain int32) (heap.Value, error) {
+	base := len(vm.frames)
+	vm.barriers = append(vm.barriers, base)
+	defer func() { vm.barriers = vm.barriers[:len(vm.barriers)-1] }()
+	vm.pushFrame(m, args, chain)
+	for len(vm.frames) > base {
+		if vm.halted {
+			return heap.Value{}, vm.haltErr
+		}
+		vm.step()
+	}
+	if vm.halted {
+		return heap.Value{}, vm.haltErr
+	}
+	res := vm.lastResult
+	vm.hasResult = false
+	return res, nil
+}
+
+func (vm *VM) pushFrame(m *bytecode.Method, args []heap.Value, chain int32) {
+	f := &frame{
+		m:      m,
+		locals: make([]heap.Value, m.MaxLocals),
+		chain:  chain,
+	}
+	copy(f.locals, args)
+	vm.frames = append(vm.frames, f)
+}
+
+func (vm *VM) top() *frame { return vm.frames[len(vm.frames)-1] }
+
+// fatal halts the VM with an unrecoverable error.
+func (vm *VM) fatal(format string, args ...any) {
+	vm.halted = true
+	vm.haltErr = fmt.Errorf("vm: %s", fmt.Sprintf(format, args...))
+}
+
+// ErrStepBudget reports MaxSteps exhaustion.
+var ErrStepBudget = errors.New("vm: step budget exhausted (possible non-termination)")
+
+func (vm *VM) step() {
+	f := vm.top()
+	vm.steps++
+	vm.cost.Instructions++
+	if vm.steps > vm.maxSteps {
+		vm.halted = true
+		vm.haltErr = ErrStepBudget
+		return
+	}
+	f.lastpc = f.pc
+	in := f.m.Code[f.pc]
+	f.pc++
+	vm.exec(f, in)
+	if vm.halted {
+		return
+	}
+	// Safepoint: deferred collections run only between instructions,
+	// when every live reference is rooted in a frame. Nested triggers
+	// are suppressed while a collection (or its finalizers) is running.
+	if vm.inGC {
+		return
+	}
+	if vm.pendingMinor {
+		vm.pendingMinor = false
+		vm.inGC = true
+		vm.col.Collect(false)
+		vm.runPendingFinalizers()
+		vm.inGC = false
+	}
+	if vm.gcInterval > 0 && vm.hp.Clock()-vm.lastDeep >= vm.gcInterval {
+		vm.lastDeep = vm.hp.Clock()
+		vm.DeepGC()
+	}
+}
+
+// DeepGC performs the paper's deep collection: collect, run finalizers,
+// collect again.
+func (vm *VM) DeepGC() {
+	if vm.inGC {
+		return
+	}
+	vm.inGC = true
+	vm.col.Collect(true)
+	vm.runPendingFinalizers()
+	vm.col.Collect(true)
+	vm.inGC = false
+}
+
+// runPendingFinalizers drains the collector's finalization queue and runs
+// finalize() on each object; exceptions escaping a finalizer are discarded,
+// as in Java.
+func (vm *VM) runPendingFinalizers() {
+	q := vm.col.DrainFinalizers()
+	if len(q) == 0 {
+		return
+	}
+	vm.finalizeRoots = append(vm.finalizeRoots, q...)
+	for _, h := range q {
+		o := vm.hp.Lookup(h)
+		if o == nil || o.Class < 0 {
+			continue
+		}
+		vi := vm.finalizeVIndex[o.Class]
+		if vi < 0 {
+			continue
+		}
+		m := vm.prog.Methods[vm.prog.Classes[o.Class].VTable[vi]]
+		vm.emitUse(h, o, UseInvoke, 0)
+		saveHalt, saveErr := vm.halted, vm.haltErr
+		_, err := vm.callSync(m, []heap.Value{heap.RefValue(h)}, -1)
+		if err != nil && !vm.halted {
+			_ = err // exception swallowed
+		}
+		if vm.halted && errors.Is(vm.haltErr, errUncaught) {
+			// Finalizer exceptions are ignored.
+			vm.halted, vm.haltErr = saveHalt, saveErr
+		}
+	}
+	vm.finalizeRoots = vm.finalizeRoots[:0]
+}
+
+var errUncaught = errors.New("uncaught exception")
+
+// Allocation.
+
+// allocObject allocates an instance of class, retrying after a full
+// collection, and falls back to throwing OutOfMemoryError via the caller
+// (returning heap.ErrHeapFull) when memory is truly exhausted.
+func (vm *VM) allocObject(class int32, site int32, interned bool) (heap.Handle, error) {
+	c := vm.prog.Classes[class]
+	h, err := vm.hp.AllocObject(class, int(c.NumFieldSlots), c.RefSlots, c.Finalizable)
+	if err != nil {
+		vm.collectForSpace()
+		h, err = vm.hp.AllocObject(class, int(c.NumFieldSlots), c.RefSlots, c.Finalizable)
+		if err != nil {
+			return 0, err
+		}
+	}
+	vm.noteAlloc(h, site, interned)
+	return h, nil
+}
+
+func (vm *VM) allocArray(elem bytecode.ElemKind, length int, site int32, interned bool) (heap.Handle, error) {
+	h, err := vm.hp.AllocArray(elem, length)
+	if err != nil {
+		vm.collectForSpace()
+		h, err = vm.hp.AllocArray(elem, length)
+		if err != nil {
+			return 0, err
+		}
+	}
+	vm.noteAlloc(h, site, interned)
+	return h, nil
+}
+
+func (vm *VM) collectForSpace() {
+	wasInGC := vm.inGC
+	vm.inGC = true
+	vm.col.Collect(true)
+	vm.runPendingFinalizers()
+	vm.col.Collect(true)
+	vm.inGC = wasInGC
+}
+
+func (vm *VM) noteAlloc(h heap.Handle, site int32, interned bool) {
+	o := vm.hp.Get(h)
+	o.Interned = interned
+	vm.col.NoteAlloc(h, o)
+	vm.cost.Allocations++
+	vm.cost.AllocBytes += o.Size
+	if g, ok := vm.col.(*gc.Generational); ok && g.NurseryFull() {
+		vm.pendingMinor = true
+	}
+	if vm.listener != nil {
+		chain := int32(-1)
+		if len(vm.frames) > 0 {
+			f := vm.top()
+			chain = vm.chains.Intern(f.chain, f.m.ID, vm.curLine())
+		}
+		vm.listener.Alloc(h, o, site, chain, vm.hp.Clock())
+	}
+}
+
+func (vm *VM) curLine() int32 {
+	if len(vm.frames) == 0 {
+		return 0
+	}
+	f := vm.top()
+	return f.m.Code[f.lastpc].Line
+}
+
+func (vm *VM) emitUse(h heap.Handle, o *heap.Object, kind UseKind, _ int32) {
+	if vm.listener == nil || h.IsNull() {
+		return
+	}
+	if o == nil {
+		o = vm.hp.Lookup(h)
+		if o == nil {
+			return
+		}
+	}
+	chain := int32(-1)
+	if len(vm.frames) > 0 {
+		f := vm.top()
+		chain = vm.chains.Intern(f.chain, f.m.ID, vm.curLine())
+	}
+	vm.listener.Use(h, o, chain, vm.hp.Clock(), kind)
+}
+
+// Exceptions.
+
+// throwByName raises one of the VM's runtime exceptions (NPE, bounds, ...).
+func (vm *VM) throwByName(name string, detail string) {
+	class, ok := vm.prog.RuntimeClasses[name]
+	if !ok {
+		vm.fatal("%s: %s (class %s not declared; include the runtime library)", name, detail, name)
+		return
+	}
+	h, err := vm.allocObject(class, vm.prog.RuntimeSites[name], false)
+	if err != nil {
+		vm.throwOOM()
+		return
+	}
+	vm.throwHandle(h)
+}
+
+func (vm *VM) throwOOM() {
+	if vm.preallocOOM.IsNull() {
+		vm.fatal("out of memory (no OutOfMemoryError class declared)")
+		return
+	}
+	vm.throwHandle(vm.preallocOOM)
+}
+
+// throwHandle unwinds frames looking for a matching handler; the operand
+// stack of the catching frame is cleared and the exception pushed.
+func (vm *VM) throwHandle(exc heap.Handle) {
+	o := vm.hp.Lookup(exc)
+	excClass := int32(-1)
+	if o != nil {
+		excClass = o.Class
+	}
+	barrier := 0
+	if len(vm.barriers) > 0 {
+		barrier = vm.barriers[len(vm.barriers)-1]
+	}
+	for len(vm.frames) > barrier {
+		f := vm.top()
+		pc := int32(f.lastpc)
+		for _, ex := range f.m.Exceptions {
+			if pc < ex.From || pc >= ex.To {
+				continue
+			}
+			if ex.CatchClass >= 0 && (excClass < 0 || !vm.prog.IsSubclass(excClass, ex.CatchClass)) {
+				continue
+			}
+			f.stack = f.stack[:0]
+			f.push(heap.RefValue(exc))
+			f.pc = int(ex.Handler)
+			return
+		}
+		vm.frames = vm.frames[:len(vm.frames)-1]
+	}
+	name := "<unknown>"
+	if excClass >= 0 {
+		name = vm.prog.Classes[excClass].Name
+	}
+	msg := vm.throwableMessage(exc)
+	vm.halted = true
+	if msg != "" {
+		vm.haltErr = fmt.Errorf("%w: %s: %s", errUncaught, name, msg)
+	} else {
+		vm.haltErr = fmt.Errorf("%w: %s", errUncaught, name)
+	}
+}
+
+// throwableMessage extracts the String field named "message" from an
+// exception object, if present.
+func (vm *VM) throwableMessage(exc heap.Handle) string {
+	o := vm.hp.Lookup(exc)
+	if o == nil || o.Class < 0 {
+		return ""
+	}
+	for cid := o.Class; cid >= 0; cid = vm.prog.Classes[cid].Super {
+		for _, fd := range vm.prog.Classes[cid].Fields {
+			if fd.Name == "message" && !fd.Static && fd.Ref {
+				v := o.Slots[fd.Slot]
+				if v.IsRef && !v.H.IsNull() {
+					return vm.StringValue(v.H)
+				}
+				return ""
+			}
+		}
+	}
+	return ""
+}
+
+// StringValue reads a String object's characters as a Go string. It returns
+// "" for nulls and non-String objects.
+func (vm *VM) StringValue(h heap.Handle) string {
+	o := vm.hp.Lookup(h)
+	if o == nil || vm.prog.StringChars < 0 || o.Kind != heap.KindObject {
+		return ""
+	}
+	cv := o.Get(int(vm.prog.StringChars))
+	if !cv.IsRef || cv.H.IsNull() {
+		return ""
+	}
+	arr := vm.hp.Lookup(cv.H)
+	if arr == nil {
+		return ""
+	}
+	buf := make([]byte, arr.Len())
+	for i := range buf {
+		buf[i] = byte(arr.Get(i).I)
+	}
+	return string(buf)
+}
+
+// makeString materializes a String object over a fresh char array.
+func (vm *VM) makeString(s string, site int32, interned bool) (heap.Handle, error) {
+	if vm.prog.StringClass < 0 || vm.prog.StringChars < 0 {
+		return 0, errors.New("program has no String class with a chars field")
+	}
+	arr, err := vm.allocArray(bytecode.ElemChar, len(s), site, interned)
+	if err != nil {
+		return 0, err
+	}
+	vm.tempRoots = append(vm.tempRoots, arr)
+	defer func() { vm.tempRoots = vm.tempRoots[:len(vm.tempRoots)-1] }()
+	ao := vm.hp.Get(arr)
+	ao.Materialize()
+	for i := 0; i < len(s); i++ {
+		ao.Slots[i] = heap.IntValue(int64(s[i]))
+	}
+	str, err := vm.allocObject(vm.prog.StringClass, site, interned)
+	if err != nil {
+		return 0, err
+	}
+	so := vm.hp.Get(str)
+	so.Slots[vm.prog.StringChars] = heap.RefValue(arr)
+	return str, nil
+}
+
+// internedString returns the cached String for pool index idx, creating it
+// on first use. Interned strings model the constant pool: the profiler
+// excludes them, as the paper excludes constant-pool strings.
+func (vm *VM) internedString(idx int32) (heap.Handle, error) {
+	if h, ok := vm.interned[idx]; ok {
+		return h, nil
+	}
+	h, err := vm.makeString(vm.prog.Strings[idx], -1, true)
+	if err != nil {
+		return 0, err
+	}
+	vm.interned[idx] = h
+	return h, nil
+}
+
+func (vm *VM) nextRand() uint64 {
+	x := vm.rng
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	vm.rng = x
+	return x
+}
