@@ -14,9 +14,9 @@ import (
 	"fmt"
 	"os"
 
-	"dragprof/internal/analysis"
 	"dragprof/internal/bytecode"
 	"dragprof/internal/drag"
+	"dragprof/internal/lint"
 	"dragprof/internal/mj"
 	"dragprof/internal/profile"
 	"dragprof/internal/transform"
@@ -61,11 +61,12 @@ func main() {
 	fmt.Printf("original: %.4f MB² reachable, %.4f MB² drag\n",
 		drag.MB2(origRep.ReachableIntegral), drag.MB2(origRep.TotalDrag))
 
-	// Lint for vector-pattern leaks.
-	cg := analysis.BuildCallGraph(orig)
-	for _, leak := range analysis.FindVectorLeaks(orig, cg) {
-		fmt.Printf("lint: %s.%s leaves the removed element reachable (assign null to the vacated slot)\n",
-			orig.Classes[leak.Class].Name, orig.Methods[leak.Method].Name)
+	// Lint for vector-pattern leaks, delegated to the dragvet engine.
+	for _, f := range lint.Run(orig).Findings {
+		if f.Rule != lint.RuleVectorLeak {
+			continue
+		}
+		fmt.Printf("lint: %s:%d: %s (%s)\n", f.File, f.Line, f.Message, f.Rewrite)
 	}
 
 	// Apply the automatic rewrites to a fresh compile.

@@ -1,0 +1,179 @@
+// Command dragvet is the whole-program static drag linter: it compiles
+// MiniJava sources (or a named benchmark), runs the Section 5 analysis
+// suite — liveness, removability, lazy-allocation anticipability,
+// vector-pattern array leaks, interprocedural escape — and emits ranked
+// findings as text, JSON diagnostics, or SARIF.
+//
+// With -against it cross-validates the static predictions against a
+// recorded drag log (from dragprof); with -profile it runs the program
+// in-process first and validates against that run.
+//
+// Usage:
+//
+//	dragvet [-format text|json|sarif] file.mj...
+//	dragvet -bench jack|all [-format ...]
+//	dragvet -against drag.log file.mj...
+//	dragvet -profile -bench jack
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"dragprof/internal/bench"
+	"dragprof/internal/drag"
+	"dragprof/internal/lint"
+	"dragprof/internal/mj"
+	"dragprof/internal/profile"
+	"dragprof/internal/vm"
+)
+
+func main() {
+	benchName := flag.String("bench", "", "lint a named benchmark instead of source files (or 'all')")
+	format := flag.String("format", "text", "output format: text, json or sarif")
+	against := flag.String("against", "", "cross-validate findings against a drag log written by dragprof")
+	doProfile := flag.Bool("profile", false, "profile the program in-process and cross-validate against the run")
+	interval := flag.Int64("interval", 100<<10, "deep-GC interval in allocated bytes for -profile")
+	top := flag.Int("top", 10, "top-drag sites forming the cross-validation measured set")
+	minShare := flag.Float64("minshare", 0.01, "minimum drag share for a measured site")
+	minConf := flag.Float64("minconf", 0, "minimum confidence for a static finding to count as a prediction")
+	flag.Parse()
+
+	switch *format {
+	case "text", "json", "sarif":
+	default:
+		fatal(fmt.Errorf("unknown format %q (want text, json or sarif)", *format))
+	}
+	opts := lint.CrossOptions{TopN: *top, MinShare: *minShare, MinConfidence: *minConf}
+
+	if *benchName != "" {
+		if flag.NArg() != 0 {
+			fatal(fmt.Errorf("-bench and source files are mutually exclusive"))
+		}
+		targets := bench.All()
+		if *benchName != "all" {
+			b, err := bench.ByName(*benchName)
+			if err != nil {
+				fatal(err)
+			}
+			targets = []*bench.Benchmark{b}
+		}
+		for _, b := range targets {
+			cp, err := b.Compile(bench.Original, bench.OriginalInput)
+			if err != nil {
+				fatal(err)
+			}
+			res := lint.Run(cp.Program)
+			if len(targets) > 1 && *format == "text" {
+				fmt.Printf("== %s ==\n", b.Name)
+			}
+			render(res.Findings)
+			if *doProfile {
+				rr, err := bench.Run(b, bench.Original, bench.OriginalInput,
+					bench.RunConfig{GCInterval: *interval})
+				if err != nil {
+					fatal(err)
+				}
+				crossReport(res.Findings, rr.Report, opts)
+			}
+		}
+		return
+	}
+
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: dragvet [flags] file.mj...  |  dragvet -bench name|all [flags]")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	names := flag.Args()
+	sources := make(map[string]string, len(names))
+	for _, name := range names {
+		text, err := os.ReadFile(name)
+		if err != nil {
+			fatal(err)
+		}
+		sources[name] = string(text)
+	}
+	p, _, err := mj.CompileWithStdlib(names, sources)
+	if err != nil {
+		fatal(err)
+	}
+	res := lint.Run(p)
+	render(res.Findings)
+
+	if *against != "" {
+		f, err := os.Open(*against)
+		if err != nil {
+			fatal(err)
+		}
+		prof, err := profile.ReadLog(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		crossReport(res.Findings, drag.Analyze(prof, drag.Options{}), opts)
+	}
+	if *doProfile {
+		rep, err := profileProgram(names, sources, *interval)
+		if err != nil {
+			fatal(err)
+		}
+		crossReport(res.Findings, rep, opts)
+	}
+}
+
+// profileProgram compiles the sources afresh (the lint target must stay
+// pristine) and runs them on the instrumented VM.
+func profileProgram(names []string, sources map[string]string, interval int64) (*drag.Report, error) {
+	p, _, err := mj.CompileWithStdlib(names, sources)
+	if err != nil {
+		return nil, err
+	}
+	prof, _, err := profile.Run(p, "dragvet", vm.Config{GCInterval: interval})
+	if err != nil {
+		return nil, err
+	}
+	return drag.Analyze(prof, drag.Options{}), nil
+}
+
+// render writes findings in the selected format. Multiple calls (bench
+// 'all' in text mode) are separated by the per-benchmark headers.
+func render(fs []lint.Finding) {
+	var out string
+	var err error
+	switch flag.Lookup("format").Value.String() {
+	case "json":
+		out, err = lint.JSON(fs)
+	case "sarif":
+		out, err = lint.SARIF(fs)
+	default:
+		out = lint.Text(fs)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(out)
+}
+
+// crossReport prints the static↔dynamic comparison in the selected format
+// (SARIF has no cross-validation shape, so it falls back to JSON).
+func crossReport(fs []lint.Finding, rep *drag.Report, opts lint.CrossOptions) {
+	cr := lint.CrossValidate(fs, rep, opts)
+	if flag.Lookup("format").Value.String() == "text" {
+		fmt.Println(cr.Text())
+		return
+	}
+	data, err := json.MarshalIndent(cr, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(string(data))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dragvet:", err)
+	os.Exit(1)
+}

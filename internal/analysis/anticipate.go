@@ -1,0 +1,347 @@
+package analysis
+
+import "sort"
+
+// This file implements the paper's "minimal code insertion" machinery
+// (Section 5.1): lazy allocation moves an allocation from its eager site to
+// the program points where it is first needed. The placement is computed
+// with two classic must-dataflow problems over the CFG:
+//
+//   - Anticipability (very-busy expressions, backward): a use is
+//     anticipated at a point when EVERY path from that point reaches a use
+//     before a kill. The anticipability frontier is the earliest set of
+//     points where inserting the allocation is profitable and safe — the
+//     PRE-style insertion points.
+//   - Availability (forward): a use "has already happened" at a point when
+//     it occurred on every path reaching it. Guards are only needed where
+//     the guarded fact is not available; everything else is provably
+//     redundant.
+//
+// Both analyses are parameterized by use/gen and kill predicates over pcs
+// so callers can instantiate them for field loads, locals, or any other
+// repeatable expression.
+
+// Anticipability is the backward very-busy-expressions analysis.
+type Anticipability struct {
+	cfg       *CFG
+	use, kill func(pc int32) bool
+	// antIn/antOut hold the per-block fixpoint: anticipated at block
+	// entry / exit.
+	antIn, antOut []bool
+	reach         []bool
+	// barrier marks blocks with an exception-handler successor: Java's
+	// precise exceptions mean any instruction there may exit mid-block,
+	// so anticipation must not propagate backwards across instructions
+	// of such blocks (conservative: insertion sinks to the use itself).
+	barrier []bool
+}
+
+// reachableBlocks marks blocks reachable from the entry block.
+func reachableBlocks(cfg *CFG) []bool {
+	reach := make([]bool, len(cfg.Blocks))
+	if len(cfg.Blocks) == 0 {
+		return reach
+	}
+	work := []int{0}
+	reach[0] = true
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, s := range cfg.Blocks[b].Succs {
+			if !reach[s] {
+				reach[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+	return reach
+}
+
+// ComputeAnticipability runs the backward must-fixpoint. use marks pcs that
+// use the expression; kill marks pcs that invalidate it. Exception edges
+// participate like normal edges, and blocks covered by a handler are
+// additionally treated as barriers (see Anticipability.barrier), so a use
+// is never anticipated above a may-throw region unless it IS the use.
+func ComputeAnticipability(cfg *CFG, use, kill func(pc int32) bool) *Anticipability {
+	nb := len(cfg.Blocks)
+	a := &Anticipability{
+		cfg:     cfg,
+		use:     use,
+		kill:    kill,
+		antIn:   make([]bool, nb),
+		antOut:  make([]bool, nb),
+		reach:   reachableBlocks(cfg),
+		barrier: make([]bool, nb),
+	}
+	for i, b := range cfg.Blocks {
+		for _, s := range b.Succs {
+			if cfg.Blocks[s].Handler {
+				a.barrier[i] = true
+			}
+		}
+	}
+	// Optimistic initialization (all true) so loops converge to the
+	// greatest fixpoint of the must-analysis.
+	for i := 0; i < nb; i++ {
+		a.antIn[i] = true
+		a.antOut[i] = true
+	}
+	changed := true
+	for changed {
+		changed = false
+		for i := nb - 1; i >= 0; i-- {
+			b := cfg.Blocks[i]
+			// Exit blocks anticipate nothing after them.
+			out := len(b.Succs) > 0
+			for _, s := range b.Succs {
+				if !a.antIn[s] {
+					out = false
+				}
+			}
+			in := a.transfer(b, out)
+			if out != a.antOut[i] || in != a.antIn[i] {
+				a.antOut[i] = out
+				a.antIn[i] = in
+				changed = true
+			}
+		}
+	}
+	return a
+}
+
+// transfer applies the block body backwards: before(pc) = use(pc) or
+// (not kill(pc) and before(pc+1)). In barrier blocks anticipation does not
+// cross instruction boundaries at all, so only direct uses survive.
+func (a *Anticipability) transfer(b *Block, out bool) bool {
+	val := out
+	for pc := b.End - 1; pc >= b.Start; pc-- {
+		val = a.use(pc) || (!a.kill(pc) && !a.barrier[b.ID] && val)
+	}
+	return val
+}
+
+// Before reports whether the expression is anticipated immediately before
+// pc.
+func (a *Anticipability) Before(pc int32) bool {
+	b := a.cfg.Blocks[a.cfg.BlockOf[pc]]
+	val := a.antOut[b.ID]
+	if len(b.Succs) == 0 {
+		val = false
+	}
+	for p := b.End - 1; p >= pc; p-- {
+		val = a.use(p) || (!a.kill(p) && !a.barrier[b.ID] && val)
+	}
+	return val
+}
+
+// InsertionPoints returns the anticipability frontier: the earliest pcs
+// where the expression is anticipated but was not anticipated immediately
+// before — inserting the expression's computation at exactly these points
+// covers every use with no computation on any use-free path. Points are
+// block starts (method entry, or a block some predecessor does not
+// anticipate into) and mid-block positions just after a kill. Inserting at
+// a join-block start may re-execute the insertion on predecessors that
+// already anticipate it; for the guarded (idempotent) allocations this
+// machinery serves, re-execution is a no-op, so edge splitting is not
+// needed.
+func (a *Anticipability) InsertionPoints() []int32 {
+	var pts []int32
+	for _, b := range a.cfg.Blocks {
+		if !a.reach[b.ID] {
+			continue
+		}
+		// Per-pc before-values inside the block, computed backwards.
+		before := make([]bool, b.End-b.Start+1)
+		out := a.antOut[b.ID]
+		if len(b.Succs) == 0 {
+			out = false
+		}
+		before[b.End-b.Start] = out
+		for pc := b.End - 1; pc >= b.Start; pc-- {
+			before[pc-b.Start] = a.use(pc) ||
+				(!a.kill(pc) && !a.barrier[b.ID] && before[pc-b.Start+1])
+		}
+		if before[0] {
+			frontier := len(b.Preds) == 0
+			for _, p := range b.Preds {
+				if a.reach[p] && !a.antOut[p] {
+					frontier = true
+				}
+			}
+			if frontier {
+				pts = append(pts, b.Start)
+			}
+		}
+		for pc := b.Start + 1; pc < b.End; pc++ {
+			if before[pc-b.Start] && !before[pc-b.Start-1] {
+				pts = append(pts, pc)
+			}
+		}
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i] < pts[j] })
+	return pts
+}
+
+// Availability is the forward must-analysis: the fact generated by gen pcs
+// holds at a point when it was generated on every path reaching it and not
+// killed since.
+type Availability struct {
+	cfg       *CFG
+	gen, kill func(pc int32) bool
+	avIn      []bool
+	avOut     []bool
+	reach     []bool
+}
+
+// ComputeAvailability runs the forward must-fixpoint. Handler-entry blocks
+// are forced unavailable: an exception may transfer control past the
+// generating instruction, so nothing survives into a handler.
+func ComputeAvailability(cfg *CFG, gen, kill func(pc int32) bool) *Availability {
+	nb := len(cfg.Blocks)
+	av := &Availability{
+		cfg:   cfg,
+		gen:   gen,
+		kill:  kill,
+		avIn:  make([]bool, nb),
+		avOut: make([]bool, nb),
+		reach: reachableBlocks(cfg),
+	}
+	for i := 0; i < nb; i++ {
+		av.avIn[i] = true
+		av.avOut[i] = true
+	}
+	changed := true
+	for changed {
+		changed = false
+		for i := 0; i < nb; i++ {
+			b := cfg.Blocks[i]
+			in := true
+			if i == 0 || b.Handler {
+				in = false
+			} else {
+				for _, p := range b.Preds {
+					if av.reach[p] && !av.avOut[p] {
+						in = false
+					}
+				}
+			}
+			out := av.transfer(b, in)
+			if in != av.avIn[i] || out != av.avOut[i] {
+				av.avIn[i] = in
+				av.avOut[i] = out
+				changed = true
+			}
+		}
+	}
+	return av
+}
+
+func (av *Availability) transfer(b *Block, in bool) bool {
+	val := in
+	for pc := b.Start; pc < b.End; pc++ {
+		if av.kill(pc) {
+			val = false
+		}
+		if av.gen(pc) {
+			val = true
+		}
+	}
+	return val
+}
+
+// Before reports whether the fact is available immediately before pc.
+func (av *Availability) Before(pc int32) bool {
+	b := av.cfg.Blocks[av.cfg.BlockOf[pc]]
+	val := av.avIn[b.ID]
+	for p := b.Start; p < pc; p++ {
+		if av.kill(p) {
+			val = false
+		}
+		if av.gen(p) {
+			val = true
+		}
+	}
+	return val
+}
+
+// Dominators holds the block dominator sets of a CFG, used to check that
+// computed insertion points sit below (are dominated by) the allocation's
+// original position.
+type Dominators struct {
+	cfg   *CFG
+	dom   []bitset
+	reach []bool
+}
+
+// ComputeDominators runs the classic iterative bitset algorithm.
+func ComputeDominators(cfg *CFG) *Dominators {
+	nb := len(cfg.Blocks)
+	d := &Dominators{cfg: cfg, dom: make([]bitset, nb), reach: reachableBlocks(cfg)}
+	for i := 0; i < nb; i++ {
+		d.dom[i] = newBitset(nb)
+		if i == 0 {
+			d.dom[i].set(0)
+			continue
+		}
+		for j := 0; j < nb; j++ {
+			d.dom[i].set(int32(j))
+		}
+	}
+	changed := true
+	for changed {
+		changed = false
+		for i := 1; i < nb; i++ {
+			if !d.reach[i] {
+				continue
+			}
+			next := newBitset(nb)
+			for j := 0; j < nb; j++ {
+				next.set(int32(j))
+			}
+			any := false
+			for _, p := range d.cfg.Blocks[i].Preds {
+				if !d.reach[p] {
+					continue
+				}
+				any = true
+				for k := range next {
+					next[k] &= d.dom[p][k]
+				}
+			}
+			if !any {
+				next = newBitset(nb)
+			}
+			next.set(int32(i))
+			same := true
+			for k := range next {
+				if next[k] != d.dom[i][k] {
+					same = false
+				}
+			}
+			if !same {
+				d.dom[i] = next
+				changed = true
+			}
+		}
+	}
+	return d
+}
+
+// Dominates reports whether block a dominates block b (reflexive).
+func (d *Dominators) Dominates(a, b int) bool {
+	if !d.reach[a] || !d.reach[b] {
+		return false
+	}
+	return d.dom[b].has(int32(a))
+}
+
+// DominatesPC reports whether the instruction at pc a dominates the one at
+// pc b: block dominance, with program order breaking the tie inside one
+// block.
+func (d *Dominators) DominatesPC(a, b int32) bool {
+	ba, bb := d.cfg.BlockOf[a], d.cfg.BlockOf[b]
+	if ba == bb {
+		return d.reach[ba] && a <= b
+	}
+	return d.Dominates(ba, bb)
+}

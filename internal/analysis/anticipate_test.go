@@ -1,0 +1,295 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"dragprof/internal/analysis"
+	"dragprof/internal/bytecode"
+)
+
+// The anticipability tests model the lazy-allocation placement question:
+// treating GetStatic as "the program needs the object here", the insertion
+// points must be the earliest program points where the need is inevitable —
+// never hoisted onto a path that may not need it, and always dominated by
+// the allocation's original position (method entry in these unit CFGs).
+const antSrc = `
+class G { static int t; }
+class Main {
+    static int both(int n) {
+        int r = 0;
+        if (n > 0) { r = G.t + 1; } else { r = G.t + 2; }
+        return r;
+    }
+    static int oneArm(int n) {
+        int r = 0;
+        if (n > 0) { r = G.t; }
+        return r;
+    }
+    static int inLoop(int n) {
+        int r = 0;
+        while (n > 0) { r = r + G.t; n = n - 1; }
+        return r;
+    }
+    static int afterLoop(int n) {
+        int r = 0;
+        while (n > 0) { r = r + 1; n = n - 1; }
+        return r + G.t;
+    }
+    static int guarded(int a, int b) {
+        int r = 0;
+        try {
+            r = a / b;
+            r = r + G.t;
+        } catch (ArithmeticException e) {
+            r = 0;
+        }
+        return r;
+    }
+    static void main() {
+        G.t = 5;
+        printInt(both(1) + oneArm(0) + inLoop(2) + afterLoop(2) + guarded(6, 2) + guarded(1, 0));
+    }
+}`
+
+// antFor computes anticipability of GetStatic uses over one Main method and
+// returns the CFG, the analysis, the use pcs and the method.
+func antFor(t *testing.T, p *bytecode.Program, name string) (*analysis.CFG, *analysis.Anticipability, []int32, *bytecode.Method) {
+	t.Helper()
+	m := p.Methods[methodID(t, p, "Main", name)]
+	cfg := analysis.BuildCFG(m)
+	use := func(pc int32) bool { return m.Code[pc].Op == bytecode.GetStatic }
+	a := analysis.ComputeAnticipability(cfg, use, func(int32) bool { return false })
+	var uses []int32
+	for pc, in := range m.Code {
+		if in.Op == bytecode.GetStatic {
+			uses = append(uses, int32(pc))
+		}
+	}
+	if len(uses) == 0 {
+		t.Fatalf("%s: no GetStatic uses found", name)
+	}
+	return cfg, a, uses, m
+}
+
+// checkPlacement asserts the structural invariants every insertion-point
+// set must satisfy: dominated by the original position (entry), and every
+// use dominated by some insertion point (coverage).
+func checkPlacement(t *testing.T, name string, cfg *analysis.CFG, pts, uses []int32) {
+	t.Helper()
+	d := analysis.ComputeDominators(cfg)
+	for _, pt := range pts {
+		if !d.DominatesPC(0, pt) {
+			t.Errorf("%s: insertion point %d not dominated by the original position", name, pt)
+		}
+	}
+	for _, u := range uses {
+		covered := false
+		for _, pt := range pts {
+			if d.DominatesPC(pt, u) {
+				covered = true
+			}
+		}
+		if !covered {
+			t.Errorf("%s: use at pc %d not dominated by any insertion point %v", name, u, pts)
+		}
+	}
+}
+
+func TestAnticipabilityBranchJoinHoists(t *testing.T) {
+	p := compile(t, antSrc)
+	cfg, a, uses, _ := antFor(t, p, "both")
+	if !a.Before(0) {
+		t.Fatal("use on both branches must be anticipated at entry")
+	}
+	pts := a.InsertionPoints()
+	// Minimal placement: one point, at method entry, covering both arms.
+	if len(pts) != 1 || pts[0] != 0 {
+		t.Fatalf("expected single entry insertion point, got %v", pts)
+	}
+	checkPlacement(t, "both", cfg, pts, uses)
+}
+
+func TestAnticipabilityOneArmStaysInBranch(t *testing.T) {
+	p := compile(t, antSrc)
+	cfg, a, uses, _ := antFor(t, p, "oneArm")
+	if a.Before(0) {
+		t.Fatal("use on one branch only must not be anticipated at entry")
+	}
+	pts := a.InsertionPoints()
+	if len(pts) != 1 {
+		t.Fatalf("expected single insertion point, got %v", pts)
+	}
+	// The point sits inside the taken branch, in the use's own block.
+	if pts[0] == 0 {
+		t.Fatal("insertion point must not be hoisted to entry")
+	}
+	if cfg.BlockOf[pts[0]] != cfg.BlockOf[uses[0]] {
+		t.Errorf("insertion point %d not in the use's block (use at %d)", pts[0], uses[0])
+	}
+	checkPlacement(t, "oneArm", cfg, pts, uses)
+}
+
+func TestAnticipabilityLoopBodyNotHoisted(t *testing.T) {
+	p := compile(t, antSrc)
+	cfg, a, uses, _ := antFor(t, p, "inLoop")
+	// The loop may execute zero times, so the use is not inevitable at
+	// entry; the point belongs at the top of the body, not above the
+	// header.
+	if a.Before(0) {
+		t.Fatal("loop-body use must not be anticipated at entry")
+	}
+	pts := a.InsertionPoints()
+	if len(pts) != 1 {
+		t.Fatalf("expected single insertion point at loop-body start, got %v", pts)
+	}
+	if pts[0] == 0 {
+		t.Fatal("insertion point hoisted above the loop header")
+	}
+	if cfg.BlockOf[pts[0]] != cfg.BlockOf[uses[0]] {
+		t.Errorf("insertion point %d not in the loop body block (use at %d)", pts[0], uses[0])
+	}
+	checkPlacement(t, "inLoop", cfg, pts, uses)
+}
+
+func TestAnticipabilityAfterLoopHoistsOverLoop(t *testing.T) {
+	p := compile(t, antSrc)
+	cfg, a, uses, _ := antFor(t, p, "afterLoop")
+	// Every path through the loop reaches the use after it, so the
+	// optimistic fixpoint converges to "anticipated at entry": one point.
+	if !a.Before(0) {
+		t.Fatal("post-loop use on every path must be anticipated at entry")
+	}
+	pts := a.InsertionPoints()
+	if len(pts) != 1 || pts[0] != 0 {
+		t.Fatalf("expected single entry insertion point, got %v", pts)
+	}
+	checkPlacement(t, "afterLoop", cfg, pts, uses)
+}
+
+func TestAnticipabilityExceptionBarrier(t *testing.T) {
+	p := compile(t, antSrc)
+	cfg, a, uses, m := antFor(t, p, "guarded")
+	if a.Before(0) {
+		t.Fatal("use inside try must not be anticipated at entry")
+	}
+	var divPC int32 = -1
+	for pc, in := range m.Code {
+		if in.Op == bytecode.Div {
+			divPC = int32(pc)
+		}
+	}
+	if divPC < 0 {
+		t.Fatal("no Div instruction found")
+	}
+	pts := a.InsertionPoints()
+	if len(pts) != 1 {
+		t.Fatalf("expected single insertion point, got %v", pts)
+	}
+	// Precise exceptions: the division may throw past the use, so the
+	// point must not float above it.
+	if pts[0] <= divPC {
+		t.Errorf("insertion point %d hoisted above may-throw division at %d", pts[0], divPC)
+	}
+	if a.Before(divPC) {
+		t.Error("use anticipated before the may-throw division")
+	}
+	checkPlacement(t, "guarded", cfg, pts, uses)
+}
+
+func TestAvailabilityJoinAndHandlerReset(t *testing.T) {
+	p := compile(t, antSrc)
+
+	// In both(), the load happens on each arm, so it is available at the
+	// join: the final return block sees avIn true.
+	{
+		m := p.Methods[methodID(t, p, "Main", "both")]
+		cfg := analysis.BuildCFG(m)
+		gen := func(pc int32) bool { return m.Code[pc].Op == bytecode.GetStatic }
+		av := analysis.ComputeAvailability(cfg, gen, func(int32) bool { return false })
+		// First return only: the compiler appends an unreachable
+		// epilogue return.
+		var retPC int32 = -1
+		for pc, in := range m.Code {
+			if in.Op == bytecode.ReturnValue {
+				retPC = int32(pc)
+				break
+			}
+		}
+		if retPC < 0 {
+			t.Fatal("no return found")
+		}
+		if !av.Before(retPC) {
+			t.Error("fact generated on both arms must be available at the join")
+		}
+	}
+
+	// In guarded(), nothing survives into the handler even though the
+	// fall-through path generated the fact.
+	{
+		m := p.Methods[methodID(t, p, "Main", "guarded")]
+		cfg := analysis.BuildCFG(m)
+		gen := func(pc int32) bool { return m.Code[pc].Op == bytecode.GetStatic }
+		av := analysis.ComputeAvailability(cfg, gen, func(int32) bool { return false })
+		handler := -1
+		for _, b := range cfg.Blocks {
+			if b.Handler {
+				handler = b.ID
+			}
+		}
+		if handler < 0 {
+			t.Fatal("no handler block found")
+		}
+		if av.Before(cfg.Blocks[handler].Start) {
+			t.Error("availability must be reset at handler entry")
+		}
+		// And therefore unavailable at the post-try join as well.
+		var retPC int32 = -1
+		for pc, in := range m.Code {
+			if in.Op == bytecode.ReturnValue {
+				retPC = int32(pc)
+				break
+			}
+		}
+		if av.Before(retPC) {
+			t.Error("fact must not be available at the try/handler join")
+		}
+	}
+}
+
+func TestDominators(t *testing.T) {
+	p := compile(t, antSrc)
+	m := p.Methods[methodID(t, p, "Main", "oneArm")]
+	cfg := analysis.BuildCFG(m)
+	d := analysis.ComputeDominators(cfg)
+	// Entry dominates everything reachable (the compiler's unreachable
+	// epilogue block is skipped).
+	for _, b := range cfg.Blocks {
+		if b.ID != 0 && len(b.Preds) == 0 {
+			continue
+		}
+		if !d.Dominates(0, b.ID) {
+			t.Errorf("entry must dominate block %d", b.ID)
+		}
+	}
+	// The then-branch (holding the single GetStatic) does not dominate
+	// the return, which is reachable around it.
+	var usePC, retPC int32 = -1, -1
+	for pc, in := range m.Code {
+		if in.Op == bytecode.GetStatic {
+			usePC = int32(pc)
+		}
+		if in.Op == bytecode.ReturnValue && retPC < 0 {
+			retPC = int32(pc)
+		}
+	}
+	if d.DominatesPC(usePC, retPC) {
+		t.Error("branch block must not dominate the join")
+	}
+	// In-block program order breaks ties.
+	if !d.DominatesPC(0, 1) {
+		t.Error("earlier pc must dominate later pc in the same block")
+	}
+	if d.DominatesPC(1, 0) && cfg.BlockOf[0] == cfg.BlockOf[1] {
+		t.Error("later pc must not dominate earlier pc in the same block")
+	}
+}

@@ -1,0 +1,476 @@
+package analysis
+
+import (
+	"dragprof/internal/bytecode"
+)
+
+// EscapeLevel classifies how far an object may travel from its allocating
+// frame, ordered from least to most escaping.
+type EscapeLevel int
+
+// Escape levels.
+const (
+	// EscapeNone: the object never leaves the allocating frame; it is
+	// stack-allocatable, and if it is also never used its removal is
+	// trivially sound.
+	EscapeNone EscapeLevel = iota
+	// EscapeArg: stored into an object reachable from a caller-supplied
+	// argument (including `this` inside constructors).
+	EscapeArg
+	// EscapeReturn: may be returned to the caller.
+	EscapeReturn
+	// EscapeGlobal: reaches a static field, a thrown exception, or an
+	// untracked heap location.
+	EscapeGlobal
+)
+
+func (l EscapeLevel) String() string {
+	switch l {
+	case EscapeNone:
+		return "none"
+	case EscapeArg:
+		return "arg"
+	case EscapeReturn:
+		return "return"
+	default:
+		return "global"
+	}
+}
+
+// Escape is an interprocedural escape analysis over the RTA call graph: per
+// method it computes how far each parameter escapes, and per allocation
+// site how far the site's objects escape their allocating frame. Summaries
+// propagate bottom-up until fixpoint. The heap is tracked only one level
+// deep inside a frame (stores into frame-local objects); anything stored
+// through an untracked reference escapes globally, which keeps the analysis
+// sound for its one client decision — upgrading the confidence of
+// never-used findings when objects provably stay local.
+type Escape struct {
+	prog *bytecode.Program
+	cg   *CallGraph
+
+	paramEsc map[int32][]EscapeLevel
+	siteEsc  map[int32]EscapeLevel
+
+	dirty map[int32]bool
+	queue []int32
+}
+
+// Origins are small ints: allocation sites are their ids (>= 0), parameter
+// i is -(i+2), and unknown values are escOriginUnknown.
+const escOriginUnknown int32 = -1
+
+func escParamOrigin(i int) int32   { return -int32(i) - 2 }
+func escOriginIsParam(o int32) int { return int(-o - 2) }
+
+type originSet map[int32]struct{}
+
+func (s originSet) add(id int32) bool {
+	if _, ok := s[id]; ok {
+		return false
+	}
+	s[id] = struct{}{}
+	return true
+}
+
+func (s originSet) addAll(o originSet) bool {
+	changed := false
+	for id := range o {
+		if s.add(id) {
+			changed = true
+		}
+	}
+	return changed
+}
+
+func (s originSet) clone() originSet {
+	out := make(originSet, len(s))
+	for id := range s {
+		out[id] = struct{}{}
+	}
+	return out
+}
+
+// ComputeEscape runs the interprocedural fixpoint.
+func ComputeEscape(p *bytecode.Program, cg *CallGraph) *Escape {
+	e := &Escape{
+		prog:     p,
+		cg:       cg,
+		paramEsc: make(map[int32][]EscapeLevel),
+		siteEsc:  make(map[int32]EscapeLevel),
+		dirty:    make(map[int32]bool),
+	}
+	for mid := range cg.Reachable {
+		e.paramEsc[mid] = make([]EscapeLevel, p.Methods[mid].NumParams)
+		e.enqueue(mid)
+	}
+	for len(e.queue) > 0 {
+		mid := e.queue[len(e.queue)-1]
+		e.queue = e.queue[:len(e.queue)-1]
+		e.dirty[mid] = false
+		e.analyzeMethod(mid)
+	}
+	return e
+}
+
+func (e *Escape) enqueue(mid int32) {
+	if mid < 0 || e.dirty[mid] || !e.cg.Reachable[mid] {
+		return
+	}
+	e.dirty[mid] = true
+	e.queue = append(e.queue, mid)
+}
+
+// SiteEscape reports how far objects allocated at the site escape their
+// allocating frame. Sites in unreachable code report EscapeNone.
+func (e *Escape) SiteEscape(site int32) EscapeLevel { return e.siteEsc[site] }
+
+// ParamEscape reports how far the i-th parameter of a method escapes.
+func (e *Escape) ParamEscape(mid int32, i int) EscapeLevel {
+	ps := e.paramEsc[mid]
+	if i < 0 || i >= len(ps) {
+		return EscapeGlobal
+	}
+	return ps[i]
+}
+
+// escState is the per-block abstract frame.
+type escState struct {
+	locals []originSet
+	stack  []originSet
+}
+
+func (st *escState) clone() *escState {
+	out := &escState{
+		locals: make([]originSet, len(st.locals)),
+		stack:  make([]originSet, len(st.stack)),
+	}
+	for i, l := range st.locals {
+		out.locals[i] = l.clone()
+	}
+	for i, s := range st.stack {
+		out.stack[i] = s.clone()
+	}
+	return out
+}
+
+func (st *escState) mergeInto(dst *escState) bool {
+	changed := false
+	for i := range st.locals {
+		if dst.locals[i].addAll(st.locals[i]) {
+			changed = true
+		}
+	}
+	for i := range st.stack {
+		if i < len(dst.stack) && dst.stack[i].addAll(st.stack[i]) {
+			changed = true
+		}
+	}
+	return changed
+}
+
+func (st *escState) push(s originSet) { st.stack = append(st.stack, s) }
+
+func (st *escState) pop() originSet {
+	if len(st.stack) == 0 {
+		return originSet{escOriginUnknown: {}}
+	}
+	s := st.stack[len(st.stack)-1]
+	st.stack = st.stack[:len(st.stack)-1]
+	return s
+}
+
+// escFrame accumulates per-method escape facts during one intra pass.
+type escFrame struct {
+	lvl    map[int32]EscapeLevel
+	stored map[int32]originSet // frame-local container -> contents
+}
+
+func (f *escFrame) raise(s originSet, to EscapeLevel) {
+	for id := range s {
+		if id == escOriginUnknown {
+			continue
+		}
+		if to > f.lvl[id] {
+			f.lvl[id] = to
+		}
+	}
+}
+
+func (e *Escape) analyzeMethod(mid int32) {
+	m := e.prog.Methods[mid]
+	cfg := BuildCFG(m)
+	frame := &escFrame{lvl: make(map[int32]EscapeLevel), stored: make(map[int32]originSet)}
+
+	entry := &escState{locals: make([]originSet, m.MaxLocals)}
+	for i := range entry.locals {
+		entry.locals[i] = make(originSet)
+		if i < m.NumParams {
+			entry.locals[i].add(escParamOrigin(i))
+		}
+	}
+
+	in := make([]*escState, len(cfg.Blocks))
+	in[0] = entry
+	work := []int{0}
+	seen := map[int]bool{0: true}
+	for len(work) > 0 {
+		bid := work[len(work)-1]
+		work = work[:len(work)-1]
+		seen[bid] = false
+		st := in[bid].clone()
+		e.simulateBlock(m, cfg.Blocks[bid], st, frame)
+		for _, succ := range cfg.Blocks[bid].Succs {
+			succState := st
+			if cfg.Blocks[succ].Handler {
+				succState = &escState{locals: st.locals, stack: []originSet{{escOriginUnknown: {}}}}
+			}
+			if in[succ] == nil {
+				in[succ] = succState.clone()
+				if !seen[succ] {
+					seen[succ] = true
+					work = append(work, succ)
+				}
+				continue
+			}
+			for len(in[succ].stack) < len(succState.stack) {
+				in[succ].stack = append(in[succ].stack, make(originSet))
+			}
+			if succState.mergeInto(in[succ]) && !seen[succ] {
+				seen[succ] = true
+				work = append(work, succ)
+			}
+		}
+	}
+
+	// Containment closure: contents escape at least as far as their
+	// container.
+	changed := true
+	for changed {
+		changed = false
+		for container, contents := range frame.stored {
+			cl := frame.lvl[container]
+			if cl == EscapeNone {
+				continue
+			}
+			for id := range contents {
+				if id != escOriginUnknown && cl > frame.lvl[id] {
+					frame.lvl[id] = cl
+					changed = true
+				}
+			}
+		}
+	}
+
+	// Publish: site levels merge globally; parameter levels form the
+	// method summary, re-enqueueing callers when they grow.
+	for origin, lvl := range frame.lvl {
+		if origin >= 0 {
+			if lvl > e.siteEsc[origin] {
+				e.siteEsc[origin] = lvl
+			}
+		}
+	}
+	ps := e.paramEsc[mid]
+	grew := false
+	for i := range ps {
+		if l := frame.lvl[escParamOrigin(i)]; l > ps[i] {
+			ps[i] = l
+			grew = true
+		}
+	}
+	if grew {
+		for _, c := range e.cg.Callers[mid] {
+			e.enqueue(c)
+		}
+	}
+}
+
+func (e *Escape) simulateBlock(m *bytecode.Method, b *Block, st *escState, frame *escFrame) {
+	for pc := b.Start; pc < b.End; pc++ {
+		in := m.Code[pc]
+		switch in.Op {
+		case bytecode.ConstInt, bytecode.ConstBool, bytecode.ConstChar, bytecode.ConstNull:
+			st.push(make(originSet))
+		case bytecode.ConstStr:
+			st.push(originSet{escOriginUnknown: {}})
+		case bytecode.LoadLocal:
+			st.push(st.locals[in.A].clone())
+		case bytecode.StoreLocal:
+			st.locals[in.A] = st.pop()
+		case bytecode.GetField:
+			st.pop()
+			st.push(originSet{escOriginUnknown: {}})
+		case bytecode.PutField:
+			val := st.pop()
+			recv := st.pop()
+			e.store(frame, recv, val)
+		case bytecode.GetStatic:
+			st.push(originSet{escOriginUnknown: {}})
+		case bytecode.PutStatic:
+			frame.raise(st.pop(), EscapeGlobal)
+		case bytecode.NewObject:
+			st.push(originSet{in.B: {}})
+		case bytecode.NewArray:
+			st.pop()
+			st.push(originSet{in.B: {}})
+		case bytecode.ArrayLoad:
+			st.pop()
+			st.pop()
+			if bytecode.ElemKind(in.A) == bytecode.ElemRef {
+				st.push(originSet{escOriginUnknown: {}})
+			} else {
+				st.push(make(originSet))
+			}
+		case bytecode.ArrayStore:
+			val := st.pop()
+			st.pop()
+			arr := st.pop()
+			if bytecode.ElemKind(in.A) == bytecode.ElemRef {
+				e.store(frame, arr, val)
+			}
+		case bytecode.ArrayLen:
+			st.pop()
+			st.push(make(originSet))
+		case bytecode.InvokeStatic, bytecode.InvokeSpecial:
+			e.call(st, frame, in.A)
+		case bytecode.InvokeVirtual:
+			e.callVirtual(st, frame, in)
+		case bytecode.CallBuiltin:
+			pops, pushes, _ := builtinEffect(bytecode.Builtin(in.A))
+			for i := 0; i < pops; i++ {
+				st.pop()
+			}
+			for i := 0; i < pushes; i++ {
+				st.push(make(originSet))
+			}
+		case bytecode.Return:
+		case bytecode.ReturnValue:
+			frame.raise(st.pop(), EscapeReturn)
+		case bytecode.Jump, bytecode.Nop:
+		case bytecode.JumpIfFalse, bytecode.JumpIfTrue, bytecode.JumpIfNull, bytecode.JumpIfNonNull:
+			st.pop()
+		case bytecode.Add, bytecode.Sub, bytecode.Mul, bytecode.Div, bytecode.Rem,
+			bytecode.CmpEQ, bytecode.CmpNE, bytecode.CmpLT, bytecode.CmpLE,
+			bytecode.CmpGT, bytecode.CmpGE, bytecode.RefEQ, bytecode.RefNE:
+			st.pop()
+			st.pop()
+			st.push(make(originSet))
+		case bytecode.Neg, bytecode.Not:
+			st.pop()
+			st.push(make(originSet))
+		case bytecode.Dup:
+			top := st.stack[len(st.stack)-1]
+			st.push(top.clone())
+		case bytecode.Pop:
+			st.pop()
+		case bytecode.Swap:
+			n := len(st.stack)
+			st.stack[n-1], st.stack[n-2] = st.stack[n-2], st.stack[n-1]
+		case bytecode.CheckCast:
+			// Pass-through.
+		case bytecode.Throw:
+			frame.raise(st.pop(), EscapeGlobal)
+		case bytecode.MonitorEnter, bytecode.MonitorExit:
+			st.pop()
+		}
+	}
+}
+
+// store records a value stored into a container: into a frame-local
+// allocation it is a containment edge; into a parameter's object it
+// escapes as EscapeArg; through an untracked reference it escapes globally.
+func (e *Escape) store(frame *escFrame, container, val originSet) {
+	for id := range container {
+		switch {
+		case id == escOriginUnknown:
+			frame.raise(val, EscapeGlobal)
+		case id < 0:
+			frame.raise(val, EscapeArg)
+		default:
+			s, ok := frame.stored[id]
+			if !ok {
+				s = make(originSet)
+				frame.stored[id] = s
+			}
+			s.addAll(val)
+		}
+	}
+}
+
+// applySummary raises each argument to the callee's parameter level and
+// returns the origins the callee may hand back.
+func (e *Escape) applySummary(frame *escFrame, target int32, args []originSet) originSet {
+	ret := make(originSet)
+	summary := e.paramEsc[target]
+	for i, a := range args {
+		lvl := EscapeGlobal
+		if i < len(summary) {
+			lvl = summary[i]
+		}
+		if lvl > EscapeNone {
+			// A returned parameter re-enters the caller's frame: keep
+			// tracking it through the call result instead of giving up.
+			if lvl == EscapeReturn {
+				ret.addAll(a)
+			} else {
+				frame.raise(a, lvl)
+			}
+		}
+	}
+	return ret
+}
+
+func (e *Escape) call(st *escState, frame *escFrame, target int32) {
+	callee := e.prog.Methods[target]
+	args := make([]originSet, callee.NumParams)
+	for i := callee.NumParams - 1; i >= 0; i-- {
+		args[i] = st.pop()
+	}
+	ret := e.applySummary(frame, target, args)
+	if methodReturnsValue(e.prog, target) {
+		ret.add(escOriginUnknown)
+		st.push(ret)
+	}
+}
+
+func (e *Escape) callVirtual(st *escState, frame *escFrame, in bytecode.Instr) {
+	decl := e.prog.Classes[in.B]
+	declared := e.prog.Methods[decl.VTable[in.A]]
+	args := make([]originSet, declared.NumParams)
+	for i := declared.NumParams - 1; i >= 0; i-- {
+		args[i] = st.pop()
+	}
+	ret := make(originSet)
+	resolved := false
+	for class := range e.cg.Instantiated {
+		if !e.prog.IsSubclass(class, in.B) {
+			continue
+		}
+		c := e.prog.Classes[class]
+		if int(in.A) >= len(c.VTable) {
+			continue
+		}
+		ret.addAll(e.applySummary(frame, c.VTable[in.A], args))
+		resolved = true
+	}
+	if !resolved {
+		// No instantiated receiver: stay conservative about the args.
+		for _, a := range args {
+			frame.raise(a, EscapeGlobal)
+		}
+	}
+	if methodReturnsValue(e.prog, declared.ID) {
+		ret.add(escOriginUnknown)
+		st.push(ret)
+	}
+}
+
+func methodReturnsValue(p *bytecode.Program, mid int32) bool {
+	for _, in := range p.Methods[mid].Code {
+		if in.Op == bytecode.ReturnValue {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,126 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"dragprof/internal/analysis"
+	"dragprof/internal/bytecode"
+)
+
+const escSrc = `
+class Sink { static Node hold; }
+class Node {
+    int v;
+    Node next;
+    Node(int v0) { v = v0; }
+}
+class Main {
+    static void publish(Node n) { Sink.hold = n; }
+    static Node make(int v) { Node n = new Node(v); return n; }
+    static int localUse(int v) { Node n = new Node(v); return n.v; }
+    static void link(Node a, Node b) { a.next = b; }
+    static void main() {
+        Node x = new Node(1);
+        publish(x);
+        Node m = make(3);
+        Node p = new Node(5);
+        Node q = new Node(6);
+        link(p, q);
+        printInt(x.v + m.v + localUse(4) + p.v + q.v);
+    }
+}`
+
+// nodeSites returns the Node allocation sites of a method, in code order.
+func nodeSites(t *testing.T, p *bytecode.Program, class, name string) []int32 {
+	t.Helper()
+	m := p.MethodByName(class, name)
+	if m == nil {
+		t.Fatalf("method %s.%s not found", class, name)
+	}
+	var sites []int32
+	for _, in := range m.Code {
+		if in.Op == bytecode.NewObject && p.Classes[in.A].Name == "Node" {
+			sites = append(sites, in.B)
+		}
+	}
+	return sites
+}
+
+func TestEscapeLevels(t *testing.T) {
+	p := compile(t, escSrc)
+	cg := analysis.BuildCallGraph(p)
+	esc := analysis.ComputeEscape(p, cg)
+
+	mains := nodeSites(t, p, "Main", "main")
+	if len(mains) != 3 {
+		t.Fatalf("expected 3 Node sites in main, got %d", len(mains))
+	}
+	x, pSite, qSite := mains[0], mains[1], mains[2]
+
+	// x is passed to publish, which stores its parameter into a static:
+	// the parameter summary must carry Global back into the caller.
+	if got := esc.SiteEscape(x); got != analysis.EscapeGlobal {
+		t.Errorf("x: escape %v, want global", got)
+	}
+	if got := esc.ParamEscape(methodID(t, p, "Main", "publish"), 0); got != analysis.EscapeGlobal {
+		t.Errorf("publish param 0: escape %v, want global", got)
+	}
+
+	// make returns its allocation.
+	makeSites := nodeSites(t, p, "Main", "make")
+	if len(makeSites) != 1 {
+		t.Fatalf("expected 1 site in make, got %d", len(makeSites))
+	}
+	if got := esc.SiteEscape(makeSites[0]); got != analysis.EscapeReturn {
+		t.Errorf("make's site: escape %v, want return", got)
+	}
+
+	// localUse's allocation never leaves the frame.
+	localSites := nodeSites(t, p, "Main", "localUse")
+	if got := esc.SiteEscape(localSites[0]); got != analysis.EscapeNone {
+		t.Errorf("localUse's site: escape %v, want none", got)
+	}
+
+	// link stores b into a field of a: b escapes into an argument, a does
+	// not escape at all.
+	linkID := methodID(t, p, "Main", "link")
+	if got := esc.ParamEscape(linkID, 0); got != analysis.EscapeNone {
+		t.Errorf("link param 0: escape %v, want none", got)
+	}
+	if got := esc.ParamEscape(linkID, 1); got != analysis.EscapeArg {
+		t.Errorf("link param 1: escape %v, want arg", got)
+	}
+	if got := esc.SiteEscape(pSite); got != analysis.EscapeNone {
+		t.Errorf("p: escape %v, want none", got)
+	}
+	if got := esc.SiteEscape(qSite); got != analysis.EscapeArg {
+		t.Errorf("q: escape %v, want arg", got)
+	}
+}
+
+func TestEscapeThrownIsGlobal(t *testing.T) {
+	p := compile(t, `
+class Main {
+    static void boom() {
+        throw new RuntimeException("boom");
+    }
+    static void main() {
+        try { boom(); } catch (RuntimeException e) { printInt(1); }
+    }
+}`)
+	cg := analysis.BuildCallGraph(p)
+	esc := analysis.ComputeEscape(p, cg)
+	m := p.MethodByName("Main", "boom")
+	var site int32 = -1
+	for _, in := range m.Code {
+		if in.Op == bytecode.NewObject {
+			site = in.B
+		}
+	}
+	if site < 0 {
+		t.Fatal("no allocation in boom")
+	}
+	if got := esc.SiteEscape(site); got != analysis.EscapeGlobal {
+		t.Errorf("thrown object: escape %v, want global", got)
+	}
+}

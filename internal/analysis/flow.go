@@ -67,6 +67,20 @@ type Flow struct {
 	// pattern-1 distinction: constructor-only uses do not count).
 	used        map[int32]bool
 	usedOutside map[int32]bool
+	// observedHard marks sites whose object contents directly influence
+	// execution: a primitive field or element is read, the reference is
+	// null-tested, compared, cast, thrown, locked, or handed to native
+	// code. Writes and pure stores do NOT observe — a site can be used
+	// (dereferenced) yet never observed: the write-only objects of the
+	// paper's mc pathology.
+	observedHard map[int32]bool
+	// readEdges records, per container site, the sites of references
+	// loaded out of it; observation propagates backwards along these
+	// edges (reading an observed object out of a container observes the
+	// container).
+	readEdges map[int32]siteSet
+	// observed is the fixpoint closure of observedHard over readEdges.
+	observed map[int32]bool
 	// siteClass maps an allocation site to the allocated class (or -1
 	// for arrays).
 	siteClass map[int32]int32
@@ -94,6 +108,8 @@ func RunFlow(p *bytecode.Program, cg *CallGraph) *Flow {
 		pure:         ComputePurity(p),
 		used:         make(map[int32]bool),
 		usedOutside:  make(map[int32]bool),
+		observedHard: make(map[int32]bool),
+		readEdges:    make(map[int32]siteSet),
 		siteClass:    make(map[int32]int32),
 		params:       make(map[int32][]siteSet),
 		returns:      make(map[int32]siteSet),
@@ -122,7 +138,60 @@ func RunFlow(p *bytecode.Program, cg *CallGraph) *Flow {
 		fl.dirty[mid] = false
 		fl.analyzeMethod(mid)
 	}
+	fl.computeObserved()
 	return fl
+}
+
+// markObserved records a direct observation of every site in s.
+func (fl *Flow) markObserved(s siteSet) {
+	for id := range s {
+		if id >= 0 {
+			fl.observedHard[id] = true
+		}
+	}
+}
+
+// recordRead records that references with the sites in loaded were read out
+// of containers with the sites in recv. An untracked container loses the
+// edge, so its loaded values are conservatively observed.
+func (fl *Flow) recordRead(recv, loaded siteSet) {
+	for id := range recv {
+		if id < 0 {
+			fl.markObserved(loaded)
+			continue
+		}
+		e, ok := fl.readEdges[id]
+		if !ok {
+			e = make(siteSet)
+			fl.readEdges[id] = e
+		}
+		e.addAll(loaded)
+	}
+}
+
+// computeObserved closes observedHard over readEdges: a container is
+// observed when anything loaded out of it is observed (or untracked).
+func (fl *Flow) computeObserved() {
+	fl.observed = make(map[int32]bool, len(fl.observedHard))
+	for id := range fl.observedHard {
+		fl.observed[id] = true
+	}
+	changed := true
+	for changed {
+		changed = false
+		for recv, loaded := range fl.readEdges {
+			if fl.observed[recv] {
+				continue
+			}
+			for id := range loaded {
+				if id == UnknownSite || fl.observed[id] {
+					fl.observed[recv] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
 }
 
 func (fl *Flow) enqueue(mid int32) {
@@ -303,7 +372,15 @@ func (fl *Flow) simulateBlock(m *bytecode.Method, b *Block, st *flowState) {
 		case bytecode.GetField:
 			recv := st.pop()
 			fl.markUsed(recv, m)
-			st.push(fl.fieldSet(recv, in.A))
+			loaded := fl.fieldSet(recv, in.A)
+			if fl.refFieldSlot(in.B, in.A) {
+				fl.recordRead(recv, loaded)
+			} else {
+				// A primitive field read feeds object contents into the
+				// computation: the receiver is observed.
+				fl.markObserved(recv)
+			}
+			st.push(loaded)
 		case bytecode.PutField:
 			val := st.pop()
 			recv := st.pop()
@@ -324,8 +401,11 @@ func (fl *Flow) simulateBlock(m *bytecode.Method, b *Block, st *flowState) {
 			arr := st.pop()
 			fl.markUsed(arr, m)
 			if bytecode.ElemKind(in.A) == bytecode.ElemRef {
-				st.push(fl.loadArray(arr))
+				loaded := fl.loadArray(arr)
+				fl.recordRead(arr, loaded)
+				st.push(loaded)
 			} else {
+				fl.markObserved(arr)
 				st.push(make(siteSet))
 			}
 		case bytecode.ArrayStore:
@@ -353,8 +433,11 @@ func (fl *Flow) simulateBlock(m *bytecode.Method, b *Block, st *flowState) {
 			v := st.pop()
 			fl.recordReturn(m.ID, v)
 		case bytecode.Jump, bytecode.Nop:
-		case bytecode.JumpIfFalse, bytecode.JumpIfTrue, bytecode.JumpIfNull, bytecode.JumpIfNonNull:
+		case bytecode.JumpIfFalse, bytecode.JumpIfTrue:
 			st.pop()
+		case bytecode.JumpIfNull, bytecode.JumpIfNonNull:
+			// A null test branches on the reference: observed.
+			fl.markObserved(st.pop())
 		case bytecode.Add, bytecode.Sub, bytecode.Mul, bytecode.Div, bytecode.Rem,
 			bytecode.CmpEQ, bytecode.CmpNE, bytecode.CmpLT, bytecode.CmpLE,
 			bytecode.CmpGT, bytecode.CmpGE:
@@ -362,8 +445,8 @@ func (fl *Flow) simulateBlock(m *bytecode.Method, b *Block, st *flowState) {
 			st.pop()
 			st.push(make(siteSet))
 		case bytecode.RefEQ, bytecode.RefNE:
-			st.pop()
-			st.pop()
+			fl.markObserved(st.pop())
+			fl.markObserved(st.pop())
 			st.push(make(siteSet))
 		case bytecode.Neg, bytecode.Not:
 			st.pop()
@@ -377,14 +460,20 @@ func (fl *Flow) simulateBlock(m *bytecode.Method, b *Block, st *flowState) {
 			n := len(st.stack)
 			st.stack[n-1], st.stack[n-2] = st.stack[n-2], st.stack[n-1]
 		case bytecode.CheckCast:
-			// Pass-through; a cast does not use the object.
+			// Pass-through; a cast does not use the object, but the
+			// runtime type test does observe it.
+			if len(st.stack) > 0 {
+				fl.markObserved(st.stack[len(st.stack)-1])
+			}
 		case bytecode.Throw:
 			v := st.pop()
 			// The VM reads the exception for dispatch.
 			fl.markUsed(v, m)
+			fl.markObserved(v)
 		case bytecode.MonitorEnter, bytecode.MonitorExit:
 			v := st.pop()
 			fl.markUsed(v, m)
+			fl.markObserved(v)
 		}
 	}
 }
@@ -497,16 +586,17 @@ func (fl *Flow) loadArray(arr siteSet) siteSet {
 }
 
 // storeArray adds the value to the buckets of every array the target may
-// be.
+// be. An empty target set is bottom — no array reaches the store under the
+// current facts — not unknown: unknown targets carry an explicit
+// UnknownSite member. Treating bottom as unknown would let a transient
+// early-fixpoint state poison the unknown bucket permanently (sets never
+// shrink), making the analysis order-dependent.
 func (fl *Flow) storeArray(arr siteSet, val siteSet) {
 	changed := false
 	for id := range arr {
 		if fl.bucket(id).addAll(val) {
 			changed = true
 		}
-	}
-	if len(arr) == 0 && fl.bucket(UnknownSite).addAll(val) {
-		changed = true
 	}
 	if changed {
 		fl.invalidateAll()
@@ -617,9 +707,12 @@ func (fl *Flow) builtin(st *flowState, b bytecode.Builtin, caller *bytecode.Meth
 	}
 	for _, i := range refArgs {
 		fl.markUsed(args[i], caller)
+		fl.markObserved(args[i])
 		// Native code also dereferences the String's char array.
 		if fl.prog.StringClass >= 0 && fl.prog.StringChars >= 0 {
-			fl.markUsed(fl.fieldSetOf(fieldKey{fl.prog.StringClass, fl.prog.StringChars}), nil)
+			chars := fl.fieldSetOf(fieldKey{fl.prog.StringClass, fl.prog.StringChars})
+			fl.markUsed(chars, nil)
+			fl.markObserved(chars)
 		}
 	}
 	for i := 0; i < pushes; i++ {
@@ -652,6 +745,19 @@ func builtinEffect(b bytecode.Builtin) (pops, pushes int, refArgs []int) {
 	return 0, 0, nil
 }
 
+// refFieldSlot reports whether instance slot `slot` of class `class` holds
+// a reference. The declaring class is statically known at every GetField.
+func (fl *Flow) refFieldSlot(class, slot int32) bool {
+	if class < 0 || int(class) >= len(fl.prog.Classes) {
+		return true // unknown: assume reference, keeping the edge
+	}
+	c := fl.prog.Classes[class]
+	if int(slot) >= len(c.RefSlots) {
+		return true
+	}
+	return c.RefSlots[slot]
+}
+
 // SiteUsed reports whether any object allocated at the site is used
 // outside its own class's construction.
 func (fl *Flow) SiteUsed(site int32) bool { return fl.usedOutside[site] }
@@ -677,6 +783,36 @@ func (fl *Flow) NeverUsedSites() []int32 {
 			site := in.B
 			if !fl.usedOutside[site] {
 				out = append(out, site)
+			}
+		}
+	}
+	return out
+}
+
+// SiteObserved reports whether the site's object contents can influence
+// execution: a primitive read, null test, comparison, cast, throw, lock or
+// native call sees the object directly, or an object read out of it is
+// itself observed. A used-but-unobserved site is a write-only object — data
+// flows in but never back out (the mc pathology: results are stored and
+// summarized, the stored copy is never read).
+func (fl *Flow) SiteObserved(site int32) bool { return fl.observed[site] }
+
+// UnobservedSites lists reachable allocation sites whose objects are never
+// observed. This is a superset of NeverUsedSites restricted to the
+// observation criterion: it additionally catches objects that ARE
+// dereferenced, but only to write into them.
+func (fl *Flow) UnobservedSites() []int32 {
+	var out []int32
+	for _, m := range fl.prog.Methods {
+		if !fl.cg.Reachable[m.ID] {
+			continue
+		}
+		for _, in := range m.Code {
+			if in.Op != bytecode.NewObject && in.Op != bytecode.NewArray {
+				continue
+			}
+			if !fl.observed[in.B] {
+				out = append(out, in.B)
 			}
 		}
 	}

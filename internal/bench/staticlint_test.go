@@ -1,0 +1,67 @@
+package bench_test
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"dragprof/internal/bench"
+	"dragprof/internal/lint"
+)
+
+// TestLintAllWorkloads runs the dragvet engine over every benchmark in the
+// suite and renders the findings in all three output formats. The linter
+// must never crash, the renders must be well-formed, and the workloads that
+// embed the paper's pathologies must produce findings.
+func TestLintAllWorkloads(t *testing.T) {
+	all := bench.All()
+	if len(all) < 9 {
+		t.Fatalf("benchmark registry has %d entries, want >= 9", len(all))
+	}
+	for _, b := range all {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			cp, err := b.Compile(bench.Original, bench.OriginalInput)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := lint.Run(cp.Program)
+
+			text := lint.Text(res.Findings)
+			if text == "" {
+				t.Error("empty text render")
+			}
+			js, err := lint.JSON(res.Findings)
+			if err != nil {
+				t.Fatalf("JSON render: %v", err)
+			}
+			var diags []map[string]any
+			if err := json.Unmarshal([]byte(js), &diags); err != nil {
+				t.Fatalf("JSON render is not a diagnostic array: %v", err)
+			}
+			if len(diags) != len(res.Findings) {
+				t.Errorf("JSON has %d diagnostics, findings %d", len(diags), len(res.Findings))
+			}
+			sarif, err := lint.SARIF(res.Findings)
+			if err != nil {
+				t.Fatalf("SARIF render: %v", err)
+			}
+			var log map[string]any
+			if err := json.Unmarshal([]byte(sarif), &log); err != nil {
+				t.Fatalf("SARIF render is not JSON: %v", err)
+			}
+			if v, _ := log["version"].(string); v != "2.1.0" {
+				t.Errorf("SARIF version %q, want 2.1.0", v)
+			}
+			if !strings.Contains(sarif, lint.ToolName) {
+				t.Error("SARIF log does not name the tool")
+			}
+
+			// Every benchmark in the suite embeds at least one of the
+			// paper's drag pathologies in its original version.
+			if len(res.Findings) == 0 {
+				t.Errorf("%s: no findings on the original version", b.Name)
+			}
+		})
+	}
+}

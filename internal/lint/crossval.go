@@ -1,0 +1,185 @@
+package lint
+
+import (
+	"fmt"
+	"strings"
+
+	"dragprof/internal/drag"
+	"dragprof/internal/report"
+)
+
+// Cross-validation (static ↔ dynamic): the drag profiler measures where
+// drag actually accumulates; the linter predicts where it can accumulate.
+// Matching the two answers the paper's Section 5 question — how much of the
+// measured drag could a static tool have found without running the program?
+//
+// Findings and drag groups join on the site description ("Class.method:line
+// (new X)"), which is stable across separate compiles of the same source.
+
+// CrossOptions tunes the measured-site selection.
+type CrossOptions struct {
+	// TopN bounds how many top-drag sites form the measured set
+	// (default 10).
+	TopN int
+	// MinShare drops measured sites contributing less than this fraction
+	// of total drag (default 0.01): below it the profiler is reporting
+	// noise, not a target.
+	MinShare float64
+	// MinConfidence drops static findings below this confidence from the
+	// match (default 0: candidates with blockers still count as
+	// predictions).
+	MinConfidence float64
+}
+
+func (o CrossOptions) withDefaults() CrossOptions {
+	if o.TopN == 0 {
+		o.TopN = 10
+	}
+	if o.MinShare == 0 {
+		o.MinShare = 0.01
+	}
+	return o
+}
+
+// SiteMatch is one measured top-drag site with its static verdict.
+type SiteMatch struct {
+	Desc      string  `json:"site"`
+	DragMB2   float64 `json:"drag_mb2"`
+	DragShare float64 `json:"drag_share"`
+	Pattern   string  `json:"pattern"`
+	Matched   bool    `json:"matched"`
+	// Rules lists the static rules that flagged the site (empty when
+	// unmatched).
+	Rules []string `json:"rules,omitempty"`
+}
+
+// CrossReport is the static↔dynamic comparison.
+type CrossReport struct {
+	Bench string `json:"bench"`
+	// Matches covers the measured set (top-drag sites), in drag order.
+	Matches []SiteMatch `json:"matches"`
+	// MeasuredSites and MatchedSites size the measured set and its
+	// statically predicted subset; Recall is their ratio.
+	MeasuredSites int     `json:"measured_sites"`
+	MatchedSites  int     `json:"matched_sites"`
+	Recall        float64 `json:"recall"`
+	// StaticSites and ConfirmedSites size the static site-prediction set
+	// and its subset with measured drag; Precision is their ratio.
+	StaticSites    int     `json:"static_sites"`
+	ConfirmedSites int     `json:"confirmed_sites"`
+	Precision      float64 `json:"precision"`
+	// DragCoveredPct is the percentage of total measured drag at sites
+	// the linter flagged (over all sites, not just the top set).
+	DragCoveredPct float64 `json:"drag_covered_pct"`
+}
+
+// CrossValidate joins static findings against a drag report.
+func CrossValidate(findings []Finding, rep *drag.Report, opts CrossOptions) *CrossReport {
+	opts = opts.withDefaults()
+
+	// Static prediction set: site-specific findings above the confidence
+	// floor, keyed by site description.
+	static := map[string][]string{}
+	for _, f := range findings {
+		if f.SiteID < 0 || f.Site == "" || f.Confidence < opts.MinConfidence {
+			continue
+		}
+		dup := false
+		for _, r := range static[f.Site] {
+			if r == f.Rule {
+				dup = true
+			}
+		}
+		if !dup {
+			static[f.Site] = append(static[f.Site], f.Rule)
+		}
+	}
+
+	cr := &CrossReport{Bench: rep.Name}
+
+	// Measured set: top-drag user sites. Runtime ("vm:") sites are the
+	// VM's own exception objects — invisible to source-level lint.
+	for _, g := range rep.BySite {
+		if cr.MeasuredSites >= opts.TopN {
+			break
+		}
+		if g.SiteID < 0 || g.Drag <= 0 || strings.HasPrefix(g.Desc, "vm:") {
+			continue
+		}
+		share := 0.0
+		if rep.TotalDrag > 0 {
+			share = float64(g.Drag) / float64(rep.TotalDrag)
+		}
+		if share < opts.MinShare {
+			continue
+		}
+		rules := static[g.Desc]
+		m := SiteMatch{
+			Desc:      g.Desc,
+			DragMB2:   drag.MB2(g.Drag),
+			DragShare: share,
+			Pattern:   g.Pattern.String(),
+			Matched:   len(rules) > 0,
+			Rules:     rules,
+		}
+		cr.Matches = append(cr.Matches, m)
+		cr.MeasuredSites++
+		if m.Matched {
+			cr.MatchedSites++
+		}
+	}
+	if cr.MeasuredSites > 0 {
+		cr.Recall = float64(cr.MatchedSites) / float64(cr.MeasuredSites)
+	}
+
+	// Precision and drag coverage over the full site list.
+	dragged := map[string]int64{}
+	var userDrag int64
+	for _, g := range rep.BySite {
+		if g.SiteID < 0 || strings.HasPrefix(g.Desc, "vm:") {
+			continue
+		}
+		dragged[g.Desc] += g.Drag
+		if g.Drag > 0 {
+			userDrag += g.Drag
+		}
+	}
+	var covered int64
+	for desc := range static {
+		cr.StaticSites++
+		if d := dragged[desc]; d > 0 {
+			cr.ConfirmedSites++
+			covered += d
+		}
+	}
+	if cr.StaticSites > 0 {
+		cr.Precision = float64(cr.ConfirmedSites) / float64(cr.StaticSites)
+	}
+	if userDrag > 0 {
+		cr.DragCoveredPct = 100 * float64(covered) / float64(userDrag)
+	}
+	return cr
+}
+
+// Text renders the cross-validation as a table plus a summary line.
+func (cr *CrossReport) Text() string {
+	tbl := &report.Table{
+		Title:   fmt.Sprintf("dragvet cross-validation: %s", cr.Bench),
+		Columns: []string{"SITE", "DRAG(MB·s)", "SHARE", "PATTERN", "STATIC"},
+	}
+	for _, m := range cr.Matches {
+		verdict := "-"
+		if m.Matched {
+			verdict = strings.Join(m.Rules, ",")
+		}
+		tbl.AddRow(m.Desc, fmt.Sprintf("%.2f", m.DragMB2),
+			fmt.Sprintf("%.1f%%", 100*m.DragShare), m.Pattern, verdict)
+	}
+	var b strings.Builder
+	b.WriteString(tbl.String())
+	fmt.Fprintf(&b, "\nrecall %.2f (%d/%d top-drag sites predicted)  precision %.2f (%d/%d static sites dragged)  drag covered %.1f%%\n",
+		cr.Recall, cr.MatchedSites, cr.MeasuredSites,
+		cr.Precision, cr.ConfirmedSites, cr.StaticSites,
+		cr.DragCoveredPct)
+	return b.String()
+}

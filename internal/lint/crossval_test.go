@@ -1,0 +1,96 @@
+package lint_test
+
+import (
+	"testing"
+
+	"dragprof/internal/bench"
+	"dragprof/internal/lint"
+)
+
+// crossValidateBench lints a benchmark statically, profiles it dynamically,
+// and joins the two.
+func crossValidateBench(t *testing.T, name string) *lint.CrossReport {
+	t.Helper()
+	b, err := bench.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := b.Compile(bench.Original, bench.OriginalInput)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := lint.Run(cp.Program)
+	rr, err := bench.Run(b, bench.Original, bench.OriginalInput,
+		bench.RunConfig{GCInterval: bench.DefaultGCInterval})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lint.CrossValidate(res.Findings, rr.Report, lint.CrossOptions{})
+}
+
+// TestCrossValidationJack pins the static↔dynamic agreement on jack, the
+// paper's lazy-allocation case study: at least 80% of the top measured drag
+// sites must be statically predicted, and every static prediction must
+// correspond to a site that actually dragged.
+func TestCrossValidationJack(t *testing.T) {
+	cr := crossValidateBench(t, "jack")
+	if cr.MeasuredSites == 0 {
+		t.Fatal("no measured drag sites — profiler produced an empty report")
+	}
+	if cr.Recall < 0.8 {
+		t.Errorf("jack recall %.2f (%d/%d), want >= 0.8",
+			cr.Recall, cr.MatchedSites, cr.MeasuredSites)
+	}
+	if cr.Precision < 1.0 {
+		t.Errorf("jack precision %.2f (%d/%d), want 1.0",
+			cr.Precision, cr.ConfirmedSites, cr.StaticSites)
+	}
+	if cr.DragCoveredPct < 90 {
+		t.Errorf("jack drag coverage %.1f%%, want >= 90%%", cr.DragCoveredPct)
+	}
+	// The flagship lazy-alloc prediction must match dynamically.
+	found := false
+	for _, m := range cr.Matches {
+		if m.Desc == "Production.<init>:23 (new Vector)" {
+			found = true
+			if !m.Matched {
+				t.Error("Production.<init>:23 (new Vector) measured but not statically matched")
+			}
+		}
+	}
+	if !found {
+		t.Error("Production.<init>:23 (new Vector) missing from the measured top-drag set")
+	}
+}
+
+// TestCrossValidationRaytrace pins the never-used case study: raytrace's
+// dead cache structures must be both measured and predicted.
+func TestCrossValidationRaytrace(t *testing.T) {
+	cr := crossValidateBench(t, "raytrace")
+	if cr.MeasuredSites == 0 {
+		t.Fatal("no measured drag sites — profiler produced an empty report")
+	}
+	if cr.Recall < 0.8 {
+		t.Errorf("raytrace recall %.2f (%d/%d), want >= 0.8",
+			cr.Recall, cr.MatchedSites, cr.MeasuredSites)
+	}
+	if cr.Precision < 1.0 {
+		t.Errorf("raytrace precision %.2f (%d/%d), want 1.0",
+			cr.Precision, cr.ConfirmedSites, cr.StaticSites)
+	}
+}
+
+// TestCrossValidationMC documents the known static/dynamic gap on mc: the
+// runBatch work array is genuinely read by the program text (so the linter
+// correctly stays silent), yet the profiler classifies it all-never-used
+// dynamically. Recall therefore tops out below 1.0 — but the two sites the
+// linter can see must match.
+func TestCrossValidationMC(t *testing.T) {
+	cr := crossValidateBench(t, "mc")
+	if cr.MatchedSites < 2 {
+		t.Errorf("mc matched sites %d, want >= 2 (PathResult allocations)", cr.MatchedSites)
+	}
+	if cr.Precision < 1.0 {
+		t.Errorf("mc precision %.2f, want 1.0", cr.Precision)
+	}
+}

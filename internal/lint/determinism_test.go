@@ -1,0 +1,49 @@
+package lint_test
+
+import (
+	"testing"
+
+	"dragprof/internal/bench"
+	"dragprof/internal/lint"
+)
+
+// TestDeterministicOutput compiles the largest benchmark twice from scratch
+// and demands byte-identical linter output in every format. The flow and
+// escape fixpoints iterate Go maps internally, so any order dependence in
+// the analyses or the renderer shows up here as a diff.
+func TestDeterministicOutput(t *testing.T) {
+	b, err := bench.ByName("javac")
+	if err != nil {
+		t.Fatal(err)
+	}
+	render := func() (string, string, string) {
+		cp, err := b.Compile(bench.Original, bench.OriginalInput)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fs := lint.Run(cp.Program).Findings
+		js, err := lint.JSON(fs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sarif, err := lint.SARIF(fs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return lint.Text(fs), js, sarif
+	}
+	text1, json1, sarif1 := render()
+	text2, json2, sarif2 := render()
+	if text1 != text2 {
+		t.Error("text output differs between two identical runs")
+	}
+	if json1 != json2 {
+		t.Error("JSON output differs between two identical runs")
+	}
+	if sarif1 != sarif2 {
+		t.Error("SARIF output differs between two identical runs")
+	}
+	if len(json1) == 0 || len(sarif1) == 0 {
+		t.Error("empty rendered output")
+	}
+}

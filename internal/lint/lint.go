@@ -1,0 +1,401 @@
+// Package lint is dragvet's diagnostic engine: it runs the whole static
+// analysis suite over a compiled MiniJava program and emits ranked findings
+// for the paper's space-saving rewrite opportunities — dead allocations,
+// write-only objects, lazy-allocation candidates with PRE-style guard
+// placement, dead stores, assign-null candidates, vector-pattern array
+// leaks and unread fields. Each finding carries the allocation site, a
+// confidence score, the suggested rewrite and any blocking reasons the
+// validators report, so the same data can drive text, JSON and SARIF
+// output as well as static↔dynamic cross-validation against drag profiles.
+package lint
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dragprof/internal/analysis"
+	"dragprof/internal/bytecode"
+	"dragprof/internal/mj"
+	"dragprof/internal/transform"
+)
+
+// Rule identifiers, also used as SARIF rule ids.
+const (
+	RuleNeverUsed   = "never-used-alloc"
+	RuleWriteOnly   = "write-only-alloc"
+	RuleLazyAlloc   = "lazy-alloc"
+	RuleDeadStore   = "dead-store"
+	RuleAssignNull  = "assign-null"
+	RuleVectorLeak  = "vector-leak"
+	RuleUnreadField = "unread-field"
+)
+
+// RuleDescriptions maps rule ids to the one-line descriptions rendered into
+// SARIF rule metadata.
+var RuleDescriptions = map[string]string{
+	RuleNeverUsed:   "allocation site whose objects are never used; the allocation statement can be deleted",
+	RuleWriteOnly:   "allocation whose object state is written but never read back; the object only consumes space",
+	RuleLazyAlloc:   "constructor field initialization that can be delayed to the field's first use behind a null-test guard",
+	RuleDeadStore:   "local store whose value is never loaded",
+	RuleAssignNull:  "reference local that keeps its object reachable past the last use; assigning null frees it for the collector",
+	RuleVectorLeak:  "vector-style removal that leaves the vacated array element reachable",
+	RuleUnreadField: "field written but never read in any reachable method",
+}
+
+// Guard is one load of a lazily allocated field with its guard decision.
+type Guard struct {
+	Method  string `json:"method"`
+	Line    int    `json:"line"`
+	Guarded bool   `json:"guarded"`
+}
+
+// Insertion is a PRE-style placement point for a delayed allocation.
+type Insertion struct {
+	Method string `json:"method"`
+	Line   int    `json:"line"`
+	PC     int    `json:"pc"`
+}
+
+// Finding is one diagnostic.
+type Finding struct {
+	// Rule is the rule id (Rule* constants).
+	Rule string `json:"rule"`
+	// SiteID is the allocation site, or -1 for non-site findings.
+	SiteID int32 `json:"site_id"`
+	// Site is the site's printable description ("Class.method:line
+	// (new X)"); it is the join key for cross-validation.
+	Site string `json:"site,omitempty"`
+	// Method, Line and File locate the finding in source.
+	Method string `json:"method,omitempty"`
+	Line   int    `json:"line,omitempty"`
+	File   string `json:"file,omitempty"`
+	// Message states the problem.
+	Message string `json:"message"`
+	// Confidence in [0,1]: how sure the analyses are that the rewrite is
+	// sound and profitable. Validator-proven rewrites score high;
+	// candidates with blockers score low.
+	Confidence float64 `json:"confidence"`
+	// Rewrite is the suggested source change.
+	Rewrite string `json:"rewrite,omitempty"`
+	// Blockers lists validator objections that keep the rewrite from
+	// being automatic.
+	Blockers []string `json:"blockers,omitempty"`
+	// Escape is the interprocedural escape level of the site ("none",
+	// "arg", "return", "global"); non-escaping sites get a confidence
+	// upgrade.
+	Escape string `json:"escape,omitempty"`
+	// Guards and Insertions carry the lazy-allocation placement plan.
+	Guards     []Guard     `json:"guards,omitempty"`
+	Insertions []Insertion `json:"insertions,omitempty"`
+}
+
+// Result bundles the findings with the program they were computed over.
+type Result struct {
+	Findings []Finding
+	Prog     *bytecode.Program
+}
+
+// assignNullDeadTail is the minimum number of instructions that must follow
+// a reference local's last use before an assign-null finding is emitted:
+// shorter tails free the object too late to matter.
+const assignNullDeadTail = 16
+
+// Run executes every lint rule over the program and returns the findings
+// sorted by decreasing confidence (ties broken deterministically).
+func Run(p *bytecode.Program) *Result {
+	v := transform.NewValidator(p)
+	esc := analysis.ComputeEscape(p, v.CG)
+	usage := analysis.AnalyzeUsage(p, v.CG)
+
+	var fs []Finding
+	fs = append(fs, siteRules(p, v, esc)...)
+	fs = append(fs, deadStoreRule(p, v, usage)...)
+	fs = append(fs, vectorLeakRule(p, v)...)
+	fs = append(fs, unreadFieldRule(p, usage)...)
+
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.Confidence != b.Confidence {
+			return a.Confidence > b.Confidence
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		if a.SiteID != b.SiteID {
+			return a.SiteID < b.SiteID
+		}
+		if a.Method != b.Method {
+			return a.Method < b.Method
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Message < b.Message
+	})
+	return &Result{Findings: fs, Prog: p}
+}
+
+// userMethod reports whether a method belongs to user (non-stdlib) source
+// and is reachable; lint findings are restricted to such methods.
+func userMethod(p *bytecode.Program, cg *analysis.CallGraph, mid int32) bool {
+	if mid < 0 || int(mid) >= len(p.Methods) || !cg.Reachable[mid] {
+		return false
+	}
+	cls := p.Classes[p.Methods[mid].Class]
+	return cls.SourceFile != mj.StdlibFileName
+}
+
+func methodName(p *bytecode.Program, mid int32) string {
+	m := p.Methods[mid]
+	return p.Classes[m.Class].Name + "." + m.Name
+}
+
+func sourceFile(p *bytecode.Program, mid int32) string {
+	return p.Classes[p.Methods[mid].Class].SourceFile
+}
+
+// siteRules runs the per-allocation-site rules: never-used, write-only and
+// lazy-alloc. Sites are visited in id order for determinism.
+func siteRules(p *bytecode.Program, v *transform.Validator, esc *analysis.Escape) []Finding {
+	var fs []Finding
+	for id := range p.Sites {
+		site := int32(id)
+		s := &p.Sites[id]
+		if s.Method < 0 || s.What == "call" || !userMethod(p, v.CG, s.Method) {
+			continue
+		}
+		base := Finding{
+			SiteID: site,
+			Site:   s.Desc,
+			Method: methodName(p, s.Method),
+			Line:   int(s.Line),
+			File:   sourceFile(p, s.Method),
+			Escape: esc.SiteEscape(site).String(),
+		}
+		upgrade := 0.0
+		if esc.SiteEscape(site) == analysis.EscapeNone {
+			upgrade = 0.04
+		}
+
+		if !v.Flow.SiteUsed(site) {
+			f := base
+			f.Rule = RuleNeverUsed
+			f.Message = fmt.Sprintf("objects allocated at %s are never used", s.Desc)
+			f.Rewrite = "delete the allocation statement"
+			if err := transform.ValidateRemovableSite(v, site); err != nil {
+				f.Confidence = 0.60 + upgrade
+				f.Blockers = []string{err.Error()}
+			} else {
+				f.Confidence = 0.95 + upgrade
+			}
+			fs = append(fs, f)
+			continue
+		}
+
+		if !v.Flow.SiteObserved(site) {
+			f := base
+			f.Rule = RuleWriteOnly
+			f.Message = fmt.Sprintf("objects allocated at %s are written but their state is never read", s.Desc)
+			f.Rewrite = "remove the allocation and the writes into it"
+			f.Confidence = 0.75 + 2*upgrade
+			fs = append(fs, f)
+			// A write-only site can still be a lazy candidate; fall
+			// through.
+		}
+
+		if f, ok := lazyFinding(p, v, base, site); ok {
+			fs = append(fs, f)
+		}
+
+		if f, ok := assignNullFinding(p, base, site); ok {
+			fs = append(fs, f)
+		}
+	}
+	return fs
+}
+
+// lazyFinding classifies `this.f = new X(...)` constructor statements as
+// lazy-allocation candidates and computes the guard/insertion plan.
+func lazyFinding(p *bytecode.Program, v *transform.Validator, base Finding, site int32) (Finding, bool) {
+	stmt, err := transform.DescribeSite(p, site)
+	if err != nil || !stmt.InCtor || stmt.Consumer != bytecode.PutField || !stmt.ReceiverIsThis {
+		return Finding{}, false
+	}
+	// Plan the guards as if the eager initializer were removed (skip its
+	// own PutField in the stability scan).
+	plan := transform.PlanLazyGuards(p, stmt.FieldClass, stmt.FieldSlot,
+		func(m *bytecode.Method, pc int) bool {
+			return m == stmt.Method && pc == stmt.ConsumerPC
+		})
+	if plan.Total == 0 {
+		// Field never loaded: write-only territory, not lazy.
+		return Finding{}, false
+	}
+	f := base
+	f.Rule = RuleLazyAlloc
+	fieldName := fieldNameOf(p, stmt.FieldClass, stmt.FieldSlot)
+	f.Message = fmt.Sprintf("field %s is eagerly initialized at %s; allocation can be delayed to first use (%d of %d loads need guards)",
+		fieldName, base.Site, plan.Guarded, plan.Total)
+	f.Rewrite = fmt.Sprintf("move the allocation into a guarded accessor for %s and reroute the guarded loads", fieldName)
+	if err := transform.ValidateLazySite(v, stmt.FieldClass, stmt.FieldSlot, site); err != nil {
+		f.Confidence = 0.55
+		f.Blockers = []string{err.Error()}
+	} else {
+		f.Confidence = 0.90
+	}
+	for _, pt := range plan.Points {
+		f.Guards = append(f.Guards, Guard{
+			Method:  methodName(p, pt.Method),
+			Line:    int(pt.Line),
+			Guarded: pt.Guarded,
+		})
+	}
+	for _, ins := range plan.Insertions {
+		f.Insertions = append(f.Insertions, Insertion{
+			Method: methodName(p, ins.Method),
+			Line:   int(ins.Line),
+			PC:     int(ins.PC),
+		})
+	}
+	return f, true
+}
+
+// assignNullFinding flags sites stored into a local whose last use leaves a
+// long dead tail in the method: the object stays rooted while later work
+// runs. Low confidence — profitability needs the profile.
+func assignNullFinding(p *bytecode.Program, base Finding, site int32) (Finding, bool) {
+	stmt, err := transform.DescribeSite(p, site)
+	if err != nil || stmt.Consumer != bytecode.StoreLocal {
+		return Finding{}, false
+	}
+	m := stmt.Method
+	lv := analysis.ComputeLiveness(analysis.BuildCFG(m))
+	last := -1
+	for _, pc := range lv.LastUses(stmt.LocalSlot) {
+		if pc > last {
+			last = pc
+		}
+	}
+	if last < 0 || len(m.Code)-last < assignNullDeadTail {
+		return Finding{}, false
+	}
+	f := base
+	f.Rule = RuleAssignNull
+	f.Line = int(m.Code[last].Line)
+	f.Message = fmt.Sprintf("the object from %s stays reachable through a local after its last use at line %d",
+		base.Site, m.Code[last].Line)
+	f.Rewrite = "assign null to the local after its last use"
+	f.Confidence = 0.35
+	return f, true
+}
+
+func deadStoreRule(p *bytecode.Program, v *transform.Validator, usage *analysis.UsageReport) []Finding {
+	var fs []Finding
+	mids := make([]int32, 0, len(usage.DeadLocalStores))
+	for mid := range usage.DeadLocalStores {
+		mids = append(mids, mid)
+	}
+	sort.Slice(mids, func(i, j int) bool { return mids[i] < mids[j] })
+	for _, mid := range mids {
+		if !userMethod(p, v.CG, mid) {
+			continue
+		}
+		m := p.Methods[mid]
+		for _, pc := range usage.DeadLocalStores[mid] {
+			fs = append(fs, Finding{
+				Rule:       RuleDeadStore,
+				SiteID:     -1,
+				Method:     methodName(p, mid),
+				Line:       int(m.Code[pc].Line),
+				File:       sourceFile(p, mid),
+				Message:    fmt.Sprintf("store into local slot %d at %s:%d is never loaded", m.Code[pc].A, methodName(p, mid), m.Code[pc].Line),
+				Rewrite:    "delete the store (keep the right-hand side only if it has effects)",
+				Confidence: 0.70,
+			})
+		}
+	}
+	return fs
+}
+
+func vectorLeakRule(p *bytecode.Program, v *transform.Validator) []Finding {
+	var fs []Finding
+	for _, leak := range analysis.FindVectorLeaks(p, v.CG) {
+		if !userMethod(p, v.CG, leak.Method) {
+			continue
+		}
+		m := p.Methods[leak.Method]
+		line := int(m.Code[leak.LoadPC].Line)
+		fs = append(fs, Finding{
+			Rule:       RuleVectorLeak,
+			SiteID:     -1,
+			Method:     methodName(p, leak.Method),
+			Line:       line,
+			File:       sourceFile(p, leak.Method),
+			Message:    fmt.Sprintf("%s removes the logically last element but leaves it reachable through the backing array", methodName(p, leak.Method)),
+			Rewrite:    "assign null to the vacated slot after reading it",
+			Confidence: 0.80,
+		})
+	}
+	return fs
+}
+
+func unreadFieldRule(p *bytecode.Program, usage *analysis.UsageReport) []Finding {
+	var fs []Finding
+	emit := func(ref analysis.FieldRef, static bool, conf float64) {
+		cls := p.Classes[ref.Class]
+		if cls.SourceFile == mj.StdlibFileName {
+			return
+		}
+		kind := "field"
+		if static {
+			kind = "static field"
+		}
+		fs = append(fs, Finding{
+			Rule:       RuleUnreadField,
+			SiteID:     -1,
+			Method:     cls.Name + "." + ref.Name,
+			File:       cls.SourceFile,
+			Message:    fmt.Sprintf("%s %s.%s is written but never read", kind, cls.Name, ref.Name),
+			Rewrite:    "remove the field and the stores into it",
+			Confidence: conf,
+		})
+	}
+	for _, ref := range usage.UnreadStatics {
+		emit(ref, true, 0.80)
+	}
+	for _, ref := range usage.UnreadFields {
+		emit(ref, false, 0.60)
+	}
+	return fs
+}
+
+func fieldNameOf(p *bytecode.Program, class, slot int32) string {
+	for c := class; c >= 0; c = p.Classes[c].Super {
+		for _, fd := range p.Classes[c].Fields {
+			if !fd.Static && fd.Slot == slot {
+				return p.Classes[class].Name + "." + fd.Name
+			}
+		}
+	}
+	return fmt.Sprintf("%s.slot%d", p.Classes[class].Name, slot)
+}
+
+// Summary returns a one-line count of findings per rule, in rule-name
+// order, for CLI footers.
+func Summary(fs []Finding) string {
+	counts := map[string]int{}
+	for _, f := range fs {
+		counts[f.Rule]++
+	}
+	rules := make([]string, 0, len(counts))
+	for r := range counts {
+		rules = append(rules, r)
+	}
+	sort.Strings(rules)
+	parts := make([]string, 0, len(rules))
+	for _, r := range rules {
+		parts = append(parts, fmt.Sprintf("%s:%d", r, counts[r]))
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,151 @@
+package lint_test
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"dragprof/internal/bench"
+	"dragprof/internal/lint"
+)
+
+// lintBench compiles a benchmark's original version and lints it.
+func lintBench(t *testing.T, name string) *lint.Result {
+	t.Helper()
+	b, err := bench.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := b.Compile(bench.Original, bench.OriginalInput)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lint.Run(cp.Program)
+}
+
+// findingsFor returns the findings for a given rule at a given site.
+func findingsFor(res *lint.Result, rule, site string) []lint.Finding {
+	var out []lint.Finding
+	for _, f := range res.Findings {
+		if f.Rule == rule && f.Site == site {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// TestJackLazyAllocCtorSites checks the paper's flagship lazy-allocation
+// candidates: jack's Production constructor eagerly builds a Vector and two
+// HashTables that most productions never touch. The linter must flag all
+// three at full confidence with guard and insertion-point plans.
+func TestJackLazyAllocCtorSites(t *testing.T) {
+	res := lintBench(t, "jack")
+	for _, site := range []string{
+		"Production.<init>:23 (new Vector)",
+		"Production.<init>:24 (new HashTable)",
+		"Production.<init>:25 (new HashTable)",
+	} {
+		fs := findingsFor(res, lint.RuleLazyAlloc, site)
+		if len(fs) != 1 {
+			t.Fatalf("%s: want exactly one lazy-alloc finding, got %d", site, len(fs))
+		}
+		f := fs[0]
+		if f.Confidence < 0.90 {
+			t.Errorf("%s: confidence %.2f, want >= 0.90", site, f.Confidence)
+		}
+		if len(f.Blockers) != 0 {
+			t.Errorf("%s: unexpected blockers %v", site, f.Blockers)
+		}
+		if len(f.Guards) == 0 {
+			t.Errorf("%s: no guard plan", site)
+		}
+		if len(f.Insertions) == 0 {
+			t.Errorf("%s: no insertion points", site)
+		}
+		guarded := 0
+		for _, g := range f.Guards {
+			if g.Guarded {
+				guarded++
+			}
+		}
+		if guarded == 0 {
+			t.Errorf("%s: no load needs a guard — the allocation would be dead", site)
+		}
+		for _, ins := range f.Insertions {
+			if ins.Method == "" || ins.PC < 0 {
+				t.Errorf("%s: malformed insertion point %+v", site, ins)
+			}
+		}
+	}
+}
+
+// TestRaytraceNeverUsedSites checks removability: raytrace's Sphere
+// constructor fills a cache with CacheEntry objects that nothing reads.
+func TestRaytraceNeverUsedSites(t *testing.T) {
+	res := lintBench(t, "raytrace")
+	never := 0
+	for _, f := range res.Findings {
+		if f.Rule != lint.RuleNeverUsed {
+			continue
+		}
+		never++
+		if !strings.Contains(f.Site, "new CacheEntry") {
+			continue
+		}
+		if f.Confidence < 0.95 {
+			t.Errorf("%s: confidence %.2f, want >= 0.95 (removal fully validated)", f.Site, f.Confidence)
+		}
+		if f.Rewrite == "" {
+			t.Errorf("%s: never-used finding carries no rewrite", f.Site)
+		}
+	}
+	if never < 9 {
+		t.Errorf("want >= 9 never-used findings (Sphere cache entries), got %d", never)
+	}
+}
+
+// TestMCWriteOnlySites checks flow observability: mc's PathResult objects
+// are written (samples stored) but their state never read back.
+func TestMCWriteOnlySites(t *testing.T) {
+	res := lintBench(t, "mc")
+	for _, site := range []string{
+		"Simulator.runBatch:65 (new PathResult)",
+		"PathResult.<init>:41 (new int[])",
+	} {
+		if fs := findingsFor(res, lint.RuleWriteOnly, site); len(fs) != 1 {
+			t.Errorf("%s: want one write-only finding, got %d", site, len(fs))
+		}
+	}
+}
+
+// TestFindingOrder checks the documented ranking: confidence descending,
+// then rule, site id, method, line, message.
+func TestFindingOrder(t *testing.T) {
+	res := lintBench(t, "jack")
+	fs := res.Findings
+	if len(fs) < 2 {
+		t.Fatalf("too few findings to check order: %d", len(fs))
+	}
+	ordered := sort.SliceIsSorted(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.Confidence != b.Confidence {
+			return a.Confidence > b.Confidence
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		if a.SiteID != b.SiteID {
+			return a.SiteID < b.SiteID
+		}
+		if a.Method != b.Method {
+			return a.Method < b.Method
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Message < b.Message
+	})
+	if !ordered {
+		t.Error("findings are not in the documented (confidence, rule, site) order")
+	}
+}

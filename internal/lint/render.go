@@ -1,0 +1,148 @@
+package lint
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dragprof/internal/report"
+)
+
+// ToolName and ToolVersion identify dragvet in SARIF output.
+const (
+	ToolName    = "dragvet"
+	ToolVersion = "0.1.0"
+)
+
+// Diagnostics converts findings to the generic diagnostic records the
+// report package renders. The conversion is deterministic: findings keep
+// their order and property maps are key-sorted by the JSON encoder.
+func Diagnostics(fs []Finding) []report.Diagnostic {
+	diags := make([]report.Diagnostic, 0, len(fs))
+	for _, f := range fs {
+		props := map[string]any{
+			"confidence": f.Confidence,
+		}
+		if f.SiteID >= 0 {
+			props["siteId"] = f.SiteID
+			props["site"] = f.Site
+		}
+		if f.Rewrite != "" {
+			props["rewrite"] = f.Rewrite
+		}
+		if len(f.Blockers) > 0 {
+			props["blockers"] = f.Blockers
+		}
+		if f.Escape != "" {
+			props["escape"] = f.Escape
+		}
+		if len(f.Guards) > 0 {
+			guards := make([]any, 0, len(f.Guards))
+			for _, g := range f.Guards {
+				guards = append(guards, map[string]any{
+					"method": g.Method, "line": g.Line, "guarded": g.Guarded,
+				})
+			}
+			props["guards"] = guards
+		}
+		if len(f.Insertions) > 0 {
+			ins := make([]any, 0, len(f.Insertions))
+			for _, i := range f.Insertions {
+				ins = append(ins, map[string]any{
+					"method": i.Method, "line": i.Line, "pc": i.PC,
+				})
+			}
+			props["insertionPoints"] = ins
+		}
+		level := "note"
+		if f.Confidence >= 0.70 {
+			level = "warning"
+		}
+		diags = append(diags, report.Diagnostic{
+			RuleID:     f.Rule,
+			Level:      level,
+			Message:    f.Message,
+			File:       f.File,
+			Line:       f.Line,
+			Properties: props,
+		})
+	}
+	return diags
+}
+
+// Rules returns SARIF rule metadata for every rule present in the
+// findings, in rule-id order.
+func Rules(fs []Finding) []report.RuleInfo {
+	seen := map[string]bool{}
+	for _, f := range fs {
+		seen[f.Rule] = true
+	}
+	ids := make([]string, 0, len(seen))
+	for id := range seen {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	rules := make([]report.RuleInfo, 0, len(ids))
+	for _, id := range ids {
+		rules = append(rules, report.RuleInfo{ID: id, Description: RuleDescriptions[id]})
+	}
+	return rules
+}
+
+// Text renders the findings as a table followed by rewrite details for
+// high-confidence entries.
+func Text(fs []Finding) string {
+	if len(fs) == 0 {
+		return "no findings\n"
+	}
+	tbl := &report.Table{
+		Title:   fmt.Sprintf("dragvet: %d findings (%s)", len(fs), Summary(fs)),
+		Columns: []string{"RULE", "CONF", "LOCATION", "MESSAGE"},
+	}
+	for _, f := range fs {
+		loc := f.File
+		if f.Line > 0 {
+			loc = fmt.Sprintf("%s:%d", f.File, f.Line)
+		}
+		tbl.AddRow(f.Rule, fmt.Sprintf("%.2f", f.Confidence), loc, f.Message)
+	}
+	var b strings.Builder
+	b.WriteString(tbl.String())
+	for _, f := range fs {
+		if f.Rewrite == "" && len(f.Blockers) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "\n%s @ %s:%d", f.Rule, f.File, f.Line)
+		if f.Escape != "" {
+			fmt.Fprintf(&b, " [escape=%s]", f.Escape)
+		}
+		b.WriteString("\n")
+		if f.Rewrite != "" {
+			fmt.Fprintf(&b, "  rewrite: %s\n", f.Rewrite)
+		}
+		for _, blk := range f.Blockers {
+			fmt.Fprintf(&b, "  blocked: %s\n", blk)
+		}
+		for _, g := range f.Guards {
+			verdict := "no guard needed (available on every path)"
+			if g.Guarded {
+				verdict = "guard with null test"
+			}
+			fmt.Fprintf(&b, "  load at %s:%d — %s\n", g.Method, g.Line, verdict)
+		}
+		for _, ins := range f.Insertions {
+			fmt.Fprintf(&b, "  insertion point: %s:%d (pc %d)\n", ins.Method, ins.Line, ins.PC)
+		}
+	}
+	return b.String()
+}
+
+// JSON renders the findings as an indented JSON diagnostic array.
+func JSON(fs []Finding) (string, error) {
+	return report.DiagnosticsJSON(Diagnostics(fs))
+}
+
+// SARIF renders the findings as a SARIF 2.1.0 log.
+func SARIF(fs []Finding) (string, error) {
+	return report.SARIF(ToolName, ToolVersion, Rules(fs), Diagnostics(fs))
+}

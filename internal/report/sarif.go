@@ -1,0 +1,169 @@
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is a tool-agnostic finding: the report package renders
+// diagnostics as text, JSON, and SARIF without knowing who produced them.
+type Diagnostic struct {
+	// RuleID identifies the check that fired (stable, kebab-case).
+	RuleID string `json:"ruleId"`
+	// Level is "error", "warning" or "note".
+	Level string `json:"level"`
+	// Message is the human-readable finding text.
+	Message string `json:"message"`
+	// File and Line locate the finding (Line 0 when unknown).
+	File string `json:"file"`
+	Line int    `json:"line"`
+	// Properties carries structured extras (confidence, site, rewrite,
+	// ...). Values must be JSON-marshalable; map ordering is normalized
+	// by encoding/json, so rendering is deterministic.
+	Properties map[string]any `json:"properties,omitempty"`
+}
+
+// RuleInfo describes one rule for the SARIF tool component.
+type RuleInfo struct {
+	ID          string
+	Description string
+}
+
+// DiagnosticsJSON renders diagnostics as an indented JSON array, exactly as
+// given (callers order them).
+func DiagnosticsJSON(diags []Diagnostic) (string, error) {
+	if diags == nil {
+		diags = []Diagnostic{}
+	}
+	b, err := json.MarshalIndent(diags, "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("report: %w", err)
+	}
+	return string(b) + "\n", nil
+}
+
+// sarifLog mirrors the subset of SARIF 2.1.0 the linter emits. Struct
+// fields (not maps) keep the output order fixed.
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	Version        string      `json:"version,omitempty"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules,omitempty"`
+}
+
+type sarifRule struct {
+	ID               string    `json:"id"`
+	ShortDescription sarifText `json:"shortDescription"`
+}
+
+type sarifText struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID     string          `json:"ruleId"`
+	Level      string          `json:"level"`
+	Message    sarifText       `json:"message"`
+	Locations  []sarifLocation `json:"locations,omitempty"`
+	Properties map[string]any  `json:"properties,omitempty"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           *sarifRegion  `json:"region,omitempty"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine int `json:"startLine"`
+}
+
+// SARIF renders diagnostics as a SARIF 2.1.0 log for editor and CI
+// integration. Rules not supplied are synthesized from the rule ids seen in
+// the diagnostics. Output is deterministic for a fixed input order.
+func SARIF(toolName, toolVersion string, rules []RuleInfo, diags []Diagnostic) (string, error) {
+	if len(rules) == 0 {
+		seen := map[string]bool{}
+		for _, d := range diags {
+			if !seen[d.RuleID] {
+				seen[d.RuleID] = true
+				rules = append(rules, RuleInfo{ID: d.RuleID, Description: d.RuleID})
+			}
+		}
+		sort.Slice(rules, func(i, j int) bool { return rules[i].ID < rules[j].ID })
+	}
+	log := sarifLog{
+		Schema:  "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool: sarifTool{Driver: sarifDriver{Name: toolName, Version: toolVersion}},
+		}},
+	}
+	for _, r := range rules {
+		log.Runs[0].Tool.Driver.Rules = append(log.Runs[0].Tool.Driver.Rules, sarifRule{
+			ID:               r.ID,
+			ShortDescription: sarifText{Text: r.Description},
+		})
+	}
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		res := sarifResult{
+			RuleID:     d.RuleID,
+			Level:      sarifLevel(d.Level),
+			Message:    sarifText{Text: d.Message},
+			Properties: d.Properties,
+		}
+		if d.File != "" {
+			loc := sarifLocation{PhysicalLocation: sarifPhysical{
+				ArtifactLocation: sarifArtifact{URI: d.File},
+			}}
+			if d.Line > 0 {
+				loc.PhysicalLocation.Region = &sarifRegion{StartLine: d.Line}
+			}
+			res.Locations = []sarifLocation{loc}
+		}
+		results = append(results, res)
+	}
+	log.Runs[0].Results = results
+	b, err := json.MarshalIndent(log, "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("report: %w", err)
+	}
+	return string(b) + "\n", nil
+}
+
+// sarifLevel maps arbitrary level strings onto the SARIF vocabulary.
+func sarifLevel(l string) string {
+	switch strings.ToLower(l) {
+	case "error":
+		return "error"
+	case "note", "info":
+		return "note"
+	default:
+		return "warning"
+	}
+}

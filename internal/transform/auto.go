@@ -72,10 +72,13 @@ func AutoTransform(p *bytecode.Program, report *drag.Report, maxSites int) ([]Ac
 				act.Reason = err.Error()
 				break
 			}
-			if _, err := LazyAllocateField(v, owner, slot, g.SiteID); err != nil {
+			plan, err := LazyAllocateField(v, owner, slot, g.SiteID)
+			if err != nil {
 				act.Reason = err.Error()
 			} else {
 				act.Applied = true
+				act.Reason = fmt.Sprintf("guarded %d of %d loads; %d insertion points",
+					plan.Guarded, plan.Total, len(plan.Insertions))
 			}
 		case drag.PatternAssignNull:
 			act.Strategy = "assign null"

@@ -224,12 +224,15 @@ func TestLazyAllocateField(t *testing.T) {
 	if slot < 0 || site < 0 {
 		t.Fatal("field or site not found")
 	}
-	rerouted, err := transform.LazyAllocateField(v, widget.ID, slot, site)
+	plan, err := transform.LazyAllocateField(v, widget.ID, slot, site)
 	if err != nil {
 		t.Fatalf("lazy: %v", err)
 	}
-	if rerouted == 0 {
+	if plan.Guarded == 0 {
 		t.Fatal("no field loads rerouted")
+	}
+	if len(plan.Insertions) == 0 {
+		t.Fatal("no anticipability insertion points computed")
 	}
 	if err := bytecode.Verify(p2); err != nil {
 		t.Fatalf("verify: %v", err)
@@ -293,5 +296,80 @@ func TestLiveSlotFilterReducesReachable(t *testing.T) {
 	filtered := runWith(filter)
 	if filtered >= plain {
 		t.Errorf("liveness-filtered roots should shrink reachable integral: %d -> %d", plain, filtered)
+	}
+}
+
+const lazyMinSrc = `
+class Table {
+    int[] data;
+    Table(int n) { data = new int[n]; }
+    int size() { if (data == null) { return 0; } return data.length; }
+}
+class Widget {
+    int id;
+    Table extras;
+    Widget(int i) { id = i; extras = new Table(32); }
+}
+class Main {
+    static int probe(Widget w, int n) {
+        int total = 0;
+        if (n > 0) {
+            total = total + w.extras.size();
+        }
+        total = total + w.extras.size();
+        total = total + w.extras.size();
+        return total;
+    }
+    static void main() {
+        Widget w = new Widget(3);
+        printInt(probe(w, 1) + probe(w, 0));
+    }
+}`
+
+func TestLazyGuardPlacementMinimal(t *testing.T) {
+	p := compile(t, lazyMinSrc)
+	orig := runProg(t, p)
+
+	p2 := compile(t, lazyMinSrc)
+	v := transform.NewValidator(p2)
+	widget := p2.ClassByName("Widget")
+	var slot int32 = -1
+	for _, fd := range widget.Fields {
+		if fd.Name == "extras" {
+			slot = fd.Slot
+		}
+	}
+	var site int32 = -1
+	for _, in := range p2.MethodByName("Widget", "<init>").Code {
+		if in.Op == bytecode.NewObject && p2.Classes[in.A].Name == "Table" {
+			site = in.B
+		}
+	}
+	if slot < 0 || site < 0 {
+		t.Fatal("field or site not found")
+	}
+	plan, err := transform.LazyAllocateField(v, widget.ID, slot, site)
+	if err != nil {
+		t.Fatalf("lazy: %v", err)
+	}
+	if !plan.Stable {
+		t.Fatal("field is only written by the eager init; must be stable")
+	}
+	if plan.Total != 3 {
+		t.Fatalf("expected 3 loads, got %d: %+v", plan.Total, plan.Points)
+	}
+	// The branch load and the join load need guards; the final
+	// straight-line load sees the field available on every path.
+	if plan.Guarded != 2 {
+		t.Fatalf("expected 2 guarded loads, got %d: %+v", plan.Guarded, plan.Points)
+	}
+	if last := plan.Points[len(plan.Points)-1]; last.Guarded {
+		t.Errorf("final load should be unguarded: %+v", plan.Points)
+	}
+	if err := bytecode.Verify(p2); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	if out := runProg(t, p2); out != orig {
+		t.Fatalf("output changed: %q vs %q", out, orig)
 	}
 }

@@ -234,6 +234,73 @@ func matchAllocation(p *bytecode.Program, m *bytecode.Method, allocPC int) (*all
 	return a, nil
 }
 
+// SiteStatement summarizes the allocation statement around a site so the
+// linter can classify candidates without re-deriving the compiler's
+// statement shapes.
+type SiteStatement struct {
+	Method  *bytecode.Method
+	AllocPC int
+	// Consumer is the op consuming the new object: StoreLocal, PutField,
+	// PutStatic or ArrayStore. ConsumerPC is its pc.
+	Consumer   bytecode.Op
+	ConsumerPC int
+	// FieldClass and FieldSlot are set for PutField/PutStatic consumers.
+	FieldClass, FieldSlot int32
+	// LocalSlot is set for StoreLocal consumers.
+	LocalSlot int32
+	// ReceiverIsThis reports a `this.f = new ...` shape.
+	ReceiverIsThis bool
+	// InCtor reports the statement sits in a constructor body.
+	InCtor bool
+}
+
+// DescribeSite matches the allocation statement for a site id.
+func DescribeSite(p *bytecode.Program, site int32) (*SiteStatement, error) {
+	a, err := findAllocation(p, site)
+	if err != nil {
+		return nil, err
+	}
+	m := a.method
+	cons := m.Code[a.consumer]
+	st := &SiteStatement{
+		Method:     m,
+		AllocPC:    a.allocPC,
+		Consumer:   cons.Op,
+		ConsumerPC: a.consumer,
+		InCtor:     m.Flags&bytecode.FlagCtor != 0,
+	}
+	switch cons.Op {
+	case bytecode.PutField:
+		st.FieldSlot, st.FieldClass = cons.A, cons.B
+		st.ReceiverIsThis = receiverIsThis(p, m, a.lhsStart, a.allocPC)
+	case bytecode.PutStatic:
+		st.FieldSlot, st.FieldClass = cons.A, cons.B
+	case bytecode.StoreLocal:
+		st.LocalSlot = cons.A
+	}
+	return st, nil
+}
+
+// receiverIsThis reports whether the statement prefix [lhsStart, allocPC)
+// pushes `this` as the PutField receiver: the prefix starts with LoadLocal 0
+// and no later prefix instruction (the array-length expression, for
+// NewArray consumers) pops back down to that bottom stack slot.
+func receiverIsThis(p *bytecode.Program, m *bytecode.Method, lhsStart, allocPC int) bool {
+	first := m.Code[lhsStart]
+	if first.Op != bytecode.LoadLocal || first.A != 0 {
+		return false
+	}
+	depth := 1
+	for pc := lhsStart + 1; pc < allocPC; pc++ {
+		pops, pushes := instrStackEffect(p, m.Code[pc])
+		if depth-pops < 1 {
+			return false
+		}
+		depth += pushes - pops
+	}
+	return true
+}
+
 func isControl(op bytecode.Op) bool {
 	switch op {
 	case bytecode.Jump, bytecode.JumpIfFalse, bytecode.JumpIfTrue,
@@ -296,44 +363,59 @@ func pureRange(m *bytecode.Method, from, to int) error {
 //   - no jump targets the removed range;
 //   - a StoreLocal consumer's slot is never loaded (the store dies too).
 func RemoveDeadAllocation(v *Validator, site int32) error {
-	a, err := findAllocation(v.Prog, site)
+	a, err := validateRemovableSite(v, site)
 	if err != nil {
 		return err
 	}
+	ed := NewEditor(a.method)
+	ed.NopOut(a.lhsStart, a.consumer)
+	ed.Apply()
+	return nil
+}
+
+// ValidateRemovableSite runs every RemoveDeadAllocation check without
+// editing the program — the linter's dry-run proof of removability.
+func ValidateRemovableSite(v *Validator, site int32) error {
+	_, err := validateRemovableSite(v, site)
+	return err
+}
+
+func validateRemovableSite(v *Validator, site int32) (*allocation, error) {
+	a, err := findAllocation(v.Prog, site)
+	if err != nil {
+		return nil, err
+	}
 	m := a.method
 	if v.Flow.SiteUsed(site) {
-		return stmtError(m, a.allocPC, "objects from site %d are used", site)
+		return nil, stmtError(m, a.allocPC, "objects from site %d are used", site)
 	}
 	if a.ctorPC >= 0 {
 		ctor := m.Code[a.ctorPC].A
 		facts := v.Purity.Facts(ctor)
 		if !facts.Pure() {
-			return stmtError(m, a.allocPC, "constructor %d impure: %+v", ctor, facts)
+			return nil, stmtError(m, a.allocPC, "constructor %d impure: %+v", ctor, facts)
 		}
 		for _, exc := range facts.MayThrow {
 			if v.Exc.HandlerExistsFor(exc) {
-				return stmtError(m, a.allocPC, "a handler exists for exception class %d the constructor may throw", exc)
+				return nil, stmtError(m, a.allocPC, "a handler exists for exception class %d the constructor may throw", exc)
 			}
 		}
 		if err := pureRange(m, a.argSpan[0], a.argSpan[1]); err != nil {
-			return err
+			return nil, err
 		}
 	}
 	if err := pureRange(m, a.lhsStart, a.allocPC); err != nil {
-		return err
+		return nil, err
 	}
 	if cons := m.Code[a.consumer]; cons.Op == bytecode.StoreLocal {
 		for _, in := range m.Code {
 			if in.Op == bytecode.LoadLocal && in.A == cons.A {
-				return stmtError(m, a.consumer, "stored local %d is loaded later", cons.A)
+				return nil, stmtError(m, a.consumer, "stored local %d is loaded later", cons.A)
 			}
 		}
 	}
 	if HasJumpInto(m, a.lhsStart-1, a.consumer) {
-		return stmtError(m, a.lhsStart, "jump into the removable statement")
+		return nil, stmtError(m, a.lhsStart, "jump into the removable statement")
 	}
-	ed := NewEditor(m)
-	ed.NopOut(a.lhsStart, a.consumer)
-	ed.Apply()
-	return nil
+	return a, nil
 }
