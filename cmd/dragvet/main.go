@@ -21,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"dragprof/internal/bench"
 	"dragprof/internal/drag"
@@ -39,6 +40,9 @@ func main() {
 	top := flag.Int("top", 10, "top-drag sites forming the cross-validation measured set")
 	minShare := flag.Float64("minshare", 0.01, "minimum drag share for a measured site")
 	minConf := flag.Float64("minconf", 0, "minimum confidence for a static finding to count as a prediction")
+	pointsTo := flag.Bool("pointsto", false, "print points-to solver diagnostics and proved heap kills")
+	maxConfFail := flag.Float64("max-confidence-fail", 0,
+		"exit with status 3 if any finding's confidence is at or above this threshold (0 disables); CI gate")
 	flag.Parse()
 
 	switch *format {
@@ -70,6 +74,10 @@ func main() {
 				fmt.Printf("== %s ==\n", b.Name)
 			}
 			render(res.Findings)
+			if *pointsTo {
+				pointsToDiagnostics(res)
+			}
+			noteConfidence(res.Findings)
 			if *doProfile {
 				rr, err := bench.Run(b, bench.Original, bench.OriginalInput,
 					bench.RunConfig{GCInterval: *interval})
@@ -79,6 +87,7 @@ func main() {
 				crossReport(res.Findings, rr.Report, opts)
 			}
 		}
+		confidenceGate(*maxConfFail)
 		return
 	}
 
@@ -103,6 +112,10 @@ func main() {
 	}
 	res := lint.Run(p)
 	render(res.Findings)
+	if *pointsTo {
+		pointsToDiagnostics(res)
+	}
+	noteConfidence(res.Findings)
 
 	if *against != "" {
 		f, err := os.Open(*against)
@@ -122,6 +135,47 @@ func main() {
 			fatal(err)
 		}
 		crossReport(res.Findings, rep, opts)
+	}
+	confidenceGate(*maxConfFail)
+}
+
+// maxConfidence tracks the highest-confidence finding across every lint
+// target, for the -max-confidence-fail CI gate.
+var maxConfidence float64
+
+func noteConfidence(fs []lint.Finding) {
+	for _, f := range fs {
+		if f.Confidence > maxConfidence {
+			maxConfidence = f.Confidence
+		}
+	}
+}
+
+// confidenceGate turns dragvet into a CI check: with -max-confidence-fail
+// set, any finding at or above the threshold fails the build with a
+// distinct exit status (3, so scripts can tell a gate trip from a crash).
+func confidenceGate(threshold float64) {
+	if threshold > 0 && maxConfidence >= threshold {
+		fmt.Fprintf(os.Stderr, "dragvet: findings with confidence %.2f >= fail threshold %.2f\n",
+			maxConfidence, threshold)
+		os.Exit(3)
+	}
+}
+
+// pointsToDiagnostics prints the solver's shape and the heap-liveness
+// verdicts backing the proved findings.
+func pointsToDiagnostics(res *lint.Result) {
+	st := res.PT.Stats()
+	fmt.Printf("points-to: %d nodes, %d copy edges, %d load / %d store constraints, %d collapsed, %d iterations\n",
+		st.Nodes, st.CopyEdges, st.LoadCs, st.StoreCs, st.Collapsed, st.Iterations)
+	if len(res.Heap.Kills) == 0 {
+		fmt.Println("heap-liveness: no proved phase kills")
+		return
+	}
+	for i := range res.Heap.Kills {
+		k := &res.Heap.Kills[i]
+		fmt.Printf("heap-liveness: %s proved dead past guard @%d (bound %s), frees %d sites; use paths: %s\n",
+			k.Path, k.GuardPC, k.Bound, len(k.HeldSites), strings.Join(k.UsePaths, ", "))
 	}
 }
 

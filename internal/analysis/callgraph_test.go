@@ -1,0 +1,170 @@
+package analysis_test
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"dragprof/internal/analysis"
+)
+
+// TestCallGraphVirtualNarrowing checks the RTA core: a virtual call
+// through a base class only dispatches to overrides in classes the
+// program actually instantiates.
+func TestCallGraphVirtualNarrowing(t *testing.T) {
+	src := `
+class Shape {
+    int area() { return 0; }
+}
+class Circle extends Shape {
+    int r;
+    int area() { return 3 * r * r; }
+}
+class Square extends Shape {
+    int s;
+    int area() { return s * s; }
+}
+class Main {
+    static int measure(Shape sh) { return sh.area(); }
+    static void main() {
+        Circle c = new Circle();
+        c.r = 2;
+        printInt(measure(c));
+    }
+}`
+	p := compile(t, src)
+	cg := analysis.BuildCallGraph(p)
+
+	measure := methodID(t, p, "Main", "measure")
+	circleArea := methodID(t, p, "Circle", "area")
+	squareArea := methodID(t, p, "Square", "area")
+
+	callees := cg.Callees[measure]
+	hasCircle, hasSquare := false, false
+	for _, c := range callees {
+		if c == circleArea {
+			hasCircle = true
+		}
+		if c == squareArea {
+			hasSquare = true
+		}
+	}
+	if !hasCircle {
+		t.Errorf("measure's callees %v miss Circle.area (%d)", callees, circleArea)
+	}
+	if hasSquare {
+		t.Errorf("measure dispatches to Square.area though Square is never instantiated")
+	}
+	if cg.Reachable[squareArea] {
+		t.Error("Square.area reachable without a Square allocation")
+	}
+	if !cg.Instantiated[p.ClassByName("Circle").ID] {
+		t.Error("Circle not marked instantiated")
+	}
+	if cg.Instantiated[p.ClassByName("Square").ID] {
+		t.Error("Square marked instantiated")
+	}
+}
+
+// TestCallGraphLateInstantiation: once a second subclass is allocated
+// anywhere reachable, pending virtual sites must pick up its override.
+func TestCallGraphLateInstantiation(t *testing.T) {
+	src := `
+class Shape {
+    int area() { return 0; }
+}
+class Circle extends Shape {
+    int area() { return 3; }
+}
+class Square extends Shape {
+    int area() { return 4; }
+}
+class Main {
+    static int measure(Shape sh) { return sh.area(); }
+    static void main() {
+        int a = measure(new Circle());
+        int b = measure(new Square());
+        printInt(a + b);
+    }
+}`
+	p := compile(t, src)
+	cg := analysis.BuildCallGraph(p)
+	measure := methodID(t, p, "Main", "measure")
+	want := []int32{
+		methodID(t, p, "Circle", "area"),
+		methodID(t, p, "Square", "area"),
+	}
+	got := append([]int32(nil), cg.Callees[measure]...)
+	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("measure callees %v, want both overrides %v", got, want)
+	}
+}
+
+// TestCallGraphUnreachablePruning: methods with no call path from main
+// (or a static initializer / finalizer of an instantiated class) must be
+// pruned and reported.
+func TestCallGraphUnreachablePruning(t *testing.T) {
+	src := `
+class Util {
+    static int used() { return 1; }
+    static int orphan() { return 2; }
+}
+class Main {
+    static void main() { printInt(Util.used()); }
+}`
+	p := compile(t, src)
+	cg := analysis.BuildCallGraph(p)
+	used := methodID(t, p, "Util", "used")
+	orphan := methodID(t, p, "Util", "orphan")
+	if !cg.MethodReachable(used) {
+		t.Error("Util.used should be reachable")
+	}
+	if cg.MethodReachable(orphan) {
+		t.Error("Util.orphan should be pruned")
+	}
+	found := false
+	for _, id := range cg.UnreachableMethods() {
+		if id == orphan {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("UnreachableMethods %v misses orphan (%d)", cg.UnreachableMethods(), orphan)
+	}
+}
+
+// TestCallGraphDeterminism builds the graph twice over the same program
+// and requires identical edge lists and orderings — downstream analyses
+// iterate these and must stay byte-for-byte stable.
+func TestCallGraphDeterminism(t *testing.T) {
+	src := `
+class A { int f() { return 1; } }
+class B extends A { int f() { return 2; } }
+class C extends A { int f() { return 3; } }
+class Main {
+    static int go(A a, int n) {
+        if (n > 0) { return go(a, n - 1) + a.f(); }
+        return a.f();
+    }
+    static void main() {
+        printInt(go(new B(), 2) + go(new C(), 1));
+    }
+}`
+	p := compile(t, src)
+	cg1 := analysis.BuildCallGraph(p)
+	cg2 := analysis.BuildCallGraph(p)
+	for mid := range cg1.Callees {
+		if !reflect.DeepEqual(cg1.Callees[mid], cg2.Callees[mid]) {
+			t.Errorf("callee order differs for method %d: %v vs %v",
+				mid, cg1.Callees[mid], cg2.Callees[mid])
+		}
+	}
+	if len(cg1.Callees) != len(cg2.Callees) {
+		t.Errorf("callee map sizes differ: %d vs %d", len(cg1.Callees), len(cg2.Callees))
+	}
+	if !reflect.DeepEqual(cg1.UnreachableMethods(), cg2.UnreachableMethods()) {
+		t.Error("UnreachableMethods order differs between builds")
+	}
+}

@@ -1,0 +1,137 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"dragprof/internal/analysis"
+	"dragprof/internal/bytecode"
+)
+
+func exceptions(t *testing.T, src string) (*bytecode.Program, *analysis.Exceptions) {
+	t.Helper()
+	p := compile(t, src)
+	cg := analysis.BuildCallGraph(p)
+	return p, analysis.ComputeExceptions(p, cg)
+}
+
+func classID(t *testing.T, p *bytecode.Program, name string) int32 {
+	t.Helper()
+	c := p.ClassByName(name)
+	if c == nil {
+		t.Fatalf("class %s not found", name)
+	}
+	return c.ID
+}
+
+// TestExceptionsEscapeUncaught: an explicit throw with no handler must
+// appear in the method's escaping set and propagate to callers.
+func TestExceptionsEscapeUncaught(t *testing.T) {
+	src := `
+class Main {
+    static int boom(int n) {
+        if (n < 0) { throw new IndexOutOfBoundsException("neg"); }
+        return n;
+    }
+    static int relay(int n) { return boom(n); }
+    static void main() { printInt(relay(3)); }
+}`
+	p, ex := exceptions(t, src)
+	ioobe := classID(t, p, "IndexOutOfBoundsException")
+	boom := p.MethodByName("Main", "boom")
+	relay := p.MethodByName("Main", "relay")
+	if !ex.CanEscape(boom.ID, ioobe) {
+		t.Errorf("IndexOutOfBoundsException does not escape boom; escaping: %v", ex.Escaping(boom.ID))
+	}
+	if !ex.CanEscape(relay.ID, ioobe) {
+		t.Error("escaping set not propagated through the call graph to relay")
+	}
+}
+
+// TestExceptionsNestedCatch: with nested try blocks, an exception is
+// stopped by the innermost handler whose type covers it — here the inner
+// handler has the wrong type, the outer one catches, so nothing escapes.
+func TestExceptionsNestedCatch(t *testing.T) {
+	src := `
+class Main {
+    static int guarded(int n) {
+        int r = 0;
+        try {
+            try {
+                if (n < 0) { throw new IndexOutOfBoundsException("neg"); }
+                r = n;
+            } catch (ArithmeticException a) {
+                r = 1;
+            }
+        } catch (IndexOutOfBoundsException e) {
+            r = 2;
+        }
+        return r;
+    }
+    static void main() { printInt(guarded(3)); }
+}`
+	p, ex := exceptions(t, src)
+	ioobe := classID(t, p, "IndexOutOfBoundsException")
+	arith := classID(t, p, "ArithmeticException")
+	guarded := p.MethodByName("Main", "guarded")
+	if ex.CanEscape(guarded.ID, ioobe) {
+		t.Errorf("IndexOutOfBoundsException escapes past its outer handler; escaping: %v",
+			ex.Escaping(guarded.ID))
+	}
+	_ = arith // the inner handler is dead but must not confuse the analysis
+}
+
+// TestExceptionsSupertypeCatch: a handler for a supertype
+// (RuntimeException) must stop subclass throws too.
+func TestExceptionsSupertypeCatch(t *testing.T) {
+	src := `
+class Main {
+    static int guarded(int n) {
+        int r = 0;
+        try {
+            if (n < 0) { throw new IndexOutOfBoundsException("neg"); }
+            r = n;
+        } catch (RuntimeException e) {
+            r = 1;
+        }
+        return r;
+    }
+    static void main() { printInt(guarded(3)); }
+}`
+	p, ex := exceptions(t, src)
+	ioobe := classID(t, p, "IndexOutOfBoundsException")
+	guarded := p.MethodByName("Main", "guarded")
+	if ex.CanEscape(guarded.ID, ioobe) {
+		t.Error("subclass throw escapes past a supertype handler")
+	}
+}
+
+// TestExceptionsEscapeThroughInnerOnly: the inner handler catches one
+// type while a different thrown type sails through both levels — only
+// the uncaught one may escape.
+func TestExceptionsEscapeThroughInnerOnly(t *testing.T) {
+	src := `
+class Main {
+    static int leaky(int n) {
+        int r = 0;
+        try {
+            if (n < 0) { throw new ArithmeticException("div"); }
+            if (n > 10) { throw new NullPointerException("np"); }
+            r = n;
+        } catch (ArithmeticException a) {
+            r = 1;
+        }
+        return r;
+    }
+    static void main() { printInt(leaky(3)); }
+}`
+	p, ex := exceptions(t, src)
+	arith := classID(t, p, "ArithmeticException")
+	npe := classID(t, p, "NullPointerException")
+	leaky := p.MethodByName("Main", "leaky")
+	if ex.CanEscape(leaky.ID, arith) {
+		t.Error("caught ArithmeticException reported as escaping")
+	}
+	if !ex.CanEscape(leaky.ID, npe) {
+		t.Errorf("uncaught NullPointerException missing from escaping set %v", ex.Escaping(leaky.ID))
+	}
+}

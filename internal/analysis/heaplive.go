@@ -1,0 +1,521 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"dragprof/internal/bytecode"
+)
+
+// Heap-reference liveness à la Khedker/Sanyal/Karkare: instead of asking
+// "is this local live", ask "is there any future load of this heap
+// path". Two cooperating pieces answer it:
+//
+//  1. Bounded access-graph summaries: per method, the set of access
+//     paths (this.mesh.scratch[*], depth-limited) the method may load,
+//     closed interprocedurally over the RTA call graph. These render the
+//     evidence dragvet reports.
+//  2. A phase-guard proof: a field F is heap-dead from the first failure
+//     of a monotone guard onward when every load of F is either
+//     pre-phase code (unreachable after the guard's merge point) or sits
+//     in the single-entry region guarded by `iv < K` in the entry
+//     method, where iv only ever grows and K is loop-invariant. The
+//     false edge of that guard is then a sound placement for `owner.F =
+//     null`, which is exactly the paper's euler rewrite.
+//
+// Exception edges count as uses: the CFG used for region and
+// reachability checks includes handler edges, and loads inside handlers
+// are ordinary use sites.
+
+// pathDepthLimit bounds access-path length (selectors per path).
+const pathDepthLimit = 4
+
+// pathsPerValueLimit bounds how many paths one abstract value may carry
+// before the summary treats it as unknown.
+const pathsPerValueLimit = 8
+
+// FieldKill is a proved placement for a field null-store: after GuardPC
+// first takes its false edge, no load of (Class, Slot) can execute, so a
+// stub `recv.field = null` spliced onto that edge frees HeldSites.
+type FieldKill struct {
+	Class     int32  // declaring class of the field
+	Slot      int32  // field slot (instance or static)
+	Static    bool   // static field: kill is PutStatic null
+	FieldName string // resolved field name
+	ClassName string
+
+	Host    int32 // method hosting the guard (the program entry)
+	GuardPC int32 // the JumpIfFalse whose false edge is the kill point
+	MergePC int32 // the guard's false-edge target
+	Line    int32 // source line of the guard
+
+	RecvSlot int32 // host local holding the owner object; -1 for static
+	IVSlot   int32 // the monotone induction variable's local slot
+	Bound    string
+
+	OwnerSites []int32 // sites whose field the kill nulls
+	HeldSites  []int32 // sites unreachable once the field is nulled
+	Path       string  // rendered kill path, e.g. "Mesh.scratch"
+	UsePaths   []string
+}
+
+// HeapLiveness carries the summaries and the proved kills.
+type HeapLiveness struct {
+	prog *bytecode.Program
+	cg   *CallGraph
+	pt   *PointsTo
+
+	Kills []FieldKill
+
+	summaries map[int32]*apSummary
+}
+
+// --- bounded access paths -------------------------------------------------
+
+type apSel struct {
+	class int32 // declaring class of the field; -1 for array elements
+	slot  int32 // field slot; -1 for array elements
+}
+
+type apath struct {
+	param int // rooted at parameter index (param >= 0) ...
+	// ... or at a static slot (param == -1)
+	statClass, statSlot int32
+	sels                []apSel
+}
+
+func (p apath) key() string {
+	s := ""
+	if p.param >= 0 {
+		s = fmt.Sprintf("p%d", p.param)
+	} else {
+		s = fmt.Sprintf("S%d.%d", p.statClass, p.statSlot)
+	}
+	for _, sel := range p.sels {
+		if sel.slot < 0 {
+			s += "[*]"
+		} else {
+			s += fmt.Sprintf(".%d:%d", sel.class, sel.slot)
+		}
+	}
+	return s
+}
+
+func (p apath) extend(sel apSel) (apath, bool) {
+	if len(p.sels) >= pathDepthLimit {
+		return apath{}, false
+	}
+	q := apath{param: p.param, statClass: p.statClass, statSlot: p.statSlot}
+	q.sels = append(append([]apSel(nil), p.sels...), sel)
+	return q, true
+}
+
+// pathVal is the abstract value of a local or stack slot: the access
+// paths it may have been loaded from. unknown marks values the tracker
+// lost (depth/width overflow, call results, allocation results).
+type pathVal struct {
+	paths   []apath
+	unknown bool
+}
+
+func (v pathVal) join(o pathVal) (pathVal, bool) {
+	changed := false
+	out := pathVal{paths: v.paths, unknown: v.unknown}
+	if o.unknown && !out.unknown {
+		out.unknown = true
+		changed = true
+	}
+	have := make(map[string]bool, len(out.paths))
+	for _, p := range out.paths {
+		have[p.key()] = true
+	}
+	for _, p := range o.paths {
+		if !have[p.key()] {
+			out.paths = append(append([]apath(nil), out.paths...), p)
+			have[p.key()] = true
+			changed = true
+		}
+	}
+	if len(out.paths) > pathsPerValueLimit {
+		out = pathVal{unknown: true}
+		changed = true
+	}
+	return out, changed
+}
+
+// apSummary is one method's access graph: the bounded set of paths
+// (rooted at its parameters or at statics) it may load, transitively.
+type apSummary struct {
+	used map[string]apath
+	keys []string // sorted key list, rebuilt on change
+}
+
+func newSummary() *apSummary { return &apSummary{used: make(map[string]apath)} }
+
+func (s *apSummary) add(p apath) bool {
+	k := p.key()
+	if _, ok := s.used[k]; ok {
+		return false
+	}
+	s.used[k] = p
+	s.keys = append(s.keys, k)
+	sort.Strings(s.keys)
+	return true
+}
+
+// ComputeHeapLiveness builds the access-graph summaries and attempts the
+// phase-guard proof for every reference field of the program.
+func ComputeHeapLiveness(p *bytecode.Program, cg *CallGraph, pt *PointsTo) *HeapLiveness {
+	hl := &HeapLiveness{
+		prog:      p,
+		cg:        cg,
+		pt:        pt,
+		summaries: make(map[int32]*apSummary),
+	}
+	mids := reachableMethodIDs(cg)
+	for _, mid := range mids {
+		hl.summaries[mid] = newSummary()
+	}
+	// Interprocedural fixpoint: summaries only grow and are bounded, so
+	// this terminates; methods iterate in id order for determinism.
+	for round := 0; round < 24; round++ {
+		changed := false
+		for _, mid := range mids {
+			if hl.summarize(p.Methods[mid]) {
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	hl.proveKills()
+	return hl
+}
+
+// summarize runs the bounded path tracker over one method, folding
+// callee summaries in at call sites. Returns whether the summary grew.
+func (hl *HeapLiveness) summarize(m *bytecode.Method) bool {
+	if len(m.Code) == 0 {
+		return false
+	}
+	p := hl.prog
+	sum := hl.summaries[m.ID]
+	grew := false
+	record := func(pa apath) {
+		if sum.add(pa) {
+			grew = true
+		}
+	}
+
+	cfg := BuildCFG(m)
+	nb := len(cfg.Blocks)
+	inLocals := make([][]pathVal, nb)
+	entry := make([]pathVal, m.MaxLocals)
+	for i := 0; i < m.NumParams && i < m.MaxLocals; i++ {
+		entry[i] = pathVal{paths: []apath{{param: i}}}
+	}
+	for i := m.NumParams; i < m.MaxLocals; i++ {
+		entry[i] = pathVal{unknown: true}
+	}
+	inLocals[0] = entry
+
+	work := []int{0}
+	onWork := make([]bool, nb)
+	onWork[0] = true
+	for len(work) > 0 {
+		bi := work[0]
+		work = work[1:]
+		onWork[bi] = false
+		b := cfg.Blocks[bi]
+		locals := append([]pathVal(nil), inLocals[bi]...)
+		var st []pathVal
+		pop := func() pathVal {
+			if len(st) == 0 {
+				return pathVal{unknown: true}
+			}
+			v := st[len(st)-1]
+			st = st[:len(st)-1]
+			return v
+		}
+		push := func(v pathVal) { st = append(st, v) }
+
+		// A load of base.sel: every path of the base extends by sel and
+		// is recorded as accessed.
+		load := func(base pathVal, sel apSel) pathVal {
+			if base.unknown {
+				return pathVal{unknown: true}
+			}
+			out := pathVal{}
+			for _, pa := range base.paths {
+				q, ok := pa.extend(sel)
+				if !ok {
+					out.unknown = true
+					continue
+				}
+				record(q)
+				out.paths = append(out.paths, q)
+			}
+			if len(out.paths) > pathsPerValueLimit {
+				return pathVal{unknown: true}
+			}
+			return out
+		}
+
+		for pc := b.Start; pc < b.End; pc++ {
+			in := m.Code[pc]
+			switch in.Op {
+			case bytecode.LoadLocal:
+				push(locals[in.A])
+			case bytecode.StoreLocal:
+				locals[in.A] = pop()
+			case bytecode.GetField:
+				base := pop()
+				push(load(base, apSel{in.B, in.A}))
+			case bytecode.PutField:
+				pop()
+				pop()
+			case bytecode.GetStatic:
+				if staticRefSlot(p, in.B, in.A) {
+					pa := apath{param: -1, statClass: in.B, statSlot: in.A}
+					record(pa)
+					push(pathVal{paths: []apath{pa}})
+				} else {
+					pa := apath{param: -1, statClass: in.B, statSlot: in.A}
+					record(pa)
+					push(pathVal{})
+				}
+			case bytecode.PutStatic:
+				pop()
+			case bytecode.ArrayLoad:
+				pop() // index
+				base := pop()
+				push(load(base, apSel{-1, -1}))
+			case bytecode.ArrayStore:
+				pop()
+				pop()
+				pop()
+			case bytecode.ArrayLen:
+				base := pop()
+				load(base, apSel{-1, -1})
+				push(pathVal{})
+			case bytecode.NewObject:
+				push(pathVal{})
+			case bytecode.NewArray:
+				pop()
+				push(pathVal{})
+			case bytecode.InvokeStatic, bytecode.InvokeSpecial:
+				hl.foldCall(m, &st, []int32{in.A}, p.Methods[in.A], record)
+			case bytecode.InvokeVirtual:
+				decl := p.Classes[in.B]
+				dm := p.Methods[decl.VTable[in.A]]
+				hl.foldCall(m, &st, hl.pt.virtualTargets(in.B, in.A), dm, record)
+			case bytecode.CallBuiltin:
+				pops, pushes, _ := builtinEffect(bytecode.Builtin(in.A))
+				for i := 0; i < pops; i++ {
+					pop()
+				}
+				for i := 0; i < pushes; i++ {
+					push(pathVal{})
+				}
+			case bytecode.Dup:
+				v := pop()
+				push(v)
+				push(v)
+			case bytecode.Swap:
+				a, b2 := pop(), pop()
+				push(a)
+				push(b2)
+			case bytecode.Pop, bytecode.Throw, bytecode.ReturnValue,
+				bytecode.JumpIfFalse, bytecode.JumpIfTrue,
+				bytecode.JumpIfNull, bytecode.JumpIfNonNull,
+				bytecode.MonitorEnter, bytecode.MonitorExit:
+				pop()
+			case bytecode.Neg, bytecode.Not:
+				pop()
+				push(pathVal{})
+			case bytecode.Add, bytecode.Sub, bytecode.Mul, bytecode.Div,
+				bytecode.Rem, bytecode.CmpEQ, bytecode.CmpNE,
+				bytecode.CmpLT, bytecode.CmpLE, bytecode.CmpGT,
+				bytecode.CmpGE, bytecode.RefEQ, bytecode.RefNE:
+				pop()
+				pop()
+				push(pathVal{})
+			case bytecode.ConstInt, bytecode.ConstBool, bytecode.ConstChar,
+				bytecode.ConstNull, bytecode.ConstStr:
+				push(pathVal{})
+			}
+		}
+
+		for _, s := range b.Succs {
+			if inLocals[s] == nil {
+				inLocals[s] = append([]pathVal(nil), locals...)
+				if !onWork[s] {
+					onWork[s] = true
+					work = append(work, s)
+				}
+				continue
+			}
+			changed := false
+			for i := range locals {
+				nv, ch := inLocals[s][i].join(locals[i])
+				if ch {
+					inLocals[s][i] = nv
+					changed = true
+				}
+			}
+			if changed && !onWork[s] {
+				onWork[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+	return grew
+}
+
+// foldCall substitutes argument paths into each possible callee's
+// summary: a callee path rooted at parameter i continues the caller's
+// path for argument i; static-rooted callee paths transfer verbatim.
+func (hl *HeapLiveness) foldCall(m *bytecode.Method, st *[]pathVal, targets []int32, decl *bytecode.Method, record func(apath)) {
+	n := decl.NumParams
+	args := make([]pathVal, n)
+	for i := n - 1; i >= 0; i-- {
+		if len(*st) == 0 {
+			args[i] = pathVal{unknown: true}
+			continue
+		}
+		args[i] = (*st)[len(*st)-1]
+		*st = (*st)[:len(*st)-1]
+	}
+	for _, tid := range targets {
+		tsum, ok := hl.summaries[tid]
+		if !ok {
+			continue
+		}
+		for _, k := range tsum.keys {
+			pa := tsum.used[k]
+			if pa.param < 0 {
+				record(pa)
+				continue
+			}
+			if pa.param >= n || args[pa.param].unknown {
+				continue
+			}
+			for _, base := range args[pa.param].paths {
+				q := base
+				fits := true
+				for _, sel := range pa.sels {
+					var ok2 bool
+					q, ok2 = q.extend(sel)
+					if !ok2 {
+						fits = false
+						break
+					}
+				}
+				if fits {
+					record(q)
+				}
+			}
+		}
+	}
+	if returnCount(decl) > 0 {
+		*st = append(*st, pathVal{unknown: true})
+	}
+}
+
+// UsedPaths renders one method's access graph, sorted.
+func (hl *HeapLiveness) UsedPaths(mid int32) []string {
+	sum, ok := hl.summaries[mid]
+	if !ok {
+		return nil
+	}
+	out := make([]string, 0, len(sum.keys))
+	for _, k := range sum.keys {
+		out = append(out, hl.renderPath(mid, sum.used[k]))
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PathsLoading lists rendered access paths (across all reachable
+// methods) whose final selector loads the given field.
+func (hl *HeapLiveness) PathsLoading(class, slot int32) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, mid := range reachableMethodIDs(hl.cg) {
+		sum := hl.summaries[mid]
+		for _, k := range sum.keys {
+			pa := sum.used[k]
+			if len(pa.sels) == 0 {
+				continue
+			}
+			last := pa.sels[len(pa.sels)-1]
+			if last.slot != slot || last.class < 0 {
+				continue
+			}
+			if !hl.prog.IsSubclass(last.class, class) && !hl.prog.IsSubclass(class, last.class) {
+				continue
+			}
+			r := hl.renderPath(mid, pa)
+			if !seen[r] {
+				seen[r] = true
+				out = append(out, r)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// renderPath prints p0.f.g[*] with resolved names: the receiver of an
+// instance method prints as "this", fields print by name.
+func (hl *HeapLiveness) renderPath(mid int32, pa apath) string {
+	p := hl.prog
+	var s string
+	if pa.param < 0 {
+		cls := "?"
+		if pa.statClass >= 0 && int(pa.statClass) < len(p.Classes) {
+			cls = p.Classes[pa.statClass].Name
+		}
+		s = cls + "." + staticFieldName(p, pa.statClass, pa.statSlot)
+	} else {
+		m := p.Methods[mid]
+		if !m.IsStatic() && pa.param == 0 {
+			s = "this"
+		} else {
+			s = fmt.Sprintf("arg%d", pa.param)
+		}
+	}
+	for _, sel := range pa.sels {
+		if sel.slot < 0 {
+			s += "[*]"
+		} else {
+			s += "." + instanceFieldName(p, sel.class, sel.slot)
+		}
+	}
+	return s
+}
+
+// instanceFieldName resolves an instance slot to its declared name,
+// walking the hierarchy from the statically known class.
+func instanceFieldName(p *bytecode.Program, class, slot int32) string {
+	for c := class; c >= 0 && int(c) < len(p.Classes); c = p.Classes[c].Super {
+		for _, f := range p.Classes[c].Fields {
+			if !f.Static && f.Slot == slot {
+				return f.Name
+			}
+		}
+	}
+	return fmt.Sprintf("f%d", slot)
+}
+
+func staticFieldName(p *bytecode.Program, class, slot int32) string {
+	if class >= 0 && int(class) < len(p.Classes) {
+		for _, f := range p.Classes[class].Fields {
+			if f.Static && f.Slot == slot {
+				return f.Name
+			}
+		}
+	}
+	return fmt.Sprintf("s%d", slot)
+}

@@ -1,0 +1,243 @@
+package analysis_test
+
+import (
+	"strings"
+	"testing"
+
+	"dragprof/internal/analysis"
+	"dragprof/internal/bench"
+	"dragprof/internal/bytecode"
+)
+
+func heapLive(t *testing.T, p *bytecode.Program) *analysis.HeapLiveness {
+	t.Helper()
+	cg := analysis.BuildCallGraph(p)
+	pt := analysis.SolvePointsTo(p, cg)
+	return analysis.ComputeHeapLiveness(p, cg, pt)
+}
+
+// TestAccessGraphPaths checks the bounded access-path summaries: a
+// nested load chain must show up as a depth-limited rooted path.
+func TestAccessGraphPaths(t *testing.T) {
+	src := `
+class Inner { int[] data; Inner() { data = new int[8]; } }
+class Outer { Inner inner; Outer() { inner = new Inner(); } }
+class Main {
+    static int poke(Outer o) {
+        return o.inner.data[0];
+    }
+    static void main() {
+        Outer o = new Outer();
+        printInt(poke(o));
+    }
+}`
+	p := compile(t, src)
+	hl := heapLive(t, p)
+	m := p.MethodByName("Main", "poke")
+	paths := hl.UsedPaths(m.ID)
+	joined := strings.Join(paths, ";")
+	if !strings.Contains(joined, "arg0.inner.data[*]") {
+		t.Errorf("poke paths %v missing arg0.inner.data[*]", paths)
+	}
+	// PathsLoading aggregates the access paths whose last selector is
+	// the queried field, across all reachable methods.
+	inner := p.ClassByName("Inner")
+	dataSlot := fieldSlot(t, p, "Inner", "data")
+	loading := hl.PathsLoading(inner.ID, dataSlot)
+	if len(loading) == 0 || !strings.Contains(strings.Join(loading, ";"), "arg0.inner.data") {
+		t.Errorf("PathsLoading(Inner.data) = %v, want arg0.inner.data", loading)
+	}
+}
+
+// TestPhaseKillProof builds the canonical setup-phase shape and checks
+// the proof fires with the right placement data.
+func TestPhaseKillProof(t *testing.T) {
+	src := `
+class Box {
+    int[] buf;
+    Box() { buf = new int[64]; buf[0] = 1; }
+}
+class Main {
+    static void main() {
+        Box box = new Box();
+        int acc = 0;
+        for (int i = 0; i < 10; i = i + 1) {
+            if (i < 3) {
+                acc = acc + box.buf[i];
+            }
+            acc = acc + i;
+        }
+        printInt(acc);
+    }
+}`
+	p := compile(t, src)
+	hl := heapLive(t, p)
+	var kill *analysis.FieldKill
+	for i := range hl.Kills {
+		if hl.Kills[i].FieldName == "buf" {
+			kill = &hl.Kills[i]
+		}
+	}
+	if kill == nil {
+		t.Fatalf("no kill proved for Box.buf; kills: %+v", hl.Kills)
+	}
+	if kill.Static {
+		t.Error("buf is an instance field")
+	}
+	if kill.Path != "Box.buf" {
+		t.Errorf("kill path %q, want Box.buf", kill.Path)
+	}
+	if kill.Bound != "3" {
+		t.Errorf("bound %q, want the inner guard's constant 3", kill.Bound)
+	}
+	m := p.Methods[kill.Host]
+	if m.ID != p.Main {
+		t.Errorf("host %s, want main", m.Name)
+	}
+	if m.Code[kill.GuardPC].Op != bytecode.JumpIfFalse {
+		t.Errorf("guard pc %d is %v, want jumpfalse", kill.GuardPC, m.Code[kill.GuardPC].Op)
+	}
+	if len(kill.HeldSites) == 0 {
+		t.Error("no held sites")
+	}
+}
+
+// TestPhaseKillRejectsEscapes: once the guarded object is also stored in
+// a static, nulling the field cannot free the buffer and the closure
+// must come back empty (no kill).
+func TestPhaseKillRejectsEscapes(t *testing.T) {
+	src := `
+class Keep { static int[] LEAK; }
+class Box {
+    int[] buf;
+    Box() { buf = new int[64]; Keep.LEAK = buf; }
+}
+class Main {
+    static void main() {
+        Box box = new Box();
+        int acc = 0;
+        for (int i = 0; i < 10; i = i + 1) {
+            if (i < 3) {
+                acc = acc + box.buf[i];
+            }
+            acc = acc + i;
+        }
+        printInt(acc);
+    }
+}`
+	p := compile(t, src)
+	hl := heapLive(t, p)
+	for _, k := range hl.Kills {
+		if k.FieldName == "buf" {
+			t.Errorf("kill proved for escaping field: %+v", k)
+		}
+	}
+}
+
+// TestPhaseKillRejectsNonMonotone: an induction variable that can be
+// reset inside the loop defeats the "guard stays false" argument.
+func TestPhaseKillRejectsNonMonotone(t *testing.T) {
+	src := `
+class Box {
+    int[] buf;
+    Box() { buf = new int[64]; buf[0] = 1; }
+}
+class Main {
+    static void main() {
+        Box box = new Box();
+        int acc = 0;
+        int i = 0;
+        while (i < 10) {
+            if (i < 3) {
+                acc = acc + box.buf[0];
+            }
+            i = i + 1;
+            if (acc > 100) { i = 0; }
+        }
+        printInt(acc);
+    }
+}`
+	p := compile(t, src)
+	hl := heapLive(t, p)
+	for _, k := range hl.Kills {
+		if k.FieldName == "buf" {
+			t.Errorf("kill proved despite iv reset: %+v", k)
+		}
+	}
+}
+
+// TestPhaseKillUnguardedUse: a load of the field after the loop makes
+// every guard placement unsound.
+func TestPhaseKillUnguardedUse(t *testing.T) {
+	src := `
+class Box {
+    int[] buf;
+    Box() { buf = new int[64]; buf[0] = 1; }
+}
+class Main {
+    static void main() {
+        Box box = new Box();
+        int acc = 0;
+        for (int i = 0; i < 10; i = i + 1) {
+            if (i < 3) {
+                acc = acc + box.buf[i];
+            }
+        }
+        printInt(acc + box.buf[0]);
+    }
+}`
+	p := compile(t, src)
+	hl := heapLive(t, p)
+	for _, k := range hl.Kills {
+		if k.FieldName == "buf" {
+			t.Errorf("kill proved despite post-loop load: %+v", k)
+		}
+	}
+}
+
+// TestEulerScratchProved: the paper's euler rewrite — mesh.scratch is
+// used only during the setup sweeps — must be statically proved, with
+// the spine and its element arrays in the freed set.
+func TestEulerScratchProved(t *testing.T) {
+	b, err := bench.ByName("euler")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := b.Compile(bench.Original, bench.OriginalInput)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := cp.Program
+	hl := heapLive(t, p)
+	var kill *analysis.FieldKill
+	for i := range hl.Kills {
+		if hl.Kills[i].Path == "Mesh.scratch" {
+			kill = &hl.Kills[i]
+		}
+	}
+	if kill == nil {
+		t.Fatalf("Mesh.scratch not proved; kills: %+v", hl.Kills)
+	}
+	if len(kill.HeldSites) < 2 {
+		t.Errorf("held sites %v: want the int[][] spine and its int[] rows", kill.HeldSites)
+	}
+	if kill.Bound != "Params.SETUP" {
+		t.Errorf("bound %q, want Params.SETUP", kill.Bound)
+	}
+	found := false
+	for _, up := range kill.UsePaths {
+		if strings.Contains(up, "scratch") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("use paths %v lack a scratch access path", kill.UsePaths)
+	}
+	// Mesh.state and Mesh.boundary are loaded by every sweep, which is
+	// not phase-guarded: they must not be killed.
+	for _, k := range hl.Kills {
+		if k.Path == "Mesh.state" || k.Path == "Mesh.boundary" {
+			t.Errorf("unsound kill proved: %+v", k)
+		}
+	}
+}

@@ -1,0 +1,520 @@
+package analysis
+
+import (
+	"fmt"
+
+	"dragprof/internal/bytecode"
+)
+
+// The phase-guard proof: the interprocedural argument that a heap
+// reference field is dead (never loaded again) once a monotone guard in
+// the entry method first fails. See the package comment in heaplive.go.
+
+// fieldCand is a reference field the proof is attempted for.
+type fieldCand struct {
+	class  int32
+	slot   int32
+	name   string
+	static bool
+}
+
+// proveKills enumerates every declared reference field and keeps the
+// candidates the proof goes through for.
+func (hl *HeapLiveness) proveKills() {
+	p := hl.prog
+	for cid := range p.Classes {
+		c := p.Classes[cid]
+		for _, f := range c.Fields {
+			if !f.Ref {
+				continue
+			}
+			cand := fieldCand{int32(cid), f.Slot, f.Name, f.Static}
+			if k := hl.proveKill(cand); k != nil {
+				hl.Kills = append(hl.Kills, *k)
+			}
+		}
+	}
+}
+
+// useSitesOf collects every load of the field: GetStatic for statics,
+// GetField whose slot matches and whose base may alias an owner object
+// for instance fields (unknown bases count, conservatively).
+func (hl *HeapLiveness) useSitesOf(cand fieldCand, owners []int32) map[int32][]int32 {
+	p := hl.prog
+	uses := make(map[int32][]int32) // method → pcs, ascending
+	for _, mid := range reachableMethodIDs(hl.cg) {
+		m := p.Methods[mid]
+		for pc, in := range m.Code {
+			switch {
+			case cand.static && in.Op == bytecode.GetStatic:
+				if in.B == cand.class && in.A == cand.slot {
+					uses[mid] = append(uses[mid], int32(pc))
+				}
+			case !cand.static && in.Op == bytecode.GetField:
+				if in.A != cand.slot {
+					continue
+				}
+				base := hl.pt.LoadBaseSites(mid, int32(pc))
+				if SitesContainUnknown(base) || SitesIntersect(base, owners) {
+					uses[mid] = append(uses[mid], int32(pc))
+				}
+			}
+		}
+	}
+	return uses
+}
+
+// proveKill runs the full argument for one field; nil means no proof.
+func (hl *HeapLiveness) proveKill(cand fieldCand) *FieldKill {
+	p := hl.prog
+	host := p.Main
+	if host < 0 || !hl.cg.Reachable[host] {
+		return nil
+	}
+	var owners []int32
+	if !cand.static {
+		owners = hl.pt.AllocSitesOf(cand.class)
+		if len(owners) == 0 {
+			return nil
+		}
+	}
+	uses := hl.useSitesOf(cand, owners)
+	if len(uses) == 0 {
+		return nil // never loaded: the unread-field rule owns this case
+	}
+
+	// U: methods from which a load may execute, closed under callers.
+	// Every runtime path to a use enters U through one of its roots; the
+	// proof requires those roots to be the entry method (pc-checked
+	// below) or the pre-main static initializers.
+	inU := make(map[int32]bool)
+	var q []int32
+	for _, mid := range reachableMethodIDs(hl.cg) {
+		if len(uses[mid]) > 0 {
+			inU[mid] = true
+			q = append(q, mid)
+		}
+	}
+	for len(q) > 0 {
+		mid := q[0]
+		q = q[1:]
+		callers := append([]int32(nil), hl.cg.Callers[mid]...)
+		sortInt32(callers)
+		for _, c := range callers {
+			if !inU[c] {
+				inU[c] = true
+				q = append(q, c)
+			}
+		}
+	}
+	isStaticInit := make(map[int32]bool)
+	for _, mid := range p.StaticInits {
+		isStaticInit[mid] = true
+	}
+	for _, mid := range reachableMethodIDs(hl.cg) {
+		if !inU[mid] || mid == host || isStaticInit[mid] {
+			continue
+		}
+		if len(hl.cg.Callers[mid]) == 0 {
+			// Entered from outside the program (finalizers): unprovable.
+			return nil
+		}
+	}
+	if !inU[host] {
+		// Uses exist only below static initializers, which all complete
+		// before main: any point in main kills the field. We still
+		// demand a guard so the kill has a placement; skip instead.
+		return nil
+	}
+
+	// The pcs in the host that can lead to a use: its own loads plus
+	// call sites dispatching into U.
+	hm := p.Methods[host]
+	allowed := append([]int32(nil), uses[host]...)
+	for pc, in := range hm.Code {
+		var targets []int32
+		switch in.Op {
+		case bytecode.InvokeStatic, bytecode.InvokeSpecial:
+			targets = []int32{in.A}
+		case bytecode.InvokeVirtual:
+			targets = hl.pt.virtualTargets(in.B, in.A)
+		default:
+			continue
+		}
+		for _, tgt := range targets {
+			if inU[tgt] {
+				allowed = append(allowed, int32(pc))
+				break
+			}
+		}
+	}
+	if len(allowed) == 0 {
+		return nil
+	}
+
+	cfg := BuildCFG(hm)
+	dom := ComputeDominators(cfg)
+	guard := hl.bestGuard(hm, cfg, dom, allowed, cand)
+	if guard == nil {
+		return nil
+	}
+
+	k := &FieldKill{
+		Class:     cand.class,
+		Slot:      cand.slot,
+		Static:    cand.static,
+		FieldName: cand.name,
+		ClassName: p.Classes[cand.class].Name,
+		Host:      host,
+		GuardPC:   guard.jumpPC,
+		MergePC:   hm.Code[guard.jumpPC].A,
+		Line:      hm.Code[guard.jumpPC].Line,
+		RecvSlot:  -1,
+		IVSlot:    guard.ivSlot,
+		Bound:     guard.bound,
+		Path:      p.Classes[cand.class].Name + "." + cand.name,
+		UsePaths:  hl.PathsLoading(cand.class, cand.slot),
+	}
+	if !cand.static {
+		recv, covered := hl.findReceiver(hm, cfg, dom, guard, owners)
+		if recv < 0 {
+			return nil
+		}
+		k.RecvSlot = recv
+		k.OwnerSites = covered
+		k.HeldSites = hl.heldClosure(covered, cand)
+	} else {
+		k.HeldSites = hl.heldClosureStatic(cand)
+	}
+	if len(k.HeldSites) == 0 {
+		return nil // nothing measurable freed: not worth a stub
+	}
+	return k
+}
+
+// guardProof is one admissible guard for a candidate field.
+type guardProof struct {
+	jumpPC     int32
+	ivSlot     int32
+	bound      string
+	regionSize int
+}
+
+// bestGuard scans the host for comparisons of the canonical shape
+// `LoadLocal iv; (ConstInt|GetStatic) K; CmpLT|CmpLE; JumpIfFalse` and
+// returns the admissible guard with the smallest guarded region (the
+// innermost phase boundary, which kills earliest).
+func (hl *HeapLiveness) bestGuard(hm *bytecode.Method, cfg *CFG, dom *Dominators, allowed []int32, cand fieldCand) *guardProof {
+	var best *guardProof
+	for pc := 3; pc < len(hm.Code); pc++ {
+		if hm.Code[pc].Op != bytecode.JumpIfFalse {
+			continue
+		}
+		cmp := hm.Code[pc-1].Op
+		if cmp != bytecode.CmpLT && cmp != bytecode.CmpLE {
+			continue
+		}
+		kIn := hm.Code[pc-2]
+		ivIn := hm.Code[pc-3]
+		if ivIn.Op != bytecode.LoadLocal {
+			continue
+		}
+		var bound string
+		switch kIn.Op {
+		case bytecode.ConstInt:
+			bound = fmt.Sprintf("%d", kIn.A)
+		case bytecode.GetStatic:
+			if !hl.staticInvariant(kIn.B, kIn.A) {
+				continue
+			}
+			cls := "?"
+			if int(kIn.B) < len(hl.prog.Classes) {
+				cls = hl.prog.Classes[kIn.B].Name
+			}
+			bound = cls + "." + staticFieldName(hl.prog, kIn.B, kIn.A)
+		default:
+			continue
+		}
+		g := &guardProof{jumpPC: int32(pc), ivSlot: ivIn.A, bound: bound}
+		if !hl.monotoneIV(hm, cfg, g) {
+			continue
+		}
+		ok, size := hl.coversAllowed(hm, cfg, g, allowed)
+		if !ok {
+			continue
+		}
+		g.regionSize = size
+		if best == nil || g.regionSize < best.regionSize {
+			best = g
+		}
+	}
+	return best
+}
+
+// staticInvariant reports that the static slot is written only by static
+// initializers, which the VM runs to completion before main.
+func (hl *HeapLiveness) staticInvariant(class, slot int32) bool {
+	isInit := make(map[int32]bool)
+	for _, mid := range hl.prog.StaticInits {
+		isInit[mid] = true
+	}
+	for _, mid := range reachableMethodIDs(hl.cg) {
+		if isInit[mid] {
+			continue
+		}
+		for _, in := range hl.prog.Methods[mid].Code {
+			if in.Op == bytecode.PutStatic && in.B == class && in.A == slot {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// monotoneIV demands that every store to the induction variable is
+// either pre-loop (not reachable from the guard's merge point) or the
+// canonical non-negative increment `LoadLocal iv; ConstInt c>=0; Add;
+// StoreLocal iv`, so the variable never decreases once the phase ends.
+func (hl *HeapLiveness) monotoneIV(hm *bytecode.Method, cfg *CFG, g *guardProof) bool {
+	mergeBlock := blockOfPC(cfg, hm.Code[g.jumpPC].A)
+	afterMerge := floodFrom(cfg, mergeBlock)
+	for pc, in := range hm.Code {
+		if in.Op != bytecode.StoreLocal || in.A != g.ivSlot {
+			continue
+		}
+		if !afterMerge[blockOfPC(cfg, int32(pc))] {
+			continue // initialization before the phase can end
+		}
+		if pc >= 3 &&
+			hm.Code[pc-1].Op == bytecode.Add &&
+			hm.Code[pc-2].Op == bytecode.ConstInt && hm.Code[pc-2].A >= 0 &&
+			hm.Code[pc-3].Op == bytecode.LoadLocal && hm.Code[pc-3].A == g.ivSlot {
+			continue
+		}
+		return false
+	}
+	return true
+}
+
+// coversAllowed checks that every allowed pc is guarded (inside the
+// single-entry region between the guard's true edge and its merge
+// point) or pre-phase (in a block unreachable from the merge point).
+// Returns the region size for innermost-guard selection.
+func (hl *HeapLiveness) coversAllowed(hm *bytecode.Method, cfg *CFG, g *guardProof, allowed []int32) (bool, int) {
+	guardBlock := blockOfPC(cfg, g.jumpPC)
+	mergeBlock := blockOfPC(cfg, hm.Code[g.jumpPC].A)
+	thenBlock := blockOfPC(cfg, g.jumpPC+1)
+	if thenBlock == mergeBlock || int(g.jumpPC)+1 >= len(hm.Code) {
+		return false, 0
+	}
+
+	// Region: blocks reachable from the true edge without crossing the
+	// merge point.
+	region := make(map[int]bool)
+	stack := []int{thenBlock}
+	region[thenBlock] = true
+	for len(stack) > 0 {
+		bi := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range cfg.Blocks[bi].Succs {
+			if s == mergeBlock || region[s] {
+				continue
+			}
+			region[s] = true
+			stack = append(stack, s)
+		}
+	}
+	// Single entry: the only edge into the region from outside is the
+	// guard's true edge. (Exception edges are ordinary CFG edges here,
+	// so a handler inside the region with an outside protected range
+	// rejects the proof.)
+	for bi := range region {
+		for _, pr := range cfg.Blocks[bi].Preds {
+			if region[pr] {
+				continue
+			}
+			if pr == guardBlock && bi == thenBlock {
+				continue
+			}
+			return false, 0
+		}
+	}
+
+	afterMerge := floodFrom(cfg, mergeBlock)
+	for _, pc := range allowed {
+		bi := blockOfPC(cfg, pc)
+		if region[bi] {
+			continue
+		}
+		if !afterMerge[bi] {
+			continue // pre-phase: cannot run after the kill point
+		}
+		return false, 0
+	}
+	return true, len(region)
+}
+
+// findReceiver locates a host local that provably holds an owner object
+// at the guard: assigned exactly once, directly from an allocation, in a
+// block dominating the guard. Returns the slot and the owner sites it
+// covers.
+func (hl *HeapLiveness) findReceiver(hm *bytecode.Method, cfg *CFG, dom *Dominators, g *guardProof, owners []int32) (int32, []int32) {
+	guardBlock := blockOfPC(cfg, g.jumpPC)
+	stores := make(map[int32][]int32) // slot → store pcs
+	for pc, in := range hm.Code {
+		if in.Op == bytecode.StoreLocal {
+			stores[in.A] = append(stores[in.A], int32(pc))
+		}
+	}
+	for slot := int32(0); slot < int32(hm.MaxLocals); slot++ {
+		pcs := stores[slot]
+		if len(pcs) != 1 {
+			continue
+		}
+		pc := pcs[0]
+		if pc == 0 {
+			continue
+		}
+		switch hm.Code[pc-1].Op {
+		case bytecode.InvokeSpecial, bytecode.NewObject, bytecode.NewArray:
+		default:
+			continue
+		}
+		sb := blockOfPC(cfg, pc)
+		if sb != guardBlock && !dom.Dominates(sb, guardBlock) {
+			continue
+		}
+		if sb == guardBlock && pc >= g.jumpPC {
+			continue
+		}
+		sites := hl.pt.LocalSites(hm.ID, slot)
+		if len(sites) != 1 || sites[0] == UnknownSite {
+			continue
+		}
+		covered := intersectSites(sites, owners)
+		if len(covered) > 0 {
+			return slot, covered
+		}
+	}
+	return -1, nil
+}
+
+// heldClosure computes the sites freed by nulling the field: its direct
+// points-to targets plus everything reachable only through them. A site
+// stays in the closure only when no static, no unknown escape, and no
+// field of a non-held object also stores it.
+func (hl *HeapLiveness) heldClosure(owners []int32, cand fieldCand) []int32 {
+	var seed []int32
+	for _, o := range owners {
+		seed = append(seed, hl.pt.FieldSites(o, cand.slot)...)
+	}
+	return hl.filterHeld(owners, seed)
+}
+
+func (hl *HeapLiveness) heldClosureStatic(cand fieldCand) []int32 {
+	return hl.filterHeld(nil, hl.pt.StaticSites(cand.class, cand.slot))
+}
+
+func (hl *HeapLiveness) filterHeld(owners []int32, seed []int32) []int32 {
+	p := hl.prog
+	kept := make(map[int32]bool)
+	var expand func(s int32)
+	expand = func(s int32) {
+		if s < 0 || kept[s] {
+			return
+		}
+		kept[s] = true
+		if cls := hl.pt.SiteClass(s); cls >= 0 {
+			for slot := int32(0); slot < p.Classes[cls].NumFieldSlots; slot++ {
+				for _, t := range hl.pt.FieldSites(s, slot) {
+					expand(t)
+				}
+			}
+		}
+		for _, t := range hl.pt.ElementSites(s) {
+			expand(t)
+		}
+	}
+	for _, s := range seed {
+		expand(s)
+	}
+	ownerSet := make(map[int32]bool)
+	for _, o := range owners {
+		ownerSet[o] = true
+	}
+	// Iteratively drop sites held by containers outside owners ∪ kept.
+	for {
+		containers := make(map[int32]bool, len(ownerSet)+len(kept))
+		for o := range ownerSet {
+			containers[o] = true
+		}
+		for s := range kept {
+			containers[s] = true
+		}
+		dropped := false
+		for _, s := range sortedKeys(kept) {
+			// The seed sites hang off the owners' killed field itself;
+			// transitive members hang off kept containers.
+			if hl.pt.HeldOutside(s, containers) {
+				delete(kept, s)
+				dropped = true
+			}
+		}
+		if !dropped {
+			break
+		}
+	}
+	return sortedKeys(kept)
+}
+
+func sortedKeys(m map[int32]bool) []int32 {
+	out := make([]int32, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sortInt32(out)
+	return out
+}
+
+func intersectSites(a, b []int32) []int32 {
+	var out []int32
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			out = append(out, a[i])
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return out
+}
+
+// blockOfPC maps a pc to its block id.
+func blockOfPC(cfg *CFG, pc int32) int {
+	if pc < 0 || int(pc) >= len(cfg.BlockOf) {
+		return 0
+	}
+	return cfg.BlockOf[pc]
+}
+
+// floodFrom floods forward from a block (inclusive).
+func floodFrom(cfg *CFG, from int) map[int]bool {
+	seen := map[int]bool{from: true}
+	stack := []int{from}
+	for len(stack) > 0 {
+		bi := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range cfg.Blocks[bi].Succs {
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return seen
+}

@@ -1,0 +1,899 @@
+package analysis
+
+import (
+	"math/bits"
+
+	"dragprof/internal/bytecode"
+)
+
+// UnknownSite (declared in flow.go) doubles as the pseudo allocation
+// site of this analysis: objects it cannot attribute — VM-materialized
+// string literals, runtime exception objects, values read out of
+// unmodelled code — occupy bit 0 of every points-to set; real site s
+// occupies bit s+1.
+
+// PTStats summarizes the constraint solver's work, exposed through the
+// dragvet -pointsto flag and the staticlint benchmark so analysis cost is
+// trackable across PRs.
+type PTStats struct {
+	Nodes      int // constraint-graph nodes after generation
+	CopyEdges  int // subset edges added (including derived ones)
+	LoadCs     int // field/element load constraints
+	StoreCs    int // field/element store constraints
+	Collapsed  int // nodes merged away by cycle collapsing
+	Iterations int // worklist pops until fixpoint
+}
+
+// selElem is the field selector for array elements: all elements of an
+// array collapse into one bucket per allocation site.
+const selElem int32 = -1
+
+type ptField struct {
+	site int32
+	sel  int32 // field slot, or selElem
+}
+
+type ptLoad struct {
+	sel int32
+	dst int
+}
+
+type ptStore struct {
+	sel int32
+	src int
+}
+
+type ptNode struct {
+	pts       bitset
+	processed bitset // sites whose constraints have already fired
+	succs     []int
+	succSet   map[int]struct{}
+	loads     []ptLoad
+	stores    []ptStore
+}
+
+// InstrRef names one instruction for per-instruction points-to queries.
+type InstrRef struct {
+	Method int32
+	PC     int32
+}
+
+// PointsTo is an Andersen-style, flow-insensitive, field-sensitive
+// (per allocation site × field slot) inclusion-based points-to analysis.
+// Abstract objects are the program's allocation sites — the same site ids
+// the drag profiler groups by, so static alias sets cross-validate
+// directly against the drag log (the DJXPerf-style object-centric
+// anchoring the lint layer depends on).
+//
+// The constraint graph uses a deterministic LIFO worklist seeded in node
+// order and periodic Tarjan cycle collapsing over the copy edges; no Go
+// map iteration order reaches any result.
+type PointsTo struct {
+	prog *bytecode.Program
+	cg   *CallGraph
+
+	nodes  []ptNode
+	parent []int // union-find over nodes (cycle collapsing)
+	nbits  int   // nsites + 1
+
+	localBase map[int32]int // method id → node index of local slot 0
+	retNode   map[int32]int
+	fields    map[ptField]int
+	statics   map[fieldKey]int
+	loadBase  map[InstrRef]int // GetField/ArrayLoad/ArrayLen → base node
+	storeBase map[InstrRef]int // PutField/ArrayStore → base node
+
+	blob int // the unknown heap: contents of unmodelled containers
+	unk  int // a value of unknown origin ({UnknownSite}, no contents)
+	prim int // primitive/null values: permanently empty pts
+
+	siteClass []int32 // allocated class id per site, -1 for arrays
+
+	stats      PTStats
+	edgesSince int // edges added since the last collapse pass
+
+	// Worklist state; live only while solve() runs so that addEdge can
+	// propagate immediately across edges discovered mid-solve.
+	work    []int
+	onWork  []bool
+	solving bool
+}
+
+// SolvePointsTo generates and solves the constraint system for every
+// RTA-reachable method.
+func SolvePointsTo(p *bytecode.Program, cg *CallGraph) *PointsTo {
+	pt := &PointsTo{
+		prog:      p,
+		cg:        cg,
+		nbits:     len(p.Sites) + 1,
+		localBase: make(map[int32]int),
+		retNode:   make(map[int32]int),
+		fields:    make(map[ptField]int),
+		statics:   make(map[fieldKey]int),
+		loadBase:  make(map[InstrRef]int),
+		storeBase: make(map[InstrRef]int),
+		siteClass: make([]int32, len(p.Sites)),
+	}
+	for i := range pt.siteClass {
+		pt.siteClass[i] = -1
+	}
+
+	pt.blob = pt.newNode()
+	pt.unk = pt.newNode()
+	pt.prim = pt.newNode()
+	pt.addSite(pt.blob, UnknownSite)
+	pt.addSite(pt.unk, UnknownSite)
+
+	mids := reachableMethodIDs(cg)
+	for _, mid := range mids {
+		m := p.Methods[mid]
+		base := len(pt.nodes)
+		pt.localBase[mid] = base
+		for i := 0; i < m.MaxLocals; i++ {
+			pt.newNode()
+		}
+		pt.retNode[mid] = pt.newNode()
+	}
+	for _, mid := range mids {
+		pt.generate(p.Methods[mid])
+	}
+	// Finalizers run from the collector with the dying object as their
+	// receiver: seed param 0 with every site allocating a subtype.
+	for _, mid := range mids {
+		m := p.Methods[mid]
+		if m.Flags&bytecode.FlagFinalizer == 0 || m.Class < 0 {
+			continue
+		}
+		recv := pt.localBase[mid]
+		for s := range p.Sites {
+			if pt.siteClass[s] >= 0 && p.IsSubclass(pt.siteClass[s], m.Class) {
+				pt.addSite(recv, int32(s))
+			}
+		}
+	}
+	pt.stats.Nodes = len(pt.nodes)
+	pt.solve()
+	return pt
+}
+
+// reachableMethodIDs returns the RTA-reachable method ids in ascending
+// order — the deterministic iteration backbone for everything above.
+func reachableMethodIDs(cg *CallGraph) []int32 {
+	ids := make([]int32, 0, len(cg.Reachable))
+	for id := range cg.Reachable {
+		ids = append(ids, id)
+	}
+	sortInt32(ids)
+	return ids
+}
+
+func (pt *PointsTo) newNode() int {
+	pt.nodes = append(pt.nodes, ptNode{
+		pts:       newBitset(pt.nbits),
+		processed: newBitset(pt.nbits),
+	})
+	pt.parent = append(pt.parent, len(pt.parent))
+	if pt.solving {
+		pt.onWork = append(pt.onWork, false)
+	}
+	return len(pt.nodes) - 1
+}
+
+func (pt *PointsTo) pushWork(n int) {
+	n = pt.find(n)
+	if !pt.onWork[n] {
+		pt.onWork[n] = true
+		pt.work = append(pt.work, n)
+	}
+}
+
+func (pt *PointsTo) find(x int) int {
+	for pt.parent[x] != x {
+		pt.parent[x] = pt.parent[pt.parent[x]]
+		x = pt.parent[x]
+	}
+	return x
+}
+
+func (pt *PointsTo) bit(site int32) int32 { return site + 1 }
+
+func (pt *PointsTo) addSite(n int, site int32) {
+	pt.nodes[pt.find(n)].pts.set(pt.bit(site))
+}
+
+func (pt *PointsTo) addEdge(from, to int) {
+	from, to = pt.find(from), pt.find(to)
+	if from == to || from == pt.prim {
+		return
+	}
+	n := &pt.nodes[from]
+	if n.succSet == nil {
+		n.succSet = make(map[int]struct{})
+	}
+	if _, dup := n.succSet[to]; dup {
+		return
+	}
+	n.succSet[to] = struct{}{}
+	n.succs = append(n.succs, to)
+	pt.stats.CopyEdges++
+	pt.edgesSince++
+	if pt.solving {
+		// Propagate immediately so edges discovered mid-solve carry the
+		// source's accumulated set without waiting for a revisit.
+		if pt.nodes[to].pts.orInto(pt.nodes[from].pts) {
+			pt.pushWork(to)
+		}
+	}
+}
+
+func (pt *PointsTo) addLoad(base int, sel int32, dst int) {
+	base = pt.find(base)
+	pt.nodes[base].loads = append(pt.nodes[base].loads, ptLoad{sel, dst})
+	pt.stats.LoadCs++
+}
+
+func (pt *PointsTo) addStore(base int, sel int32, src int) {
+	base = pt.find(base)
+	pt.nodes[base].stores = append(pt.nodes[base].stores, ptStore{sel, src})
+	pt.stats.StoreCs++
+}
+
+// fieldNode returns the node holding the contents of (site, selector),
+// creating it on first use. The blob stands in for the unknown object.
+func (pt *PointsTo) fieldNode(site int32, sel int32) int {
+	if site == UnknownSite {
+		return pt.blob
+	}
+	key := ptField{site, sel}
+	if n, ok := pt.fields[key]; ok {
+		return n
+	}
+	n := pt.newNode()
+	pt.fields[key] = n
+	return n
+}
+
+func (pt *PointsTo) staticNode(class, slot int32) int {
+	key := fieldKey{class, slot}
+	if n, ok := pt.statics[key]; ok {
+		return n
+	}
+	n := pt.newNode()
+	pt.statics[key] = n
+	return n
+}
+
+// generate walks one method's CFG, simulating the operand stack with
+// constraint-graph nodes. Block entry stacks get fresh "phi" nodes so
+// multiple predecessors merge through copy edges; handler blocks start
+// with the unknown exception object.
+func (pt *PointsTo) generate(m *bytecode.Method) {
+	if len(m.Code) == 0 {
+		return
+	}
+	p := pt.prog
+	cfg := BuildCFG(m)
+	inStack := make([][]int, len(cfg.Blocks))
+
+	for _, b := range cfg.Blocks {
+		st := inStack[b.ID]
+		if st == nil {
+			if b.Handler {
+				st = []int{pt.unk}
+			} else {
+				st = []int{}
+			}
+		}
+		st = append([]int(nil), st...)
+		pop := func() int {
+			if len(st) == 0 {
+				// Back-edge-only entry with an unmodelled depth:
+				// treat the missing value as unknown.
+				return pt.unk
+			}
+			v := st[len(st)-1]
+			st = st[:len(st)-1]
+			return v
+		}
+		push := func(n int) { st = append(st, n) }
+
+		for pc := b.Start; pc < b.End; pc++ {
+			in := m.Code[pc]
+			ref := InstrRef{m.ID, pc}
+			switch in.Op {
+			case bytecode.ConstInt, bytecode.ConstBool, bytecode.ConstChar,
+				bytecode.ConstNull:
+				push(pt.prim)
+			case bytecode.ConstStr:
+				push(pt.unk)
+			case bytecode.LoadLocal:
+				push(pt.localBase[m.ID] + int(in.A))
+			case bytecode.StoreLocal:
+				pt.addEdge(pop(), pt.localBase[m.ID]+int(in.A))
+			case bytecode.GetField:
+				base := pop()
+				pt.loadBase[ref] = base
+				if refSlot(p, in.B, in.A) {
+					t := pt.newNode()
+					pt.addLoad(base, in.A, t)
+					push(t)
+				} else {
+					push(pt.prim)
+				}
+			case bytecode.PutField:
+				val := pop()
+				base := pop()
+				pt.storeBase[ref] = base
+				if refSlot(p, in.B, in.A) {
+					pt.addStore(base, in.A, val)
+				}
+			case bytecode.GetStatic:
+				if staticRefSlot(p, in.B, in.A) {
+					push(pt.staticNode(in.B, in.A))
+				} else {
+					push(pt.prim)
+				}
+			case bytecode.PutStatic:
+				val := pop()
+				if staticRefSlot(p, in.B, in.A) {
+					pt.addEdge(val, pt.staticNode(in.B, in.A))
+				}
+			case bytecode.NewObject:
+				pt.siteClass[in.B] = in.A
+				t := pt.newNode()
+				pt.addSite(t, in.B)
+				push(t)
+			case bytecode.NewArray:
+				pop() // length
+				t := pt.newNode()
+				pt.addSite(t, in.B)
+				push(t)
+			case bytecode.ArrayLoad:
+				pop() // index
+				base := pop()
+				pt.loadBase[ref] = base
+				t := pt.newNode()
+				pt.addLoad(base, selElem, t)
+				push(t)
+			case bytecode.ArrayStore:
+				val := pop()
+				pop() // index
+				base := pop()
+				pt.storeBase[ref] = base
+				pt.addStore(base, selElem, val)
+			case bytecode.ArrayLen:
+				base := pop()
+				pt.loadBase[ref] = base
+				push(pt.prim)
+			case bytecode.InvokeStatic, bytecode.InvokeSpecial:
+				pt.genCall(m, &st, []int32{in.A}, p.Methods[in.A])
+			case bytecode.InvokeVirtual:
+				decl := p.Classes[in.B]
+				dm := p.Methods[decl.VTable[in.A]]
+				pt.genCall(m, &st, pt.virtualTargets(in.B, in.A), dm)
+			case bytecode.CallBuiltin:
+				pt.genBuiltin(&st, bytecode.Builtin(in.A))
+			case bytecode.ReturnValue:
+				pt.addEdge(pop(), pt.retNode[m.ID])
+			case bytecode.Dup:
+				t := pop()
+				push(t)
+				push(t)
+			case bytecode.Swap:
+				a, b2 := pop(), pop()
+				push(a)
+				push(b2)
+			case bytecode.Pop:
+				pop()
+			case bytecode.Throw:
+				// Thrown objects surface at handler entries, which are
+				// modelled as the unknown heap.
+				pt.addEdge(pop(), pt.blob)
+			case bytecode.JumpIfFalse, bytecode.JumpIfTrue,
+				bytecode.JumpIfNull, bytecode.JumpIfNonNull,
+				bytecode.MonitorEnter, bytecode.MonitorExit:
+				pop()
+			case bytecode.Neg, bytecode.Not:
+				pop()
+				push(pt.prim)
+			case bytecode.Add, bytecode.Sub, bytecode.Mul, bytecode.Div,
+				bytecode.Rem, bytecode.CmpEQ, bytecode.CmpNE,
+				bytecode.CmpLT, bytecode.CmpLE, bytecode.CmpGT,
+				bytecode.CmpGE, bytecode.RefEQ, bytecode.RefNE:
+				pop()
+				pop()
+				push(pt.prim)
+			case bytecode.CheckCast, bytecode.Jump, bytecode.Nop,
+				bytecode.Return:
+				// no stack effect
+			}
+		}
+
+		for _, s := range b.Succs {
+			sb := cfg.Blocks[s]
+			if sb.Handler {
+				if inStack[s] == nil {
+					inStack[s] = []int{pt.unk}
+				}
+				continue
+			}
+			if inStack[s] == nil {
+				phi := make([]int, len(st))
+				for i := range st {
+					phi[i] = pt.newNode()
+					pt.addEdge(st[i], phi[i])
+				}
+				inStack[s] = phi
+				continue
+			}
+			n := len(st)
+			if len(inStack[s]) < n {
+				n = len(inStack[s])
+			}
+			for i := 0; i < n; i++ {
+				pt.addEdge(st[i], inStack[s][i])
+			}
+		}
+	}
+}
+
+// genCall wires arguments to the parameter locals of every possible
+// target and the targets' return nodes to the call's result.
+func (pt *PointsTo) genCall(m *bytecode.Method, st *[]int, targets []int32, decl *bytecode.Method) {
+	n := decl.NumParams
+	args := make([]int, n)
+	for i := n - 1; i >= 0; i-- {
+		if len(*st) == 0 {
+			args[i] = pt.unk
+			continue
+		}
+		args[i] = (*st)[len(*st)-1]
+		*st = (*st)[:len(*st)-1]
+	}
+	rets := 0
+	var res int
+	for _, tid := range targets {
+		tm := pt.prog.Methods[tid]
+		base, ok := pt.localBase[tid]
+		if !ok {
+			continue
+		}
+		for i := 0; i < n && i < tm.MaxLocals; i++ {
+			pt.addEdge(args[i], base+i)
+		}
+		if returnCount(tm) > 0 {
+			if rets == 0 {
+				res = pt.newNode()
+			}
+			rets++
+			pt.addEdge(pt.retNode[tid], res)
+		}
+	}
+	if returnCount(decl) > 0 {
+		if rets == 0 {
+			res = pt.unk // no reachable target: result unknown
+		}
+		*st = append(*st, res)
+	}
+}
+
+// virtualTargets resolves a virtual call site over the RTA-instantiated
+// classes, in ascending class-id order, deduplicating shared
+// implementations.
+func (pt *PointsTo) virtualTargets(declCls, vindex int32) []int32 {
+	p := pt.prog
+	var out []int32
+	seen := make(map[int32]bool)
+	for cid := range p.Classes {
+		c := int32(cid)
+		if !pt.cg.Instantiated[c] || !p.IsSubclass(c, declCls) {
+			continue
+		}
+		cl := p.Classes[c]
+		if int(vindex) >= len(cl.VTable) {
+			continue
+		}
+		t := cl.VTable[vindex]
+		if !seen[t] {
+			seen[t] = true
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// genBuiltin models native calls. arraycopy moves array elements between
+// the two array arguments; every other builtin only observes its
+// arguments (no references are retained or produced).
+func (pt *PointsTo) genBuiltin(st *[]int, b bytecode.Builtin) {
+	pops, pushes, _ := builtinEffect(b)
+	args := make([]int, pops)
+	for i := pops - 1; i >= 0; i-- {
+		if len(*st) == 0 {
+			args[i] = pt.unk
+			continue
+		}
+		args[i] = (*st)[len(*st)-1]
+		*st = (*st)[:len(*st)-1]
+	}
+	if b == bytecode.BuiltinArrayCopy && pops == 5 {
+		// args: src, srcPos, dst, dstPos, n
+		t := pt.newNode()
+		pt.addLoad(args[0], selElem, t)
+		pt.addStore(args[2], selElem, t)
+	}
+	for i := 0; i < pushes; i++ {
+		*st = append(*st, pt.prim)
+	}
+}
+
+// solve runs the inclusion fixpoint with difference propagation and
+// periodic cycle collapsing.
+func (pt *PointsTo) solve() {
+	pt.work = make([]int, 0, len(pt.nodes))
+	pt.onWork = make([]bool, len(pt.nodes))
+	pt.solving = true
+	defer func() { pt.solving = false; pt.work = nil; pt.onWork = nil }()
+
+	// Seed in reverse node order so the LIFO pops nodes in id order.
+	for i := len(pt.nodes) - 1; i >= 0; i-- {
+		if pt.find(i) == i {
+			pt.pushWork(i)
+		}
+	}
+	pt.collapseCycles()
+	pt.edgesSince = 0
+
+	for len(pt.work) > 0 {
+		n := pt.work[len(pt.work)-1]
+		pt.work = pt.work[:len(pt.work)-1]
+		pt.onWork[n] = false
+		if pt.find(n) != n {
+			continue
+		}
+		pt.stats.Iterations++
+
+		delta := newBitset(pt.nbits)
+		changed := false
+		for i := range delta {
+			delta[i] = pt.nodes[n].pts[i] &^ pt.nodes[n].processed[i]
+			if delta[i] != 0 {
+				changed = true
+			}
+		}
+		if !changed {
+			continue
+		}
+		pt.nodes[n].processed.orInto(pt.nodes[n].pts)
+
+		// Fire load/store constraints for the newly discovered sites.
+		// addEdge propagates across the fresh edges itself.
+		for _, site := range sitesOf(delta) {
+			for ci := 0; ci < len(pt.nodes[n].loads); ci++ {
+				c := pt.nodes[n].loads[ci]
+				pt.addEdge(pt.fieldNode(site, c.sel), c.dst)
+			}
+			for ci := 0; ci < len(pt.nodes[n].stores); ci++ {
+				c := pt.nodes[n].stores[ci]
+				pt.addEdge(c.src, pt.fieldNode(site, c.sel))
+			}
+		}
+		// Propagate along copy edges.
+		for ci := 0; ci < len(pt.nodes[n].succs); ci++ {
+			s := pt.find(pt.nodes[n].succs[ci])
+			if s == n {
+				continue
+			}
+			if pt.nodes[s].pts.orInto(pt.nodes[n].pts) {
+				pt.pushWork(s)
+			}
+		}
+
+		if pt.edgesSince > 4096 {
+			pt.collapseCycles()
+			pt.edgesSince = 0
+		}
+	}
+}
+
+// sitesOf decodes a points-to bitset into site ids (UnknownSite first).
+func sitesOf(b bitset) []int32 {
+	var out []int32
+	for w, word := range b {
+		for word != 0 {
+			i := int32(w*64 + bits.TrailingZeros64(word))
+			out = append(out, i-1)
+			word &= word - 1
+		}
+	}
+	return out
+}
+
+// collapseCycles runs an iterative Tarjan SCC pass over the copy edges
+// and unions every nontrivial component into its smallest member. Cycles
+// of copy edges share one points-to set afterwards, the classic Andersen
+// acceleration.
+func (pt *PointsTo) collapseCycles() {
+	n := len(pt.nodes)
+	index := make([]int32, n)
+	low := make([]int32, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+	var stack []int
+	var next int32 = 1
+
+	type frame struct {
+		v  int
+		ei int
+	}
+	for root := 0; root < n; root++ {
+		if pt.find(root) != root || index[root] >= 0 {
+			continue
+		}
+		frames := []frame{{root, 0}}
+		index[root], low[root] = next, next
+		next++
+		stack = append(stack, root)
+		onStack[root] = true
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			v := f.v
+			if f.ei < len(pt.nodes[v].succs) {
+				w := pt.find(pt.nodes[v].succs[f.ei])
+				f.ei++
+				if w == v {
+					continue
+				}
+				if index[w] < 0 {
+					index[w], low[w] = next, next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					frames = append(frames, frame{w, 0})
+				} else if onStack[w] && index[w] < low[v] {
+					low[v] = index[w]
+				}
+				continue
+			}
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				pv := frames[len(frames)-1].v
+				if low[v] < low[pv] {
+					low[pv] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				// Pop the SCC rooted at v.
+				var comp []int
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp = append(comp, w)
+					if w == v {
+						break
+					}
+				}
+				if len(comp) > 1 {
+					pt.mergeComponent(comp)
+				}
+			}
+		}
+	}
+}
+
+// mergeComponent unions an SCC into its smallest node id.
+func (pt *PointsTo) mergeComponent(comp []int) {
+	rep := comp[0]
+	for _, v := range comp {
+		if v < rep {
+			rep = v
+		}
+	}
+	r := &pt.nodes[rep]
+	for _, v := range comp {
+		if v == rep {
+			continue
+		}
+		pt.parent[v] = rep
+		pt.stats.Collapsed++
+		nv := &pt.nodes[v]
+		r.pts.orInto(nv.pts)
+		// processed stays the intersection-safe minimum: keep rep's own,
+		// so merged constraints refire where needed.
+		for i := range r.processed {
+			r.processed[i] &= nv.processed[i]
+		}
+		r.loads = append(r.loads, nv.loads...)
+		r.stores = append(r.stores, nv.stores...)
+		for _, s := range nv.succs {
+			pt.addEdge(rep, s)
+		}
+		nv.succs = nil
+		nv.succSet = nil
+		nv.loads = nil
+		nv.stores = nil
+		nv.pts = nil
+		nv.processed = nil
+	}
+	pt.pushWork(rep)
+}
+
+func (pt *PointsTo) nodeSites(n int) []int32 {
+	if n < 0 {
+		return nil
+	}
+	return sitesOf(pt.nodes[pt.find(n)].pts)
+}
+
+// Stats returns solver statistics.
+func (pt *PointsTo) Stats() PTStats { return pt.stats }
+
+// LocalSites returns the alias set (allocation sites, UnknownSite first
+// when present) a method's local slot may reference.
+func (pt *PointsTo) LocalSites(mid, slot int32) []int32 {
+	base, ok := pt.localBase[mid]
+	if !ok {
+		return nil
+	}
+	m := pt.prog.Methods[mid]
+	if int(slot) >= m.MaxLocals {
+		return nil
+	}
+	return pt.nodeSites(base + int(slot))
+}
+
+// ReturnSites returns the alias set of a method's return value.
+func (pt *PointsTo) ReturnSites(mid int32) []int32 {
+	n, ok := pt.retNode[mid]
+	if !ok {
+		return nil
+	}
+	return pt.nodeSites(n)
+}
+
+// LoadBaseSites returns the alias set of the base operand of the
+// GetField/ArrayLoad/ArrayLen at (mid, pc), or nil when that pc holds no
+// tracked load.
+func (pt *PointsTo) LoadBaseSites(mid, pc int32) []int32 {
+	n, ok := pt.loadBase[InstrRef{mid, pc}]
+	if !ok {
+		return nil
+	}
+	return pt.nodeSites(n)
+}
+
+// StoreBaseSites is LoadBaseSites for PutField/ArrayStore bases.
+func (pt *PointsTo) StoreBaseSites(mid, pc int32) []int32 {
+	n, ok := pt.storeBase[InstrRef{mid, pc}]
+	if !ok {
+		return nil
+	}
+	return pt.nodeSites(n)
+}
+
+// FieldSites returns what field `slot` of objects allocated at `site` may
+// reference.
+func (pt *PointsTo) FieldSites(site, slot int32) []int32 {
+	n, ok := pt.fields[ptField{site, slot}]
+	if !ok {
+		return nil
+	}
+	return pt.nodeSites(n)
+}
+
+// ElementSites returns what elements of arrays allocated at `site` may
+// reference.
+func (pt *PointsTo) ElementSites(site int32) []int32 {
+	n, ok := pt.fields[ptField{site, selElem}]
+	if !ok {
+		return nil
+	}
+	return pt.nodeSites(n)
+}
+
+// StaticSites returns what the static slot (class, slot) may reference.
+func (pt *PointsTo) StaticSites(class, slot int32) []int32 {
+	n, ok := pt.statics[fieldKey{class, slot}]
+	if !ok {
+		return nil
+	}
+	return pt.nodeSites(n)
+}
+
+// SiteClass returns the class id a site allocates, or -1 for arrays and
+// sites never reached by the generator.
+func (pt *PointsTo) SiteClass(site int32) int32 {
+	if site < 0 || int(site) >= len(pt.siteClass) {
+		return -1
+	}
+	return pt.siteClass[site]
+}
+
+// AllocSitesOf lists the sites allocating `class` or a subclass of it, in
+// ascending order.
+func (pt *PointsTo) AllocSitesOf(class int32) []int32 {
+	var out []int32
+	for s := range pt.prog.Sites {
+		c := pt.siteClass[s]
+		if c >= 0 && pt.prog.IsSubclass(c, class) {
+			out = append(out, int32(s))
+		}
+	}
+	return out
+}
+
+// HeldOutside reports whether objects from `site` may be stored anywhere
+// on the heap other than fields/elements of objects allocated at the
+// owner sites — i.e. whether nulling an owner-held reference can leave
+// another heap path alive. Escapes into the unknown heap count.
+func (pt *PointsTo) HeldOutside(site int32, owners map[int32]bool) bool {
+	bit := pt.bit(site)
+	if pt.nodes[pt.find(pt.blob)].pts.has(bit) {
+		return true
+	}
+	for key, n := range pt.statics {
+		_ = key
+		if pt.nodes[pt.find(n)].pts.has(bit) {
+			return true
+		}
+	}
+	for key, n := range pt.fields {
+		if owners[key.site] {
+			continue
+		}
+		if pt.nodes[pt.find(n)].pts.has(bit) {
+			return true
+		}
+	}
+	return false
+}
+
+// SitesContainUnknown reports whether an alias set includes the
+// unattributable pseudo-site.
+func SitesContainUnknown(sites []int32) bool {
+	return len(sites) > 0 && sites[0] == UnknownSite
+}
+
+// SitesIntersect reports whether two ascending site slices share a member.
+func SitesIntersect(a, b []int32) bool {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			return true
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return false
+}
+
+// refSlot reports whether instance slot `slot` of `class` holds a
+// reference (unknown classes conservatively do).
+func refSlot(p *bytecode.Program, class, slot int32) bool {
+	if class < 0 || int(class) >= len(p.Classes) {
+		return true
+	}
+	c := p.Classes[class]
+	if int(slot) >= len(c.RefSlots) {
+		return true
+	}
+	return c.RefSlots[slot]
+}
+
+// staticRefSlot is refSlot for static slots.
+func staticRefSlot(p *bytecode.Program, class, slot int32) bool {
+	if class < 0 || int(class) >= len(p.Classes) {
+		return true
+	}
+	c := p.Classes[class]
+	if int(slot) >= len(c.StaticRefSlots) {
+		return true
+	}
+	return c.StaticRefSlots[slot]
+}

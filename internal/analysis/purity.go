@@ -199,7 +199,9 @@ func (pu *Purity) analyzeCtorOnce(m *bytecode.Method, ownStores uint8) (CtorFact
 				f.ReadsState = true
 				push(tagOther)
 			case bytecode.PutStatic:
-				pop()
+				if pop()&tagThis != 0 {
+					f.LeaksThis = true
+				}
 				f.WritesGlobal = true
 			case bytecode.NewObject, bytecode.NewArray:
 				if in.Op == bytecode.NewArray {

@@ -1,0 +1,147 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"dragprof/internal/analysis"
+	"dragprof/internal/bytecode"
+)
+
+func ctorOf(t *testing.T, p *bytecode.Program, class string) int32 {
+	t.Helper()
+	c := p.ClassByName(class)
+	if c == nil {
+		t.Fatalf("class %s not found", class)
+	}
+	for _, m := range p.Methods {
+		if m.Class == c.ID && m.Flags&bytecode.FlagCtor != 0 {
+			return m.ID
+		}
+	}
+	t.Fatalf("no constructor on %s", class)
+	return -1
+}
+
+// TestCtorPure: a constructor that only initializes its own fields is
+// pure — removing an unused `new` preserves behaviour.
+func TestCtorPure(t *testing.T) {
+	src := `
+class Plain {
+    int a;
+    int[] buf;
+    Plain() { a = 7; buf = new int[4]; buf[0] = a; }
+}
+class Main {
+    static void main() {
+        Plain p = new Plain();
+        printInt(p.a);
+    }
+}`
+	p := compile(t, src)
+	pu := analysis.ComputePurity(p)
+	facts := pu.Facts(ctorOf(t, p, "Plain"))
+	if !facts.Pure() {
+		t.Errorf("self-contained ctor not pure: %+v", facts)
+	}
+	if facts.LeaksThis || facts.WritesGlobal {
+		t.Errorf("spurious facts on self-contained ctor: %+v", facts)
+	}
+}
+
+// TestCtorPurityFlipsOnThisEscape: storing `this` anywhere outside the
+// object under construction makes removal unsound, and the single store
+// must flip the verdict.
+func TestCtorPurityFlipsOnThisEscape(t *testing.T) {
+	src := `
+class Registry {
+    static Leaky LAST;
+}
+class Leaky {
+    int a;
+    Leaky() { a = 1; Registry.LAST = this; }
+}
+class Main {
+    static void main() {
+        Leaky l = new Leaky();
+        printInt(l.a);
+    }
+}`
+	p := compile(t, src)
+	pu := analysis.ComputePurity(p)
+	facts := pu.Facts(ctorOf(t, p, "Leaky"))
+	if !facts.LeaksThis {
+		t.Errorf("this-escape not detected: %+v", facts)
+	}
+	if facts.Pure() {
+		t.Error("ctor leaking this still reported pure")
+	}
+}
+
+// TestCtorPurityFlipsOnIndirectThisEscape: passing `this` to a helper
+// that may store it is an escape even without a direct static store.
+func TestCtorPurityFlipsOnIndirectThisEscape(t *testing.T) {
+	src := `
+class Registry {
+    static Object LAST;
+    static void keep(Object o) { LAST = o; }
+}
+class Sneaky {
+    int a;
+    Sneaky() { a = 1; Registry.keep(this); }
+}
+class Main {
+    static void main() {
+        Sneaky s = new Sneaky();
+        printInt(s.a);
+    }
+}`
+	p := compile(t, src)
+	pu := analysis.ComputePurity(p)
+	facts := pu.Facts(ctorOf(t, p, "Sneaky"))
+	if facts.Pure() {
+		t.Errorf("ctor passing this to a storing helper reported pure: %+v", facts)
+	}
+}
+
+// TestCtorGlobalWriteAndStateRead: writing a static breaks purity;
+// merely reading one keeps Pure but breaks StateIndependent (the lazy
+// allocation requirement).
+func TestCtorGlobalWriteAndStateRead(t *testing.T) {
+	src := `
+class Counter {
+    static int N;
+}
+class Writer {
+    int a;
+    Writer() { Counter.N = Counter.N + 1; a = Counter.N; }
+}
+class Reader {
+    int a;
+    Reader() { a = Counter.N; }
+}
+class Main {
+    static void main() {
+        Writer w = new Writer();
+        Reader r = new Reader();
+        printInt(w.a + r.a);
+    }
+}`
+	p := compile(t, src)
+	pu := analysis.ComputePurity(p)
+
+	wf := pu.Facts(ctorOf(t, p, "Writer"))
+	if !wf.WritesGlobal || wf.Pure() {
+		t.Errorf("static-writing ctor: %+v, want WritesGlobal and not Pure", wf)
+	}
+
+	rf := pu.Facts(ctorOf(t, p, "Reader"))
+	if !rf.Pure() {
+		t.Errorf("static-reading ctor should stay pure for removal: %+v", rf)
+	}
+	if !rf.ReadsState {
+		t.Errorf("static read not recorded: %+v", rf)
+	}
+	if rf.StateIndependent() {
+		t.Error("static-reading ctor reported state-independent (lazy-alloc would be unsound)")
+	}
+}

@@ -5,7 +5,9 @@ import (
 	"strings"
 	"testing"
 
+	"dragprof/internal/analysis"
 	"dragprof/internal/bench"
+	"dragprof/internal/bytecode"
 	"dragprof/internal/lint"
 )
 
@@ -63,5 +65,46 @@ func TestLintAllWorkloads(t *testing.T) {
 				t.Errorf("%s: no findings on the original version", b.Name)
 			}
 		})
+	}
+}
+
+func compileJavac(b *testing.B) *bytecode.Program {
+	b.Helper()
+	bm, err := bench.ByName("javac")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cp, err := bm.Compile(bench.Original, bench.OriginalInput)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return cp.Program
+}
+
+// BenchmarkPointsToJavac times the Andersen solve over the largest
+// benchmark, the dominant cost of a dragvet run: constraint generation
+// plus the worklist fixpoint with cycle collapsing. The call graph is
+// built once outside the loop.
+func BenchmarkPointsToJavac(b *testing.B) {
+	p := compileJavac(b)
+	cg := analysis.BuildCallGraph(p)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pt := analysis.SolvePointsTo(p, cg)
+		if pt.Stats().Nodes == 0 {
+			b.Fatal("empty solve")
+		}
+	}
+}
+
+// BenchmarkHeapLivenessJavac times the access-graph summaries and kill
+// proofs layered on a pre-computed points-to solution.
+func BenchmarkHeapLivenessJavac(b *testing.B) {
+	p := compileJavac(b)
+	cg := analysis.BuildCallGraph(p)
+	pt := analysis.SolvePointsTo(p, cg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		analysis.ComputeHeapLiveness(p, cg, pt)
 	}
 }

@@ -7,43 +7,55 @@ import (
 	"dragprof/internal/lint"
 )
 
-// TestDeterministicOutput compiles the largest benchmark twice from scratch
-// and demands byte-identical linter output in every format. The flow and
-// escape fixpoints iterate Go maps internally, so any order dependence in
-// the analyses or the renderer shows up here as a diff.
-func TestDeterministicOutput(t *testing.T) {
-	b, err := bench.ByName("javac")
+// renderAll compiles a benchmark from scratch and renders the full lint
+// output in every format.
+func renderAll(t *testing.T, name string) (string, string, string) {
+	t.Helper()
+	b, err := bench.ByName(name)
 	if err != nil {
 		t.Fatal(err)
 	}
-	render := func() (string, string, string) {
-		cp, err := b.Compile(bench.Original, bench.OriginalInput)
-		if err != nil {
-			t.Fatal(err)
-		}
-		fs := lint.Run(cp.Program).Findings
-		js, err := lint.JSON(fs)
-		if err != nil {
-			t.Fatal(err)
-		}
-		sarif, err := lint.SARIF(fs)
-		if err != nil {
-			t.Fatal(err)
-		}
-		return lint.Text(fs), js, sarif
+	cp, err := b.Compile(bench.Original, bench.OriginalInput)
+	if err != nil {
+		t.Fatal(err)
 	}
-	text1, json1, sarif1 := render()
-	text2, json2, sarif2 := render()
-	if text1 != text2 {
-		t.Error("text output differs between two identical runs")
+	fs := lint.Run(cp.Program).Findings
+	js, err := lint.JSON(fs)
+	if err != nil {
+		t.Fatal(err)
 	}
-	if json1 != json2 {
-		t.Error("JSON output differs between two identical runs")
+	sarif, err := lint.SARIF(fs)
+	if err != nil {
+		t.Fatal(err)
 	}
-	if sarif1 != sarif2 {
-		t.Error("SARIF output differs between two identical runs")
-	}
-	if len(json1) == 0 || len(sarif1) == 0 {
-		t.Error("empty rendered output")
+	return lint.Text(fs), js, sarif
+}
+
+// TestDeterministicOutput compiles benchmarks twice from scratch and
+// demands byte-identical linter output in every format. The flow, escape,
+// points-to and heap-liveness fixpoints iterate Go maps internally, so any
+// order dependence in the analyses or the renderer shows up here as a
+// diff. javac is the largest program; euler exercises the phase-kill
+// proof (heap-dead-field) and jess the vector-leak upgrade
+// (heap-dead-element), so the new passes run under the diff too.
+func TestDeterministicOutput(t *testing.T) {
+	for _, name := range []string{"javac", "euler", "jess"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			text1, json1, sarif1 := renderAll(t, name)
+			text2, json2, sarif2 := renderAll(t, name)
+			if text1 != text2 {
+				t.Error("text output differs between two identical runs")
+			}
+			if json1 != json2 {
+				t.Error("JSON output differs between two identical runs")
+			}
+			if sarif1 != sarif2 {
+				t.Error("SARIF output differs between two identical runs")
+			}
+			if len(json1) == 0 || len(sarif1) == 0 {
+				t.Error("empty rendered output")
+			}
+		})
 	}
 }

@@ -1,0 +1,153 @@
+package lint
+
+import (
+	"fmt"
+	"sort"
+
+	"dragprof/internal/analysis"
+	"dragprof/internal/bytecode"
+	"dragprof/internal/transform"
+)
+
+// Heap-liveness rules: the findings in this file are backed by the
+// points-to + access-graph proofs, so they carry ProofProved evidence —
+// the alias set being freed and the kill path with its phase guard.
+
+// heapDeadFieldRule emits one finding per allocation site freed by a
+// proved phase kill. Anchoring findings at the held sites (rather than
+// the field declaration) makes them join against the drag profiler's
+// per-site groups in cross-validation: the site descriptions are the
+// shared key.
+func heapDeadFieldRule(p *bytecode.Program, v *transform.Validator, hl *analysis.HeapLiveness) []Finding {
+	var fs []Finding
+	for i := range hl.Kills {
+		k := &hl.Kills[i]
+		host := k.Host
+		if !userMethod(p, v.CG, host) {
+			continue
+		}
+		aliases := make([]string, 0, len(k.HeldSites))
+		for _, s := range k.HeldSites {
+			aliases = append(aliases, p.Sites[s].Desc)
+		}
+		killPath := fmt.Sprintf("%s dead once %s >= %s", k.Path, ivName(k.IVSlot), k.Bound)
+		rewrite := fmt.Sprintf("assign null to %s when the guard `%s < %s` first fails",
+			k.Path, ivName(k.IVSlot), k.Bound)
+		for _, site := range k.HeldSites {
+			s := &p.Sites[site]
+			f := Finding{
+				Rule:   RuleHeapDeadField,
+				SiteID: site,
+				Site:   s.Desc,
+				Method: methodName(p, host),
+				Line:   int(k.Line),
+				File:   sourceFile(p, host),
+				Message: fmt.Sprintf("%s is reachable only through %s, whose last use is inside the phase guarded by `%s < %s`",
+					s.Desc, k.Path, ivName(k.IVSlot), k.Bound),
+				Confidence: 0.93,
+				Rewrite:    rewrite,
+				Proof:      ProofProved,
+				Aliases:    aliases,
+				KillPath:   killPath,
+			}
+			fs = append(fs, f)
+		}
+	}
+	return fs
+}
+
+// heapDeadElementRule upgrades vector-leak findings with points-to
+// evidence: it resolves the backing array's element alias set and emits
+// one finding per element site. The finding is proved when the leaky
+// load is the only read of those arrays anywhere in reachable code (no
+// later access can observe the vacated slot), and stays plausible when
+// other loads exist — e.g. an unbounded random-access getter may still
+// reach the slot.
+func heapDeadElementRule(p *bytecode.Program, v *transform.Validator, pt *analysis.PointsTo) []Finding {
+	var fs []Finding
+	for _, leak := range analysis.FindVectorLeaks(p, v.CG) {
+		if !userMethod(p, v.CG, leak.Method) {
+			continue
+		}
+		m := p.Methods[leak.Method]
+		arrSites := pt.LoadBaseSites(leak.Method, int32(leak.LoadPC))
+		if len(arrSites) == 0 || analysis.SitesContainUnknown(arrSites) {
+			continue
+		}
+		otherLoads := countOtherElementLoads(p, v.CG, pt, arrSites, leak.Method, leak.LoadPC)
+		elems := map[int32]bool{}
+		for _, a := range arrSites {
+			for _, e := range pt.ElementSites(a) {
+				if e != analysis.UnknownSite {
+					elems[e] = true
+				}
+			}
+		}
+		elemSites := make([]int32, 0, len(elems))
+		for e := range elems {
+			elemSites = append(elemSites, e)
+		}
+		sort.Slice(elemSites, func(i, j int) bool { return elemSites[i] < elemSites[j] })
+
+		arrDescs := make([]string, 0, len(arrSites))
+		for _, a := range arrSites {
+			arrDescs = append(arrDescs, p.Sites[a].Desc)
+		}
+		line := int(m.Code[leak.LoadPC].Line)
+		for _, e := range elemSites {
+			f := Finding{
+				Rule:   RuleHeapDeadElement,
+				SiteID: e,
+				Site:   p.Sites[e].Desc,
+				Method: methodName(p, leak.Method),
+				Line:   line,
+				File:   sourceFile(p, leak.Method),
+				Message: fmt.Sprintf("%s removes the last element but leaves %s reachable through the vacated slot of %s",
+					methodName(p, leak.Method), p.Sites[e].Desc, arrDescs[0]),
+				Rewrite:  "assign null to the vacated slot after reading it",
+				Aliases:  arrDescs,
+				KillPath: fmt.Sprintf("element of %s dead once removed", arrDescs[0]),
+			}
+			if otherLoads == 0 {
+				f.Proof = ProofProved
+				f.Confidence = 0.92
+			} else {
+				f.Proof = ProofPlausible
+				f.Confidence = 0.78
+				f.Blockers = []string{fmt.Sprintf("%d other loads of the backing array may still read the vacated slot", otherLoads)}
+			}
+			fs = append(fs, f)
+		}
+	}
+	return fs
+}
+
+// countOtherElementLoads counts ArrayLoads in reachable code, other than
+// the leak's own load, whose base may alias the leaky backing arrays.
+func countOtherElementLoads(p *bytecode.Program, cg *analysis.CallGraph, pt *analysis.PointsTo,
+	arrSites []int32, leakMethod int32, leakPC int) int {
+	n := 0
+	for _, m := range p.Methods {
+		if !cg.Reachable[m.ID] {
+			continue
+		}
+		for pc, in := range m.Code {
+			if in.Op != bytecode.ArrayLoad {
+				continue
+			}
+			if m.ID == leakMethod && pc == leakPC {
+				continue
+			}
+			if analysis.SitesIntersect(pt.LoadBaseSites(m.ID, int32(pc)), arrSites) {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// ivName renders the induction variable for messages; local names are not
+// kept past compilation, so the slot number has to do.
+func ivName(slot int32) string {
+	return fmt.Sprintf("local%d", slot)
+}

@@ -22,13 +22,24 @@ import (
 
 // Rule identifiers, also used as SARIF rule ids.
 const (
-	RuleNeverUsed   = "never-used-alloc"
-	RuleWriteOnly   = "write-only-alloc"
-	RuleLazyAlloc   = "lazy-alloc"
-	RuleDeadStore   = "dead-store"
-	RuleAssignNull  = "assign-null"
-	RuleVectorLeak  = "vector-leak"
-	RuleUnreadField = "unread-field"
+	RuleNeverUsed       = "never-used-alloc"
+	RuleWriteOnly       = "write-only-alloc"
+	RuleLazyAlloc       = "lazy-alloc"
+	RuleDeadStore       = "dead-store"
+	RuleAssignNull      = "assign-null"
+	RuleVectorLeak      = "vector-leak"
+	RuleUnreadField     = "unread-field"
+	RuleHeapDeadField   = "heap-dead-field"
+	RuleHeapDeadElement = "heap-dead-element"
+)
+
+// Proof tiers: a "proved" finding is backed by a static soundness argument
+// (points-to plus heap liveness) strong enough to apply the rewrite without
+// a profile run; a "plausible" finding is a heuristic candidate that needs
+// profile confirmation.
+const (
+	ProofProved    = "proved"
+	ProofPlausible = "plausible"
 )
 
 // RuleDescriptions maps rule ids to the one-line descriptions rendered into
@@ -41,6 +52,10 @@ var RuleDescriptions = map[string]string{
 	RuleAssignNull:  "reference local that keeps its object reachable past the last use; assigning null frees it for the collector",
 	RuleVectorLeak:  "vector-style removal that leaves the vacated array element reachable",
 	RuleUnreadField: "field written but never read in any reachable method",
+	RuleHeapDeadField: "heap reference proved dead by interprocedural liveness: after the program phase guarding " +
+		"its only uses, a null store frees the whole held object graph",
+	RuleHeapDeadElement: "array element vacated by a removal whose alias set the points-to analysis confines; " +
+		"nulling the slot frees the element object",
 }
 
 // Guard is one load of a lazily allocated field with its guard decision.
@@ -88,12 +103,27 @@ type Finding struct {
 	// Guards and Insertions carry the lazy-allocation placement plan.
 	Guards     []Guard     `json:"guards,omitempty"`
 	Insertions []Insertion `json:"insertions,omitempty"`
+	// Proof is the evidence tier: ProofProved when points-to plus heap
+	// liveness establish the rewrite is sound without a profile run,
+	// ProofPlausible for heuristic candidates (empty on rules that have
+	// no static proof obligation).
+	Proof string `json:"proof,omitempty"`
+	// Aliases is the points-to evidence: the allocation sites the dead
+	// reference may denote (the set the rewrite frees).
+	Aliases []string `json:"aliases,omitempty"`
+	// KillPath is the heap access path being killed, with its guard
+	// ("Mesh.scratch dead once it >= Params.SETUP").
+	KillPath string `json:"kill_path,omitempty"`
 }
 
-// Result bundles the findings with the program they were computed over.
+// Result bundles the findings with the program they were computed over and
+// the heavyweight analysis results, so callers (dragvet -pointsto) can
+// render solver diagnostics without re-running the analyses.
 type Result struct {
 	Findings []Finding
 	Prog     *bytecode.Program
+	PT       *analysis.PointsTo
+	Heap     *analysis.HeapLiveness
 }
 
 // assignNullDeadTail is the minimum number of instructions that must follow
@@ -107,12 +137,16 @@ func Run(p *bytecode.Program) *Result {
 	v := transform.NewValidator(p)
 	esc := analysis.ComputeEscape(p, v.CG)
 	usage := analysis.AnalyzeUsage(p, v.CG)
+	pt := analysis.SolvePointsTo(p, v.CG)
+	hl := analysis.ComputeHeapLiveness(p, v.CG, pt)
 
 	var fs []Finding
-	fs = append(fs, siteRules(p, v, esc)...)
-	fs = append(fs, deadStoreRule(p, v, usage)...)
+	fs = append(fs, siteRules(p, v, esc, pt)...)
+	fs = append(fs, deadStoreRule(p, v, usage, pt)...)
 	fs = append(fs, vectorLeakRule(p, v)...)
 	fs = append(fs, unreadFieldRule(p, usage)...)
+	fs = append(fs, heapDeadFieldRule(p, v, hl)...)
+	fs = append(fs, heapDeadElementRule(p, v, pt)...)
 
 	sort.Slice(fs, func(i, j int) bool {
 		a, b := fs[i], fs[j]
@@ -133,7 +167,7 @@ func Run(p *bytecode.Program) *Result {
 		}
 		return a.Message < b.Message
 	})
-	return &Result{Findings: fs, Prog: p}
+	return &Result{Findings: fs, Prog: p, PT: pt, Heap: hl}
 }
 
 // userMethod reports whether a method belongs to user (non-stdlib) source
@@ -157,7 +191,7 @@ func sourceFile(p *bytecode.Program, mid int32) string {
 
 // siteRules runs the per-allocation-site rules: never-used, write-only and
 // lazy-alloc. Sites are visited in id order for determinism.
-func siteRules(p *bytecode.Program, v *transform.Validator, esc *analysis.Escape) []Finding {
+func siteRules(p *bytecode.Program, v *transform.Validator, esc *analysis.Escape, pt *analysis.PointsTo) []Finding {
 	var fs []Finding
 	for id := range p.Sites {
 		site := int32(id)
@@ -208,7 +242,7 @@ func siteRules(p *bytecode.Program, v *transform.Validator, esc *analysis.Escape
 			fs = append(fs, f)
 		}
 
-		if f, ok := assignNullFinding(p, base, site); ok {
+		if f, ok := assignNullFinding(p, base, site, pt); ok {
 			fs = append(fs, f)
 		}
 	}
@@ -263,8 +297,12 @@ func lazyFinding(p *bytecode.Program, v *transform.Validator, base Finding, site
 
 // assignNullFinding flags sites stored into a local whose last use leaves a
 // long dead tail in the method: the object stays rooted while later work
-// runs. Low confidence — profitability needs the profile.
-func assignNullFinding(p *bytecode.Program, base Finding, site int32) (Finding, bool) {
+// runs. When the points-to solution shows the local is the *only* thing
+// keeping the object — no escape, not held through any other heap path —
+// the finding is proved: nulling the local is guaranteed to free the
+// object. Otherwise profitability needs the profile and the finding stays
+// plausible.
+func assignNullFinding(p *bytecode.Program, base Finding, site int32, pt *analysis.PointsTo) (Finding, bool) {
 	stmt, err := transform.DescribeSite(p, site)
 	if err != nil || stmt.Consumer != bytecode.StoreLocal {
 		return Finding{}, false
@@ -286,11 +324,18 @@ func assignNullFinding(p *bytecode.Program, base Finding, site int32) (Finding, 
 	f.Message = fmt.Sprintf("the object from %s stays reachable through a local after its last use at line %d",
 		base.Site, m.Code[last].Line)
 	f.Rewrite = "assign null to the local after its last use"
-	f.Confidence = 0.35
+	if base.Escape == analysis.EscapeNone.String() && !pt.HeldOutside(site, nil) {
+		f.Proof = ProofProved
+		f.Confidence = 0.85
+		f.Aliases = []string{p.Sites[site].Desc}
+	} else {
+		f.Proof = ProofPlausible
+		f.Confidence = 0.35
+	}
 	return f, true
 }
 
-func deadStoreRule(p *bytecode.Program, v *transform.Validator, usage *analysis.UsageReport) []Finding {
+func deadStoreRule(p *bytecode.Program, v *transform.Validator, usage *analysis.UsageReport, pt *analysis.PointsTo) []Finding {
 	var fs []Finding
 	mids := make([]int32, 0, len(usage.DeadLocalStores))
 	for mid := range usage.DeadLocalStores {
@@ -303,7 +348,7 @@ func deadStoreRule(p *bytecode.Program, v *transform.Validator, usage *analysis.
 		}
 		m := p.Methods[mid]
 		for _, pc := range usage.DeadLocalStores[mid] {
-			fs = append(fs, Finding{
+			f := Finding{
 				Rule:       RuleDeadStore,
 				SiteID:     -1,
 				Method:     methodName(p, mid),
@@ -312,7 +357,29 @@ func deadStoreRule(p *bytecode.Program, v *transform.Validator, usage *analysis.
 				Message:    fmt.Sprintf("store into local slot %d at %s:%d is never loaded", m.Code[pc].A, methodName(p, mid), m.Code[pc].Line),
 				Rewrite:    "delete the store (keep the right-hand side only if it has effects)",
 				Confidence: 0.70,
-			})
+				Proof:      ProofPlausible,
+			}
+			// If the dead local holds heap objects nothing else keeps
+			// alive, the store is not just removable — removing it (or
+			// nulling the slot) provably frees those objects.
+			sites := pt.LocalSites(mid, m.Code[pc].A)
+			if len(sites) > 0 && !analysis.SitesContainUnknown(sites) {
+				freed := true
+				for _, s := range sites {
+					if pt.HeldOutside(s, nil) {
+						freed = false
+						break
+					}
+				}
+				if freed {
+					f.Proof = ProofProved
+					f.Confidence = 0.85
+					for _, s := range sites {
+						f.Aliases = append(f.Aliases, p.Sites[s].Desc)
+					}
+				}
+			}
+			fs = append(fs, f)
 		}
 	}
 	return fs

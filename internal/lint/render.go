@@ -36,6 +36,15 @@ func Diagnostics(fs []Finding) []report.Diagnostic {
 		if f.Escape != "" {
 			props["escape"] = f.Escape
 		}
+		if f.Proof != "" {
+			props["proof"] = f.Proof
+		}
+		if len(f.Aliases) > 0 {
+			props["aliases"] = f.Aliases
+		}
+		if f.KillPath != "" {
+			props["killPath"] = f.KillPath
+		}
 		if len(f.Guards) > 0 {
 			guards := make([]any, 0, len(f.Guards))
 			for _, g := range f.Guards {
@@ -116,9 +125,18 @@ func Text(fs []Finding) string {
 		if f.Escape != "" {
 			fmt.Fprintf(&b, " [escape=%s]", f.Escape)
 		}
+		if f.Proof != "" {
+			fmt.Fprintf(&b, " [%s]", f.Proof)
+		}
 		b.WriteString("\n")
 		if f.Rewrite != "" {
 			fmt.Fprintf(&b, "  rewrite: %s\n", f.Rewrite)
+		}
+		if f.KillPath != "" {
+			fmt.Fprintf(&b, "  kill path: %s\n", f.KillPath)
+		}
+		for _, a := range f.Aliases {
+			fmt.Fprintf(&b, "  alias: %s\n", a)
 		}
 		for _, blk := range f.Blockers {
 			fmt.Fprintf(&b, "  blocked: %s\n", blk)

@@ -1,0 +1,111 @@
+package transform
+
+import (
+	"fmt"
+
+	"dragprof/internal/analysis"
+	"dragprof/internal/bytecode"
+)
+
+// StaticTransform is the profile-free sibling of AutoTransform: it
+// applies only rewrites the static analyses *prove* safe — dead-code
+// removal of never-used allocations (validated by the purity/escape
+// machinery) and phase-guarded field null-stores proved by the heap
+// liveness pass. No drag report is consulted, so it can run at build
+// time; program output is unchanged by construction.
+//
+// The program is modified in place and re-verified afterwards.
+func StaticTransform(p *bytecode.Program) ([]Action, error) {
+	v := NewValidator(p)
+	pt := analysis.SolvePointsTo(p, v.CG)
+	hl := analysis.ComputeHeapLiveness(p, v.CG, pt)
+	var actions []Action
+
+	// Never-used allocations: flow analysis proves no object from the
+	// site is ever used, removal validation proves the allocation
+	// expression is effect-free. NopOut keeps every pc stable, so the
+	// kill plans below survive the edit.
+	for _, site := range v.Flow.NeverUsedSites() {
+		a, err := findAllocation(p, site)
+		if err != nil || !v.CG.MethodReachable(a.method.ID) {
+			continue
+		}
+		act := Action{Site: site, SiteDesc: p.Sites[site].Desc,
+			Strategy: "dead-code removal (static)"}
+		if err := RemoveDeadAllocation(v, site); err != nil {
+			act.Reason = err.Error()
+		} else {
+			act.Applied = true
+		}
+		actions = append(actions, act)
+	}
+
+	// Proved heap kills: splice `owner.field = null` onto the false
+	// edge of the phase guard.
+	for i := range hl.Kills {
+		k := hl.Kills[i]
+		act := Action{Site: -1, SiteDesc: k.Path,
+			Strategy: "assign null (phase-guarded field kill)"}
+		if len(k.HeldSites) > 0 {
+			act.Site = k.HeldSites[0]
+		}
+		if err := applyFieldKill(p, k); err != nil {
+			act.Reason = err.Error()
+		} else {
+			act.Applied = true
+			act.Reason = fmt.Sprintf("kill on false edge of guard @%d (iv slot %d < %s) frees %d sites",
+				k.GuardPC, k.IVSlot, k.Bound, len(k.HeldSites))
+		}
+		actions = append(actions, act)
+	}
+
+	if err := bytecode.Verify(p); err != nil {
+		return actions, fmt.Errorf("transform: program fails verification after static rewriting: %w", err)
+	}
+	return actions, nil
+}
+
+// applyFieldKill appends an edge-split stub to the host method and
+// retargets the guard's false edge through it:
+//
+//	guard: ... JumpIfFalse stub
+//	...
+//	stub:  LoadLocal recv; ConstNull; PutField f  (or ConstNull; PutStatic f)
+//	       Jump originalTarget
+//
+// Appending never shifts a pc, so jump targets and exception ranges in
+// the rest of the method stay valid; the stub re-executes on later
+// iterations, which is an idempotent null store. Multiple kills sharing
+// one guard chain naturally: each stub jumps to the previous target.
+func applyFieldKill(p *bytecode.Program, k analysis.FieldKill) error {
+	if k.Host < 0 || int(k.Host) >= len(p.Methods) {
+		return fmt.Errorf("transform: kill host %d out of range", k.Host)
+	}
+	m := p.Methods[k.Host]
+	g := int(k.GuardPC)
+	if g < 0 || g >= len(m.Code) || m.Code[g].Op != bytecode.JumpIfFalse {
+		return fmt.Errorf("transform: kill guard pc %d of %s is not a conditional branch", g, m.Name)
+	}
+	if !k.Static && (k.RecvSlot < 0 || int(k.RecvSlot) >= m.MaxLocals) {
+		return fmt.Errorf("transform: kill receiver slot %d invalid in %s", k.RecvSlot, m.Name)
+	}
+	stub := int32(len(m.Code))
+	target := m.Code[g].A // current false-edge target (may be a prior stub)
+	line := m.Code[g].Line
+	if k.Static {
+		m.Code = append(m.Code,
+			bytecode.Instr{Op: bytecode.ConstNull, Line: line},
+			bytecode.Instr{Op: bytecode.PutStatic, A: k.Slot, B: k.Class, Line: line},
+			bytecode.Instr{Op: bytecode.Jump, A: target, Line: line},
+		)
+	} else {
+		m.Code = append(m.Code,
+			bytecode.Instr{Op: bytecode.LoadLocal, A: k.RecvSlot, Line: line},
+			bytecode.Instr{Op: bytecode.ConstNull, Line: line},
+			bytecode.Instr{Op: bytecode.PutField, A: k.Slot, B: k.Class, Line: line},
+			bytecode.Instr{Op: bytecode.Jump, A: target, Line: line},
+		)
+	}
+	m.Code[g].A = stub
+	return nil
+}
