@@ -3,9 +3,13 @@
 // by their potential space saving, each classified against the paper's
 // lifetime patterns with the suggested rewrite.
 //
+// The log format (text v2 or binary v3, gzipped or not) is auto-detected;
+// site aggregation fans out over GOMAXPROCS workers by default and is
+// byte-identical to the serial path (-serial).
+//
 // Usage:
 //
-//	draganalyze [-top n] [-depth n] [-curve] drag.log
+//	draganalyze [-top n] [-depth n] [-curve] [-serial] [-workers n] drag.log
 package main
 
 import (
@@ -21,6 +25,8 @@ func main() {
 	depth := flag.Int("depth", 4, "nested allocation site depth (call-chain level)")
 	curve := flag.Bool("curve", false, "also print the reachable/in-use curve as CSV")
 	anchors := flag.Bool("anchors", false, "also print anchor allocation sites (application-code frames) with lifetime histograms")
+	serial := flag.Bool("serial", false, "use the serial aggregator (reference path; output is identical)")
+	workers := flag.Int("workers", 0, "parallel aggregation workers (0: GOMAXPROCS)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: draganalyze [flags] drag.log")
@@ -37,7 +43,13 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	rep := prof.Analyze(dragprof.AnalysisOptions{NestDepth: *depth})
+	opts := dragprof.AnalysisOptions{NestDepth: *depth}
+	var rep *dragprof.Report
+	if *serial {
+		rep = prof.Analyze(opts)
+	} else {
+		rep = prof.AnalyzeParallel(opts, *workers)
+	}
 
 	fmt.Printf("total allocation: %.2f MB over %d objects\n",
 		float64(rep.TotalAllocationBytes())/(1<<20), prof.NumObjects())

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	dragprof [-o drag.log] [-interval bytes] [-heap bytes] file.mj...
+//	dragprof [-o drag.log] [-format binary|text] [-interval bytes] [-heap bytes] file.mj...
 package main
 
 import (
@@ -17,10 +17,16 @@ import (
 
 func main() {
 	out := flag.String("o", "drag.log", "drag log output path")
+	format := flag.String("format", "binary", "log format: binary (v3, compact) or text (v2, line-oriented)")
+	compress := flag.Bool("compress", true, "gzip the binary log body (ignored for -format text)")
 	interval := flag.Int64("interval", 100<<10, "deep-GC interval in allocated bytes (the paper's 100 KB)")
 	heap := flag.Int64("heap", 48<<20, "heap capacity in bytes")
 	collector := flag.String("gc", "mark-sweep", "collector: mark-sweep, mark-compact or generational")
 	flag.Parse()
+	if *format != "binary" && *format != "text" {
+		fmt.Fprintf(os.Stderr, "dragprof: unknown -format %q (want binary or text)\n", *format)
+		os.Exit(2)
+	}
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "usage: dragprof [flags] file.mj...")
 		flag.PrintDefaults()
@@ -53,11 +59,16 @@ func main() {
 		fatal(err)
 	}
 	defer f.Close()
-	if err := prof.WriteLog(f); err != nil {
+	if *format == "binary" {
+		err = prof.WriteBinaryLog(f, *compress)
+	} else {
+		err = prof.WriteLog(f)
+	}
+	if err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "dragprof: %d objects, %.2f MB allocated, log written to %s\n",
-		prof.NumObjects(), float64(prof.TotalAllocationBytes())/(1<<20), *out)
+	fmt.Fprintf(os.Stderr, "dragprof: %d objects, %.2f MB allocated, %s log written to %s\n",
+		prof.NumObjects(), float64(prof.TotalAllocationBytes())/(1<<20), *format, *out)
 }
 
 func fatal(err error) {

@@ -175,11 +175,19 @@ func (pr *Profile) TotalAllocationBytes() int64 { return pr.p.FinalClock }
 // NumObjects is the number of logged object trailers.
 func (pr *Profile) NumObjects() int { return len(pr.p.Records) }
 
-// WriteLog serializes the profile in the tool's versioned log format (the
-// file interface between phase 1 and phase 2).
+// WriteLog serializes the profile in the tool's versioned text log format
+// (the file interface between phase 1 and phase 2).
 func (pr *Profile) WriteLog(w io.Writer) error { return profile.WriteLog(w, pr.p) }
 
-// ReadLog parses a profile log written by WriteLog.
+// WriteBinaryLog serializes the profile in the compact binary v3 log
+// format (delta-encoded record blocks; compress gzips the body). Binary
+// and text logs are interchangeable: ReadLog auto-detects both.
+func (pr *Profile) WriteBinaryLog(w io.Writer, compress bool) error {
+	return profile.WriteBinaryLog(w, pr.p, profile.BinaryOptions{Compress: compress})
+}
+
+// ReadLog parses a profile log written by WriteLog or WriteBinaryLog; the
+// format is auto-detected.
 func ReadLog(r io.Reader) (*Profile, error) {
 	p, err := profile.ReadLog(r)
 	if err != nil {
@@ -199,12 +207,23 @@ type AnalysisOptions struct {
 	NeverUsedWindowBytes int64
 }
 
-// Analyze runs the phase-2 drag analysis.
+// Analyze runs the phase-2 drag analysis serially.
 func (pr *Profile) Analyze(opts AnalysisOptions) *Report {
 	r := drag.Analyze(pr.p, drag.Options{
 		NestDepth:       opts.NestDepth,
 		NeverUsedWindow: opts.NeverUsedWindowBytes,
 	})
+	return &Report{r: r, p: pr.p}
+}
+
+// AnalyzeParallel runs the phase-2 drag analysis fanned out over workers
+// goroutines (workers <= 0: GOMAXPROCS). The chunked aggregators merge in
+// record order, so the report is byte-identical to Analyze's.
+func (pr *Profile) AnalyzeParallel(opts AnalysisOptions, workers int) *Report {
+	r := drag.AnalyzeParallel(pr.p, drag.Options{
+		NestDepth:       opts.NestDepth,
+		NeverUsedWindow: opts.NeverUsedWindowBytes,
+	}, workers)
 	return &Report{r: r, p: pr.p}
 }
 

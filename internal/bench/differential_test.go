@@ -1,0 +1,175 @@
+package bench
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"dragprof/internal/drag"
+	"dragprof/internal/profile"
+)
+
+// The differential battery: for every embedded workload the (serial, text)
+// reference pipeline and the (parallel, binary) fast pipeline must agree
+// byte-for-byte on site reports, curves and integrals — the classic
+// correctness argument for swapping a profiler's recording format.
+
+// diffProfiles caches one profiled run per workload for the differential
+// tests (the runs themselves are covered elsewhere).
+var diffProfiles = map[string]*profile.Profile{}
+
+func diffProfile(t *testing.T, name string) *profile.Profile {
+	t.Helper()
+	if p, ok := diffProfiles[name]; ok {
+		return p
+	}
+	b, err := ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Run(b, Original, OriginalInput, RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffProfiles[name] = r.Profile
+	return r.Profile
+}
+
+func TestDifferentialPipelines(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			p := diffProfile(t, name)
+
+			var text, bin, gz bytes.Buffer
+			if err := profile.WriteLog(&text, p); err != nil {
+				t.Fatal(err)
+			}
+			if err := profile.WriteBinaryLog(&bin, p, profile.BinaryOptions{}); err != nil {
+				t.Fatal(err)
+			}
+			if err := profile.WriteBinaryLog(&gz, p, profile.BinaryOptions{Compress: true}); err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("%s: text=%d raw-binary=%d (%.2fx) gzip-binary=%d (%.2fx)",
+				name, text.Len(), bin.Len(), float64(text.Len())/float64(bin.Len()),
+				gz.Len(), float64(text.Len())/float64(gz.Len()))
+			// The acceptance bar: the default binary log is >= 3x smaller
+			// than text on every workload.
+			if gz.Len()*3 > text.Len() {
+				t.Errorf("binary log %d bytes not 3x smaller than text %d bytes", gz.Len(), text.Len())
+			}
+
+			// Both readers must reconstruct the identical profile.
+			fromText, err := profile.ReadLog(bytes.NewReader(text.Bytes()))
+			if err != nil {
+				t.Fatalf("text read: %v", err)
+			}
+			fromBin, err := profile.ReadLog(bytes.NewReader(gz.Bytes()))
+			if err != nil {
+				t.Fatalf("binary read: %v", err)
+			}
+			if !reflect.DeepEqual(fromText, fromBin) {
+				t.Fatal("text and binary round trips disagree at the field level")
+			}
+
+			// Reference pipeline: serial analysis of the text round trip.
+			serial := drag.Analyze(fromText, drag.Options{})
+			want := serial.CanonicalDump()
+
+			// Fast pipeline: streamed parallel analysis of the binary log.
+			parallel, err := drag.AnalyzeLog(bytes.NewReader(gz.Bytes()), drag.Options{}, 8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := parallel.CanonicalDump(); !bytes.Equal(want, got) {
+				t.Error("(parallel, binary) site report differs from (serial, text)")
+			}
+			// And the in-memory parallel aggregator agrees too.
+			if got := drag.AnalyzeParallel(fromBin, drag.Options{}, 8).CanonicalDump(); !bytes.Equal(want, got) {
+				t.Error("AnalyzeParallel report differs from serial reference")
+			}
+
+			// Integrals and Figure-2 curves, reconstructed from each round
+			// trip, must match exactly.
+			if serial.ReachableIntegral != parallel.ReachableIntegral ||
+				serial.InUseIntegral != parallel.InUseIntegral ||
+				serial.TotalDrag != parallel.TotalDrag {
+				t.Errorf("integrals differ: serial (%d,%d,%d) parallel (%d,%d,%d)",
+					serial.ReachableIntegral, serial.InUseIntegral, serial.TotalDrag,
+					parallel.ReachableIntegral, parallel.InUseIntegral, parallel.TotalDrag)
+			}
+			ctext := drag.BuildCurve(fromText, 512)
+			cbin := drag.BuildCurve(fromBin, 512)
+			if !reflect.DeepEqual(ctext, cbin) {
+				t.Error("reachable/in-use curves differ between format round trips")
+			}
+		})
+	}
+}
+
+// TestParallelAggregatorDeterminismOnWorkload double-runs the parallel
+// aggregator on a real workload; under CI's -race job this is the
+// aggregator's data-race certificate on real record streams.
+func TestParallelAggregatorDeterminismOnWorkload(t *testing.T) {
+	p := diffProfile(t, "jack")
+	var bin bytes.Buffer
+	if err := profile.WriteBinaryLog(&bin, p, profile.BinaryOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	var dumps [][]byte
+	for i := 0; i < 2; i++ {
+		rep, err := drag.AnalyzeLog(bytes.NewReader(bin.Bytes()), drag.Options{}, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dumps = append(dumps, rep.CanonicalDump())
+	}
+	if !bytes.Equal(dumps[0], dumps[1]) {
+		t.Error("parallel aggregation of the same log diverged between runs")
+	}
+}
+
+// TestPrewarmMatchesSerialTables: the concurrently prewarmed experiment
+// cache must yield byte-identical tables to a cold serial harness.
+func TestPrewarmMatchesSerialTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full experiment matrix twice")
+	}
+	warm := NewExperiments()
+	if err := warm.Prewarm(4); err != nil {
+		t.Fatal(err)
+	}
+	cold := NewExperiments()
+	for _, pair := range []struct {
+		name string
+		f    func(*Experiments) (string, error)
+	}{
+		{"table2", func(e *Experiments) (string, error) {
+			tbl, err := e.Table2()
+			if err != nil {
+				return "", err
+			}
+			return tbl.String(), nil
+		}},
+		{"table3", func(e *Experiments) (string, error) {
+			tbl, err := e.Table3()
+			if err != nil {
+				return "", err
+			}
+			return tbl.String(), nil
+		}},
+	} {
+		a, err := pair.f(warm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := pair.f(cold)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Errorf("%s: prewarmed harness differs from cold serial harness", pair.name)
+		}
+	}
+}

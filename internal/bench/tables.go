@@ -2,6 +2,8 @@ package bench
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"dragprof/internal/drag"
 	"dragprof/internal/mj"
@@ -10,29 +12,84 @@ import (
 )
 
 // Experiments runs and caches benchmark executions to regenerate the
-// paper's tables and figures without re-profiling per table.
+// paper's tables and figures without re-profiling per table. The cache is
+// safe for concurrent use: each (benchmark, version, input) triple is
+// profiled exactly once however many goroutines ask for it.
 type Experiments struct {
 	Config RunConfig
-	cache  map[string]*RunResult
+	mu     sync.Mutex
+	cache  map[string]*runEntry
+}
+
+type runEntry struct {
+	once sync.Once
+	res  *RunResult
+	err  error
 }
 
 // NewExperiments returns an experiment runner with the default config.
 func NewExperiments() *Experiments {
-	return &Experiments{cache: make(map[string]*RunResult)}
+	return &Experiments{cache: make(map[string]*runEntry)}
 }
 
 // result returns the cached profiled run for a benchmark/version/input.
 func (e *Experiments) result(b *Benchmark, v Version, in InputKind) (*RunResult, error) {
 	key := b.Name + "/" + string(v) + "/" + string(in)
-	if r, ok := e.cache[key]; ok {
-		return r, nil
+	e.mu.Lock()
+	entry, ok := e.cache[key]
+	if !ok {
+		entry = &runEntry{}
+		e.cache[key] = entry
 	}
-	r, err := Run(b, v, in, e.Config)
-	if err != nil {
-		return nil, err
+	e.mu.Unlock()
+	entry.once.Do(func() {
+		entry.res, entry.err = Run(b, v, in, e.Config)
+	})
+	return entry.res, entry.err
+}
+
+// Prewarm profiles every (benchmark, version, input) combination the
+// tables and figures draw on, fanned out over a bounded pool of workers
+// (workers <= 0: GOMAXPROCS). The cached results are identical to the
+// serial ones — each run is an isolated VM — so tables generated afterward
+// are byte-for-byte what a cold Experiments would print. Returns the first
+// error in the fixed benchmark × version × input order.
+func (e *Experiments) Prewarm(workers int) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
-	e.cache[key] = r
-	return r, nil
+	type job struct {
+		b  *Benchmark
+		v  Version
+		in InputKind
+	}
+	var jobs []job
+	for _, b := range All() {
+		for _, v := range []Version{Original, Revised} {
+			for _, in := range []InputKind{OriginalInput, AlternateInput} {
+				jobs = append(jobs, job{b, v, in})
+			}
+		}
+	}
+	errs := make([]error, len(jobs))
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i, j := range jobs {
+		wg.Add(1)
+		go func(i int, j job) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			_, errs[i] = e.result(j.b, j.v, j.in)
+		}(i, j)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Table1 reproduces the paper's Table 1: the benchmark programs with their

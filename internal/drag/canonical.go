@@ -1,0 +1,43 @@
+package drag
+
+import (
+	"bytes"
+	"fmt"
+	"strconv"
+)
+
+// CanonicalDump renders every field of the report in a fixed order: two
+// reports are equal exactly when their dumps are byte-identical. Floats
+// are rendered as exact hexadecimal, so not even one ulp of drift between
+// the serial and parallel pipelines escapes the differential tests.
+func (r *Report) CanonicalDump() []byte {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "report %q finalclock=%d\n", r.Name, r.FinalClock)
+	fmt.Fprintf(&b, "options nest=%d window=%d mostly=%s large=%d toplastuse=%d\n",
+		r.Options.NestDepth, r.Options.NeverUsedWindow,
+		hexFloat(r.Options.MostlyThreshold), r.Options.LargeDragFactor,
+		r.Options.TopLastUse)
+	fmt.Fprintf(&b, "totals objects=%d bytes=%d reach=%d inuse=%d drag=%d neverused=%d nudrag=%d\n",
+		r.TotalObjects, r.TotalBytes, r.ReachableIntegral, r.InUseIntegral,
+		r.TotalDrag, r.NeverUsedObjects, r.NeverUsedDrag)
+	dumpGroups(&b, "site", r.BySite)
+	dumpGroups(&b, "nested", r.ByNestedSite)
+	return b.Bytes()
+}
+
+func dumpGroups(b *bytes.Buffer, kind string, groups []*Group) {
+	fmt.Fprintf(b, "%s groups=%d\n", kind, len(groups))
+	for _, g := range groups {
+		fmt.Fprintf(b, "  %s key=%q siteid=%d desc=%q\n", kind, g.Key, g.SiteID, g.Desc)
+		fmt.Fprintf(b, "    count=%d neverused=%d bytes=%d drag=%d nudrag=%d inuse=%d\n",
+			g.Count, g.NeverUsed, g.Bytes, g.Drag, g.NeverUsedDrag, g.InUse)
+		fmt.Fprintf(b, "    meandrag=%s stddrag=%s pattern=%d\n",
+			hexFloat(g.MeanDragTime), hexFloat(g.StdDragTime), int(g.Pattern))
+		fmt.Fprintf(b, "    draghist=%v inusehist=%v\n", [8]int(g.DragHist), [8]int(g.InUseHist))
+		for _, pg := range g.LastUse {
+			fmt.Fprintf(b, "    lastuse %q count=%d drag=%d\n", pg.LastUseDesc, pg.Count, pg.Drag)
+		}
+	}
+}
+
+func hexFloat(f float64) string { return strconv.FormatFloat(f, 'x', -1, 64) }

@@ -184,40 +184,115 @@ func MB2(v int64) float64 { return float64(v) / (1 << 40) }
 // Analyze runs the phase-2 analysis over a profile.
 func Analyze(p *profile.Profile, opts Options) *Report {
 	opts = opts.withDefaults(p)
-	recs := p.Reported()
-	rep := &Report{
-		Name:       p.Name,
-		FinalClock: p.FinalClock,
-		Options:    opts,
+	a := newAggregator(p, opts)
+	for _, r := range p.Records {
+		a.add(r)
+	}
+	return a.report()
+}
+
+// aggregator is the phase-2 accumulation state. The serial analyzer feeds
+// every record into one aggregator; the parallel analyzer (parallel.go)
+// builds one per record chunk and merges them in chunk order, which keeps
+// every per-group sequence (and hence every floating-point reduction)
+// byte-identical to the serial pass.
+type aggregator struct {
+	p      *profile.Profile
+	opts   Options
+	rep    Report
+	coarse map[string]*groupAcc
+	fine   map[string]*groupAcc
+}
+
+func newAggregator(p *profile.Profile, opts Options) *aggregator {
+	return &aggregator{
+		p:      p,
+		opts:   opts,
+		coarse: make(map[string]*groupAcc),
+		fine:   make(map[string]*groupAcc),
+	}
+}
+
+// add accumulates one trailer. Interned records are excluded from reports
+// (profile.Reported's filter, applied inline so streams need no
+// materialized slice).
+func (a *aggregator) add(r *profile.Record) {
+	if r.Interned {
+		return
+	}
+	p, opts := a.p, a.opts
+	a.rep.TotalObjects++
+	a.rep.TotalBytes += r.Size
+	a.rep.ReachableIntegral += r.Size * r.LifeTime()
+	a.rep.InUseIntegral += r.Size * r.InUseTime()
+	a.rep.TotalDrag += r.Drag()
+	nu := !r.Used() || r.InUseTime() <= opts.NeverUsedWindow
+	if nu {
+		a.rep.NeverUsedObjects++
+		a.rep.NeverUsedDrag += r.Drag()
 	}
 
-	neverUsed := func(r *profile.Record) bool {
-		return !r.Used() || r.InUseTime() <= opts.NeverUsedWindow
-	}
+	ck := "site:" + itoa(r.Site)
+	accumulate(a.coarse, ck, p.SiteDesc(r.Site), r.Site, r, nu, p, opts)
+	fk := "chain:" + p.ChainSuffixKey(r.Chain, opts.NestDepth)
+	accumulate(a.fine, fk, p.ChainDesc(r.Chain, opts.NestDepth), -1, r, nu, p, opts)
+}
 
-	coarse := make(map[string]*groupAcc)
-	fine := make(map[string]*groupAcc)
-	for _, r := range recs {
-		rep.TotalObjects++
-		rep.TotalBytes += r.Size
-		rep.ReachableIntegral += r.Size * r.LifeTime()
-		rep.InUseIntegral += r.Size * r.InUseTime()
-		rep.TotalDrag += r.Drag()
-		nu := neverUsed(r)
-		if nu {
-			rep.NeverUsedObjects++
-			rep.NeverUsedDrag += r.Drag()
+// merge folds b (covering a later, disjoint record range) into a.
+func (a *aggregator) merge(b *aggregator) {
+	a.rep.TotalObjects += b.rep.TotalObjects
+	a.rep.TotalBytes += b.rep.TotalBytes
+	a.rep.ReachableIntegral += b.rep.ReachableIntegral
+	a.rep.InUseIntegral += b.rep.InUseIntegral
+	a.rep.TotalDrag += b.rep.TotalDrag
+	a.rep.NeverUsedObjects += b.rep.NeverUsedObjects
+	a.rep.NeverUsedDrag += b.rep.NeverUsedDrag
+	mergeGroups(a.coarse, b.coarse)
+	mergeGroups(a.fine, b.fine)
+}
+
+// mergeGroups folds src group accumulators into dst. Map iteration order
+// does not matter: every per-key reduction is either integer (commutative)
+// or an ordered slice append, and src's spans follow dst's in record order.
+func mergeGroups(dst, src map[string]*groupAcc) {
+	for k, sa := range src {
+		da, ok := dst[k]
+		if !ok {
+			dst[k] = sa
+			continue
 		}
-
-		ck := "site:" + itoa(r.Site)
-		accumulate(coarse, ck, p.SiteDesc(r.Site), r.Site, r, nu, p, opts)
-		fk := "chain:" + p.ChainSuffixKey(r.Chain, opts.NestDepth)
-		accumulate(fine, fk, p.ChainDesc(r.Chain, opts.NestDepth), -1, r, nu, p, opts)
+		da.g.Count += sa.g.Count
+		da.g.NeverUsed += sa.g.NeverUsed
+		da.g.Bytes += sa.g.Bytes
+		da.g.Drag += sa.g.Drag
+		da.g.NeverUsedDrag += sa.g.NeverUsedDrag
+		da.g.InUse += sa.g.InUse
+		da.dragTimes = append(da.dragTimes, sa.dragTimes...)
+		for i := range sa.g.DragHist {
+			da.g.DragHist[i] += sa.g.DragHist[i]
+			da.g.InUseHist[i] += sa.g.InUseHist[i]
+		}
+		for lk, spg := range sa.lastUse {
+			dpg, ok := da.lastUse[lk]
+			if !ok {
+				da.lastUse[lk] = spg
+				continue
+			}
+			dpg.Count += spg.Count
+			dpg.Drag += spg.Drag
+		}
 	}
+}
 
-	rep.BySite = finalize(coarse, opts)
-	rep.ByNestedSite = finalize(fine, opts)
-	return rep
+// report finalizes the aggregation.
+func (a *aggregator) report() *Report {
+	rep := a.rep
+	rep.Name = a.p.Name
+	rep.FinalClock = a.p.FinalClock
+	rep.Options = a.opts
+	rep.BySite = finalize(a.coarse, a.opts)
+	rep.ByNestedSite = finalize(a.fine, a.opts)
+	return &rep
 }
 
 type groupAcc struct {

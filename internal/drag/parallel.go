@@ -1,0 +1,157 @@
+package drag
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+
+	"dragprof/internal/profile"
+)
+
+// The parallel analyzer: records are split into contiguous chunks, each
+// chunk is aggregated on its own goroutine, and the per-chunk aggregators
+// are merged in chunk order. Integer reductions commute; the only ordered
+// reduction (each group's drag-time sequence feeding mean/stddev) is kept
+// in record order by the ordered merge, so the parallel report is
+// byte-identical to the serial one — the differential golden tests in
+// internal/bench hold both pipelines to that.
+
+// parallelThreshold is the record count below which chunking overhead
+// outweighs the fan-out and the serial path runs instead.
+const parallelThreshold = 2048
+
+// AnalyzeParallel runs the phase-2 analysis over an in-memory profile on
+// workers goroutines (workers <= 0: GOMAXPROCS). The report is
+// byte-identical to Analyze's.
+func AnalyzeParallel(p *profile.Profile, opts Options, workers int) *Report {
+	opts = opts.withDefaults(p)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	recs := p.Records
+	if workers == 1 || len(recs) < parallelThreshold {
+		a := newAggregator(p, opts)
+		for _, r := range recs {
+			a.add(r)
+		}
+		return a.report()
+	}
+	// Oversplit by 4x so a chunk of slow records does not stall the tail.
+	chunk := (len(recs) + workers*4 - 1) / (workers * 4)
+	if chunk < parallelThreshold/2 {
+		chunk = parallelThreshold / 2
+	}
+	var chunks [][]*profile.Record
+	for i := 0; i < len(recs); i += chunk {
+		chunks = append(chunks, recs[i:min(i+chunk, len(recs))])
+	}
+	parts := make([]*aggregator, len(chunks))
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				a := newAggregator(p, opts)
+				for _, r := range chunks[i] {
+					a.add(r)
+				}
+				parts[i] = a
+			}
+		}()
+	}
+	for i := range chunks {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return mergeParts(p, opts, parts)
+}
+
+func mergeParts(p *profile.Profile, opts Options, parts []*aggregator) *Report {
+	base := newAggregator(p, opts)
+	for _, a := range parts {
+		base.merge(a)
+	}
+	return base.report()
+}
+
+// AnalyzeLog streams a drag log (either format, auto-detected) straight
+// into the parallel analyzer: record blocks are decoded and aggregated on
+// workers goroutines without ever materializing the full record slice.
+// opts and the returned report are as in AnalyzeParallel.
+func AnalyzeLog(r io.Reader, opts Options, workers int) (*Report, error) {
+	s, err := profile.OpenLogStream(r)
+	if err != nil {
+		return nil, err
+	}
+	p := s.Profile()
+	opts = opts.withDefaults(p)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	var (
+		mu       sync.Mutex
+		parts    = make(map[int]*aggregator)
+		firstErr error
+	)
+	setErr := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	blocks := make(chan *profile.Block, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for blk := range blocks {
+				recs, err := blk.Decode()
+				if err != nil {
+					setErr(err)
+					continue
+				}
+				a := newAggregator(p, opts)
+				for _, r := range recs {
+					a.add(r)
+				}
+				mu.Lock()
+				parts[blk.Index] = a
+				mu.Unlock()
+			}
+		}()
+	}
+	nblocks := 0
+	for {
+		blk, err := s.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			setErr(err)
+			break
+		}
+		nblocks++
+		blocks <- blk
+	}
+	close(blocks)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	ordered := make([]*aggregator, 0, nblocks)
+	for i := 0; i < nblocks; i++ {
+		a, ok := parts[i]
+		if !ok {
+			return nil, fmt.Errorf("drag: block %d missing from parallel aggregation", i)
+		}
+		ordered = append(ordered, a)
+	}
+	return mergeParts(p, opts, ordered), nil
+}

@@ -1,0 +1,81 @@
+package profile_test
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"dragprof/internal/bench"
+	"dragprof/internal/profile"
+)
+
+// FuzzLogRoundTrip feeds arbitrary bytes to the auto-detecting reader and,
+// whenever they parse as a drag log, pushes the profile through
+// text -> binary -> text asserting field-level equality at every hop. The
+// seed corpus is the nine embedded workloads plus the format edge cases
+// (empty profile, binary, gzip), so the fuzzer starts from every real
+// encoding path rather than random noise.
+func FuzzLogRoundTrip(f *testing.F) {
+	seed := func(p *profile.Profile) {
+		var text, bin, gz bytes.Buffer
+		if err := profile.WriteLog(&text, p); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(text.Bytes())
+		if err := profile.WriteBinaryLog(&bin, p, profile.BinaryOptions{}); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(bin.Bytes())
+		if err := profile.WriteBinaryLog(&gz, p, profile.BinaryOptions{Compress: true}); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(gz.Bytes())
+	}
+	seed(&profile.Profile{Name: "empty"})
+	for _, name := range bench.Names() {
+		b, err := bench.ByName(name)
+		if err != nil {
+			f.Fatal(err)
+		}
+		r, err := bench.Run(b, bench.Original, bench.OriginalInput, bench.RunConfig{})
+		if err != nil {
+			f.Fatal(err)
+		}
+		seed(r.Profile)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := profile.ReadLog(bytes.NewReader(data))
+		if err != nil {
+			return // malformed input is allowed, crashing on it is not
+		}
+
+		// Hop 1: binary (compressed for half the inputs, to cover both
+		// body paths without nondeterminism).
+		var bin bytes.Buffer
+		opts := profile.BinaryOptions{Compress: len(data)%2 == 0}
+		if err := profile.WriteBinaryLog(&bin, p, opts); err != nil {
+			t.Fatalf("binary write of parsed profile: %v", err)
+		}
+		p2, err := profile.ReadLog(bytes.NewReader(bin.Bytes()))
+		if err != nil {
+			t.Fatalf("binary reread: %v", err)
+		}
+		if !reflect.DeepEqual(p, p2) {
+			t.Fatal("binary round trip changed the profile")
+		}
+
+		// Hop 2: back to text.
+		var text bytes.Buffer
+		if err := profile.WriteLog(&text, p2); err != nil {
+			t.Fatalf("text write: %v", err)
+		}
+		p3, err := profile.ReadLog(bytes.NewReader(text.Bytes()))
+		if err != nil {
+			t.Fatalf("text reread: %v", err)
+		}
+		if !reflect.DeepEqual(p, p3) {
+			t.Fatal("text -> binary -> text round trip changed the profile")
+		}
+	})
+}

@@ -82,128 +82,119 @@ func writeRecord(w io.Writer, r *Record) {
 		r.Uses, r.Collect, flags)
 }
 
-// ReadLog parses a profile previously written with WriteLog.
-func ReadLog(r io.Reader) (*Profile, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<16), 1<<22)
-	rd := &logReader{sc: sc}
-
+// readTextHeader parses the text log's header and tables up to (and
+// including) the `records <n>` count line, leaving the scanner positioned
+// at the first record line. The streaming reader (stream.go) consumes the
+// record section.
+func readTextHeader(rd *logReader) (*Profile, int, error) {
 	var version int
 	if err := rd.header("dragprof-log", &version); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if version != logVersion {
-		return nil, fmt.Errorf("profile: unsupported log version %d", version)
+		return nil, 0, fmt.Errorf("profile: unsupported log version %d", version)
 	}
 	p := &Profile{}
 	var err error
 	if p.Name, err = rd.quotedField("name"); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if p.FinalClock, err = rd.intField("finalclock"); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if p.GCInterval, err = rd.intField("gcinterval"); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 
 	n, err := rd.countField("classes")
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	for i := 0; i < n; i++ {
 		s, err := rd.quotedLine()
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		p.ClassNames = append(p.ClassNames, s)
 	}
 	n, err = rd.countField("methods")
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	for i := 0; i < n; i++ {
 		s, err := rd.quotedLine()
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		p.MethodNames = append(p.MethodNames, s)
 	}
 	n, err = rd.countField("files")
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	for i := 0; i < n; i++ {
 		s, err := rd.quotedLine()
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		p.MethodFiles = append(p.MethodFiles, s)
 	}
 	n, err = rd.countField("sites")
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	for i := 0; i < n; i++ {
 		line, err := rd.line()
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		var s bytecode.Site
 		s.ID = int32(i)
 		rest := line
 		if _, err := fmt.Sscanf(rest, "%d %d", &s.Method, &s.Line); err != nil {
-			return nil, fmt.Errorf("profile: bad site line %q: %w", line, err)
+			return nil, 0, fmt.Errorf("profile: bad site line %q: %w", line, err)
 		}
 		// The two quoted fields follow the two ints.
 		idx := strings.Index(rest, `"`)
 		if idx < 0 {
-			return nil, fmt.Errorf("profile: bad site line %q", line)
+			return nil, 0, fmt.Errorf("profile: bad site line %q", line)
 		}
 		what, n2, err := unquotePrefix(rest[idx:])
 		if err != nil {
-			return nil, fmt.Errorf("profile: bad site line %q: %w", line, err)
+			return nil, 0, fmt.Errorf("profile: bad site line %q: %w", line, err)
 		}
 		s.What = what
 		rest = strings.TrimSpace(rest[idx+n2:])
 		desc, _, err := unquotePrefix(rest)
 		if err != nil {
-			return nil, fmt.Errorf("profile: bad site line %q: %w", line, err)
+			return nil, 0, fmt.Errorf("profile: bad site line %q: %w", line, err)
 		}
 		s.Desc = desc
 		p.Sites = append(p.Sites, s)
 	}
 	n, err = rd.countField("chains")
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	for i := 0; i < n; i++ {
 		line, err := rd.line()
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		var c vm.ChainNode
 		if _, err := fmt.Sscanf(line, "%d %d %d", &c.Parent, &c.Method, &c.Line); err != nil {
-			return nil, fmt.Errorf("profile: bad chain line %q: %w", line, err)
+			return nil, 0, fmt.Errorf("profile: bad chain line %q: %w", line, err)
 		}
 		p.ChainNodes = append(p.ChainNodes, c)
 	}
 	n, err = rd.countField("records")
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
-	for i := 0; i < n; i++ {
-		line, err := rd.line()
-		if err != nil {
-			return nil, err
-		}
-		rec, err := parseRecord(line)
-		if err != nil {
-			return nil, err
-		}
-		p.Records = append(p.Records, rec)
+	if n < 0 {
+		return nil, 0, fmt.Errorf("profile: negative record count %d", n)
 	}
-	return p, nil
+	return p, n, nil
 }
 
 func parseRecord(line string) (*Record, error) {

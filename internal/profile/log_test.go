@@ -117,6 +117,52 @@ func TestReadLogRejectsGarbage(t *testing.T) {
 	}
 }
 
+// TestReadLogTruncatedRecords: a `records <n>` count larger than the lines
+// present must fail with a counted-mismatch error naming both numbers, not
+// a bare EOF.
+func TestReadLogTruncatedRecords(t *testing.T) {
+	var buf strings.Builder
+	if err := WriteLog(&buf, sampleProfile()); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.String()
+	lines := strings.Split(strings.TrimSuffix(full, "\n"), "\n")
+
+	// Drop the last record line: the log still declares 2 records.
+	truncated := strings.Join(lines[:len(lines)-1], "\n") + "\n"
+	_, err := ReadLog(strings.NewReader(truncated))
+	if err == nil {
+		t.Fatal("truncated record section accepted")
+	}
+	if !strings.Contains(err.Error(), "declares 2 records, found 1") {
+		t.Errorf("want counted-mismatch error, got: %v", err)
+	}
+
+	// Drop both record lines.
+	noRecords := strings.Join(lines[:len(lines)-2], "\n") + "\n"
+	_, err = ReadLog(strings.NewReader(noRecords))
+	if err == nil || !strings.Contains(err.Error(), "declares 2 records, found 0") {
+		t.Errorf("want counted-mismatch error, got: %v", err)
+	}
+}
+
+// TestReadLogRejectsGarbageSuffix: extra non-blank lines after the declared
+// record count must be an error, not silently ignored.
+func TestReadLogRejectsGarbageSuffix(t *testing.T) {
+	var buf strings.Builder
+	if err := WriteLog(&buf, sampleProfile()); err != nil {
+		t.Fatal(err)
+	}
+	_, err := ReadLog(strings.NewReader(buf.String() + "1 2 3 4 5 6 7 8 9 10 11 12 13\n"))
+	if err == nil || !strings.Contains(err.Error(), "trailing garbage") {
+		t.Errorf("garbage suffix: err = %v", err)
+	}
+	// Trailing blank lines stay harmless.
+	if _, err := ReadLog(strings.NewReader(buf.String() + "\n\n")); err != nil {
+		t.Errorf("blank suffix rejected: %v", err)
+	}
+}
+
 func TestRecordIntervalIdentities(t *testing.T) {
 	// Figure 1's invariant: in-use + drag = lifetime, with never-used
 	// objects dragging for their entire lifetime.

@@ -1,0 +1,422 @@
+package profile
+
+import (
+	"bufio"
+	"bytes"
+	"compress/gzip"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"dragprof/internal/bytecode"
+	"dragprof/internal/vm"
+)
+
+// LogStream is the streaming, format-agnostic reader over a drag log: the
+// header and tables are parsed eagerly, the record section is surfaced as
+// a sequence of blocks whose decoding the caller may fan out over CPUs.
+// Nothing materializes the full record slice unless the caller collects it.
+type LogStream struct {
+	p     *Profile
+	total int
+	idx   int
+	next  func() (*Block, error)
+}
+
+// Profile returns the tables-only profile (Records stays empty; blocks
+// append to it only if the caller does so).
+func (s *LogStream) Profile() *Profile { return s.p }
+
+// TotalRecords is the record count the log declares.
+func (s *LogStream) TotalRecords() int { return s.total }
+
+// Next returns the next record block, or io.EOF after the last one. The
+// final Next also verifies the declared record count and rejects trailing
+// garbage.
+func (s *LogStream) Next() (*Block, error) { return s.next() }
+
+// Block is one run of consecutive trailer records. Decode is independent
+// of every other block and safe to call from any goroutine.
+type Block struct {
+	// Index is the block's position in the log (0-based).
+	Index int
+	// Count is the number of records the block holds.
+	Count  int
+	decode func() ([]*Record, error)
+}
+
+// Decode parses the block's records.
+func (b *Block) Decode() ([]*Record, error) { return b.decode() }
+
+// OpenLogStream auto-detects the log format (binary v3 magic vs text
+// header) and returns a streaming reader.
+func OpenLogStream(r io.Reader) (*LogStream, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	if peek, err := br.Peek(len(binMagic)); err == nil && bytes.Equal(peek, binMagic[:]) {
+		return openBinaryStream(br)
+	}
+	return openTextStream(br)
+}
+
+// ReadLog parses a complete profile from either log format, auto-detected.
+func ReadLog(r io.Reader) (*Profile, error) {
+	s, err := OpenLogStream(r)
+	if err != nil {
+		return nil, err
+	}
+	p := s.Profile()
+	for {
+		blk, err := s.Next()
+		if err == io.EOF {
+			return p, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		recs, err := blk.Decode()
+		if err != nil {
+			return nil, err
+		}
+		p.Records = append(p.Records, recs...)
+	}
+}
+
+// ---- binary stream ----
+
+type binReader struct {
+	r *bufio.Reader
+}
+
+func (d *binReader) uvarint() (uint64, error) {
+	v, err := binary.ReadUvarint(d.r)
+	if err == io.EOF {
+		return 0, io.ErrUnexpectedEOF
+	}
+	return v, err
+}
+
+func (d *binReader) zig() (int64, error) {
+	v, err := d.uvarint()
+	return unzigzag(v), err
+}
+
+func (d *binReader) count(what string) (int, error) {
+	v, err := d.uvarint()
+	if err != nil {
+		return 0, fmt.Errorf("profile: binary log: reading %s count: %w", what, err)
+	}
+	if v > maxTableEntries {
+		return 0, fmt.Errorf("profile: binary log: implausible %s count %d", what, v)
+	}
+	return int(v), nil
+}
+
+func (d *binReader) str(what string) (string, error) {
+	n, err := d.uvarint()
+	if err != nil {
+		return "", fmt.Errorf("profile: binary log: reading %s: %w", what, err)
+	}
+	if n > maxStringBytes {
+		return "", fmt.Errorf("profile: binary log: implausible %s length %d", what, n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(d.r, buf); err != nil {
+		return "", fmt.Errorf("profile: binary log: reading %s: %w", what, noEOF(err))
+	}
+	return string(buf), nil
+}
+
+func (d *binReader) strs(what string) ([]string, error) {
+	n, err := d.count(what)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for i := 0; i < n; i++ {
+		s, err := d.str(what)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+func noEOF(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+func openBinaryStream(br *bufio.Reader) (*LogStream, error) {
+	header := make([]byte, len(binMagic)+2)
+	if _, err := io.ReadFull(br, header); err != nil {
+		return nil, fmt.Errorf("profile: binary log header: %w", noEOF(err))
+	}
+	version, flags := header[len(binMagic)], header[len(binMagic)+1]
+	if version != binVersion {
+		return nil, fmt.Errorf("profile: unsupported binary log version %d", version)
+	}
+	if flags&^binFlagGzip != 0 {
+		return nil, fmt.Errorf("profile: binary log: unknown flags %#x", flags)
+	}
+	var body io.Reader = br
+	if flags&binFlagGzip != 0 {
+		gz, err := gzip.NewReader(br)
+		if err != nil {
+			return nil, fmt.Errorf("profile: binary log: %w", err)
+		}
+		gz.Multistream(false)
+		body = gz
+	}
+	rd := bufio.NewReaderSize(body, 1<<16)
+	d := &binReader{r: rd}
+
+	p := &Profile{}
+	var err error
+	if p.Name, err = d.str("name"); err != nil {
+		return nil, err
+	}
+	if p.FinalClock, err = d.zig(); err != nil {
+		return nil, fmt.Errorf("profile: binary log: finalclock: %w", err)
+	}
+	if p.GCInterval, err = d.zig(); err != nil {
+		return nil, fmt.Errorf("profile: binary log: gcinterval: %w", err)
+	}
+	if p.ClassNames, err = d.strs("class"); err != nil {
+		return nil, err
+	}
+	if p.MethodNames, err = d.strs("method"); err != nil {
+		return nil, err
+	}
+	if p.MethodFiles, err = d.strs("file"); err != nil {
+		return nil, err
+	}
+	nSites, err := d.count("site")
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < nSites; i++ {
+		var s bytecode.Site
+		s.ID = int32(i)
+		method, err := d.zig()
+		if err != nil {
+			return nil, fmt.Errorf("profile: binary log: site %d: %w", i, err)
+		}
+		line, err := d.zig()
+		if err != nil {
+			return nil, fmt.Errorf("profile: binary log: site %d: %w", i, err)
+		}
+		s.Method, s.Line = int32(method), int32(line)
+		if s.What, err = d.str("site what"); err != nil {
+			return nil, err
+		}
+		if s.Desc, err = d.str("site desc"); err != nil {
+			return nil, err
+		}
+		p.Sites = append(p.Sites, s)
+	}
+	nChains, err := d.count("chain")
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < nChains; i++ {
+		var c vm.ChainNode
+		parent, err1 := d.zig()
+		method, err2 := d.zig()
+		line, err3 := d.zig()
+		if err1 != nil || err2 != nil || err3 != nil {
+			return nil, fmt.Errorf("profile: binary log: chain node %d truncated", i)
+		}
+		c.Parent, c.Method, c.Line = int32(parent), int32(method), int32(line)
+		p.ChainNodes = append(p.ChainNodes, c)
+	}
+	total, err := d.count("record")
+	if err != nil {
+		return nil, err
+	}
+	blocks, err := d.count("block")
+	if err != nil {
+		return nil, err
+	}
+
+	s := &LogStream{p: p, total: total}
+	seen := 0
+	s.next = func() (*Block, error) {
+		if s.idx == blocks {
+			if seen != total {
+				return nil, fmt.Errorf("profile: binary log declares %d records, blocks hold %d", total, seen)
+			}
+			if _, err := rd.ReadByte(); err != io.EOF {
+				return nil, fmt.Errorf("profile: binary log: trailing data after %d record blocks", blocks)
+			}
+			if gz, ok := body.(*gzip.Reader); ok {
+				if err := gz.Close(); err != nil {
+					return nil, fmt.Errorf("profile: binary log: %w", err)
+				}
+				if _, err := br.ReadByte(); err != io.EOF {
+					return nil, fmt.Errorf("profile: binary log: trailing data after gzip stream")
+				}
+			}
+			return nil, io.EOF
+		}
+		count, err := d.uvarint()
+		if err != nil {
+			return nil, fmt.Errorf("profile: binary log: block %d header: %w", s.idx, err)
+		}
+		plen, err := d.uvarint()
+		if err != nil {
+			return nil, fmt.Errorf("profile: binary log: block %d header: %w", s.idx, err)
+		}
+		if count > maxBlockRecords || seen+int(count) > total {
+			return nil, fmt.Errorf("profile: binary log: block %d claims %d records (log total %d)", s.idx, count, total)
+		}
+		if plen < count*minRecordBytes || plen > count*maxRecordBytes {
+			return nil, fmt.Errorf("profile: binary log: block %d payload length %d inconsistent with %d records", s.idx, plen, count)
+		}
+		payload := make([]byte, plen)
+		if _, err := io.ReadFull(rd, payload); err != nil {
+			return nil, fmt.Errorf("profile: binary log: block %d payload: %w", s.idx, noEOF(err))
+		}
+		n := int(count)
+		blk := &Block{
+			Index:  s.idx,
+			Count:  n,
+			decode: func() ([]*Record, error) { return decodeRecordBlock(payload, n) },
+		}
+		s.idx++
+		seen += n
+		return blk, nil
+	}
+	return s, nil
+}
+
+// decodeRecordBlock reverses appendRecordBlock. The payload must hold
+// exactly count records.
+func decodeRecordBlock(payload []byte, count int) ([]*Record, error) {
+	out := make([]*Record, 0, count)
+	recs := make([]Record, count)
+	var pv recDeltas
+	b := payload
+	fail := func() ([]*Record, error) {
+		return nil, fmt.Errorf("profile: binary log: corrupt record block (%d of %d records decoded)", len(out), count)
+	}
+	zig := func() (int64, bool) {
+		v, n := binary.Uvarint(b)
+		if n <= 0 {
+			return 0, false
+		}
+		b = b[n:]
+		return unzigzag(v), true
+	}
+	for i := 0; i < count; i++ {
+		if len(b) == 0 {
+			return fail()
+		}
+		flags := b[0]
+		if flags&^byte(7) != 0 {
+			return fail()
+		}
+		b = b[1:]
+		var v [12]int64
+		for k := range v {
+			var ok bool
+			if v[k], ok = zig(); !ok {
+				return fail()
+			}
+		}
+		r := &recs[i]
+		r.AllocID = uint64(v[0] + pv.allocID)
+		r.Class = int32(v[1] + pv.class)
+		r.Elem = bytecode.ElemKind(v[2])
+		r.Size = v[3] + pv.size
+		r.Site = int32(v[4] + pv.site)
+		r.Chain = int32(v[5] + pv.chain)
+		r.Create = v[6] + pv.create
+		r.LastUse = v[7] + r.Create
+		r.LastUseChain = int32(v[8] + pv.lastChain)
+		r.LastUseKind = vm.UseKind(v[9])
+		r.Uses = v[10]
+		r.Collect = v[11] + r.Create
+		r.Array = flags&1 != 0
+		r.AtExit = flags&2 != 0
+		r.Interned = flags&4 != 0
+		pv = recDeltas{
+			allocID: int64(r.AllocID), class: int64(r.Class), size: r.Size,
+			site: int64(r.Site), chain: int64(r.Chain), create: r.Create,
+			lastChain: int64(r.LastUseChain),
+		}
+		out = append(out, r)
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("profile: binary log: %d trailing bytes in record block", len(b))
+	}
+	return out, nil
+}
+
+// ---- text stream ----
+
+// textBlockLines is the text reader's block granularity, matched to the
+// binary default so the parallel analyzer behaves the same on both.
+const textBlockLines = DefaultBlockRecords
+
+func openTextStream(br *bufio.Reader) (*LogStream, error) {
+	sc := bufio.NewScanner(br)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	rd := &logReader{sc: sc}
+	p, total, err := readTextHeader(rd)
+	if err != nil {
+		return nil, err
+	}
+	s := &LogStream{p: p, total: total}
+	produced := 0
+	s.next = func() (*Block, error) {
+		if produced == total {
+			for sc.Scan() {
+				if len(bytes.TrimSpace(sc.Bytes())) != 0 {
+					return nil, fmt.Errorf("profile: trailing garbage after %d records: %q", total, sc.Text())
+				}
+			}
+			if err := sc.Err(); err != nil {
+				return nil, err
+			}
+			return nil, io.EOF
+		}
+		n := total - produced
+		if n > textBlockLines {
+			n = textBlockLines
+		}
+		lines := make([]string, 0, n)
+		for len(lines) < n {
+			line, err := rd.line()
+			if err == io.ErrUnexpectedEOF {
+				return nil, fmt.Errorf("profile: record section truncated: log declares %d records, found %d",
+					total, produced+len(lines))
+			}
+			if err != nil {
+				return nil, err
+			}
+			lines = append(lines, line)
+		}
+		blk := &Block{
+			Index: s.idx,
+			Count: n,
+			decode: func() ([]*Record, error) {
+				recs := make([]*Record, 0, len(lines))
+				for _, line := range lines {
+					r, err := parseRecord(line)
+					if err != nil {
+						return nil, err
+					}
+					recs = append(recs, r)
+				}
+				return recs, nil
+			},
+		}
+		s.idx++
+		produced += n
+		return blk, nil
+	}
+	return s, nil
+}
