@@ -5,11 +5,17 @@
 //
 // The log format (text v2 or binary v3, gzipped or not) is auto-detected;
 // site aggregation fans out over GOMAXPROCS workers by default and is
-// byte-identical to the serial path (-serial).
+// byte-identical to the serial path (-serial). -salvage analyzes as much
+// of a truncated or corrupted log as its checksums vouch for, flagging the
+// output as partial data; -format selects text, json or sarif reports.
+//
+// Exit codes: 0 success, 2 usage, 6 damaged log analyzed from its salvaged
+// prefix (-salvage), 1 anything else.
 //
 // Usage:
 //
-//	draganalyze [-top n] [-depth n] [-curve] [-serial] [-workers n] drag.log
+//	draganalyze [-top n] [-depth n] [-curve] [-serial] [-workers n]
+//	            [-salvage] [-format text|json|sarif] drag.log
 package main
 
 import (
@@ -18,31 +24,59 @@ import (
 	"os"
 
 	"dragprof"
+	"dragprof/internal/cli"
+	"dragprof/internal/report"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	top := flag.Int("top", 10, "number of allocation sites to print")
 	depth := flag.Int("depth", 4, "nested allocation site depth (call-chain level)")
 	curve := flag.Bool("curve", false, "also print the reachable/in-use curve as CSV")
 	anchors := flag.Bool("anchors", false, "also print anchor allocation sites (application-code frames) with lifetime histograms")
 	serial := flag.Bool("serial", false, "use the serial aggregator (reference path; output is identical)")
 	workers := flag.Int("workers", 0, "parallel aggregation workers (0: GOMAXPROCS)")
+	salvage := flag.Bool("salvage", false, "recover what the log's checksums vouch for instead of failing on damage")
+	format := flag.String("format", "text", "report format: text, json or sarif")
 	flag.Parse()
+	if *format != "text" && *format != "json" && *format != "sarif" {
+		fmt.Fprintf(os.Stderr, "draganalyze: unknown -format %q (want text, json or sarif)\n", *format)
+		return cli.ExitUsage
+	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: draganalyze [flags] drag.log")
 		flag.PrintDefaults()
-		os.Exit(2)
+		return cli.ExitUsage
 	}
 
 	f, err := os.Open(flag.Arg(0))
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	defer f.Close()
-	prof, err := dragprof.ReadLog(f)
-	if err != nil {
-		fatal(err)
+
+	var (
+		prof *dragprof.Profile
+		sr   *dragprof.SalvageReport
+	)
+	if *salvage {
+		prof, sr, err = dragprof.SalvageLog(f)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "draganalyze: nothing salvageable:", err)
+			return cli.ExitFailure
+		}
+	} else {
+		prof, err = dragprof.ReadLog(f)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "draganalyze:", err)
+			fmt.Fprintln(os.Stderr, "draganalyze: hint: -salvage recovers the intact prefix of a damaged log")
+			return cli.ExitFailure
+		}
 	}
+
 	opts := dragprof.AnalysisOptions{NestDepth: *depth}
 	var rep *dragprof.Report
 	if *serial {
@@ -51,12 +85,31 @@ func main() {
 		rep = prof.AnalyzeParallel(opts, *workers)
 	}
 
+	partial := sr != nil && !sr.Clean()
+	switch *format {
+	case "json", "sarif":
+		if err := renderDiagnostics(*format, rep, prof, sr, *top); err != nil {
+			return fail(err)
+		}
+	default:
+		if partial {
+			fmt.Printf("WARNING: partial data — %s\n\n", sr.Summary())
+		}
+		renderText(rep, prof, *top, *anchors, *curve)
+	}
+	if partial {
+		return cli.ExitSalvaged
+	}
+	return cli.ExitOK
+}
+
+func renderText(rep *dragprof.Report, prof *dragprof.Profile, top int, anchors, curve bool) {
 	fmt.Printf("total allocation: %.2f MB over %d objects\n",
 		float64(rep.TotalAllocationBytes())/(1<<20), prof.NumObjects())
 	fmt.Printf("reachable integral: %.4f MB²   in-use integral: %.4f MB²   drag: %.4f MB²\n\n",
 		mb2(rep.ReachableIntegral()), mb2(rep.InUseIntegral()), mb2(rep.TotalDrag()))
 
-	for i, s := range rep.TopSites(*top) {
+	for i, s := range rep.TopSites(top) {
 		fmt.Printf("#%d  %s\n", i+1, s.Site)
 		fmt.Printf("    drag %.4f MB² (%.1f%% of total), %d objects (%d never used), %d bytes\n",
 			mb2(s.Drag), s.DragShare*100, s.Objects, s.NeverUsed, s.Bytes)
@@ -68,9 +121,9 @@ func main() {
 		fmt.Println()
 	}
 
-	if *anchors {
+	if anchors {
 		fmt.Println("anchor allocation sites (application code):")
-		for i, a := range rep.AnchorSites(*top) {
+		for i, a := range rep.AnchorSites(top) {
 			fmt.Printf("#%d  %s\n", i+1, a.Site)
 			fmt.Printf("    drag %.4f MB² (%.1f%%), %d objects (%d never used)\n",
 				mb2(a.Drag), a.DragShare*100, a.Objects, a.NeverUsed)
@@ -80,7 +133,7 @@ func main() {
 		}
 	}
 
-	if *curve {
+	if curve {
 		c := prof.Curve(512)
 		fmt.Println("alloc_bytes,reachable_bytes,inuse_bytes")
 		for i := range c.TimesBytes {
@@ -89,9 +142,60 @@ func main() {
 	}
 }
 
+// renderDiagnostics emits the top drag sites as report diagnostics. A
+// salvaged partial log leads with a "partial-data" note so downstream
+// consumers cannot mistake the report for a full analysis.
+func renderDiagnostics(format string, rep *dragprof.Report, prof *dragprof.Profile, sr *dragprof.SalvageReport, top int) error {
+	var diags []report.Diagnostic
+	if sr != nil && !sr.Clean() {
+		diags = append(diags, report.Diagnostic{
+			RuleID:  "partial-data",
+			Level:   "note",
+			Message: "analysis ran on a salvaged prefix of a damaged log: " + sr.Summary(),
+			Properties: map[string]any{
+				"salvage": sr,
+			},
+		})
+	}
+	for i, s := range rep.TopSites(top) {
+		diags = append(diags, report.Diagnostic{
+			RuleID:  "heap-drag",
+			Level:   "warning",
+			Message: fmt.Sprintf("#%d %s: drag %.4f MB² (%.1f%% of total) — %s", i+1, s.Site, mb2(s.Drag), s.DragShare*100, s.Suggestion),
+			Properties: map[string]any{
+				"rank":       i + 1,
+				"site":       s.Site,
+				"objects":    s.Objects,
+				"neverUsed":  s.NeverUsed,
+				"bytes":      s.Bytes,
+				"dragByte2":  s.Drag,
+				"dragShare":  s.DragShare,
+				"pattern":    s.Pattern,
+				"suggestion": s.Suggestion,
+			},
+		})
+	}
+	rules := []report.RuleInfo{
+		{ID: "heap-drag", Description: "allocation site with large drag space-time product"},
+		{ID: "partial-data", Description: "analysis based on a salvaged prefix of a damaged log"},
+	}
+	var out string
+	var err error
+	if format == "sarif" {
+		out, err = report.SARIF("draganalyze", "3", rules, diags)
+	} else {
+		out, err = report.DiagnosticsJSON(diags)
+	}
+	if err != nil {
+		return err
+	}
+	_, err = os.Stdout.WriteString(out)
+	return err
+}
+
 func mb2(v int64) float64 { return float64(v) / (1 << 40) }
 
-func fatal(err error) {
+func fail(err error) int {
 	fmt.Fprintln(os.Stderr, "draganalyze:", err)
-	os.Exit(1)
+	return cli.ExitFailure
 }

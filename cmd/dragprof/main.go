@@ -2,9 +2,18 @@
 // MiniJava program on the instrumented virtual machine (deep GC every
 // interval of allocation, per-object trailers) and writes the drag log.
 //
+// A run halted by a resource budget (-max-alloc, -max-live, -timeout) or a
+// runtime fault still writes the log: the trailers of every object live at
+// the halt are flushed, so the partial profile analyzes cleanly.
+//
+// Exit codes: 0 success, 2 usage, 3 compile error, 4 runtime fault,
+// 5 budget exhausted, 1 anything else.
+//
 // Usage:
 //
-//	dragprof [-o drag.log] [-format binary|text] [-interval bytes] [-heap bytes] file.mj...
+//	dragprof [-o drag.log] [-format binary|text] [-interval bytes]
+//	         [-heap bytes] [-max-alloc bytes] [-max-live bytes]
+//	         [-timeout duration] file.mj...
 package main
 
 import (
@@ -13,65 +22,87 @@ import (
 	"os"
 
 	"dragprof"
+	"dragprof/internal/cli"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	out := flag.String("o", "drag.log", "drag log output path")
 	format := flag.String("format", "binary", "log format: binary (v3, compact) or text (v2, line-oriented)")
 	compress := flag.Bool("compress", true, "gzip the binary log body (ignored for -format text)")
 	interval := flag.Int64("interval", 100<<10, "deep-GC interval in allocated bytes (the paper's 100 KB)")
 	heap := flag.Int64("heap", 48<<20, "heap capacity in bytes")
 	collector := flag.String("gc", "mark-sweep", "collector: mark-sweep, mark-compact or generational")
+	maxAlloc := flag.Int64("max-alloc", 0, "abort after this many allocated bytes (0: unlimited)")
+	maxLive := flag.Int64("max-live", 0, "abort when the live heap exceeds this after a full GC (0: unlimited)")
+	timeout := flag.Duration("timeout", 0, "abort after this much wall-clock time (0: unlimited)")
 	flag.Parse()
 	if *format != "binary" && *format != "text" {
 		fmt.Fprintf(os.Stderr, "dragprof: unknown -format %q (want binary or text)\n", *format)
-		os.Exit(2)
+		return cli.ExitUsage
 	}
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "usage: dragprof [flags] file.mj...")
 		flag.PrintDefaults()
-		os.Exit(2)
+		return cli.ExitUsage
 	}
 
 	var sources []dragprof.Source
 	for _, name := range flag.Args() {
 		text, err := os.ReadFile(name)
 		if err != nil {
-			fatal(err)
+			return fail(err, cli.ExitFailure)
 		}
 		sources = append(sources, dragprof.Source{Name: name, Text: string(text)})
 	}
 	prog, err := dragprof.Compile(sources...)
 	if err != nil {
-		fatal(err)
+		return fail(err, cli.ExitCompile)
 	}
-	prof, err := prog.ProfileRun(dragprof.RunOptions{
-		HeapBytes:       *heap,
-		Collector:       *collector,
-		GCIntervalBytes: *interval,
-		Out:             os.Stdout,
+	prof, runErr := prog.ProfileRun(dragprof.RunOptions{
+		HeapBytes:           *heap,
+		Collector:           *collector,
+		GCIntervalBytes:     *interval,
+		AllocBudgetBytes:    *maxAlloc,
+		HeapLiveBudgetBytes: *maxLive,
+		WallClockBudget:     *timeout,
+		Out:                 os.Stdout,
 	})
-	if err != nil {
-		fatal(err)
+	code := cli.ExitOK
+	if runErr != nil {
+		code = cli.ClassifyRunError(runErr)
+		if prof == nil {
+			return fail(runErr, code)
+		}
+		// The run halted early but the profile is intact — report the
+		// abort, write the log anyway.
+		fmt.Fprintln(os.Stderr, "dragprof: run aborted:", runErr)
 	}
+
 	f, err := os.Create(*out)
 	if err != nil {
-		fatal(err)
+		return fail(err, cli.ExitFailure)
 	}
-	defer f.Close()
 	if *format == "binary" {
 		err = prof.WriteBinaryLog(f, *compress)
 	} else {
 		err = prof.WriteLog(f)
 	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
 	if err != nil {
-		fatal(err)
+		return fail(err, cli.ExitFailure)
 	}
 	fmt.Fprintf(os.Stderr, "dragprof: %d objects, %.2f MB allocated, %s log written to %s\n",
 		prof.NumObjects(), float64(prof.TotalAllocationBytes())/(1<<20), *format, *out)
+	return code
 }
 
-func fatal(err error) {
+func fail(err error, code int) int {
 	fmt.Fprintln(os.Stderr, "dragprof:", err)
-	os.Exit(1)
+	return code
 }

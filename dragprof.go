@@ -18,8 +18,10 @@
 package dragprof
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"time"
 
 	"dragprof/internal/bytecode"
 	"dragprof/internal/drag"
@@ -81,6 +83,26 @@ type RunOptions struct {
 	Seed uint64
 	// Out receives program output; nil captures it in the result.
 	Out io.Writer
+	// AllocBudgetBytes, when positive, aborts the run once total
+	// allocation exceeds it (deterministic; vm.BudgetError).
+	AllocBudgetBytes int64
+	// HeapLiveBudgetBytes, when positive, aborts the run when the live
+	// heap stays over it after a full collection.
+	HeapLiveBudgetBytes int64
+	// WallClockBudget, when positive, aborts the run after that much real
+	// time.
+	WallClockBudget time.Duration
+	// Context, when non-nil, aborts the run on cancellation.
+	Context context.Context
+}
+
+func (o RunOptions) budgets() vm.Budgets {
+	return vm.Budgets{
+		AllocBytes:    o.AllocBudgetBytes,
+		HeapLiveBytes: o.HeapLiveBudgetBytes,
+		WallClock:     o.WallClockBudget,
+		Context:       o.Context,
+	}
 }
 
 func (o RunOptions) vmConfig() vm.Config {
@@ -90,6 +112,7 @@ func (o RunOptions) vmConfig() vm.Config {
 		MaxSteps:     o.MaxSteps,
 		Seed:         o.Seed,
 		Out:          o.Out,
+		Budgets:      o.budgets(),
 	}
 }
 
@@ -153,19 +176,21 @@ type Profile struct {
 // object carries a trailer (creation time, last-use time, size, nested
 // allocation and last-use sites), a deep GC runs every GCIntervalBytes of
 // allocation, and trailers are logged at reclamation or exit.
+//
+// A run aborted by a resource budget, an uncaught exception or a runtime
+// fault still yields a usable profile: the trailers of every object live at
+// abort time are flushed, and the partial Profile is returned alongside the
+// non-nil error (errors.As against *vm.BudgetError distinguishes budget
+// aborts from program failures). Only construction failures return a nil
+// Profile.
 func (p *Program) ProfileRun(opts RunOptions) (*Profile, error) {
-	prof, m, err := profile.Run(p.bc, "program", vm.Config{
-		HeapCapacity: opts.HeapBytes,
-		Collector:    vm.CollectorKind(opts.Collector),
-		GCInterval:   opts.GCIntervalBytes,
-		MaxSteps:     opts.MaxSteps,
-		Seed:         opts.Seed,
-		Out:          opts.Out,
-	})
-	if err != nil {
+	cfg := opts.vmConfig()
+	cfg.GCInterval = opts.GCIntervalBytes
+	prof, m, err := profile.Run(p.bc, "program", cfg)
+	if prof == nil {
 		return nil, err
 	}
-	return &Profile{p: prof, Output: m.Output(), Cost: costSummary(m.CostReport())}, nil
+	return &Profile{p: prof, Output: m.Output(), Cost: costSummary(m.CostReport())}, err
 }
 
 // TotalAllocationBytes is the allocation clock at exit — the paper's
@@ -194,6 +219,39 @@ func ReadLog(r io.Reader) (*Profile, error) {
 		return nil, err
 	}
 	return &Profile{p: p}, nil
+}
+
+// BudgetError is the typed error a resource-budget abort carries; test
+// with errors.As.
+type BudgetError = vm.BudgetError
+
+// Budget kinds, as found in BudgetError.Kind.
+const (
+	BudgetAllocBytes = vm.BudgetAllocBytes
+	BudgetHeapLive   = vm.BudgetHeapLive
+	BudgetWallClock  = vm.BudgetWallClock
+	BudgetCanceled   = vm.BudgetCanceled
+)
+
+// ErrStepBudget reports RunOptions.MaxSteps exhaustion.
+var ErrStepBudget = vm.ErrStepBudget
+
+// CorruptLogError reports exactly where decoding a drag log failed.
+type CorruptLogError = profile.CorruptLogError
+
+// SalvageReport describes what SalvageLog recovered from a damaged log.
+type SalvageReport = profile.SalvageReport
+
+// SalvageLog reads as much of a (possibly truncated or corrupted) profile
+// log as its integrity machinery can vouch for: every record block before
+// the first fault. The report describes the recovery; a non-nil error means
+// the log's header or tables were damaged and nothing was salvageable.
+func SalvageLog(r io.Reader) (*Profile, *SalvageReport, error) {
+	p, sr, err := profile.SalvageLog(r)
+	if err != nil {
+		return nil, sr, err
+	}
+	return &Profile{p: p}, sr, nil
 }
 
 // AnalysisOptions tune the phase-2 analysis.

@@ -39,6 +39,10 @@ func BuildCallGraph(p *bytecode.Program) *CallGraph {
 	}
 	var pendingVirtual []vsite
 	var work []int32
+	// Instantiation order, kept alongside the set: new virtual sites must
+	// resolve against instantiated classes in a deterministic order, or
+	// Callees edge order follows map iteration and differs across runs.
+	var instantiated []int32
 
 	addMethod := func(id int32) {
 		if id < 0 || cg.Reachable[id] {
@@ -75,6 +79,7 @@ func BuildCallGraph(p *bytecode.Program) *CallGraph {
 			return
 		}
 		cg.Instantiated[class] = true
+		instantiated = append(instantiated, class)
 		// Finalizers of instantiated classes run from the collector.
 		c := p.Classes[class]
 		for vi, name := range c.VTableNames {
@@ -117,7 +122,7 @@ func BuildCallGraph(p *bytecode.Program) *CallGraph {
 			case bytecode.InvokeVirtual:
 				s := vsite{caller: mid, vindex: in.A, declCls: in.B}
 				pendingVirtual = append(pendingVirtual, s)
-				for class := range cg.Instantiated {
+				for _, class := range instantiated {
 					resolveVirtual(s, class)
 				}
 			}

@@ -1,0 +1,44 @@
+// Package cli holds conventions shared by the command-line tools — above
+// all the exit-code vocabulary that lets scripts and CI distinguish the
+// pipeline's failure classes without parsing stderr.
+package cli
+
+import (
+	"errors"
+
+	"dragprof/internal/vm"
+)
+
+// Exit codes shared by cmd/dragprof and cmd/draganalyze (documented in the
+// README).
+const (
+	// ExitOK: success.
+	ExitOK = 0
+	// ExitFailure: unclassified failure (I/O errors, unsalvageable logs).
+	ExitFailure = 1
+	// ExitUsage: bad flags or arguments.
+	ExitUsage = 2
+	// ExitCompile: the MiniJava sources failed to compile.
+	ExitCompile = 3
+	// ExitRuntime: the profiled program died with a runtime fault (uncaught
+	// exception, heap exhaustion, ...). A drag log is still written.
+	ExitRuntime = 4
+	// ExitBudget: a resource budget (allocation bytes, live-heap bytes,
+	// wall clock, step count or context cancellation) halted the run. A
+	// drag log is still written.
+	ExitBudget = 5
+	// ExitSalvaged: the input log was damaged; the analysis ran on the
+	// salvaged prefix (partial data).
+	ExitSalvaged = 6
+)
+
+// ClassifyRunError maps a VM run failure onto ExitBudget or ExitRuntime:
+// budget aborts (including the MaxSteps budget) are deliberate halts, not
+// program faults.
+func ClassifyRunError(err error) int {
+	var be *vm.BudgetError
+	if errors.As(err, &be) || errors.Is(err, vm.ErrStepBudget) {
+		return ExitBudget
+	}
+	return ExitRuntime
+}

@@ -1,0 +1,27 @@
+package cli
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"dragprof/internal/vm"
+)
+
+func TestClassifyRunError(t *testing.T) {
+	budget := &vm.BudgetError{Kind: vm.BudgetAllocBytes, Limit: 1, Used: 2}
+	for _, tc := range []struct {
+		err  error
+		want int
+	}{
+		{budget, ExitBudget},
+		{fmt.Errorf("profiled run: %w", budget), ExitBudget},
+		{vm.ErrStepBudget, ExitBudget},
+		{fmt.Errorf("wrapped: %w", vm.ErrStepBudget), ExitBudget},
+		{errors.New("vm: uncaught exception"), ExitRuntime},
+	} {
+		if got := ClassifyRunError(tc.err); got != tc.want {
+			t.Errorf("ClassifyRunError(%v) = %d, want %d", tc.err, got, tc.want)
+		}
+	}
+}

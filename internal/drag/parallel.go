@@ -155,3 +155,18 @@ func AnalyzeLog(r io.Reader, opts Options, workers int) (*Report, error) {
 	}
 	return mergeParts(p, opts, ordered), nil
 }
+
+// AnalyzeLogSalvage analyzes as much of a damaged drag log as
+// profile.SalvageLog can vouch for. Salvage is inherently sequential (the
+// recovered set is the prefix before the first fault), so the records are
+// materialized first and then fanned out to the parallel analyzer; the
+// report is byte-identical to a serial Analyze over the same recovered
+// prefix. A non-nil error means the header or tables were damaged and
+// nothing was analyzable; the SalvageReport always describes what happened.
+func AnalyzeLogSalvage(r io.Reader, opts Options, workers int) (*Report, *profile.SalvageReport, error) {
+	p, sr, err := profile.SalvageLog(r)
+	if err != nil {
+		return nil, sr, err
+	}
+	return AnalyzeParallel(p, opts, workers), sr, nil
+}

@@ -1,0 +1,148 @@
+// Package faultinject provides deterministic, seed-driven fault injectors
+// for the profiling pipeline's robustness tests. Writer wrappers inject
+// write errors, short writes and truncations into the log writers;
+// AbortAfterAlloc builds the VM budget that aborts a profiled run mid-way
+// (the heap-side fault: the run halts with live objects still on the heap,
+// exercising the trailer flush at abort). Everything is deterministic —
+// the same seed and fault point reproduce the same failure byte-for-byte.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"dragprof/internal/vm"
+)
+
+// ErrInjected is the sentinel every injected write failure wraps; tests
+// assert errors.Is(err, ErrInjected) to distinguish injected faults from
+// real ones.
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// FailAfter returns a writer that accepts exactly n bytes and fails every
+// write past that point with an error wrapping ErrInjected. The failing
+// write still consumes the bytes that fit under the limit (a torn write).
+func FailAfter(w io.Writer, n int64) io.Writer { return &failWriter{w: w, left: n} }
+
+type failWriter struct {
+	w    io.Writer
+	left int64
+}
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	if f.left <= 0 {
+		return 0, fmt.Errorf("write of %d bytes: %w", len(p), ErrInjected)
+	}
+	if int64(len(p)) <= f.left {
+		n, err := f.w.Write(p)
+		f.left -= int64(n)
+		return n, err
+	}
+	n, err := f.w.Write(p[:f.left])
+	f.left -= int64(n)
+	if err == nil {
+		err = fmt.Errorf("torn write after %d bytes: %w", n, ErrInjected)
+	}
+	return n, err
+}
+
+// TruncateAfter returns a writer that accepts n bytes and then silently
+// reports success while discarding the rest — the write-side image of a
+// crash: the caller believes the log is complete, the file holds only a
+// prefix.
+func TruncateAfter(w io.Writer, n int64) io.Writer { return &truncWriter{w: w, left: n} }
+
+type truncWriter struct {
+	w    io.Writer
+	left int64
+}
+
+func (t *truncWriter) Write(p []byte) (int, error) {
+	if t.left <= 0 {
+		return len(p), nil
+	}
+	k := int64(len(p))
+	if k > t.left {
+		k = t.left
+	}
+	n, err := t.w.Write(p[:k])
+	t.left -= int64(n)
+	if err != nil {
+		return n, err
+	}
+	return len(p), nil
+}
+
+// Chunked returns a writer that splits every write into chunks of at most
+// max bytes, exercising partial-write handling in buffered writers.
+func Chunked(w io.Writer, max int) io.Writer { return &chunkWriter{w: w, max: max} }
+
+type chunkWriter struct {
+	w   io.Writer
+	max int
+}
+
+func (c *chunkWriter) Write(p []byte) (int, error) {
+	total := 0
+	for len(p) > 0 {
+		k := c.max
+		if k > len(p) {
+			k = len(p)
+		}
+		n, err := c.w.Write(p[:k])
+		total += n
+		if err != nil {
+			return total, err
+		}
+		p = p[k:]
+	}
+	return total, nil
+}
+
+// Rand is a deterministic xorshift64* generator: the same seed yields the
+// same fault sequence on every run and platform.
+type Rand struct{ s uint64 }
+
+// NewRand seeds a generator; seed 0 is remapped to a fixed nonzero state.
+func NewRand(seed uint64) *Rand {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return &Rand{s: seed}
+}
+
+// Uint64 advances the generator.
+func (r *Rand) Uint64() uint64 {
+	r.s ^= r.s >> 12
+	r.s ^= r.s << 25
+	r.s ^= r.s >> 27
+	return r.s * 0x2545f4914f6cdd1d
+}
+
+// Intn returns a value in [0, n).
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("faultinject: Intn on non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// FlipBit returns a copy of data with one pseudo-random bit flipped at or
+// after byte offset min, and the offset it flipped.
+func FlipBit(data []byte, min int, r *Rand) ([]byte, int) {
+	if min >= len(data) {
+		min = len(data) - 1
+	}
+	off := min + r.Intn(len(data)-min)
+	out := append([]byte(nil), data...)
+	out[off] ^= 1 << uint(r.Intn(8))
+	return out, off
+}
+
+// AbortAfterAlloc builds the VM budget that deterministically aborts a run
+// once its allocation clock passes n bytes — the harness's mid-run crash
+// lever. The VM halts at a safepoint with a *vm.BudgetError, so profiling
+// listeners still see a consistent heap and flush trailers for every live
+// object.
+func AbortAfterAlloc(n int64) vm.Budgets { return vm.Budgets{AllocBytes: n} }

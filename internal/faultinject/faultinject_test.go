@@ -1,0 +1,86 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestFailAfter(t *testing.T) {
+	var buf bytes.Buffer
+	w := FailAfter(&buf, 5)
+	n, err := w.Write([]byte("abc"))
+	if n != 3 || err != nil {
+		t.Fatalf("first write: n=%d err=%v", n, err)
+	}
+	n, err = w.Write([]byte("defg"))
+	if n != 2 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("torn write: n=%d err=%v", n, err)
+	}
+	if _, err := w.Write([]byte("x")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("post-fault write: err=%v", err)
+	}
+	if buf.String() != "abcde" {
+		t.Errorf("sink holds %q, want %q", buf.String(), "abcde")
+	}
+}
+
+func TestTruncateAfter(t *testing.T) {
+	var buf bytes.Buffer
+	w := TruncateAfter(&buf, 4)
+	for _, s := range []string{"ab", "cd", "ef"} {
+		if n, err := w.Write([]byte(s)); n != 2 || err != nil {
+			t.Fatalf("write %q: n=%d err=%v", s, n, err)
+		}
+	}
+	if buf.String() != "abcd" {
+		t.Errorf("sink holds %q, want %q", buf.String(), "abcd")
+	}
+}
+
+func TestChunked(t *testing.T) {
+	var buf bytes.Buffer
+	w := Chunked(&buf, 3)
+	msg := []byte("hello, chunked world")
+	if n, err := w.Write(msg); n != len(msg) || err != nil {
+		t.Fatalf("write: n=%d err=%v", n, err)
+	}
+	if !bytes.Equal(buf.Bytes(), msg) {
+		t.Errorf("sink holds %q", buf.Bytes())
+	}
+}
+
+func TestRandDeterministic(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	if NewRand(1).Uint64() == NewRand(2).Uint64() {
+		t.Error("different seeds collided on first draw")
+	}
+}
+
+func TestFlipBit(t *testing.T) {
+	data := make([]byte, 256)
+	out, off := FlipBit(data, 100, NewRand(7))
+	if off < 100 || off >= len(data) {
+		t.Fatalf("flip offset %d out of [100, %d)", off, len(data))
+	}
+	diff := 0
+	for i := range data {
+		if data[i] != out[i] {
+			diff++
+			if i != off {
+				t.Errorf("byte %d changed, flip reported at %d", i, off)
+			}
+		}
+	}
+	if diff != 1 {
+		t.Errorf("%d bytes changed, want 1", diff)
+	}
+	if data[off] != 0 {
+		t.Error("FlipBit mutated its input")
+	}
+}

@@ -2,6 +2,7 @@ package profile
 
 import (
 	"bytes"
+	"errors"
 	"io"
 	"reflect"
 	"strings"
@@ -218,4 +219,48 @@ func TestBinaryLogRejectsCorrupt(t *testing.T) {
 			t.Errorf("err = %v", err)
 		}
 	})
+}
+
+// errAfterWriter accepts limit bytes, then fails every write.
+type errAfterWriter struct {
+	limit int64
+	err   error
+}
+
+func (w *errAfterWriter) Write(p []byte) (int, error) {
+	if w.limit <= 0 {
+		return 0, w.err
+	}
+	if int64(len(p)) <= w.limit {
+		w.limit -= int64(len(p))
+		return len(p), nil
+	}
+	n := w.limit
+	w.limit = 0
+	return int(n), w.err
+}
+
+// TestWriteBinaryLogPropagatesWriteErrors: a failure at any point of the
+// write — including one surfacing only in gzip.Writer.Close or the final
+// buffered flush — must reach the caller, never vanish. Regression test
+// for the silent gzip-close error drop.
+func TestWriteBinaryLogPropagatesWriteErrors(t *testing.T) {
+	p := manyRecordProfile(5000, 0)
+	sentinel := errors.New("disk full")
+	for _, compress := range []bool{false, true} {
+		var full bytes.Buffer
+		if err := WriteBinaryLog(&full, p, BinaryOptions{Compress: compress}); err != nil {
+			t.Fatal(err)
+		}
+		size := int64(full.Len())
+		// size-1 matters most: with gzip the underlying write happens at
+		// Close time, so a dropped Close error would pass silently.
+		for _, limit := range []int64{0, 1, size / 2, size - 1} {
+			err := WriteBinaryLog(&errAfterWriter{limit: limit, err: sentinel}, p,
+				BinaryOptions{Compress: compress})
+			if !errors.Is(err, sentinel) {
+				t.Errorf("compress=%v limit=%d: err = %v, want sentinel", compress, limit, err)
+			}
+		}
+	}
 }

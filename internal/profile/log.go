@@ -250,17 +250,25 @@ func unquotePrefix(s string) (string, int, error) {
 }
 
 type logReader struct {
-	sc *bufio.Scanner
+	br *bufio.Reader
+	// off is the byte offset of the next unread line; it feeds
+	// CorruptLogError.
+	off int64
 }
 
 func (r *logReader) line() (string, error) {
-	if !r.sc.Scan() {
-		if err := r.sc.Err(); err != nil {
-			return "", err
-		}
+	s, err := r.br.ReadString('\n')
+	if err == io.EOF {
+		// An unterminated final line is truncation, never a record: a
+		// numeric field cut short ("1024" → "10") would otherwise parse
+		// as a silently wrong value.
 		return "", io.ErrUnexpectedEOF
 	}
-	return r.sc.Text(), nil
+	if err != nil {
+		return "", err
+	}
+	r.off += int64(len(s))
+	return strings.TrimSuffix(strings.TrimSuffix(s, "\n"), "\r"), nil
 }
 
 func (r *logReader) header(key string, out *int) error {

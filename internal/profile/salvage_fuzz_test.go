@@ -1,0 +1,115 @@
+package profile_test
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"dragprof/internal/bench"
+	"dragprof/internal/faultinject"
+	"dragprof/internal/profile"
+)
+
+// salvageCorpus caches one profiled run and its binary log per workload so
+// the fuzz target pays the profiling cost once, not per input.
+type salvageCorpus struct {
+	name string
+	prof *profile.Profile
+	bin  []byte
+	ends []int64
+}
+
+var (
+	corpusOnce sync.Once
+	corpus     []salvageCorpus
+	corpusErr  error
+)
+
+func loadSalvageCorpus() ([]salvageCorpus, error) {
+	corpusOnce.Do(func() {
+		for _, name := range bench.Names() {
+			b, err := bench.ByName(name)
+			if err != nil {
+				corpusErr = err
+				return
+			}
+			r, err := bench.Run(b, bench.Original, bench.OriginalInput, bench.RunConfig{})
+			if err != nil {
+				corpusErr = err
+				return
+			}
+			var bin bytes.Buffer
+			if err := profile.WriteBinaryLog(&bin, r.Profile, profile.BinaryOptions{}); err != nil {
+				corpusErr = err
+				return
+			}
+			ends, err := profile.BlockOffsets(bin.Bytes())
+			if err != nil {
+				corpusErr = err
+				return
+			}
+			corpus = append(corpus, salvageCorpus{name: name, prof: r.Profile, bin: bin.Bytes(), ends: ends})
+		}
+	})
+	return corpus, corpusErr
+}
+
+// FuzzSalvageLog damages real workload logs — truncation (snapped to block
+// boundaries for a quarter of the inputs), seeded bit flips, or both — and
+// asserts the salvage invariants: SalvageLog never panics, and every record
+// it returns is byte-identical to the same position in the undamaged log.
+func FuzzSalvageLog(f *testing.F) {
+	logs, err := loadSalvageCorpus()
+	if err != nil {
+		f.Fatal(err)
+	}
+	for i := range logs {
+		f.Add(uint8(i), uint16(0), uint64(0))          // clean
+		f.Add(uint8(i), uint16(1<<14), uint64(0))      // truncated
+		f.Add(uint8(i), uint16(0), uint64(i+1))        // flipped
+		f.Add(uint8(i), uint16(3<<14), uint64(7*i+13)) // both
+	}
+	f.Fuzz(func(t *testing.T, wi uint8, cutFrac uint16, flipSeed uint64) {
+		c := logs[int(wi)%len(logs)]
+		data := c.bin
+		if cutFrac > 0 {
+			cut := int(uint64(cutFrac) * uint64(len(data)) / (1 << 16))
+			if cutFrac%4 == 0 && len(c.ends) > 0 {
+				// Snap to the nearest preceding block boundary: the
+				// crash-consistency sweet spot the format guarantees.
+				snapped := 0
+				for _, e := range c.ends {
+					if int(e) <= cut {
+						snapped = int(e)
+					}
+				}
+				cut = snapped
+			}
+			if cut < len(data) {
+				data = data[:cut]
+			}
+		}
+		if flipSeed != 0 && len(data) > 0 {
+			data, _ = faultinject.FlipBit(data, 0, faultinject.NewRand(flipSeed))
+		}
+
+		q, sr, err := profile.SalvageLog(bytes.NewReader(data))
+		if err != nil {
+			return // header/tables damaged: nothing salvageable is fine
+		}
+		if sr == nil {
+			t.Fatal("nil report from successful salvage")
+		}
+		if len(q.Records) > len(c.prof.Records) {
+			t.Fatalf("salvage invented records: %d > %d", len(q.Records), len(c.prof.Records))
+		}
+		for i := range q.Records {
+			if *q.Records[i] != *c.prof.Records[i] {
+				t.Fatalf("salvaged record %d differs from the undamaged log", i)
+			}
+		}
+		if sr.RecordsRecovered != len(q.Records) {
+			t.Fatalf("report counts %d records, salvage returned %d", sr.RecordsRecovered, len(q.Records))
+		}
+	})
+}

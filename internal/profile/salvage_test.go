@@ -1,0 +1,276 @@
+package profile
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// salvageable builds a multi-block binary log plus the profile behind it.
+func salvageable(t *testing.T, n, block int, compress bool) (*Profile, []byte) {
+	t.Helper()
+	p := manyRecordProfile(n, 0)
+	var buf bytes.Buffer
+	if err := WriteBinaryLog(&buf, p, BinaryOptions{BlockRecords: block, Compress: compress}); err != nil {
+		t.Fatal(err)
+	}
+	return p, buf.Bytes()
+}
+
+func TestSalvageCleanLogs(t *testing.T) {
+	p := manyRecordProfile(3000, 0)
+	for _, tc := range []struct {
+		name  string
+		write func(*bytes.Buffer) error
+	}{
+		{"binary", func(b *bytes.Buffer) error {
+			return WriteBinaryLog(b, p, BinaryOptions{BlockRecords: 256})
+		}},
+		{"binary-gzip", func(b *bytes.Buffer) error {
+			return WriteBinaryLog(b, p, BinaryOptions{BlockRecords: 256, Compress: true})
+		}},
+		{"text", func(b *bytes.Buffer) error { return WriteLog(b, p) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := tc.write(&buf); err != nil {
+				t.Fatal(err)
+			}
+			q, sr, err := SalvageLog(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatalf("salvage: %v", err)
+			}
+			if !sr.Clean() {
+				t.Errorf("clean log reported dirty: %+v", sr)
+			}
+			if sr.RecordsRecovered != len(p.Records) || sr.BlocksDropped != 0 {
+				t.Errorf("recovered %d records, dropped %d blocks; want %d, 0",
+					sr.RecordsRecovered, sr.BlocksDropped, len(p.Records))
+			}
+			if len(q.Records) != len(p.Records) {
+				t.Fatalf("salvaged %d records, want %d", len(q.Records), len(p.Records))
+			}
+			for i := range q.Records {
+				if *q.Records[i] != *p.Records[i] {
+					t.Fatalf("record %d differs", i)
+				}
+			}
+		})
+	}
+}
+
+// TestSalvageTruncationAtBlockBoundaries is the acceptance criterion: a log
+// truncated exactly at block k's end salvages exactly blocks 0..k.
+func TestSalvageTruncationAtBlockBoundaries(t *testing.T) {
+	const n, block = 3000, 256
+	p, data := salvageable(t, n, block, false)
+	ends, err := BlockOffsets(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBlocks := (n + block - 1) / block
+	if len(ends) != wantBlocks {
+		t.Fatalf("BlockOffsets found %d blocks, want %d", len(ends), wantBlocks)
+	}
+	for k, end := range ends {
+		q, sr, err := SalvageLog(bytes.NewReader(data[:end]))
+		if err != nil {
+			t.Fatalf("cut after block %d: %v", k, err)
+		}
+		wantRecs := (k + 1) * block
+		if wantRecs > n {
+			wantRecs = n
+		}
+		if sr.BlocksRecovered != k+1 {
+			t.Errorf("cut after block %d: recovered %d blocks, want %d", k, sr.BlocksRecovered, k+1)
+		}
+		if len(q.Records) != wantRecs {
+			t.Fatalf("cut after block %d: %d records, want %d", k, len(q.Records), wantRecs)
+		}
+		for i := range q.Records {
+			if *q.Records[i] != *p.Records[i] {
+				t.Fatalf("cut after block %d: record %d differs", k, i)
+			}
+		}
+		if k < len(ends)-1 {
+			if !sr.Truncated {
+				t.Errorf("cut after block %d: report not marked truncated", k)
+			}
+			if sr.FirstBadOffset != end {
+				t.Errorf("cut after block %d: FirstBadOffset = %d, want %d", k, sr.FirstBadOffset, end)
+			}
+		}
+	}
+}
+
+// TestSalvageMidBlockTruncation: a cut inside block k+1 still yields blocks
+// 0..k intact.
+func TestSalvageMidBlockTruncation(t *testing.T) {
+	const n, block = 2000, 256
+	p, data := salvageable(t, n, block, false)
+	ends, err := BlockOffsets(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < len(ends)-1; k++ {
+		mid := ends[k] + (ends[k+1]-ends[k])/2
+		q, sr, err := SalvageLog(bytes.NewReader(data[:mid]))
+		if err != nil {
+			t.Fatalf("cut inside block %d: %v", k+1, err)
+		}
+		if sr.BlocksRecovered != k+1 {
+			t.Errorf("cut inside block %d: recovered %d blocks, want %d", k+1, sr.BlocksRecovered, k+1)
+		}
+		for i := range q.Records {
+			if *q.Records[i] != *p.Records[i] {
+				t.Fatalf("cut inside block %d: record %d differs", k+1, i)
+			}
+		}
+	}
+}
+
+// TestSalvageBitFlips: flipping any single byte in the record section must
+// never yield a record that differs from the original prefix — the CRCs
+// catch the damage and salvage stops at the faulty block.
+func TestSalvageBitFlips(t *testing.T) {
+	const n, block = 1000, 128
+	p, data := salvageable(t, n, block, false)
+	ends, err := BlockOffsets(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recordSection := ends[0] // tables end before the first block's end
+	for off := recordSection / 2; off < int64(len(data)); off += 97 {
+		bad := append([]byte(nil), data...)
+		bad[off] ^= 0x40
+		q, sr, err := SalvageLog(bytes.NewReader(bad))
+		if err != nil {
+			// Damage landed in the tables; nothing salvageable is fine.
+			continue
+		}
+		if sr.Clean() && sr.RecordsRecovered == n {
+			// Flip landed in a checkpoint or slack byte that still
+			// validated? CRCs make that a 2^-32 event; treat as failure.
+			if !bytes.Equal(bad, data) {
+				t.Fatalf("flip at %d went undetected", off)
+			}
+		}
+		for i := range q.Records {
+			if *q.Records[i] != *p.Records[i] {
+				t.Fatalf("flip at %d: salvaged record %d differs from original", off, i)
+			}
+		}
+	}
+}
+
+// TestSalvageDamagedHeader: damage before the record section is fatal.
+func TestSalvageDamagedHeader(t *testing.T) {
+	_, data := salvageable(t, 100, 32, false)
+	for _, cut := range []int{0, 3, 5} {
+		_, sr, err := SalvageLog(bytes.NewReader(data[:cut]))
+		if err == nil {
+			t.Errorf("cut at %d: expected header error", cut)
+		}
+		if sr == nil || sr.Reason == "" {
+			t.Errorf("cut at %d: report missing reason", cut)
+		}
+	}
+}
+
+// TestSalvageTextTruncation: text logs salvage whole preceding lines.
+func TestSalvageTextTruncation(t *testing.T) {
+	p := manyRecordProfile(1000, 0)
+	var buf bytes.Buffer
+	if err := WriteLog(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	cut := len(data) * 2 / 3
+	q, sr, err := SalvageLog(bytes.NewReader(data[:cut]))
+	if err != nil {
+		t.Fatalf("salvage: %v", err)
+	}
+	if sr.Format != "text" || !sr.Truncated {
+		t.Errorf("report = %+v", sr)
+	}
+	if len(q.Records) == 0 || len(q.Records) >= len(p.Records) {
+		t.Fatalf("salvaged %d of %d records", len(q.Records), len(p.Records))
+	}
+	for i := range q.Records {
+		if *q.Records[i] != *p.Records[i] {
+			t.Fatalf("record %d differs", i)
+		}
+	}
+}
+
+// TestCorruptLogErrorDetail: strict ReadLog failures carry the byte offset
+// and block index of the fault.
+func TestCorruptLogErrorDetail(t *testing.T) {
+	_, data := salvageable(t, 1000, 128, false)
+	ends, err := BlockOffsets(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := ends[2] + 5 // inside block 3
+	_, rerr := ReadLog(bytes.NewReader(data[:cut]))
+	if rerr == nil {
+		t.Fatal("truncated log read succeeded")
+	}
+	var ce *CorruptLogError
+	if !errors.As(rerr, &ce) {
+		t.Fatalf("error is %T, not *CorruptLogError: %v", rerr, rerr)
+	}
+	if ce.Block != 3 {
+		t.Errorf("fault block = %d, want 3", ce.Block)
+	}
+	if ce.Offset < ends[2] || ce.Offset > cut {
+		t.Errorf("fault offset = %d, want within (%d, %d]", ce.Offset, ends[2], cut)
+	}
+	if !strings.Contains(rerr.Error(), "byte offset") || !strings.Contains(rerr.Error(), "block 3") {
+		t.Errorf("error message lacks offset/block detail: %v", rerr)
+	}
+}
+
+// TestCorruptTextLogErrorDetail: text-log faults carry offsets too.
+func TestCorruptTextLogErrorDetail(t *testing.T) {
+	p := manyRecordProfile(100, 0)
+	var buf bytes.Buffer
+	if err := WriteLog(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	_, rerr := ReadLog(bytes.NewReader(data[:len(data)-20]))
+	if rerr == nil {
+		t.Fatal("truncated text log read succeeded")
+	}
+	var ce *CorruptLogError
+	if !errors.As(rerr, &ce) {
+		t.Fatalf("error is %T, not *CorruptLogError: %v", rerr, rerr)
+	}
+	if ce.Offset <= 0 {
+		t.Errorf("fault offset = %d, want positive", ce.Offset)
+	}
+}
+
+// TestSalvageCheckpointChaining: a log whose tables were tampered with but
+// whose per-block CRCs still validate must fail the checkpoint chain (its
+// CRC seeds from the table CRC).
+func TestSalvageCheckpointChaining(t *testing.T) {
+	const n, block = 3000, 64 // > 16 blocks so checkpoints exist
+	_, data := salvageable(t, n, block, false)
+	s, err := OpenLogStream(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.TotalBlocks() <= checkpointEveryBlocks {
+		t.Fatalf("need > %d blocks, got %d", checkpointEveryBlocks, s.TotalBlocks())
+	}
+	_, sr, err := SalvageLog(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.CheckpointsVerified == 0 {
+		t.Error("no checkpoints verified on a clean multi-checkpoint log")
+	}
+}

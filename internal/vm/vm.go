@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"time"
 
 	"dragprof/internal/bytecode"
 	"dragprof/internal/gc"
@@ -50,6 +51,10 @@ type Config struct {
 	// Agesen-style liveness/GC integration the paper cites as the
 	// automatic alternative to source-level null assignment.
 	LiveSlotFilter func(method int32, pc int, slot int32) bool
+	// Budgets bound the run's resources (allocation bytes, live heap,
+	// wall clock, context cancellation); exhaustion halts the run with a
+	// *BudgetError at a safepoint, trailers intact.
+	Budgets Budgets
 }
 
 // DefaultHeapCapacity matches the paper's 48 MB maximum heap.
@@ -128,6 +133,10 @@ type VM struct {
 	gcInterval int64
 	lastDeep   int64
 
+	budgets       Budgets
+	budgetsActive bool
+	started       time.Time
+
 	pendingMinor bool
 	inGC         bool
 	barriers     []int
@@ -161,6 +170,9 @@ func New(prog *bytecode.Program, cfg Config) (*VM, error) {
 		maxSteps:   cfg.MaxSteps,
 		gcInterval: cfg.GCInterval,
 		liveFilter: cfg.LiveSlotFilter,
+
+		budgets:       cfg.Budgets,
+		budgetsActive: cfg.Budgets.active(),
 	}
 	switch cfg.Collector {
 	case "", MarkSweep:
@@ -277,6 +289,7 @@ func (vm *VM) VisitRoots(visit func(heap.Handle)) {
 // termination, when a GCInterval is configured a final deep GC runs so the
 // profiler sees end-of-run reclamation (Section 2.1.1).
 func (vm *VM) Run() error {
+	vm.started = time.Now()
 	if oomClass, ok := vm.prog.RuntimeClasses["OutOfMemoryError"]; ok {
 		h, err := vm.allocObject(oomClass, vm.prog.RuntimeSites["OutOfMemoryError"], true)
 		if err != nil {
@@ -370,6 +383,9 @@ func (vm *VM) step() {
 	if vm.gcInterval > 0 && vm.hp.Clock()-vm.lastDeep >= vm.gcInterval {
 		vm.lastDeep = vm.hp.Clock()
 		vm.DeepGC()
+	}
+	if vm.budgetsActive {
+		vm.checkBudgets()
 	}
 }
 
