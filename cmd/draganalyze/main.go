@@ -7,7 +7,9 @@
 // site aggregation fans out over GOMAXPROCS workers by default and is
 // byte-identical to the serial path (-serial). -salvage analyzes as much
 // of a truncated or corrupted log as its checksums vouch for, flagging the
-// output as partial data; -format selects text, json or sarif reports.
+// output as partial data; -format selects text, json or sarif reports, or
+// canonical — the exact-hex-float report dump that dragserved serves for
+// the same log, the cross-network determinism oracle.
 //
 // Exit codes: 0 success, 2 usage, 6 damaged log analyzed from its salvaged
 // prefix (-salvage), 1 anything else.
@@ -15,7 +17,7 @@
 // Usage:
 //
 //	draganalyze [-top n] [-depth n] [-curve] [-serial] [-workers n]
-//	            [-salvage] [-format text|json|sarif] drag.log
+//	            [-salvage] [-format text|json|sarif|canonical] drag.log
 package main
 
 import (
@@ -23,8 +25,9 @@ import (
 	"fmt"
 	"os"
 
-	"dragprof"
 	"dragprof/internal/cli"
+	"dragprof/internal/drag"
+	"dragprof/internal/profile"
 	"dragprof/internal/report"
 )
 
@@ -40,10 +43,12 @@ func run() int {
 	serial := flag.Bool("serial", false, "use the serial aggregator (reference path; output is identical)")
 	workers := flag.Int("workers", 0, "parallel aggregation workers (0: GOMAXPROCS)")
 	salvage := flag.Bool("salvage", false, "recover what the log's checksums vouch for instead of failing on damage")
-	format := flag.String("format", "text", "report format: text, json or sarif")
+	format := flag.String("format", "text", "report format: text, json, sarif or canonical")
 	flag.Parse()
-	if *format != "text" && *format != "json" && *format != "sarif" {
-		fmt.Fprintf(os.Stderr, "draganalyze: unknown -format %q (want text, json or sarif)\n", *format)
+	switch *format {
+	case "text", "json", "sarif", "canonical":
+	default:
+		fmt.Fprintf(os.Stderr, "draganalyze: unknown -format %q (want text, json, sarif or canonical)\n", *format)
 		return cli.ExitUsage
 	}
 	if flag.NArg() != 1 {
@@ -59,17 +64,17 @@ func run() int {
 	defer f.Close()
 
 	var (
-		prof *dragprof.Profile
-		sr   *dragprof.SalvageReport
+		prof *profile.Profile
+		sr   *profile.SalvageReport
 	)
 	if *salvage {
-		prof, sr, err = dragprof.SalvageLog(f)
+		prof, sr, err = profile.SalvageLog(f)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "draganalyze: nothing salvageable:", err)
 			return cli.ExitFailure
 		}
 	} else {
-		prof, err = dragprof.ReadLog(f)
+		prof, err = profile.ReadLog(f)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "draganalyze:", err)
 			fmt.Fprintln(os.Stderr, "draganalyze: hint: -salvage recovers the intact prefix of a damaged log")
@@ -77,18 +82,22 @@ func run() int {
 		}
 	}
 
-	opts := dragprof.AnalysisOptions{NestDepth: *depth}
-	var rep *dragprof.Report
+	opts := drag.Options{NestDepth: *depth}
+	var rep *drag.Report
 	if *serial {
-		rep = prof.Analyze(opts)
+		rep = drag.Analyze(prof, opts)
 	} else {
-		rep = prof.AnalyzeParallel(opts, *workers)
+		rep = drag.AnalyzeParallel(prof, opts, *workers)
 	}
 
 	partial := sr != nil && !sr.Clean()
 	switch *format {
+	case "canonical":
+		// The exact report state: byte-identical to the canonical dump a
+		// dragserved instance serves for the same log.
+		os.Stdout.Write(rep.CanonicalDump())
 	case "json", "sarif":
-		if err := renderDiagnostics(*format, rep, prof, sr, *top); err != nil {
+		if err := renderDiagnostics(*format, rep, sr, *top); err != nil {
 			return fail(err)
 		}
 	default:
@@ -103,86 +112,49 @@ func run() int {
 	return cli.ExitOK
 }
 
-func renderText(rep *dragprof.Report, prof *dragprof.Profile, top int, anchors, curve bool) {
-	fmt.Printf("total allocation: %.2f MB over %d objects\n",
-		float64(rep.TotalAllocationBytes())/(1<<20), prof.NumObjects())
-	fmt.Printf("reachable integral: %.4f MB²   in-use integral: %.4f MB²   drag: %.4f MB²\n\n",
-		mb2(rep.ReachableIntegral()), mb2(rep.InUseIntegral()), mb2(rep.TotalDrag()))
-
-	for i, s := range rep.TopSites(top) {
-		fmt.Printf("#%d  %s\n", i+1, s.Site)
-		fmt.Printf("    drag %.4f MB² (%.1f%% of total), %d objects (%d never used), %d bytes\n",
-			mb2(s.Drag), s.DragShare*100, s.Objects, s.NeverUsed, s.Bytes)
-		fmt.Printf("    pattern: %s\n", s.Pattern)
-		fmt.Printf("    suggestion: %s\n", s.Suggestion)
-		for _, lu := range s.LastUseSites {
-			fmt.Printf("    last use: %s\n", lu)
-		}
-		fmt.Println()
-	}
+// renderText prints the report via the shared renderer (the same code path
+// dragserved's text endpoint uses), plus the CLI-only anchor and curve
+// sections.
+func renderText(rep *drag.Report, prof *profile.Profile, top int, anchors, curve bool) {
+	report.DragText(os.Stdout, rep, len(prof.Records), top)
 
 	if anchors {
 		fmt.Println("anchor allocation sites (application code):")
-		for i, a := range rep.AnchorSites(top) {
-			fmt.Printf("#%d  %s\n", i+1, a.Site)
+		groups := drag.AnchorGroups(prof, rep.Options)
+		if top > len(groups) {
+			top = len(groups)
+		}
+		for i, g := range groups[:top] {
+			share := 0.0
+			if rep.TotalDrag > 0 {
+				share = float64(g.Drag) / float64(rep.TotalDrag)
+			}
+			fmt.Printf("#%d  %s\n", i+1, g.Desc)
 			fmt.Printf("    drag %.4f MB² (%.1f%%), %d objects (%d never used)\n",
-				mb2(a.Drag), a.DragShare*100, a.Objects, a.NeverUsed)
-			fmt.Printf("    drag-time histogram:   %s\n", a.DragHistogram)
-			fmt.Printf("    in-use-time histogram: %s\n", a.InUseHistogram)
-			fmt.Printf("    pattern: %s\n\n", a.Pattern)
+				mb2(g.Drag), share*100, g.Count, g.NeverUsed)
+			fmt.Printf("    drag-time histogram:   %s\n", g.DragHist.String())
+			fmt.Printf("    in-use-time histogram: %s\n", g.InUseHist.String())
+			fmt.Printf("    pattern: %s\n\n", g.Pattern)
 		}
 	}
 
 	if curve {
-		c := prof.Curve(512)
+		c := drag.BuildCurve(prof, 512)
 		fmt.Println("alloc_bytes,reachable_bytes,inuse_bytes")
-		for i := range c.TimesBytes {
-			fmt.Printf("%d,%d,%d\n", c.TimesBytes[i], c.ReachableBytes[i], c.InUseBytes[i])
+		for i := range c.Times {
+			fmt.Printf("%d,%d,%d\n", c.Times[i], c.Reachable[i], c.InUse[i])
 		}
 	}
 }
 
-// renderDiagnostics emits the top drag sites as report diagnostics. A
-// salvaged partial log leads with a "partial-data" note so downstream
-// consumers cannot mistake the report for a full analysis.
-func renderDiagnostics(format string, rep *dragprof.Report, prof *dragprof.Profile, sr *dragprof.SalvageReport, top int) error {
-	var diags []report.Diagnostic
-	if sr != nil && !sr.Clean() {
-		diags = append(diags, report.Diagnostic{
-			RuleID:  "partial-data",
-			Level:   "note",
-			Message: "analysis ran on a salvaged prefix of a damaged log: " + sr.Summary(),
-			Properties: map[string]any{
-				"salvage": sr,
-			},
-		})
-	}
-	for i, s := range rep.TopSites(top) {
-		diags = append(diags, report.Diagnostic{
-			RuleID:  "heap-drag",
-			Level:   "warning",
-			Message: fmt.Sprintf("#%d %s: drag %.4f MB² (%.1f%% of total) — %s", i+1, s.Site, mb2(s.Drag), s.DragShare*100, s.Suggestion),
-			Properties: map[string]any{
-				"rank":       i + 1,
-				"site":       s.Site,
-				"objects":    s.Objects,
-				"neverUsed":  s.NeverUsed,
-				"bytes":      s.Bytes,
-				"dragByte2":  s.Drag,
-				"dragShare":  s.DragShare,
-				"pattern":    s.Pattern,
-				"suggestion": s.Suggestion,
-			},
-		})
-	}
-	rules := []report.RuleInfo{
-		{ID: "heap-drag", Description: "allocation site with large drag space-time product"},
-		{ID: "partial-data", Description: "analysis based on a salvaged prefix of a damaged log"},
-	}
+// renderDiagnostics emits the top drag sites as report diagnostics through
+// the renderers shared with dragserved.
+func renderDiagnostics(format string, rep *drag.Report, sr *profile.SalvageReport, top int) error {
+	diags := report.DragDiagnostics(rep, sr, top)
 	var out string
 	var err error
 	if format == "sarif" {
-		out, err = report.SARIF("draganalyze", "3", rules, diags)
+		out, err = report.SARIF("draganalyze", "3", report.DragRules(), diags)
 	} else {
 		out, err = report.DiagnosticsJSON(diags)
 	}

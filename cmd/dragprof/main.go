@@ -6,23 +6,36 @@
 // runtime fault still writes the log: the trailers of every object live at
 // the halt are flushed, so the partial profile analyzes cleanly.
 //
+// -bench profiles one of the embedded paper benchmarks (javac, db, jack,
+// ...) instead of MiniJava source files. -push uploads the written log to
+// a dragserved instance, retrying with backoff; an unreachable server
+// exits with code 7 and leaves the local log intact for a later re-push.
+//
 // Exit codes: 0 success, 2 usage, 3 compile error, 4 runtime fault,
-// 5 budget exhausted, 1 anything else.
+// 5 budget exhausted, 7 push failed (server unreachable), 1 anything else.
 //
 // Usage:
 //
 //	dragprof [-o drag.log] [-format binary|text] [-interval bytes]
 //	         [-heap bytes] [-max-alloc bytes] [-max-live bytes]
-//	         [-timeout duration] file.mj...
+//	         [-timeout duration] [-bench name] [-push URL]
+//	         [-push-retries n] [-push-timeout duration] [file.mj...]
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
+	"time"
 
 	"dragprof"
+	"dragprof/internal/bench"
 	"dragprof/internal/cli"
+	"dragprof/internal/server"
 )
 
 func main() {
@@ -39,30 +52,53 @@ func run() int {
 	maxAlloc := flag.Int64("max-alloc", 0, "abort after this many allocated bytes (0: unlimited)")
 	maxLive := flag.Int64("max-live", 0, "abort when the live heap exceeds this after a full GC (0: unlimited)")
 	timeout := flag.Duration("timeout", 0, "abort after this much wall-clock time (0: unlimited)")
+	benchName := flag.String("bench", "", "profile an embedded paper benchmark ("+strings.Join(bench.Names(), ", ")+") instead of source files")
+	push := flag.String("push", "", "after writing the log, upload it to this dragserved base URL")
+	pushRetries := flag.Int("push-retries", 3, "push retry attempts after the first")
+	pushTimeout := flag.Duration("push-timeout", 60*time.Second, "per-attempt push timeout")
 	flag.Parse()
 	if *format != "binary" && *format != "text" {
 		fmt.Fprintf(os.Stderr, "dragprof: unknown -format %q (want binary or text)\n", *format)
 		return cli.ExitUsage
 	}
-	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: dragprof [flags] file.mj...")
+	if (*benchName == "") == (flag.NArg() == 0) {
+		fmt.Fprintln(os.Stderr, "usage: dragprof [flags] file.mj...   (or dragprof -bench name [flags])")
 		flag.PrintDefaults()
 		return cli.ExitUsage
 	}
 
 	var sources []dragprof.Source
-	for _, name := range flag.Args() {
-		text, err := os.ReadFile(name)
+	if *benchName != "" {
+		b, err := bench.ByName(*benchName)
+		if err != nil {
+			return fail(err, cli.ExitUsage)
+		}
+		names, texts, err := b.Sources(bench.Original, bench.OriginalInput)
 		if err != nil {
 			return fail(err, cli.ExitFailure)
 		}
-		sources = append(sources, dragprof.Source{Name: name, Text: string(text)})
+		for _, name := range names {
+			sources = append(sources, dragprof.Source{Name: name, Text: texts[name]})
+		}
+	} else {
+		for _, name := range flag.Args() {
+			text, err := os.ReadFile(name)
+			if err != nil {
+				return fail(err, cli.ExitFailure)
+			}
+			sources = append(sources, dragprof.Source{Name: name, Text: string(text)})
+		}
 	}
 	prog, err := dragprof.Compile(sources...)
 	if err != nil {
 		return fail(err, cli.ExitCompile)
 	}
+	runName := *benchName
+	if runName == "" && flag.NArg() > 0 {
+		runName = flag.Arg(0)
+	}
 	prof, runErr := prog.ProfileRun(dragprof.RunOptions{
+		Name:                runName,
 		HeapBytes:           *heap,
 		Collector:           *collector,
 		GCIntervalBytes:     *interval,
@@ -99,7 +135,39 @@ func run() int {
 	}
 	fmt.Fprintf(os.Stderr, "dragprof: %d objects, %.2f MB allocated, %s log written to %s\n",
 		prof.NumObjects(), float64(prof.TotalAllocationBytes())/(1<<20), *format, *out)
+
+	if *push != "" {
+		if pushCode := pushLog(*push, *out, *pushRetries, *pushTimeout); pushCode != cli.ExitOK {
+			return pushCode
+		}
+	}
 	return code
+}
+
+// pushLog uploads the written log to a dragserved instance. The log stays
+// on disk either way, so an unreachable server (exit 7) loses nothing.
+func pushLog(serverURL, path string, retries int, timeout time.Duration) int {
+	open := func() (io.ReadCloser, error) { return os.Open(path) }
+	resp, err := server.Push(context.Background(), serverURL, open, server.PushOptions{
+		Retries: retries,
+		Timeout: timeout,
+	})
+	if err != nil {
+		var rej *server.RejectedError
+		if errors.As(err, &rej) {
+			fmt.Fprintln(os.Stderr, "dragprof:", err)
+			return cli.ExitFailure
+		}
+		fmt.Fprintf(os.Stderr, "dragprof: push: %v (log kept at %s, re-push when the server returns)\n", err, path)
+		return cli.ExitNetwork
+	}
+	switch {
+	case resp.Duplicate:
+		fmt.Fprintf(os.Stderr, "dragprof: pushed to %s: already stored as run %s\n", serverURL, resp.Run.ID)
+	default:
+		fmt.Fprintf(os.Stderr, "dragprof: pushed to %s: stored as run %s\n", serverURL, resp.Run.ID)
+	}
+	return cli.ExitOK
 }
 
 func fail(err error, code int) int {

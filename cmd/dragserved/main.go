@@ -1,0 +1,105 @@
+// Command dragserved is the continuous drag-profiling service: a daemon
+// that ingests binary drag logs pushed by cmd/dragprof (-push), stores
+// them content-addressed on disk, merges runs of the same workload into
+// cross-run per-site summaries in the background, and answers report and
+// regression-diff queries over HTTP.
+//
+// The canonical report served for a run is byte-identical to
+// `draganalyze -format canonical` over the same log — the service adds
+// durability and cross-run queries, never a different answer.
+//
+// Endpoints:
+//
+//	POST /api/v1/runs                 ingest one drag log (body: the log)
+//	GET  /api/v1/runs                 list stored runs
+//	GET  /api/v1/runs/{id}            one run's metadata
+//	GET  /api/v1/runs/{id}/report     ?format=canonical|text|json|sarif
+//	GET  /api/v1/sites                ?sort=drag|bytes|objects|neverused
+//	GET  /api/v1/diff?base=ID&head=ID cross-run regression diff
+//	GET  /metrics, /healthz, /debug/pprof/...
+//
+// Usage:
+//
+//	dragserved [-addr :8357] [-data DIR] [-workers n]
+//	           [-request-timeout 60s] [-max-upload 1073741824]
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dragprof/internal/cli"
+	"dragprof/internal/server"
+	"dragprof/internal/store"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	addr := flag.String("addr", ":8357", "listen address")
+	data := flag.String("data", "dragserved-data", "store directory")
+	workers := flag.Int("workers", 0, "analysis workers per request (0: GOMAXPROCS)")
+	reqTimeout := flag.Duration("request-timeout", 60*time.Second, "per-request timeout for query endpoints")
+	maxUpload := flag.Int64("max-upload", 1<<30, "maximum upload size in bytes")
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: dragserved [flags]")
+		flag.PrintDefaults()
+		return cli.ExitUsage
+	}
+
+	logger := log.New(os.Stderr, "dragserved: ", log.LstdFlags)
+	st, err := store.Open(*data)
+	if err != nil {
+		logger.Print(err)
+		return cli.ExitFailure
+	}
+	srv := server.New(server.Options{
+		Store:          st,
+		Workers:        *workers,
+		MaxUploadBytes: *maxUpload,
+		RequestTimeout: *reqTimeout,
+		Log:            logger,
+	})
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	// Graceful shutdown: finish in-flight requests, then run a final
+	// compaction so the store is clean on disk before exit.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	logger.Printf("listening on %s, store at %s (%d runs, %d bytes)",
+		*addr, *data, st.NumRuns(), st.TotalBytes())
+
+	select {
+	case err := <-errCh:
+		logger.Print(err)
+		srv.Close()
+		return cli.ExitFailure
+	case <-ctx.Done():
+	}
+	logger.Print("shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		logger.Printf("shutdown: %v", err)
+	}
+	srv.Close()
+	return cli.ExitOK
+}

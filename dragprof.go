@@ -68,6 +68,11 @@ func (p *Program) Disassemble() string {
 
 // RunOptions configure an execution.
 type RunOptions struct {
+	// Name labels the profiled run in its drag log (default "program").
+	// The dragserved store groups runs by this name when compacting
+	// cross-run summaries, so give repeated runs of the same program the
+	// same name. Ignored by Run.
+	Name string
 	// HeapBytes is the heap capacity (default 48 MB, the paper's
 	// maximum SPECjvm98 heap).
 	HeapBytes int64
@@ -186,7 +191,11 @@ type Profile struct {
 func (p *Program) ProfileRun(opts RunOptions) (*Profile, error) {
 	cfg := opts.vmConfig()
 	cfg.GCInterval = opts.GCIntervalBytes
-	prof, m, err := profile.Run(p.bc, "program", cfg)
+	name := opts.Name
+	if name == "" {
+		name = "program"
+	}
+	prof, m, err := profile.Run(p.bc, name, cfg)
 	if prof == nil {
 		return nil, err
 	}
@@ -305,6 +314,12 @@ func (r *Report) TotalDrag() int64 { return r.r.TotalDrag }
 // TotalAllocationBytes is the profiled run's final allocation clock.
 func (r *Report) TotalAllocationBytes() int64 { return r.r.FinalClock }
 
+// CanonicalDump renders every field of the report in a fixed order with
+// exact hexadecimal floats: two reports are equal exactly when their dumps
+// are byte-identical. This is the cross-pipeline (and, via dragserved, the
+// cross-network) determinism oracle.
+func (r *Report) CanonicalDump() []byte { return r.r.CanonicalDump() }
+
 // SiteSummary describes one allocation site's drag, its classified
 // lifetime pattern and the rewrite the pattern suggests.
 type SiteSummary struct {
@@ -357,20 +372,7 @@ func (r *Report) TopSites(n int) []SiteSummary {
 	return out
 }
 
-func suggestion(p drag.Pattern) string {
-	switch p {
-	case drag.PatternDeadCode:
-		return "remove the allocation (dead code)"
-	case drag.PatternLazyAlloc:
-		return "allocate lazily behind a null test"
-	case drag.PatternAssignNull:
-		return "assign null to the dead reference after its last use"
-	case drag.PatternHighVariance:
-		return "no transformation likely to help (unpredictable uses)"
-	default:
-		return "inspect manually"
-	}
-}
+func suggestion(p drag.Pattern) string { return p.Suggestion() }
 
 // AnchorSummary describes an anchor allocation site: the innermost
 // application-code frame of a nested allocation site (library-interior

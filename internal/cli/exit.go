@@ -30,6 +30,10 @@ const (
 	// ExitSalvaged: the input log was damaged; the analysis ran on the
 	// salvaged prefix (partial data).
 	ExitSalvaged = 6
+	// ExitNetwork: a dragserved push failed because the server was
+	// unreachable after every retry. The local drag log is intact; re-push
+	// when the server returns.
+	ExitNetwork = 7
 )
 
 // ClassifyRunError maps a VM run failure onto ExitBudget or ExitRuntime:

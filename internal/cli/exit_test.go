@@ -25,3 +25,36 @@ func TestClassifyRunError(t *testing.T) {
 		}
 	}
 }
+
+// TestExitCodeVocabulary pins the documented exit-code numbers: scripts
+// and CI match on the numeric values, so reassigning one is a breaking
+// change this test makes deliberate.
+func TestExitCodeVocabulary(t *testing.T) {
+	codes := map[string]int{
+		"ExitOK":       ExitOK,
+		"ExitFailure":  ExitFailure,
+		"ExitUsage":    ExitUsage,
+		"ExitCompile":  ExitCompile,
+		"ExitRuntime":  ExitRuntime,
+		"ExitBudget":   ExitBudget,
+		"ExitSalvaged": ExitSalvaged,
+		"ExitNetwork":  ExitNetwork,
+	}
+	want := map[string]int{
+		"ExitOK": 0, "ExitFailure": 1, "ExitUsage": 2, "ExitCompile": 3,
+		"ExitRuntime": 4, "ExitBudget": 5, "ExitSalvaged": 6, "ExitNetwork": 7,
+	}
+	for name, w := range want {
+		if codes[name] != w {
+			t.Errorf("%s = %d, want %d", name, codes[name], w)
+		}
+	}
+	// The vocabulary must stay collision-free.
+	seen := map[int]string{}
+	for name, c := range codes {
+		if prev, dup := seen[c]; dup {
+			t.Errorf("exit code %d assigned to both %s and %s", c, prev, name)
+		}
+		seen[c] = name
+	}
+}

@@ -1,0 +1,38 @@
+package drag
+
+import (
+	"dragprof/internal/profile"
+)
+
+// Accumulator exposes the phase-2 aggregation/merge machinery to other
+// packages. It is the unit of mergeable drag state: the run store's ingest
+// path builds one per record block (sharded over a goroutine pool, exactly
+// like AnalyzeLog's workers) and merges them in block order, and its
+// compactor merges whole runs of the same workload into cross-run per-site
+// summaries. Merging is the same aggregator.merge path the parallel
+// analyzer uses, so a merged report is byte-identical to a serial pass over
+// the concatenated record sequence.
+type Accumulator struct {
+	a *aggregator
+}
+
+// NewAccumulator returns an empty accumulator over p's tables. opts are
+// resolved against p's defaults immediately, so accumulators that will be
+// merged must be built with the same effective options.
+func NewAccumulator(p *profile.Profile, opts Options) *Accumulator {
+	return &Accumulator{a: newAggregator(p, opts.withDefaults(p))}
+}
+
+// Add accumulates one trailer record.
+func (c *Accumulator) Add(r *profile.Record) { c.a.add(r) }
+
+// Merge folds later into c. later must cover records that follow c's in
+// record order (later blocks of the same run, or later runs in the
+// compactor's deterministic run order); the ordered append keeps every
+// per-group floating-point reduction byte-identical to a serial pass.
+// later must not be used afterwards.
+func (c *Accumulator) Merge(later *Accumulator) { c.a.merge(later.a) }
+
+// Report finalizes the accumulated state. The receiver must not be used
+// afterwards.
+func (c *Accumulator) Report() *Report { return c.a.report() }

@@ -1,0 +1,100 @@
+package drag
+
+import "testing"
+
+func group(desc string, drag, bytes int64, count int) *Group {
+	return &Group{Key: "chain:" + desc, SiteID: -1, Desc: desc, Drag: drag, Bytes: bytes, Count: count}
+}
+
+// TestCompareDisjointSites pins the regression the diff endpoint depends
+// on: sites present in only one of the two reports must appear in the site
+// diff with the missing side zeroed, not be dropped.
+func TestCompareDisjointSites(t *testing.T) {
+	base := &Report{
+		Name:              "w",
+		ReachableIntegral: 100 << 20,
+		InUseIntegral:     40 << 20,
+		ByNestedSite: []*Group{
+			group("A.f:1", 1000, 400, 10),
+			group("B.g:2", 500, 200, 5),
+		},
+	}
+	head := &Report{
+		Name:              "w",
+		ReachableIntegral: 80 << 20,
+		InUseIntegral:     40 << 20,
+		ByNestedSite: []*Group{
+			group("B.g:2", 700, 300, 6),
+			group("C.h:3", 50, 10, 1),
+		},
+	}
+
+	c := Compare(base, head)
+	if len(c.Sites) != 3 {
+		t.Fatalf("Compare dropped sites: got %d deltas, want 3 (union of disjoint sets)", len(c.Sites))
+	}
+	byDesc := make(map[string]SiteDelta)
+	for _, d := range c.Sites {
+		byDesc[d.Desc] = d
+	}
+
+	removed, ok := byDesc["A.f:1"]
+	if !ok {
+		t.Fatal("base-only site A.f:1 missing from the diff")
+	}
+	if removed.Status() != "removed" || !removed.InBase || removed.InHead {
+		t.Errorf("A.f:1: status %q InBase=%v InHead=%v, want removed/base-only", removed.Status(), removed.InBase, removed.InHead)
+	}
+	if removed.BaseDrag != 1000 || removed.HeadDrag != 0 || removed.DragDelta != -1000 {
+		t.Errorf("A.f:1 drag = (%d,%d,%d), want (1000,0,-1000)", removed.BaseDrag, removed.HeadDrag, removed.DragDelta)
+	}
+
+	added, ok := byDesc["C.h:3"]
+	if !ok {
+		t.Fatal("head-only site C.h:3 missing from the diff")
+	}
+	if added.Status() != "added" || added.InBase || !added.InHead {
+		t.Errorf("C.h:3: status %q, want added/head-only", added.Status())
+	}
+	if added.BaseDrag != 0 || added.HeadDrag != 50 || added.DragDelta != 50 {
+		t.Errorf("C.h:3 drag = (%d,%d,%d), want (0,50,50)", added.BaseDrag, added.HeadDrag, added.DragDelta)
+	}
+
+	common := byDesc["B.g:2"]
+	if common.Status() != "common" || common.DragDelta != 200 || common.BaseCount != 5 || common.HeadCount != 6 {
+		t.Errorf("B.g:2 = %+v, want common with delta 200, counts 5→6", common)
+	}
+
+	// Sorted by |delta| descending: A.f:1 (1000) > B.g:2 (200) > C.h:3 (50).
+	wantOrder := []string{"A.f:1", "B.g:2", "C.h:3"}
+	for i, w := range wantOrder {
+		if c.Sites[i].Desc != w {
+			t.Errorf("Sites[%d] = %q, want %q (|delta| descending)", i, c.Sites[i].Desc, w)
+		}
+	}
+
+	// The aggregate savings arithmetic is unchanged by the site diff.
+	if c.DragSavingPct <= 0 || c.SpaceSavingPct <= 0 {
+		t.Errorf("savings = (%v, %v), want positive", c.DragSavingPct, c.SpaceSavingPct)
+	}
+}
+
+// TestCompareIdenticalReports: diffing a report against itself yields only
+// zero deltas, all common.
+func TestCompareIdenticalReports(t *testing.T) {
+	rep := &Report{
+		Name:              "w",
+		ReachableIntegral: 10 << 20,
+		InUseIntegral:     5 << 20,
+		ByNestedSite:      []*Group{group("A.f:1", 9, 4, 2), group("B.g:2", 3, 1, 1)},
+	}
+	c := Compare(rep, rep)
+	if len(c.Sites) != 2 {
+		t.Fatalf("got %d deltas, want 2", len(c.Sites))
+	}
+	for _, d := range c.Sites {
+		if d.Status() != "common" || d.DragDelta != 0 {
+			t.Errorf("self-diff site %q: status %q delta %d, want common/0", d.Desc, d.Status(), d.DragDelta)
+		}
+	}
+}

@@ -95,7 +95,8 @@ func boolInt(b bool) int64 {
 }
 
 // Comparison quantifies the savings between an original and a revised run,
-// the derivation behind the paper's Tables 2 and 3.
+// the derivation behind the paper's Tables 2 and 3 — plus the per-site
+// breakdown the cross-run regression queries are built on.
 type Comparison struct {
 	Benchmark string
 	// Integrals in MByte² (the paper's unit).
@@ -109,9 +110,52 @@ type Comparison struct {
 	DragSavingPct float64
 	// SpaceSavingPct = 1 − revReach/origReach.
 	SpaceSavingPct float64
+	// Sites is the per-site drag delta over the union of both reports'
+	// nested allocation sites, sorted by |drag delta| descending. Sites
+	// present in only one report appear with the other side zeroed — a
+	// site that vanished (rewritten away) or appeared (a regression) is
+	// exactly what a cross-run diff must surface, not drop.
+	Sites []SiteDelta
 }
 
-// Compare derives the savings of revised over original.
+// SiteDelta is one nested allocation site's row in a cross-run comparison.
+type SiteDelta struct {
+	// Desc is the printable nested-site description.
+	Desc string
+	// InBase and InHead report which side the site appears in.
+	InBase bool
+	InHead bool
+	// BaseDrag and HeadDrag are the site's drag space-time products
+	// (byte²); DragDelta = HeadDrag − BaseDrag.
+	BaseDrag  int64
+	HeadDrag  int64
+	DragDelta int64
+	// BaseCount and HeadCount are the object counts.
+	BaseCount int
+	HeadCount int
+	// BaseBytes and HeadBytes are the allocated bytes.
+	BaseBytes int64
+	HeadBytes int64
+}
+
+// Status names the delta class: "added" (head only), "removed" (base
+// only) or "common".
+func (d SiteDelta) Status() string {
+	switch {
+	case d.InBase && d.InHead:
+		return "common"
+	case d.InHead:
+		return "added"
+	default:
+		return "removed"
+	}
+}
+
+// Compare derives the savings of revised over original, including the
+// per-site drag deltas. The site diff covers the union of both reports'
+// nested sites: disjoint site sets (an allocation removed by a rewrite, or
+// a fresh site regressing a deployment) produce rows with the missing side
+// zeroed rather than silently dropping the site.
 func Compare(original, revised *Report) Comparison {
 	c := Comparison{
 		Benchmark:         original.Name,
@@ -128,5 +172,58 @@ func Compare(original, revised *Report) Comparison {
 	if c.OriginalReachable > 0 {
 		c.SpaceSavingPct = reduction / c.OriginalReachable * 100
 	}
+	c.Sites = diffSites(original.ByNestedSite, revised.ByNestedSite)
 	return c
+}
+
+// diffSites joins two group lists on the site description. Groups sharing a
+// description (possible when distinct chain keys render identically) are
+// summed per side before joining.
+func diffSites(base, head []*Group) []SiteDelta {
+	deltas := make(map[string]*SiteDelta)
+	order := make([]string, 0, len(base)+len(head))
+	side := func(groups []*Group, inBase bool) {
+		for _, g := range groups {
+			d, ok := deltas[g.Desc]
+			if !ok {
+				d = &SiteDelta{Desc: g.Desc}
+				deltas[g.Desc] = d
+				order = append(order, g.Desc)
+			}
+			if inBase {
+				d.InBase = true
+				d.BaseDrag += g.Drag
+				d.BaseCount += g.Count
+				d.BaseBytes += g.Bytes
+			} else {
+				d.InHead = true
+				d.HeadDrag += g.Drag
+				d.HeadCount += g.Count
+				d.HeadBytes += g.Bytes
+			}
+		}
+	}
+	side(base, true)
+	side(head, false)
+	out := make([]SiteDelta, 0, len(order))
+	for _, desc := range order {
+		d := deltas[desc]
+		d.DragDelta = d.HeadDrag - d.BaseDrag
+		out = append(out, *d)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ai, aj := abs64(out[i].DragDelta), abs64(out[j].DragDelta)
+		if ai != aj {
+			return ai > aj
+		}
+		return out[i].Desc < out[j].Desc
+	})
+	return out
+}
+
+func abs64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
 }

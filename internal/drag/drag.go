@@ -96,6 +96,23 @@ func (p Pattern) String() string {
 	}
 }
 
+// Suggestion is the rewriting strategy the pattern suggests, phrased for
+// reports.
+func (p Pattern) Suggestion() string {
+	switch p {
+	case PatternDeadCode:
+		return "remove the allocation (dead code)"
+	case PatternLazyAlloc:
+		return "allocate lazily behind a null test"
+	case PatternAssignNull:
+		return "assign null to the dead reference after its last use"
+	case PatternHighVariance:
+		return "no transformation likely to help (unpredictable uses)"
+	default:
+		return "inspect manually"
+	}
+}
+
 // PairGroup is a (group, last-use site) partition.
 type PairGroup struct {
 	// LastUseDesc renders the nested last-use site ("<never used>" for

@@ -1,0 +1,100 @@
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"dragprof/internal/drag"
+	"dragprof/internal/profile"
+)
+
+// Drag-report rendering shared by cmd/draganalyze and the dragserved query
+// endpoints: one code path means the service's text/JSON/SARIF responses
+// are byte-identical to a local draganalyze run over the same log.
+
+func mb2(v int64) float64 { return float64(v) / (1 << 40) }
+
+// DragText renders the top drag sites as the human-readable report.
+// numObjects is the trailer count including interned records (the log's
+// declared record count), which the analysis totals exclude.
+func DragText(w io.Writer, rep *drag.Report, numObjects, top int) {
+	fmt.Fprintf(w, "total allocation: %.2f MB over %d objects\n",
+		float64(rep.FinalClock)/(1<<20), numObjects)
+	fmt.Fprintf(w, "reachable integral: %.4f MB²   in-use integral: %.4f MB²   drag: %.4f MB²\n\n",
+		mb2(rep.ReachableIntegral), mb2(rep.InUseIntegral), mb2(rep.TotalDrag))
+
+	groups := rep.ByNestedSite
+	if top > len(groups) {
+		top = len(groups)
+	}
+	for i, g := range groups[:top] {
+		share := 0.0
+		if rep.TotalDrag > 0 {
+			share = float64(g.Drag) / float64(rep.TotalDrag)
+		}
+		fmt.Fprintf(w, "#%d  %s\n", i+1, g.Desc)
+		fmt.Fprintf(w, "    drag %.4f MB² (%.1f%% of total), %d objects (%d never used), %d bytes\n",
+			mb2(g.Drag), share*100, g.Count, g.NeverUsed, g.Bytes)
+		fmt.Fprintf(w, "    pattern: %s\n", g.Pattern)
+		fmt.Fprintf(w, "    suggestion: %s\n", g.Pattern.Suggestion())
+		for _, pg := range g.LastUse {
+			fmt.Fprintf(w, "    last use: %s (%d objects, drag %d)\n", pg.LastUseDesc, pg.Count, pg.Drag)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// DragDiagnostics builds the top drag sites as diagnostics for the JSON
+// and SARIF renderers. A non-clean salvage report leads with a
+// "partial-data" note so downstream consumers cannot mistake the report
+// for a full analysis.
+func DragDiagnostics(rep *drag.Report, sr *profile.SalvageReport, top int) []Diagnostic {
+	var diags []Diagnostic
+	if sr != nil && !sr.Clean() {
+		diags = append(diags, Diagnostic{
+			RuleID:  "partial-data",
+			Level:   "note",
+			Message: "analysis ran on a salvaged prefix of a damaged log: " + sr.Summary(),
+			Properties: map[string]any{
+				"salvage": sr,
+			},
+		})
+	}
+	groups := rep.ByNestedSite
+	if top > len(groups) {
+		top = len(groups)
+	}
+	for i, g := range groups[:top] {
+		share := 0.0
+		if rep.TotalDrag > 0 {
+			share = float64(g.Drag) / float64(rep.TotalDrag)
+		}
+		diags = append(diags, Diagnostic{
+			RuleID: "heap-drag",
+			Level:  "warning",
+			Message: fmt.Sprintf("#%d %s: drag %.4f MB² (%.1f%% of total) — %s",
+				i+1, g.Desc, mb2(g.Drag), share*100, g.Pattern.Suggestion()),
+			Properties: map[string]any{
+				"rank":       i + 1,
+				"site":       g.Desc,
+				"objects":    g.Count,
+				"neverUsed":  g.NeverUsed,
+				"bytes":      g.Bytes,
+				"dragByte2":  g.Drag,
+				"dragShare":  share,
+				"pattern":    g.Pattern.String(),
+				"suggestion": g.Pattern.Suggestion(),
+			},
+		})
+	}
+	return diags
+}
+
+// DragRules lists the rule vocabulary of DragDiagnostics for the SARIF
+// tool component.
+func DragRules() []RuleInfo {
+	return []RuleInfo{
+		{ID: "heap-drag", Description: "allocation site with large drag space-time product"},
+		{ID: "partial-data", Description: "analysis based on a salvaged prefix of a damaged log"},
+	}
+}

@@ -1,0 +1,197 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"dragprof/internal/bench"
+	"dragprof/internal/faultinject"
+	"dragprof/internal/profile"
+	"dragprof/internal/store"
+)
+
+// ingestStatusOK are the only statuses a damaged-or-clean upload may
+// produce: damage is a client error with a salvage report, never a 5xx.
+func ingestStatusOK(code int) bool {
+	return code == http.StatusOK || code == http.StatusCreated || code == http.StatusUnprocessableEntity
+}
+
+// checkStoredPrefix asserts the store-level contract against the
+// undamaged profile: whatever run the reply references holds records that
+// are a byte-exact prefix of the clean log's records — exactly what
+// profile.SalvageLog recovers, never one record more or different.
+func checkStoredPrefix(t *testing.T, st *store.Store, ir *IngestResponse, clean *profile.Profile, damaged []byte) {
+	t.Helper()
+	if ir.Run == nil {
+		return // nothing stored (header/tables damaged): nothing to check
+	}
+	f, err := st.OpenLog(ir.Run.ID)
+	if err != nil {
+		t.Fatalf("stored run %s unreadable: %v", ir.Run.ID, err)
+	}
+	defer f.Close()
+	got, err := profile.ReadLog(f)
+	if err != nil {
+		t.Fatalf("stored run %s does not re-read cleanly: %v", ir.Run.ID, err)
+	}
+	if len(got.Records) > len(clean.Records) {
+		t.Fatalf("stored run invented records: %d > %d", len(got.Records), len(clean.Records))
+	}
+	for i := range got.Records {
+		if *got.Records[i] != *clean.Records[i] {
+			t.Fatalf("stored record %d differs from the undamaged log", i)
+		}
+	}
+	if ir.Salvage != nil {
+		want, wantSR, err := profile.SalvageLog(bytes.NewReader(damaged))
+		if err != nil {
+			t.Fatalf("server stored a salvaged run but local SalvageLog failed: %v", err)
+		}
+		if len(got.Records) != len(want.Records) {
+			t.Fatalf("stored %d records, local SalvageLog recovered %d", len(got.Records), len(want.Records))
+		}
+		if ir.Salvage.RecordsRecovered != wantSR.RecordsRecovered {
+			t.Fatalf("reply reports %d recovered, local SalvageLog %d",
+				ir.Salvage.RecordsRecovered, wantSR.RecordsRecovered)
+		}
+	}
+}
+
+// TestIngestFaultMatrix drives the fault-injection matrix from the issue
+// over every workload's log: truncation at every block boundary (and just
+// past it) plus seeded bit flips, all through the real HTTP handler. No
+// input may panic the server, produce a 5xx, or store a record differing
+// from the undamaged log.
+func TestIngestFaultMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("profiles all workloads")
+	}
+	logs, err := bench.WorkloadLogs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, ts := newTestServer(t)
+	st := srv.Store()
+
+	post := func(data []byte) (int, *IngestResponse) {
+		resp, err := http.Post(ts.URL+"/api/v1/runs", "application/octet-stream", bytes.NewReader(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		var ir IngestResponse
+		if err := json.Unmarshal(body, &ir); err != nil {
+			t.Fatalf("HTTP %d reply is not IngestResponse JSON: %.120s", resp.StatusCode, body)
+		}
+		return resp.StatusCode, &ir
+	}
+
+	for _, wl := range logs {
+		ends, err := profile.BlockOffsets(wl.Bin)
+		if err != nil {
+			t.Fatalf("%s: %v", wl.Name, err)
+		}
+		// Truncate at every block boundary (crash-consistent prefixes) and
+		// one byte past each (mid-frame tears).
+		cuts := []int64{0, 1, int64(len(wl.Bin)) - 1}
+		for _, e := range ends {
+			cuts = append(cuts, e)
+			if e+1 < int64(len(wl.Bin)) {
+				cuts = append(cuts, e+1)
+			}
+		}
+		for _, cut := range cuts {
+			if cut < 0 || cut > int64(len(wl.Bin)) {
+				continue
+			}
+			status, ir := post(wl.Bin[:cut])
+			if !ingestStatusOK(status) {
+				t.Fatalf("%s cut=%d: HTTP %d (server must answer 2xx/422, never 5xx)", wl.Name, cut, status)
+			}
+			if status == http.StatusUnprocessableEntity && ir.Salvage == nil {
+				t.Fatalf("%s cut=%d: 422 without salvage report", wl.Name, cut)
+			}
+			checkStoredPrefix(t, st, ir, wl.Profile, wl.Bin[:cut])
+		}
+		// Seeded bit flips over the whole log.
+		for seed := uint64(1); seed <= 8; seed++ {
+			flipped, _ := faultinject.FlipBit(wl.Bin, 0, faultinject.NewRand(seed*2654435761))
+			status, ir := post(flipped)
+			if !ingestStatusOK(status) {
+				t.Fatalf("%s flip seed=%d: HTTP %d", wl.Name, seed, status)
+			}
+			checkStoredPrefix(t, st, ir, wl.Profile, flipped)
+		}
+	}
+
+	// After the whole matrix, the store still compacts and queries cleanly.
+	if _, err := st.SiteSummaries(4); err != nil {
+		t.Fatalf("store broken after fault matrix: %v", err)
+	}
+}
+
+// FuzzIngest feeds damaged workload logs through the HTTP ingest endpoint,
+// reusing the nine-workload corpus shape of profile's FuzzSalvageLog. The
+// invariants: only 200/201/422 statuses, every 422 body parses as an
+// IngestResponse carrying a SalvageReport, and any stored run's records
+// are a byte-exact prefix of the undamaged log equal to SalvageLog's
+// output.
+func FuzzIngest(f *testing.F) {
+	logs, err := bench.WorkloadLogs()
+	if err != nil {
+		f.Fatal(err)
+	}
+	st, err := store.Open(f.TempDir())
+	if err != nil {
+		f.Fatal(err)
+	}
+	srv := New(Options{Store: st, Workers: 2})
+	ts := httptest.NewServer(srv.Handler())
+	f.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+
+	for i := range logs {
+		f.Add(uint8(i), uint16(0), uint64(0))          // clean
+		f.Add(uint8(i), uint16(1<<14), uint64(0))      // truncated
+		f.Add(uint8(i), uint16(0), uint64(i+1))        // flipped
+		f.Add(uint8(i), uint16(3<<14), uint64(7*i+13)) // both
+	}
+	f.Fuzz(func(t *testing.T, wi uint8, cutFrac uint16, flipSeed uint64) {
+		wl := logs[int(wi)%len(logs)]
+		data := wl.Bin
+		if cutFrac > 0 {
+			cut := int(uint64(cutFrac) * uint64(len(data)) / (1 << 16))
+			if cut < len(data) {
+				data = data[:cut]
+			}
+		}
+		if flipSeed != 0 && len(data) > 0 {
+			data, _ = faultinject.FlipBit(data, 0, faultinject.NewRand(flipSeed))
+		}
+
+		resp, err := http.Post(ts.URL+"/api/v1/runs", "application/octet-stream", bytes.NewReader(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if !ingestStatusOK(resp.StatusCode) {
+			t.Fatalf("HTTP %d for damaged upload (want 2xx/422): %.120s", resp.StatusCode, body)
+		}
+		var ir IngestResponse
+		if err := json.Unmarshal(body, &ir); err != nil {
+			t.Fatalf("HTTP %d reply is not valid IngestResponse JSON: %v", resp.StatusCode, err)
+		}
+		if resp.StatusCode == http.StatusUnprocessableEntity && ir.Salvage == nil {
+			t.Fatal("422 reply carries no salvage report")
+		}
+		checkStoredPrefix(t, st, &ir, wl.Profile, data)
+	})
+}

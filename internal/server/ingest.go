@@ -1,0 +1,79 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"dragprof/internal/profile"
+	"dragprof/internal/store"
+)
+
+// IngestResponse is the JSON body of every POST /api/v1/runs reply.
+type IngestResponse struct {
+	// Run is the stored run (also set for duplicates and for salvaged
+	// prefixes that were storable).
+	Run *store.RunMeta `json:"run,omitempty"`
+	// Salvage is present exactly when the upload was damaged (HTTP 422).
+	Salvage *profile.SalvageReport `json:"salvage,omitempty"`
+	// Duplicate marks a re-upload of an already-stored log (HTTP 200).
+	Duplicate bool `json:"duplicate,omitempty"`
+	// Error carries the failure description for 4xx/5xx replies.
+	Error string `json:"error,omitempty"`
+}
+
+// handleIngest accepts one drag log per request, streamed through the
+// store's block pipeline. Status codes:
+//
+//	201 clean upload stored
+//	200 duplicate of a stored run
+//	413 upload exceeds the size limit
+//	422 damaged upload — body carries the SalvageReport; a salvageable
+//	    prefix is stored and reported in Run
+//	500 internal store fault (disk I/O)
+//
+// Damage is never a 5xx: the fault-injection matrix (truncation at every
+// block boundary, bit flips) must land on 422 with a parseable report.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	s.metrics.ingestRequests.Add(1)
+	res, err := s.st.Ingest(store.LimitReader(r.Body, s.maxBytes), s.workers)
+	if err != nil {
+		s.metrics.ingestErrors.Add(1)
+		s.logger.Printf("ingest: %v", err)
+		writeJSON(w, http.StatusInternalServerError, IngestResponse{Error: "internal store error"})
+		return
+	}
+	switch {
+	case res.TooLarge:
+		s.metrics.ingestTooLarge.Add(1)
+		writeJSON(w, http.StatusRequestEntityTooLarge, IngestResponse{
+			Error: "upload exceeds the size limit",
+		})
+	case res.Salvage != nil:
+		s.metrics.ingestSalvaged.Add(1)
+		if res.Meta != nil && !res.Duplicate {
+			s.kickCompactor()
+		}
+		writeJSON(w, http.StatusUnprocessableEntity, IngestResponse{
+			Run:       res.Meta,
+			Salvage:   res.Salvage,
+			Duplicate: res.Duplicate,
+			Error:     "damaged upload: " + res.Salvage.Summary(),
+		})
+	case res.Duplicate:
+		s.metrics.ingestDuplicates.Add(1)
+		writeJSON(w, http.StatusOK, IngestResponse{Run: res.Meta, Duplicate: true})
+	default:
+		s.metrics.ingestStored.Add(1)
+		s.metrics.ingestBytes.Add(res.Meta.Bytes)
+		s.kickCompactor()
+		writeJSON(w, http.StatusCreated, IngestResponse{Run: res.Meta})
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

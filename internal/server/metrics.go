@@ -1,0 +1,57 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"sync/atomic"
+)
+
+// metrics are dragserved's operational counters, exposed in Prometheus
+// text exposition format on GET /metrics (stdlib-only: hand-rendered).
+type metrics struct {
+	ingestRequests   atomic.Int64
+	ingestStored     atomic.Int64
+	ingestDuplicates atomic.Int64
+	ingestSalvaged   atomic.Int64
+	ingestTooLarge   atomic.Int64
+	ingestErrors     atomic.Int64
+	ingestBytes      atomic.Int64
+	queries          atomic.Int64
+	compactions      atomic.Int64
+	compactErrors    atomic.Int64
+	serverErrors     atomic.Int64
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	gauges := map[string]int64{
+		"dragserved_ingest_requests_total":   s.metrics.ingestRequests.Load(),
+		"dragserved_ingest_stored_total":     s.metrics.ingestStored.Load(),
+		"dragserved_ingest_duplicates_total": s.metrics.ingestDuplicates.Load(),
+		"dragserved_ingest_salvaged_total":   s.metrics.ingestSalvaged.Load(),
+		"dragserved_ingest_too_large_total":  s.metrics.ingestTooLarge.Load(),
+		"dragserved_ingest_errors_total":     s.metrics.ingestErrors.Load(),
+		"dragserved_ingest_bytes_total":      s.metrics.ingestBytes.Load(),
+		"dragserved_queries_total":           s.metrics.queries.Load(),
+		"dragserved_compactions_total":       s.metrics.compactions.Load(),
+		"dragserved_compact_errors_total":    s.metrics.compactErrors.Load(),
+		"dragserved_http_5xx_total":          s.metrics.serverErrors.Load(),
+		"dragserved_store_runs":              int64(s.st.NumRuns()),
+		"dragserved_store_salvaged_runs":     int64(s.st.SalvagedRuns()),
+		"dragserved_store_bytes":             s.st.TotalBytes(),
+	}
+	names := make([]string, 0, len(gauges))
+	for n := range gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	for _, n := range names {
+		fmt.Fprintf(w, "%s %d\n", n, gauges[n])
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain")
+	fmt.Fprintln(w, "ok")
+}

@@ -1,0 +1,153 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// ErrUnreachable reports that every attempt to reach the server failed at
+// the network level; the push can be retried later (cli.ExitNetwork).
+var ErrUnreachable = errors.New("dragserved unreachable")
+
+// RejectedError reports a definitive server-side rejection (the server
+// answered, retrying the same bytes cannot help).
+type RejectedError struct {
+	// Status is the HTTP status code.
+	Status int
+	// Response is the parsed reply body, when it parsed.
+	Response *IngestResponse
+}
+
+func (e *RejectedError) Error() string {
+	msg := fmt.Sprintf("dragserved rejected the upload (HTTP %d)", e.Status)
+	if e.Response != nil && e.Response.Error != "" {
+		msg += ": " + e.Response.Error
+	}
+	return msg
+}
+
+// PushOptions tune the client's retry loop.
+type PushOptions struct {
+	// Retries is the number of attempts after the first (default 3).
+	Retries int
+	// Timeout bounds each attempt (default 60s).
+	Timeout time.Duration
+	// Backoff is the base delay between attempts, doubled each retry with
+	// ±50% jitter so synchronized clients spread out (default 250ms).
+	Backoff time.Duration
+	// Client overrides the HTTP client (tests).
+	Client *http.Client
+	// now and sleep are test seams.
+	sleep func(time.Duration)
+}
+
+func (o PushOptions) withDefaults() PushOptions {
+	if o.Retries < 0 {
+		o.Retries = 0
+	} else if o.Retries == 0 {
+		o.Retries = 3
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 60 * time.Second
+	}
+	if o.Backoff <= 0 {
+		o.Backoff = 250 * time.Millisecond
+	}
+	if o.Client == nil {
+		o.Client = http.DefaultClient
+	}
+	if o.sleep == nil {
+		o.sleep = time.Sleep
+	}
+	return o
+}
+
+// Push uploads one drag log to a dragserved instance. open re-opens the
+// log for each attempt (uploads are not seekable once partially sent).
+// Network-level failures and 5xx replies retry with exponential backoff
+// and jitter; after the last attempt a network failure wraps
+// ErrUnreachable and a server rejection is a *RejectedError. A 422
+// (damaged log) is also a *RejectedError — the server may still have
+// stored the salvaged prefix, reported in the response.
+func Push(ctx context.Context, serverURL string, open func() (io.ReadCloser, error), opts PushOptions) (*IngestResponse, error) {
+	opts = opts.withDefaults()
+	url := strings.TrimRight(serverURL, "/") + "/api/v1/runs"
+
+	var lastErr error
+	delay := opts.Backoff
+	for attempt := 0; attempt <= opts.Retries; attempt++ {
+		if attempt > 0 {
+			// ±50% jitter; non-deterministic by design — this is a
+			// network pacing decision, not a measured result.
+			jittered := delay/2 + time.Duration(rand.Int63n(int64(delay)+1))
+			select {
+			case <-ctx.Done():
+				return nil, fmt.Errorf("%w: %v", ErrUnreachable, ctx.Err())
+			default:
+			}
+			opts.sleep(jittered)
+			delay *= 2
+		}
+		resp, retry, err := pushOnce(ctx, opts.Client, url, open, opts.Timeout)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		if !retry {
+			return resp, err
+		}
+	}
+	if errors.As(lastErr, new(*RejectedError)) {
+		return nil, lastErr
+	}
+	return nil, fmt.Errorf("%w after %d attempts: %v", ErrUnreachable, opts.Retries+1, lastErr)
+}
+
+// pushOnce performs one attempt. retry reports whether the failure class
+// is worth another try (network faults, 5xx).
+func pushOnce(ctx context.Context, client *http.Client, url string, open func() (io.ReadCloser, error), timeout time.Duration) (resp *IngestResponse, retry bool, err error) {
+	body, err := open()
+	if err != nil {
+		return nil, false, err
+	}
+	defer body.Close()
+
+	rctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(rctx, http.MethodPost, url, body)
+	if err != nil {
+		return nil, false, err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+
+	httpResp, err := client.Do(req)
+	if err != nil {
+		return nil, true, err
+	}
+	defer httpResp.Body.Close()
+
+	var parsed IngestResponse
+	data, _ := io.ReadAll(io.LimitReader(httpResp.Body, 1<<20))
+	if jerr := json.Unmarshal(data, &parsed); jerr == nil {
+		resp = &parsed
+	}
+
+	switch {
+	case httpResp.StatusCode == http.StatusOK || httpResp.StatusCode == http.StatusCreated:
+		if resp == nil {
+			return nil, false, fmt.Errorf("dragserved: unparseable success reply")
+		}
+		return resp, false, nil
+	case httpResp.StatusCode >= 500:
+		return resp, true, &RejectedError{Status: httpResp.StatusCode, Response: resp}
+	default:
+		return resp, false, &RejectedError{Status: httpResp.StatusCode, Response: resp}
+	}
+}

@@ -1,0 +1,140 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func opener(data []byte) func() (io.ReadCloser, error) {
+	return func() (io.ReadCloser, error) {
+		return io.NopCloser(bytes.NewReader(data)), nil
+	}
+}
+
+// fastPush disables real sleeping so retry tests run instantly.
+func fastPush(retries int) PushOptions {
+	return PushOptions{
+		Retries: retries,
+		Timeout: 5 * time.Second,
+		Backoff: time.Millisecond,
+		sleep:   func(time.Duration) {},
+	}
+}
+
+// TestPushRetriesThenSucceeds: transient 503s are retried; the eventual
+// 201 reply is returned.
+func TestPushRetriesThenSucceeds(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) < 3 {
+			http.Error(w, "warming up", http.StatusServiceUnavailable)
+			return
+		}
+		body, _ := io.ReadAll(r.Body)
+		if string(body) != "the log" {
+			t.Errorf("attempt %d body = %q — retries must resend the full log", calls.Load(), body)
+		}
+		w.WriteHeader(http.StatusCreated)
+		w.Write([]byte(`{"run":{"id":"abc"}}`))
+	}))
+	defer ts.Close()
+
+	resp, err := Push(context.Background(), ts.URL, opener([]byte("the log")), fastPush(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Run == nil || resp.Run.ID != "abc" {
+		t.Errorf("resp = %+v, want run abc", resp)
+	}
+	if calls.Load() != 3 {
+		t.Errorf("server saw %d attempts, want 3", calls.Load())
+	}
+}
+
+// TestPushUnreachable: with nothing listening, Push fails with
+// ErrUnreachable after exhausting retries — the exit-code-7 contract.
+func TestPushUnreachable(t *testing.T) {
+	// Grab a port and close it so the address is definitely dead.
+	ts := httptest.NewServer(http.NotFoundHandler())
+	url := ts.URL
+	ts.Close()
+
+	_, err := Push(context.Background(), url, opener([]byte("x")), fastPush(2))
+	if !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("err = %v, want ErrUnreachable", err)
+	}
+}
+
+// TestPushPersistent5xx: a server that only ever 500s is not "unreachable"
+// — the failure surfaces as a rejection after the retries run out.
+func TestPushPersistent5xx(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "broken", http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+
+	_, err := Push(context.Background(), ts.URL, opener([]byte("x")), fastPush(2))
+	var rej *RejectedError
+	if !errors.As(err, &rej) || rej.Status != http.StatusInternalServerError {
+		t.Fatalf("err = %v, want RejectedError 500", err)
+	}
+	if errors.Is(err, ErrUnreachable) {
+		t.Error("persistent 5xx misclassified as unreachable")
+	}
+}
+
+// TestPushRejectedNoRetry: a 422 is definitive — exactly one attempt, and
+// the salvage report comes back in the error.
+func TestPushRejectedNoRetry(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusUnprocessableEntity)
+		w.Write([]byte(`{"error":"damaged upload","salvage":{"truncated":true}}`))
+	}))
+	defer ts.Close()
+
+	_, err := Push(context.Background(), ts.URL, opener([]byte("x")), fastPush(5))
+	var rej *RejectedError
+	if !errors.As(err, &rej) {
+		t.Fatalf("err = %v, want RejectedError", err)
+	}
+	if rej.Status != http.StatusUnprocessableEntity {
+		t.Errorf("status = %d, want 422", rej.Status)
+	}
+	if rej.Response == nil || rej.Response.Salvage == nil || !rej.Response.Salvage.Truncated {
+		t.Errorf("rejection did not carry the salvage report: %+v", rej.Response)
+	}
+	if calls.Load() != 1 {
+		t.Errorf("422 retried: %d attempts, want 1", calls.Load())
+	}
+}
+
+// TestPushEndToEnd: Push against a real dragserved handler stores the log.
+func TestPushEndToEnd(t *testing.T) {
+	srv, ts := newTestServer(t)
+	log := encodeLog(t, syntheticProfile("w", 6000, 9))
+
+	resp, err := Push(context.Background(), ts.URL, opener(log), fastPush(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Run == nil || srv.Store().NumRuns() != 1 {
+		t.Fatalf("push did not store the run: %+v", resp)
+	}
+	// Idempotent re-push.
+	resp2, err := Push(context.Background(), ts.URL, opener(log), fastPush(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp2.Duplicate || resp2.Run.ID != resp.Run.ID {
+		t.Errorf("re-push = %+v, want duplicate of %s", resp2, resp.Run.ID)
+	}
+}

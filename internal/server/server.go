@@ -1,0 +1,192 @@
+// Package server implements dragserved, the continuous drag-profiling
+// service: it ingests binary drag logs over HTTP (streamed block-by-block,
+// damaged uploads salvaged rather than crashed on), keeps them in a
+// content-addressed store with background cross-run compaction, and
+// answers report, site and regression-diff queries whose canonical output
+// is byte-identical to a local draganalyze run over the same log.
+package server
+
+import (
+	"log"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"sync"
+	"time"
+
+	"dragprof/internal/store"
+)
+
+// Options configure a Server.
+type Options struct {
+	// Store is the backing run store (required).
+	Store *store.Store
+	// Workers bounds per-request analysis parallelism (0: GOMAXPROCS).
+	Workers int
+	// MaxUploadBytes rejects larger uploads with 413 (default 1 GiB).
+	MaxUploadBytes int64
+	// RequestTimeout bounds query handling (default 60s). Ingest is
+	// exempt: uploads are bounded by size, not time.
+	RequestTimeout time.Duration
+	// CompactDebounce delays background compaction after an ingest so
+	// bursts coalesce into one merge (default 100ms).
+	CompactDebounce time.Duration
+	// Log receives request and compaction logging; nil discards it.
+	Log *log.Logger
+}
+
+// Server is the dragserved HTTP service.
+type Server struct {
+	st       *store.Store
+	workers  int
+	maxBytes int64
+	logger   *log.Logger
+	handler  http.Handler
+
+	metrics metrics
+
+	compactKick chan struct{}
+	debounce    time.Duration
+	done        chan struct{}
+	wg          sync.WaitGroup
+	closeOnce   sync.Once
+}
+
+// New builds the service and starts its background compactor.
+func New(opts Options) *Server {
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.MaxUploadBytes <= 0 {
+		opts.MaxUploadBytes = 1 << 30
+	}
+	if opts.RequestTimeout <= 0 {
+		opts.RequestTimeout = 60 * time.Second
+	}
+	if opts.CompactDebounce <= 0 {
+		opts.CompactDebounce = 100 * time.Millisecond
+	}
+	if opts.Log == nil {
+		opts.Log = log.New(discard{}, "", 0)
+	}
+	s := &Server{
+		st:          opts.Store,
+		workers:     opts.Workers,
+		maxBytes:    opts.MaxUploadBytes,
+		logger:      opts.Log,
+		compactKick: make(chan struct{}, 1),
+		debounce:    opts.CompactDebounce,
+		done:        make(chan struct{}),
+	}
+
+	api := http.NewServeMux()
+	api.HandleFunc("GET /api/v1/runs", s.handleRuns)
+	api.HandleFunc("GET /api/v1/runs/{id}", s.handleRun)
+	api.HandleFunc("GET /api/v1/runs/{id}/report", s.handleReport)
+	api.HandleFunc("GET /api/v1/sites", s.handleSites)
+	api.HandleFunc("GET /api/v1/diff", s.handleDiff)
+	api.HandleFunc("GET /metrics", s.handleMetrics)
+	api.HandleFunc("GET /healthz", s.handleHealthz)
+
+	// The timeout middleware buffers responses, which would break pprof's
+	// streaming endpoints and serve ingest poorly (uploads are bounded by
+	// MaxUploadBytes, not wall clock) — so those routes bypass it.
+	timed := http.TimeoutHandler(api, opts.RequestTimeout, "request timed out\n")
+	root := http.NewServeMux()
+	root.HandleFunc("POST /api/v1/runs", s.handleIngest)
+	root.Handle("/debug/pprof/", http.HandlerFunc(pprof.Index))
+	root.Handle("/debug/pprof/cmdline", http.HandlerFunc(pprof.Cmdline))
+	root.Handle("/debug/pprof/profile", http.HandlerFunc(pprof.Profile))
+	root.Handle("/debug/pprof/symbol", http.HandlerFunc(pprof.Symbol))
+	root.Handle("/debug/pprof/trace", http.HandlerFunc(pprof.Trace))
+	root.Handle("/", timed)
+	s.handler = s.logged(root)
+
+	s.wg.Add(1)
+	go s.compactor()
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// Store exposes the backing store (read-only use: tests, stats).
+func (s *Server) Store() *store.Store { return s.st }
+
+// Close stops the background compactor, running one final compaction so
+// nothing dirty is left behind. Safe to call more than once.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		close(s.done)
+		s.wg.Wait()
+		if s.st.Dirty() {
+			s.compactNow()
+		}
+	})
+}
+
+// kickCompactor schedules a background compaction (coalescing kicks).
+func (s *Server) kickCompactor() {
+	select {
+	case s.compactKick <- struct{}{}:
+	default:
+	}
+}
+
+// compactor is the background merge loop: each kick is debounced so a
+// burst of pushes compacts once, after the burst.
+func (s *Server) compactor() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-s.compactKick:
+		}
+		timer := time.NewTimer(s.debounce)
+		select {
+		case <-s.done:
+			timer.Stop()
+			return
+		case <-timer.C:
+		}
+		s.compactNow()
+	}
+}
+
+func (s *Server) compactNow() {
+	start := time.Now()
+	if err := s.st.Compact(s.workers); err != nil {
+		s.metrics.compactErrors.Add(1)
+		s.logger.Printf("compact: %v", err)
+		return
+	}
+	s.metrics.compactions.Add(1)
+	s.logger.Printf("compact: merged summaries in %v", time.Since(start).Round(time.Millisecond))
+}
+
+// logged wraps the handler with request logging and a 5xx counter.
+func (s *Server) logged(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		h.ServeHTTP(rec, r)
+		if rec.status >= 500 {
+			s.metrics.serverErrors.Add(1)
+		}
+		s.logger.Printf("%s %s -> %d", r.Method, r.URL.Path, rec.status)
+	})
+}
+
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }

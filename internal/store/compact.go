@@ -1,0 +1,211 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"dragprof/internal/drag"
+	"dragprof/internal/profile"
+)
+
+// SiteSummary is one allocation site's merged totals across every stored
+// run of a workload — the mergeable unit the compactor maintains.
+type SiteSummary struct {
+	// Name is the workload the summary belongs to.
+	Name string `json:"name"`
+	// Desc is the nested allocation-site description (the merge key).
+	Desc string `json:"site"`
+	// Runs counts the runs merged into this summary.
+	Runs int `json:"runs"`
+	// Count/NeverUsed/Bytes are summed object counts and sizes.
+	Count     int   `json:"objects"`
+	NeverUsed int   `json:"neverUsed"`
+	Bytes     int64 `json:"bytes"`
+	// Drag and InUse are the summed byte·alloc integrals.
+	Drag  int64 `json:"dragByte2"`
+	InUse int64 `json:"inUseByte2"`
+	// Pattern is the use-pattern classification of the merged group.
+	Pattern string `json:"pattern"`
+}
+
+// workloadSummary is the on-disk compaction artifact for one workload.
+type workloadSummary struct {
+	// Name is the workload.
+	Name string `json:"name"`
+	// Runs lists the run ids merged, sorted — the deterministic merge
+	// order, and the staleness check against the live run set.
+	Runs []string `json:"runs"`
+	// TotalDrag is the merged report's drag integral.
+	TotalDrag int64 `json:"totalDrag"`
+	// Sites are the merged per-site summaries, ordered by drag descending
+	// (the merged report's ByNestedSite order).
+	Sites []*SiteSummary `json:"sites"`
+}
+
+// compactKey keeps file names safe regardless of workload-name contents.
+func compactKey(name string) string {
+	return fmt.Sprintf("%x", []byte(name))
+}
+
+func (s *Store) loadCompacted() error {
+	paths, err := filepath.Glob(filepath.Join(s.root, "compact", "*.json"))
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		var ws workloadSummary
+		if err := json.Unmarshal(data, &ws); err != nil {
+			return fmt.Errorf("store: %s: %w", path, err)
+		}
+		s.compacted[ws.Name] = &ws
+	}
+	return nil
+}
+
+// Dirty reports whether any workload's compacted summary is stale.
+func (s *Store) Dirty() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.dirty) > 0
+}
+
+// Compact rebuilds the per-site summaries of every workload whose run set
+// changed since the last compaction. Each stale workload's runs are merged
+// through the analyzer's aggregator-merge path in sorted-run-id order, so
+// the result is independent of ingest order and of which server performed
+// the merge. workers bounds the per-run analysis parallelism.
+func (s *Store) Compact(workers int) error {
+	s.mu.Lock()
+	stale := make([]string, 0, len(s.dirty))
+	for name := range s.dirty {
+		stale = append(stale, name)
+	}
+	s.mu.Unlock()
+	sort.Strings(stale)
+
+	for _, name := range stale {
+		ids := s.runIDs(name)
+		ws, err := s.compactWorkload(name, ids, workers)
+		if err != nil {
+			return err
+		}
+		data, err := json.MarshalIndent(ws, "", "  ")
+		if err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		if err := writeFileAtomic(filepath.Join(s.root, "compact", compactKey(name)+".json"), append(data, '\n')); err != nil {
+			return err
+		}
+		s.mu.Lock()
+		s.compacted[name] = ws
+		// Re-ingests during compaction re-dirty the workload; only clear
+		// the flag if the merged run set still matches the live one.
+		if sameRunSet(ws.Runs, s.runIDsLocked(name)) {
+			delete(s.dirty, name)
+		}
+		s.mu.Unlock()
+	}
+	return nil
+}
+
+// compactWorkload merges one workload's runs into a single report. Every
+// run is re-aggregated from its stored log and folded into the running
+// accumulator via the same merge the parallel analyzer uses for its block
+// shards; sorted-id order makes the fold deterministic.
+func (s *Store) compactWorkload(name string, ids []string, workers int) (*workloadSummary, error) {
+	var (
+		acc  *drag.Accumulator
+		base *profile.Profile
+	)
+	for _, id := range ids {
+		f, err := os.Open(s.logPath(id))
+		if err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+		p, err := profile.ReadLog(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("store: compacting run %s: %w", id, err)
+		}
+		runAcc := drag.NewAccumulator(p, drag.Options{})
+		for _, r := range p.Records {
+			runAcc.Add(r)
+		}
+		if acc == nil {
+			base, acc = p, runAcc
+			continue
+		}
+		if err := checkMergeable(base, p); err != nil {
+			return nil, fmt.Errorf("store: run %s: %w", id, err)
+		}
+		acc.Merge(runAcc)
+	}
+	ws := &workloadSummary{Name: name, Runs: ids}
+	if acc == nil {
+		return ws, nil
+	}
+	rep := acc.Report()
+	ws.TotalDrag = rep.TotalDrag
+	for _, g := range rep.ByNestedSite {
+		ws.Sites = append(ws.Sites, &SiteSummary{
+			Name:      name,
+			Desc:      g.Desc,
+			Runs:      len(ids),
+			Count:     g.Count,
+			NeverUsed: g.NeverUsed,
+			Bytes:     g.Bytes,
+			Drag:      g.Drag,
+			InUse:     g.InUse,
+			Pattern:   g.Pattern.String(),
+		})
+	}
+	return ws, nil
+}
+
+// checkMergeable guards the cross-run merge: group keys are indices into
+// the per-log site and chain tables, so folding two runs into one
+// accumulator is only meaningful when their tables agree — which they do
+// for repeated runs of the same deterministic workload. Mismatched tables
+// (same workload name, different build) are rejected rather than silently
+// mis-merged.
+func checkMergeable(a, b *profile.Profile) error {
+	if len(a.Sites) != len(b.Sites) || len(a.ChainNodes) != len(b.ChainNodes) {
+		return fmt.Errorf("incompatible site tables (%d/%d sites, %d/%d chain nodes): runs come from different builds",
+			len(a.Sites), len(b.Sites), len(a.ChainNodes), len(b.ChainNodes))
+	}
+	return nil
+}
+
+// SiteSummaries returns the compacted cross-run site summaries for every
+// workload, compacting first if anything is stale. The result is sorted by
+// drag descending, then name/site ascending for ties.
+func (s *Store) SiteSummaries(workers int) ([]*SiteSummary, error) {
+	if s.Dirty() {
+		if err := s.Compact(workers); err != nil {
+			return nil, err
+		}
+	}
+	s.mu.Lock()
+	var out []*SiteSummary
+	for _, ws := range s.compacted {
+		out = append(out, ws.Sites...)
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Drag != out[j].Drag {
+			return out[i].Drag > out[j].Drag
+		}
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].Desc < out[j].Desc
+	})
+	return out, nil
+}

@@ -1,0 +1,592 @@
+// Package store is dragserved's persistent run store: a content-addressed
+// on-disk collection of drag logs with per-run analysis reports and a
+// cross-run compactor that merges runs of the same workload into mergeable
+// per-site summaries.
+//
+// Layout under the root directory:
+//
+//	tmp/                    ingest spool files (removed on open)
+//	runs/<id>.log           the stored drag log (raw upload bytes for clean
+//	                        ingests; the re-encoded salvaged prefix for
+//	                        damaged ones)
+//	runs/<id>.json          RunMeta
+//	runs/<id>.canonical     drag.CanonicalDump of the run's analysis under
+//	                        default options — the byte-exact report the
+//	                        /report endpoint serves
+//	compact/<key>.json      per-workload compacted site summaries
+//
+// A run's id is the lowercase hex SHA-256 of the stored log bytes, so
+// identical uploads deduplicate and the id doubles as an integrity oracle:
+// anyone holding the log can recompute the id offline.
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"dragprof/internal/drag"
+	"dragprof/internal/profile"
+)
+
+// ErrTooLarge is returned (wrapped) by the reader built with LimitReader
+// once an upload exceeds the configured byte limit; Ingest rejects the
+// upload without storing a salvaged prefix.
+var ErrTooLarge = errors.New("store: upload exceeds size limit")
+
+// LimitReader wraps an upload body so reads past limit bytes fail with
+// ErrTooLarge (distinguishable from genuine truncation, which salvages).
+func LimitReader(r io.Reader, limit int64) io.Reader {
+	return &limitReader{r: r, left: limit}
+}
+
+type limitReader struct {
+	r    io.Reader
+	left int64
+}
+
+func (l *limitReader) Read(p []byte) (int, error) {
+	if l.left <= 0 {
+		return 0, ErrTooLarge
+	}
+	if int64(len(p)) > l.left {
+		p = p[:l.left]
+	}
+	n, err := l.r.Read(p)
+	l.left -= int64(n)
+	return n, err
+}
+
+// RunMeta describes one stored run.
+type RunMeta struct {
+	// ID is the SHA-256 of the stored log bytes, lowercase hex.
+	ID string `json:"id"`
+	// Name is the workload name the log declares.
+	Name string `json:"name"`
+	// Format and Compressed describe the *uploaded* log ("binary" or
+	// "text"); a salvaged run is always re-stored as uncompressed binary.
+	Format     string `json:"format"`
+	Compressed bool   `json:"compressed"`
+	// Records and Blocks count the stored trailer records and blocks.
+	Records int `json:"records"`
+	Blocks  int `json:"blocks"`
+	// Bytes is the stored log size.
+	Bytes int64 `json:"bytes"`
+	// FinalClock is the run's allocation clock at exit.
+	FinalClock int64 `json:"finalClock"`
+	// Salvaged marks a run stored from the intact prefix of a damaged
+	// upload; Salvage describes the fault.
+	Salvaged bool                   `json:"salvaged"`
+	Salvage  *profile.SalvageReport `json:"salvage,omitempty"`
+	// ReceivedUnix is the ingest wall-clock time (seconds). Informational
+	// only: no query result depends on it.
+	ReceivedUnix int64 `json:"receivedUnix"`
+}
+
+// IngestResult is the outcome of one upload.
+type IngestResult struct {
+	// Meta is the stored run, nil when nothing was storable (damaged
+	// header/tables, zero salvageable records, or an oversized upload).
+	Meta *RunMeta
+	// Report is the run's analysis under default options (nil for
+	// duplicates — the stored canonical dump already covers them).
+	Report *drag.Report
+	// Salvage is non-nil exactly when the upload was damaged; the upload
+	// was rejected (HTTP 422) even if a prefix was stored.
+	Salvage *profile.SalvageReport
+	// Duplicate marks an id that was already present.
+	Duplicate bool
+	// TooLarge marks an upload rejected for exceeding the size limit.
+	TooLarge bool
+}
+
+// Clean reports a fully-intact ingest.
+func (r *IngestResult) Clean() bool { return r.Salvage == nil && !r.TooLarge }
+
+// Store is the on-disk run store. All methods are safe for concurrent use.
+type Store struct {
+	root string
+
+	mu    sync.Mutex
+	runs  map[string]*RunMeta
+	bytes int64
+	// dirty marks workload names whose compacted summaries are stale.
+	dirty map[string]bool
+	// compacted holds the per-workload summaries, keyed by workload name.
+	compacted map[string]*workloadSummary
+}
+
+// Open creates (if needed) and loads a store rooted at dir.
+func Open(dir string) (*Store, error) {
+	s := &Store{
+		root:      dir,
+		runs:      make(map[string]*RunMeta),
+		dirty:     make(map[string]bool),
+		compacted: make(map[string]*workloadSummary),
+	}
+	for _, sub := range []string{"tmp", "runs", "compact"} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+	}
+	// Stale spool files from a crashed ingest are garbage.
+	if ents, err := os.ReadDir(filepath.Join(dir, "tmp")); err == nil {
+		for _, e := range ents {
+			os.Remove(filepath.Join(dir, "tmp", e.Name()))
+		}
+	}
+	metas, err := filepath.Glob(filepath.Join(dir, "runs", "*.json"))
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	for _, path := range metas {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+		var m RunMeta
+		if err := json.Unmarshal(data, &m); err != nil {
+			return nil, fmt.Errorf("store: %s: %w", path, err)
+		}
+		s.runs[m.ID] = &m
+		s.bytes += m.Bytes
+	}
+	if err := s.loadCompacted(); err != nil {
+		return nil, err
+	}
+	// Any workload whose compacted summary is missing or no longer covers
+	// its run set needs recompaction.
+	for name := range s.runNames() {
+		sum := s.compacted[name]
+		if sum == nil || !sameRunSet(sum.Runs, s.runIDs(name)) {
+			s.dirty[name] = true
+		}
+	}
+	return s, nil
+}
+
+// Root returns the store's root directory.
+func (s *Store) Root() string { return s.root }
+
+// Runs lists the stored runs sorted by id.
+func (s *Store) Runs() []*RunMeta {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*RunMeta, 0, len(s.runs))
+	for _, m := range s.runs {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Get returns a run's metadata. The id may be abbreviated to a unique
+// prefix of at least 8 hex digits.
+func (s *Store) Get(id string) (*RunMeta, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if m, ok := s.runs[id]; ok {
+		return m, true
+	}
+	if len(id) >= 8 {
+		var found *RunMeta
+		for rid, m := range s.runs {
+			if strings.HasPrefix(rid, id) {
+				if found != nil {
+					return nil, false // ambiguous
+				}
+				found = m
+			}
+		}
+		if found != nil {
+			return found, true
+		}
+	}
+	return nil, false
+}
+
+// TotalBytes is the summed size of all stored logs.
+func (s *Store) TotalBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bytes
+}
+
+// NumRuns is the stored-run count.
+func (s *Store) NumRuns() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.runs)
+}
+
+// SalvagedRuns counts stored runs that came from damaged uploads.
+func (s *Store) SalvagedRuns() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, m := range s.runs {
+		if m.Salvaged {
+			n++
+		}
+	}
+	return n
+}
+
+// OpenLog opens a stored run's log for reading.
+func (s *Store) OpenLog(id string) (io.ReadCloser, error) {
+	m, ok := s.Get(id)
+	if !ok {
+		return nil, fmt.Errorf("store: unknown run %q", id)
+	}
+	return os.Open(s.logPath(m.ID))
+}
+
+// Canonical returns the stored canonical report dump (default analysis
+// options) for a run.
+func (s *Store) Canonical(id string) ([]byte, error) {
+	m, ok := s.Get(id)
+	if !ok {
+		return nil, fmt.Errorf("store: unknown run %q", id)
+	}
+	return os.ReadFile(filepath.Join(s.root, "runs", m.ID+".canonical"))
+}
+
+// Report recomputes a run's analysis from its stored log. workers <= 0
+// uses GOMAXPROCS; the result is byte-identical to the serial analyzer.
+func (s *Store) Report(id string, opts drag.Options, workers int) (*drag.Report, error) {
+	f, err := s.OpenLog(id)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	rep, err := drag.AnalyzeLog(f, opts, workers)
+	if err != nil {
+		return nil, fmt.Errorf("store: run %s: %w", id, err)
+	}
+	return rep, nil
+}
+
+func (s *Store) logPath(id string) string { return filepath.Join(s.root, "runs", id+".log") }
+
+// Ingest stores one uploaded drag log, streaming it block-by-block through
+// profile.LogStream: blocks are decoded and aggregated on a workers-sized
+// goroutine pool (mirroring drag.AnalyzeLog) while the raw bytes spool to
+// disk under a running SHA-256. A damaged upload falls back to the salvage
+// path: the intact prefix (exactly profile.SalvageLog's output) is
+// re-encoded and stored, and the fault is described in Salvage — the
+// caller rejects the upload, but the salvageable evidence is kept.
+//
+// A non-nil error reports an internal store fault (disk I/O); upload
+// damage is never an error.
+func (s *Store) Ingest(body io.Reader, workers int) (*IngestResult, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	tmp, err := os.CreateTemp(filepath.Join(s.root, "tmp"), "ingest-*.spool")
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	tmpName := tmp.Name()
+	defer func() {
+		tmp.Close()
+		os.Remove(tmpName) // no-op once renamed into place
+	}()
+
+	hash := sha256.New()
+	size := &countWriter{}
+	tee := io.TeeReader(body, io.MultiWriter(tmp, hash, size))
+
+	rep, stream, streamErr := ingestStream(tee, workers)
+	// Drain whatever the parser left unread so the spool and hash cover the
+	// complete upload: the run id must be the digest of the bytes as sent,
+	// and the salvage path must see exactly what a local SalvageLog over
+	// the damaged file would.
+	if _, derr := io.Copy(io.Discard, tee); derr != nil && streamErr == nil {
+		streamErr = derr
+	}
+	if streamErr != nil {
+		if errors.Is(streamErr, ErrTooLarge) {
+			return &IngestResult{TooLarge: true}, nil
+		}
+		return s.salvageSpool(tmp, tmpName, workers)
+	}
+
+	meta := &RunMeta{
+		ID:           hex.EncodeToString(hash.Sum(nil)),
+		Name:         stream.Profile().Name,
+		Format:       stream.Format(),
+		Compressed:   stream.Compressed(),
+		Records:      stream.TotalRecords(),
+		Blocks:       stream.TotalBlocks(),
+		Bytes:        size.n,
+		FinalClock:   stream.Profile().FinalClock,
+		ReceivedUnix: time.Now().Unix(),
+	}
+	if err := tmp.Close(); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	dup, err := s.commit(meta, tmpName, rep)
+	if err != nil {
+		return nil, err
+	}
+	res := &IngestResult{Meta: meta, Duplicate: dup}
+	if !dup {
+		res.Report = rep
+	}
+	return res, nil
+}
+
+// ingestStream drives the block pipeline: the main goroutine pulls blocks
+// off the stream while the pool decodes and aggregates them; per-block
+// accumulators merge in block order, so the report is byte-identical to
+// drag.AnalyzeLog (and hence to a serial pass).
+func ingestStream(r io.Reader, workers int) (*drag.Report, *profile.LogStream, error) {
+	stream, err := profile.OpenLogStream(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	p := stream.Profile()
+	var (
+		mu       sync.Mutex
+		parts    = make(map[int]*drag.Accumulator)
+		firstErr error
+	)
+	setErr := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	blocks := make(chan *profile.Block, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for blk := range blocks {
+				recs, err := blk.Decode()
+				if err != nil {
+					setErr(err)
+					continue
+				}
+				acc := drag.NewAccumulator(p, drag.Options{})
+				for _, r := range recs {
+					acc.Add(r)
+				}
+				mu.Lock()
+				parts[blk.Index] = acc
+				mu.Unlock()
+			}
+		}()
+	}
+	nblocks := 0
+	for {
+		blk, err := stream.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			setErr(err)
+			break
+		}
+		nblocks++
+		blocks <- blk
+	}
+	close(blocks)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, nil, firstErr
+	}
+	acc := drag.NewAccumulator(p, drag.Options{})
+	for i := 0; i < nblocks; i++ {
+		part, ok := parts[i]
+		if !ok {
+			return nil, nil, fmt.Errorf("store: block %d missing from sharded ingest", i)
+		}
+		acc.Merge(part)
+	}
+	return acc.Report(), stream, nil
+}
+
+// salvageSpool handles a damaged upload: re-reads the spooled prefix, runs
+// profile.SalvageLog over it, and — when anything was recoverable — stores
+// the salvaged profile re-encoded as an uncompressed binary log. The
+// stored records are exactly SalvageLog's output.
+func (s *Store) salvageSpool(tmp *os.File, tmpName string, workers int) (*IngestResult, error) {
+	if err := tmp.Close(); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	data, err := os.ReadFile(tmpName)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	p, sr, serr := profile.SalvageLog(bytes.NewReader(data))
+	if serr != nil || len(p.Records) == 0 {
+		// Header/tables damaged or nothing before the first fault:
+		// nothing storable, only the report survives.
+		return &IngestResult{Salvage: sr}, nil
+	}
+	var buf bytes.Buffer
+	if err := profile.WriteBinaryLog(&buf, p, profile.BinaryOptions{}); err != nil {
+		return nil, fmt.Errorf("store: re-encoding salvaged run: %w", err)
+	}
+	rep := drag.AnalyzeParallel(p, drag.Options{}, workers)
+	sum := sha256.Sum256(buf.Bytes())
+	meta := &RunMeta{
+		ID:           hex.EncodeToString(sum[:]),
+		Name:         p.Name,
+		Format:       sr.Format,
+		Compressed:   sr.Compressed,
+		Records:      sr.RecordsRecovered,
+		Blocks:       sr.BlocksRecovered,
+		Bytes:        int64(buf.Len()),
+		FinalClock:   p.FinalClock,
+		Salvaged:     true,
+		Salvage:      sr,
+		ReceivedUnix: time.Now().Unix(),
+	}
+	enc, err := os.CreateTemp(filepath.Join(s.root, "tmp"), "salvage-*.spool")
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	encName := enc.Name()
+	defer os.Remove(encName)
+	if _, err := enc.Write(buf.Bytes()); err != nil {
+		enc.Close()
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	if err := enc.Close(); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	dup, err := s.commit(meta, encName, rep)
+	if err != nil {
+		return nil, err
+	}
+	res := &IngestResult{Meta: meta, Salvage: sr, Duplicate: dup}
+	if !dup {
+		res.Report = rep
+	}
+	return res, nil
+}
+
+// commit renames the spooled log into place and persists the metadata and
+// canonical dump. Duplicate ids are detected under the lock; the first
+// writer wins and later identical uploads are reported as duplicates.
+func (s *Store) commit(meta *RunMeta, spoolPath string, rep *drag.Report) (duplicate bool, err error) {
+	s.mu.Lock()
+	if existing, ok := s.runs[meta.ID]; ok {
+		s.mu.Unlock()
+		*meta = *existing
+		return true, nil
+	}
+	s.mu.Unlock()
+
+	if err := os.Rename(spoolPath, s.logPath(meta.ID)); err != nil {
+		return false, fmt.Errorf("store: %w", err)
+	}
+	if err := writeFileAtomic(filepath.Join(s.root, "runs", meta.ID+".canonical"), rep.CanonicalDump()); err != nil {
+		return false, err
+	}
+	mj, err := json.MarshalIndent(meta, "", "  ")
+	if err != nil {
+		return false, fmt.Errorf("store: %w", err)
+	}
+	if err := writeFileAtomic(filepath.Join(s.root, "runs", meta.ID+".json"), append(mj, '\n')); err != nil {
+		return false, err
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if existing, ok := s.runs[meta.ID]; ok {
+		// A concurrent identical upload won the race; the files we wrote
+		// are byte-identical, so adopting the existing meta is safe.
+		*meta = *existing
+		return true, nil
+	}
+	s.runs[meta.ID] = meta
+	s.bytes += meta.Bytes
+	s.dirty[meta.Name] = true
+	return false, nil
+}
+
+func writeFileAtomic(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	name := tmp.Name()
+	defer os.Remove(name)
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(name, path); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+type countWriter struct{ n int64 }
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	c.n += int64(len(p))
+	return len(p), nil
+}
+
+// runNames returns the set of workload names present (caller need not hold
+// the lock).
+func (s *Store) runNames() map[string]bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make(map[string]bool)
+	for _, m := range s.runs {
+		names[m.Name] = true
+	}
+	return names
+}
+
+// runIDs lists the ids of a workload's runs, sorted (the compactor's
+// deterministic merge order). Caller must not hold the lock.
+func (s *Store) runIDs(name string) []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.runIDsLocked(name)
+}
+
+func (s *Store) runIDsLocked(name string) []string {
+	var ids []string
+	for id, m := range s.runs {
+		if m.Name == name {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+func sameRunSet(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
