@@ -15,6 +15,7 @@ import (
 	"os"
 
 	"dragprof/internal/bytecode"
+	"dragprof/internal/cli"
 	"dragprof/internal/drag"
 	"dragprof/internal/lint"
 	"dragprof/internal/mj"
@@ -24,13 +25,17 @@ import (
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	sites := flag.Int("sites", 20, "maximum number of drag-hot sites to rewrite")
 	interval := flag.Int64("interval", 100<<10, "deep-GC interval in allocated bytes")
 	flag.Parse()
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "usage: dragfix [flags] file.mj...")
 		flag.PrintDefaults()
-		os.Exit(2)
+		return cli.ExitUsage
 	}
 
 	names := flag.Args()
@@ -38,24 +43,24 @@ func main() {
 	for _, name := range names {
 		text, err := os.ReadFile(name)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		sources[name] = string(text)
 	}
 
-	compileAll := func() *bytecode.Program {
+	compileAll := func() (*bytecode.Program, error) {
 		p, _, err := mj.CompileWithStdlib(names, sources)
-		if err != nil {
-			fatal(err)
-		}
-		return p
+		return p, err
 	}
 
 	// Profile the original.
-	orig := compileAll()
+	orig, err := compileAll()
+	if err != nil {
+		return fail(err)
+	}
 	origProf, _, err := profile.Run(orig, "original", vm.Config{GCInterval: *interval})
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	origRep := drag.Analyze(origProf, drag.Options{})
 	fmt.Printf("original: %.4f MB² reachable, %.4f MB² drag\n",
@@ -70,10 +75,13 @@ func main() {
 	}
 
 	// Apply the automatic rewrites to a fresh compile.
-	target := compileAll()
+	target, err := compileAll()
+	if err != nil {
+		return fail(err)
+	}
 	actions, err := transform.AutoTransform(target, origRep, *sites)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	applied := 0
 	for _, a := range actions {
@@ -86,21 +94,22 @@ func main() {
 	}
 	if applied == 0 {
 		fmt.Println("no rewrites validated; program unchanged")
-		return
+		return cli.ExitOK
 	}
 
 	// Re-profile and report.
 	newProf, _, err := profile.Run(target, "rewritten", vm.Config{GCInterval: *interval})
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	newRep := drag.Analyze(newProf, drag.Options{})
 	cmp := drag.Compare(origRep, newRep)
 	fmt.Printf("rewritten: %.4f MB² reachable\n", drag.MB2(newRep.ReachableIntegral))
 	fmt.Printf("space saving %.2f%%, drag saving %.2f%%\n", cmp.SpaceSavingPct, cmp.DragSavingPct)
+	return cli.ExitOK
 }
 
-func fatal(err error) {
+func fail(err error) int {
 	fmt.Fprintln(os.Stderr, "dragfix:", err)
-	os.Exit(1)
+	return cli.ExitFailure
 }

@@ -1,0 +1,135 @@
+// Command dragpilot is the fleet autofix loop: it pulls the drag-hot
+// allocation sites a dragserved instance has accumulated across runs, asks
+// the static analyses (one batch-proved pass per program) which of the
+// paper's rewrites are sound, applies the proved and validated ones, re-runs
+// the rewritten benchmarks, pushes the after-profiles back, and reports the
+// reachable-but-dead gap each rewrite closed. Plausible-but-unproved sites
+// come out as SARIF suggestions with stable fingerprints; handing the log
+// back via -baseline suppresses everything already triaged, so CI can gate
+// on *new* findings only.
+//
+// Exit codes: 0 success, 1 failure, 2 usage, 7 server unreachable,
+// 8 findings (new un-baselined findings under -fail-on-new, or a drag
+// saving below -min-drag-saving).
+//
+// Usage:
+//
+//	dragpilot -server URL [-workloads euler,jack] [-top n] [-out dir]
+//	          [-baseline old.sarif] [-push] [-interval bytes] [-heap bytes]
+//	          [-min-drag-saving pct] [-fail-on-new]
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"dragprof/internal/cli"
+	"dragprof/internal/pilot"
+	"dragprof/internal/report"
+	"dragprof/internal/server"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	serverURL := flag.String("server", "", "dragserved base URL (required)")
+	workloads := flag.String("workloads", "", "comma-separated benchmark names (default: every served workload)")
+	top := flag.Int("top", 10, "drag-hot sites per workload sent to the prover")
+	out := flag.String("out", "", "artifact directory for findings.sarif and gap.txt (default: stdout only)")
+	baselinePath := flag.String("baseline", "", "SARIF log whose fingerprints suppress known findings")
+	push := flag.Bool("push", true, "push the rewritten-run profiles back and diff server-side")
+	interval := flag.Int64("interval", 0, "deep-GC interval for the re-profiling runs (default: the benchmark default)")
+	heap := flag.Int64("heap", 0, "heap capacity for the re-profiling runs (default 48 MB)")
+	minSaving := flag.Float64("min-drag-saving", 0, "exit 8 unless every swept workload saves at least this drag percentage")
+	failOnNew := flag.Bool("fail-on-new", false, "exit 8 when un-baselined findings remain")
+	flag.Parse()
+	if *serverURL == "" || flag.NArg() > 0 {
+		fmt.Fprintln(os.Stderr, "usage: dragpilot -server URL [flags]")
+		flag.PrintDefaults()
+		return cli.ExitUsage
+	}
+
+	opts := pilot.Options{
+		Client:     server.NewClient(*serverURL),
+		Top:        *top,
+		GCInterval: *interval,
+		HeapBytes:  *heap,
+		Push:       *push,
+		Log:        os.Stderr,
+	}
+	if *workloads != "" {
+		for _, w := range strings.Split(*workloads, ",") {
+			if w = strings.TrimSpace(w); w != "" {
+				opts.Workloads = append(opts.Workloads, w)
+			}
+		}
+	}
+	if *baselinePath != "" {
+		data, err := os.ReadFile(*baselinePath)
+		if err != nil {
+			return fail(err, cli.ExitFailure)
+		}
+		b, err := report.ReadBaseline(data)
+		if err != nil {
+			return fail(err, cli.ExitFailure)
+		}
+		opts.Baseline = b
+		fmt.Fprintf(os.Stderr, "dragpilot: baseline %s holds %d fingerprints\n", *baselinePath, b.Size())
+	}
+
+	res, err := pilot.Run(context.Background(), opts)
+	if err != nil {
+		if errors.Is(err, server.ErrUnreachable) {
+			return fail(err, cli.ExitNetwork)
+		}
+		return fail(err, cli.ExitFailure)
+	}
+
+	pilot.GapText(os.Stdout, res)
+	fmt.Fprintf(os.Stderr, "dragpilot: %d findings (%d new, %d baselined); prover ran %d analyses for %d site queries (%d cache hits)\n",
+		res.NewFindings+res.Suppressed, res.NewFindings, res.Suppressed,
+		res.Stats.AnalysisRuns, res.Stats.SiteQueries, res.Stats.CacheHits)
+
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			return fail(err, cli.ExitFailure)
+		}
+		if err := os.WriteFile(filepath.Join(*out, "findings.sarif"), []byte(res.SARIF), 0o644); err != nil {
+			return fail(err, cli.ExitFailure)
+		}
+		var gap strings.Builder
+		pilot.GapText(&gap, res)
+		if err := os.WriteFile(filepath.Join(*out, "gap.txt"), []byte(gap.String()), 0o644); err != nil {
+			return fail(err, cli.ExitFailure)
+		}
+		fmt.Fprintf(os.Stderr, "dragpilot: artifacts written to %s\n", *out)
+	}
+
+	code := cli.ExitOK
+	if *minSaving > 0 {
+		for _, wr := range res.Workloads {
+			if wr.DragSavingPct < *minSaving {
+				fmt.Fprintf(os.Stderr, "dragpilot: %s saved %.1f%% drag, below the %.1f%% floor\n",
+					wr.Workload, wr.DragSavingPct, *minSaving)
+				code = cli.ExitFindings
+			}
+		}
+	}
+	if *failOnNew && res.NewFindings > 0 {
+		fmt.Fprintf(os.Stderr, "dragpilot: %d new findings not in the baseline\n", res.NewFindings)
+		code = cli.ExitFindings
+	}
+	return code
+}
+
+func fail(err error, code int) int {
+	fmt.Fprintln(os.Stderr, "dragpilot:", err)
+	return code
+}

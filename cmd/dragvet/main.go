@@ -24,6 +24,7 @@ import (
 	"strings"
 
 	"dragprof/internal/bench"
+	"dragprof/internal/cli"
 	"dragprof/internal/drag"
 	"dragprof/internal/lint"
 	"dragprof/internal/mj"
@@ -32,6 +33,10 @@ import (
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	benchName := flag.String("bench", "", "lint a named benchmark instead of source files (or 'all')")
 	format := flag.String("format", "text", "output format: text, json or sarif")
 	against := flag.String("against", "", "cross-validate findings against a drag log written by dragprof")
@@ -42,38 +47,40 @@ func main() {
 	minConf := flag.Float64("minconf", 0, "minimum confidence for a static finding to count as a prediction")
 	pointsTo := flag.Bool("pointsto", false, "print points-to solver diagnostics and proved heap kills")
 	maxConfFail := flag.Float64("max-confidence-fail", 0,
-		"exit with status 3 if any finding's confidence is at or above this threshold (0 disables); CI gate")
+		"exit with status 8 if any finding's confidence is at or above this threshold (0 disables); CI gate")
 	flag.Parse()
 
 	switch *format {
 	case "text", "json", "sarif":
 	default:
-		fatal(fmt.Errorf("unknown format %q (want text, json or sarif)", *format))
+		return fail(fmt.Errorf("unknown format %q (want text, json or sarif)", *format))
 	}
 	opts := lint.CrossOptions{TopN: *top, MinShare: *minShare, MinConfidence: *minConf}
 
 	if *benchName != "" {
 		if flag.NArg() != 0 {
-			fatal(fmt.Errorf("-bench and source files are mutually exclusive"))
+			return fail(fmt.Errorf("-bench and source files are mutually exclusive"))
 		}
 		targets := bench.All()
 		if *benchName != "all" {
 			b, err := bench.ByName(*benchName)
 			if err != nil {
-				fatal(err)
+				return fail(err)
 			}
 			targets = []*bench.Benchmark{b}
 		}
 		for _, b := range targets {
 			cp, err := b.Compile(bench.Original, bench.OriginalInput)
 			if err != nil {
-				fatal(err)
+				return fail(err)
 			}
 			res := lint.Run(cp.Program)
 			if len(targets) > 1 && *format == "text" {
 				fmt.Printf("== %s ==\n", b.Name)
 			}
-			render(res.Findings)
+			if err := render(res.Findings); err != nil {
+				return fail(err)
+			}
 			if *pointsTo {
 				pointsToDiagnostics(res)
 			}
@@ -82,19 +89,20 @@ func main() {
 				rr, err := bench.Run(b, bench.Original, bench.OriginalInput,
 					bench.RunConfig{GCInterval: *interval})
 				if err != nil {
-					fatal(err)
+					return fail(err)
 				}
-				crossReport(res.Findings, rr.Report, opts)
+				if err := crossReport(res.Findings, rr.Report, opts); err != nil {
+					return fail(err)
+				}
 			}
 		}
-		confidenceGate(*maxConfFail)
-		return
+		return confidenceGate(*maxConfFail)
 	}
 
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "usage: dragvet [flags] file.mj...  |  dragvet -bench name|all [flags]")
 		flag.PrintDefaults()
-		os.Exit(2)
+		return cli.ExitUsage
 	}
 
 	names := flag.Args()
@@ -102,16 +110,18 @@ func main() {
 	for _, name := range names {
 		text, err := os.ReadFile(name)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		sources[name] = string(text)
 	}
 	p, _, err := mj.CompileWithStdlib(names, sources)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	res := lint.Run(p)
-	render(res.Findings)
+	if err := render(res.Findings); err != nil {
+		return fail(err)
+	}
 	if *pointsTo {
 		pointsToDiagnostics(res)
 	}
@@ -120,23 +130,27 @@ func main() {
 	if *against != "" {
 		f, err := os.Open(*against)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		prof, err := profile.ReadLog(f)
 		f.Close()
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
-		crossReport(res.Findings, drag.Analyze(prof, drag.Options{}), opts)
+		if err := crossReport(res.Findings, drag.Analyze(prof, drag.Options{}), opts); err != nil {
+			return fail(err)
+		}
 	}
 	if *doProfile {
 		rep, err := profileProgram(names, sources, *interval)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
-		crossReport(res.Findings, rep, opts)
+		if err := crossReport(res.Findings, rep, opts); err != nil {
+			return fail(err)
+		}
 	}
-	confidenceGate(*maxConfFail)
+	return confidenceGate(*maxConfFail)
 }
 
 // maxConfidence tracks the highest-confidence finding across every lint
@@ -152,14 +166,16 @@ func noteConfidence(fs []lint.Finding) {
 }
 
 // confidenceGate turns dragvet into a CI check: with -max-confidence-fail
-// set, any finding at or above the threshold fails the build with a
-// distinct exit status (3, so scripts can tell a gate trip from a crash).
-func confidenceGate(threshold float64) {
+// set, any finding at or above the threshold fails the build with the
+// shared findings exit status, so scripts can tell a gate trip from a
+// crash.
+func confidenceGate(threshold float64) int {
 	if threshold > 0 && maxConfidence >= threshold {
 		fmt.Fprintf(os.Stderr, "dragvet: findings with confidence %.2f >= fail threshold %.2f\n",
 			maxConfidence, threshold)
-		os.Exit(3)
+		return cli.ExitFindings
 	}
+	return cli.ExitOK
 }
 
 // pointsToDiagnostics prints the solver's shape and the heap-liveness
@@ -195,7 +211,7 @@ func profileProgram(names []string, sources map[string]string, interval int64) (
 
 // render writes findings in the selected format. Multiple calls (bench
 // 'all' in text mode) are separated by the per-benchmark headers.
-func render(fs []lint.Finding) {
+func render(fs []lint.Finding) error {
 	var out string
 	var err error
 	switch flag.Lookup("format").Value.String() {
@@ -207,27 +223,29 @@ func render(fs []lint.Finding) {
 		out = lint.Text(fs)
 	}
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	fmt.Println(out)
+	return nil
 }
 
 // crossReport prints the static↔dynamic comparison in the selected format
 // (SARIF has no cross-validation shape, so it falls back to JSON).
-func crossReport(fs []lint.Finding, rep *drag.Report, opts lint.CrossOptions) {
+func crossReport(fs []lint.Finding, rep *drag.Report, opts lint.CrossOptions) error {
 	cr := lint.CrossValidate(fs, rep, opts)
 	if flag.Lookup("format").Value.String() == "text" {
 		fmt.Println(cr.Text())
-		return
+		return nil
 	}
 	data, err := json.MarshalIndent(cr, "", "  ")
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	fmt.Println(string(data))
+	return nil
 }
 
-func fatal(err error) {
+func fail(err error) int {
 	fmt.Fprintln(os.Stderr, "dragvet:", err)
-	os.Exit(1)
+	return cli.ExitFailure
 }

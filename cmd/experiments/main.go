@@ -18,9 +18,14 @@ import (
 	"runtime"
 
 	"dragprof/internal/bench"
+	"dragprof/internal/cli"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	table := flag.Int("table", 0, "regenerate only table N (1-5)")
 	figure := flag.Int("figure", 0, "regenerate only figure N (2)")
 	csv := flag.Bool("csv", false, "emit figure data as CSV instead of ASCII charts")
@@ -35,14 +40,15 @@ func main() {
 	// concurrently before the (serial, ordered) table rendering.
 	if all || *table >= 2 || *figure == 2 {
 		if err := e.Prewarm(*workers); err != nil {
-			fatal(err)
+			return fail(err)
 		}
 	}
 
+	code := cli.ExitOK
 	runTable := func(n int, f func() error) {
-		if all || *table == n {
+		if code == cli.ExitOK && (all || *table == n) {
 			if err := f(); err != nil {
-				fatal(err)
+				code = fail(err)
 			}
 		}
 	}
@@ -52,10 +58,13 @@ func main() {
 	runTable(4, func() error { return printTable(e.Table4) })
 	runTable(5, func() error { return printTable(e.Table5) })
 
+	if code != cli.ExitOK {
+		return code
+	}
 	if all || *figure == 2 {
 		panels, err := e.Figure2Panels(512)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		for _, p := range panels {
 			if *only != "" && p.Benchmark != *only {
@@ -68,6 +77,7 @@ func main() {
 			}
 		}
 	}
+	return code
 }
 
 func printTable[T interface{ String() string }](f func() (T, error)) error {
@@ -79,7 +89,7 @@ func printTable[T interface{ String() string }](f func() (T, error)) error {
 	return nil
 }
 
-func fatal(err error) {
+func fail(err error) int {
 	fmt.Fprintln(os.Stderr, "experiments:", err)
-	os.Exit(1)
+	return cli.ExitFailure
 }

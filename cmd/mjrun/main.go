@@ -12,9 +12,14 @@ import (
 	"os"
 
 	"dragprof"
+	"dragprof/internal/cli"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	heap := flag.Int64("heap", 48<<20, "heap capacity in bytes")
 	collector := flag.String("gc", "mark-sweep", "collector: mark-sweep, mark-compact or generational")
 	disasm := flag.Bool("disasm", false, "print disassembly instead of running")
@@ -23,24 +28,24 @@ func main() {
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "usage: mjrun [flags] file.mj...")
 		flag.PrintDefaults()
-		os.Exit(2)
+		return cli.ExitUsage
 	}
 
 	var sources []dragprof.Source
 	for _, name := range flag.Args() {
 		text, err := os.ReadFile(name)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		sources = append(sources, dragprof.Source{Name: name, Text: string(text)})
 	}
 	prog, err := dragprof.Compile(sources...)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	if *disasm {
 		fmt.Print(prog.Disassemble())
-		return
+		return cli.ExitOK
 	}
 	exec, err := prog.Run(dragprof.RunOptions{
 		HeapBytes: *heap,
@@ -48,16 +53,17 @@ func main() {
 		Out:       os.Stdout,
 	})
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	if *cost {
 		fmt.Fprintf(os.Stderr, "instructions=%d allocations=%d allocBytes=%d collections=%d runtimeUnits=%d\n",
 			exec.Cost.Instructions, exec.Cost.Allocations, exec.Cost.AllocBytes,
 			exec.Cost.Collections, exec.Cost.RuntimeUnits)
 	}
+	return cli.ExitOK
 }
 
-func fatal(err error) {
+func fail(err error) int {
 	fmt.Fprintln(os.Stderr, "mjrun:", err)
-	os.Exit(1)
+	return cli.ExitFailure
 }

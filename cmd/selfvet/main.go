@@ -1,0 +1,74 @@
+// Command selfvet runs the repo's own static checks (tools/analyzers) over
+// a source tree: the exit-code discipline check and the store lock
+// discipline check. CI runs it next to go vet; exit code 8 means findings.
+//
+// Usage:
+//
+//	selfvet [-format text|sarif] [dir]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dragprof/internal/cli"
+	"dragprof/internal/report"
+	"dragprof/tools/analyzers"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	format := flag.String("format", "text", "output format: text or sarif")
+	flag.Parse()
+	if flag.NArg() > 1 {
+		fmt.Fprintln(os.Stderr, "usage: selfvet [-format text|sarif] [dir]")
+		return cli.ExitUsage
+	}
+	root := "."
+	if flag.NArg() == 1 {
+		root = flag.Arg(0)
+	}
+
+	findings, err := analyzers.CheckDir(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "selfvet:", err)
+		return cli.ExitFailure
+	}
+
+	switch *format {
+	case "text":
+		for _, f := range findings {
+			fmt.Println(f)
+		}
+	case "sarif":
+		diags := make([]report.Diagnostic, 0, len(findings))
+		for _, f := range findings {
+			diags = append(diags, report.Diagnostic{
+				RuleID: f.Rule, Level: "error", Message: f.Message,
+				File: f.File, Line: f.Line,
+			})
+		}
+		out, err := report.SARIF("selfvet", "1", []report.RuleInfo{
+			{ID: "exitcheck", Description: "os.Exit only via internal/cli or the os.Exit(run()) trampoline"},
+			{ID: "storelock", Description: "store.Store guarded fields written only under the mutex"},
+		}, diags)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "selfvet:", err)
+			return cli.ExitFailure
+		}
+		fmt.Print(out)
+	default:
+		fmt.Fprintf(os.Stderr, "selfvet: unknown -format %q\n", *format)
+		return cli.ExitUsage
+	}
+
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "selfvet: %d findings\n", len(findings))
+		return cli.ExitFindings
+	}
+	return cli.ExitOK
+}

@@ -1,0 +1,86 @@
+package analysis_test
+
+import (
+	"strings"
+	"testing"
+
+	"dragprof/internal/analysis"
+	"dragprof/internal/bench"
+)
+
+// TestProverBatchAndCache: one batch query over every euler site runs the
+// analysis suite once, proves the paper's Mesh phase-kill, answers garbage
+// references with unknown-site, and answers a repeat batch (same program
+// content hash) entirely from the cache with identical verdicts.
+func TestProverBatchAndCache(t *testing.T) {
+	b, err := bench.ByName("euler")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := b.Compile(bench.Original, bench.OriginalInput)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var refs []analysis.SiteRef
+	for i := range cp.Program.Sites {
+		desc := cp.Program.Sites[i].Desc
+		if cut := strings.LastIndex(desc, " ("); cut >= 0 {
+			desc = desc[:cut]
+		}
+		refs = append(refs, analysis.SiteRef{Desc: desc})
+	}
+	refs = append(refs, analysis.SiteRef{Desc: "NoSuchClass.nowhere:999"})
+
+	pr := analysis.NewProver()
+	verdicts, err := pr.ProveSites(cp.Program, refs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(verdicts) != len(refs) {
+		t.Fatalf("got %d verdicts for %d refs", len(verdicts), len(refs))
+	}
+
+	provedKills := 0
+	for _, v := range verdicts {
+		if v.Status == analysis.VerdictProved && v.Kind == analysis.KindPhaseKill {
+			provedKills++
+			if v.MethodHash == "" {
+				t.Errorf("proved verdict for %q lacks a method hash", v.Ref.Desc)
+			}
+		}
+		if v.CacheHit {
+			t.Errorf("first batch claims a cache hit for %q", v.Ref.Desc)
+		}
+	}
+	if provedKills == 0 {
+		t.Error("no proved phase-kill in euler (the paper's Mesh.scratch rewrite)")
+	}
+	last := verdicts[len(verdicts)-1]
+	if last.Status != analysis.VerdictUnknown || last.Site != -1 {
+		t.Errorf("garbage ref resolved to %+v", last)
+	}
+
+	again, err := pr.ProveSites(cp.Program, refs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range again {
+		if !v.CacheHit {
+			t.Errorf("repeat batch missed the cache for %q", v.Ref.Desc)
+		}
+		w := verdicts[i]
+		v.CacheHit, w.CacheHit = false, false
+		if v != w {
+			t.Errorf("cached verdict differs for %q:\n  first  %+v\n  cached %+v", v.Ref.Desc, w, v)
+		}
+	}
+
+	stats := pr.Stats()
+	if stats.AnalysisRuns != 1 {
+		t.Errorf("analysis ran %d times for one program, want 1", stats.AnalysisRuns)
+	}
+	if stats.CacheHits != len(refs) {
+		t.Errorf("cache hits %d, want %d", stats.CacheHits, len(refs))
+	}
+}

@@ -1,0 +1,108 @@
+package bytecode
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"hash"
+	"sort"
+)
+
+// Content hashing for analysis-result caching: the batch prover keys its
+// cached verdicts by program and method content so that re-proving an
+// unchanged program (or locating an unchanged method across builds) costs a
+// hash, not a points-to run. The hash covers everything the static analyses
+// observe — instruction streams, exception tables, class layout, site
+// tables — and deliberately nothing they do not (no pointers, no map
+// iteration order), so two compiles of the same sources always agree.
+
+func hashString(h hash.Hash, s string) {
+	var n [4]byte
+	binary.LittleEndian.PutUint32(n[:], uint32(len(s)))
+	h.Write(n[:])
+	h.Write([]byte(s))
+}
+
+func hashInt32s(h hash.Hash, vs ...int32) {
+	var b [4]byte
+	for _, v := range vs {
+		binary.LittleEndian.PutUint32(b[:], uint32(v))
+		h.Write(b[:])
+	}
+}
+
+func hashMethod(h hash.Hash, p *Program, m *Method) {
+	hashString(h, m.Name)
+	hashInt32s(h, m.Class, int32(m.NumParams), int32(m.MaxLocals), int32(m.Flags))
+	if m.Class >= 0 && int(m.Class) < len(p.Classes) {
+		hashString(h, p.Classes[m.Class].Name)
+		hashString(h, p.Classes[m.Class].SourceFile)
+	}
+	hashInt32s(h, int32(len(m.Code)))
+	for _, in := range m.Code {
+		hashInt32s(h, int32(in.Op), in.A, in.B, in.Line)
+	}
+	hashInt32s(h, int32(len(m.Exceptions)))
+	for _, ex := range m.Exceptions {
+		hashInt32s(h, ex.From, ex.To, ex.Handler, ex.CatchClass)
+	}
+}
+
+// MethodHash returns the content hash of one method: its signature shape,
+// declaring class, instruction stream and exception table. Methods with
+// identical hashes are analyzed identically by every pass in
+// internal/analysis.
+func MethodHash(p *Program, m *Method) string {
+	h := sha256.New()
+	hashMethod(h, p, m)
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}
+
+// ProgramHash returns the content hash of a whole program: all class
+// layouts, all method bodies, the site table and the entry point. It is the
+// cache key for whole-program analysis results — equal hashes guarantee
+// equal points-to, liveness and kill proofs.
+func ProgramHash(p *Program) string {
+	h := sha256.New()
+	hashInt32s(h, p.Main, int32(len(p.Classes)), int32(len(p.Methods)), int32(len(p.Sites)))
+	for _, c := range p.Classes {
+		hashString(h, c.Name)
+		hashString(h, c.SourceFile)
+		hashInt32s(h, c.Super, c.NumFieldSlots, c.NumStaticSlots, c.HasInit)
+		hashInt32s(h, int32(len(c.Fields)))
+		for _, fd := range c.Fields {
+			hashString(h, fd.Name)
+			flags := int32(0)
+			if fd.Static {
+				flags |= 1
+			}
+			if fd.Ref {
+				flags |= 2
+			}
+			hashInt32s(h, fd.Slot, flags, int32(fd.Vis))
+		}
+		hashInt32s(h, int32(len(c.VTable)))
+		hashInt32s(h, c.VTable...)
+	}
+	for _, m := range p.Methods {
+		hashMethod(h, p, m)
+	}
+	for i := range p.Sites {
+		s := &p.Sites[i]
+		hashInt32s(h, s.Method, s.Line)
+		hashString(h, s.Desc)
+		hashString(h, s.What)
+	}
+	hashInt32s(h, p.StaticInits...)
+	// RuntimeSites participate in site numbering; hash them in name order.
+	names := make([]string, 0, len(p.RuntimeSites))
+	for name := range p.RuntimeSites {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		hashString(h, name)
+		hashInt32s(h, p.RuntimeSites[name])
+	}
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}

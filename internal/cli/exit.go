@@ -34,6 +34,10 @@ const (
 	// unreachable after every retry. The local drag log is intact; re-push
 	// when the server returns.
 	ExitNetwork = 7
+	// ExitFindings: the tool ran cleanly but found what it was gating on —
+	// new un-baselined findings, or a drag saving below the CI floor. The
+	// "tests failed" of the analysis tools.
+	ExitFindings = 8
 )
 
 // ClassifyRunError maps a VM run failure onto ExitBudget or ExitRuntime:

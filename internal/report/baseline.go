@@ -1,0 +1,122 @@
+package report
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"strconv"
+)
+
+// SARIF baseline support: every result carries a stable fingerprint so a
+// stored SARIF log can act as a suppression baseline — re-running a linter
+// over an unchanged tree reproduces the same fingerprints, and CI gates on
+// the results whose fingerprints are *not* in the baseline (the new
+// findings) instead of on the whole, historically-noisy list.
+
+// FingerprintKey names the fingerprint scheme in SARIF result objects
+// (the SARIF `fingerprints` property is a map from scheme name to value,
+// so the scheme can evolve without breaking stored baselines).
+const FingerprintKey = "dragprof/v1"
+
+// Fingerprint computes a diagnostic's stable result fingerprint: the
+// truncated SHA-256 of the rule id, the file, the strongest available
+// location anchor, and the message. Property anchors beat raw line
+// numbers: a `methodHash` property (the content hash of the bytecode
+// method hosting the finding) survives any edit elsewhere in the file, and
+// a `site` property survives reordering of overlapping lint passes. Line
+// numbers are the fallback for diagnostics carrying neither.
+func Fingerprint(d Diagnostic) string {
+	anchor := ""
+	if d.Properties != nil {
+		if mh, ok := d.Properties["methodHash"].(string); ok && mh != "" {
+			anchor = "m:" + mh
+		} else if site, ok := d.Properties["site"].(string); ok && site != "" {
+			anchor = "s:" + site
+		}
+	}
+	if anchor == "" {
+		anchor = "l:" + strconv.Itoa(d.Line)
+	}
+	h := sha256.New()
+	for _, part := range []string{d.RuleID, d.File, anchor, d.Message} {
+		fmt.Fprintf(h, "%d:%s|", len(part), part)
+	}
+	return hex.EncodeToString(h.Sum(nil)[:12])
+}
+
+// Baseline is a set of previously-reported result fingerprints, loaded
+// from a stored SARIF log.
+type Baseline struct {
+	fps map[string]bool
+}
+
+// NewBaseline builds a baseline from explicit fingerprints (tests).
+func NewBaseline(fps ...string) *Baseline {
+	b := &Baseline{fps: make(map[string]bool, len(fps))}
+	for _, fp := range fps {
+		b.fps[fp] = true
+	}
+	return b
+}
+
+// Size reports how many fingerprints the baseline holds.
+func (b *Baseline) Size() int {
+	if b == nil {
+		return 0
+	}
+	return len(b.fps)
+}
+
+// Has reports whether a fingerprint is suppressed by the baseline. A nil
+// baseline suppresses nothing.
+func (b *Baseline) Has(fp string) bool {
+	return b != nil && b.fps[fp]
+}
+
+// ReadBaseline parses a SARIF log into a baseline. Results that carry a
+// dragprof/v1 fingerprint contribute it directly; results from older logs
+// without one get a fingerprint recomputed from their rule, location and
+// message, so pre-fingerprint SARIF artifacts still work as baselines.
+func ReadBaseline(data []byte) (*Baseline, error) {
+	var log sarifLog
+	if err := json.Unmarshal(data, &log); err != nil {
+		return nil, fmt.Errorf("report: baseline is not a SARIF log: %w", err)
+	}
+	b := &Baseline{fps: make(map[string]bool)}
+	for _, run := range log.Runs {
+		for _, res := range run.Results {
+			if fp := res.Fingerprints[FingerprintKey]; fp != "" {
+				b.fps[fp] = true
+				continue
+			}
+			d := Diagnostic{RuleID: res.RuleID, Message: res.Message.Text, Properties: res.Properties}
+			if len(res.Locations) > 0 {
+				d.File = res.Locations[0].PhysicalLocation.ArtifactLocation.URI
+				if reg := res.Locations[0].PhysicalLocation.Region; reg != nil {
+					d.Line = reg.StartLine
+				}
+			}
+			b.fps[Fingerprint(d)] = true
+		}
+	}
+	return b, nil
+}
+
+// FilterNew splits diagnostics into the ones absent from the baseline
+// (new findings, order preserved) and a count of suppressed ones. A nil
+// baseline passes everything through.
+func FilterNew(diags []Diagnostic, b *Baseline) (fresh []Diagnostic, suppressed int) {
+	if b == nil {
+		return diags, 0
+	}
+	fresh = make([]Diagnostic, 0, len(diags))
+	for _, d := range diags {
+		if b.Has(Fingerprint(d)) {
+			suppressed++
+			continue
+		}
+		fresh = append(fresh, d)
+	}
+	return fresh, suppressed
+}

@@ -1,0 +1,105 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func diag(rule, file, msg string, line int) Diagnostic {
+	return Diagnostic{RuleID: rule, Level: "warning", Message: msg, File: file, Line: line}
+}
+
+// TestFingerprintStability: fingerprints depend on rule, file, anchor and
+// message — and prefer the methodHash property over the line number, so a
+// finding survives unrelated edits that shift lines.
+func TestFingerprintStability(t *testing.T) {
+	d := diag("suggest-lazy-alloc", "jack.mj", "mostly never used", 23)
+	if Fingerprint(d) != Fingerprint(d) {
+		t.Fatal("fingerprint not deterministic")
+	}
+	shifted := d
+	shifted.Line = 99
+	if Fingerprint(d) == Fingerprint(shifted) {
+		t.Error("line-anchored fingerprints should change when the line moves")
+	}
+
+	hashed := d
+	hashed.Properties = map[string]any{"methodHash": "abc123"}
+	hashedShifted := hashed
+	hashedShifted.Line = 99
+	if Fingerprint(hashed) != Fingerprint(hashedShifted) {
+		t.Error("methodHash-anchored fingerprint must survive line drift")
+	}
+	otherMethod := hashed
+	otherMethod.Properties = map[string]any{"methodHash": "def456"}
+	if Fingerprint(hashed) == Fingerprint(otherMethod) {
+		t.Error("different method content must change the fingerprint")
+	}
+
+	other := d
+	other.RuleID = "suggest-assign-null"
+	if Fingerprint(d) == Fingerprint(other) {
+		t.Error("rule id must be part of the fingerprint")
+	}
+}
+
+// TestSARIFDedup: identical results (same fingerprint) from overlapping
+// passes collapse to one SARIF result.
+func TestSARIFDedup(t *testing.T) {
+	d := diag("never-used", "euler.mj", "never used", 28)
+	out, err := SARIF("tool", "1", nil, []Diagnostic{d, d, diag("never-used", "euler.mj", "never used", 30)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(out, `"ruleId": "never-used"`); got != 2 {
+		t.Errorf("want 2 results after dedup (distinct lines), got %d:\n%s", got, out)
+	}
+}
+
+// TestBaselineRoundTrip: a SARIF log read back as a baseline suppresses
+// exactly the findings it holds, and SARIFWithOptions stamps baselineState.
+func TestBaselineRoundTrip(t *testing.T) {
+	known := diag("rule-a", "a.mj", "old finding", 1)
+	fresh := diag("rule-b", "b.mj", "new finding", 2)
+
+	out, err := SARIF("tool", "1", nil, []Diagnostic{known})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReadBaseline([]byte(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Size() != 1 || !b.Has(Fingerprint(known)) {
+		t.Fatalf("baseline did not round-trip the stored fingerprint (size %d)", b.Size())
+	}
+
+	newOnes, suppressed := FilterNew([]Diagnostic{known, fresh}, b)
+	if suppressed != 1 || len(newOnes) != 1 || newOnes[0].RuleID != "rule-b" {
+		t.Errorf("FilterNew split wrong: %d suppressed, fresh %v", suppressed, newOnes)
+	}
+
+	stamped, err := SARIFWithOptions("tool", "1", nil, []Diagnostic{known, fresh}, SARIFOptions{Baseline: b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stamped, `"baselineState": "unchanged"`) || !strings.Contains(stamped, `"baselineState": "new"`) {
+		t.Errorf("baseline states not stamped:\n%s", stamped)
+	}
+}
+
+// TestReadBaselineWithoutFingerprints: pre-fingerprint SARIF logs still
+// work — fingerprints are recomputed from rule, location and message.
+func TestReadBaselineWithoutFingerprints(t *testing.T) {
+	legacy := `{"version":"2.1.0","runs":[{"tool":{"driver":{"name":"old"}},
+	  "results":[{"ruleId":"rule-a","level":"warning",
+	    "message":{"text":"old finding"},
+	    "locations":[{"physicalLocation":{"artifactLocation":{"uri":"a.mj"},"region":{"startLine":1}}}]}]}]}`
+	b, err := ReadBaseline([]byte(legacy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.Has(Fingerprint(diag("rule-a", "a.mj", "old finding", 1))) {
+		t.Error("recomputed fingerprint does not match the equivalent diagnostic")
+	}
+}

@@ -78,11 +78,13 @@ type sarifText struct {
 }
 
 type sarifResult struct {
-	RuleID     string          `json:"ruleId"`
-	Level      string          `json:"level"`
-	Message    sarifText       `json:"message"`
-	Locations  []sarifLocation `json:"locations,omitempty"`
-	Properties map[string]any  `json:"properties,omitempty"`
+	RuleID        string            `json:"ruleId"`
+	Level         string            `json:"level"`
+	Message       sarifText         `json:"message"`
+	Locations     []sarifLocation   `json:"locations,omitempty"`
+	Fingerprints  map[string]string `json:"fingerprints,omitempty"`
+	BaselineState string            `json:"baselineState,omitempty"`
+	Properties    map[string]any    `json:"properties,omitempty"`
 }
 
 type sarifLocation struct {
@@ -102,10 +104,28 @@ type sarifRegion struct {
 	StartLine int `json:"startLine"`
 }
 
+// SARIFOptions tune SARIF rendering beyond the defaults.
+type SARIFOptions struct {
+	// Baseline, when set, stamps each result's baselineState: results
+	// whose fingerprint the baseline holds render as "unchanged", the
+	// rest as "new". The results themselves are all kept — consumers gate
+	// on baselineState (or pre-filter with FilterNew).
+	Baseline *Baseline
+}
+
 // SARIF renders diagnostics as a SARIF 2.1.0 log for editor and CI
 // integration. Rules not supplied are synthesized from the rule ids seen in
-// the diagnostics. Output is deterministic for a fixed input order.
+// the diagnostics. Every result carries its dragprof/v1 fingerprint, and
+// results with identical fingerprints — the same rule firing at the same
+// location with the same message, as overlapping lint passes produce — are
+// deduplicated, keeping the first. Output is deterministic for a fixed
+// input order.
 func SARIF(toolName, toolVersion string, rules []RuleInfo, diags []Diagnostic) (string, error) {
+	return SARIFWithOptions(toolName, toolVersion, rules, diags, SARIFOptions{})
+}
+
+// SARIFWithOptions is SARIF with baseline stamping.
+func SARIFWithOptions(toolName, toolVersion string, rules []RuleInfo, diags []Diagnostic, opts SARIFOptions) (string, error) {
 	if len(rules) == 0 {
 		seen := map[string]bool{}
 		for _, d := range diags {
@@ -130,12 +150,26 @@ func SARIF(toolName, toolVersion string, rules []RuleInfo, diags []Diagnostic) (
 		})
 	}
 	results := make([]sarifResult, 0, len(diags))
+	seen := make(map[string]bool, len(diags))
 	for _, d := range diags {
+		fp := Fingerprint(d)
+		if seen[fp] {
+			continue
+		}
+		seen[fp] = true
 		res := sarifResult{
-			RuleID:     d.RuleID,
-			Level:      sarifLevel(d.Level),
-			Message:    sarifText{Text: d.Message},
-			Properties: d.Properties,
+			RuleID:       d.RuleID,
+			Level:        sarifLevel(d.Level),
+			Message:      sarifText{Text: d.Message},
+			Fingerprints: map[string]string{FingerprintKey: fp},
+			Properties:   d.Properties,
+		}
+		if opts.Baseline != nil {
+			if opts.Baseline.Has(fp) {
+				res.BaselineState = "unchanged"
+			} else {
+				res.BaselineState = "new"
+			}
 		}
 		if d.File != "" {
 			loc := sarifLocation{PhysicalLocation: sarifPhysical{

@@ -1,0 +1,120 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"dragprof/internal/store"
+)
+
+// Client is the typed query client for a dragserved instance — the
+// consumer side of the /api/v1 surface that dragpilot (and any other fleet
+// tool) drives. Query failures at the network level wrap ErrUnreachable so
+// callers can map them onto the shared exit-code vocabulary
+// (cli.ExitNetwork); definitive server-side rejections are *RejectedError.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8357".
+	BaseURL string
+	// HTTP overrides the transport (tests); nil uses a 60s-timeout client.
+	HTTP *http.Client
+}
+
+// NewClient builds a client for a server base URL.
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/")}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return &http.Client{Timeout: 60 * time.Second}
+}
+
+// getJSON performs one GET and decodes the JSON reply into out.
+func (c *Client) getJSON(ctx context.Context, path string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, strings.TrimRight(c.BaseURL, "/")+path, nil)
+	if err != nil {
+		return fmt.Errorf("server client: %w", err)
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrUnreachable, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrUnreachable, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return &RejectedError{Status: resp.StatusCode, Response: &IngestResponse{
+			Error: strings.TrimSpace(string(body)),
+		}}
+	}
+	if err := json.Unmarshal(body, out); err != nil {
+		return fmt.Errorf("server client: %s: bad reply: %w", path, err)
+	}
+	return nil
+}
+
+// Runs lists the stored runs (GET /api/v1/runs).
+func (c *Client) Runs(ctx context.Context) ([]*store.RunMeta, error) {
+	var out []*store.RunMeta
+	if err := c.getJSON(ctx, "/api/v1/runs", &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Sites fetches the compacted cross-run site summaries
+// (GET /api/v1/sites), sorted by sortKey ("drag", "bytes", "objects" or
+// "neverused"; empty means drag). top > 0 caps the list server-side.
+func (c *Client) Sites(ctx context.Context, sortKey string, top int) ([]*store.SiteSummary, error) {
+	q := url.Values{}
+	if sortKey != "" {
+		q.Set("sort", sortKey)
+	}
+	if top > 0 {
+		q.Set("top", strconv.Itoa(top))
+	}
+	path := "/api/v1/sites"
+	if len(q) > 0 {
+		path += "?" + q.Encode()
+	}
+	var out []*store.SiteSummary
+	if err := c.getJSON(ctx, path, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Diff compares two stored runs (GET /api/v1/diff?base=&head=).
+func (c *Client) Diff(ctx context.Context, base, head string) (*DiffResponse, error) {
+	q := url.Values{}
+	q.Set("base", base)
+	q.Set("head", head)
+	var out DiffResponse
+	if err := c.getJSON(ctx, "/api/v1/diff?"+q.Encode(), &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// PushReader uploads one drag log held in memory, with the standard retry
+// loop (see Push). The bytes are replayed on each attempt.
+func (c *Client) PushReader(ctx context.Context, data []byte, opts PushOptions) (*IngestResponse, error) {
+	open := func() (io.ReadCloser, error) {
+		return io.NopCloser(strings.NewReader(string(data))), nil
+	}
+	if opts.Client == nil {
+		opts.Client = c.HTTP
+	}
+	return Push(ctx, c.BaseURL, open, opts)
+}

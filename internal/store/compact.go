@@ -50,7 +50,9 @@ func compactKey(name string) string {
 	return fmt.Sprintf("%x", []byte(name))
 }
 
-func (s *Store) loadCompacted() error {
+// loadCompactedLocked requires exclusive access to s (Open calls it before
+// the store is published; no other caller exists).
+func (s *Store) loadCompactedLocked() error {
 	paths, err := filepath.Glob(filepath.Join(s.root, "compact", "*.json"))
 	if err != nil {
 		return fmt.Errorf("store: %w", err)

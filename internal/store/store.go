@@ -162,7 +162,7 @@ func Open(dir string) (*Store, error) {
 		s.runs[m.ID] = &m
 		s.bytes += m.Bytes
 	}
-	if err := s.loadCompacted(); err != nil {
+	if err := s.loadCompactedLocked(); err != nil {
 		return nil, err
 	}
 	// Any workload whose compacted summary is missing or no longer covers

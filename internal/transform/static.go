@@ -2,10 +2,26 @@ package transform
 
 import (
 	"fmt"
+	"sort"
 
 	"dragprof/internal/analysis"
 	"dragprof/internal/bytecode"
 )
+
+// StaticOptions extend StaticTransform beyond the pure proof-only
+// rewrites.
+type StaticOptions struct {
+	// LazySites lists allocation sites — selected by profile evidence
+	// (drag-hot, mostly-never-used) — on which a *validated* lazy
+	// allocation should additionally be applied: the allocation must be a
+	// constructor field initialization whose delay the validator proves
+	// behavior-preserving (every load rerouted through a null-test
+	// guard). Safety is still static; only profitability comes from the
+	// profile, which is why these sites arrive as an explicit list
+	// instead of being discovered here. Unknown or non-candidate sites
+	// produce rejected actions, not errors.
+	LazySites []int32
+}
 
 // StaticTransform is the profile-free sibling of AutoTransform: it
 // applies only rewrites the static analyses *prove* safe — dead-code
@@ -16,6 +32,12 @@ import (
 //
 // The program is modified in place and re-verified afterwards.
 func StaticTransform(p *bytecode.Program) ([]Action, error) {
+	return StaticTransformOpts(p, StaticOptions{})
+}
+
+// StaticTransformOpts is StaticTransform plus the profile-gated validated
+// rewrites requested in opts.
+func StaticTransformOpts(p *bytecode.Program, opts StaticOptions) ([]Action, error) {
 	v := NewValidator(p)
 	pt := analysis.SolvePointsTo(p, v.CG)
 	hl := analysis.ComputeHeapLiveness(p, v.CG, pt)
@@ -55,6 +77,50 @@ func StaticTransform(p *bytecode.Program) ([]Action, error) {
 			act.Applied = true
 			act.Reason = fmt.Sprintf("kill on false edge of guard @%d (iv slot %d < %s) frees %d sites",
 				k.GuardPC, k.IVSlot, k.Bound, len(k.HeldSites))
+		}
+		actions = append(actions, act)
+	}
+
+	// Validated lazy allocations, last: LazyAllocateField may grow and
+	// reroute code, so the pc-stable edits above must already be in
+	// place. Sites are deduplicated and visited in id order so the edit
+	// sequence (and hence the transformed bytecode) is deterministic
+	// regardless of how the profile ranked them.
+	lazySeen := make(map[int32]bool, len(opts.LazySites))
+	lazySites := make([]int32, 0, len(opts.LazySites))
+	for _, site := range opts.LazySites {
+		if site >= 0 && int(site) < len(p.Sites) && !lazySeen[site] {
+			lazySeen[site] = true
+			lazySites = append(lazySites, site)
+		}
+	}
+	sort.Slice(lazySites, func(i, j int) bool { return lazySites[i] < lazySites[j] })
+	for _, site := range lazySites {
+		act := Action{Site: site, SiteDesc: p.Sites[site].Desc,
+			Strategy: "lazy allocation (validated, profile-selected)"}
+		stmt, err := DescribeSite(p, site)
+		if err != nil {
+			act.Reason = err.Error()
+			actions = append(actions, act)
+			continue
+		}
+		if !stmt.InCtor || stmt.Consumer != bytecode.PutField || !stmt.ReceiverIsThis {
+			act.Reason = "allocation is not a constructor field initialization"
+			actions = append(actions, act)
+			continue
+		}
+		if err := ValidateLazySite(v, stmt.FieldClass, stmt.FieldSlot, site); err != nil {
+			act.Reason = err.Error()
+			actions = append(actions, act)
+			continue
+		}
+		plan, err := LazyAllocateField(v, stmt.FieldClass, stmt.FieldSlot, site)
+		if err != nil {
+			act.Reason = err.Error()
+		} else {
+			act.Applied = true
+			act.Reason = fmt.Sprintf("guarded %d of %d loads; %d insertion points",
+				plan.Guarded, plan.Total, len(plan.Insertions))
 		}
 		actions = append(actions, act)
 	}

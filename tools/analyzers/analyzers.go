@@ -1,0 +1,263 @@
+// Package analyzers holds the repo's own static checks — the linter turned
+// on itself. Two rules, both born from real review friction:
+//
+//   - exitcheck: os.Exit anywhere except internal/cli (which owns the
+//     exit-code vocabulary) or the single `os.Exit(run())` trampoline in a
+//     command's func main. Scattered os.Exit calls skip deferred cleanup
+//     and fragment the exit-code contract documented in the README.
+//
+//   - storelock: writes to the store.Store fields guarded by its mutex
+//     (runs, bytes, dirty, compacted) from a function that neither takes
+//     the lock, nor declares lock-free access in its name (the *Locked
+//     suffix convention), nor constructed the store itself. Every store
+//     corruption bug so far has been exactly this shape.
+//
+// The checks are built on go/ast alone — no external analysis framework —
+// so they run anywhere the toolchain does, in the same spirit as
+// go/analysis single-pass analyzers: parse, walk, report positions.
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Finding is one rule violation.
+type Finding struct {
+	// File is the path relative to the checked root; Line the 1-based
+	// source line.
+	File string `json:"file"`
+	Line int    `json:"line"`
+	// Rule is "exitcheck" or "storelock".
+	Rule string `json:"rule"`
+	// Message describes the violation.
+	Message string `json:"message"`
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: %s: %s", f.File, f.Line, f.Rule, f.Message)
+}
+
+// guardedStoreFields are the store.Store fields its mutex protects.
+var guardedStoreFields = map[string]bool{
+	"runs": true, "bytes": true, "dirty": true, "compacted": true,
+}
+
+// CheckDir walks every non-test .go file under root (skipping vendor-ish
+// and hidden directories) and returns the findings sorted by file, line,
+// rule. A clean tree returns an empty, non-nil slice.
+func CheckDir(root string) ([]Finding, error) {
+	findings := []Finding{}
+	fset := token.NewFileSet()
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			// The root is never skipped, whatever its basename ("..", a
+			// dot-directory checkout, ...) happens to be.
+			if path != root && (strings.HasPrefix(name, ".") || name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			return nil
+		}
+		rel, relErr := filepath.Rel(root, path)
+		if relErr != nil {
+			rel = path
+		}
+		file, err := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
+		if err != nil {
+			return fmt.Errorf("analyzers: %w", err)
+		}
+		findings = append(findings, checkFile(fset, file, rel)...)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		if findings[i].File != findings[j].File {
+			return findings[i].File < findings[j].File
+		}
+		if findings[i].Line != findings[j].Line {
+			return findings[i].Line < findings[j].Line
+		}
+		return findings[i].Rule < findings[j].Rule
+	})
+	return findings, nil
+}
+
+// checkFile applies both rules to one parsed file.
+func checkFile(fset *token.FileSet, file *ast.File, rel string) []Finding {
+	var out []Finding
+	out = append(out, exitcheck(fset, file, rel)...)
+	out = append(out, storelock(fset, file, rel)...)
+	return out
+}
+
+// exitcheck flags os.Exit calls outside their two sanctioned homes.
+func exitcheck(fset *token.FileSet, file *ast.File, rel string) []Finding {
+	// internal/cli owns the vocabulary and may call os.Exit freely.
+	dir := filepath.ToSlash(filepath.Dir(rel))
+	if dir == "internal/cli" || strings.HasSuffix(dir, "/internal/cli") {
+		return nil
+	}
+	var out []Finding
+	for _, decl := range file.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Body == nil {
+			continue
+		}
+		// The trampoline: package main's func main may call os.Exit with
+		// a single function-call argument (`os.Exit(run())`), so the whole
+		// program funnels through one classified return code.
+		trampoline := file.Name.Name == "main" && fn.Name.Name == "main" && fn.Recv == nil
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isPkgCall(call, "os", "Exit") {
+				return true
+			}
+			if trampoline && len(call.Args) == 1 {
+				if _, isCall := call.Args[0].(*ast.CallExpr); isCall {
+					return true
+				}
+			}
+			out = append(out, Finding{
+				File: rel, Line: fset.Position(call.Pos()).Line,
+				Rule: "exitcheck",
+				Message: "os.Exit outside internal/cli; return an exit code through the" +
+					" os.Exit(run()) trampoline instead",
+			})
+			return true
+		})
+	}
+	return out
+}
+
+// storelock flags guarded store.Store field writes in functions that never
+// take the lock. The analysis is per-function and syntactic: a function is
+// exempt if its name ends in "Locked" (the caller-holds-the-lock
+// convention), if its body locks <recv>.mu, or if the mutated variable was
+// built in-function from a Store composite literal (a store nobody else
+// can see yet).
+func storelock(fset *token.FileSet, file *ast.File, rel string) []Finding {
+	if file.Name.Name != "store" {
+		return nil
+	}
+	var out []Finding
+	for _, decl := range file.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Body == nil || strings.HasSuffix(fn.Name.Name, "Locked") {
+			continue
+		}
+		locks := false
+		owned := map[string]bool{}
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if sel, ok := n.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Lock" {
+					if inner, ok := sel.X.(*ast.SelectorExpr); ok && inner.Sel.Name == "mu" {
+						locks = true
+					}
+				}
+			case *ast.AssignStmt:
+				for i, rhs := range n.Rhs {
+					if i < len(n.Lhs) && isStoreLiteral(rhs) {
+						if id, ok := n.Lhs[i].(*ast.Ident); ok {
+							owned[id.Name] = true
+						}
+					}
+				}
+			}
+			return true
+		})
+		if locks {
+			continue
+		}
+		report := func(pos token.Pos, field string) {
+			out = append(out, Finding{
+				File: rel, Line: fset.Position(pos).Line,
+				Rule: "storelock",
+				Message: fmt.Sprintf("write to Store.%s without holding mu;"+
+					" lock, or mark the function with the Locked suffix", field),
+			})
+		}
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					if field, target := guardedWrite(lhs); field != "" && !owned[target] {
+						report(lhs.Pos(), field)
+					}
+				}
+			case *ast.CallExpr:
+				if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "delete" && len(n.Args) > 0 {
+					if field, target := guardedWrite(n.Args[0]); field != "" && !owned[target] {
+						report(n.Pos(), field)
+					}
+				}
+			case *ast.IncDecStmt:
+				if field, target := guardedWrite(n.X); field != "" && !owned[target] {
+					report(n.Pos(), field)
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// guardedWrite reports whether an lvalue expression writes a guarded Store
+// field, returning the field and the root variable name ("" when not).
+// Handles s.field, s.field[k] and parenthesization.
+func guardedWrite(e ast.Expr) (field, target string) {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			id, ok := x.X.(*ast.Ident)
+			if !ok || !guardedStoreFields[x.Sel.Name] {
+				return "", ""
+			}
+			return x.Sel.Name, id.Name
+		default:
+			return "", ""
+		}
+	}
+}
+
+// isStoreLiteral matches `Store{...}` and `&Store{...}`.
+func isStoreLiteral(e ast.Expr) bool {
+	if u, ok := e.(*ast.UnaryExpr); ok && u.Op == token.AND {
+		e = u.X
+	}
+	cl, ok := e.(*ast.CompositeLit)
+	if !ok {
+		return false
+	}
+	id, ok := cl.Type.(*ast.Ident)
+	return ok && id.Name == "Store"
+}
+
+// isPkgCall matches a call of the form pkg.Name(...).
+func isPkgCall(call *ast.CallExpr, pkg, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	return ok && id.Name == pkg
+}

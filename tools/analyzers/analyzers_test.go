@@ -1,0 +1,140 @@
+package analyzers
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// write lays out a fixture tree and returns its root.
+func write(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for name, src := range files {
+		path := filepath.Join(root, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+func rules(fs []Finding) []string {
+	var out []string
+	for _, f := range fs {
+		out = append(out, f.Rule+"@"+f.File)
+	}
+	return out
+}
+
+func TestExitcheck(t *testing.T) {
+	root := write(t, map[string]string{
+		// Sanctioned: the trampoline.
+		"cmd/good/main.go": `package main
+import "os"
+func main() { os.Exit(run()) }
+func run() int { return 0 }
+`,
+		// Violation: bare exit outside main, and a literal-arg exit in main.
+		"cmd/bad/main.go": `package main
+import "os"
+func main() { os.Exit(2) }
+func helper() { os.Exit(1) }
+`,
+		// Sanctioned: internal/cli owns the vocabulary.
+		"internal/cli/exit.go": `package cli
+import "os"
+func Die() { os.Exit(1) }
+`,
+		// Test files are exempt (TestMain legitimately calls os.Exit).
+		"cmd/bad/main_test.go": `package main
+import ("os"; "testing")
+func TestMain(m *testing.M) { os.Exit(m.Run()) }
+`,
+	})
+	fs, err := CheckDir(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 2 {
+		t.Fatalf("want 2 exitcheck findings, got %v", rules(fs))
+	}
+	for _, f := range fs {
+		if f.Rule != "exitcheck" || f.File != filepath.Join("cmd", "bad", "main.go") {
+			t.Errorf("unexpected finding %v", f)
+		}
+	}
+}
+
+func TestStorelock(t *testing.T) {
+	root := write(t, map[string]string{
+		"internal/store/store.go": `package store
+import "sync"
+type RunMeta struct{ ID string; Bytes int64 }
+type Store struct {
+	mu    sync.Mutex
+	runs  map[string]*RunMeta
+	bytes int64
+	dirty map[string]bool
+}
+// Locked by convention: the caller holds mu (or exclusive access).
+func (s *Store) addLocked(m *RunMeta) {
+	s.runs[m.ID] = m
+	s.bytes += m.Bytes
+}
+// Locks: fine.
+func (s *Store) Add(m *RunMeta) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.runs[m.ID] = m
+	s.dirty[m.ID] = true
+}
+// Constructor mutating its own unpublished store: fine.
+func Open() *Store {
+	s := &Store{runs: map[string]*RunMeta{}, dirty: map[string]bool{}}
+	s.runs["x"] = nil
+	return s
+}
+// Violations: three unguarded writes.
+func (s *Store) Evict(id string) {
+	delete(s.runs, id)
+	s.bytes = 0
+	s.dirty[id] = false
+}
+// Reads alone are not flagged (the rule targets writes).
+func (s *Store) Peek(id string) *RunMeta { return s.runs[id] }
+`,
+		// Same shapes outside package store are ignored.
+		"internal/other/other.go": `package other
+type Store struct{ runs map[string]int }
+func (s *Store) Set() { s.runs["x"] = 1 }
+`,
+	})
+	fs, err := CheckDir(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 3 {
+		t.Fatalf("want 3 storelock findings, got %v", rules(fs))
+	}
+	for _, f := range fs {
+		if f.Rule != "storelock" || f.File != filepath.Join("internal", "store", "store.go") {
+			t.Errorf("unexpected finding %v", f)
+		}
+	}
+}
+
+// TestRepoIsClean turns the linter on the repository that ships it: the
+// tree must self-lint clean, and stay that way.
+func TestRepoIsClean(t *testing.T) {
+	fs, err := CheckDir(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range fs {
+		t.Errorf("%v", f)
+	}
+}
