@@ -29,6 +29,7 @@ import (
 	"dragprof/internal/lint"
 	"dragprof/internal/mj"
 	"dragprof/internal/profile"
+	"dragprof/internal/report"
 	"dragprof/internal/vm"
 )
 
@@ -48,7 +49,24 @@ func run() int {
 	pointsTo := flag.Bool("pointsto", false, "print points-to solver diagnostics and proved heap kills")
 	maxConfFail := flag.Float64("max-confidence-fail", 0,
 		"exit with status 8 if any finding's confidence is at or above this threshold (0 disables); CI gate")
+	baselinePath := flag.String("baseline", "", "SARIF log whose fingerprints suppress known findings")
+	failOnNew := flag.Bool("fail-on-new", false, "exit 8 when findings outside the -baseline remain")
 	flag.Parse()
+
+	if *baselinePath != "" {
+		data, err := os.ReadFile(*baselinePath)
+		if err != nil {
+			return fail(err)
+		}
+		baseline, err = report.ReadBaseline(data)
+		if err != nil {
+			return fail(fmt.Errorf("reading baseline %s: %w", *baselinePath, err))
+		}
+		fmt.Fprintf(os.Stderr, "dragvet: baseline %s holds %d fingerprints\n", *baselinePath, baseline.Size())
+	}
+	if *failOnNew && *baselinePath == "" {
+		return fail(fmt.Errorf("-fail-on-new requires -baseline"))
+	}
 
 	switch *format {
 	case "text", "json", "sarif":
@@ -96,7 +114,7 @@ func run() int {
 				}
 			}
 		}
-		return confidenceGate(*maxConfFail)
+		return confidenceGate(*maxConfFail, *failOnNew)
 	}
 
 	if flag.NArg() == 0 {
@@ -150,12 +168,17 @@ func run() int {
 			return fail(err)
 		}
 	}
-	return confidenceGate(*maxConfFail)
+	return confidenceGate(*maxConfFail, *failOnNew)
 }
 
 // maxConfidence tracks the highest-confidence finding across every lint
-// target, for the -max-confidence-fail CI gate.
-var maxConfidence float64
+// target, for the -max-confidence-fail CI gate. baseline and newFindings
+// carry the -baseline / -fail-on-new state the same way.
+var (
+	maxConfidence float64
+	baseline      *report.Baseline
+	newFindings   int
+)
 
 func noteConfidence(fs []lint.Finding) {
 	for _, f := range fs {
@@ -163,16 +186,25 @@ func noteConfidence(fs []lint.Finding) {
 			maxConfidence = f.Confidence
 		}
 	}
+	if baseline != nil {
+		fresh, _ := report.FilterNew(lint.Diagnostics(fs), baseline)
+		newFindings += len(fresh)
+	}
 }
 
 // confidenceGate turns dragvet into a CI check: with -max-confidence-fail
 // set, any finding at or above the threshold fails the build with the
 // shared findings exit status, so scripts can tell a gate trip from a
-// crash.
-func confidenceGate(threshold float64) int {
+// crash. With -fail-on-new, findings whose fingerprints the -baseline
+// SARIF does not hold fail the same way.
+func confidenceGate(threshold float64, failOnNew bool) int {
 	if threshold > 0 && maxConfidence >= threshold {
 		fmt.Fprintf(os.Stderr, "dragvet: findings with confidence %.2f >= fail threshold %.2f\n",
 			maxConfidence, threshold)
+		return cli.ExitFindings
+	}
+	if failOnNew && newFindings > 0 {
+		fmt.Fprintf(os.Stderr, "dragvet: %d new findings not in the baseline\n", newFindings)
 		return cli.ExitFindings
 	}
 	return cli.ExitOK
@@ -218,7 +250,10 @@ func render(fs []lint.Finding) error {
 	case "json":
 		out, err = lint.JSON(fs)
 	case "sarif":
-		out, err = lint.SARIF(fs)
+		// With a baseline, results carry baselineState (new/unchanged) so
+		// downstream consumers can gate without re-reading the old log.
+		out, err = report.SARIFWithOptions(lint.ToolName, lint.ToolVersion,
+			lint.Rules(fs), lint.Diagnostics(fs), report.SARIFOptions{Baseline: baseline})
 	default:
 		out = lint.Text(fs)
 	}

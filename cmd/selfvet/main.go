@@ -55,6 +55,7 @@ func run() int {
 		out, err := report.SARIF("selfvet", "1", []report.RuleInfo{
 			{ID: "exitcheck", Description: "os.Exit only via internal/cli or the os.Exit(run()) trampoline"},
 			{ID: "storelock", Description: "store.Store guarded fields written only under the mutex"},
+			{ID: "gotrack", Description: "goroutines in internal/server and internal/store tracked by the lifecycle WaitGroup"},
 		}, diags)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "selfvet:", err)

@@ -1,0 +1,97 @@
+// Command selfvettool adapts the repo's own analyzers (tools/analyzers) to
+// the `go vet -vettool` driver protocol, so CI runs one lint step:
+//
+//	go build -o bin/selfvettool ./cmd/selfvettool
+//	go vet -vettool=bin/selfvettool ./...
+//
+// The protocol (the hand-rolled equivalent of x/tools' unitchecker, which
+// this zero-dependency module cannot import): the driver first queries the
+// tool with -V=full (version stamp for the build cache) and -flags (JSON
+// flag descriptions), then invokes it once per package with a JSON config
+// file listing the unit's GoFiles. Dependency units arrive with VetxOnly
+// set and want only the facts file; for real targets the tool lints the
+// files, prints findings as file:line: messages on stderr, and exits 2 —
+// the driver turns that into a failed vet run.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+
+	"dragprof/tools/analyzers"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+// unitConfig is the subset of the driver's vet.cfg this tool consumes.
+type unitConfig struct {
+	ImportPath string   `json:"ImportPath"`
+	ModulePath string   `json:"ModulePath"`
+	GoFiles    []string `json:"GoFiles"`
+	VetxOnly   bool     `json:"VetxOnly"`
+	VetxOutput string   `json:"VetxOutput"`
+}
+
+func run() int {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: selfvettool -V=full | -flags | <unit>.cfg (invoked by go vet -vettool)")
+		return 2
+	}
+	switch arg := os.Args[1]; {
+	case arg == "-V=full":
+		// The driver hashes this line into its action cache key.
+		fmt.Println("selfvettool version 1")
+		return 0
+	case arg == "-flags":
+		fmt.Println("[]")
+		return 0
+	case strings.HasPrefix(arg, "-"):
+		fmt.Fprintf(os.Stderr, "selfvettool: unknown flag %s\n", arg)
+		return 2
+	default:
+		return checkUnit(arg)
+	}
+}
+
+func checkUnit(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "selfvettool:", err)
+		return 1
+	}
+	var cfg unitConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "selfvettool: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+	// The driver caches an (empty — these analyzers export no facts) vetx
+	// file per unit; write it first so even a findings exit leaves the
+	// cache consistent.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "selfvettool:", err)
+			return 1
+		}
+	}
+	// Dependency units (stdlib and friends) only want facts. Anything
+	// outside this module is not ours to lint either way.
+	if cfg.VetxOnly || (cfg.ModulePath != "" && cfg.ModulePath != "dragprof") {
+		return 0
+	}
+	findings, err := analyzers.CheckFiles(cfg.GoFiles)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "selfvettool:", err)
+		return 1
+	}
+	for _, f := range findings {
+		fmt.Fprintf(os.Stderr, "%s:%d: %s: %s\n", f.File, f.Line, f.Rule, f.Message)
+	}
+	if len(findings) > 0 {
+		return 2
+	}
+	return 0
+}

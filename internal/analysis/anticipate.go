@@ -327,6 +327,11 @@ func ComputeDominators(cfg *CFG) *Dominators {
 	return d
 }
 
+// Reachable reports whether block b can execute at all — an entry-reachable
+// walk over the CFG including exception edges. The optimizer's DCE pass
+// uses it to drop code no path reaches.
+func (d *Dominators) Reachable(b int) bool { return d.reach[b] }
+
 // Dominates reports whether block a dominates block b (reflexive).
 func (d *Dominators) Dominates(a, b int) bool {
 	if !d.reach[a] || !d.reach[b] {

@@ -1,0 +1,84 @@
+package analysis
+
+import "dragprof/internal/bytecode"
+
+// MonoCall describes one InvokeVirtual site that rapid type analysis proves
+// monomorphic: every receiver class the program can instantiate dispatches
+// the site's vtable slot to the same implementation.
+type MonoCall struct {
+	// Method is the enclosing (reachable) method id, PC the instruction
+	// index of the InvokeVirtual within it.
+	Method int32
+	PC     int
+	// DeclClass and VIndex are the instruction's operands: the static
+	// receiver class and the vtable slot.
+	DeclClass int32
+	VIndex    int32
+	// Target is the single implementation every possible receiver
+	// dispatches to.
+	Target int32
+	// PolymorphicShape is true when the declared class has at least two
+	// subtypes in the program: the dispatch looks polymorphic in the
+	// source and only whole-program evidence (RTA instantiation) shows it
+	// is not. The lint layer reports only these sites; the optimizer
+	// rewrites every monomorphic site either way.
+	PolymorphicShape bool
+}
+
+// MonomorphicCalls lists every InvokeVirtual in a reachable method whose
+// possible receivers — instantiated classes that are subtypes of the
+// declared class — all resolve the slot to one implementation. Sites with
+// no instantiated receiver at all are skipped (they can only raise
+// NullPointerException and are left alone). Results are ordered by
+// (method id, pc).
+func MonomorphicCalls(p *bytecode.Program, cg *CallGraph) []MonoCall {
+	// subtypeCount[c] = number of classes in the program that are c or a
+	// subclass of it, instantiated or not; it feeds PolymorphicShape.
+	subtypeCount := make([]int, len(p.Classes))
+	for _, c := range p.Classes {
+		for id := c.ID; id >= 0; id = p.Classes[id].Super {
+			subtypeCount[id]++
+		}
+	}
+	var out []MonoCall
+	for _, m := range p.Methods {
+		if !cg.Reachable[m.ID] {
+			continue
+		}
+		for pc, in := range m.Code {
+			if in.Op != bytecode.InvokeVirtual {
+				continue
+			}
+			target := int32(-1)
+			mono := true
+			for cid := range p.Classes {
+				class := int32(cid)
+				if !cg.Instantiated[class] || !p.IsSubclass(class, in.B) {
+					continue
+				}
+				vt := p.Classes[class].VTable
+				if int(in.A) >= len(vt) {
+					continue
+				}
+				t := vt[in.A]
+				if target < 0 {
+					target = t
+				} else if target != t {
+					mono = false
+					break
+				}
+			}
+			if mono && target >= 0 {
+				out = append(out, MonoCall{
+					Method:           m.ID,
+					PC:               pc,
+					DeclClass:        in.B,
+					VIndex:           in.A,
+					Target:           target,
+					PolymorphicShape: subtypeCount[in.B] > 1,
+				})
+			}
+		}
+	}
+	return out
+}

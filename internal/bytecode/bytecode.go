@@ -136,6 +136,17 @@ const (
 	// Counts as a use of the object.
 	MonitorExit
 
+	// RegionNewObject is NewObject (A = class id, B = site id) for an
+	// allocation the optimizer proved method-local: the VM additionally
+	// registers the object in the current frame's region, and frees it
+	// wholesale when the frame exits (normal return or unwinding) if it is
+	// still alive then. Emitted only by internal/opt; the compiler never
+	// produces it.
+	RegionNewObject
+	// RegionNewArray is NewArray (A = ElemKind, B = site id) with the same
+	// frame-region registration as RegionNewObject.
+	RegionNewArray
+
 	opCount
 )
 
@@ -158,6 +169,21 @@ var opNames = [...]string{
 	Not: "not", Dup: "dup", Pop: "pop", Swap: "swap",
 	Throw: "throw", MonitorEnter: "monitorenter", MonitorExit: "monitorexit",
 	CheckCast: "checkcast",
+	RegionNewObject: "region.new", RegionNewArray: "region.newarray",
+}
+
+// Base maps the region allocation opcodes to their plain forms (the operand
+// layouts are identical); every other opcode maps to itself. Analyses that
+// predate the optimizer reason over base opcodes only — see opt's
+// normalization step.
+func (op Op) Base() Op {
+	switch op {
+	case RegionNewObject:
+		return NewObject
+	case RegionNewArray:
+		return NewArray
+	}
+	return op
 }
 
 // String returns the mnemonic for the opcode.
@@ -286,9 +312,9 @@ func (in Instr) String() string {
 		CmpEQ, CmpNE, CmpLT, CmpLE, CmpGT, CmpGE, RefEQ, RefNE, Not,
 		Dup, Pop, Swap, Throw, MonitorEnter, MonitorExit:
 		return in.Op.String()
-	case GetField, PutField, GetStatic, PutStatic, NewObject, InvokeVirtual:
+	case GetField, PutField, GetStatic, PutStatic, NewObject, RegionNewObject, InvokeVirtual:
 		return fmt.Sprintf("%s %d %d", in.Op, in.A, in.B)
-	case NewArray:
+	case NewArray, RegionNewArray:
 		return fmt.Sprintf("%s %s site=%d", in.Op, ElemKind(in.A), in.B)
 	case CallBuiltin:
 		return fmt.Sprintf("%s %s", in.Op, Builtin(in.A))

@@ -71,7 +71,7 @@ func instrText(p *Program, m *Method, in Instr) string {
 		return fmt.Sprintf("%s slot=%d of %s", in.Op, in.A, className(p, in.B))
 	case GetStatic, PutStatic:
 		return fmt.Sprintf("%s %s.slot%d", in.Op, className(p, in.B), in.A)
-	case NewObject:
+	case NewObject, RegionNewObject:
 		return fmt.Sprintf("%s %s site=%d", in.Op, className(p, in.A), in.B)
 	case InvokeStatic, InvokeSpecial:
 		return fmt.Sprintf("%s %s", in.Op, methodDesc(p, in.A))
@@ -154,14 +154,17 @@ func verifyMethod(p *Program, m *Method) error {
 			if in.A < 0 || int(in.A) >= m.MaxLocals {
 				return fail(pc, "local slot %d out of range [0,%d)", in.A, m.MaxLocals)
 			}
-		case NewObject:
+		case NewObject, RegionNewObject:
 			if in.A < 0 || int(in.A) >= len(p.Classes) {
 				return fail(pc, "class id %d out of range", in.A)
 			}
 			if in.B < 0 || int(in.B) >= len(p.Sites) {
 				return fail(pc, "site id %d out of range", in.B)
 			}
-		case NewArray:
+			if in.Op == RegionNewObject && p.Classes[in.A].Finalizable {
+				return fail(pc, "region allocation of finalizable class %s", p.Classes[in.A].Name)
+			}
+		case NewArray, RegionNewArray:
 			if ElemKind(in.A) < ElemInt || ElemKind(in.A) > ElemRef {
 				return fail(pc, "bad element kind %d", in.A)
 			}

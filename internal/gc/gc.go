@@ -85,6 +85,15 @@ type Barrier interface {
 	WriteBarrier(dst heap.Handle, val heap.Handle)
 }
 
+// FreeObserver is implemented by collectors that want to hear about
+// mutator-initiated frees — the VM's frame-region reclamation of
+// escape-proved allocations. The object has already left the heap when
+// NoteFree runs; the observer only adjusts its own accounting (e.g. the
+// generational nursery budget).
+type FreeObserver interface {
+	NoteFree(h heap.Handle, o *heap.Object)
+}
+
 // markFrom traces the heap from the given worklist, marking every reachable
 // object, and returns the number marked. Objects already marked are skipped.
 func markFrom(hp *heap.Heap, work []heap.Handle) int64 {

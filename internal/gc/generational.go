@@ -59,6 +59,20 @@ func (c *Generational) NoteAlloc(_ heap.Handle, o *heap.Object) {
 // budget since the last minor cycle.
 func (c *Generational) NurseryFull() bool { return c.nurseryUsed >= c.NurserySize }
 
+// NoteFree implements FreeObserver: a region-freed young object no longer
+// occupies the nursery, so it stops counting toward the minor-cycle
+// trigger. (Young objects freed by the collector itself are accounted for
+// by the cycle's nurseryUsed reset instead.)
+func (c *Generational) NoteFree(_ heap.Handle, o *heap.Object) {
+	if o.InOld {
+		return
+	}
+	c.nurseryUsed -= o.Size
+	if c.nurseryUsed < 0 {
+		c.nurseryUsed = 0
+	}
+}
+
 // WriteBarrier implements Barrier: stores of young references into old
 // objects add the old object to the remembered set.
 func (c *Generational) WriteBarrier(dst heap.Handle, val heap.Handle) {

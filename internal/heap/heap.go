@@ -316,6 +316,22 @@ func (hp *Heap) Free(h Handle) {
 	hp.free = append(hp.free, h)
 }
 
+// FreeIfID reclaims the object behind h only when it is still live and its
+// AllocID equals id. This is the guard mutator-initiated reclamation (the
+// VM's frame regions) needs: between registration and the frame's exit the
+// collector may have freed the object and recycled the handle for an
+// unrelated allocation, which the id mismatch detects. It returns the freed
+// object (final state, as seen by the FreeListener) or nil when nothing was
+// freed.
+func (hp *Heap) FreeIfID(h Handle, id uint64) *Object {
+	o := hp.Lookup(h)
+	if o == nil || o.AllocID != id {
+		return nil
+	}
+	hp.Free(h)
+	return o
+}
+
 // ForEach calls f for every live object until f returns false. Iteration is
 // in handle order, which is deterministic.
 func (hp *Heap) ForEach(f func(Handle, *Object) bool) {

@@ -1,0 +1,52 @@
+package lint
+
+import (
+	"fmt"
+
+	"dragprof/internal/analysis"
+	"dragprof/internal/bytecode"
+)
+
+// monomorphicCallConfidence keeps the rule informational: well below the
+// 0.70 SARIF warning line and far below any CI confidence gate. The rewrite
+// is mechanical (cmd/dragopt performs it), so the finding is a pointer, not
+// an action item.
+const monomorphicCallConfidence = 0.30
+
+// MonomorphicCallFindings surfaces InvokeVirtual sites that rapid type
+// analysis proves monomorphic — dragopt's devirtualization opportunities —
+// as informational findings. Every such site pays vtable dispatch the
+// optimizer can delete outright; sites whose declared class has two or
+// more declared subtypes (a genuinely polymorphic shape collapsed by what
+// the program instantiates) are called out in the message. Shared by
+// dragvet (inside Run) and dragpilot (which builds its own call graph).
+func MonomorphicCallFindings(p *bytecode.Program, cg *analysis.CallGraph) []Finding {
+	var fs []Finding
+	for _, mc := range analysis.MonomorphicCalls(p, cg) {
+		if !userMethod(p, cg, mc.Method) {
+			continue
+		}
+		m := p.Methods[mc.Method]
+		decl := p.Classes[mc.DeclClass]
+		tgt := p.Methods[mc.Target]
+		callee := decl.Name + "." + decl.VTableNames[mc.VIndex]
+		shape := "single reachable implementation"
+		if mc.PolymorphicShape {
+			shape = "polymorphic shape collapsed to a single instantiated implementation"
+		}
+		fs = append(fs, Finding{
+			Rule:       RuleMonomorphicCall,
+			SiteID:     -1,
+			Method:     methodName(p, mc.Method),
+			MethodHash: bytecode.MethodHash(p, m),
+			Line:       int(m.Code[mc.PC].Line),
+			File:       sourceFile(p, mc.Method),
+			Message: fmt.Sprintf("virtual call %s has a %s (%s.%s);"+
+				" dragopt's devirt pass rewrites it to a direct call",
+				callee, shape, p.Classes[tgt.Class].Name, tgt.Name),
+			Confidence: monomorphicCallConfidence,
+			Rewrite:    "run dragopt (devirt pass) to rewrite the invokevirtual to a direct call",
+		})
+	}
+	return fs
+}

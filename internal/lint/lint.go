@@ -31,6 +31,7 @@ const (
 	RuleUnreadField     = "unread-field"
 	RuleHeapDeadField   = "heap-dead-field"
 	RuleHeapDeadElement = "heap-dead-element"
+	RuleMonomorphicCall = "monomorphic-call"
 )
 
 // Proof tiers: a "proved" finding is backed by a static soundness argument
@@ -56,6 +57,8 @@ var RuleDescriptions = map[string]string{
 		"its only uses, a null store frees the whole held object graph",
 	RuleHeapDeadElement: "array element vacated by a removal whose alias set the points-to analysis confines; " +
 		"nulling the slot frees the element object",
+	RuleMonomorphicCall: "virtual call with a single reachable implementation (RTA); dragopt's devirt pass " +
+		"rewrites it to a direct call",
 }
 
 // Guard is one load of a lazily allocated field with its guard decision.
@@ -81,10 +84,13 @@ type Finding struct {
 	// Site is the site's printable description ("Class.method:line
 	// (new X)"); it is the join key for cross-validation.
 	Site string `json:"site,omitempty"`
-	// Method, Line and File locate the finding in source.
-	Method string `json:"method,omitempty"`
-	Line   int    `json:"line,omitempty"`
-	File   string `json:"file,omitempty"`
+	// Method, Line and File locate the finding in source; MethodHash is
+	// the containing method's content hash, the line-drift-stable anchor
+	// the SARIF fingerprints prefer.
+	Method     string `json:"method,omitempty"`
+	MethodHash string `json:"method_hash,omitempty"`
+	Line       int    `json:"line,omitempty"`
+	File       string `json:"file,omitempty"`
 	// Message states the problem.
 	Message string `json:"message"`
 	// Confidence in [0,1]: how sure the analyses are that the rewrite is
@@ -147,6 +153,7 @@ func Run(p *bytecode.Program) *Result {
 	fs = append(fs, unreadFieldRule(p, usage)...)
 	fs = append(fs, heapDeadFieldRule(p, v, hl)...)
 	fs = append(fs, heapDeadElementRule(p, v, pt)...)
+	fs = append(fs, MonomorphicCallFindings(p, v.CG)...)
 
 	sort.Slice(fs, func(i, j int) bool {
 		a, b := fs[i], fs[j]

@@ -27,6 +27,9 @@ func Diagnostics(fs []Finding) []report.Diagnostic {
 			props["siteId"] = f.SiteID
 			props["site"] = f.Site
 		}
+		if f.MethodHash != "" {
+			props["methodHash"] = f.MethodHash
+		}
 		if f.Rewrite != "" {
 			props["rewrite"] = f.Rewrite
 		}

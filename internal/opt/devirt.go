@@ -1,0 +1,50 @@
+package opt
+
+import (
+	"fmt"
+
+	"dragprof/internal/analysis"
+	"dragprof/internal/bytecode"
+)
+
+// devirtPass rewrites RTA-monomorphic InvokeVirtual sites into direct
+// InvokeSpecial calls. Safety: the VM's InvokeSpecial path pops the same
+// argument count (overrides share the vtable slot's signature), performs
+// the same null check, emits the same UseInvoke event, and pushes the same
+// frame the dynamic dispatch would have chosen — RTA already proved only
+// one implementation is choosable. Reachability is preserved (the target
+// was already a call-graph edge), so re-running the pass finds nothing
+// new: the rewrite is idempotent.
+func devirtPass(p *bytecode.Program, res *Result) error {
+	view := normalize(p)
+	cg := analysis.BuildCallGraph(view)
+	for _, m := range view.Methods {
+		if !cg.Reachable[m.ID] {
+			continue
+		}
+		for _, in := range m.Code {
+			if in.Op == bytecode.InvokeVirtual {
+				res.Stats.VirtualSites++
+			}
+		}
+	}
+	for _, mc := range analysis.MonomorphicCalls(view, cg) {
+		m := p.Methods[mc.Method]
+		decl := p.Methods[p.Classes[mc.DeclClass].VTable[mc.VIndex]]
+		tgt := p.Methods[mc.Target]
+		if tgt.NumParams != decl.NumParams {
+			// Overrides share signatures, so this cannot happen in
+			// compiler output; skip rather than corrupt the stack.
+			continue
+		}
+		preHash := bytecode.MethodHash(p, m)
+		in := &m.Code[mc.PC]
+		*in = bytecode.Instr{Op: bytecode.InvokeSpecial, A: mc.Target, Line: in.Line}
+		res.Stats.Devirtualized++
+		res.Actions = append(res.Actions, action("devirt", p, m, preHash, mc.PC, -1,
+			fmt.Sprintf("virtual call %s.%s has a single RTA target %s; devirtualized to a direct call",
+				p.Classes[mc.DeclClass].Name, p.Classes[mc.DeclClass].VTableNames[mc.VIndex],
+				methodName(p, tgt))))
+	}
+	return nil
+}

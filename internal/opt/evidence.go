@@ -1,0 +1,64 @@
+package opt
+
+import (
+	"fmt"
+
+	"dragprof/internal/report"
+)
+
+// Rule ids under which optimizer actions surface in SARIF.
+const (
+	// RuleDevirt records a monomorphic call rewritten to a direct call.
+	RuleDevirt = "devirt-applied"
+	// RuleRegion records an escape-proved site converted to region
+	// allocation.
+	RuleRegion = "region-alloc"
+	// RuleDCE records dead-store nulling, redundant-null-store removal and
+	// unreachable-code deletion.
+	RuleDCE = "dce-applied"
+)
+
+// Rules describes the optimizer's SARIF rule table.
+func Rules() []report.RuleInfo {
+	return []report.RuleInfo{
+		{ID: RuleDevirt, Description: "invokevirtual site with a single RTA dispatch target rewritten to a direct call"},
+		{ID: RuleRegion, Description: "escape-proved method-local allocation converted to a frame-region allocation freed at method exit"},
+		{ID: RuleDCE, Description: "liveness/availability/dominator-proved dead bytecode rewritten or removed"},
+	}
+}
+
+// Diagnostics renders the evidence trail as report diagnostics, one per
+// action, in rewrite order. The methodHash property anchors the
+// dragprof/v1 fingerprint, so baselines survive line drift.
+func Diagnostics(res *Result) []report.Diagnostic {
+	out := make([]report.Diagnostic, 0, len(res.Actions))
+	for _, a := range res.Actions {
+		var rule string
+		switch a.Pass {
+		case "devirt":
+			rule = RuleDevirt
+		case "region":
+			rule = RuleRegion
+		default:
+			rule = RuleDCE
+		}
+		props := map[string]any{
+			"pass":       a.Pass,
+			"method":     a.MethodName,
+			"methodHash": a.MethodHash,
+			"pc":         a.PC,
+		}
+		if a.Site >= 0 {
+			props["site"] = fmt.Sprintf("site#%d", a.Site)
+		}
+		out = append(out, report.Diagnostic{
+			RuleID:     rule,
+			Level:      "note",
+			Message:    fmt.Sprintf("%s: %s", a.MethodName, a.Detail),
+			File:       a.File,
+			Line:       int(a.Line),
+			Properties: props,
+		})
+	}
+	return out
+}

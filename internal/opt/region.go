@@ -1,0 +1,68 @@
+package opt
+
+import (
+	"fmt"
+
+	"dragprof/internal/analysis"
+	"dragprof/internal/bytecode"
+)
+
+// regionPass converts allocation sites proved method-local into
+// frame-region allocations. A site qualifies when all of:
+//
+//   - the interprocedural escape analysis reports EscapeNone: the object
+//     never reaches a caller (return), a callee's persistent state (arg),
+//     a static, or a thrown exception (Throw raises EscapeGlobal);
+//   - the points-to solver proves no heap location at all can hold it
+//     (HeldOutside with no owner set), so cross-frame heap paths cannot
+//     resurrect it;
+//   - the class is not finalizable (a region free would skip the
+//     finalizer; arrays never have one).
+//
+// The VM frees surviving region objects when the allocating frame exits —
+// observationally invisible: nothing outside the frame can reach them, and
+// the only program-visible effect of earlier reclamation is *more* free
+// memory (Java permits arbitrarily eager collection of unreachable
+// objects). Sites already converted are not allocation opcodes in the base
+// view switch below, so the pass is idempotent.
+func regionPass(p *bytecode.Program, res *Result) error {
+	view := normalize(p)
+	cg := analysis.BuildCallGraph(view)
+	esc := analysis.ComputeEscape(view, cg)
+	pt := analysis.SolvePointsTo(view, cg)
+	for _, m := range p.Methods {
+		if !cg.Reachable[m.ID] {
+			continue
+		}
+		for pc := range m.Code {
+			in := &m.Code[pc]
+			var region bytecode.Op
+			switch in.Op {
+			case bytecode.NewObject:
+				region = bytecode.RegionNewObject
+			case bytecode.NewArray:
+				region = bytecode.RegionNewArray
+			default:
+				continue
+			}
+			res.Stats.AllocSites++
+			site := in.B
+			if esc.SiteEscape(site) != analysis.EscapeNone {
+				continue
+			}
+			if pt.HeldOutside(site, nil) {
+				continue
+			}
+			if in.Op == bytecode.NewObject && p.Classes[in.A].Finalizable {
+				continue
+			}
+			preHash := bytecode.MethodHash(p, m)
+			in.Op = region
+			res.Stats.RegionSites++
+			res.Actions = append(res.Actions, action("region", p, m, preHash, pc, site,
+				fmt.Sprintf("allocation site %s proved method-local (escape=none, no heap path);"+
+					" region-allocated, freed wholesale at frame exit", p.SiteDesc(site))))
+		}
+	}
+	return nil
+}

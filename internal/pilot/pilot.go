@@ -20,6 +20,7 @@ import (
 	"dragprof/internal/analysis"
 	"dragprof/internal/bench"
 	"dragprof/internal/drag"
+	"dragprof/internal/lint"
 	"dragprof/internal/profile"
 	"dragprof/internal/report"
 	"dragprof/internal/server"
@@ -68,6 +69,10 @@ type WorkloadResult struct {
 	// Applied the applied count.
 	Actions []transform.Action `json:"actions"`
 	Applied int                `json:"applied"`
+	// MonoCalls are the RTA-monomorphic virtual calls (dragopt's
+	// devirtualization opportunities), surfaced as informational
+	// monomorphic-call diagnostics.
+	MonoCalls []lint.Finding `json:"monoCalls,omitempty"`
 	// OutputIdentical reports that the rewritten program printed exactly
 	// the original's output — the safety oracle.
 	OutputIdentical bool `json:"outputIdentical"`
@@ -108,6 +113,7 @@ func Rules() []report.RuleInfo {
 		{ID: "suggest-write-only", Description: "object state is written but never read back; consider removing the allocation"},
 		{ID: "suggest-assign-null", Description: "the object stays confined to its allocating method; consider nulling the last holder"},
 		{ID: "suggest-lazy-alloc", Description: "most objects from the site are never used; consider lazy allocation"},
+		{ID: lint.RuleMonomorphicCall, Description: lint.RuleDescriptions[lint.RuleMonomorphicCall]},
 	}
 }
 
@@ -229,6 +235,11 @@ func runWorkload(ctx context.Context, opts Options, name string, sums []*store.S
 	if err != nil {
 		return nil, err
 	}
+	// Devirtualization opportunities ride along as informational findings:
+	// the prover's program copy is read-only, so the extra call graph here
+	// cannot disturb the cached analyses.
+	wr.MonoCalls = lint.MonomorphicCallFindings(cpProve.Program,
+		analysis.BuildCallGraph(cpProve.Program))
 
 	// Profile-selected lazy-allocation candidates: sites the prover could
 	// not prove outright, whose served use pattern says most objects are
@@ -384,6 +395,21 @@ func diagnose(wr *WorkloadResult) []report.Diagnostic {
 				File:    wr.Workload, Properties: props,
 			})
 		}
+	}
+	for _, f := range wr.MonoCalls {
+		out = append(out, report.Diagnostic{
+			RuleID:  f.Rule,
+			Level:   "note",
+			Message: fmt.Sprintf("%s: %s", wr.Workload, f.Message),
+			File:    f.File,
+			Line:    f.Line,
+			Properties: map[string]any{
+				"workload":   wr.Workload,
+				"method":     f.Method,
+				"methodHash": f.MethodHash,
+				"confidence": f.Confidence,
+			},
+		})
 	}
 	for _, v := range wr.Verdicts {
 		if v.Status != analysis.VerdictPlausible {

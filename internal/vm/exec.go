@@ -77,6 +77,28 @@ func (vm *VM) exec(f *frame, in bytecode.Instr) {
 		}
 		f.push(heap.RefValue(h))
 
+	case bytecode.RegionNewObject:
+		h, err := vm.allocObject(in.A, in.B, false)
+		if err != nil {
+			vm.throwOOM()
+			return
+		}
+		vm.noteRegion(f, h)
+		f.push(heap.RefValue(h))
+	case bytecode.RegionNewArray:
+		n := f.pop().I
+		if n < 0 {
+			vm.throwByName("NegativeArraySizeException", fmt.Sprintf("length %d", n))
+			return
+		}
+		h, err := vm.allocArray(bytecode.ElemKind(in.A), int(n), in.B, false)
+		if err != nil {
+			vm.throwOOM()
+			return
+		}
+		vm.noteRegion(f, h)
+		f.push(heap.RefValue(h))
+
 	case bytecode.ArrayLoad:
 		idx := f.pop().I
 		arr := f.pop()
@@ -317,7 +339,7 @@ func (vm *VM) invokeVirtual(f *frame, in bytecode.Instr) {
 // popReturn pops the current frame; the returned value goes to the caller's
 // operand stack, or to lastResult when the popped frame was a callSync base.
 func (vm *VM) popReturn(v heap.Value, hasValue bool) {
-	vm.frames = vm.frames[:len(vm.frames)-1]
+	vm.popFrame()
 	barrier := 0
 	if len(vm.barriers) > 0 {
 		barrier = vm.barriers[len(vm.barriers)-1]

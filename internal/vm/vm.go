@@ -71,15 +71,29 @@ type Cost struct {
 	AllocBytes int64
 	// Builtins counts builtin invocations.
 	Builtins int64
+	// RegionFrees counts objects reclaimed by frame-region exit (the
+	// optimizer's escape-proved allocations), RegionFreedBytes their bytes.
+	RegionFrees      int64
+	RegionFreedBytes int64
 	// GC is the collector's accumulated statistics.
 	GC gc.Stats
 }
 
 // RuntimeUnits folds the cost into a single scalar: one unit per
 // instruction, ten per allocation (header setup, zeroing amortized), one
-// per eight allocated bytes, plus collector work.
+// per eight allocated bytes, plus collector work. A region free costs one
+// unit, same as a sweep free, so optimized and baseline runs compare on
+// equal footing.
 func (c Cost) RuntimeUnits() int64 {
-	return c.Instructions + 10*c.Allocations + c.AllocBytes/8 + c.GC.Work()
+	return c.Instructions + 10*c.Allocations + c.AllocBytes/8 + c.RegionFrees + c.GC.Work()
+}
+
+// regionEntry records one frame-region allocation. The AllocID guards the
+// exit-time free against handles the collector already reclaimed and
+// recycled for unrelated objects.
+type regionEntry struct {
+	h  heap.Handle
+	id uint64
 }
 
 type frame struct {
@@ -89,6 +103,11 @@ type frame struct {
 	locals []heap.Value
 	stack  []heap.Value
 	chain  int32
+	// region lists this frame's escape-proved allocations
+	// (RegionNewObject/RegionNewArray); they are freed wholesale when the
+	// frame exits. The list is deliberately NOT a GC root: if the
+	// collector frees an entry first, the AllocID guard skips it.
+	region []regionEntry
 }
 
 func (f *frame) push(v heap.Value) { f.stack = append(f.stack, v) }
@@ -342,6 +361,45 @@ func (vm *VM) pushFrame(m *bytecode.Method, args []heap.Value, chain int32) {
 
 func (vm *VM) top() *frame { return vm.frames[len(vm.frames)-1] }
 
+// regionMaxEntries bounds per-frame region bookkeeping. Registration is an
+// optimization, never a requirement — an unregistered object simply stays
+// with the collector, exactly as before the optimizer ran — so overflowing
+// frames degrade gracefully instead of growing without bound.
+const regionMaxEntries = 1 << 16
+
+// noteRegion registers a fresh allocation in the frame's region.
+func (vm *VM) noteRegion(f *frame, h heap.Handle) {
+	if len(f.region) >= regionMaxEntries {
+		return
+	}
+	f.region = append(f.region, regionEntry{h: h, id: vm.hp.Get(h).AllocID})
+}
+
+// popFrame discards the top frame and reclaims its region wholesale, in
+// reverse allocation order. Every frame exit — normal return or exception
+// unwinding — funnels through here.
+func (vm *VM) popFrame() {
+	f := vm.frames[len(vm.frames)-1]
+	vm.frames = vm.frames[:len(vm.frames)-1]
+	if len(f.region) == 0 {
+		return
+	}
+	obs, _ := vm.col.(gc.FreeObserver)
+	for i := len(f.region) - 1; i >= 0; i-- {
+		e := f.region[i]
+		o := vm.hp.FreeIfID(e.h, e.id)
+		if o == nil {
+			continue
+		}
+		if obs != nil {
+			obs.NoteFree(e.h, o)
+		}
+		vm.cost.RegionFrees++
+		vm.cost.RegionFreedBytes += o.Size
+	}
+	f.region = nil
+}
+
 // fatal halts the VM with an unrecoverable error.
 func (vm *VM) fatal(format string, args ...any) {
 	vm.halted = true
@@ -575,7 +633,7 @@ func (vm *VM) throwHandle(exc heap.Handle) {
 			f.pc = int(ex.Handler)
 			return
 		}
-		vm.frames = vm.frames[:len(vm.frames)-1]
+		vm.popFrame()
 	}
 	name := "<unknown>"
 	if excClass >= 0 {

@@ -12,6 +12,13 @@
 //     suffix convention), nor constructed the store itself. Every store
 //     corruption bug so far has been exactly this shape.
 //
+//   - gotrack: goroutine launches in the long-lived service packages
+//     (internal/server, internal/store) that no lifecycle WaitGroup
+//     tracks. A `go` statement there must be immediately preceded by the
+//     owner's wg.Add(...) call — the shutdown path waits on that group,
+//     and an untracked goroutine is exactly the compactor-outliving-Close
+//     bug class the lifecycle helpers exist to prevent.
+//
 // The checks are built on go/ast alone — no external analysis framework —
 // so they run anywhere the toolchain does, in the same spirit as
 // go/analysis single-pass analyzers: parse, walk, report positions.
@@ -34,7 +41,7 @@ type Finding struct {
 	// source line.
 	File string `json:"file"`
 	Line int    `json:"line"`
-	// Rule is "exitcheck" or "storelock".
+	// Rule is "exitcheck", "storelock" or "gotrack".
 	Rule string `json:"rule"`
 	// Message describes the violation.
 	Message string `json:"message"`
@@ -97,11 +104,41 @@ func CheckDir(root string) ([]Finding, error) {
 	return findings, nil
 }
 
-// checkFile applies both rules to one parsed file.
+// CheckFiles lints an explicit file list (the `go vet -vettool` unit shape:
+// one compilation unit's GoFiles). Test files are skipped, matching
+// CheckDir; paths are reported as given.
+func CheckFiles(paths []string) ([]Finding, error) {
+	findings := []Finding{}
+	fset := token.NewFileSet()
+	for _, path := range paths {
+		name := filepath.Base(path)
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		file, err := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("analyzers: %w", err)
+		}
+		findings = append(findings, checkFile(fset, file, path)...)
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		if findings[i].File != findings[j].File {
+			return findings[i].File < findings[j].File
+		}
+		if findings[i].Line != findings[j].Line {
+			return findings[i].Line < findings[j].Line
+		}
+		return findings[i].Rule < findings[j].Rule
+	})
+	return findings, nil
+}
+
+// checkFile applies every rule to one parsed file.
 func checkFile(fset *token.FileSet, file *ast.File, rel string) []Finding {
 	var out []Finding
 	out = append(out, exitcheck(fset, file, rel)...)
 	out = append(out, storelock(fset, file, rel)...)
+	out = append(out, gotrack(fset, file, rel)...)
 	return out
 }
 
@@ -215,6 +252,74 @@ func storelock(fset *token.FileSet, file *ast.File, rel string) []Finding {
 		})
 	}
 	return out
+}
+
+// gotrack flags `go` statements in the server and store packages that are
+// not immediately preceded by a lifecycle WaitGroup Add call in the same
+// statement list. The shutdown paths (Server.Close, the parallel analyzer's
+// wg.Wait) only wait for goroutines the group knows about; launching one
+// without the adjacent wg.Add(...) detaches it from the lifecycle.
+func gotrack(fset *token.FileSet, file *ast.File, rel string) []Finding {
+	if file.Name.Name != "server" && file.Name.Name != "store" {
+		return nil
+	}
+	var out []Finding
+	check := func(list []ast.Stmt) {
+		for i, st := range list {
+			g, ok := st.(*ast.GoStmt)
+			if !ok {
+				continue
+			}
+			if i > 0 && isWaitGroupAdd(list[i-1]) {
+				continue
+			}
+			out = append(out, Finding{
+				File: rel, Line: fset.Position(g.Pos()).Line,
+				Rule: "gotrack",
+				Message: "untracked goroutine launch; call the lifecycle WaitGroup's" +
+					" Add immediately before the go statement so shutdown can wait for it",
+			})
+		}
+	}
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BlockStmt:
+			check(n.List)
+		case *ast.CaseClause:
+			check(n.Body)
+		case *ast.CommClause:
+			check(n.Body)
+		}
+		return true
+	})
+	return out
+}
+
+// isWaitGroupAdd matches an expression statement calling Add on something
+// named like a WaitGroup: wg.Add(1), s.wg.Add(1), workers.Add(n), ...
+func isWaitGroupAdd(st ast.Stmt) bool {
+	es, ok := st.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Add" {
+		return false
+	}
+	name := ""
+	switch x := sel.X.(type) {
+	case *ast.Ident:
+		name = x.Name
+	case *ast.SelectorExpr:
+		name = x.Sel.Name
+	}
+	name = strings.ToLower(name)
+	return strings.Contains(name, "wg") || strings.Contains(name, "waitgroup") ||
+		strings.Contains(name, "workers")
 }
 
 // guardedWrite reports whether an lvalue expression writes a guarded Store

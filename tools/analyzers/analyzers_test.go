@@ -127,6 +127,59 @@ func (s *Store) Set() { s.runs["x"] = 1 }
 	}
 }
 
+func TestGotrack(t *testing.T) {
+	root := write(t, map[string]string{
+		"internal/server/server.go": `package server
+import "sync"
+type Server struct{ wg sync.WaitGroup }
+// Tracked: Add immediately precedes the launch.
+func (s *Server) Start() {
+	s.wg.Add(1)
+	go s.compactor()
+}
+func (s *Server) compactor() {}
+// Violations: bare launch, and an Add separated from its go statement.
+func (s *Server) Leak() {
+	go s.compactor()
+	s.wg.Add(1)
+	println("gap")
+	go s.compactor()
+}
+`,
+		"internal/store/store.go": `package store
+import "sync"
+// Tracked: worker-pool idiom with a local group.
+func fanOut(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() { defer wg.Done() }()
+	}
+}
+`,
+		// Other packages may launch goroutines freely.
+		"internal/profile/run.go": `package profile
+func Detach() { go func() {}() }
+`,
+		// Test files are exempt.
+		"internal/server/server_test.go": `package server
+func helper() { go func() {}() }
+`,
+	})
+	fs, err := CheckDir(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 2 {
+		t.Fatalf("want 2 gotrack findings, got %v", rules(fs))
+	}
+	for _, f := range fs {
+		if f.Rule != "gotrack" || f.File != filepath.Join("internal", "server", "server.go") {
+			t.Errorf("unexpected finding %v", f)
+		}
+	}
+}
+
 // TestRepoIsClean turns the linter on the repository that ships it: the
 // tree must self-lint clean, and stay that way.
 func TestRepoIsClean(t *testing.T) {
