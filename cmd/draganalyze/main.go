@@ -17,7 +17,14 @@
 // Usage:
 //
 //	draganalyze [-top n] [-depth n] [-curve] [-serial] [-workers n]
-//	            [-salvage] [-format text|json|sarif|canonical] drag.log
+//	            [-salvage] [-format text|json|sarif|canonical] drag.log...
+//
+// Several logs aggregate into one report (merged in argument order through
+// the same accumulator path dragserved's compactor uses); all of them must
+// come from the same build and share one sampling rate — mixing sampled and
+// exact logs is a usage error. -salvage, -anchors and -curve apply to a
+// single log only. Sampled logs (dragprof -sample-rate) report
+// inverse-probability-scaled estimates with 95% confidence intervals.
 package main
 
 import (
@@ -51,9 +58,13 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "draganalyze: unknown -format %q (want text, json, sarif or canonical)\n", *format)
 		return cli.ExitUsage
 	}
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: draganalyze [flags] drag.log")
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: draganalyze [flags] drag.log...")
 		flag.PrintDefaults()
+		return cli.ExitUsage
+	}
+	if flag.NArg() > 1 && (*salvage || *anchors || *curve) {
+		fmt.Fprintln(os.Stderr, "draganalyze: -salvage, -anchors and -curve need a single log")
 		return cli.ExitUsage
 	}
 
@@ -84,7 +95,41 @@ func run() int {
 
 	opts := drag.Options{NestDepth: *depth}
 	var rep *drag.Report
-	if *serial {
+	numObjects := len(prof.Records)
+	if flag.NArg() > 1 {
+		// Multi-log aggregation: fold every log into one accumulator in
+		// argument order (the same merge path dragserved's compactor uses).
+		// All logs must share one sampling rate — an exact log mixed into a
+		// sampled aggregation (or two different rates) would combine figures
+		// on different estimator scales into one meaningless total.
+		acc := drag.NewAccumulator(prof, opts)
+		for _, r := range prof.Records {
+			acc.Add(r)
+		}
+		for _, arg := range flag.Args()[1:] {
+			next, err := readLogFile(arg)
+			if err != nil {
+				return fail(err)
+			}
+			if ra, rb := prof.EffectiveSampleRate(), next.EffectiveSampleRate(); ra != rb {
+				fmt.Fprintf(os.Stderr, "draganalyze: cannot aggregate %s (sample rate %g) with %s (sample rate %g): mixing sampled and exact logs scales sites incomparably — re-profile at one rate\n",
+					flag.Arg(0), ra, arg, rb)
+				return cli.ExitUsage
+			}
+			if len(prof.Sites) != len(next.Sites) || len(prof.ChainNodes) != len(next.ChainNodes) {
+				fmt.Fprintf(os.Stderr, "draganalyze: cannot aggregate %s with %s: site tables differ (logs come from different builds)\n",
+					flag.Arg(0), arg)
+				return cli.ExitFailure
+			}
+			nextAcc := drag.NewAccumulator(next, opts)
+			for _, r := range next.Records {
+				nextAcc.Add(r)
+			}
+			acc.Merge(nextAcc)
+			numObjects += len(next.Records)
+		}
+		rep = acc.Report()
+	} else if *serial {
 		rep = drag.Analyze(prof, opts)
 	} else {
 		rep = drag.AnalyzeParallel(prof, opts, *workers)
@@ -104,7 +149,7 @@ func run() int {
 		if partial {
 			fmt.Printf("WARNING: partial data — %s\n\n", sr.Summary())
 		}
-		renderText(rep, prof, *top, *anchors, *curve)
+		renderText(rep, prof, numObjects, *top, *anchors, *curve)
 	}
 	if partial {
 		return cli.ExitSalvaged
@@ -115,8 +160,8 @@ func run() int {
 // renderText prints the report via the shared renderer (the same code path
 // dragserved's text endpoint uses), plus the CLI-only anchor and curve
 // sections.
-func renderText(rep *drag.Report, prof *profile.Profile, top int, anchors, curve bool) {
-	report.DragText(os.Stdout, rep, len(prof.Records), top)
+func renderText(rep *drag.Report, prof *profile.Profile, numObjects, top int, anchors, curve bool) {
+	report.DragText(os.Stdout, rep, numObjects, top)
 
 	if anchors {
 		fmt.Println("anchor allocation sites (application code):")
@@ -163,6 +208,16 @@ func renderDiagnostics(format string, rep *drag.Report, sr *profile.SalvageRepor
 	}
 	_, err = os.Stdout.WriteString(out)
 	return err
+}
+
+// readLogFile reads one additional log for the multi-log aggregation.
+func readLogFile(path string) (*profile.Profile, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return profile.ReadLog(f)
 }
 
 func mb2(v int64) float64 { return float64(v) / (1 << 40) }

@@ -18,8 +18,14 @@
 //
 //	dragprof [-o drag.log] [-format binary|text] [-interval bytes]
 //	         [-heap bytes] [-max-alloc bytes] [-max-live bytes]
-//	         [-timeout duration] [-bench name] [-push URL]
+//	         [-timeout duration] [-sample-rate p] [-sample-seed n]
+//	         [-bench name] [-push URL]
 //	         [-push-retries n] [-push-timeout duration] [file.mj...]
+//
+// -sample-rate below 1 switches the profiler to byte-weighted sampling:
+// an object of s bytes gets a trailer with probability 1-(1-p)^s, the log
+// header records the rate, and draganalyze reports unbiased estimates with
+// 95% confidence intervals instead of exact figures.
 package main
 
 import (
@@ -52,6 +58,8 @@ func run() int {
 	maxAlloc := flag.Int64("max-alloc", 0, "abort after this many allocated bytes (0: unlimited)")
 	maxLive := flag.Int64("max-live", 0, "abort when the live heap exceeds this after a full GC (0: unlimited)")
 	timeout := flag.Duration("timeout", 0, "abort after this much wall-clock time (0: unlimited)")
+	sampleRate := flag.Float64("sample-rate", 1, "per-byte sampling rate in (0, 1]; 1 profiles every object exactly, lower rates record a byte-weighted sample and the analysis reports scaled estimates with confidence intervals")
+	sampleSeed := flag.Uint64("sample-seed", 0, "sampler seed (same program, rate and seed reproduce a byte-identical log)")
 	benchName := flag.String("bench", "", "profile an embedded paper benchmark ("+strings.Join(bench.Names(), ", ")+") instead of source files")
 	push := flag.String("push", "", "after writing the log, upload it to this dragserved base URL")
 	pushRetries := flag.Int("push-retries", 3, "push retry attempts after the first")
@@ -59,6 +67,10 @@ func run() int {
 	flag.Parse()
 	if *format != "binary" && *format != "text" {
 		fmt.Fprintf(os.Stderr, "dragprof: unknown -format %q (want binary or text)\n", *format)
+		return cli.ExitUsage
+	}
+	if !(*sampleRate > 0 && *sampleRate <= 1) {
+		fmt.Fprintf(os.Stderr, "dragprof: -sample-rate %v outside (0, 1] (1 = exact profiling)\n", *sampleRate)
 		return cli.ExitUsage
 	}
 	if (*benchName == "") == (flag.NArg() == 0) {
@@ -106,6 +118,8 @@ func run() int {
 		HeapLiveBudgetBytes: *maxLive,
 		WallClockBudget:     *timeout,
 		Out:                 os.Stdout,
+		SampleRate:          *sampleRate,
+		SampleSeed:          *sampleSeed,
 	})
 	code := cli.ExitOK
 	if runErr != nil {

@@ -82,6 +82,17 @@ type RunOptions struct {
 	// GCIntervalBytes triggers a deep GC every N allocated bytes while
 	// profiling (default 100 KB, the paper's trigger). Ignored by Run.
 	GCIntervalBytes int64
+	// SampleRate, when in (0, 1), turns on byte-weighted sampling of the
+	// profiler: an object of s bytes gets a trailer with probability
+	// 1-(1-SampleRate)^s, unsampled objects carry zero event overhead, and
+	// the analysis scales estimates by inverse inclusion probability.
+	// Outside (0, 1) — including the default 0 — every object is profiled
+	// exactly. Ignored by Run.
+	SampleRate float64
+	// SampleSeed seeds the sampler deterministically (0: fixed default).
+	// The same program, rate and seed reproduce a byte-identical log.
+	// Ignored by Run.
+	SampleSeed uint64
 	// MaxSteps bounds execution (default 4e9 instructions).
 	MaxSteps int64
 	// Seed seeds the deterministic random() builtin.
@@ -191,6 +202,8 @@ type Profile struct {
 func (p *Program) ProfileRun(opts RunOptions) (*Profile, error) {
 	cfg := opts.vmConfig()
 	cfg.GCInterval = opts.GCIntervalBytes
+	cfg.SampleRate = opts.SampleRate
+	cfg.SampleSeed = opts.SampleSeed
 	name := opts.Name
 	if name == "" {
 		name = "program"
@@ -208,6 +221,10 @@ func (pr *Profile) TotalAllocationBytes() int64 { return pr.p.FinalClock }
 
 // NumObjects is the number of logged object trailers.
 func (pr *Profile) NumObjects() int { return len(pr.p.Records) }
+
+// SampleRate is the effective per-byte sampling rate the profile was
+// recorded at (1 for exact profiles).
+func (pr *Profile) SampleRate() float64 { return pr.p.EffectiveSampleRate() }
 
 // WriteLog serializes the profile in the tool's versioned text log format
 // (the file interface between phase 1 and phase 2).

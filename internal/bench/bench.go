@@ -175,6 +175,10 @@ type RunConfig struct {
 	GCInterval int64
 	// Collector defaults to mark-sweep (the profiled classic JVM).
 	Collector vm.CollectorKind
+	// SampleRate in (0, 1) profiles a byte-weighted sample instead of
+	// every object; SampleSeed makes the sample deterministic.
+	SampleRate float64
+	SampleSeed uint64
 	// Analysis options for the drag report.
 	Analysis drag.Options
 }
@@ -200,6 +204,8 @@ func Run(b *Benchmark, version Version, input InputKind, cfg RunConfig) (*RunRes
 		HeapCapacity: cfg.HeapCapacity,
 		GCInterval:   cfg.GCInterval,
 		Collector:    cfg.Collector,
+		SampleRate:   cfg.SampleRate,
+		SampleSeed:   cfg.SampleSeed,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("bench %s: %w", name, err)

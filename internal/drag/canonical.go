@@ -20,17 +20,31 @@ func (r *Report) CanonicalDump() []byte {
 	fmt.Fprintf(&b, "totals objects=%d bytes=%d reach=%d inuse=%d drag=%d neverused=%d nudrag=%d\n",
 		r.TotalObjects, r.TotalBytes, r.ReachableIntegral, r.InUseIntegral,
 		r.TotalDrag, r.NeverUsedObjects, r.NeverUsedDrag)
-	dumpGroups(&b, "site", r.BySite)
-	dumpGroups(&b, "nested", r.ByNestedSite)
+	if r.Sampled() {
+		// Sampled-only lines: exact reports dump byte-identically to
+		// reports from before sampling existed (stored canonical dumps and
+		// goldens stay valid).
+		fmt.Fprintf(&b, "samplerate %s\n", hexFloat(r.SampleRate))
+		fmt.Fprintf(&b, "esttotals objects=%s bytes=%s drag=%s dragci=%s\n",
+			hexFloat(r.EstTotalObjects), hexFloat(r.EstTotalBytes),
+			hexFloat(r.EstTotalDrag), hexFloat(r.EstTotalDragCI))
+	}
+	dumpGroups(&b, "site", r.BySite, r.Sampled())
+	dumpGroups(&b, "nested", r.ByNestedSite, r.Sampled())
 	return b.Bytes()
 }
 
-func dumpGroups(b *bytes.Buffer, kind string, groups []*Group) {
+func dumpGroups(b *bytes.Buffer, kind string, groups []*Group, sampled bool) {
 	fmt.Fprintf(b, "%s groups=%d\n", kind, len(groups))
 	for _, g := range groups {
 		fmt.Fprintf(b, "  %s key=%q siteid=%d desc=%q\n", kind, g.Key, g.SiteID, g.Desc)
 		fmt.Fprintf(b, "    count=%d neverused=%d bytes=%d drag=%d nudrag=%d inuse=%d\n",
 			g.Count, g.NeverUsed, g.Bytes, g.Drag, g.NeverUsedDrag, g.InUse)
+		if sampled {
+			fmt.Fprintf(b, "    estcount=%s estbytes=%s estdrag=%s estdragci=%s\n",
+				hexFloat(g.EstCount), hexFloat(g.EstBytes),
+				hexFloat(g.EstDrag), hexFloat(g.EstDragCI))
+		}
 		fmt.Fprintf(b, "    meandrag=%s stddrag=%s pattern=%d\n",
 			hexFloat(g.MeanDragTime), hexFloat(g.StdDragTime), int(g.Pattern))
 		fmt.Fprintf(b, "    draghist=%v inusehist=%v\n", [8]int(g.DragHist), [8]int(g.InUseHist))

@@ -11,6 +11,7 @@ import (
 	"sort"
 
 	"dragprof/internal/profile"
+	"dragprof/internal/xrand"
 )
 
 // Options tune the analysis.
@@ -156,6 +157,21 @@ type Group struct {
 	InUseHist Histogram
 	// LastUse is the top last-use-site partition for the group.
 	LastUse []PairGroup
+
+	// The Est* fields are populated only for sampled profiles: each
+	// sampled record's contribution is divided by its inclusion
+	// probability π = 1-(1-rate)^size (Horvitz-Thompson), so they are
+	// unbiased estimates of what the exact-mode Count/Bytes/Drag would
+	// have been. EstDragCI is the half-width of the 95% confidence
+	// interval around EstDrag (1.96·√Σ(1-π)(drag/π)²). Exact reports
+	// leave all four at zero and use the raw integer tallies.
+	EstCount  float64
+	EstBytes  float64
+	EstDrag   float64
+	EstDragCI float64
+	// estVar is the group's raw variance sum Σ(1-π)(w·drag)²; the report
+	// totals fold it across groups in sorted order (deterministically).
+	estVar float64
 }
 
 // NeverUsedFraction is the fraction of the site's objects never used.
@@ -193,7 +209,23 @@ type Report struct {
 	ByNestedSite []*Group
 	// Options echoes the effective analysis options.
 	Options Options
+
+	// SampleRate is the profile's effective per-byte sampling rate (1 for
+	// exact profiles). When it is below 1 the integer tallies above cover
+	// only the sampled subset and the Est* fields carry the scaled,
+	// unbiased estimates of the full-run quantities.
+	SampleRate float64
+	// EstTotalObjects/EstTotalBytes/EstTotalDrag are the Horvitz-Thompson
+	// estimates of the exact-mode totals; EstTotalDragCI is the 95%
+	// confidence half-width on EstTotalDrag. Zero for exact reports.
+	EstTotalObjects float64
+	EstTotalBytes   float64
+	EstTotalDrag    float64
+	EstTotalDragCI  float64
 }
+
+// Sampled reports whether the report was computed from a sampled profile.
+func (r *Report) Sampled() bool { return r.SampleRate > 0 && r.SampleRate < 1 }
 
 // MB2 converts a byte² integral to MByte² (the paper's Table 2 unit).
 func MB2(v int64) float64 { return float64(v) / (1 << 40) }
@@ -219,14 +251,21 @@ type aggregator struct {
 	rep    Report
 	coarse map[string]*groupAcc
 	fine   map[string]*groupAcc
+	// rate is the profile's effective sampling rate; sampled gates the
+	// Horvitz-Thompson estimate machinery (exact runs pay nothing for it).
+	rate    float64
+	sampled bool
 }
 
 func newAggregator(p *profile.Profile, opts Options) *aggregator {
+	rate := p.EffectiveSampleRate()
 	return &aggregator{
-		p:      p,
-		opts:   opts,
-		coarse: make(map[string]*groupAcc),
-		fine:   make(map[string]*groupAcc),
+		p:       p,
+		opts:    opts,
+		coarse:  make(map[string]*groupAcc),
+		fine:    make(map[string]*groupAcc),
+		rate:    rate,
+		sampled: rate != 1,
 	}
 }
 
@@ -249,10 +288,28 @@ func (a *aggregator) add(r *profile.Record) {
 		a.rep.NeverUsedDrag += r.Drag()
 	}
 
+	var est estSample
+	if a.sampled {
+		// Horvitz-Thompson weight: this record stands in for 1/π objects
+		// of its site, where π is its byte-weighted inclusion probability.
+		pi := xrand.Inclusion(a.rate, r.Size)
+		if pi <= 0 {
+			// Degenerate record sizes (possible only in hand-crafted or
+			// damaged logs) count as certainly-included.
+			pi = 1
+		}
+		est = estSample{
+			pi:   pi,
+			w:    1 / pi,
+			size: float64(r.Size),
+			drag: float64(r.Drag()),
+		}
+	}
+
 	ck := "site:" + itoa(r.Site)
-	accumulate(a.coarse, ck, p.SiteDesc(r.Site), r.Site, r, nu, p, opts)
+	accumulate(a.coarse, ck, p.SiteDesc(r.Site), r.Site, r, nu, a.sampled, est, p, opts)
 	fk := "chain:" + p.ChainSuffixKey(r.Chain, opts.NestDepth)
-	accumulate(a.fine, fk, p.ChainDesc(r.Chain, opts.NestDepth), -1, r, nu, p, opts)
+	accumulate(a.fine, fk, p.ChainDesc(r.Chain, opts.NestDepth), -1, r, nu, a.sampled, est, p, opts)
 }
 
 // merge folds b (covering a later, disjoint record range) into a.
@@ -285,6 +342,7 @@ func mergeGroups(dst, src map[string]*groupAcc) {
 		da.g.NeverUsedDrag += sa.g.NeverUsedDrag
 		da.g.InUse += sa.g.InUse
 		da.dragTimes = append(da.dragTimes, sa.dragTimes...)
+		da.samples = append(da.samples, sa.samples...)
 		for i := range sa.g.DragHist {
 			da.g.DragHist[i] += sa.g.DragHist[i]
 			da.g.InUseHist[i] += sa.g.InUseHist[i]
@@ -307,18 +365,41 @@ func (a *aggregator) report() *Report {
 	rep.Name = a.p.Name
 	rep.FinalClock = a.p.FinalClock
 	rep.Options = a.opts
-	rep.BySite = finalize(a.coarse, a.opts)
-	rep.ByNestedSite = finalize(a.fine, a.opts)
+	rep.SampleRate = a.rate
+	var tot estTotals
+	rep.BySite, tot = finalize(a.coarse, a.opts, a.sampled)
+	rep.ByNestedSite, _ = finalize(a.fine, a.opts, a.sampled)
+	if a.sampled {
+		// Every reported record lands in exactly one coarse group, so the
+		// coarse totals are the program-wide estimates; summing per-group
+		// variances recovers the full Σ(1-π)(w·drag)² over records.
+		rep.EstTotalObjects = tot.count
+		rep.EstTotalBytes = tot.bytes
+		rep.EstTotalDrag = tot.drag
+		rep.EstTotalDragCI = ci95(tot.varSum)
+	}
 	return &rep
+}
+
+// estSample is one sampled record's Horvitz-Thompson terms. The slices of
+// these are kept in record order (appends in add, ordered appends in merge)
+// so the floating-point reductions in finalize are byte-identical between
+// the serial and parallel pipelines, exactly like dragTimes.
+type estSample struct {
+	pi   float64 // inclusion probability 1-(1-rate)^size
+	w    float64 // 1/pi
+	size float64
+	drag float64
 }
 
 type groupAcc struct {
 	g         Group
 	dragTimes []float64
+	samples   []estSample // sampled profiles only; record order
 	lastUse   map[string]*PairGroup
 }
 
-func accumulate(m map[string]*groupAcc, key, desc string, siteID int32, r *profile.Record, neverUsed bool, p *profile.Profile, opts Options) {
+func accumulate(m map[string]*groupAcc, key, desc string, siteID int32, r *profile.Record, neverUsed bool, sampled bool, est estSample, p *profile.Profile, opts Options) {
 	acc, ok := m[key]
 	if !ok {
 		acc = &groupAcc{
@@ -326,6 +407,9 @@ func accumulate(m map[string]*groupAcc, key, desc string, siteID int32, r *profi
 			lastUse: make(map[string]*PairGroup),
 		}
 		m[key] = acc
+	}
+	if sampled {
+		acc.samples = append(acc.samples, est)
 	}
 	g := &acc.g
 	g.Count++
@@ -357,12 +441,37 @@ func accumulate(m map[string]*groupAcc, key, desc string, siteID int32, r *profi
 	pg.Drag += r.Drag()
 }
 
-func finalize(m map[string]*groupAcc, opts Options) []*Group {
+// estTotals accumulates the groups' Horvitz-Thompson sums.
+type estTotals struct {
+	count, bytes, drag, varSum float64
+}
+
+// ci95 is the 95% confidence half-width for a variance estimate.
+func ci95(varSum float64) float64 { return 1.96 * math.Sqrt(varSum) }
+
+func finalize(m map[string]*groupAcc, opts Options, sampled bool) ([]*Group, estTotals) {
+	var tot estTotals
 	out := make([]*Group, 0, len(m))
 	for _, acc := range m {
 		g := &acc.g
 		g.MeanDragTime, g.StdDragTime = meanStd(acc.dragTimes)
 		g.Pattern = classify(g, opts)
+		if sampled {
+			// Left-to-right over the record-ordered sample slice: the
+			// reduction order, and hence every bit of the result, matches
+			// the serial pass regardless of parallel chunking.
+			var count, bytes, drag, varSum float64
+			for _, s := range acc.samples {
+				ed := s.w * s.drag
+				count += s.w
+				bytes += s.w * s.size
+				drag += ed
+				varSum += (1 - s.pi) * ed * ed
+			}
+			g.EstCount, g.EstBytes = count, bytes
+			g.EstDrag, g.EstDragCI = drag, ci95(varSum)
+			g.estVar = varSum
+		}
 		pairs := make([]PairGroup, 0, len(acc.lastUse))
 		for _, pg := range acc.lastUse {
 			pairs = append(pairs, *pg)
@@ -380,12 +489,30 @@ func finalize(m map[string]*groupAcc, opts Options) []*Group {
 		out = append(out, g)
 	}
 	sort.Slice(out, func(i, j int) bool {
+		if sampled {
+			// Sampled reports rank by the scaled estimate: that is the
+			// quantity comparable with (and converging to) the exact
+			// ranking as the rate rises.
+			if out[i].EstDrag != out[j].EstDrag {
+				return out[i].EstDrag > out[j].EstDrag
+			}
+		}
 		if out[i].Drag != out[j].Drag {
 			return out[i].Drag > out[j].Drag
 		}
 		return out[i].Desc < out[j].Desc
 	})
-	return out
+	if sampled {
+		// Totals fold over the sorted groups, not the map, so the
+		// floating-point order is deterministic.
+		for _, g := range out {
+			tot.count += g.EstCount
+			tot.bytes += g.EstBytes
+			tot.drag += g.EstDrag
+			tot.varSum += g.estVar
+		}
+	}
+	return out, tot
 }
 
 // classify applies the Section 3.4 decision rules.

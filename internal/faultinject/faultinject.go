@@ -13,6 +13,7 @@ import (
 	"io"
 
 	"dragprof/internal/vm"
+	"dragprof/internal/xrand"
 )
 
 // ErrInjected is the sentinel every injected write failure wraps; tests
@@ -100,37 +101,11 @@ func (c *chunkWriter) Write(p []byte) (int, error) {
 	return total, nil
 }
 
-// Rand is a deterministic xorshift64* generator: the same seed yields the
-// same fault sequence on every run and platform.
-type Rand struct{ s uint64 }
-
-// NewRand seeds a generator; seed 0 is remapped to a fixed nonzero state.
-func NewRand(seed uint64) *Rand {
-	if seed == 0 {
-		seed = 0x9e3779b97f4a7c15
-	}
-	return &Rand{s: seed}
-}
-
-// Uint64 advances the generator.
-func (r *Rand) Uint64() uint64 {
-	r.s ^= r.s >> 12
-	r.s ^= r.s << 25
-	r.s ^= r.s >> 27
-	return r.s * 0x2545f4914f6cdd1d
-}
-
-// Intn returns a value in [0, n).
-func (r *Rand) Intn(n int) int {
-	if n <= 0 {
-		panic("faultinject: Intn on non-positive n")
-	}
-	return int(r.Uint64() % uint64(n))
-}
-
 // FlipBit returns a copy of data with one pseudo-random bit flipped at or
-// after byte offset min, and the offset it flipped.
-func FlipBit(data []byte, min int, r *Rand) ([]byte, int) {
+// after byte offset min, and the offset it flipped. The generator is the
+// shared deterministic one (internal/xrand), so the same seed reproduces
+// the same corruption byte-for-byte.
+func FlipBit(data []byte, min int, r *xrand.Rand) ([]byte, int) {
 	if min >= len(data) {
 		min = len(data) - 1
 	}

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"errors"
 	"testing"
+
+	"dragprof/internal/xrand"
 )
 
 func TestFailAfter(t *testing.T) {
@@ -50,21 +52,9 @@ func TestChunked(t *testing.T) {
 	}
 }
 
-func TestRandDeterministic(t *testing.T) {
-	a, b := NewRand(42), NewRand(42)
-	for i := 0; i < 100; i++ {
-		if a.Uint64() != b.Uint64() {
-			t.Fatal("same seed diverged")
-		}
-	}
-	if NewRand(1).Uint64() == NewRand(2).Uint64() {
-		t.Error("different seeds collided on first draw")
-	}
-}
-
 func TestFlipBit(t *testing.T) {
 	data := make([]byte, 256)
-	out, off := FlipBit(data, 100, NewRand(7))
+	out, off := FlipBit(data, 100, xrand.NewRand(7))
 	if off < 100 || off >= len(data) {
 		t.Fatalf("flip offset %d out of [100, %d)", off, len(data))
 	}

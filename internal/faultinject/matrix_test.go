@@ -15,6 +15,7 @@ import (
 	"dragprof/internal/faultinject"
 	"dragprof/internal/profile"
 	"dragprof/internal/vm"
+	"dragprof/internal/xrand"
 )
 
 // TestFaultMatrix drives every benchmark workload through the injected
@@ -125,7 +126,7 @@ func testTruncationMatrix(t *testing.T, name string, p *profile.Profile, data []
 // and never hand back a record differing from the original prefix.
 func testBitFlips(t *testing.T, name string, p *profile.Profile, data []byte, ends []int64) []archivedReport {
 	var out []archivedReport
-	r := faultinject.NewRand(uint64(len(data)) ^ 0xfa017)
+	r := xrand.NewRand(uint64(len(data)) ^ 0xfa017)
 	for trial := 0; trial < 48; trial++ {
 		min := 0
 		if trial%2 == 0 && len(ends) > 1 {

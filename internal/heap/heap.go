@@ -114,6 +114,11 @@ type Object struct {
 	// excludes them from reports, as the paper excludes constant-pool
 	// strings.
 	Interned bool
+	// Sampled marks objects selected by the VM's byte-weighted sampler.
+	// When sampling is off every object is implicitly sampled; when it is
+	// on, use events are emitted only for sampled objects, so unsampled
+	// ones carry zero profiling overhead past the allocation countdown.
+	Sampled bool
 }
 
 // Len returns the number of slots (array length or field count).

@@ -6,6 +6,7 @@ import (
 	"encoding/binary"
 	"hash/crc32"
 	"io"
+	"math"
 )
 
 // Binary drag-log format v3. The text format (log.go) is the paper's
@@ -15,11 +16,15 @@ import (
 //	magic    "dplg" (4 bytes)
 //	version  1 byte (3)
 //	flags    1 byte (bit0: the rest of the file is one gzip stream;
-//	         bit1: CRC32C footers and checkpoints are present)
+//	         bit1: CRC32C footers and checkpoints are present;
+//	         bit2: a sample-rate field follows gcinterval)
 //	-- body, optionally gzipped --
 //	name       string            (uvarint length + bytes)
 //	finalclock zigzag varint
 //	gcinterval zigzag varint
+//	samplerate uvarint of math.Float64bits, only when flag bit2 is set
+//	           (exact logs omit both the bit and the field, so pre-sampling
+//	           logs and exact logs are byte-identical and read as rate 1)
 //	classes    uvarint count + strings
 //	methods    uvarint count + strings
 //	files      uvarint count + strings
@@ -68,9 +73,10 @@ import (
 //	uses       zigzag
 //	collect    zigzag relative to create
 const (
-	binVersion  = 3
-	binFlagGzip = 1
-	binFlagCRC  = 2
+	binVersion     = 3
+	binFlagGzip    = 1
+	binFlagCRC     = 2
+	binFlagSampled = 4
 
 	// checkpointEveryBlocks is the checkpoint cadence: after every 16th
 	// record block (unless it is the last) the writer emits a cumulative
@@ -127,6 +133,9 @@ func WriteBinaryLog(w io.Writer, p *Profile, opts BinaryOptions) error {
 	if opts.Compress {
 		flags |= binFlagGzip
 	}
+	if p.Sampled() {
+		flags |= binFlagSampled
+	}
 	header := []byte{binMagic[0], binMagic[1], binMagic[2], binMagic[3], binVersion, flags}
 	if _, err := w.Write(header); err != nil {
 		return err
@@ -157,6 +166,9 @@ func writeBinaryBody(w io.Writer, p *Profile, opts BinaryOptions) error {
 	enc.str(p.Name)
 	enc.zig(p.FinalClock)
 	enc.zig(p.GCInterval)
+	if p.Sampled() {
+		enc.uvarint(math.Float64bits(p.SampleRate))
+	}
 	enc.strs(p.ClassNames)
 	enc.strs(p.MethodNames)
 	enc.strs(p.MethodFiles)

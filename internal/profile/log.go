@@ -19,6 +19,8 @@ import (
 //	name <quoted>
 //	finalclock <n>
 //	gcinterval <n>
+//	samplerate <hexfloat>  optional; present only for sampled profiles
+//	                       (exact logs omit the line and read as rate 1)
 //	classes <n>            followed by: <name-quoted>
 //	methods <n>            followed by: <qualified-name-quoted>
 //	files <n>              followed by: <method-source-file-quoted>
@@ -38,6 +40,10 @@ func WriteLog(w io.Writer, p *Profile) error {
 	fmt.Fprintf(bw, "name %q\n", p.Name)
 	fmt.Fprintf(bw, "finalclock %d\n", p.FinalClock)
 	fmt.Fprintf(bw, "gcinterval %d\n", p.GCInterval)
+	if p.Sampled() {
+		// Hex float: exact round trip, no decimal rounding drift.
+		fmt.Fprintf(bw, "samplerate %x\n", p.SampleRate)
+	}
 	fmt.Fprintf(bw, "classes %d\n", len(p.ClassNames))
 	for _, n := range p.ClassNames {
 		fmt.Fprintf(bw, "%q\n", n)
@@ -104,6 +110,21 @@ func readTextHeader(rd *logReader) (*Profile, int, error) {
 	}
 	if p.GCInterval, err = rd.intField("gcinterval"); err != nil {
 		return nil, 0, err
+	}
+	// The samplerate line is optional (legacy logs lack it → exact).
+	if peek, _ := rd.br.Peek(len("samplerate ")); string(peek) == "samplerate " {
+		line, err := rd.line()
+		if err != nil {
+			return nil, 0, err
+		}
+		rate, err := strconv.ParseFloat(strings.TrimSpace(strings.TrimPrefix(line, "samplerate ")), 64)
+		if err != nil {
+			return nil, 0, fmt.Errorf("profile: bad samplerate line %q: %w", line, err)
+		}
+		if !(rate > 0 && rate < 1) {
+			return nil, 0, fmt.Errorf("profile: sample rate %v outside (0, 1)", rate)
+		}
+		p.SampleRate = rate
 	}
 
 	n, err := rd.countField("classes")

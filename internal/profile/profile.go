@@ -227,7 +227,26 @@ type Profile struct {
 	FinalClock int64
 	// GCInterval is the deep-GC trigger used during recording.
 	GCInterval int64
+	// SampleRate is the per-byte probability the recording VM's sampler
+	// ran at; 0 or 1 means the profile is exact (every trailer present).
+	// Logs written before sampling existed read back as rate 1. Analysis
+	// divides each sampled record's contribution by its inclusion
+	// probability 1-(1-SampleRate)^Size to recover unbiased estimates.
+	SampleRate float64
 }
+
+// EffectiveSampleRate normalizes the rate: anything outside (0, 1) is the
+// exact mode, reported as 1.
+func (p *Profile) EffectiveSampleRate() float64 {
+	if p.SampleRate <= 0 || p.SampleRate >= 1 {
+		return 1
+	}
+	return p.SampleRate
+}
+
+// Sampled reports whether the profile was recorded under byte-weighted
+// sampling (a strict subset of trailers, to be inverse-probability scaled).
+func (p *Profile) Sampled() bool { return p.EffectiveSampleRate() != 1 }
 
 // SiteDesc renders a site id.
 func (p *Profile) SiteDesc(id int32) string {

@@ -26,7 +26,11 @@ func Run(prog *bytecode.Program, name string, cfg vm.Config) (*Profile, *vm.VM, 
 	hp.SetFreeListener(rec.freeListener(hp.Clock))
 	runErr := m.Run()
 	rec.Finish(hp.Clock())
-	return Snapshot(name, prog, m, rec, cfg.GCInterval), m, runErr
+	p := Snapshot(name, prog, m, rec, cfg.GCInterval)
+	if cfg.SampleRate > 0 && cfg.SampleRate < 1 {
+		p.SampleRate = cfg.SampleRate
+	}
+	return p, m, runErr
 }
 
 // Snapshot packages a recorder's trailers with the program's site, chain,

@@ -8,6 +8,7 @@ import (
 	"dragprof/internal/bench"
 	"dragprof/internal/faultinject"
 	"dragprof/internal/profile"
+	"dragprof/internal/xrand"
 )
 
 // salvageCorpus caches one profiled run and its binary log per workload so
@@ -90,7 +91,7 @@ func FuzzSalvageLog(f *testing.F) {
 			}
 		}
 		if flipSeed != 0 && len(data) > 0 {
-			data, _ = faultinject.FlipBit(data, 0, faultinject.NewRand(flipSeed))
+			data, _ = faultinject.FlipBit(data, 0, xrand.NewRand(flipSeed))
 		}
 
 		q, sr, err := profile.SalvageLog(bytes.NewReader(data))

@@ -1,0 +1,46 @@
+package profile
+
+import (
+	"fmt"
+
+	"dragprof/internal/xrand"
+)
+
+// Downsample replays the VM's byte-weighted sampler over an exact profile
+// and returns the profile a sampled run at the same rate and seed would
+// have produced. The selection is exact, not approximate: records are in
+// allocation order and carry object sizes, so walking them drives the
+// geometric byte countdown through the same sequence of draws the live VM
+// makes in noteAlloc, and sampling changes neither use events nor
+// collection times of the objects it keeps. The surviving trailers are
+// field-identical to a sampled run's up to chain-table renumbering: a live
+// sampled run interns call chains only for the objects it samples (part of
+// the unsampled-objects-pay-nothing contract), so its chain ids are a
+// renumbering of the exact run's — every resolved chain, and hence every
+// analysis result, is identical. The differential suite leans on this to
+// compare sampled against exact across many rates and seeds without
+// re-running the VM, and a dedicated test pins the replay to real sampled
+// VM runs modulo that renumbering.
+//
+// Tables and header fields are shared with p (profiles are read-only after
+// construction); only the record slice and SampleRate differ. Downsampling
+// an already-sampled profile is an error: two rounds of byte-weighted
+// selection do not compose into any single rate.
+func Downsample(p *Profile, rate float64, seed uint64) (*Profile, error) {
+	if p.Sampled() {
+		return nil, fmt.Errorf("profile: cannot downsample already-sampled profile (rate %v)", p.SampleRate)
+	}
+	if rate <= 0 || rate >= 1 {
+		return nil, fmt.Errorf("profile: downsample rate must be in (0, 1), got %v", rate)
+	}
+	s := xrand.NewSkipper(rate, seed)
+	out := *p
+	out.Records = nil
+	out.SampleRate = rate
+	for _, r := range p.Records {
+		if s.Take(r.Size) {
+			out.Records = append(out.Records, r)
+		}
+	}
+	return &out, nil
+}

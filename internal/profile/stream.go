@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"math"
 	"strings"
 
 	"dragprof/internal/bytecode"
@@ -293,7 +294,7 @@ func openBinaryReader(br *bufio.Reader) (*LogStream, *binReader, error) {
 	if version != binVersion {
 		return nil, nil, fmt.Errorf("profile: unsupported binary log version %d", version)
 	}
-	if flags&^(binFlagGzip|binFlagCRC) != 0 {
+	if flags&^(binFlagGzip|binFlagCRC|binFlagSampled) != 0 {
 		return nil, nil, fmt.Errorf("profile: binary log: unknown flags %#x", flags)
 	}
 	hasCRC := flags&binFlagCRC != 0
@@ -320,6 +321,17 @@ func openBinaryReader(br *bufio.Reader) (*LogStream, *binReader, error) {
 	}
 	if p.GCInterval, err = d.zig(); err != nil {
 		return nil, nil, fmt.Errorf("profile: binary log: gcinterval: %w", err)
+	}
+	if flags&binFlagSampled != 0 {
+		bits, err := d.uvarint()
+		if err != nil {
+			return nil, nil, fmt.Errorf("profile: binary log: samplerate: %w", err)
+		}
+		rate := math.Float64frombits(bits)
+		if !(rate > 0 && rate < 1) {
+			return nil, nil, fmt.Errorf("profile: binary log: sample rate %v outside (0, 1)", rate)
+		}
+		p.SampleRate = rate
 	}
 	if p.ClassNames, err = d.strs("class"); err != nil {
 		return nil, nil, err

@@ -22,19 +22,35 @@ func DragText(w io.Writer, rep *drag.Report, numObjects, top int) {
 		float64(rep.FinalClock)/(1<<20), numObjects)
 	fmt.Fprintf(w, "reachable integral: %.4f MB²   in-use integral: %.4f MB²   drag: %.4f MB²\n\n",
 		mb2(rep.ReachableIntegral), mb2(rep.InUseIntegral), mb2(rep.TotalDrag))
+	if rep.Sampled() {
+		fmt.Fprintf(w, "SAMPLED DATA: byte-weighted sampling at rate %g — figures below are\n", rep.SampleRate)
+		fmt.Fprintf(w, "inverse-probability-scaled estimates with 95%% confidence half-widths.\n")
+		fmt.Fprintf(w, "estimated drag: %.4f MB² ± %.4f over ~%.0f objects (%.2f MB)\n\n",
+			mb2f(rep.EstTotalDrag), mb2f(rep.EstTotalDragCI),
+			rep.EstTotalObjects, rep.EstTotalBytes/(1<<20))
+	}
 
 	groups := rep.ByNestedSite
 	if top > len(groups) {
 		top = len(groups)
 	}
 	for i, g := range groups[:top] {
-		share := 0.0
-		if rep.TotalDrag > 0 {
-			share = float64(g.Drag) / float64(rep.TotalDrag)
-		}
 		fmt.Fprintf(w, "#%d  %s\n", i+1, g.Desc)
-		fmt.Fprintf(w, "    drag %.4f MB² (%.1f%% of total), %d objects (%d never used), %d bytes\n",
-			mb2(g.Drag), share*100, g.Count, g.NeverUsed, g.Bytes)
+		if rep.Sampled() {
+			share := 0.0
+			if rep.EstTotalDrag > 0 {
+				share = g.EstDrag / rep.EstTotalDrag
+			}
+			fmt.Fprintf(w, "    est drag %.4f MB² ± %.4f (%.1f%% of total), ~%.0f objects (%d sampled, %d never used)\n",
+				mb2f(g.EstDrag), mb2f(g.EstDragCI), share*100, g.EstCount, g.Count, g.NeverUsed)
+		} else {
+			share := 0.0
+			if rep.TotalDrag > 0 {
+				share = float64(g.Drag) / float64(rep.TotalDrag)
+			}
+			fmt.Fprintf(w, "    drag %.4f MB² (%.1f%% of total), %d objects (%d never used), %d bytes\n",
+				mb2(g.Drag), share*100, g.Count, g.NeverUsed, g.Bytes)
+		}
 		fmt.Fprintf(w, "    pattern: %s\n", g.Pattern)
 		fmt.Fprintf(w, "    suggestion: %s\n", g.Pattern.Suggestion())
 		for _, pg := range g.LastUse {
@@ -43,6 +59,8 @@ func DragText(w io.Writer, rep *drag.Report, numObjects, top int) {
 		fmt.Fprintln(w)
 	}
 }
+
+func mb2f(v float64) float64 { return v / (1 << 40) }
 
 // DragDiagnostics builds the top drag sites as diagnostics for the JSON
 // and SARIF renderers. A non-clean salvage report leads with a
@@ -60,31 +78,64 @@ func DragDiagnostics(rep *drag.Report, sr *profile.SalvageReport, top int) []Dia
 			},
 		})
 	}
+	if rep.Sampled() {
+		diags = append(diags, Diagnostic{
+			RuleID: "sampled-data",
+			Level:  "note",
+			Message: fmt.Sprintf("profile was byte-weight sampled at rate %g: drag figures are inverse-probability-scaled estimates (est total drag %.4f MB² ± %.4f at 95%% confidence)",
+				rep.SampleRate, mb2f(rep.EstTotalDrag), mb2f(rep.EstTotalDragCI)),
+			Properties: map[string]any{
+				"sampleRate":        rep.SampleRate,
+				"estTotalObjects":   rep.EstTotalObjects,
+				"estTotalBytes":     rep.EstTotalBytes,
+				"estTotalDragByte2": rep.EstTotalDrag,
+				"estTotalDragCI95":  rep.EstTotalDragCI,
+			},
+		})
+	}
 	groups := rep.ByNestedSite
 	if top > len(groups) {
 		top = len(groups)
 	}
 	for i, g := range groups[:top] {
-		share := 0.0
-		if rep.TotalDrag > 0 {
-			share = float64(g.Drag) / float64(rep.TotalDrag)
+		props := map[string]any{
+			"rank":       i + 1,
+			"site":       g.Desc,
+			"objects":    g.Count,
+			"neverUsed":  g.NeverUsed,
+			"bytes":      g.Bytes,
+			"dragByte2":  g.Drag,
+			"pattern":    g.Pattern.String(),
+			"suggestion": g.Pattern.Suggestion(),
+		}
+		var msg string
+		if rep.Sampled() {
+			share := 0.0
+			if rep.EstTotalDrag > 0 {
+				share = g.EstDrag / rep.EstTotalDrag
+			}
+			props["dragShare"] = share
+			props["sampleRate"] = rep.SampleRate
+			props["estObjects"] = g.EstCount
+			props["estBytes"] = g.EstBytes
+			props["estDragByte2"] = g.EstDrag
+			props["estDragCI95"] = g.EstDragCI
+			msg = fmt.Sprintf("#%d %s: est drag %.4f MB² ± %.4f (%.1f%% of total, sampled) — %s",
+				i+1, g.Desc, mb2f(g.EstDrag), mb2f(g.EstDragCI), share*100, g.Pattern.Suggestion())
+		} else {
+			share := 0.0
+			if rep.TotalDrag > 0 {
+				share = float64(g.Drag) / float64(rep.TotalDrag)
+			}
+			props["dragShare"] = share
+			msg = fmt.Sprintf("#%d %s: drag %.4f MB² (%.1f%% of total) — %s",
+				i+1, g.Desc, mb2(g.Drag), share*100, g.Pattern.Suggestion())
 		}
 		diags = append(diags, Diagnostic{
-			RuleID: "heap-drag",
-			Level:  "warning",
-			Message: fmt.Sprintf("#%d %s: drag %.4f MB² (%.1f%% of total) — %s",
-				i+1, g.Desc, mb2(g.Drag), share*100, g.Pattern.Suggestion()),
-			Properties: map[string]any{
-				"rank":       i + 1,
-				"site":       g.Desc,
-				"objects":    g.Count,
-				"neverUsed":  g.NeverUsed,
-				"bytes":      g.Bytes,
-				"dragByte2":  g.Drag,
-				"dragShare":  share,
-				"pattern":    g.Pattern.String(),
-				"suggestion": g.Pattern.Suggestion(),
-			},
+			RuleID:     "heap-drag",
+			Level:      "warning",
+			Message:    msg,
+			Properties: props,
 		})
 	}
 	return diags
@@ -96,5 +147,6 @@ func DragRules() []RuleInfo {
 	return []RuleInfo{
 		{ID: "heap-drag", Description: "allocation site with large drag space-time product"},
 		{ID: "partial-data", Description: "analysis based on a salvaged prefix of a damaged log"},
+		{ID: "sampled-data", Description: "analysis based on a byte-weight sampled profile; figures are scaled estimates with confidence intervals"},
 	}
 }

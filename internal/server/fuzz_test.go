@@ -12,6 +12,7 @@ import (
 	"dragprof/internal/faultinject"
 	"dragprof/internal/profile"
 	"dragprof/internal/store"
+	"dragprof/internal/xrand"
 )
 
 // ingestStatusOK are the only statuses a damaged-or-clean upload may
@@ -120,7 +121,7 @@ func TestIngestFaultMatrix(t *testing.T) {
 		}
 		// Seeded bit flips over the whole log.
 		for seed := uint64(1); seed <= 8; seed++ {
-			flipped, _ := faultinject.FlipBit(wl.Bin, 0, faultinject.NewRand(seed*2654435761))
+			flipped, _ := faultinject.FlipBit(wl.Bin, 0, xrand.NewRand(seed*2654435761))
 			status, ir := post(flipped)
 			if !ingestStatusOK(status) {
 				t.Fatalf("%s flip seed=%d: HTTP %d", wl.Name, seed, status)
@@ -173,7 +174,7 @@ func FuzzIngest(f *testing.F) {
 			}
 		}
 		if flipSeed != 0 && len(data) > 0 {
-			data, _ = faultinject.FlipBit(data, 0, faultinject.NewRand(flipSeed))
+			data, _ = faultinject.FlipBit(data, 0, xrand.NewRand(flipSeed))
 		}
 
 		resp, err := http.Post(ts.URL+"/api/v1/runs", "application/octet-stream", bytes.NewReader(data))

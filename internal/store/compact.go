@@ -182,6 +182,11 @@ func checkMergeable(a, b *profile.Profile) error {
 		return fmt.Errorf("incompatible site tables (%d/%d sites, %d/%d chain nodes): runs come from different builds",
 			len(a.Sites), len(b.Sites), len(a.ChainNodes), len(b.ChainNodes))
 	}
+	// Sampled and exact runs (or two different rates) scale their estimates
+	// differently; folding them into one accumulator would mix estimators.
+	if ra, rb := a.EffectiveSampleRate(), b.EffectiveSampleRate(); ra != rb {
+		return fmt.Errorf("incompatible sample rates (%g vs %g): sampled and exact runs cannot be merged", ra, rb)
+	}
 	return nil
 }
 

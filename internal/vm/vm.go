@@ -10,6 +10,7 @@ import (
 	"dragprof/internal/bytecode"
 	"dragprof/internal/gc"
 	"dragprof/internal/heap"
+	"dragprof/internal/xrand"
 )
 
 // CollectorKind selects the garbage collector.
@@ -45,6 +46,16 @@ type Config struct {
 	MaxSteps int64
 	// Seed seeds the deterministic pseudo-random builtin.
 	Seed uint64
+	// SampleRate is the per-byte probability of the profiler's
+	// byte-weighted sampler. Outside (0, 1) — including the zero value —
+	// every allocation is profiled (the exact, legacy mode). Inside it,
+	// the listener sees only sampled objects: an object of s bytes is
+	// selected with probability 1-(1-SampleRate)^s via a geometric byte
+	// countdown, and unsampled objects emit no events at all.
+	SampleRate float64
+	// SampleSeed seeds the sampler's deterministic generator; 0 selects a
+	// fixed default, so runs are reproducible unless a seed is chosen.
+	SampleSeed uint64
 	// LiveSlotFilter, when non-nil, lets collectors skip dead local
 	// slots as roots: a slot is treated as a root only when the filter
 	// reports it live at the frame's current pc. This is the
@@ -130,6 +141,9 @@ type VM struct {
 
 	chains   *ChainTable
 	listener Listener
+	// sampler is non-nil only when cfg.SampleRate is in (0, 1); its byte
+	// countdown gates every listener event.
+	sampler *xrand.Skipper
 
 	out    io.Writer
 	outBuf *bytes.Buffer
@@ -192,6 +206,9 @@ func New(prog *bytecode.Program, cfg Config) (*VM, error) {
 
 		budgets:       cfg.Budgets,
 		budgetsActive: cfg.Budgets.active(),
+	}
+	if cfg.SampleRate > 0 && cfg.SampleRate < 1 {
+		vm.sampler = xrand.NewSkipper(cfg.SampleRate, cfg.SampleSeed)
 	}
 	switch cfg.Collector {
 	case "", MarkSweep:
@@ -546,6 +563,15 @@ func (vm *VM) noteAlloc(h heap.Handle, site int32, interned bool) {
 		vm.pendingMinor = true
 	}
 	if vm.listener != nil {
+		if vm.sampler != nil {
+			// Byte-weighted sampling: count the object's bytes down; an
+			// unsampled object pays this compare-and-subtract and nothing
+			// else (no chain interning, no listener call, no trailer).
+			if !vm.sampler.Take(o.Size) {
+				return
+			}
+			o.Sampled = true
+		}
 		chain := int32(-1)
 		if len(vm.frames) > 0 {
 			f := vm.top()
@@ -572,6 +598,9 @@ func (vm *VM) emitUse(h heap.Handle, o *heap.Object, kind UseKind, _ int32) {
 		if o == nil {
 			return
 		}
+	}
+	if vm.sampler != nil && !o.Sampled {
+		return
 	}
 	chain := int32(-1)
 	if len(vm.frames) > 0 {

@@ -1,0 +1,141 @@
+// Package xrand provides the repo's deterministic pseudo-random machinery:
+// a seeded xorshift64* generator shared by the fault injectors and the
+// sampled profiler, and the geometric byte-countdown skipper that drives
+// byte-weighted allocation sampling (jemalloc's fast Bernoulli-skipping
+// scheme). Everything here is deterministic — the same seed yields the same
+// sequence on every run and platform — which is what makes sampled runs
+// reproducible and their tests exact.
+package xrand
+
+import "math"
+
+// Rand is a deterministic xorshift64* generator: the same seed yields the
+// same sequence on every run and platform.
+type Rand struct{ s uint64 }
+
+// NewRand seeds a generator; seed 0 is remapped to a fixed nonzero state.
+func NewRand(seed uint64) *Rand {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return &Rand{s: seed}
+}
+
+// Uint64 advances the generator.
+func (r *Rand) Uint64() uint64 {
+	r.s ^= r.s >> 12
+	r.s ^= r.s << 25
+	r.s ^= r.s >> 27
+	return r.s * 0x2545f4914f6cdd1d
+}
+
+// Intn returns a value in [0, n).
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn on non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a value in (0, 1]: the top 53 bits of a draw, shifted
+// into the unit interval and nudged off zero. The open-at-zero convention
+// lets callers take log(u) without guarding.
+func (r *Rand) Float64() float64 {
+	return float64((r.Uint64()>>11)+1) * (1.0 / (1 << 53))
+}
+
+// Skipper implements byte-weighted Bernoulli sampling with geometric
+// skipping: each byte is an independent coin flip with probability p, but
+// instead of flipping per byte the skipper draws the gap to the next success
+// from the geometric distribution Geom(p) by inversion,
+//
+//	G = floor(ln(U) / ln(1-p)) + 1,  U uniform in (0, 1],
+//
+// and counts allocation bytes down toward it. The hot path is one compare
+// and one subtract per object; the slow path (a fresh draw) runs only when
+// an object is sampled. Memorylessness makes the scheme exact: an object of
+// s bytes is sampled with probability 1-(1-p)^s regardless of how previous
+// objects were sized or batched.
+type Skipper struct {
+	rng *Rand
+	p   float64
+	lnq float64 // ln(1-p), cached for the inversion draw
+	// countdown is the 1-indexed position of the next sampled byte: the
+	// object containing that byte is the next one sampled.
+	countdown int64
+}
+
+// NewSkipper returns a skipper sampling each byte with probability p, driven
+// by a generator seeded with seed. p <= 0 never samples; p >= 1 samples
+// every object.
+func NewSkipper(p float64, seed uint64) *Skipper {
+	s := &Skipper{rng: NewRand(seed), p: p}
+	if p > 0 && p < 1 {
+		s.lnq = math.Log1p(-p)
+	}
+	s.countdown = s.nextGap()
+	return s
+}
+
+// Rate returns the per-byte sampling probability.
+func (s *Skipper) Rate() float64 { return s.p }
+
+// nextGap draws from Geom(p): the number of byte-trials up to and including
+// the first success.
+func (s *Skipper) nextGap() int64 {
+	if s.p >= 1 {
+		return 1
+	}
+	if s.p <= 0 {
+		return math.MaxInt64
+	}
+	g := math.Floor(math.Log(s.rng.Float64())/s.lnq) + 1
+	if g < 1 {
+		return 1
+	}
+	if g >= math.MaxInt64 {
+		return math.MaxInt64
+	}
+	return int64(g)
+}
+
+// Take runs size byte-trials and reports whether any succeeded — i.e.
+// whether an object of that size is sampled. Unsampled objects cost one
+// compare and one subtract; sampled objects additionally consume their
+// remaining bytes against fresh geometric draws, so the trial stream stays
+// exactly Bernoulli(p) per byte across objects.
+func (s *Skipper) Take(size int64) bool {
+	if size < s.countdown {
+		s.countdown -= size
+		return false
+	}
+	if s.p >= 1 {
+		// Every byte is a success; skip the per-byte replay.
+		s.countdown = 1
+		return size > 0
+	}
+	rem := size - s.countdown
+	for {
+		g := s.nextGap()
+		if g > rem {
+			s.countdown = g - rem
+			return true
+		}
+		rem -= g
+	}
+}
+
+// Inclusion returns the probability that an object of the given size is
+// sampled at per-byte rate p: 1-(1-p)^size. Analysis divides sampled
+// records' contributions by this weight (Horvitz-Thompson), which is what
+// makes the scaled estimates unbiased.
+func Inclusion(p float64, size int64) float64 {
+	if p >= 1 {
+		return 1
+	}
+	if p <= 0 || size <= 0 {
+		return 0
+	}
+	// 1-(1-p)^s = -expm1(s·ln(1-p)), stable for tiny p.
+	return -math.Expm1(float64(size) * math.Log1p(-p))
+}

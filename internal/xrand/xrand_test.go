@@ -1,0 +1,171 @@
+package xrand
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestRandDeterministic(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	if NewRand(1).Uint64() == NewRand(2).Uint64() {
+		t.Error("different seeds collided on first draw")
+	}
+	// Seed 0 must behave like the remapped fixed seed, not a stuck state.
+	z := NewRand(0)
+	if z.Uint64() == z.Uint64() {
+		t.Error("seed-0 generator repeated itself")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRand(9)
+	for i := 0; i < 10000; i++ {
+		u := r.Float64()
+		if u <= 0 || u > 1 {
+			t.Fatalf("Float64 outside (0, 1]: %v", u)
+		}
+	}
+}
+
+// TestSkipGapDistribution checks the inversion sampler against the
+// geometric distribution's first two moments: mean 1/p and variance
+// (1-p)/p². With n = 200k draws the standard error of the empirical mean
+// is about (1/p)·sqrt(1-p)/sqrt(n), so a 5% tolerance sits at many sigma
+// — and the generator is deterministic anyway, so the test cannot flake.
+func TestSkipGapDistribution(t *testing.T) {
+	for _, p := range []float64{0.5, 0.1, 0.01, 0.001} {
+		s := NewSkipper(p, 1234)
+		const n = 200_000
+		var sum, sumSq float64
+		for i := 0; i < n; i++ {
+			g := float64(s.nextGap())
+			sum += g
+			sumSq += g * g
+		}
+		mean := sum / n
+		variance := sumSq/n - mean*mean
+		wantMean := 1 / p
+		wantVar := (1 - p) / (p * p)
+		if rel := math.Abs(mean-wantMean) / wantMean; rel > 0.05 {
+			t.Errorf("p=%v: empirical mean %.2f, want %.2f (rel err %.3f)", p, mean, wantMean, rel)
+		}
+		if rel := math.Abs(variance-wantVar) / wantVar; rel > 0.10 {
+			t.Errorf("p=%v: empirical variance %.2f, want %.2f (rel err %.3f)", p, variance, wantVar, rel)
+		}
+	}
+}
+
+// TestTakeFrequency checks the end-to-end per-object property: an object of
+// size s is sampled with probability 1-(1-p)^s.
+func TestTakeFrequency(t *testing.T) {
+	const p, size = 0.001, 512
+	s := NewSkipper(p, 7)
+	const n = 100_000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if s.Take(size) {
+			hits++
+		}
+	}
+	want := Inclusion(p, size)
+	got := float64(hits) / n
+	if math.Abs(got-want)/want > 0.05 {
+		t.Errorf("sampled fraction %.4f, want %.4f", got, want)
+	}
+}
+
+func TestBoundaryRates(t *testing.T) {
+	// p = 0: nothing is ever sampled.
+	s0 := NewSkipper(0, 1)
+	for i := 0; i < 1000; i++ {
+		if s0.Take(1 << 20) {
+			t.Fatal("p=0 skipper sampled an object")
+		}
+	}
+	// p = 1: everything (nonempty) is sampled, in O(1) per object.
+	s1 := NewSkipper(1, 1)
+	for i := 0; i < 1000; i++ {
+		if !s1.Take(1 << 20) {
+			t.Fatal("p=1 skipper missed an object")
+		}
+	}
+	if s1.Take(0) {
+		t.Error("p=1 skipper sampled a zero-byte object")
+	}
+	// Tiny p: no overflow, gaps stay positive and huge on average.
+	tiny := NewSkipper(1e-12, 1)
+	for i := 0; i < 1000; i++ {
+		if g := tiny.nextGap(); g < 1 {
+			t.Fatalf("tiny-p gap %d < 1", g)
+		}
+	}
+	// Negative p behaves like 0; p > 1 behaves like 1.
+	if NewSkipper(-0.5, 1).Take(1 << 30) {
+		t.Error("negative-p skipper sampled")
+	}
+	if !NewSkipper(2, 1).Take(8) {
+		t.Error("p>1 skipper missed")
+	}
+}
+
+func TestInclusion(t *testing.T) {
+	if got := Inclusion(1, 8); got != 1 {
+		t.Errorf("Inclusion(1, 8) = %v", got)
+	}
+	if got := Inclusion(0, 8); got != 0 {
+		t.Errorf("Inclusion(0, 8) = %v", got)
+	}
+	if got := Inclusion(0.5, 0); got != 0 {
+		t.Errorf("Inclusion(0.5, 0) = %v", got)
+	}
+	// Exact closed form at p = 0.5, s = 2: 1 - 0.25 = 0.75.
+	if got := Inclusion(0.5, 2); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("Inclusion(0.5, 2) = %v, want 0.75", got)
+	}
+	// Tiny p, small s: π ≈ p·s without catastrophic cancellation.
+	if got, want := Inclusion(1e-9, 100), 1e-7; math.Abs(got-want)/want > 1e-4 {
+		t.Errorf("Inclusion(1e-9, 100) = %v, want ≈ %v", got, want)
+	}
+}
+
+// TestSkipperDeterministicDoubleRun drives two identically-seeded skippers
+// through the same allocation trace on separate goroutines and requires
+// identical decisions. Under -race (the CI race job runs the whole test
+// suite) this doubles as the proof that a skipper is confined state: two
+// concurrent skippers share nothing.
+func TestSkipperDeterministicDoubleRun(t *testing.T) {
+	trace := make([]int64, 50_000)
+	r := NewRand(99)
+	for i := range trace {
+		trace[i] = int64(8 + 8*r.Intn(512))
+	}
+	run := func() []bool {
+		s := NewSkipper(0.01, 4242)
+		out := make([]bool, len(trace))
+		for i, size := range trace {
+			out[i] = s.Take(size)
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	results := make([][]bool, 2)
+	for k := 0; k < 2; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results[k] = run()
+		}()
+	}
+	wg.Wait()
+	for i := range trace {
+		if results[0][i] != results[1][i] {
+			t.Fatalf("decision %d diverged between identically-seeded runs", i)
+		}
+	}
+}
