@@ -20,7 +20,8 @@
 //	         [-heap bytes] [-max-alloc bytes] [-max-live bytes]
 //	         [-timeout duration] [-sample-rate p] [-sample-seed n]
 //	         [-bench name] [-push URL]
-//	         [-push-retries n] [-push-timeout duration] [file.mj...]
+//	         [-push-retries n] [-push-timeout duration]
+//	         [-push-max-elapsed duration] [file.mj...]
 //
 // -sample-rate below 1 switches the profiler to byte-weighted sampling:
 // an object of s bytes gets a trailer with probability 1-(1-p)^s, the log
@@ -64,6 +65,7 @@ func run() int {
 	push := flag.String("push", "", "after writing the log, upload it to this dragserved base URL")
 	pushRetries := flag.Int("push-retries", 3, "push retry attempts after the first")
 	pushTimeout := flag.Duration("push-timeout", 60*time.Second, "per-attempt push timeout")
+	pushMaxElapsed := flag.Duration("push-max-elapsed", 5*time.Minute, "give up pushing after this much total retry time")
 	flag.Parse()
 	if *format != "binary" && *format != "text" {
 		fmt.Fprintf(os.Stderr, "dragprof: unknown -format %q (want binary or text)\n", *format)
@@ -151,7 +153,7 @@ func run() int {
 		prof.NumObjects(), float64(prof.TotalAllocationBytes())/(1<<20), *format, *out)
 
 	if *push != "" {
-		if pushCode := pushLog(*push, *out, *pushRetries, *pushTimeout); pushCode != cli.ExitOK {
+		if pushCode := pushLog(*push, *out, *pushRetries, *pushTimeout, *pushMaxElapsed); pushCode != cli.ExitOK {
 			return pushCode
 		}
 	}
@@ -160,11 +162,12 @@ func run() int {
 
 // pushLog uploads the written log to a dragserved instance. The log stays
 // on disk either way, so an unreachable server (exit 7) loses nothing.
-func pushLog(serverURL, path string, retries int, timeout time.Duration) int {
+func pushLog(serverURL, path string, retries int, timeout, maxElapsed time.Duration) int {
 	open := func() (io.ReadCloser, error) { return os.Open(path) }
 	resp, err := server.Push(context.Background(), serverURL, open, server.PushOptions{
-		Retries: retries,
-		Timeout: timeout,
+		Retries:    retries,
+		Timeout:    timeout,
+		MaxElapsed: maxElapsed,
 	})
 	if err != nil {
 		var rej *server.RejectedError

@@ -8,6 +8,13 @@
 // `draganalyze -format canonical` over the same log — the service adds
 // durability and cross-run queries, never a different answer.
 //
+// The daemon binds its port immediately and opens the store (with its
+// crash-recovery scan) in the background: /healthz answers 200 as soon
+// as the process is up (liveness), while /readyz stays 503 until
+// recovery finishes and flips back to 503 while draining for shutdown
+// (readiness — point load balancers and smoke tests here). Ingest
+// concurrency is bounded; excess load is shed with 429 + Retry-After.
+//
 // Endpoints:
 //
 //	POST /api/v1/runs                 ingest one drag log (body: the log)
@@ -16,12 +23,13 @@
 //	GET  /api/v1/runs/{id}/report     ?format=canonical|text|json|sarif
 //	GET  /api/v1/sites                ?sort=drag|bytes|objects|neverused
 //	GET  /api/v1/diff?base=ID&head=ID cross-run regression diff
-//	GET  /metrics, /healthz, /debug/pprof/...
+//	GET  /metrics, /healthz, /readyz, /debug/pprof/...
 //
 // Usage:
 //
 //	dragserved [-addr :8357] [-data DIR] [-workers n]
 //	           [-request-timeout 60s] [-max-upload 1073741824]
+//	           [-max-inflight 64]
 package main
 
 import (
@@ -33,6 +41,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
 	"time"
 
@@ -51,6 +60,7 @@ func run() int {
 	workers := flag.Int("workers", 0, "analysis workers per request (0: GOMAXPROCS)")
 	reqTimeout := flag.Duration("request-timeout", 60*time.Second, "per-request timeout for query endpoints")
 	maxUpload := flag.Int64("max-upload", 1<<30, "maximum upload size in bytes")
+	maxInflight := flag.Int("max-inflight", 64, "maximum concurrent ingest requests before shedding with 429")
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintln(os.Stderr, "usage: dragserved [flags]")
@@ -59,17 +69,16 @@ func run() int {
 	}
 
 	logger := log.New(os.Stderr, "dragserved: ", log.LstdFlags)
-	st, err := store.Open(*data)
-	if err != nil {
-		logger.Print(err)
-		return cli.ExitFailure
-	}
+	// The store opens in the background so the port binds and the
+	// probes answer while the recovery scan chews through a large (or
+	// damaged) data directory.
 	srv := server.New(server.Options{
-		Store:          st,
-		Workers:        *workers,
-		MaxUploadBytes: *maxUpload,
-		RequestTimeout: *reqTimeout,
-		Log:            logger,
+		OpenStore:         func() (*store.Store, error) { return store.Open(*data) },
+		Workers:           *workers,
+		MaxUploadBytes:    *maxUpload,
+		MaxInFlightIngest: *maxInflight,
+		RequestTimeout:    *reqTimeout,
+		Log:               logger,
 	})
 
 	httpSrv := &http.Server{
@@ -78,28 +87,67 @@ func run() int {
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
-	// Graceful shutdown: finish in-flight requests, then run a final
-	// compaction so the store is clean on disk before exit.
+	// Graceful shutdown: drain in-flight ingest (readyz flips 503 so
+	// balancers stop routing), finish in-flight requests, then run a
+	// final compaction so the store is clean on disk before exit.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errCh := make(chan error, 1)
-	go func() { errCh <- httpSrv.ListenAndServe() }()
-	logger.Printf("listening on %s, store at %s (%d runs, %d bytes)",
-		*addr, *data, st.NumRuns(), st.TotalBytes())
+	var lwg sync.WaitGroup
+	lwg.Add(1)
+	go func() {
+		defer lwg.Done()
+		errCh <- httpSrv.ListenAndServe()
+	}()
+	logger.Printf("listening on %s, store at %s (recovery scan in background)", *addr, *data)
 
 	select {
 	case err := <-errCh:
 		logger.Print(err)
 		srv.Close()
+		lwg.Wait()
+		return cli.ExitFailure
+	case <-srv.OpenDone():
+		if err := srv.ReadyErr(); err != nil {
+			// The store can never become ready; surface the failure and
+			// exit instead of serving 503 forever.
+			logger.Printf("store open failed: %v", err)
+			shutdownListener(httpSrv, logger)
+			srv.Close()
+			lwg.Wait()
+			return cli.ExitFailure
+		}
+		st := srv.Store()
+		logger.Printf("ready: %d runs, %d bytes, %d quarantined",
+			st.NumRuns(), st.TotalBytes(), len(st.Quarantined()))
+	case <-ctx.Done():
+		logger.Print("shutting down before the store opened")
+		shutdownListener(httpSrv, logger)
+		srv.Close()
+		lwg.Wait()
+		return cli.ExitOK
+	}
+
+	select {
+	case err := <-errCh:
+		logger.Print(err)
+		srv.Close()
+		lwg.Wait()
 		return cli.ExitFailure
 	case <-ctx.Done():
 	}
-	logger.Print("shutting down")
+	logger.Print("shutting down: draining ingest")
+	srv.BeginDrain()
+	shutdownListener(httpSrv, logger)
+	srv.Close()
+	lwg.Wait()
+	return cli.ExitOK
+}
+
+func shutdownListener(httpSrv *http.Server, logger *log.Logger) {
 	shutCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		logger.Printf("shutdown: %v", err)
 	}
-	srv.Close()
-	return cli.ExitOK
 }

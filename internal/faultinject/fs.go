@@ -1,0 +1,312 @@
+// CrashFS: a power-cut simulator behind the store's filesystem seam.
+//
+// Every mutating operation the store performs (MkdirAll, CreateTemp,
+// Write, Sync, Rename, Remove, SyncDir) is one numbered step. A CrashFS
+// configured with CrashAtStep=k executes steps 1..k-1 faithfully, then
+// "cuts power" at step k: the operation fails with ErrCrashed, every
+// subsequent operation fails with ErrCrashed, and the on-disk state is
+// rewound to exactly what POSIX guarantees survives — file contents only
+// up to the last Sync, directory entries (creates, renames, removes)
+// only if a SyncDir of their parent directory happened. Enumerating k
+// over a workload's full step count visits every possible crash point.
+//
+// With KeepUnsynced the rewind is skipped: everything written so far
+// stays on disk (the friendly-kernel outcome, which maximizes torn
+// artifacts for the quarantine scan to chew on), and a crash landing on
+// a Write additionally tears the buffer in half.
+//
+// Faults maps a step number to an errno (ENOSPC, EIO, ...) injected at
+// that step without crashing: the operation fails with an error that is
+// both errors.Is(err, ErrInjected) and errors.Is(err, errno), and the
+// filesystem keeps running — the clean-typed-error matrix.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"dragprof/internal/store"
+)
+
+// ErrCrashed is the sentinel returned by every CrashFS operation at and
+// after the simulated power cut.
+var ErrCrashed = errors.New("faultinject: simulated power cut")
+
+// CrashFSOptions configures a CrashFS.
+type CrashFSOptions struct {
+	// CrashAtStep is the 1-based mutation-step index at which the power
+	// cut happens; 0 never crashes (useful for counting steps).
+	CrashAtStep int
+	// KeepUnsynced leaves all written state on disk at the crash instead
+	// of dropping everything that was not fsynced.
+	KeepUnsynced bool
+	// Faults injects an errno at specific steps without crashing.
+	Faults map[int]error
+}
+
+// CrashFS implements store.FS over the real filesystem, with crash and
+// errno injection. It is safe for concurrent use.
+type CrashFS struct {
+	mu      sync.Mutex
+	opts    CrashFSOptions
+	step    int
+	crashed bool
+	// synced tracks, per file created through the seam, the length known
+	// to be on stable storage (advanced only by Sync).
+	synced map[string]int64
+	// journal records directory-entry mutations not yet made durable by
+	// a SyncDir of their parent; a drop-mode crash undoes it in reverse.
+	journal []dirOp
+}
+
+type dirOp struct {
+	kind    string // "create", "rename", "remove"
+	path    string // create: current path (tracks renames); remove: removed path
+	oldPath string // rename: source
+	newPath string // rename: destination
+	saved   []byte // rename: overwritten destination; remove: removed contents
+	had     bool   // rename: destination existed; remove: always true
+}
+
+// NewCrashFS returns a CrashFS over the real filesystem.
+func NewCrashFS(opts CrashFSOptions) *CrashFS {
+	return &CrashFS{opts: opts, synced: make(map[string]int64)}
+}
+
+var _ store.FS = (*CrashFS)(nil)
+
+// Steps returns how many mutation steps have been attempted so far. Run
+// a workload with CrashAtStep=0 first to learn its total step count,
+// then crash at every k in [1, Steps()].
+func (c *CrashFS) Steps() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.step
+}
+
+// Crashed reports whether the simulated power cut has happened.
+func (c *CrashFS) Crashed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.crashed
+}
+
+// injectedErr ties an injected errno to the ErrInjected sentinel so
+// tests can assert both the sentinel and the typed errno.
+type injectedErr struct {
+	op    string
+	errno error
+}
+
+func (e *injectedErr) Error() string {
+	return fmt.Sprintf("faultinject: %s: %v", e.op, e.errno)
+}
+
+func (e *injectedErr) Unwrap() []error { return []error{ErrInjected, e.errno} }
+
+// begin counts one mutation step and decides its fate. It returns a
+// non-nil error when the step must fail (errno injection or crash); on
+// crash it also materializes the post-crash disk state. tear is invoked
+// (still under the lock) right before a crash lands, letting a Write
+// leave half its buffer behind in keep mode.
+func (c *CrashFS) begin(op string, tear func()) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.crashed {
+		return fmt.Errorf("%s: %w", op, ErrCrashed)
+	}
+	c.step++
+	if errno, ok := c.opts.Faults[c.step]; ok {
+		return &injectedErr{op: op, errno: errno}
+	}
+	if c.opts.CrashAtStep != 0 && c.step == c.opts.CrashAtStep {
+		c.crashed = true
+		if tear != nil && c.opts.KeepUnsynced {
+			tear()
+		}
+		if !c.opts.KeepUnsynced {
+			c.rewindLocked()
+		}
+		return fmt.Errorf("%s: %w", op, ErrCrashed)
+	}
+	return nil
+}
+
+// rewindLocked drops everything POSIX does not guarantee: truncate every
+// seam-created file to its last-synced length, then undo the journal of
+// un-fsynced directory mutations in reverse.
+func (c *CrashFS) rewindLocked() {
+	for path, n := range c.synced {
+		if fi, err := os.Stat(path); err == nil && fi.Size() > n {
+			os.Truncate(path, n)
+		}
+	}
+	for i := len(c.journal) - 1; i >= 0; i-- {
+		op := c.journal[i]
+		switch op.kind {
+		case "rename":
+			os.Rename(op.newPath, op.oldPath)
+			if op.had {
+				os.WriteFile(op.newPath, op.saved, 0o644)
+			}
+			// Earlier ops tracking the moved file point at the
+			// destination; the file is back at the source now.
+			for j := 0; j < i; j++ {
+				if c.journal[j].kind == "create" && c.journal[j].path == op.newPath {
+					c.journal[j].path = op.oldPath
+				}
+			}
+		case "create":
+			os.Remove(op.path)
+		case "remove":
+			os.WriteFile(op.path, op.saved, 0o644)
+		}
+	}
+	c.journal = nil
+}
+
+// MkdirAll implements store.FS. Created directories are modeled as
+// immediately durable: the store only mkdirs its fixed layout on Open,
+// and the next Open recreates anything lost.
+func (c *CrashFS) MkdirAll(path string) error {
+	if err := c.begin("mkdir "+path, nil); err != nil {
+		return err
+	}
+	return os.MkdirAll(path, 0o755)
+}
+
+// CreateTemp implements store.FS.
+func (c *CrashFS) CreateTemp(dir, pattern string) (store.File, error) {
+	if err := c.begin("create "+filepath.Join(dir, pattern), nil); err != nil {
+		return nil, err
+	}
+	f, err := os.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.synced[f.Name()] = 0
+	c.journal = append(c.journal, dirOp{kind: "create", path: f.Name()})
+	c.mu.Unlock()
+	return &crashFile{fs: c, f: f}, nil
+}
+
+// Rename implements store.FS. The rename (and with it the file's
+// creation) becomes durable when the destination's directory is
+// SyncDir'd.
+func (c *CrashFS) Rename(oldpath, newpath string) error {
+	if err := c.begin(fmt.Sprintf("rename %s -> %s", oldpath, newpath), nil); err != nil {
+		return err
+	}
+	saved, rerr := os.ReadFile(newpath)
+	had := rerr == nil
+	if err := os.Rename(oldpath, newpath); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	for i := range c.journal {
+		if c.journal[i].kind == "create" && c.journal[i].path == oldpath {
+			c.journal[i].path = newpath
+		}
+	}
+	if n, ok := c.synced[oldpath]; ok {
+		c.synced[newpath] = n
+		delete(c.synced, oldpath)
+	}
+	c.journal = append(c.journal, dirOp{kind: "rename", oldPath: oldpath, newPath: newpath, saved: saved, had: had})
+	c.mu.Unlock()
+	return nil
+}
+
+// Remove implements store.FS.
+func (c *CrashFS) Remove(name string) error {
+	if err := c.begin("remove "+name, nil); err != nil {
+		return err
+	}
+	saved, rerr := os.ReadFile(name)
+	if err := os.Remove(name); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	delete(c.synced, name)
+	if rerr == nil {
+		c.journal = append(c.journal, dirOp{kind: "remove", path: name, saved: saved, had: true})
+	}
+	c.mu.Unlock()
+	return nil
+}
+
+// SyncDir implements store.FS: every journaled entry mutation under dir
+// becomes durable and leaves the journal.
+func (c *CrashFS) SyncDir(dir string) error {
+	if err := c.begin("syncdir "+dir, nil); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	kept := c.journal[:0]
+	for _, op := range c.journal {
+		p := op.path
+		if op.kind == "rename" {
+			p = op.newPath
+		}
+		if filepath.Dir(p) != dir {
+			kept = append(kept, op)
+		}
+	}
+	c.journal = kept
+	c.mu.Unlock()
+	return nil
+}
+
+// crashFile is a store.File whose Write and Sync are crash steps.
+type crashFile struct {
+	fs *CrashFS
+	f  *os.File
+}
+
+func (f *crashFile) Write(p []byte) (int, error) {
+	err := f.fs.begin("write "+f.f.Name(), func() {
+		f.f.Write(p[:len(p)/2]) // keep-mode torn write
+	})
+	if err != nil {
+		return 0, err
+	}
+	return f.f.Write(p)
+}
+
+// Sync marks the file's current length durable.
+func (f *crashFile) Sync() error {
+	if err := f.fs.begin("sync "+f.f.Name(), nil); err != nil {
+		return err
+	}
+	if err := f.f.Sync(); err != nil {
+		return err
+	}
+	fi, err := f.f.Stat()
+	if err != nil {
+		return err
+	}
+	f.fs.mu.Lock()
+	f.fs.synced[f.f.Name()] = fi.Size()
+	f.fs.mu.Unlock()
+	return nil
+}
+
+// Close is not a durability event and never a crash step; it always
+// releases the descriptor, and reports the crash only so a caller on the
+// clean path stops.
+func (f *crashFile) Close() error {
+	err := f.f.Close()
+	f.fs.mu.Lock()
+	crashed := f.fs.crashed
+	f.fs.mu.Unlock()
+	if crashed {
+		return fmt.Errorf("close %s: %w", f.f.Name(), ErrCrashed)
+	}
+	return err
+}
+
+func (f *crashFile) Name() string { return f.f.Name() }

@@ -1,0 +1,176 @@
+package faultinject
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+)
+
+// step-by-step CrashFS semantics: what survives a drop-mode power cut
+// must be exactly the fsynced state.
+
+func TestCrashFSDropsUnsyncedCreate(t *testing.T) {
+	dir := t.TempDir()
+	fs := NewCrashFS(CrashFSOptions{CrashAtStep: 4}) // create, write, sync, <crash on syncdir>
+	f, err := fs.CreateTemp(dir, "x-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	name := f.Name()
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.SyncDir(dir); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("syncdir: got %v, want ErrCrashed", err)
+	}
+	// Content was synced but the directory entry never was: the file is
+	// gone.
+	if _, err := os.Stat(name); !os.IsNotExist(err) {
+		t.Fatalf("unsynced create survived the crash: %v", err)
+	}
+	if !fs.Crashed() {
+		t.Fatal("fs not crashed")
+	}
+	if err := fs.Remove(name); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash op: got %v, want ErrCrashed", err)
+	}
+}
+
+func TestCrashFSTruncatesToSyncedLength(t *testing.T) {
+	dir := t.TempDir()
+	// create, write, sync, syncdir (durable), write again, crash on sync.
+	fs := NewCrashFS(CrashFSOptions{CrashAtStep: 6})
+	f, err := fs.CreateTemp(dir, "x-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("durable")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.SyncDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("-lost")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("sync: got %v, want ErrCrashed", err)
+	}
+	got, err := os.ReadFile(f.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "durable" {
+		t.Fatalf("file holds %q, want only the synced prefix", got)
+	}
+}
+
+func TestCrashFSRollsBackRenameOverExisting(t *testing.T) {
+	dir := t.TempDir()
+	target := filepath.Join(dir, "target")
+	if err := os.WriteFile(target, []byte("old generation"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// create, write, sync, rename over target, crash on syncdir.
+	fs := NewCrashFS(CrashFSOptions{CrashAtStep: 5})
+	f, err := fs.CreateTemp(dir, "new-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("new generation")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename(f.Name(), target); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.SyncDir(dir); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("syncdir: got %v, want ErrCrashed", err)
+	}
+	got, err := os.ReadFile(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The swap was not durable: recovery must see the old generation,
+	// and the half-landed new file must not survive anywhere.
+	if string(got) != "old generation" {
+		t.Fatalf("target holds %q, want the old generation back", got)
+	}
+	if _, err := os.Stat(f.Name()); !os.IsNotExist(err) {
+		t.Fatal("renamed temp resurrected at its source and survived")
+	}
+}
+
+func TestCrashFSRestoresUnsyncedRemove(t *testing.T) {
+	dir := t.TempDir()
+	target := filepath.Join(dir, "victim")
+	if err := os.WriteFile(target, []byte("still here"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fs := NewCrashFS(CrashFSOptions{CrashAtStep: 2}) // remove, crash on syncdir
+	if err := fs.Remove(target); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.SyncDir(dir); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("syncdir: got %v, want ErrCrashed", err)
+	}
+	got, err := os.ReadFile(target)
+	if err != nil || string(got) != "still here" {
+		t.Fatalf("unsynced remove not rolled back: %q, %v", got, err)
+	}
+}
+
+func TestCrashFSKeepModeTearsWrite(t *testing.T) {
+	dir := t.TempDir()
+	fs := NewCrashFS(CrashFSOptions{CrashAtStep: 2, KeepUnsynced: true})
+	f, err := fs.CreateTemp(dir, "x-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("abcdefgh")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("write: got %v, want ErrCrashed", err)
+	}
+	got, err := os.ReadFile(f.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "abcd" {
+		t.Fatalf("torn write left %q, want the first half", got)
+	}
+}
+
+func TestCrashFSFaultInjection(t *testing.T) {
+	dir := t.TempDir()
+	fs := NewCrashFS(CrashFSOptions{Faults: map[int]error{2: syscall.ENOSPC}})
+	f, err := fs.CreateTemp(dir, "x-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, werr := f.Write([]byte("x"))
+	if !errors.Is(werr, syscall.ENOSPC) || !errors.Is(werr, ErrInjected) {
+		t.Fatalf("write: got %v, want ENOSPC wrapping ErrInjected", werr)
+	}
+	if fs.Crashed() {
+		t.Fatal("errno injection must not crash the fs")
+	}
+	// The filesystem keeps working after the fault.
+	if _, err := f.Write([]byte("y")); err != nil {
+		t.Fatalf("write after fault: %v", err)
+	}
+	if got := fs.Steps(); got != 3 {
+		t.Fatalf("Steps() = %d, want 3", got)
+	}
+}

@@ -1,0 +1,351 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dragprof/internal/store"
+)
+
+// Graceful degradation: readiness vs liveness, load shedding, drain, and
+// the end-to-end push-against-a-flapping-server contract.
+
+// TestReadyzDuringRecovery: with a background OpenStore, /healthz is 200
+// immediately, /readyz and the data endpoints are 503 + Retry-After
+// until the open returns, then flip.
+func TestReadyzDuringRecovery(t *testing.T) {
+	release := make(chan struct{})
+	dir := t.TempDir()
+	srv := New(Options{
+		OpenStore: func() (*store.Store, error) {
+			<-release
+			return store.Open(dir)
+		},
+		Workers: 2, CompactDebounce: time.Millisecond,
+	})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() { ts.Close(); srv.Close() })
+
+	if code, _ := get(t, ts.URL+"/healthz"); code != http.StatusOK {
+		t.Fatalf("healthz while recovering = %d, want 200 (liveness)", code)
+	}
+	resp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz while recovering = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("readyz 503 without Retry-After")
+	}
+	// Data plane: queries and ingest are 503 + Retry-After, never a
+	// panic on the nil store.
+	qresp, err := http.Get(ts.URL + "/api/v1/runs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	qresp.Body.Close()
+	if qresp.StatusCode != http.StatusServiceUnavailable || qresp.Header.Get("Retry-After") == "" {
+		t.Fatalf("query while recovering = %d (Retry-After %q), want 503 with Retry-After",
+			qresp.StatusCode, qresp.Header.Get("Retry-After"))
+	}
+	code, ir := postLog(t, ts, []byte("log"))
+	if code != http.StatusServiceUnavailable || !strings.Contains(ir.Error, "recovering") {
+		t.Fatalf("ingest while recovering = %d %q, want 503 recovering", code, ir.Error)
+	}
+	if srv.Ready() {
+		t.Fatal("Ready() true before the store opened")
+	}
+
+	close(release)
+	<-srv.OpenDone()
+	if err := srv.ReadyErr(); err != nil {
+		t.Fatal(err)
+	}
+	if code, body := get(t, ts.URL+"/readyz"); code != http.StatusOK || !strings.Contains(string(body), "ready") {
+		t.Fatalf("readyz after open = %d %q, want 200 ready", code, body)
+	}
+	if !srv.Ready() {
+		t.Fatal("Ready() false after the store opened")
+	}
+	// And the data plane works.
+	if code, _ := postLog(t, ts, encodeLog(t, syntheticProfile("w", 6000, 1))); code != http.StatusCreated {
+		t.Fatalf("ingest after open = %d, want 201", code)
+	}
+}
+
+// TestReadyzOpenFailure: a store that cannot open pins the server
+// not-ready with the failure on /readyz, while /healthz stays 200.
+func TestReadyzOpenFailure(t *testing.T) {
+	srv := New(Options{
+		OpenStore: func() (*store.Store, error) {
+			return nil, errors.New("disk exploded")
+		},
+	})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() { ts.Close(); srv.Close() })
+
+	<-srv.OpenDone()
+	if err := srv.ReadyErr(); err == nil || !strings.Contains(err.Error(), "disk exploded") {
+		t.Fatalf("ReadyErr = %v", err)
+	}
+	if code, _ := get(t, ts.URL+"/healthz"); code != http.StatusOK {
+		t.Fatalf("healthz after open failure = %d, want 200", code)
+	}
+	code, body := get(t, ts.URL+"/readyz")
+	if code != http.StatusServiceUnavailable || !strings.Contains(string(body), "disk exploded") {
+		t.Fatalf("readyz after open failure = %d %q", code, body)
+	}
+	if srv.Ready() {
+		t.Fatal("Ready() true despite open failure")
+	}
+}
+
+// blockingReader hands the request body out one byte at a time until
+// released, pinning its ingest in-flight.
+type blockingReader struct {
+	release <-chan struct{}
+	data    io.Reader
+	first   sync.Once
+}
+
+func (b *blockingReader) Read(p []byte) (int, error) {
+	b.first.Do(func() {})
+	select {
+	case <-b.release:
+		return b.data.Read(p)
+	case <-time.After(10 * time.Second):
+		return 0, errors.New("blockingReader: never released")
+	}
+}
+
+// TestIngestShedsWith429 saturates the in-flight ingest cap with stalled
+// uploads: every request past the cap is shed with 429 + Retry-After
+// (never a 5xx), and once the stall clears, acknowledged uploads are all
+// stored — nothing is lost to the shedding.
+func TestIngestShedsWith429(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(Options{Store: st, Workers: 2, MaxInFlightIngest: 2, CompactDebounce: time.Millisecond})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() { ts.Close(); srv.Close() })
+
+	logBytes := encodeLog(t, syntheticProfile("w", 6000, 1))
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	statuses := make([]int, 2)
+	// Two uploads occupy both in-flight slots, stalled on their bodies.
+	for i := 0; i < 2; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			req, _ := http.NewRequest(http.MethodPost, ts.URL+"/api/v1/runs",
+				&blockingReader{release: release, data: bytes.NewReader(logBytes)})
+			req.Header.Set("Content-Type", "application/octet-stream")
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Errorf("stalled upload %d: %v", i, err)
+				return
+			}
+			defer resp.Body.Close()
+			io.Copy(io.Discard, resp.Body)
+			statuses[i] = resp.StatusCode
+		}()
+	}
+	// Wait until both slots are actually held.
+	deadline := time.Now().Add(5 * time.Second)
+	for len(srv.inflight) < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("in-flight slots never filled")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Everything above the cap is shed: 429, Retry-After, no 5xx.
+	otherLog := encodeLog(t, syntheticProfile("w", 3000, 2))
+	for i := 0; i < 8; i++ {
+		resp, err := http.Post(ts.URL+"/api/v1/runs", "application/octet-stream", bytes.NewReader(otherLog))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusTooManyRequests {
+			t.Fatalf("saturated ingest %d = %d, want 429", i, resp.StatusCode)
+		}
+		if resp.Header.Get("Retry-After") == "" {
+			t.Fatal("429 without Retry-After")
+		}
+	}
+
+	close(release)
+	wg.Wait()
+	// The stalled uploads were acknowledged (first 201, second 200
+	// duplicate in either order) — and the acknowledged run is stored.
+	for i, code := range statuses {
+		if code != http.StatusCreated && code != http.StatusOK {
+			t.Fatalf("stalled upload %d finished with %d", i, code)
+		}
+	}
+	if n := srv.Store().NumRuns(); n != 1 {
+		t.Fatalf("store holds %d runs, want 1 (acked upload lost?)", n)
+	}
+	// A retry of the shed upload now goes through.
+	if code, _ := postLog(t, ts, otherLog); code != http.StatusCreated {
+		t.Fatalf("retry after shed = %d, want 201", code)
+	}
+}
+
+// TestDrainRejectsNewIngest: BeginDrain waits out in-flight uploads,
+// flips /readyz to 503, and new ingests are turned away with 503 +
+// Retry-After while queries still answer.
+func TestDrainRejectsNewIngest(t *testing.T) {
+	srv, ts := newTestServer(t)
+	logBytes := encodeLog(t, syntheticProfile("w", 6000, 1))
+	if code, _ := postLog(t, ts, logBytes); code != http.StatusCreated {
+		t.Fatal("seed ingest failed")
+	}
+
+	// An in-flight upload straddles the drain: started before, stalled,
+	// released after BeginDrain is waiting.
+	release := make(chan struct{})
+	started := make(chan struct{})
+	result := make(chan int, 1)
+	go func() {
+		pr, pw := io.Pipe()
+		go func() {
+			close(started)
+			<-release
+			pw.Write(encodeLog(t, syntheticProfile("w", 3000, 2)))
+			pw.Close()
+		}()
+		resp, err := http.Post(ts.URL+"/api/v1/runs", "application/octet-stream", pr)
+		if err != nil {
+			result <- -1
+			return
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, resp.Body)
+		result <- resp.StatusCode
+	}()
+	<-started
+	// Give the handler a moment to register with the drain barrier.
+	deadline := time.Now().Add(5 * time.Second)
+	for len(srv.inflight) < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("in-flight upload never registered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	drained := make(chan struct{})
+	go func() { srv.BeginDrain(); close(drained) }()
+	select {
+	case <-drained:
+		t.Fatal("BeginDrain returned with an upload still in flight")
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(release)
+	select {
+	case <-drained:
+	case <-time.After(5 * time.Second):
+		t.Fatal("BeginDrain never finished after the upload completed")
+	}
+	if code := <-result; code != http.StatusCreated {
+		t.Fatalf("straddling upload = %d, want 201 (drain must not abort it)", code)
+	}
+
+	// After drain: readyz 503, new ingest 503 + Retry-After, queries OK.
+	if code, body := get(t, ts.URL+"/readyz"); code != http.StatusServiceUnavailable || !strings.Contains(string(body), "draining") {
+		t.Fatalf("readyz while draining = %d %q", code, body)
+	}
+	resp, err := http.Post(ts.URL+"/api/v1/runs", "application/octet-stream", bytes.NewReader(logBytes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("ingest while draining = %d (Retry-After %q), want 503 with Retry-After",
+			resp.StatusCode, resp.Header.Get("Retry-After"))
+	}
+	if code, _ := get(t, ts.URL+"/api/v1/runs"); code != http.StatusOK {
+		t.Fatalf("query while draining = %d, want 200", code)
+	}
+	if n := srv.Store().NumRuns(); n != 2 {
+		t.Fatalf("store holds %d runs, want 2", n)
+	}
+}
+
+// TestPushAgainstFlappingServer: the end-to-end overload contract — a
+// server that sheds (429), recovers late (503) and flaps must still
+// accept every push via Retry-After-honoring backoff, with no acked run
+// lost.
+func TestPushAgainstFlappingServer(t *testing.T) {
+	srv, _ := newTestServer(t)
+
+	// flaky fronts the real handler: the first two attempts of every
+	// upload are turned away the way a recovering/overloaded dragserved
+	// would — 503 then 429, both with Retry-After.
+	var mu sync.Mutex
+	attempts := make(map[string]int)
+	flaky := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost {
+			key := r.URL.Path
+			mu.Lock()
+			attempts[key]++
+			n := attempts[key]
+			mu.Unlock()
+			switch n {
+			case 1:
+				w.Header().Set("Retry-After", "1")
+				w.WriteHeader(http.StatusServiceUnavailable)
+				fmt.Fprint(w, `{"error":"store is recovering"}`)
+				return
+			case 2:
+				w.Header().Set("Retry-After", "1")
+				w.WriteHeader(http.StatusTooManyRequests)
+				fmt.Fprint(w, `{"error":"ingest at capacity, retry later"}`)
+				return
+			}
+		}
+		srv.Handler().ServeHTTP(w, r)
+	}))
+	t.Cleanup(flaky.Close)
+
+	logBytes := encodeLog(t, syntheticProfile("w", 6000, 1))
+	var slept atomic.Int64
+	opts := PushOptions{
+		Retries: 5,
+		Backoff: time.Millisecond,
+		sleep:   func(time.Duration) { slept.Add(1) },
+	}
+	resp, err := Push(context.Background(), flaky.URL, opener(logBytes), opts)
+	if err != nil {
+		t.Fatalf("push against flapping server: %v", err)
+	}
+	if resp.Run == nil {
+		t.Fatalf("no run in response: %+v", resp)
+	}
+	if slept.Load() != 2 {
+		t.Fatalf("client slept %d times, want 2 (one per rejection)", slept.Load())
+	}
+	if n := srv.Store().NumRuns(); n != 1 {
+		t.Fatalf("store holds %d runs, want 1", n)
+	}
+}

@@ -2,11 +2,18 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"net/http"
+	"syscall"
 
 	"dragprof/internal/profile"
 	"dragprof/internal/store"
 )
+
+// retryAfterSeconds is the Retry-After hint sent with every 429/503:
+// shed load and recovery windows are short, so clients should come back
+// quickly (with their own jitter — see Push).
+const retryAfterSeconds = "1"
 
 // IngestResponse is the JSON body of every POST /api/v1/runs reply.
 type IngestResponse struct {
@@ -29,16 +36,53 @@ type IngestResponse struct {
 //	413 upload exceeds the size limit
 //	422 damaged upload — body carries the SalvageReport; a salvageable
 //	    prefix is stored and reported in Run
+//	429 in-flight ingest cap reached — shed with Retry-After; retry
+//	503 store still recovering, or server draining — Retry-After set
+//	507 the store's disk is full
 //	500 internal store fault (disk I/O)
 //
 // Damage is never a 5xx: the fault-injection matrix (truncation at every
 // block boundary, bit flips) must land on 422 with a parseable report.
+// Overload is never a 5xx either: past the in-flight cap the server
+// sheds, it does not collapse.
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	s.metrics.ingestRequests.Add(1)
-	res, err := s.st.Ingest(store.LimitReader(r.Body, s.maxBytes), s.workers)
+	st := s.store()
+	if st == nil {
+		s.metrics.notReady.Add(1)
+		w.Header().Set("Retry-After", retryAfterSeconds)
+		writeJSON(w, http.StatusServiceUnavailable, IngestResponse{Error: "store is recovering"})
+		return
+	}
+	// Register with the drain barrier before checking the flag: either
+	// BeginDrain's Wait sees this request, or this request sees the
+	// draining flag — a late upload can never slip past the drain.
+	s.ingestWG.Add(1)
+	defer s.ingestWG.Done()
+	if s.draining.Load() {
+		s.metrics.ingestDrained.Add(1)
+		w.Header().Set("Retry-After", retryAfterSeconds)
+		writeJSON(w, http.StatusServiceUnavailable, IngestResponse{Error: "server is draining"})
+		return
+	}
+	select {
+	case s.inflight <- struct{}{}:
+		defer func() { <-s.inflight }()
+	default:
+		s.metrics.ingestShed.Add(1)
+		w.Header().Set("Retry-After", retryAfterSeconds)
+		writeJSON(w, http.StatusTooManyRequests, IngestResponse{Error: "ingest at capacity, retry later"})
+		return
+	}
+
+	res, err := st.Ingest(store.LimitReader(r.Body, s.maxBytes), s.workers)
 	if err != nil {
 		s.metrics.ingestErrors.Add(1)
 		s.logger.Printf("ingest: %v", err)
+		if errors.Is(err, syscall.ENOSPC) {
+			writeJSON(w, http.StatusInsufficientStorage, IngestResponse{Error: "store disk is full"})
+			return
+		}
 		writeJSON(w, http.StatusInternalServerError, IngestResponse{Error: "internal store error"})
 		return
 	}

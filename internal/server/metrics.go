@@ -16,14 +16,23 @@ type metrics struct {
 	ingestSalvaged   atomic.Int64
 	ingestTooLarge   atomic.Int64
 	ingestErrors     atomic.Int64
+	ingestShed       atomic.Int64
+	ingestDrained    atomic.Int64
 	ingestBytes      atomic.Int64
+	notReady         atomic.Int64
 	queries          atomic.Int64
 	compactions      atomic.Int64
 	compactErrors    atomic.Int64
 	serverErrors     atomic.Int64
 }
 
+// handleMetrics serves even while the store is still recovering — the
+// store gauges simply appear once it is open.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	ready := int64(0)
+	if s.Ready() {
+		ready = 1
+	}
 	gauges := map[string]int64{
 		"dragserved_ingest_requests_total":   s.metrics.ingestRequests.Load(),
 		"dragserved_ingest_stored_total":     s.metrics.ingestStored.Load(),
@@ -31,14 +40,21 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		"dragserved_ingest_salvaged_total":   s.metrics.ingestSalvaged.Load(),
 		"dragserved_ingest_too_large_total":  s.metrics.ingestTooLarge.Load(),
 		"dragserved_ingest_errors_total":     s.metrics.ingestErrors.Load(),
+		"dragserved_ingest_shed_total":       s.metrics.ingestShed.Load(),
+		"dragserved_ingest_drained_total":    s.metrics.ingestDrained.Load(),
 		"dragserved_ingest_bytes_total":      s.metrics.ingestBytes.Load(),
+		"dragserved_not_ready_total":         s.metrics.notReady.Load(),
 		"dragserved_queries_total":           s.metrics.queries.Load(),
 		"dragserved_compactions_total":       s.metrics.compactions.Load(),
 		"dragserved_compact_errors_total":    s.metrics.compactErrors.Load(),
 		"dragserved_http_5xx_total":          s.metrics.serverErrors.Load(),
-		"dragserved_store_runs":              int64(s.st.NumRuns()),
-		"dragserved_store_salvaged_runs":     int64(s.st.SalvagedRuns()),
-		"dragserved_store_bytes":             s.st.TotalBytes(),
+		"dragserved_ready":                   ready,
+	}
+	if st := s.store(); st != nil {
+		gauges["dragserved_store_runs"] = int64(st.NumRuns())
+		gauges["dragserved_store_salvaged_runs"] = int64(st.SalvagedRuns())
+		gauges["dragserved_store_bytes"] = st.TotalBytes()
+		gauges["dragserved_store_quarantined"] = int64(len(st.Quarantined()))
 	}
 	names := make([]string, 0, len(gauges))
 	for n := range gauges {
@@ -51,7 +67,36 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleHealthz is pure liveness: 200 whenever the process can serve
+// HTTP at all. Readiness lives on /readyz.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain")
 	fmt.Fprintln(w, "ok")
+}
+
+// handleReadyz reports whether the server should receive traffic: 503
+// while the store's recovery scan is still running (or failed) and while
+// the server drains for shutdown, 200 otherwise.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain")
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", retryAfterSeconds)
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	select {
+	case <-s.readyCh:
+	default:
+		w.Header().Set("Retry-After", retryAfterSeconds)
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "store recovery in progress")
+		return
+	}
+	if err := s.ReadyErr(); err != nil {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintf(w, "store failed to open: %v\n", err)
+		return
+	}
+	fmt.Fprintln(w, "ready")
 }

@@ -8,6 +8,7 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 )
@@ -42,10 +43,20 @@ type PushOptions struct {
 	// Backoff is the base delay between attempts, doubled each retry with
 	// ±50% jitter so synchronized clients spread out (default 250ms).
 	Backoff time.Duration
+	// MaxDelay caps the exponential growth of a single backoff sleep
+	// (default 30s).
+	MaxDelay time.Duration
+	// MaxElapsed gives up once the retry loop has been running this long,
+	// even with retries left — a flapping server must not wedge the
+	// client forever (default 5m).
+	MaxElapsed time.Duration
 	// Client overrides the HTTP client (tests).
 	Client *http.Client
-	// now and sleep are test seams.
-	sleep func(time.Duration)
+	// now, sleep and randInt63n are test seams (fake clock, deterministic
+	// jitter).
+	now        func() time.Time
+	sleep      func(time.Duration)
+	randInt63n func(int64) int64
 }
 
 func (o PushOptions) withDefaults() PushOptions {
@@ -60,33 +71,58 @@ func (o PushOptions) withDefaults() PushOptions {
 	if o.Backoff <= 0 {
 		o.Backoff = 250 * time.Millisecond
 	}
+	if o.MaxDelay <= 0 {
+		o.MaxDelay = 30 * time.Second
+	}
+	if o.MaxElapsed <= 0 {
+		o.MaxElapsed = 5 * time.Minute
+	}
 	if o.Client == nil {
 		o.Client = http.DefaultClient
 	}
+	if o.now == nil {
+		o.now = time.Now
+	}
 	if o.sleep == nil {
 		o.sleep = time.Sleep
+	}
+	if o.randInt63n == nil {
+		o.randInt63n = rand.Int63n
 	}
 	return o
 }
 
 // Push uploads one drag log to a dragserved instance. open re-opens the
 // log for each attempt (uploads are not seekable once partially sent).
-// Network-level failures and 5xx replies retry with exponential backoff
-// and jitter; after the last attempt a network failure wraps
-// ErrUnreachable and a server rejection is a *RejectedError. A 422
-// (damaged log) is also a *RejectedError — the server may still have
-// stored the salvaged prefix, reported in the response.
+// Network-level failures, 5xx replies and load-shed 429s retry with
+// exponential backoff and jitter, capped per-sleep by MaxDelay and
+// overall by MaxElapsed; when the server sends Retry-After (it does on
+// 429 and 503), that is the floor for the next sleep. After the last
+// attempt a network failure wraps ErrUnreachable and a server rejection
+// is a *RejectedError. A 422 (damaged log) is also a *RejectedError —
+// the server may still have stored the salvaged prefix, reported in the
+// response.
 func Push(ctx context.Context, serverURL string, open func() (io.ReadCloser, error), opts PushOptions) (*IngestResponse, error) {
 	opts = opts.withDefaults()
 	url := strings.TrimRight(serverURL, "/") + "/api/v1/runs"
 
+	start := opts.now()
 	var lastErr error
 	delay := opts.Backoff
+	retryAfter := time.Duration(0)
 	for attempt := 0; attempt <= opts.Retries; attempt++ {
 		if attempt > 0 {
 			// ±50% jitter; non-deterministic by design — this is a
 			// network pacing decision, not a measured result.
-			jittered := delay/2 + time.Duration(rand.Int63n(int64(delay)+1))
+			jittered := delay/2 + time.Duration(opts.randInt63n(int64(delay)+1))
+			if jittered < retryAfter {
+				// The server told us when to come back; honor it.
+				jittered = retryAfter
+			}
+			if opts.now().Add(jittered).Sub(start) > opts.MaxElapsed {
+				return nil, fmt.Errorf("%w: gave up after %v (max elapsed %v): %v",
+					ErrUnreachable, opts.now().Sub(start).Round(time.Millisecond), opts.MaxElapsed, lastErr)
+			}
 			select {
 			case <-ctx.Done():
 				return nil, fmt.Errorf("%w: %v", ErrUnreachable, ctx.Err())
@@ -94,12 +130,16 @@ func Push(ctx context.Context, serverURL string, open func() (io.ReadCloser, err
 			}
 			opts.sleep(jittered)
 			delay *= 2
+			if delay > opts.MaxDelay {
+				delay = opts.MaxDelay
+			}
 		}
-		resp, retry, err := pushOnce(ctx, opts.Client, url, open, opts.Timeout)
+		resp, retry, ra, err := pushOnce(ctx, opts.Client, url, open, opts.Timeout)
 		if err == nil {
 			return resp, nil
 		}
 		lastErr = err
+		retryAfter = ra
 		if !retry {
 			return resp, err
 		}
@@ -111,11 +151,12 @@ func Push(ctx context.Context, serverURL string, open func() (io.ReadCloser, err
 }
 
 // pushOnce performs one attempt. retry reports whether the failure class
-// is worth another try (network faults, 5xx).
-func pushOnce(ctx context.Context, client *http.Client, url string, open func() (io.ReadCloser, error), timeout time.Duration) (resp *IngestResponse, retry bool, err error) {
+// is worth another try (network faults, 5xx, shed load); retryAfter is
+// the server's Retry-After hint, when present.
+func pushOnce(ctx context.Context, client *http.Client, url string, open func() (io.ReadCloser, error), timeout time.Duration) (resp *IngestResponse, retry bool, retryAfter time.Duration, err error) {
 	body, err := open()
 	if err != nil {
-		return nil, false, err
+		return nil, false, 0, err
 	}
 	defer body.Close()
 
@@ -123,13 +164,13 @@ func pushOnce(ctx context.Context, client *http.Client, url string, open func() 
 	defer cancel()
 	req, err := http.NewRequestWithContext(rctx, http.MethodPost, url, body)
 	if err != nil {
-		return nil, false, err
+		return nil, false, 0, err
 	}
 	req.Header.Set("Content-Type", "application/octet-stream")
 
 	httpResp, err := client.Do(req)
 	if err != nil {
-		return nil, true, err
+		return nil, true, 0, err
 	}
 	defer httpResp.Body.Close()
 
@@ -138,16 +179,40 @@ func pushOnce(ctx context.Context, client *http.Client, url string, open func() 
 	if jerr := json.Unmarshal(data, &parsed); jerr == nil {
 		resp = &parsed
 	}
+	retryAfter = parseRetryAfter(httpResp.Header.Get("Retry-After"))
 
 	switch {
 	case httpResp.StatusCode == http.StatusOK || httpResp.StatusCode == http.StatusCreated:
 		if resp == nil {
-			return nil, false, fmt.Errorf("dragserved: unparseable success reply")
+			return nil, false, 0, fmt.Errorf("dragserved: unparseable success reply")
 		}
-		return resp, false, nil
-	case httpResp.StatusCode >= 500:
-		return resp, true, &RejectedError{Status: httpResp.StatusCode, Response: resp}
+		return resp, false, 0, nil
+	case httpResp.StatusCode == http.StatusTooManyRequests || httpResp.StatusCode >= 500:
+		// Shed load and transient unavailability (429, 503 during
+		// recovery/drain, other 5xx) are retryable — that is the whole
+		// point of Retry-After.
+		return resp, true, retryAfter, &RejectedError{Status: httpResp.StatusCode, Response: resp}
 	default:
-		return resp, false, &RejectedError{Status: httpResp.StatusCode, Response: resp}
+		return resp, false, 0, &RejectedError{Status: httpResp.StatusCode, Response: resp}
 	}
+}
+
+// parseRetryAfter reads a Retry-After header: either delay-seconds or an
+// HTTP-date. Malformed values are ignored (zero).
+func parseRetryAfter(v string) time.Duration {
+	if v == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	if at, err := http.ParseTime(v); err == nil {
+		if d := time.Until(at); d > 0 {
+			return d
+		}
+	}
+	return 0
 }

@@ -138,3 +138,160 @@ func TestPushEndToEnd(t *testing.T) {
 		t.Errorf("re-push = %+v, want duplicate of %s", resp2, resp.Run.ID)
 	}
 }
+
+// fakeClock drives the retry loop without real time: now() advances only
+// when sleep() is called, and every sleep is recorded.
+type fakeClock struct {
+	t     time.Time
+	slept []time.Duration
+}
+
+func (c *fakeClock) now() time.Time        { return c.t }
+func (c *fakeClock) sleep(d time.Duration) { c.slept = append(c.slept, d); c.t = c.t.Add(d) }
+
+// TestPushBackoffJitterBounds pins the backoff schedule: every sleep
+// stays within [delay/2, 3*delay/2] of the doubling base delay, and the
+// per-sleep cap holds once the doubling passes MaxDelay.
+func TestPushBackoffJitterBounds(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "flapping", http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+
+	clock := &fakeClock{t: time.Unix(1000, 0)}
+	// Deterministic worst-case jitter: always the maximum draw.
+	maxJitter := func(n int64) int64 { return n - 1 }
+	opts := PushOptions{
+		Retries:    6,
+		Backoff:    100 * time.Millisecond,
+		MaxDelay:   400 * time.Millisecond,
+		MaxElapsed: time.Hour,
+		now:        clock.now,
+		sleep:      clock.sleep,
+		randInt63n: maxJitter,
+	}
+	_, err := Push(context.Background(), ts.URL, opener([]byte("x")), opts)
+	if err == nil {
+		t.Fatal("flapping server reported success")
+	}
+	if len(clock.slept) != 6 {
+		t.Fatalf("slept %d times, want 6", len(clock.slept))
+	}
+	// Base delays: 100, 200, 400, 400, 400, 400 (capped); max-jitter
+	// sleep = delay/2 + delay = 3*delay/2 (within a rounding nanosecond).
+	wantBase := []time.Duration{100, 200, 400, 400, 400, 400}
+	for i, slept := range clock.slept {
+		base := wantBase[i] * time.Millisecond
+		lo, hi := base/2, base/2+base
+		if slept < lo || slept > hi {
+			t.Errorf("sleep %d = %v, want within [%v, %v]", i, slept, lo, hi)
+		}
+	}
+	// And with minimum jitter the floor holds too.
+	clock2 := &fakeClock{t: time.Unix(1000, 0)}
+	opts.now, opts.sleep = clock2.now, clock2.sleep
+	opts.randInt63n = func(int64) int64 { return 0 }
+	Push(context.Background(), ts.URL, opener([]byte("x")), opts)
+	for i, slept := range clock2.slept {
+		base := wantBase[i] * time.Millisecond
+		if slept != base/2 {
+			t.Errorf("min-jitter sleep %d = %v, want %v", i, slept, base/2)
+		}
+	}
+}
+
+// TestPushHonorsRetryAfter: the server's Retry-After is the floor for
+// the next sleep, even when the backoff schedule would retry sooner.
+func TestPushHonorsRetryAfter(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "7")
+			w.WriteHeader(http.StatusTooManyRequests)
+			w.Write([]byte(`{"error":"ingest at capacity, retry later"}`))
+			return
+		}
+		w.WriteHeader(http.StatusCreated)
+		w.Write([]byte(`{"run":{"id":"abc"}}`))
+	}))
+	defer ts.Close()
+
+	clock := &fakeClock{t: time.Unix(1000, 0)}
+	opts := PushOptions{
+		Retries:    3,
+		Backoff:    time.Millisecond,
+		MaxElapsed: time.Hour,
+		now:        clock.now,
+		sleep:      clock.sleep,
+		randInt63n: func(int64) int64 { return 0 },
+	}
+	resp, err := Push(context.Background(), ts.URL, opener([]byte("x")), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Run == nil || resp.Run.ID != "abc" {
+		t.Fatalf("resp = %+v", resp)
+	}
+	if len(clock.slept) != 1 || clock.slept[0] != 7*time.Second {
+		t.Fatalf("slept %v, want exactly the server's 7s Retry-After", clock.slept)
+	}
+}
+
+// TestPushMaxElapsedGivesUp: a permanently flapping server cannot wedge
+// the client — the loop stops once the next sleep would pass MaxElapsed,
+// retries remaining or not.
+func TestPushMaxElapsedGivesUp(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Header().Set("Retry-After", "30")
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+
+	clock := &fakeClock{t: time.Unix(1000, 0)}
+	opts := PushOptions{
+		Retries:    1000,
+		Backoff:    time.Millisecond,
+		MaxElapsed: 2 * time.Minute,
+		now:        clock.now,
+		sleep:      clock.sleep,
+		randInt63n: func(int64) int64 { return 0 },
+	}
+	_, err := Push(context.Background(), ts.URL, opener([]byte("x")), opts)
+	if !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("err = %v, want ErrUnreachable", err)
+	}
+	// 30s Retry-After per attempt against a 2m budget: 4 sleeps land
+	// inside the window, the 5th would pass it.
+	if got := calls.Load(); got != 5 {
+		t.Errorf("server saw %d attempts, want 5 (bounded by MaxElapsed, not Retries)", got)
+	}
+	if elapsed := clock.t.Sub(time.Unix(1000, 0)); elapsed > 2*time.Minute {
+		t.Errorf("fake clock advanced %v, past the 2m budget", elapsed)
+	}
+}
+
+// TestPush429Retried: shed load is a retry signal, not a rejection.
+func TestPush429Retried(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) < 3 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			w.Write([]byte(`{"error":"ingest at capacity, retry later"}`))
+			return
+		}
+		w.WriteHeader(http.StatusCreated)
+		w.Write([]byte(`{"run":{"id":"abc"}}`))
+	}))
+	defer ts.Close()
+
+	resp, err := Push(context.Background(), ts.URL, opener([]byte("x")), fastPush(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Run == nil || calls.Load() != 3 {
+		t.Fatalf("resp = %+v after %d calls", resp, calls.Load())
+	}
+}

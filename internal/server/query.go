@@ -14,13 +14,13 @@ import (
 // handleRuns lists the stored runs (sorted by id — deterministic).
 func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
 	s.metrics.queries.Add(1)
-	writeJSON(w, http.StatusOK, s.st.Runs())
+	writeJSON(w, http.StatusOK, s.store().Runs())
 }
 
 // handleRun returns one run's metadata.
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	s.metrics.queries.Add(1)
-	m, ok := s.st.Get(r.PathValue("id"))
+	m, ok := s.store().Get(r.PathValue("id"))
 	if !ok {
 		http.Error(w, "unknown run", http.StatusNotFound)
 		return
@@ -37,7 +37,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 //	?top=N — site count for text/json/sarif (default 10)
 func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	s.metrics.queries.Add(1)
-	m, ok := s.st.Get(r.PathValue("id"))
+	m, ok := s.store().Get(r.PathValue("id"))
 	if !ok {
 		http.Error(w, "unknown run", http.StatusNotFound)
 		return
@@ -57,7 +57,7 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	}
 
 	if format == "canonical" {
-		dump, err := s.st.Canonical(m.ID)
+		dump, err := s.store().Canonical(m.ID)
 		if err != nil {
 			s.logger.Printf("report %s: %v", m.ID, err)
 			http.Error(w, "internal store error", http.StatusInternalServerError)
@@ -68,7 +68,7 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	rep, err := s.st.Report(m.ID, drag.Options{}, s.workers)
+	rep, err := s.store().Report(m.ID, drag.Options{}, s.workers)
 	if err != nil {
 		s.logger.Printf("report %s: %v", m.ID, err)
 		http.Error(w, "internal store error", http.StatusInternalServerError)
@@ -109,7 +109,7 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 //	?top=N — cap the list
 func (s *Server) handleSites(w http.ResponseWriter, r *http.Request) {
 	s.metrics.queries.Add(1)
-	sums, err := s.st.SiteSummaries(s.workers)
+	sums, err := s.store().SiteSummaries(s.workers)
 	if err != nil {
 		s.logger.Printf("sites: %v", err)
 		http.Error(w, "internal store error", http.StatusInternalServerError)
@@ -223,23 +223,23 @@ func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "diff needs base and head run ids", http.StatusBadRequest)
 		return
 	}
-	base, ok := s.st.Get(baseID)
+	base, ok := s.store().Get(baseID)
 	if !ok {
 		http.Error(w, "unknown base run", http.StatusNotFound)
 		return
 	}
-	head, ok := s.st.Get(headID)
+	head, ok := s.store().Get(headID)
 	if !ok {
 		http.Error(w, "unknown head run", http.StatusNotFound)
 		return
 	}
-	baseRep, err := s.st.Report(base.ID, drag.Options{}, s.workers)
+	baseRep, err := s.store().Report(base.ID, drag.Options{}, s.workers)
 	if err != nil {
 		s.logger.Printf("diff: %v", err)
 		http.Error(w, "internal store error", http.StatusInternalServerError)
 		return
 	}
-	headRep, err := s.st.Report(head.ID, drag.Options{}, s.workers)
+	headRep, err := s.store().Report(head.ID, drag.Options{}, s.workers)
 	if err != nil {
 		s.logger.Printf("diff: %v", err)
 		http.Error(w, "internal store error", http.StatusInternalServerError)

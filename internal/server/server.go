@@ -4,6 +4,13 @@
 // content-addressed store with background cross-run compaction, and
 // answers report, site and regression-diff queries whose canonical output
 // is byte-identical to a local draganalyze run over the same log.
+//
+// The service degrades instead of falling over: the store opens (and runs
+// its recovery scan) in the background while /healthz already answers,
+// /readyz flips true only once recovery completes and back to false while
+// draining, ingest concurrency is bounded and sheds excess load with
+// 429 + Retry-After, and shutdown drains in-flight ingests and stops the
+// compactor before the store is left behind.
 package server
 
 import (
@@ -12,6 +19,7 @@ import (
 	"net/http/pprof"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dragprof/internal/store"
@@ -19,12 +27,21 @@ import (
 
 // Options configure a Server.
 type Options struct {
-	// Store is the backing run store (required).
+	// Store is the backing run store. Either Store or OpenStore is
+	// required.
 	Store *store.Store
+	// OpenStore opens the store in the background: the server starts
+	// serving /healthz immediately and reports not-ready (503 +
+	// Retry-After on data endpoints, /readyz false) until it returns.
+	// An open failure pins the server not-ready; ReadyErr exposes it.
+	OpenStore func() (*store.Store, error)
 	// Workers bounds per-request analysis parallelism (0: GOMAXPROCS).
 	Workers int
 	// MaxUploadBytes rejects larger uploads with 413 (default 1 GiB).
 	MaxUploadBytes int64
+	// MaxInFlightIngest bounds concurrently-served ingest requests;
+	// excess load is shed with 429 + Retry-After (default 64).
+	MaxInFlightIngest int
 	// RequestTimeout bounds query handling (default 60s). Ingest is
 	// exempt: uploads are bounded by size, not time.
 	RequestTimeout time.Duration
@@ -37,13 +54,23 @@ type Options struct {
 
 // Server is the dragserved HTTP service.
 type Server struct {
-	st       *store.Store
+	st       atomic.Pointer[store.Store]
 	workers  int
 	maxBytes int64
 	logger   *log.Logger
 	handler  http.Handler
 
 	metrics metrics
+
+	// readyCh closes when the background store open finishes (for better
+	// or worse); openErr holds its failure.
+	readyCh chan struct{}
+	openErr atomic.Pointer[error]
+	// draining flips once shutdown begins; ingestWG counts in-flight
+	// ingest requests so drain can wait them out.
+	draining atomic.Bool
+	ingestWG sync.WaitGroup
+	inflight chan struct{}
 
 	compactKick chan struct{}
 	debounce    time.Duration
@@ -52,13 +79,20 @@ type Server struct {
 	closeOnce   sync.Once
 }
 
-// New builds the service and starts its background compactor.
+// New builds the service and starts its background compactor (and, with
+// Options.OpenStore, the background store open).
 func New(opts Options) *Server {
+	if opts.Store == nil && opts.OpenStore == nil {
+		panic("server: Options.Store or Options.OpenStore is required")
+	}
 	if opts.Workers <= 0 {
 		opts.Workers = runtime.GOMAXPROCS(0)
 	}
 	if opts.MaxUploadBytes <= 0 {
 		opts.MaxUploadBytes = 1 << 30
+	}
+	if opts.MaxInFlightIngest <= 0 {
+		opts.MaxInFlightIngest = 64
 	}
 	if opts.RequestTimeout <= 0 {
 		opts.RequestTimeout = 60 * time.Second
@@ -70,10 +104,11 @@ func New(opts Options) *Server {
 		opts.Log = log.New(discard{}, "", 0)
 	}
 	s := &Server{
-		st:          opts.Store,
 		workers:     opts.Workers,
 		maxBytes:    opts.MaxUploadBytes,
 		logger:      opts.Log,
+		readyCh:     make(chan struct{}),
+		inflight:    make(chan struct{}, opts.MaxInFlightIngest),
 		compactKick: make(chan struct{}, 1),
 		debounce:    opts.CompactDebounce,
 		done:        make(chan struct{}),
@@ -85,43 +120,134 @@ func New(opts Options) *Server {
 	api.HandleFunc("GET /api/v1/runs/{id}/report", s.handleReport)
 	api.HandleFunc("GET /api/v1/sites", s.handleSites)
 	api.HandleFunc("GET /api/v1/diff", s.handleDiff)
-	api.HandleFunc("GET /metrics", s.handleMetrics)
-	api.HandleFunc("GET /healthz", s.handleHealthz)
 
 	// The timeout middleware buffers responses, which would break pprof's
 	// streaming endpoints and serve ingest poorly (uploads are bounded by
-	// MaxUploadBytes, not wall clock) — so those routes bypass it.
+	// MaxUploadBytes, not wall clock) — so those routes bypass it. The
+	// probes and /metrics also bypass it (and the readiness gate): they
+	// must answer while the store is still recovering.
 	timed := http.TimeoutHandler(api, opts.RequestTimeout, "request timed out\n")
 	root := http.NewServeMux()
 	root.HandleFunc("POST /api/v1/runs", s.handleIngest)
+	root.HandleFunc("GET /healthz", s.handleHealthz)
+	root.HandleFunc("GET /readyz", s.handleReadyz)
+	root.HandleFunc("GET /metrics", s.handleMetrics)
 	root.Handle("/debug/pprof/", http.HandlerFunc(pprof.Index))
 	root.Handle("/debug/pprof/cmdline", http.HandlerFunc(pprof.Cmdline))
 	root.Handle("/debug/pprof/profile", http.HandlerFunc(pprof.Profile))
 	root.Handle("/debug/pprof/symbol", http.HandlerFunc(pprof.Symbol))
 	root.Handle("/debug/pprof/trace", http.HandlerFunc(pprof.Trace))
-	root.Handle("/", timed)
+	root.Handle("/", s.readyGate(timed))
 	s.handler = s.logged(root)
 
+	if opts.Store != nil {
+		s.st.Store(opts.Store)
+		close(s.readyCh)
+	} else {
+		s.wg.Add(1)
+		go s.opener(opts.OpenStore)
+	}
 	s.wg.Add(1)
 	go s.compactor()
 	return s
 }
 
+// opener runs the store open (with its recovery scan) off the serving
+// path, so the process binds its port and answers probes immediately.
+func (s *Server) opener(open func() (*store.Store, error)) {
+	defer s.wg.Done()
+	start := time.Now()
+	st, err := open()
+	if err != nil {
+		s.openErr.Store(&err)
+		s.logger.Printf("store open failed: %v", err)
+		close(s.readyCh)
+		return
+	}
+	s.st.Store(st)
+	close(s.readyCh)
+	s.logger.Printf("store ready in %v (%d runs, %d quarantined)",
+		time.Since(start).Round(time.Millisecond), st.NumRuns(), len(st.Quarantined()))
+	if st.Dirty() {
+		s.kickCompactor()
+	}
+}
+
+// store returns the backing store, or nil while it is still opening (or
+// failed to open).
+func (s *Server) store() *store.Store { return s.st.Load() }
+
+// Ready reports whether the server can take traffic: the store finished
+// its recovery scan and shutdown has not begun.
+func (s *Server) Ready() bool {
+	select {
+	case <-s.readyCh:
+	default:
+		return false
+	}
+	return s.store() != nil && !s.draining.Load()
+}
+
+// ReadyErr returns the store-open failure, if the background open
+// failed. It reports nil while the open is still in progress.
+func (s *Server) ReadyErr() error {
+	if p := s.openErr.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// OpenDone closes when the background store open has finished, either
+// way; check ReadyErr afterwards.
+func (s *Server) OpenDone() <-chan struct{} { return s.readyCh }
+
 // Handler returns the service's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.handler }
 
-// Store exposes the backing store (read-only use: tests, stats).
-func (s *Server) Store() *store.Store { return s.st }
+// Store exposes the backing store (read-only use: tests, stats). It is
+// nil until the background open completes.
+func (s *Server) Store() *store.Store { return s.store() }
 
-// Close stops the background compactor, running one final compaction so
-// nothing dirty is left behind. Safe to call more than once.
+// BeginDrain flips the server not-ready (readyz 503, new ingests shed
+// with 503 + Retry-After) and waits for every in-flight ingest to
+// finish. Call it before stopping the HTTP listener so load balancers
+// stop routing while existing uploads complete.
+func (s *Server) BeginDrain() {
+	s.draining.Store(true)
+	s.ingestWG.Wait()
+}
+
+// Close shuts the service down in dependency order: drain in-flight
+// ingest, stop the background goroutines (compactor, opener) via their
+// WaitGroup, then run one final compaction so nothing dirty is left
+// behind. Safe to call more than once.
 func (s *Server) Close() {
 	s.closeOnce.Do(func() {
+		s.draining.Store(true)
+		s.ingestWG.Wait()
 		close(s.done)
 		s.wg.Wait()
-		if s.st.Dirty() {
+		if st := s.store(); st != nil && st.Dirty() {
 			s.compactNow()
 		}
+	})
+}
+
+// readyGate rejects data-plane requests with 503 + Retry-After until the
+// store has finished recovering.
+func (s *Server) readyGate(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if s.store() == nil {
+			s.metrics.notReady.Add(1)
+			w.Header().Set("Retry-After", retryAfterSeconds)
+			msg := "store is recovering"
+			if s.ReadyErr() != nil {
+				msg = "store failed to open"
+			}
+			writeJSON(w, http.StatusServiceUnavailable, IngestResponse{Error: msg})
+			return
+		}
+		h.ServeHTTP(w, r)
 	})
 }
 
@@ -134,9 +260,18 @@ func (s *Server) kickCompactor() {
 }
 
 // compactor is the background merge loop: each kick is debounced so a
-// burst of pushes compacts once, after the burst.
+// burst of pushes compacts once, after the burst. It idles until the
+// store is ready.
 func (s *Server) compactor() {
 	defer s.wg.Done()
+	select {
+	case <-s.done:
+		return
+	case <-s.readyCh:
+	}
+	if s.store() == nil {
+		return // open failed; nothing to compact, ever
+	}
 	for {
 		select {
 		case <-s.done:
@@ -155,8 +290,12 @@ func (s *Server) compactor() {
 }
 
 func (s *Server) compactNow() {
+	st := s.store()
+	if st == nil {
+		return
+	}
 	start := time.Now()
-	if err := s.st.Compact(s.workers); err != nil {
+	if err := st.Compact(s.workers); err != nil {
 		s.metrics.compactErrors.Add(1)
 		s.logger.Printf("compact: %v", err)
 		return
@@ -170,7 +309,7 @@ func (s *Server) logged(h http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		h.ServeHTTP(rec, r)
-		if rec.status >= 500 {
+		if rec.status >= 500 && rec.status != http.StatusServiceUnavailable {
 			s.metrics.serverErrors.Add(1)
 		}
 		s.logger.Printf("%s %s -> %d", r.Method, r.URL.Path, rec.status)

@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 
 	"dragprof/internal/drag"
 	"dragprof/internal/profile"
@@ -51,22 +52,47 @@ func compactKey(name string) string {
 }
 
 // loadCompactedLocked requires exclusive access to s (Open calls it before
-// the store is published; no other caller exists).
+// the store is published; no other caller exists). A torn summary is
+// quarantined, never fatal: the compactor regenerates it from the runs.
 func (s *Store) loadCompactedLocked() error {
-	paths, err := filepath.Glob(filepath.Join(s.root, "compact", "*.json"))
+	dir := filepath.Join(s.root, "compact")
+	ents, err := os.ReadDir(dir)
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
-	for _, path := range paths {
-		data, err := os.ReadFile(path)
+	moved := false
+	for _, e := range ents {
+		name := e.Name()
+		if strings.HasPrefix(name, ".tmp-") {
+			// Leftover atomic-swap temp from an interrupted compaction.
+			s.fs.Remove(filepath.Join(dir, name))
+			continue
+		}
+		if !strings.HasSuffix(name, ".json") || strings.HasSuffix(name, ".reason.json") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, name))
 		if err != nil {
 			return fmt.Errorf("store: %w", err)
 		}
 		var ws workloadSummary
 		if err := json.Unmarshal(data, &ws); err != nil {
-			return fmt.Errorf("store: %s: %w", path, err)
+			if qerr := s.quarantineFileLocked(dir, name, "",
+				fmt.Sprintf("torn compaction summary: %v", err)); qerr != nil {
+				return qerr
+			}
+			moved = true
+			continue
 		}
 		s.compacted[ws.Name] = &ws
+	}
+	if moved {
+		if err := s.fs.SyncDir(dir); err != nil {
+			return err
+		}
+		if err := s.fs.SyncDir(s.QuarantineDir()); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -102,7 +128,14 @@ func (s *Store) Compact(workers int) error {
 		if err != nil {
 			return fmt.Errorf("store: %w", err)
 		}
-		if err := writeFileAtomic(filepath.Join(s.root, "compact", compactKey(name)+".json"), append(data, '\n')); err != nil {
+		// Compaction swap: write-new → fsync → atomic rename → fsync dir.
+		// A crash leaves either the old or the new generation — the rename
+		// is the only visible transition.
+		compactDir := filepath.Join(s.root, "compact")
+		if err := writeFileDurable(s.fs, compactDir, filepath.Join(compactDir, compactKey(name)+".json"), append(data, '\n')); err != nil {
+			return err
+		}
+		if err := s.fs.SyncDir(compactDir); err != nil {
 			return err
 		}
 		s.mu.Lock()

@@ -1,0 +1,105 @@
+package store
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// File is a writable file on the store's filesystem: the spool and
+// artifact surface the durable commit protocol runs on. Sync must not
+// return until the file's current contents are on stable storage.
+type File interface {
+	io.Writer
+	// Sync flushes the file's contents to stable storage.
+	Sync() error
+	Close() error
+	// Name returns the file's path.
+	Name() string
+}
+
+// FS is the mutation seam between the store and the operating system.
+// Every write the store performs — spooling, renaming into place,
+// fsyncing files and their directories — goes through this interface, so
+// the chaos harness (internal/faultinject) can interpose a filesystem
+// that crashes, drops unsynced bytes, or fails with ENOSPC at any single
+// step. Reads bypass the seam: the store only ever reads state that this
+// interface has already materialized on the real disk.
+type FS interface {
+	// MkdirAll creates a directory and any missing parents.
+	MkdirAll(path string) error
+	// CreateTemp creates a new unique file in dir (os.CreateTemp pattern
+	// semantics).
+	CreateTemp(dir, pattern string) (File, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes a file; removing a missing file is an error
+	// (callers that don't care ignore it).
+	Remove(name string) error
+	// SyncDir fsyncs a directory, making the creations, renames and
+	// removals of its entries durable. Without it a power cut may undo
+	// any of them.
+	SyncDir(dir string) error
+}
+
+// OSFS is the real filesystem.
+type OSFS struct{}
+
+// MkdirAll implements FS.
+func (OSFS) MkdirAll(path string) error { return os.MkdirAll(path, 0o755) }
+
+// CreateTemp implements FS.
+func (OSFS) CreateTemp(dir, pattern string) (File, error) {
+	return os.CreateTemp(dir, pattern)
+}
+
+// Rename implements FS.
+func (OSFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+// Remove implements FS.
+func (OSFS) Remove(name string) error { return os.Remove(name) }
+
+// SyncDir implements FS.
+func (OSFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("store: sync %s: %w", dir, err)
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return fmt.Errorf("store: sync %s: %w", dir, serr)
+	}
+	if cerr != nil {
+		return fmt.Errorf("store: sync %s: %w", dir, cerr)
+	}
+	return nil
+}
+
+// writeFileDurable writes data to path with full-durability semantics:
+// spool to a temp file in path's directory, fsync the file, then rename
+// into place. The caller owes a SyncDir on the directory before relying
+// on the entry surviving a power cut.
+func writeFileDurable(fs FS, dir, path string, data []byte) error {
+	tmp, err := fs.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	name := tmp.Name()
+	defer fs.Remove(name) // no-op once renamed into place
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := fs.Rename(name, path); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,276 @@
+// Recovery: the scan Open runs before the store serves anything. The
+// durable commit protocol (see commit) guarantees that a crash at any
+// point leaves each run either fully present (log + canonical + meta,
+// with the meta written last) or detectably partial. The scan verifies
+// every run against the store's own integrity oracle — the run id is the
+// SHA-256 of the log bytes — and moves anything torn or orphaned into
+// quarantine/ with a machine-readable reason, instead of failing Open or
+// silently serving damaged data.
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"dragprof/internal/drag"
+)
+
+// QuarantineReason is the JSON record written next to every quarantined
+// file: what was moved, why, and which run it belonged to.
+type QuarantineReason struct {
+	// File is the quarantined file's original path, relative to the
+	// store root.
+	File string `json:"file"`
+	// Reason describes the damage in one sentence.
+	Reason string `json:"reason"`
+	// RunID is the run the file claimed to belong to, when known.
+	RunID string `json:"runId,omitempty"`
+	// QuarantinedUnix is the wall-clock quarantine time (seconds).
+	QuarantinedUnix int64 `json:"quarantinedUnix"`
+}
+
+// Quarantined lists every quarantine record found or created by this
+// store's recovery scan, sorted by file name.
+func (s *Store) Quarantined() []QuarantineReason {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]QuarantineReason, len(s.quarantined))
+	copy(out, s.quarantined)
+	return out
+}
+
+// QuarantineDir returns the directory torn entries are moved into.
+func (s *Store) QuarantineDir() string { return filepath.Join(s.root, "quarantine") }
+
+// recoverLocked runs the full recovery scan. It owns the store
+// exclusively (Open calls it before the store is published).
+func (s *Store) recoverLocked() error {
+	// Load prior quarantine records so Quarantined() reflects the whole
+	// history, not just this scan.
+	if err := s.loadQuarantineLocked(); err != nil {
+		return err
+	}
+	// Stale spool files from a crashed ingest are garbage: nothing in
+	// tmp/ was ever acknowledged.
+	if ents, err := os.ReadDir(filepath.Join(s.root, "tmp")); err == nil {
+		for _, e := range ents {
+			s.fs.Remove(filepath.Join(s.root, "tmp", e.Name()))
+		}
+	}
+	if err := s.scanRunsLocked(); err != nil {
+		return err
+	}
+	if err := s.loadCompactedLocked(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// scanRunsLocked rebuilds the in-memory run set from runs/, verifying
+// every entry and quarantining damage.
+func (s *Store) scanRunsLocked() error {
+	runsDir := filepath.Join(s.root, "runs")
+	ents, err := os.ReadDir(runsDir)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+
+	moved := false
+	for _, name := range names {
+		path := filepath.Join(runsDir, name)
+		// Leftover atomic-write temps never carried an acknowledgement;
+		// remove them outright.
+		if strings.HasPrefix(name, ".tmp-") {
+			s.fs.Remove(path)
+			continue
+		}
+		if !strings.HasSuffix(name, ".json") {
+			continue // .log/.canonical handled via their .json below
+		}
+		id := strings.TrimSuffix(name, ".json")
+		m, reason := s.verifyRun(runsDir, id)
+		if reason != "" {
+			if err := s.quarantineRunLocked(runsDir, id, reason); err != nil {
+				return err
+			}
+			moved = true
+			continue
+		}
+		s.runs[m.ID] = m
+		s.bytes += m.Bytes
+	}
+	// Orphaned artifacts: a .log or .canonical without committed
+	// metadata is an interrupted, never-acknowledged commit.
+	for _, name := range names {
+		ext := filepath.Ext(name)
+		if ext != ".log" && ext != ".canonical" {
+			continue
+		}
+		id := strings.TrimSuffix(name, ext)
+		if _, ok := s.runs[id]; ok {
+			continue
+		}
+		if _, err := os.Stat(filepath.Join(runsDir, name)); err != nil {
+			continue // already quarantined alongside its metadata
+		}
+		if err := s.quarantineFileLocked(runsDir, name, id,
+			"uncommitted run artifact: no valid metadata record (interrupted commit)"); err != nil {
+			return err
+		}
+		moved = true
+	}
+	if moved {
+		if err := s.fs.SyncDir(runsDir); err != nil {
+			return err
+		}
+		if err := s.fs.SyncDir(s.QuarantineDir()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// verifyRun checks one run's on-disk artifacts. It returns the parsed
+// metadata when the run is intact ("" reason), or a quarantine reason.
+// A missing canonical dump with an intact log is repaired, not
+// quarantined: the dump is a pure function of the log.
+func (s *Store) verifyRun(runsDir, id string) (*RunMeta, string) {
+	data, err := os.ReadFile(filepath.Join(runsDir, id+".json"))
+	if err != nil {
+		return nil, fmt.Sprintf("unreadable run metadata: %v", err)
+	}
+	var m RunMeta
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Sprintf("torn run metadata: %v", err)
+	}
+	if m.ID != id {
+		return nil, fmt.Sprintf("metadata id %q does not match file name", m.ID)
+	}
+	logPath := filepath.Join(runsDir, id+".log")
+	f, err := os.Open(logPath)
+	if err != nil {
+		return nil, fmt.Sprintf("run log missing or unreadable: %v", err)
+	}
+	hash := sha256.New()
+	n, err := io.Copy(hash, f)
+	f.Close()
+	if err != nil {
+		return nil, fmt.Sprintf("run log unreadable: %v", err)
+	}
+	if got := hex.EncodeToString(hash.Sum(nil)); got != id {
+		return nil, fmt.Sprintf("torn run log: %d bytes hash to %s, not the run id", n, got[:12])
+	}
+	if _, err := os.Stat(filepath.Join(runsDir, id+".canonical")); err != nil {
+		if rerr := s.regenerateCanonical(runsDir, id, logPath); rerr != nil {
+			return nil, fmt.Sprintf("canonical dump missing and not regenerable: %v", rerr)
+		}
+	}
+	return &m, ""
+}
+
+// regenerateCanonical rebuilds a run's canonical dump from its verified
+// log (the dump is deterministic, so the result is byte-identical to the
+// one lost in the crash).
+func (s *Store) regenerateCanonical(runsDir, id, logPath string) error {
+	f, err := os.Open(logPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	rep, err := drag.AnalyzeLog(f, drag.Options{}, 0)
+	if err != nil {
+		return err
+	}
+	if err := writeFileDurable(s.fs, runsDir, filepath.Join(runsDir, id+".canonical"), rep.CanonicalDump()); err != nil {
+		return err
+	}
+	return s.fs.SyncDir(runsDir)
+}
+
+// quarantineRunLocked moves every artifact of a damaged run into
+// quarantine/.
+func (s *Store) quarantineRunLocked(runsDir, id, reason string) error {
+	for _, ext := range []string{".json", ".log", ".canonical"} {
+		name := id + ext
+		if _, err := os.Stat(filepath.Join(runsDir, name)); err != nil {
+			continue
+		}
+		if err := s.quarantineFileLocked(runsDir, name, id, reason); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// quarantineFileLocked moves one file into quarantine/ and writes its
+// reason record durably next to it.
+func (s *Store) quarantineFileLocked(dir, name, runID, reason string) error {
+	qdir := s.QuarantineDir()
+	dest := filepath.Join(qdir, name)
+	for i := 1; ; i++ {
+		if _, err := os.Stat(dest); err != nil {
+			break
+		}
+		dest = filepath.Join(qdir, fmt.Sprintf("%s.%d", name, i))
+	}
+	if err := s.fs.Rename(filepath.Join(dir, name), dest); err != nil {
+		return fmt.Errorf("store: quarantining %s: %w", name, err)
+	}
+	q := QuarantineReason{
+		File:            filepath.Join(filepath.Base(dir), name),
+		Reason:          reason,
+		RunID:           runID,
+		QuarantinedUnix: time.Now().Unix(),
+	}
+	blob, err := json.MarshalIndent(q, "", "  ")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := writeFileDurable(s.fs, qdir, dest+".reason.json", append(blob, '\n')); err != nil {
+		return err
+	}
+	s.quarantined = append(s.quarantined, q)
+	return nil
+}
+
+// loadQuarantineLocked reads the reason records of previous scans.
+func (s *Store) loadQuarantineLocked() error {
+	ents, err := os.ReadDir(s.QuarantineDir())
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		if strings.HasSuffix(e.Name(), ".reason.json") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		data, err := os.ReadFile(filepath.Join(s.QuarantineDir(), name))
+		if err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		var q QuarantineReason
+		if err := json.Unmarshal(data, &q); err != nil {
+			continue // a torn reason file never blocks recovery
+		}
+		s.quarantined = append(s.quarantined, q)
+	}
+	return nil
+}

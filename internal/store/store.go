@@ -9,15 +9,25 @@
 //	runs/<id>.log           the stored drag log (raw upload bytes for clean
 //	                        ingests; the re-encoded salvaged prefix for
 //	                        damaged ones)
-//	runs/<id>.json          RunMeta
+//	runs/<id>.json          RunMeta — the commit record, written last
 //	runs/<id>.canonical     drag.CanonicalDump of the run's analysis under
 //	                        default options — the byte-exact report the
 //	                        /report endpoint serves
 //	compact/<key>.json      per-workload compacted site summaries
+//	quarantine/             torn entries moved aside by the recovery scan,
+//	                        each with a <file>.reason.json record
 //
 // A run's id is the lowercase hex SHA-256 of the stored log bytes, so
 // identical uploads deduplicate and the id doubles as an integrity oracle:
 // anyone holding the log can recompute the id offline.
+//
+// Durability contract: by the time Ingest returns a non-duplicate result,
+// the run's log, canonical dump and metadata are fsynced and their
+// directory entries are durable — a power cut cannot lose or tear an
+// acknowledged run. All mutations flow through the FS seam (fsys.go) so
+// the chaos harness can prove it by crashing at every step; Open's
+// recovery scan (recover.go) verifies every run against its content hash
+// and quarantines anything torn instead of failing or serving it.
 package store
 
 import (
@@ -117,6 +127,7 @@ func (r *IngestResult) Clean() bool { return r.Salvage == nil && !r.TooLarge }
 // Store is the on-disk run store. All methods are safe for concurrent use.
 type Store struct {
 	root string
+	fs   FS
 
 	mu    sync.Mutex
 	runs  map[string]*RunMeta
@@ -125,44 +136,32 @@ type Store struct {
 	dirty map[string]bool
 	// compacted holds the per-workload summaries, keyed by workload name.
 	compacted map[string]*workloadSummary
+	// quarantined records what the recovery scan moved aside.
+	quarantined []QuarantineReason
 }
 
 // Open creates (if needed) and loads a store rooted at dir.
-func Open(dir string) (*Store, error) {
+func Open(dir string) (*Store, error) { return OpenFS(dir, OSFS{}) }
+
+// OpenFS opens a store whose mutations run through fsys — the chaos
+// harness's entry point; production callers use Open. Opening runs the
+// recovery scan: every stored run is verified against its content hash
+// and torn or orphaned entries are quarantined, so Open succeeds on any
+// directory state a crash can produce.
+func OpenFS(dir string, fsys FS) (*Store, error) {
 	s := &Store{
 		root:      dir,
+		fs:        fsys,
 		runs:      make(map[string]*RunMeta),
 		dirty:     make(map[string]bool),
 		compacted: make(map[string]*workloadSummary),
 	}
-	for _, sub := range []string{"tmp", "runs", "compact"} {
-		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+	for _, sub := range []string{"tmp", "runs", "compact", "quarantine"} {
+		if err := fsys.MkdirAll(filepath.Join(dir, sub)); err != nil {
 			return nil, fmt.Errorf("store: %w", err)
 		}
 	}
-	// Stale spool files from a crashed ingest are garbage.
-	if ents, err := os.ReadDir(filepath.Join(dir, "tmp")); err == nil {
-		for _, e := range ents {
-			os.Remove(filepath.Join(dir, "tmp", e.Name()))
-		}
-	}
-	metas, err := filepath.Glob(filepath.Join(dir, "runs", "*.json"))
-	if err != nil {
-		return nil, fmt.Errorf("store: %w", err)
-	}
-	for _, path := range metas {
-		data, err := os.ReadFile(path)
-		if err != nil {
-			return nil, fmt.Errorf("store: %w", err)
-		}
-		var m RunMeta
-		if err := json.Unmarshal(data, &m); err != nil {
-			return nil, fmt.Errorf("store: %s: %w", path, err)
-		}
-		s.runs[m.ID] = &m
-		s.bytes += m.Bytes
-	}
-	if err := s.loadCompactedLocked(); err != nil {
+	if err := s.recoverLocked(); err != nil {
 		return nil, err
 	}
 	// Any workload whose compacted summary is missing or no longer covers
@@ -293,19 +292,20 @@ func (s *Store) Ingest(body io.Reader, workers int) (*IngestResult, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	tmp, err := os.CreateTemp(filepath.Join(s.root, "tmp"), "ingest-*.spool")
+	tmp, err := s.fs.CreateTemp(filepath.Join(s.root, "tmp"), "ingest-*.spool")
 	if err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
 	tmpName := tmp.Name()
 	defer func() {
 		tmp.Close()
-		os.Remove(tmpName) // no-op once renamed into place
+		s.fs.Remove(tmpName) // no-op once renamed into place
 	}()
 
 	hash := sha256.New()
 	size := &countWriter{}
-	tee := io.TeeReader(body, io.MultiWriter(tmp, hash, size))
+	spool := &spoolWriter{f: tmp}
+	tee := io.TeeReader(body, io.MultiWriter(spool, hash, size))
 
 	rep, stream, streamErr := ingestStream(tee, workers)
 	// Drain whatever the parser left unread so the spool and hash cover the
@@ -316,6 +316,12 @@ func (s *Store) Ingest(body io.Reader, workers int) (*IngestResult, error) {
 		streamErr = derr
 	}
 	if streamErr != nil {
+		if spool.err != nil {
+			// The disk, not the upload, failed — a server-side fault
+			// (ENOSPC, EIO, ...) must surface as a typed internal error,
+			// never blame the client with a salvage rejection.
+			return nil, fmt.Errorf("store: spooling upload: %w", spool.err)
+		}
 		if errors.Is(streamErr, ErrTooLarge) {
 			return &IngestResult{TooLarge: true}, nil
 		}
@@ -332,6 +338,11 @@ func (s *Store) Ingest(body io.Reader, workers int) (*IngestResult, error) {
 		Bytes:        size.n,
 		FinalClock:   stream.Profile().FinalClock,
 		ReceivedUnix: time.Now().Unix(),
+	}
+	// The spool must be on stable storage before commit renames it into
+	// runs/ — rename durability without content durability is a torn run.
+	if err := tmp.Sync(); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
 	}
 	if err := tmp.Close(); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
@@ -424,7 +435,7 @@ func ingestStream(r io.Reader, workers int) (*drag.Report, *profile.LogStream, e
 // profile.SalvageLog over it, and — when anything was recoverable — stores
 // the salvaged profile re-encoded as an uncompressed binary log. The
 // stored records are exactly SalvageLog's output.
-func (s *Store) salvageSpool(tmp *os.File, tmpName string, workers int) (*IngestResult, error) {
+func (s *Store) salvageSpool(tmp File, tmpName string, workers int) (*IngestResult, error) {
 	if err := tmp.Close(); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
@@ -457,13 +468,17 @@ func (s *Store) salvageSpool(tmp *os.File, tmpName string, workers int) (*Ingest
 		Salvage:      sr,
 		ReceivedUnix: time.Now().Unix(),
 	}
-	enc, err := os.CreateTemp(filepath.Join(s.root, "tmp"), "salvage-*.spool")
+	enc, err := s.fs.CreateTemp(filepath.Join(s.root, "tmp"), "salvage-*.spool")
 	if err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
 	encName := enc.Name()
-	defer os.Remove(encName)
+	defer s.fs.Remove(encName)
 	if _, err := enc.Write(buf.Bytes()); err != nil {
+		enc.Close()
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	if err := enc.Sync(); err != nil {
 		enc.Close()
 		return nil, fmt.Errorf("store: %w", err)
 	}
@@ -481,9 +496,15 @@ func (s *Store) salvageSpool(tmp *os.File, tmpName string, workers int) (*Ingest
 	return res, nil
 }
 
-// commit renames the spooled log into place and persists the metadata and
-// canonical dump. Duplicate ids are detected under the lock; the first
-// writer wins and later identical uploads are reported as duplicates.
+// commit runs the durable commit protocol: rename the fsynced spool into
+// runs/, durably write the canonical dump, fsync the directory, then
+// durably write the metadata record — the commit point — and fsync the
+// directory again. Recovery treats a run as committed if and only if its
+// metadata parses and the log hashes to the run id, so a crash anywhere
+// before the final SyncDir leaves at worst unacknowledged debris that the
+// recovery scan quarantines or reaps. Duplicate ids are detected under
+// the lock; the first writer wins and later identical uploads are
+// reported as duplicates.
 func (s *Store) commit(meta *RunMeta, spoolPath string, rep *drag.Report) (duplicate bool, err error) {
 	s.mu.Lock()
 	if existing, ok := s.runs[meta.ID]; ok {
@@ -493,19 +514,45 @@ func (s *Store) commit(meta *RunMeta, spoolPath string, rep *drag.Report) (dupli
 	}
 	s.mu.Unlock()
 
-	if err := os.Rename(spoolPath, s.logPath(meta.ID)); err != nil {
+	runsDir := filepath.Join(s.root, "runs")
+	logPath := s.logPath(meta.ID)
+	canonPath := filepath.Join(runsDir, meta.ID+".canonical")
+	metaPath := filepath.Join(runsDir, meta.ID+".json")
+	committed := false
+	defer func() {
+		if committed {
+			return
+		}
+		// A half-committed run must not linger in runs/ until the next
+		// recovery scan: reap every artifact this attempt created.
+		s.fs.Remove(spoolPath)
+		s.fs.Remove(logPath)
+		s.fs.Remove(canonPath)
+		s.fs.Remove(metaPath)
+	}()
+
+	if err := s.fs.Rename(spoolPath, logPath); err != nil {
 		return false, fmt.Errorf("store: %w", err)
 	}
-	if err := writeFileAtomic(filepath.Join(s.root, "runs", meta.ID+".canonical"), rep.CanonicalDump()); err != nil {
+	if err := writeFileDurable(s.fs, runsDir, canonPath, rep.CanonicalDump()); err != nil {
+		return false, err
+	}
+	if err := s.fs.SyncDir(runsDir); err != nil {
 		return false, err
 	}
 	mj, err := json.MarshalIndent(meta, "", "  ")
 	if err != nil {
 		return false, fmt.Errorf("store: %w", err)
 	}
-	if err := writeFileAtomic(filepath.Join(s.root, "runs", meta.ID+".json"), append(mj, '\n')); err != nil {
+	// The metadata record is the commit point: once it is durable, the
+	// run exists; until then, recovery sees only uncommitted artifacts.
+	if err := writeFileDurable(s.fs, runsDir, metaPath, append(mj, '\n')); err != nil {
 		return false, err
 	}
+	if err := s.fs.SyncDir(runsDir); err != nil {
+		return false, err
+	}
+	committed = true
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -521,24 +568,20 @@ func (s *Store) commit(meta *RunMeta, spoolPath string, rep *drag.Report) (dupli
 	return false, nil
 }
 
-func writeFileAtomic(path string, data []byte) error {
-	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
-	if err != nil {
-		return fmt.Errorf("store: %w", err)
+// spoolWriter records the spool file's own write error so a server-side
+// disk fault can be told apart from a damaged upload (io.TeeReader folds
+// writer errors into the read stream).
+type spoolWriter struct {
+	f   File
+	err error
+}
+
+func (w *spoolWriter) Write(p []byte) (int, error) {
+	n, err := w.f.Write(p)
+	if err != nil && w.err == nil {
+		w.err = err
 	}
-	name := tmp.Name()
-	defer os.Remove(name)
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		return fmt.Errorf("store: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		return fmt.Errorf("store: %w", err)
-	}
-	if err := os.Rename(name, path); err != nil {
-		return fmt.Errorf("store: %w", err)
-	}
-	return nil
+	return n, err
 }
 
 type countWriter struct{ n int64 }

@@ -13,10 +13,11 @@
 //     corruption bug so far has been exactly this shape.
 //
 //   - gotrack: goroutine launches in the long-lived service packages
-//     (internal/server, internal/store) that no lifecycle WaitGroup
-//     tracks. A `go` statement there must be immediately preceded by the
-//     owner's wg.Add(...) call — the shutdown path waits on that group,
-//     and an untracked goroutine is exactly the compactor-outliving-Close
+//     (internal/server, internal/store) and the dragserved daemon
+//     (cmd/dragserved) that no lifecycle WaitGroup tracks. A `go`
+//     statement there must be immediately preceded by the owner's
+//     wg.Add(...) call — the shutdown path waits on that group, and an
+//     untracked goroutine is exactly the compactor-outliving-Close
 //     bug class the lifecycle helpers exist to prevent.
 //
 // The checks are built on go/ast alone — no external analysis framework —
@@ -254,13 +255,17 @@ func storelock(fset *token.FileSet, file *ast.File, rel string) []Finding {
 	return out
 }
 
-// gotrack flags `go` statements in the server and store packages that are
-// not immediately preceded by a lifecycle WaitGroup Add call in the same
-// statement list. The shutdown paths (Server.Close, the parallel analyzer's
-// wg.Wait) only wait for goroutines the group knows about; launching one
-// without the adjacent wg.Add(...) detaches it from the lifecycle.
+// gotrack flags `go` statements in the server and store packages — and in
+// the dragserved daemon itself, whose listener goroutine must outlive-proof
+// shutdown the same way — that are not immediately preceded by a lifecycle
+// WaitGroup Add call in the same statement list. The shutdown paths
+// (Server.Close, dragserved's lwg.Wait, the parallel analyzer's wg.Wait)
+// only wait for goroutines the group knows about; launching one without
+// the adjacent wg.Add(...) detaches it from the lifecycle.
 func gotrack(fset *token.FileSet, file *ast.File, rel string) []Finding {
-	if file.Name.Name != "server" && file.Name.Name != "store" {
+	dir := filepath.ToSlash(filepath.Dir(rel))
+	daemon := dir == "cmd/dragserved" || strings.HasSuffix(dir, "/cmd/dragserved")
+	if file.Name.Name != "server" && file.Name.Name != "store" && !daemon {
 		return nil
 	}
 	var out []Finding

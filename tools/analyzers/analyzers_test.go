@@ -180,6 +180,39 @@ func helper() { go func() {}() }
 	}
 }
 
+func TestGotrackDaemon(t *testing.T) {
+	root := write(t, map[string]string{
+		// The dragserved daemon is in scope even though it is package main:
+		// its listener goroutine must be waited for on shutdown.
+		"cmd/dragserved/main.go": `package main
+import "sync"
+func run() {
+	var lwg sync.WaitGroup
+	// Tracked: Add immediately precedes the launch.
+	lwg.Add(1)
+	go func() { defer lwg.Done() }()
+	// Violation: bare launch.
+	go func() {}()
+	lwg.Wait()
+}
+`,
+		// Other commands may launch goroutines freely.
+		"cmd/dragprof/main.go": `package main
+func spin() { go func() {}() }
+`,
+	})
+	fs, err := CheckDir(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 1 {
+		t.Fatalf("want 1 gotrack finding, got %v", rules(fs))
+	}
+	if fs[0].Rule != "gotrack" || fs[0].File != filepath.Join("cmd", "dragserved", "main.go") {
+		t.Errorf("unexpected finding %v", fs[0])
+	}
+}
+
 // TestRepoIsClean turns the linter on the repository that ships it: the
 // tree must self-lint clean, and stay that way.
 func TestRepoIsClean(t *testing.T) {
