@@ -103,7 +103,10 @@ func run() int {
 		return fail(err)
 	}
 	newRep := drag.Analyze(newProf, drag.Options{})
-	cmp := drag.Compare(origRep, newRep)
+	cmp, err := drag.CompareChecked(origRep, newRep)
+	if err != nil {
+		return fail(err)
+	}
 	fmt.Printf("rewritten: %.4f MB² reachable\n", drag.MB2(newRep.ReachableIntegral))
 	fmt.Printf("space saving %.2f%%, drag saving %.2f%%\n", cmp.SpaceSavingPct, cmp.DragSavingPct)
 	return cli.ExitOK

@@ -35,6 +35,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"strings"
 	"time"
@@ -66,6 +67,7 @@ func run() int {
 	pushRetries := flag.Int("push-retries", 3, "push retry attempts after the first")
 	pushTimeout := flag.Duration("push-timeout", 60*time.Second, "per-attempt push timeout")
 	pushMaxElapsed := flag.Duration("push-max-elapsed", 5*time.Minute, "give up pushing after this much total retry time")
+	tenantToken := flag.String("tenant-token", "", "bearer token for a multi-tenant dragserved (sent as Authorization: Bearer)")
 	flag.Parse()
 	if *format != "binary" && *format != "text" {
 		fmt.Fprintf(os.Stderr, "dragprof: unknown -format %q (want binary or text)\n", *format)
@@ -153,7 +155,7 @@ func run() int {
 		prof.NumObjects(), float64(prof.TotalAllocationBytes())/(1<<20), *format, *out)
 
 	if *push != "" {
-		if pushCode := pushLog(*push, *out, *pushRetries, *pushTimeout, *pushMaxElapsed); pushCode != cli.ExitOK {
+		if pushCode := pushLog(*push, *out, *tenantToken, *pushRetries, *pushTimeout, *pushMaxElapsed); pushCode != cli.ExitOK {
 			return pushCode
 		}
 	}
@@ -161,18 +163,23 @@ func run() int {
 }
 
 // pushLog uploads the written log to a dragserved instance. The log stays
-// on disk either way, so an unreachable server (exit 7) loses nothing.
-func pushLog(serverURL, path string, retries int, timeout, maxElapsed time.Duration) int {
+// on disk either way, so an unreachable server (exit 7) or a bad tenant
+// token (exit 9) loses nothing.
+func pushLog(serverURL, path, token string, retries int, timeout, maxElapsed time.Duration) int {
 	open := func() (io.ReadCloser, error) { return os.Open(path) }
 	resp, err := server.Push(context.Background(), serverURL, open, server.PushOptions{
 		Retries:    retries,
 		Timeout:    timeout,
 		MaxElapsed: maxElapsed,
+		Token:      token,
 	})
 	if err != nil {
 		var rej *server.RejectedError
 		if errors.As(err, &rej) {
 			fmt.Fprintln(os.Stderr, "dragprof:", err)
+			if rej.Status == http.StatusUnauthorized {
+				return cli.ExitAuth
+			}
 			return cli.ExitFailure
 		}
 		fmt.Fprintf(os.Stderr, "dragprof: push: %v (log kept at %s, re-push when the server returns)\n", err, path)

@@ -23,17 +23,27 @@
 //	GET  /api/v1/runs/{id}/report     ?format=canonical|text|json|sarif
 //	GET  /api/v1/sites                ?sort=drag|bytes|objects|neverused
 //	GET  /api/v1/diff?base=ID&head=ID cross-run regression diff
+//	GET  /api/v1/watch                live per-site drag deltas (SSE)
 //	GET  /metrics, /healthz, /readyz, /debug/pprof/...
+//
+// With -shards N the store is partitioned by run hash into N shard
+// directories (a v1 flat layout reshards in place on first open); query
+// answers are byte-identical either way. With -tenants FILE (a JSON
+// array of {name, token, maxRuns, maxBytes, maxInFlight}) every /api/
+// route requires "Authorization: Bearer <token>" and each tenant gets an
+// isolated store under DIR/tenants/<name>, its own quotas, and its own
+// /watch stream.
 //
 // Usage:
 //
 //	dragserved [-addr :8357] [-data DIR] [-workers n]
 //	           [-request-timeout 60s] [-max-upload 1073741824]
-//	           [-max-inflight 64]
+//	           [-max-inflight 64] [-shards N] [-tenants FILE]
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -41,6 +51,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"sync"
 	"syscall"
 	"time"
@@ -61,6 +72,9 @@ func run() int {
 	reqTimeout := flag.Duration("request-timeout", 60*time.Second, "per-request timeout for query endpoints")
 	maxUpload := flag.Int64("max-upload", 1<<30, "maximum upload size in bytes")
 	maxInflight := flag.Int("max-inflight", 64, "maximum concurrent ingest requests before shedding with 429")
+	shards := flag.Int("shards", 0, "partition each store into N shard directories (0: flat v1 layout)")
+	heartbeat := flag.Duration("heartbeat", 15*time.Second, "keep-alive comment interval on /watch SSE streams")
+	tenantsFile := flag.String("tenants", "", "JSON tenant config enabling bearer-token multi-tenant mode")
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintln(os.Stderr, "usage: dragserved [flags]")
@@ -69,17 +83,37 @@ func run() int {
 	}
 
 	logger := log.New(os.Stderr, "dragserved: ", log.LstdFlags)
-	// The store opens in the background so the port binds and the
-	// probes answer while the recovery scan chews through a large (or
-	// damaged) data directory.
-	srv := server.New(server.Options{
-		OpenStore:         func() (*store.Store, error) { return store.Open(*data) },
+	openRoot := func(dir string) (store.RunStore, error) {
+		if *shards > 0 {
+			return store.OpenSharded(dir, *shards)
+		}
+		return store.Open(dir)
+	}
+	opts := server.Options{
 		Workers:           *workers,
 		MaxUploadBytes:    *maxUpload,
 		MaxInFlightIngest: *maxInflight,
 		RequestTimeout:    *reqTimeout,
+		HeartbeatInterval: *heartbeat,
 		Log:               logger,
-	})
+	}
+	if *tenantsFile != "" {
+		cfg, err := loadTenants(*tenantsFile)
+		if err != nil {
+			logger.Printf("tenants: %v", err)
+			return cli.ExitUsage
+		}
+		opts.Tenants = cfg
+		opts.OpenTenantStore = func(name string) (store.RunStore, error) {
+			return openRoot(filepath.Join(*data, "tenants", name))
+		}
+	} else {
+		opts.OpenStore = func() (store.RunStore, error) { return openRoot(*data) }
+	}
+	// The stores open in the background so the port binds and the
+	// probes answer while the recovery scans chew through large (or
+	// damaged) data directories.
+	srv := server.New(opts)
 
 	httpSrv := &http.Server{
 		Addr:              *addr,
@@ -142,6 +176,28 @@ func run() int {
 	srv.Close()
 	lwg.Wait()
 	return cli.ExitOK
+}
+
+// loadTenants reads the -tenants JSON config: a non-empty array of
+// {name, token, maxRuns, maxBytes, maxInFlight} objects.
+func loadTenants(path string) ([]server.TenantConfig, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var cfg []server.TenantConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(cfg) == 0 {
+		return nil, fmt.Errorf("%s: no tenants defined", path)
+	}
+	for _, t := range cfg {
+		if t.Name == "" || t.Token == "" {
+			return nil, fmt.Errorf("%s: every tenant needs a name and a token", path)
+		}
+	}
+	return cfg, nil
 }
 
 func shutdownListener(httpSrv *http.Server, logger *log.Logger) {

@@ -461,7 +461,8 @@ type Savings struct {
 }
 
 // Compare derives the savings of a revised program's report over the
-// original's.
+// original's. The reports must share a sample rate for the comparison to
+// be meaningful; use CompareChecked to reject mixed-rate pairs.
 func Compare(original, revised *Report) Savings {
 	c := drag.Compare(original.r, revised.r)
 	return Savings{
@@ -470,6 +471,23 @@ func Compare(original, revised *Report) Savings {
 		OriginalReachableMB2: c.OriginalReachable,
 		RevisedReachableMB2:  c.ReducedReachable,
 	}
+}
+
+// CompareChecked is Compare with the sample-rate guard: comparing a
+// sampled run against an exact one (or two runs sampled at different
+// rates) silently mis-scales every percentage, so mixed-rate pairs are
+// rejected with an error wrapping drag.ErrRateMismatch.
+func CompareChecked(original, revised *Report) (Savings, error) {
+	c, err := drag.CompareChecked(original.r, revised.r)
+	if err != nil {
+		return Savings{}, err
+	}
+	return Savings{
+		DragSavingPct:        c.DragSavingPct,
+		SpaceSavingPct:       c.SpaceSavingPct,
+		OriginalReachableMB2: c.OriginalReachable,
+		RevisedReachableMB2:  c.ReducedReachable,
+	}, nil
 }
 
 // Curve is a reachable/in-use heap-size series over allocation time — one

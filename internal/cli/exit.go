@@ -38,6 +38,10 @@ const (
 	// new un-baselined findings, or a drag saving below the CI floor. The
 	// "tests failed" of the analysis tools.
 	ExitFindings = 8
+	// ExitAuth: a dragserved push was rejected as unauthenticated (401) —
+	// a missing, mistyped or revoked -tenant-token. Retrying cannot help;
+	// fix the credential. The local drag log is intact.
+	ExitAuth = 9
 )
 
 // ClassifyRunError maps a VM run failure onto ExitBudget or ExitRuntime:

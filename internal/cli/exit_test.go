@@ -39,10 +39,13 @@ func TestExitCodeVocabulary(t *testing.T) {
 		"ExitBudget":   ExitBudget,
 		"ExitSalvaged": ExitSalvaged,
 		"ExitNetwork":  ExitNetwork,
+		"ExitFindings": ExitFindings,
+		"ExitAuth":     ExitAuth,
 	}
 	want := map[string]int{
 		"ExitOK": 0, "ExitFailure": 1, "ExitUsage": 2, "ExitCompile": 3,
 		"ExitRuntime": 4, "ExitBudget": 5, "ExitSalvaged": 6, "ExitNetwork": 7,
+		"ExitFindings": 8, "ExitAuth": 9,
 	}
 	for name, w := range want {
 		if codes[name] != w {

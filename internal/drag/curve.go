@@ -1,6 +1,8 @@
 package drag
 
 import (
+	"errors"
+	"fmt"
 	"sort"
 
 	"dragprof/internal/profile"
@@ -149,6 +151,38 @@ func (d SiteDelta) Status() string {
 	default:
 		return "removed"
 	}
+}
+
+// ErrRateMismatch is the typed error CompareChecked wraps when the two
+// reports were measured at different sampling rates: their drag numbers
+// live on different estimator scales (exact sums vs Horvitz–Thompson
+// estimates at distinct inclusion probabilities), so a delta between them
+// is statistically meaningless. Callers surface it as a client error
+// (dragserved answers 422), mirroring the checkMergeable guard the store
+// applies to cross-run aggregation.
+var ErrRateMismatch = errors.New("drag: sample-rate mismatch")
+
+// CompareChecked is Compare with the cross-rate guard: it rejects report
+// pairs whose effective sampling rates differ with an error wrapping
+// ErrRateMismatch instead of silently diffing incompatible estimators.
+// New callers should prefer it; Compare remains for pairs the caller has
+// already proven rate-compatible (e.g. two analyses of the same run).
+func CompareChecked(original, revised *Report) (Comparison, error) {
+	ra, rb := effectiveRate(original), effectiveRate(revised)
+	if ra != rb {
+		return Comparison{}, fmt.Errorf("%w: base rate %g vs head rate %g (sampled and exact runs, or two different rates, cannot be diffed)",
+			ErrRateMismatch, ra, rb)
+	}
+	return Compare(original, revised), nil
+}
+
+// effectiveRate normalizes a report's sampling rate: reports predating the
+// rate field (zero) are exact, rate 1.
+func effectiveRate(r *Report) float64 {
+	if r.SampleRate <= 0 || r.SampleRate >= 1 {
+		return 1
+	}
+	return r.SampleRate
 }
 
 // Compare derives the savings of revised over original, including the

@@ -1,0 +1,187 @@
+package faultinject_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dragprof/internal/faultinject"
+	"dragprof/internal/store"
+)
+
+// The reshard-migration power-cut property: take a populated v1 (flat)
+// store and open it sharded behind a CrashFS that cuts power at step k,
+// for every k up to the migration's full step count and in both
+// post-crash disk models. Whatever state the cut leaves — config written
+// or not, runs half-moved, metadata stranded behind its data — a real
+// OpenSharded on the wreckage must succeed, finish the migration, serve
+// every run byte-identically to the flat original, and reproduce the
+// flat store's compacted site summaries exactly. A second reopen must
+// list exactly the same runs (recovery-scan determinism).
+
+// copyTree clones a directory for one crash-point experiment, since the
+// migration mutates the store in place.
+func copyTree(t *testing.T, src, dst string) {
+	t.Helper()
+	err := filepath.WalkDir(src, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		target := filepath.Join(dst, rel)
+		if d.IsDir() {
+			return os.MkdirAll(target, 0o755)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(target, data, 0o644)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// flatReference builds the v1 store the migration experiments start
+// from and records the promises it made: run ids with their exact log
+// and canonical bytes, plus the compacted site-summary table.
+func flatReference(t *testing.T, dir string) ([]ackedRun, []byte) {
+	t.Helper()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var acked []ackedRun
+	for wi, name := range []string{"javac", "db", "raytrace"} {
+		for seed := uint64(1); seed <= 2; seed++ {
+			log := encodeChaosLog(t, syntheticChaosProfile(name, 30+wi*7, seed))
+			res, err := st.Ingest(bytes.NewReader(log), 2)
+			if err != nil || res.Meta == nil {
+				t.Fatalf("seed ingest %s/%d: %v", name, seed, err)
+			}
+			canon, err := st.Canonical(res.Meta.ID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			acked = append(acked, ackedRun{ID: res.Meta.ID, Log: log, Canonical: canon})
+		}
+	}
+	if err := st.Compact(2); err != nil {
+		t.Fatal(err)
+	}
+	sums, err := st.SiteSummaries(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := json.Marshal(sums)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return acked, ref
+}
+
+// verifyShardedAfterCrash reopens the crashed migration with the real
+// filesystem and checks the durability + determinism contract.
+func verifyShardedAfterCrash(t *testing.T, dir string, acked []ackedRun, ref []byte) {
+	t.Helper()
+	st, err := store.OpenSharded(dir, 4)
+	if err != nil {
+		t.Fatalf("OpenSharded after crash: %v", err)
+	}
+	if st.NumRuns() != len(acked) {
+		t.Fatalf("after crash: %d runs, want %d", st.NumRuns(), len(acked))
+	}
+	for _, a := range acked {
+		if _, ok := st.Get(a.ID); !ok {
+			t.Fatalf("run %s lost in crashed migration", a.ID[:12])
+		}
+		f, err := st.OpenLog(a.ID)
+		if err != nil {
+			t.Fatalf("run %s log: %v", a.ID[:12], err)
+		}
+		got, err := io.ReadAll(f)
+		f.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, a.Log) {
+			t.Fatalf("run %s log differs after crashed migration", a.ID[:12])
+		}
+		canon, err := st.Canonical(a.ID)
+		if err != nil {
+			t.Fatalf("run %s canonical: %v", a.ID[:12], err)
+		}
+		if !bytes.Equal(canon, a.Canonical) {
+			t.Fatalf("run %s canonical differs after crashed migration", a.ID[:12])
+		}
+	}
+	sums, err := st.SiteSummaries(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := json.Marshal(sums)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, ref) {
+		t.Fatalf("site summaries diverge from flat store after crashed migration:\n got %s\nwant %s", got, ref)
+	}
+	first := st.Runs()
+	// Determinism: a second recovery scan of the same wreckage-turned-store
+	// must see exactly the same world.
+	again, err := store.OpenSharded(dir, 4)
+	if err != nil {
+		t.Fatalf("second reopen: %v", err)
+	}
+	second := again.Runs()
+	if len(first) != len(second) {
+		t.Fatalf("reopen changed run count: %d then %d", len(first), len(second))
+	}
+	for i := range first {
+		if first[i].ID != second[i].ID || first[i].Bytes != second[i].Bytes {
+			t.Fatalf("reopen reordered or rewrote run %d: %s then %s", i, first[i].ID[:12], second[i].ID[:12])
+		}
+	}
+}
+
+func TestShardMigrationCrashMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crash matrix is slow")
+	}
+	seedDir := t.TempDir()
+	acked, ref := flatReference(t, seedDir)
+
+	// Dry run to learn the migration's step count.
+	dry := t.TempDir()
+	copyTree(t, seedDir, dry)
+	dfs := faultinject.NewCrashFS(faultinject.CrashFSOptions{})
+	if _, err := store.OpenShardedFS(dry, 4, dfs); err != nil {
+		t.Fatalf("dry migration: %v", err)
+	}
+	steps := dfs.Steps()
+	if steps < 10 {
+		t.Fatalf("dry migration took only %d steps; seam not engaged", steps)
+	}
+
+	for _, keep := range []bool{false, true} {
+		for k := 1; k <= steps; k++ {
+			dir := t.TempDir()
+			copyTree(t, seedDir, dir)
+			fs := faultinject.NewCrashFS(faultinject.CrashFSOptions{CrashAtStep: k, KeepUnsynced: keep})
+			if _, err := store.OpenShardedFS(dir, 4, fs); err == nil {
+				t.Fatalf("keep=%v step %d: migration succeeded despite crash", keep, k)
+			}
+			if !fs.Crashed() {
+				t.Fatalf("keep=%v step %d: crash never fired (%d steps)", keep, k, fs.Steps())
+			}
+			verifyShardedAfterCrash(t, dir, acked, ref)
+		}
+	}
+}

@@ -298,7 +298,13 @@ func runWorkload(ctx context.Context, opts Options, name string, sums []*store.S
 	}
 	baseRep := drag.Analyze(baseProf, drag.Options{})
 	headRep := drag.Analyze(headProf, drag.Options{})
-	wr.Local = drag.Compare(baseRep, headRep)
+	local, err := drag.CompareChecked(baseRep, headRep)
+	if err != nil {
+		// Both runs share cfg, so this can only mean the sampling config
+		// diverged mid-sweep — a misconfiguration, not a finding.
+		return nil, fmt.Errorf("comparing rewritten run: %w", err)
+	}
+	wr.Local = local
 	wr.DragSavingPct = wr.Local.DragSavingPct
 
 	if opts.Push {

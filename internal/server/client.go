@@ -24,6 +24,9 @@ type Client struct {
 	BaseURL string
 	// HTTP overrides the transport (tests); nil uses a 60s-timeout client.
 	HTTP *http.Client
+	// Token is the tenant bearer token sent with every request; empty
+	// sends no credential (single-tenant servers).
+	Token string
 }
 
 // NewClient builds a client for a server base URL.
@@ -43,6 +46,9 @@ func (c *Client) getJSON(ctx context.Context, path string, out any) error {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, strings.TrimRight(c.BaseURL, "/")+path, nil)
 	if err != nil {
 		return fmt.Errorf("server client: %w", err)
+	}
+	if c.Token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.Token)
 	}
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
@@ -115,6 +121,9 @@ func (c *Client) PushReader(ctx context.Context, data []byte, opts PushOptions) 
 	}
 	if opts.Client == nil {
 		opts.Client = c.HTTP
+	}
+	if opts.Token == "" {
+		opts.Token = c.Token
 	}
 	return Push(ctx, c.BaseURL, open, opts)
 }

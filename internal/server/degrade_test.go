@@ -27,7 +27,7 @@ func TestReadyzDuringRecovery(t *testing.T) {
 	release := make(chan struct{})
 	dir := t.TempDir()
 	srv := New(Options{
-		OpenStore: func() (*store.Store, error) {
+		OpenStore: func() (store.RunStore, error) {
 			<-release
 			return store.Open(dir)
 		},
@@ -90,7 +90,7 @@ func TestReadyzDuringRecovery(t *testing.T) {
 // not-ready with the failure on /readyz, while /healthz stays 200.
 func TestReadyzOpenFailure(t *testing.T) {
 	srv := New(Options{
-		OpenStore: func() (*store.Store, error) {
+		OpenStore: func() (store.RunStore, error) {
 			return nil, errors.New("disk exploded")
 		},
 	})
@@ -169,7 +169,7 @@ func TestIngestShedsWith429(t *testing.T) {
 	}
 	// Wait until both slots are actually held.
 	deadline := time.Now().Add(5 * time.Second)
-	for len(srv.inflight) < 2 {
+	for len(srv.tenants[0].inflight) < 2 {
 		if time.Now().After(deadline) {
 			t.Fatal("in-flight slots never filled")
 		}
@@ -246,7 +246,7 @@ func TestDrainRejectsNewIngest(t *testing.T) {
 	<-started
 	// Give the handler a moment to register with the drain barrier.
 	deadline := time.Now().Add(5 * time.Second)
-	for len(srv.inflight) < 1 {
+	for len(srv.tenants[0].inflight) < 1 {
 		if time.Now().After(deadline) {
 			t.Fatal("in-flight upload never registered")
 		}

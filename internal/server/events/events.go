@@ -1,0 +1,208 @@
+// Package events is dragserved's live-stream fan-out: a broadcaster with
+// per-subscriber bounded buffers, slow-consumer drop accounting, and a
+// small ring of recent events for Last-Event-ID resume.
+//
+// Publish is synchronous and never blocks on a subscriber: a subscriber
+// whose buffer is full loses the event and has its drop counter bumped;
+// the delivery loop surfaces the gap to the client (an SSE client then
+// re-syncs by polling /sites) instead of back-pressuring ingest. Event
+// ids are a single monotone sequence per broadcaster, so a resuming
+// client either replays the exact missed suffix from the ring or learns
+// the ring no longer reaches back far enough.
+//
+// The package starts no goroutines of its own — all delivery state is
+// guarded by one mutex — so shutdown is a plain Close(): performed after
+// ingest drains, every subscriber channel closes and streams end cleanly.
+package events
+
+import "sync"
+
+// Event is one broadcast item: a monotonically increasing id, an SSE
+// event type, and a pre-marshaled payload.
+type Event struct {
+	// ID is the broadcaster-assigned sequence number, starting at 1.
+	ID uint64
+	// Type is the SSE event name ("run-ingested", "compacted", ...).
+	Type string
+	// Data is the payload, already serialized (JSON on the wire).
+	Data []byte
+}
+
+// Broadcaster fans events out to subscribers. All methods are safe for
+// concurrent use.
+type Broadcaster struct {
+	mu     sync.Mutex
+	closed bool
+	nextID uint64
+	// ring holds the most recent events for resume, oldest first.
+	ring    []Event
+	ringCap int
+	subBuf  int
+	subs    map[*Subscriber]struct{}
+	// dropsTotal counts events dropped across all subscribers, ever —
+	// the slow-consumer metric.
+	dropsTotal int64
+}
+
+// Subscriber is one attached consumer with a bounded delivery buffer.
+type Subscriber struct {
+	b  *Broadcaster
+	ch chan Event
+	// dropped counts events lost since the consumer last acknowledged the
+	// gap (TakeDropped); droppedTotal never resets.
+	dropped      int64
+	droppedTotal int64
+	closed       bool
+}
+
+// New returns a broadcaster keeping ringCap events for resume and giving
+// each subscriber a buffer of subBuf events. Non-positive values fall
+// back to 256 and 64.
+func New(ringCap, subBuf int) *Broadcaster {
+	if ringCap <= 0 {
+		ringCap = 256
+	}
+	if subBuf <= 0 {
+		subBuf = 64
+	}
+	return &Broadcaster{
+		ringCap: ringCap,
+		subBuf:  subBuf,
+		subs:    make(map[*Subscriber]struct{}),
+	}
+}
+
+// Publish assigns the next sequence id, appends the event to the resume
+// ring, and offers it to every subscriber without blocking. It returns
+// the assigned id, or 0 after Close.
+func (b *Broadcaster) Publish(typ string, data []byte) uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return 0
+	}
+	b.nextID++
+	ev := Event{ID: b.nextID, Type: typ, Data: data}
+	if len(b.ring) == b.ringCap {
+		copy(b.ring, b.ring[1:])
+		b.ring[len(b.ring)-1] = ev
+	} else {
+		b.ring = append(b.ring, ev)
+	}
+	for s := range b.subs {
+		select {
+		case s.ch <- ev:
+		default:
+			s.dropped++
+			s.droppedTotal++
+			b.dropsTotal++
+		}
+	}
+	return ev.ID
+}
+
+// Subscribe attaches a consumer. lastID is the last event id the consumer
+// saw (0 for a fresh stream). The returned replay slice holds the events
+// after lastID still in the ring; resumed reports whether that replay is
+// gapless — false means the ring has already evicted events the consumer
+// missed, and the consumer should re-sync from a full poll.
+func (b *Broadcaster) Subscribe(lastID uint64) (s *Subscriber, replay []Event, resumed bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	s = &Subscriber{b: b, ch: make(chan Event, b.subBuf)}
+	if b.closed {
+		s.closed = true
+		close(s.ch)
+		return s, nil, true
+	}
+	b.subs[s] = struct{}{}
+	resumed = true
+	if lastID > 0 && lastID < b.nextID {
+		oldest := b.nextID - uint64(len(b.ring)) + 1
+		if len(b.ring) == 0 || lastID+1 < oldest {
+			// The consumer's position fell off the ring: events are gone
+			// for good and the client must re-sync from a full poll.
+			resumed = false
+		} else {
+			for _, ev := range b.ring {
+				if ev.ID > lastID {
+					replay = append(replay, ev)
+				}
+			}
+		}
+	}
+	return s, replay, resumed
+}
+
+// Close detaches every subscriber (their channels close) and turns
+// Publish into a no-op. Safe to call more than once.
+func (b *Broadcaster) Close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.closed = true
+	for s := range b.subs {
+		s.closed = true
+		close(s.ch)
+	}
+	b.subs = make(map[*Subscriber]struct{})
+}
+
+// Subscribers returns the number of attached consumers.
+func (b *Broadcaster) Subscribers() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.subs)
+}
+
+// LastID returns the most recently assigned event id.
+func (b *Broadcaster) LastID() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.nextID
+}
+
+// DropsTotal returns the number of events dropped across all subscribers
+// over the broadcaster's lifetime.
+func (b *Broadcaster) DropsTotal() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.dropsTotal
+}
+
+// Events is the subscriber's delivery channel. It closes when the
+// subscriber (or the broadcaster) closes.
+func (s *Subscriber) Events() <-chan Event { return s.ch }
+
+// TakeDropped returns the number of events lost to this subscriber since
+// the last call, resetting the gap counter — the delivery loop calls it
+// to emit one gap notice per burst of loss.
+func (s *Subscriber) TakeDropped() int64 {
+	s.b.mu.Lock()
+	defer s.b.mu.Unlock()
+	n := s.dropped
+	s.dropped = 0
+	return n
+}
+
+// DroppedTotal returns the subscriber's lifetime drop count.
+func (s *Subscriber) DroppedTotal() int64 {
+	s.b.mu.Lock()
+	defer s.b.mu.Unlock()
+	return s.droppedTotal
+}
+
+// Close detaches the subscriber and closes its channel. Safe to call
+// more than once and after broadcaster Close.
+func (s *Subscriber) Close() {
+	s.b.mu.Lock()
+	defer s.b.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
+	delete(s.b.subs, s)
+	close(s.ch)
+}

@@ -1,0 +1,162 @@
+package events
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func drain(s *Subscriber) []Event {
+	var out []Event
+	for {
+		select {
+		case ev, ok := <-s.Events():
+			if !ok {
+				return out
+			}
+			out = append(out, ev)
+		default:
+			return out
+		}
+	}
+}
+
+func TestPublishFanOutAndOrder(t *testing.T) {
+	b := New(8, 8)
+	s1, _, _ := b.Subscribe(0)
+	s2, _, _ := b.Subscribe(0)
+	for i := 0; i < 5; i++ {
+		if id := b.Publish("run-ingested", []byte(fmt.Sprintf("p%d", i))); id != uint64(i+1) {
+			t.Fatalf("publish %d assigned id %d", i, id)
+		}
+	}
+	for _, s := range []*Subscriber{s1, s2} {
+		got := drain(s)
+		if len(got) != 5 {
+			t.Fatalf("subscriber got %d events, want 5", len(got))
+		}
+		for i, ev := range got {
+			if ev.ID != uint64(i+1) || ev.Type != "run-ingested" {
+				t.Fatalf("event %d out of order: %+v", i, ev)
+			}
+		}
+	}
+}
+
+func TestSlowConsumerDropsAccounted(t *testing.T) {
+	b := New(64, 2)
+	slow, _, _ := b.Subscribe(0)
+	for i := 0; i < 10; i++ {
+		b.Publish("x", nil)
+	}
+	// Buffer holds 2; the other 8 must be dropped and counted.
+	if got := drain(slow); len(got) != 2 {
+		t.Fatalf("slow consumer buffered %d, want 2", len(got))
+	}
+	if n := slow.TakeDropped(); n != 8 {
+		t.Fatalf("TakeDropped = %d, want 8", n)
+	}
+	if n := slow.TakeDropped(); n != 0 {
+		t.Fatalf("TakeDropped after reset = %d, want 0", n)
+	}
+	if slow.DroppedTotal() != 8 || b.DropsTotal() != 8 {
+		t.Fatalf("lifetime drops = %d/%d, want 8/8", slow.DroppedTotal(), b.DropsTotal())
+	}
+}
+
+func TestResumeFromRing(t *testing.T) {
+	b := New(4, 8)
+	for i := 0; i < 3; i++ {
+		b.Publish("x", nil)
+	}
+	// Resume from id 1: events 2 and 3 replay.
+	s, replay, resumed := b.Subscribe(1)
+	if !resumed || len(replay) != 2 || replay[0].ID != 2 || replay[1].ID != 3 {
+		t.Fatalf("resume from 1: resumed=%v replay=%+v", resumed, replay)
+	}
+	s.Close()
+
+	// Push the ring past id 1: ring now holds 4..7; a consumer at 2 gapped.
+	for i := 0; i < 4; i++ {
+		b.Publish("x", nil)
+	}
+	_, replay, resumed = b.Subscribe(2)
+	if resumed || replay != nil {
+		t.Fatalf("resume past ring: resumed=%v replay=%+v, want gap", resumed, replay)
+	}
+
+	// The oldest ring entry is still resumable.
+	_, replay, resumed = b.Subscribe(3)
+	if !resumed || len(replay) != 4 {
+		t.Fatalf("resume at ring edge: resumed=%v len=%d, want 4 events", resumed, len(replay))
+	}
+
+	// A fresh stream (no Last-Event-ID) starts now: no replay, no gap.
+	_, replay, resumed = b.Subscribe(0)
+	if !resumed || len(replay) != 0 {
+		t.Fatalf("fresh stream: resumed=%v replay=%+v", resumed, replay)
+	}
+}
+
+func TestCloseEndsStreams(t *testing.T) {
+	b := New(8, 8)
+	s, _, _ := b.Subscribe(0)
+	b.Publish("x", nil)
+	b.Close()
+	n := 0
+	for range s.Events() {
+		n++ // the buffered event still delivers before close
+	}
+	if n != 1 {
+		t.Fatalf("drained %d events after close, want 1", n)
+	}
+	if id := b.Publish("x", nil); id != 0 {
+		t.Fatalf("publish after close assigned id %d", id)
+	}
+	post, _, _ := b.Subscribe(0)
+	if _, ok := <-post.Events(); ok {
+		t.Fatal("subscribe after close delivered an event")
+	}
+	b.Close() // idempotent
+	s.Close() // idempotent after broadcaster close
+}
+
+func TestSubscriberCloseDetaches(t *testing.T) {
+	b := New(8, 8)
+	s, _, _ := b.Subscribe(0)
+	s.Close()
+	if b.Subscribers() != 0 {
+		t.Fatalf("subscribers = %d after close", b.Subscribers())
+	}
+	b.Publish("x", nil) // must not panic on the closed channel
+	s.Close()           // idempotent
+}
+
+func TestConcurrentPublishSubscribe(t *testing.T) {
+	b := New(32, 16)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				b.Publish("x", nil)
+			}
+		}()
+	}
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				s, _, _ := b.Subscribe(0)
+				drain(s)
+				s.Close()
+			}
+		}()
+	}
+	wg.Wait()
+	if b.LastID() != 400 {
+		t.Fatalf("LastID = %d, want 400", b.LastID())
+	}
+}

@@ -25,7 +25,7 @@ func ingestStatusOK(code int) bool {
 // undamaged profile: whatever run the reply references holds records that
 // are a byte-exact prefix of the clean log's records — exactly what
 // profile.SalvageLog recovers, never one record more or different.
-func checkStoredPrefix(t *testing.T, st *store.Store, ir *IngestResponse, clean *profile.Profile, damaged []byte) {
+func checkStoredPrefix(t *testing.T, st store.RunStore, ir *IngestResponse, clean *profile.Profile, damaged []byte) {
 	t.Helper()
 	if ir.Run == nil {
 		return // nothing stored (header/tables damaged): nothing to check

@@ -33,12 +33,15 @@ type IngestResponse struct {
 //
 //	201 clean upload stored
 //	200 duplicate of a stored run
+//	401 missing or unknown tenant token (multi-tenant mode)
 //	413 upload exceeds the size limit
 //	422 damaged upload — body carries the SalvageReport; a salvageable
 //	    prefix is stored and reported in Run
-//	429 in-flight ingest cap reached — shed with Retry-After; retry
+//	429 the tenant's in-flight ingest cap is reached — shed with
+//	    Retry-After; retry
 //	503 store still recovering, or server draining — Retry-After set
-//	507 the store's disk is full
+//	507 the store's disk is full, or the tenant's run/byte quota is
+//	    exhausted
 //	500 internal store fault (disk I/O)
 //
 // Damage is never a 5xx: the fault-injection matrix (truncation at every
@@ -46,9 +49,11 @@ type IngestResponse struct {
 // Overload is never a 5xx either: past the in-flight cap the server
 // sheds, it does not collapse.
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	tn := s.tenantOf(r)
 	s.metrics.ingestRequests.Add(1)
-	st := s.store()
-	if st == nil {
+	tn.m.ingestRequests.Add(1)
+	rs := tn.store()
+	if rs == nil {
 		s.metrics.notReady.Add(1)
 		w.Header().Set("Retry-After", retryAfterSeconds)
 		writeJSON(w, http.StatusServiceUnavailable, IngestResponse{Error: "store is recovering"})
@@ -66,19 +71,26 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	select {
-	case s.inflight <- struct{}{}:
-		defer func() { <-s.inflight }()
+	case tn.inflight <- struct{}{}:
+		defer func() { <-tn.inflight }()
 	default:
 		s.metrics.ingestShed.Add(1)
+		tn.m.ingestShed.Add(1)
 		w.Header().Set("Retry-After", retryAfterSeconds)
 		writeJSON(w, http.StatusTooManyRequests, IngestResponse{Error: "ingest at capacity, retry later"})
 		return
 	}
+	if tn.overQuota(rs) {
+		s.metrics.quotaDenied.Add(1)
+		tn.m.quotaDenied.Add(1)
+		writeJSON(w, http.StatusInsufficientStorage, IngestResponse{Error: "tenant quota exhausted"})
+		return
+	}
 
-	res, err := st.Ingest(store.LimitReader(r.Body, s.maxBytes), s.workers)
+	res, err := rs.Ingest(store.LimitReader(r.Body, s.maxBytes), s.workers)
 	if err != nil {
 		s.metrics.ingestErrors.Add(1)
-		s.logger.Printf("ingest: %v", err)
+		s.logger.Printf("tenant %s: ingest: %v", tn.name, err)
 		if errors.Is(err, syscall.ENOSPC) {
 			writeJSON(w, http.StatusInsufficientStorage, IngestResponse{Error: "store disk is full"})
 			return
@@ -95,6 +107,9 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	case res.Salvage != nil:
 		s.metrics.ingestSalvaged.Add(1)
 		if res.Meta != nil && !res.Duplicate {
+			tn.m.ingestStored.Add(1)
+			tn.m.ingestBytes.Add(res.Meta.Bytes)
+			s.publishRunIngested(tn, res)
 			s.kickCompactor()
 		}
 		writeJSON(w, http.StatusUnprocessableEntity, IngestResponse{
@@ -109,6 +124,9 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	default:
 		s.metrics.ingestStored.Add(1)
 		s.metrics.ingestBytes.Add(res.Meta.Bytes)
+		tn.m.ingestStored.Add(1)
+		tn.m.ingestBytes.Add(res.Meta.Bytes)
+		s.publishRunIngested(tn, res)
 		s.kickCompactor()
 		writeJSON(w, http.StatusCreated, IngestResponse{Run: res.Meta})
 	}

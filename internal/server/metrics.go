@@ -19,6 +19,10 @@ type metrics struct {
 	ingestShed       atomic.Int64
 	ingestDrained    atomic.Int64
 	ingestBytes      atomic.Int64
+	quotaDenied      atomic.Int64
+	authFailures     atomic.Int64
+	watchConnects    atomic.Int64
+	watchDropped     atomic.Int64
 	notReady         atomic.Int64
 	queries          atomic.Int64
 	compactions      atomic.Int64
@@ -26,8 +30,10 @@ type metrics struct {
 	serverErrors     atomic.Int64
 }
 
-// handleMetrics serves even while the store is still recovering — the
-// store gauges simply appear once it is open.
+// handleMetrics serves even while the stores are still recovering — the
+// store gauges simply appear once each tenant's store is open. Global
+// counters keep their historical names; per-tenant and per-stream series
+// carry a tenant label.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	ready := int64(0)
 	if s.Ready() {
@@ -43,6 +49,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		"dragserved_ingest_shed_total":       s.metrics.ingestShed.Load(),
 		"dragserved_ingest_drained_total":    s.metrics.ingestDrained.Load(),
 		"dragserved_ingest_bytes_total":      s.metrics.ingestBytes.Load(),
+		"dragserved_quota_denied_total":      s.metrics.quotaDenied.Load(),
+		"dragserved_auth_failures_total":     s.metrics.authFailures.Load(),
+		"dragserved_watch_connects_total":    s.metrics.watchConnects.Load(),
+		"dragserved_watch_dropped_total":     s.metrics.watchDropped.Load(),
 		"dragserved_not_ready_total":         s.metrics.notReady.Load(),
 		"dragserved_queries_total":           s.metrics.queries.Load(),
 		"dragserved_compactions_total":       s.metrics.compactions.Load(),
@@ -50,11 +60,29 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		"dragserved_http_5xx_total":          s.metrics.serverErrors.Load(),
 		"dragserved_ready":                   ready,
 	}
-	if st := s.store(); st != nil {
-		gauges["dragserved_store_runs"] = int64(st.NumRuns())
-		gauges["dragserved_store_salvaged_runs"] = int64(st.SalvagedRuns())
-		gauges["dragserved_store_bytes"] = st.TotalBytes()
-		gauges["dragserved_store_quarantined"] = int64(len(st.Quarantined()))
+	// The default tenant's store keeps the historical unlabeled gauges so
+	// existing dashboards survive the multi-tenant turn-up.
+	if rs := s.store(); rs != nil {
+		gauges["dragserved_store_runs"] = int64(rs.NumRuns())
+		gauges["dragserved_store_salvaged_runs"] = int64(rs.SalvagedRuns())
+		gauges["dragserved_store_bytes"] = rs.TotalBytes()
+		gauges["dragserved_store_quarantined"] = int64(len(rs.Quarantined()))
+	}
+	for _, tn := range s.tenants {
+		label := fmt.Sprintf(`{tenant=%q}`, tn.name)
+		gauges["dragserved_tenant_ingest_requests_total"+label] = tn.m.ingestRequests.Load()
+		gauges["dragserved_tenant_ingest_stored_total"+label] = tn.m.ingestStored.Load()
+		gauges["dragserved_tenant_ingest_shed_total"+label] = tn.m.ingestShed.Load()
+		gauges["dragserved_tenant_quota_denied_total"+label] = tn.m.quotaDenied.Load()
+		gauges["dragserved_tenant_ingest_bytes_total"+label] = tn.m.ingestBytes.Load()
+		gauges["dragserved_tenant_queries_total"+label] = tn.m.queries.Load()
+		gauges["dragserved_tenant_watch_subscribers"+label] = int64(tn.events.Subscribers())
+		gauges["dragserved_tenant_watch_dropped_total"+label] = tn.events.DropsTotal()
+		if rs := tn.store(); rs != nil {
+			gauges["dragserved_tenant_store_runs"+label] = int64(rs.NumRuns())
+			gauges["dragserved_tenant_store_bytes"+label] = rs.TotalBytes()
+			gauges["dragserved_tenant_store_quarantined"+label] = int64(len(rs.Quarantined()))
+		}
 	}
 	names := make([]string, 0, len(gauges))
 	for n := range gauges {
@@ -75,8 +103,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleReadyz reports whether the server should receive traffic: 503
-// while the store's recovery scan is still running (or failed) and while
-// the server drains for shutdown, 200 otherwise.
+// while any tenant store's recovery scan is still running (or failed)
+// and while the server drains for shutdown, 200 otherwise.
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain")
 	if s.draining.Load() {

@@ -52,6 +52,10 @@ type PushOptions struct {
 	MaxElapsed time.Duration
 	// Client overrides the HTTP client (tests).
 	Client *http.Client
+	// Token is the tenant bearer token, sent as "Authorization: Bearer"
+	// on every attempt. Empty sends no credential (single-tenant
+	// servers).
+	Token string
 	// now, sleep and randInt63n are test seams (fake clock, deterministic
 	// jitter).
 	now        func() time.Time
@@ -134,7 +138,7 @@ func Push(ctx context.Context, serverURL string, open func() (io.ReadCloser, err
 				delay = opts.MaxDelay
 			}
 		}
-		resp, retry, ra, err := pushOnce(ctx, opts.Client, url, open, opts.Timeout)
+		resp, retry, ra, err := pushOnce(ctx, opts.Client, url, open, opts.Timeout, opts.Token)
 		if err == nil {
 			return resp, nil
 		}
@@ -153,7 +157,7 @@ func Push(ctx context.Context, serverURL string, open func() (io.ReadCloser, err
 // pushOnce performs one attempt. retry reports whether the failure class
 // is worth another try (network faults, 5xx, shed load); retryAfter is
 // the server's Retry-After hint, when present.
-func pushOnce(ctx context.Context, client *http.Client, url string, open func() (io.ReadCloser, error), timeout time.Duration) (resp *IngestResponse, retry bool, retryAfter time.Duration, err error) {
+func pushOnce(ctx context.Context, client *http.Client, url string, open func() (io.ReadCloser, error), timeout time.Duration, token string) (resp *IngestResponse, retry bool, retryAfter time.Duration, err error) {
 	body, err := open()
 	if err != nil {
 		return nil, false, 0, err
@@ -167,6 +171,9 @@ func pushOnce(ctx context.Context, client *http.Client, url string, open func() 
 		return nil, false, 0, err
 	}
 	req.Header.Set("Content-Type", "application/octet-stream")
+	if token != "" {
+		req.Header.Set("Authorization", "Bearer "+token)
+	}
 
 	httpResp, err := client.Do(req)
 	if err != nil {

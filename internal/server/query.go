@@ -1,6 +1,7 @@
 package server
 
 import (
+	"errors"
 	"fmt"
 	"net/http"
 	"sort"
@@ -11,16 +12,26 @@ import (
 	"dragprof/internal/store"
 )
 
+// queryStore bumps the query counters and returns the request tenant's
+// store. The readiness gate in front of every query route guarantees it
+// is non-nil by the time a handler runs.
+func (s *Server) queryStore(r *http.Request) store.RunStore {
+	s.metrics.queries.Add(1)
+	tn := s.tenantOf(r)
+	tn.m.queries.Add(1)
+	return tn.store()
+}
+
 // handleRuns lists the stored runs (sorted by id — deterministic).
 func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
-	s.metrics.queries.Add(1)
-	writeJSON(w, http.StatusOK, s.store().Runs())
+	rs := s.queryStore(r)
+	writeJSON(w, http.StatusOK, rs.Runs())
 }
 
 // handleRun returns one run's metadata.
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
-	s.metrics.queries.Add(1)
-	m, ok := s.store().Get(r.PathValue("id"))
+	rs := s.queryStore(r)
+	m, ok := rs.Get(r.PathValue("id"))
 	if !ok {
 		http.Error(w, "unknown run", http.StatusNotFound)
 		return
@@ -36,8 +47,8 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 //	?format=text|json|sarif — the draganalyze renderings (shared code path)
 //	?top=N — site count for text/json/sarif (default 10)
 func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
-	s.metrics.queries.Add(1)
-	m, ok := s.store().Get(r.PathValue("id"))
+	rs := s.queryStore(r)
+	m, ok := rs.Get(r.PathValue("id"))
 	if !ok {
 		http.Error(w, "unknown run", http.StatusNotFound)
 		return
@@ -57,7 +68,7 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	}
 
 	if format == "canonical" {
-		dump, err := s.store().Canonical(m.ID)
+		dump, err := rs.Canonical(m.ID)
 		if err != nil {
 			s.logger.Printf("report %s: %v", m.ID, err)
 			http.Error(w, "internal store error", http.StatusInternalServerError)
@@ -68,7 +79,7 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	rep, err := s.store().Report(m.ID, drag.Options{}, s.workers)
+	rep, err := rs.Report(m.ID, drag.Options{}, s.workers)
 	if err != nil {
 		s.logger.Printf("report %s: %v", m.ID, err)
 		http.Error(w, "internal store error", http.StatusInternalServerError)
@@ -108,8 +119,8 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 //	?format=json (default) | text
 //	?top=N — cap the list
 func (s *Server) handleSites(w http.ResponseWriter, r *http.Request) {
-	s.metrics.queries.Add(1)
-	sums, err := s.store().SiteSummaries(s.workers)
+	rs := s.queryStore(r)
+	sums, err := rs.SiteSummaries(s.workers)
 	if err != nil {
 		s.logger.Printf("sites: %v", err)
 		http.Error(w, "internal store error", http.StatusInternalServerError)
@@ -217,36 +228,48 @@ type SiteDeltaJSON struct {
 // handleDiff compares two stored runs: ?base=<id>&head=<id>, the
 // cross-run regression query. ?format=json (default) | text.
 func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
-	s.metrics.queries.Add(1)
+	rs := s.queryStore(r)
 	baseID, headID := r.URL.Query().Get("base"), r.URL.Query().Get("head")
 	if baseID == "" || headID == "" {
 		http.Error(w, "diff needs base and head run ids", http.StatusBadRequest)
 		return
 	}
-	base, ok := s.store().Get(baseID)
+	base, ok := rs.Get(baseID)
 	if !ok {
 		http.Error(w, "unknown base run", http.StatusNotFound)
 		return
 	}
-	head, ok := s.store().Get(headID)
+	head, ok := rs.Get(headID)
 	if !ok {
 		http.Error(w, "unknown head run", http.StatusNotFound)
 		return
 	}
-	baseRep, err := s.store().Report(base.ID, drag.Options{}, s.workers)
+	baseRep, err := rs.Report(base.ID, drag.Options{}, s.workers)
 	if err != nil {
 		s.logger.Printf("diff: %v", err)
 		http.Error(w, "internal store error", http.StatusInternalServerError)
 		return
 	}
-	headRep, err := s.store().Report(head.ID, drag.Options{}, s.workers)
+	headRep, err := rs.Report(head.ID, drag.Options{}, s.workers)
 	if err != nil {
 		s.logger.Printf("diff: %v", err)
 		http.Error(w, "internal store error", http.StatusInternalServerError)
 		return
 	}
 
-	c := drag.Compare(baseRep, headRep)
+	c, err := drag.CompareChecked(baseRep, headRep)
+	if err != nil {
+		// A sampled run diffed against an exact one (or two distinct
+		// rates): the deltas would mix estimator scales. Client error,
+		// mirroring the store's checkMergeable guard.
+		if errors.Is(err, drag.ErrRateMismatch) {
+			http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+			return
+		}
+		s.logger.Printf("diff: %v", err)
+		http.Error(w, "internal compare error", http.StatusInternalServerError)
+		return
+	}
 	resp := DiffResponse{
 		Base:             base.ID,
 		Head:             head.ID,

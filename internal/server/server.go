@@ -5,12 +5,18 @@
 // answers report, site and regression-diff queries whose canonical output
 // is byte-identical to a local draganalyze run over the same log.
 //
-// The service degrades instead of falling over: the store opens (and runs
-// its recovery scan) in the background while /healthz already answers,
-// /readyz flips true only once recovery completes and back to false while
-// draining, ingest concurrency is bounded and sheds excess load with
-// 429 + Retry-After, and shutdown drains in-flight ingests and stops the
-// compactor before the store is left behind.
+// The service degrades instead of falling over: each tenant's store opens
+// (and runs its recovery scan) in the background while /healthz already
+// answers, /readyz flips true only once recovery completes and back to
+// false while draining, ingest concurrency is bounded per tenant and
+// sheds excess load with 429 + Retry-After, quotas deny with 507, and
+// shutdown drains in-flight ingests, closes the event streams, and stops
+// the compactor before the stores are left behind.
+//
+// Multi-tenant mode (Options.Tenants) isolates namespaces end to end:
+// bearer-token auth resolves every /api/ request to a tenant with its own
+// store root, its own quotas and in-flight cap, its own live event stream
+// (GET /api/v1/watch, SSE), and its own metrics.
 package server
 
 import (
@@ -22,68 +28,92 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dragprof/internal/server/events"
 	"dragprof/internal/store"
 )
 
 // Options configure a Server.
 type Options struct {
-	// Store is the backing run store. Either Store or OpenStore is
-	// required.
-	Store *store.Store
-	// OpenStore opens the store in the background: the server starts
-	// serving /healthz immediately and reports not-ready (503 +
-	// Retry-After on data endpoints, /readyz false) until it returns.
-	// An open failure pins the server not-ready; ReadyErr exposes it.
-	OpenStore func() (*store.Store, error)
+	// Store is the backing run store for single-tenant mode. Exactly one
+	// of Store, OpenStore, or Tenants+OpenTenantStore is required.
+	Store store.RunStore
+	// OpenStore opens the single-tenant store in the background: the
+	// server starts serving /healthz immediately and reports not-ready
+	// (503 + Retry-After on data endpoints, /readyz false) until it
+	// returns. An open failure pins the server not-ready; ReadyErr
+	// exposes it.
+	OpenStore func() (store.RunStore, error)
+	// Tenants switches on multi-tenant mode: bearer-token auth on every
+	// /api/ route, one isolated store per tenant (opened in the
+	// background via OpenTenantStore), per-tenant quotas and streams.
+	Tenants []TenantConfig
+	// OpenTenantStore opens one tenant's store by name; required when
+	// Tenants is set.
+	OpenTenantStore func(name string) (store.RunStore, error)
 	// Workers bounds per-request analysis parallelism (0: GOMAXPROCS).
 	Workers int
 	// MaxUploadBytes rejects larger uploads with 413 (default 1 GiB).
 	MaxUploadBytes int64
-	// MaxInFlightIngest bounds concurrently-served ingest requests;
-	// excess load is shed with 429 + Retry-After (default 64).
+	// MaxInFlightIngest bounds concurrently-served ingest requests per
+	// tenant; excess load is shed with 429 + Retry-After (default 64).
 	MaxInFlightIngest int
-	// RequestTimeout bounds query handling (default 60s). Ingest is
-	// exempt: uploads are bounded by size, not time.
+	// RequestTimeout bounds query handling (default 60s). Ingest and
+	// /watch are exempt: uploads are bounded by size, streams by the
+	// client.
 	RequestTimeout time.Duration
 	// CompactDebounce delays background compaction after an ingest so
 	// bursts coalesce into one merge (default 100ms).
 	CompactDebounce time.Duration
+	// HeartbeatInterval paces SSE keep-alive comments on /watch
+	// (default 15s).
+	HeartbeatInterval time.Duration
+	// EventRing and EventBuffer size each tenant's broadcaster: events
+	// kept for Last-Event-ID resume, and each subscriber's bounded
+	// delivery buffer (defaults 256 and 64).
+	EventRing   int
+	EventBuffer int
 	// Log receives request and compaction logging; nil discards it.
 	Log *log.Logger
 }
 
 // Server is the dragserved HTTP service.
 type Server struct {
-	st       atomic.Pointer[store.Store]
-	workers  int
-	maxBytes int64
-	logger   *log.Logger
-	handler  http.Handler
+	tenants      []*tenant
+	byToken      map[string]*tenant
+	authRequired bool
+
+	workers   int
+	maxBytes  int64
+	heartbeat time.Duration
+	logger    *log.Logger
+	handler   http.Handler
 
 	metrics metrics
 
-	// readyCh closes when the background store open finishes (for better
-	// or worse); openErr holds its failure.
+	// readyCh closes when every background store open finishes (for
+	// better or worse); per-tenant failures live on the tenants.
 	readyCh chan struct{}
-	openErr atomic.Pointer[error]
 	// draining flips once shutdown begins; ingestWG counts in-flight
 	// ingest requests so drain can wait them out.
 	draining atomic.Bool
 	ingestWG sync.WaitGroup
-	inflight chan struct{}
 
 	compactKick chan struct{}
 	debounce    time.Duration
 	done        chan struct{}
 	wg          sync.WaitGroup
+	drainOnce   sync.Once
 	closeOnce   sync.Once
 }
 
-// New builds the service and starts its background compactor (and, with
-// Options.OpenStore, the background store open).
+// New builds the service and starts its background compactor (and the
+// background store opens).
 func New(opts Options) *Server {
-	if opts.Store == nil && opts.OpenStore == nil {
-		panic("server: Options.Store or Options.OpenStore is required")
+	if opts.Store == nil && opts.OpenStore == nil && len(opts.Tenants) == 0 {
+		panic("server: Options.Store, Options.OpenStore or Options.Tenants is required")
+	}
+	if len(opts.Tenants) > 0 && opts.OpenTenantStore == nil {
+		panic("server: Options.Tenants requires Options.OpenTenantStore")
 	}
 	if opts.Workers <= 0 {
 		opts.Workers = runtime.GOMAXPROCS(0)
@@ -100,18 +130,53 @@ func New(opts Options) *Server {
 	if opts.CompactDebounce <= 0 {
 		opts.CompactDebounce = 100 * time.Millisecond
 	}
+	if opts.HeartbeatInterval <= 0 {
+		opts.HeartbeatInterval = 15 * time.Second
+	}
 	if opts.Log == nil {
 		opts.Log = log.New(discard{}, "", 0)
 	}
 	s := &Server{
+		byToken:     make(map[string]*tenant),
 		workers:     opts.Workers,
 		maxBytes:    opts.MaxUploadBytes,
+		heartbeat:   opts.HeartbeatInterval,
 		logger:      opts.Log,
 		readyCh:     make(chan struct{}),
-		inflight:    make(chan struct{}, opts.MaxInFlightIngest),
 		compactKick: make(chan struct{}, 1),
 		debounce:    opts.CompactDebounce,
 		done:        make(chan struct{}),
+	}
+
+	newTenant := func(cfg TenantConfig) *tenant {
+		capIngest := cfg.MaxInFlightIngest
+		if capIngest <= 0 {
+			capIngest = opts.MaxInFlightIngest
+		}
+		return &tenant{
+			name:     cfg.Name,
+			token:    cfg.Token,
+			maxRuns:  cfg.MaxRuns,
+			maxBytes: cfg.MaxBytes,
+			inflight: make(chan struct{}, capIngest),
+			events:   events.New(opts.EventRing, opts.EventBuffer),
+		}
+	}
+	if len(opts.Tenants) > 0 {
+		s.authRequired = true
+		for _, cfg := range opts.Tenants {
+			if cfg.Name == "" || cfg.Token == "" {
+				panic("server: every tenant needs a name and a token")
+			}
+			tn := newTenant(cfg)
+			if _, dup := s.byToken[cfg.Token]; dup {
+				panic("server: duplicate tenant token")
+			}
+			s.tenants = append(s.tenants, tn)
+			s.byToken[cfg.Token] = tn
+		}
+	} else {
+		s.tenants = []*tenant{newTenant(TenantConfig{Name: "default", Token: "-"})}
 	}
 
 	api := http.NewServeMux()
@@ -122,13 +187,15 @@ func New(opts Options) *Server {
 	api.HandleFunc("GET /api/v1/diff", s.handleDiff)
 
 	// The timeout middleware buffers responses, which would break pprof's
-	// streaming endpoints and serve ingest poorly (uploads are bounded by
-	// MaxUploadBytes, not wall clock) — so those routes bypass it. The
-	// probes and /metrics also bypass it (and the readiness gate): they
-	// must answer while the store is still recovering.
+	// streaming endpoints, the SSE stream, and ingest (uploads are
+	// bounded by MaxUploadBytes, not wall clock) — so those routes bypass
+	// it. The probes and /metrics also bypass it (and the readiness
+	// gate): they must answer while the stores are still recovering. All
+	// /api/ routes sit behind the tenant auth middleware.
 	timed := http.TimeoutHandler(api, opts.RequestTimeout, "request timed out\n")
 	root := http.NewServeMux()
-	root.HandleFunc("POST /api/v1/runs", s.handleIngest)
+	root.Handle("POST /api/v1/runs", s.auth(http.HandlerFunc(s.handleIngest)))
+	root.Handle("GET /api/v1/watch", s.auth(http.HandlerFunc(s.handleWatch)))
 	root.HandleFunc("GET /healthz", s.handleHealthz)
 	root.HandleFunc("GET /readyz", s.handleReadyz)
 	root.HandleFunc("GET /metrics", s.handleMetrics)
@@ -137,107 +204,137 @@ func New(opts Options) *Server {
 	root.Handle("/debug/pprof/profile", http.HandlerFunc(pprof.Profile))
 	root.Handle("/debug/pprof/symbol", http.HandlerFunc(pprof.Symbol))
 	root.Handle("/debug/pprof/trace", http.HandlerFunc(pprof.Trace))
-	root.Handle("/", s.readyGate(timed))
+	root.Handle("/", s.auth(s.readyGate(timed)))
 	s.handler = s.logged(root)
 
-	if opts.Store != nil {
-		s.st.Store(opts.Store)
+	if opts.Store != nil && !s.authRequired {
+		s.tenants[0].st.Store(&storeBox{rs: opts.Store})
 		close(s.readyCh)
 	} else {
+		open := opts.OpenTenantStore
+		if open == nil {
+			open = func(string) (store.RunStore, error) { return opts.OpenStore() }
+		}
 		s.wg.Add(1)
-		go s.opener(opts.OpenStore)
+		go s.opener(open)
 	}
 	s.wg.Add(1)
 	go s.compactor()
 	return s
 }
 
-// opener runs the store open (with its recovery scan) off the serving
-// path, so the process binds its port and answers probes immediately.
-func (s *Server) opener(open func() (*store.Store, error)) {
+// opener runs every tenant's store open (with its recovery scan) off the
+// serving path, so the process binds its port and answers probes
+// immediately. Tenants come ready one by one; readyCh closes once all
+// opens have finished either way.
+func (s *Server) opener(open func(name string) (store.RunStore, error)) {
 	defer s.wg.Done()
-	start := time.Now()
-	st, err := open()
-	if err != nil {
-		s.openErr.Store(&err)
-		s.logger.Printf("store open failed: %v", err)
-		close(s.readyCh)
-		return
-	}
-	s.st.Store(st)
-	close(s.readyCh)
-	s.logger.Printf("store ready in %v (%d runs, %d quarantined)",
-		time.Since(start).Round(time.Millisecond), st.NumRuns(), len(st.Quarantined()))
-	if st.Dirty() {
-		s.kickCompactor()
+	defer close(s.readyCh)
+	for _, tn := range s.tenants {
+		start := time.Now()
+		rs, err := open(tn.name)
+		if err != nil {
+			tn.openErr.Store(&err)
+			s.logger.Printf("tenant %s: store open failed: %v", tn.name, err)
+			continue
+		}
+		tn.st.Store(&storeBox{rs: rs})
+		s.logger.Printf("tenant %s: store ready in %v (%d runs, %d quarantined)",
+			tn.name, time.Since(start).Round(time.Millisecond), rs.NumRuns(), len(rs.Quarantined()))
+		if rs.Dirty() {
+			s.kickCompactor()
+		}
 	}
 }
 
-// store returns the backing store, or nil while it is still opening (or
-// failed to open).
-func (s *Server) store() *store.Store { return s.st.Load() }
+// store returns the default tenant's store — the single-tenant accessor
+// (nil while opening or after a failed open).
+func (s *Server) store() store.RunStore { return s.tenants[0].store() }
 
-// Ready reports whether the server can take traffic: the store finished
-// its recovery scan and shutdown has not begun.
+// Ready reports whether the server can take traffic: every tenant's
+// store finished its recovery scan and shutdown has not begun.
 func (s *Server) Ready() bool {
 	select {
 	case <-s.readyCh:
 	default:
 		return false
 	}
-	return s.store() != nil && !s.draining.Load()
+	for _, tn := range s.tenants {
+		if tn.store() == nil {
+			return false
+		}
+	}
+	return !s.draining.Load()
 }
 
-// ReadyErr returns the store-open failure, if the background open
-// failed. It reports nil while the open is still in progress.
+// ReadyErr returns the first tenant's store-open failure, if any
+// background open failed. It reports nil while opens are in progress.
 func (s *Server) ReadyErr() error {
-	if p := s.openErr.Load(); p != nil {
-		return *p
+	for _, tn := range s.tenants {
+		if p := tn.openErr.Load(); p != nil {
+			return *p
+		}
 	}
 	return nil
 }
 
-// OpenDone closes when the background store open has finished, either
+// OpenDone closes when every background store open has finished, either
 // way; check ReadyErr afterwards.
 func (s *Server) OpenDone() <-chan struct{} { return s.readyCh }
 
 // Handler returns the service's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.handler }
 
-// Store exposes the backing store (read-only use: tests, stats). It is
-// nil until the background open completes.
-func (s *Server) Store() *store.Store { return s.store() }
+// Store exposes the default tenant's backing store (read-only use:
+// tests, stats). It is nil until the background open completes.
+func (s *Server) Store() store.RunStore { return s.store() }
 
-// BeginDrain flips the server not-ready (readyz 503, new ingests shed
-// with 503 + Retry-After) and waits for every in-flight ingest to
-// finish. Call it before stopping the HTTP listener so load balancers
-// stop routing while existing uploads complete.
-func (s *Server) BeginDrain() {
-	s.draining.Store(true)
-	s.ingestWG.Wait()
+// TenantStore exposes one tenant's backing store by name (read-only
+// use); nil when unknown or not yet open.
+func (s *Server) TenantStore(name string) store.RunStore {
+	for _, tn := range s.tenants {
+		if tn.name == name {
+			return tn.store()
+		}
+	}
+	return nil
 }
 
-// Close shuts the service down in dependency order: drain in-flight
-// ingest, stop the background goroutines (compactor, opener) via their
-// WaitGroup, then run one final compaction so nothing dirty is left
-// behind. Safe to call more than once.
-func (s *Server) Close() {
-	s.closeOnce.Do(func() {
+// BeginDrain flips the server not-ready (readyz 503, new ingests shed
+// with 503 + Retry-After), waits for every in-flight ingest to finish,
+// then closes every tenant's event stream — in that order, so the final
+// ingests' events still reach subscribers before their streams end. Call
+// it before stopping the HTTP listener: load balancers stop routing,
+// uploads complete, and open /watch connections terminate instead of
+// pinning the listener's graceful shutdown forever.
+func (s *Server) BeginDrain() {
+	s.drainOnce.Do(func() {
 		s.draining.Store(true)
 		s.ingestWG.Wait()
-		close(s.done)
-		s.wg.Wait()
-		if st := s.store(); st != nil && st.Dirty() {
-			s.compactNow()
+		for _, tn := range s.tenants {
+			tn.events.Close()
 		}
 	})
 }
 
+// Close shuts the service down in dependency order: drain in-flight
+// ingest and end event streams, stop the background goroutines
+// (compactor, opener) via their WaitGroup, then run one final compaction
+// so nothing dirty is left behind. Safe to call more than once.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		s.BeginDrain()
+		close(s.done)
+		s.wg.Wait()
+		s.compactNow()
+	})
+}
+
 // readyGate rejects data-plane requests with 503 + Retry-After until the
-// store has finished recovering.
+// request's tenant store has finished recovering.
 func (s *Server) readyGate(h http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if s.store() == nil {
+		if s.tenantOf(r).store() == nil {
 			s.metrics.notReady.Add(1)
 			w.Header().Set("Retry-After", retryAfterSeconds)
 			msg := "store is recovering"
@@ -261,16 +358,13 @@ func (s *Server) kickCompactor() {
 
 // compactor is the background merge loop: each kick is debounced so a
 // burst of pushes compacts once, after the burst. It idles until the
-// store is ready.
+// stores are ready.
 func (s *Server) compactor() {
 	defer s.wg.Done()
 	select {
 	case <-s.done:
 		return
 	case <-s.readyCh:
-	}
-	if s.store() == nil {
-		return // open failed; nothing to compact, ever
 	}
 	for {
 		select {
@@ -289,19 +383,25 @@ func (s *Server) compactor() {
 	}
 }
 
+// compactNow merges every tenant's stale summaries and announces each
+// completed merge on that tenant's event stream.
 func (s *Server) compactNow() {
-	st := s.store()
-	if st == nil {
-		return
+	for _, tn := range s.tenants {
+		rs := tn.store()
+		if rs == nil || !rs.Dirty() {
+			continue
+		}
+		start := time.Now()
+		if err := rs.Compact(s.workers); err != nil {
+			s.metrics.compactErrors.Add(1)
+			s.logger.Printf("tenant %s: compact: %v", tn.name, err)
+			continue
+		}
+		s.metrics.compactions.Add(1)
+		s.logger.Printf("tenant %s: compact: merged summaries in %v",
+			tn.name, time.Since(start).Round(time.Millisecond))
+		s.publishCompacted(tn, rs)
 	}
-	start := time.Now()
-	if err := st.Compact(s.workers); err != nil {
-		s.metrics.compactErrors.Add(1)
-		s.logger.Printf("compact: %v", err)
-		return
-	}
-	s.metrics.compactions.Add(1)
-	s.logger.Printf("compact: merged summaries in %v", time.Since(start).Round(time.Millisecond))
 }
 
 // logged wraps the handler with request logging and a 5xx counter.
@@ -309,7 +409,10 @@ func (s *Server) logged(h http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		h.ServeHTTP(rec, r)
-		if rec.status >= 500 && rec.status != http.StatusServiceUnavailable {
+		// 503 (recovering/draining) and 507 (tenant quota) are deliberate
+		// shedding, not faults; only genuine server errors page anyone.
+		if rec.status >= 500 && rec.status != http.StatusServiceUnavailable &&
+			rec.status != http.StatusInsufficientStorage {
 			s.metrics.serverErrors.Add(1)
 		}
 		s.logger.Printf("%s %s -> %d", r.Method, r.URL.Path, rec.status)
@@ -324,6 +427,14 @@ type statusRecorder struct {
 func (r *statusRecorder) WriteHeader(code int) {
 	r.status = code
 	r.ResponseWriter.WriteHeader(code)
+}
+
+// Flush forwards to the wrapped writer so SSE streaming works through
+// the logging middleware.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 type discard struct{}

@@ -1,0 +1,142 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"strings"
+	"sync/atomic"
+
+	"dragprof/internal/server/events"
+	"dragprof/internal/store"
+)
+
+// TenantConfig declares one tenant namespace: its bearer token, its
+// isolated store root (resolved by Options.OpenTenantStore), and its
+// quotas. Zero quota values mean unlimited.
+type TenantConfig struct {
+	// Name identifies the tenant in logs, metrics and events.
+	Name string `json:"name"`
+	// Token is the bearer token that selects this tenant; every tenant
+	// needs a distinct non-empty token.
+	Token string `json:"token"`
+	// MaxRuns caps stored runs; further uploads get 507.
+	MaxRuns int `json:"maxRuns,omitempty"`
+	// MaxBytes caps stored log bytes; further uploads get 507.
+	MaxBytes int64 `json:"maxBytes,omitempty"`
+	// MaxInFlightIngest overrides the server-wide per-tenant in-flight
+	// ingest cap (excess shed with 429).
+	MaxInFlightIngest int `json:"maxInFlight,omitempty"`
+}
+
+// tenantMetrics are one tenant's operational counters.
+type tenantMetrics struct {
+	ingestRequests atomic.Int64
+	ingestStored   atomic.Int64
+	ingestShed     atomic.Int64
+	quotaDenied    atomic.Int64
+	ingestBytes    atomic.Int64
+	queries        atomic.Int64
+}
+
+// storeBox wraps the RunStore interface value so it can live in an
+// atomic.Pointer (which needs a concrete type).
+type storeBox struct{ rs store.RunStore }
+
+// tenant is one namespace's runtime state: its store (atomically swapped
+// in by the background opener), its in-flight ingest cap, its event
+// broadcaster, and its counters.
+type tenant struct {
+	name     string
+	token    string
+	maxRuns  int
+	maxBytes int64
+
+	st      atomic.Pointer[storeBox]
+	openErr atomic.Pointer[error]
+
+	inflight chan struct{}
+	events   *events.Broadcaster
+	m        tenantMetrics
+}
+
+// store returns the tenant's run store, or nil while it is still opening
+// (or failed to open).
+func (t *tenant) store() store.RunStore {
+	if box := t.st.Load(); box != nil {
+		return box.rs
+	}
+	return nil
+}
+
+// overQuota reports whether an additional upload would exceed the
+// tenant's stored-runs or stored-bytes quota.
+func (t *tenant) overQuota(rs store.RunStore) bool {
+	if t.maxRuns > 0 && rs.NumRuns() >= t.maxRuns {
+		return true
+	}
+	if t.maxBytes > 0 && rs.TotalBytes() >= t.maxBytes {
+		return true
+	}
+	return false
+}
+
+// tenantCtxKey carries the resolved tenant through the request context.
+type tenantCtxKey struct{}
+
+var (
+	errNoToken      = errors.New("missing bearer token")
+	errUnknownToken = errors.New("unknown tenant token")
+)
+
+// bearerToken extracts the Authorization bearer credential, empty if the
+// header is absent or not a bearer scheme.
+func bearerToken(r *http.Request) string {
+	h := r.Header.Get("Authorization")
+	const prefix = "Bearer "
+	if len(h) > len(prefix) && strings.EqualFold(h[:len(prefix)], prefix) {
+		return strings.TrimSpace(h[len(prefix):])
+	}
+	return ""
+}
+
+// resolveTenant maps a request to its tenant. In single-tenant mode
+// (no Options.Tenants) every request lands on the default tenant and
+// credentials are ignored; in multi-tenant mode a valid bearer token is
+// mandatory.
+func (s *Server) resolveTenant(r *http.Request) (*tenant, error) {
+	if !s.authRequired {
+		return s.tenants[0], nil
+	}
+	tok := bearerToken(r)
+	if tok == "" {
+		return nil, errNoToken
+	}
+	if tn, ok := s.byToken[tok]; ok {
+		return tn, nil
+	}
+	return nil, errUnknownToken
+}
+
+// auth is the tenant-resolution middleware for every /api/ route: it
+// rejects unauthenticated requests with 401 (+ WWW-Authenticate) in
+// multi-tenant mode and injects the resolved tenant into the context.
+func (s *Server) auth(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		tn, err := s.resolveTenant(r)
+		if err != nil {
+			s.metrics.authFailures.Add(1)
+			w.Header().Set("WWW-Authenticate", `Bearer realm="dragserved"`)
+			writeJSON(w, http.StatusUnauthorized, IngestResponse{Error: err.Error()})
+			return
+		}
+		h.ServeHTTP(w, r.WithContext(context.WithValue(r.Context(), tenantCtxKey{}, tn)))
+	})
+}
+
+// tenantOf returns the tenant the auth middleware resolved for this
+// request. Every /api/ handler runs behind auth, so the value is always
+// present.
+func (s *Server) tenantOf(r *http.Request) *tenant {
+	return r.Context().Value(tenantCtxKey{}).(*tenant)
+}

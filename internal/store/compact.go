@@ -3,6 +3,7 @@ package store
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -150,17 +151,30 @@ func (s *Store) Compact(workers int) error {
 	return nil
 }
 
-// compactWorkload merges one workload's runs into a single report. Every
-// run is re-aggregated from its stored log and folded into the running
-// accumulator via the same merge the parallel analyzer uses for its block
-// shards; sorted-id order makes the fold deterministic.
+// compactWorkload merges one workload's runs into a single report, reading
+// each log from this store's runs/ directory.
 func (s *Store) compactWorkload(name string, ids []string, workers int) (*workloadSummary, error) {
+	return mergeWorkloadRuns(name, ids, func(id string) (io.ReadCloser, error) {
+		return os.Open(s.logPath(id))
+	})
+}
+
+// mergeWorkloadRuns merges one workload's runs into a single summary.
+// Every run is re-aggregated from its stored log and folded into the
+// running accumulator via the same merge the parallel analyzer uses for
+// its block shards; sorted-id order makes the fold deterministic. openLog
+// resolves a run id to its log wherever it lives — the single store's
+// runs/ directory, or whichever shard of a sharded store holds the run —
+// which is exactly why a sharded store's merge-on-read answers are
+// byte-identical to the unsharded ones: both fold the same logs in the
+// same global id order through this one function.
+func mergeWorkloadRuns(name string, ids []string, openLog func(id string) (io.ReadCloser, error)) (*workloadSummary, error) {
 	var (
 		acc  *drag.Accumulator
 		base *profile.Profile
 	)
 	for _, id := range ids {
-		f, err := os.Open(s.logPath(id))
+		f, err := openLog(id)
 		if err != nil {
 			return nil, fmt.Errorf("store: %w", err)
 		}

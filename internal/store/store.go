@@ -124,6 +124,42 @@ type IngestResult struct {
 // Clean reports a fully-intact ingest.
 func (r *IngestResult) Clean() bool { return r.Salvage == nil && !r.TooLarge }
 
+// RunStore is the query-and-ingest surface a dragserved instance needs
+// from a run store. Both the flat single-directory *Store (v1 layout) and
+// the site-hash-partitioned *Sharded store implement it; the server is
+// written against this interface so a deployment can switch layouts
+// without touching a handler. The contract every implementation owes:
+// answers are deterministic functions of the stored run set (byte-identical
+// across layouts — CI enforces it for the sharded store), and all methods
+// are safe for concurrent use.
+type RunStore interface {
+	// Root returns the store's root directory.
+	Root() string
+	// Runs lists the stored runs sorted by id.
+	Runs() []*RunMeta
+	// Get resolves a run id or unique >=8-hex-digit prefix.
+	Get(id string) (*RunMeta, bool)
+	// NumRuns, TotalBytes and SalvagedRuns are the readiness stats.
+	NumRuns() int
+	TotalBytes() int64
+	SalvagedRuns() int
+	// OpenLog opens a stored run's log for reading.
+	OpenLog(id string) (io.ReadCloser, error)
+	// Canonical returns the stored canonical report dump for a run.
+	Canonical(id string) ([]byte, error)
+	// Report recomputes a run's analysis from its stored log.
+	Report(id string, opts drag.Options, workers int) (*drag.Report, error)
+	// Ingest stores one uploaded drag log.
+	Ingest(body io.Reader, workers int) (*IngestResult, error)
+	// Compact rebuilds stale cross-run summaries; Dirty reports staleness.
+	Compact(workers int) error
+	Dirty() bool
+	// SiteSummaries returns the compacted cross-run site summaries.
+	SiteSummaries(workers int) ([]*SiteSummary, error)
+	// Quarantined lists what recovery scans moved aside, sorted by file.
+	Quarantined() []QuarantineReason
+}
+
 // Store is the on-disk run store. All methods are safe for concurrent use.
 type Store struct {
 	root string

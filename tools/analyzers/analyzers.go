@@ -13,7 +13,8 @@
 //     corruption bug so far has been exactly this shape.
 //
 //   - gotrack: goroutine launches in the long-lived service packages
-//     (internal/server, internal/store) and the dragserved daemon
+//     (internal/server, internal/server/events, internal/store) and the
+//     dragserved daemon
 //     (cmd/dragserved) that no lifecycle WaitGroup tracks. A `go`
 //     statement there must be immediately preceded by the owner's
 //     wg.Add(...) call — the shutdown path waits on that group, and an
@@ -255,9 +256,10 @@ func storelock(fset *token.FileSet, file *ast.File, rel string) []Finding {
 	return out
 }
 
-// gotrack flags `go` statements in the server and store packages — and in
-// the dragserved daemon itself, whose listener goroutine must outlive-proof
-// shutdown the same way — that are not immediately preceded by a lifecycle
+// gotrack flags `go` statements in the server, events and store packages —
+// and in the dragserved daemon itself, whose listener goroutine must
+// outlive-proof shutdown the same way — that are not immediately preceded
+// by a lifecycle
 // WaitGroup Add call in the same statement list. The shutdown paths
 // (Server.Close, dragserved's lwg.Wait, the parallel analyzer's wg.Wait)
 // only wait for goroutines the group knows about; launching one without
@@ -265,8 +267,12 @@ func storelock(fset *token.FileSet, file *ast.File, rel string) []Finding {
 func gotrack(fset *token.FileSet, file *ast.File, rel string) []Finding {
 	dir := filepath.ToSlash(filepath.Dir(rel))
 	daemon := dir == "cmd/dragserved" || strings.HasSuffix(dir, "/cmd/dragserved")
-	if file.Name.Name != "server" && file.Name.Name != "store" && !daemon {
-		return nil
+	switch file.Name.Name {
+	case "server", "store", "events":
+	default:
+		if !daemon {
+			return nil
+		}
 	}
 	var out []Finding
 	check := func(list []ast.Stmt) {

@@ -213,6 +213,35 @@ func spin() { go func() {}() }
 	}
 }
 
+func TestGotrackEvents(t *testing.T) {
+	root := write(t, map[string]string{
+		// The SSE broadcaster package is in scope: a goroutine there that
+		// outlives drain would publish into closed streams.
+		"internal/server/events/events.go": `package events
+import "sync"
+type Broadcaster struct{ wg sync.WaitGroup }
+// Tracked: Add immediately precedes the launch.
+func (b *Broadcaster) Start() {
+	b.wg.Add(1)
+	go b.pump()
+}
+func (b *Broadcaster) pump() {}
+// Violation: bare launch.
+func (b *Broadcaster) Leak() { go b.pump() }
+`,
+	})
+	fs, err := CheckDir(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 1 {
+		t.Fatalf("want 1 gotrack finding, got %v", rules(fs))
+	}
+	if fs[0].Rule != "gotrack" || fs[0].File != filepath.Join("internal", "server", "events", "events.go") {
+		t.Errorf("unexpected finding %v", fs[0])
+	}
+}
+
 // TestRepoIsClean turns the linter on the repository that ships it: the
 // tree must self-lint clean, and stay that way.
 func TestRepoIsClean(t *testing.T) {
